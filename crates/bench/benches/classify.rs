@@ -1,0 +1,53 @@
+//! Classifier benchmarks: language detection, topic classification,
+//! HTML stripping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hs_landscape::hs_content::{html, LanguageDetector, TopicClassifier};
+use hs_landscape::hs_world::service::sample_words;
+use hs_landscape::hs_world::{Language, Topic};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_langdetect(c: &mut Criterion) {
+    let det = LanguageDetector::train_default();
+    let mut rng = StdRng::seed_from_u64(1);
+    let page = sample_words(Language::German, Topic::Politics, 200, &mut rng).join(" ");
+    c.bench_function("langdetect_200w", |b| {
+        b.iter(|| det.detect(black_box(&page)));
+    });
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    group.bench_function("langdetect_train", |b| {
+        b.iter(LanguageDetector::train_default);
+    });
+    group.finish();
+}
+
+fn bench_topics(c: &mut Criterion) {
+    let clf = TopicClassifier::train_default();
+    let mut rng = StdRng::seed_from_u64(2);
+    let page = sample_words(Language::English, Topic::Drugs, 200, &mut rng).join(" ");
+    c.bench_function("topic_classify_200w", |b| {
+        b.iter(|| clf.classify(black_box(&page)));
+    });
+}
+
+fn bench_html(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let words = sample_words(Language::English, Topic::Adult, 300, &mut rng).join(" ");
+    let page = format!(
+        "<html><head><title>x</title></head><body><p>{words}</p><!-- c --></body></html>"
+    );
+    c.bench_function("html_strip_300w", |b| {
+        b.iter(|| html::strip_tags(black_box(&page)));
+    });
+    let text = html::strip_tags(&page);
+    c.bench_function("word_count_300w", |b| {
+        b.iter(|| html::word_count(black_box(&text)));
+    });
+}
+
+criterion_group!(benches, bench_langdetect, bench_topics, bench_html);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Hot-path benchmarks: SHA-1, base32 and the v2 identifier
+//! derivations every pipeline leans on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use hs_landscape::onion_crypto::{
+    base32,
+    descriptor::{DescriptorId, Replica, TimePeriod},
+    sha1::Sha1,
+    OnionAddress,
+};
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha1");
+    for size in [64usize, 1_024, 65_536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| Sha1::digest(black_box(data)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_base32(c: &mut Criterion) {
+    let data = [0x5au8; 10];
+    c.bench_function("base32_encode_onion", |b| {
+        b.iter(|| base32::encode(black_box(&data)));
+    });
+    let label = base32::encode(data);
+    c.bench_function("base32_decode_onion", |b| {
+        b.iter(|| base32::decode(black_box(&label)).unwrap());
+    });
+}
+
+fn bench_descriptor_ids(c: &mut Criterion) {
+    let onion = OnionAddress::from_pubkey(b"benchmark service");
+    let now = 1_359_936_000u64;
+    c.bench_function("descriptor_id_pair", |b| {
+        b.iter(|| DescriptorId::pair_at(black_box(onion), black_box(now)));
+    });
+    let perm = onion.permanent_id();
+    let period = TimePeriod::at(now, perm);
+    c.bench_function("descriptor_id_single", |b| {
+        b.iter(|| DescriptorId::compute(black_box(perm), period, Replica::new(0)));
+    });
+    c.bench_function("onion_from_pubkey", |b| {
+        b.iter(|| OnionAddress::from_pubkey(black_box(b"some public key bytes here")));
+    });
+}
+
+criterion_group!(benches, bench_sha1, bench_base32, bench_descriptor_ids);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Experiment-stage benchmarks: each paper pipeline stage at reduced
+//! scale, so regressions in any stage show up in `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hs_landscape::hs_content::Crawler;
+use hs_landscape::hs_harvest::{FleetConfig, HarvestConfig, Harvester};
+use hs_landscape::hs_portscan::{ScanConfig, Scanner};
+use hs_landscape::hs_tracking::{
+    scenario, ConsensusArchive, DetectorConfig, HistoryConfig, TrackingDetector,
+};
+use hs_landscape::hs_world::{service::SKYNET_PORT, World, WorldConfig};
+use hs_landscape::onion_crypto::OnionAddress;
+use hs_landscape::tor_sim::clock::SimTime;
+use hs_landscape::tor_sim::network::NetworkBuilder;
+
+fn bench_world_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stages");
+    group.sample_size(10);
+    group.bench_function("world_generate_2pct", |b| {
+        b.iter(|| World::generate(WorldConfig { seed: 1, scale: 0.02 }));
+    });
+    group.finish();
+}
+
+fn bench_harvest_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stages");
+    group.sample_size(10);
+    group.bench_function("harvest_sweep_small", |b| {
+        b.iter_with_setup(
+            || {
+                let mut net = NetworkBuilder::new()
+                    .relays(80)
+                    .seed(2)
+                    .start(SimTime::from_ymd(2013, 2, 1))
+                    .build();
+                for i in 0..100u32 {
+                    net.register_service(OnionAddress::from_pubkey(&i.to_be_bytes()), true);
+                }
+                net.advance_hours(1);
+                net
+            },
+            |mut net| {
+                let config = HarvestConfig {
+                    fleet: FleetConfig { ips: 4, relays_per_ip: 6, bandwidth: 300 },
+                    warmup_hours: 26,
+                    rotation_hours: 1,
+                };
+                Harvester::new(config).run(&mut net, |_| {})
+            },
+        );
+    });
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stages");
+    group.sample_size(10);
+    let world = World::generate(WorldConfig { seed: 3, scale: 0.005 });
+    let targets: Vec<OnionAddress> = world.services().iter().map(|s| s.onion).collect();
+    group.bench_function("portscan_half_pct", |b| {
+        b.iter_with_setup(
+            || {
+                let mut net = NetworkBuilder::new()
+                    .relays(80)
+                    .seed(3)
+                    .start(SimTime::from_ymd(2013, 2, 13))
+                    .build();
+                world.register_all(&mut net);
+                net.advance_hours(1);
+                net
+            },
+            |mut net| {
+                Scanner::new(ScanConfig { days: 2, ..ScanConfig::default() })
+                    .run(&mut net, &world, &targets)
+            },
+        );
+    });
+    group.finish();
+}
+
+fn bench_crawl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stages");
+    group.sample_size(10);
+    let world = World::generate(WorldConfig { seed: 4, scale: 0.02 });
+    let destinations: Vec<(OnionAddress, u16)> = world
+        .services()
+        .iter()
+        .flat_map(|s| s.open_ports().into_iter().map(move |p| (s.onion, p)))
+        .filter(|&(_, p)| p != SKYNET_PORT)
+        .collect();
+    let crawler = Crawler::new();
+    group.bench_function("crawl_2pct", |b| {
+        b.iter(|| crawler.run(&world, &destinations));
+    });
+    group.finish();
+}
+
+fn bench_tracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stages");
+    group.sample_size(10);
+    let mut archive = ConsensusArchive::generate(&HistoryConfig {
+        start: SimTime::from_ymd(2013, 5, 1),
+        end: SimTime::from_ymd(2013, 6, 30),
+        hsdirs_at_start: 300,
+        hsdirs_at_end: 320,
+        seed: 5,
+    });
+    scenario::inject_may_campaign(&mut archive, scenario::silkroad());
+    let detector = TrackingDetector::new(DetectorConfig::default());
+    group.bench_function("tracking_detect_60d", |b| {
+        b.iter(|| {
+            detector.analyse(
+                &archive,
+                scenario::silkroad(),
+                SimTime::from_ymd(2013, 5, 1),
+                SimTime::from_ymd(2013, 6, 30),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_world_generation,
+    bench_harvest_sweep,
+    bench_scan,
+    bench_crawl,
+    bench_tracking
+);
+criterion_main!(benches);

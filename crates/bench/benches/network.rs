@@ -1,0 +1,64 @@
+//! Network-simulation benchmarks: consensus voting, descriptor
+//! publication rounds and client fetches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hs_landscape::onion_crypto::OnionAddress;
+use hs_landscape::tor_sim::clock::SimTime;
+use hs_landscape::tor_sim::network::NetworkBuilder;
+use hs_landscape::tor_sim::relay::Ipv4;
+use hs_landscape::tor_sim::Authority;
+
+fn bench_vote(c: &mut Criterion) {
+    let net = NetworkBuilder::new()
+        .relays(1_400)
+        .seed(7)
+        .start(SimTime::from_ymd(2013, 2, 1))
+        .build();
+    let authority = Authority::new();
+    let t = net.time();
+    c.bench_function("authority_vote_1400", |b| {
+        b.iter(|| authority.vote(black_box(net.relays()), t));
+    });
+}
+
+fn bench_publish_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rounds");
+    group.sample_size(20);
+    group.bench_function("hourly_round_500svc", |b| {
+        b.iter_with_setup(
+            || {
+                let mut net = NetworkBuilder::new()
+                    .relays(300)
+                    .seed(8)
+                    .start(SimTime::from_ymd(2013, 2, 1))
+                    .build();
+                for i in 0..500u32 {
+                    net.register_service(OnionAddress::from_pubkey(&i.to_be_bytes()), true);
+                }
+                net
+            },
+            |mut net| net.advance_hours(1),
+        );
+    });
+    group.finish();
+}
+
+fn bench_client_fetch(c: &mut Criterion) {
+    let mut net = NetworkBuilder::new()
+        .relays(300)
+        .seed(9)
+        .start(SimTime::from_ymd(2013, 2, 1))
+        .build();
+    let onion = OnionAddress::from_pubkey(b"bench fetch");
+    net.register_service(onion, true);
+    net.advance_hours(1);
+    let client = net.add_client(Ipv4::new(1, 2, 3, 4));
+    c.bench_function("client_fetch", |b| {
+        b.iter(|| net.client_fetch(black_box(client), black_box(onion)));
+    });
+}
+
+criterion_group!(benches, bench_vote, bench_publish_round, bench_client_fetch);
+criterion_main!(benches);

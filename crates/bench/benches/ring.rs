@@ -1,0 +1,56 @@
+//! Ring arithmetic and responsible-HSDir lookup benchmarks, plus the
+//! Sec. V resolver table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hs_landscape::hs_popularity::Resolver;
+use hs_landscape::onion_crypto::{DescriptorId, OnionAddress, Sha1, U160};
+use hs_landscape::tor_sim::clock::SimTime;
+use hs_landscape::tor_sim::network::NetworkBuilder;
+
+fn bench_u160(c: &mut Criterion) {
+    let a = U160::from(Sha1::digest(b"a"));
+    let b_ = U160::from(Sha1::digest(b"b"));
+    c.bench_function("u160_distance", |b| {
+        b.iter(|| black_box(a).distance_to(black_box(b_)));
+    });
+    c.bench_function("u160_div_u64", |b| {
+        b.iter(|| black_box(U160::MAX).div_u64(black_box(1_862)));
+    });
+}
+
+fn bench_responsible_lookup(c: &mut Criterion) {
+    let net = NetworkBuilder::new()
+        .relays(1_500)
+        .seed(1)
+        .start(SimTime::from_ymd(2013, 2, 4))
+        .build();
+    let consensus = net.consensus();
+    let desc = DescriptorId::pair_at(
+        OnionAddress::from_pubkey(b"lookup bench"),
+        net.time().unix(),
+    )[0];
+    c.bench_function("responsible_hsdirs_1500", |b| {
+        b.iter(|| consensus.responsible_hsdirs(black_box(desc)));
+    });
+}
+
+fn bench_resolver(c: &mut Criterion) {
+    let onions: Vec<OnionAddress> = (0..2_000u32)
+        .map(|i| OnionAddress::from_pubkey(&i.to_be_bytes()))
+        .collect();
+    let start = SimTime::from_ymd(2013, 1, 28);
+    let end = SimTime::from_ymd(2013, 2, 8);
+    c.bench_function("resolver_build_2000x12d", |b| {
+        b.iter(|| Resolver::build(black_box(&onions), start, end));
+    });
+    let resolver = Resolver::build(&onions, start, end);
+    let id = DescriptorId::pair_at(onions[500], SimTime::from_ymd(2013, 2, 4).unix())[0];
+    c.bench_function("resolver_lookup", |b| {
+        b.iter(|| resolver.resolve(black_box(id)));
+    });
+}
+
+criterion_group!(benches, bench_u160, bench_responsible_lookup, bench_resolver);
+criterion_main!(benches);

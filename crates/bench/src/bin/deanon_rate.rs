@@ -1,0 +1,59 @@
+//! E11 — Client-deanonymisation catch rate: measured vs analytic, as
+//! a function of the attacker's guard bandwidth.
+
+use hs_landscape::hs_deanon::{DeanonAttack, DeanonConfig};
+use hs_landscape::onion_crypto::OnionAddress;
+use hs_landscape::tor_sim::clock::SimTime;
+use hs_landscape::tor_sim::network::{FetchOutcome, NetworkBuilder};
+use hs_landscape::tor_sim::relay::Ipv4;
+
+fn main() {
+    println!("Sec. VI — catch rate vs attacker guard bandwidth");
+    println!("{:<12} {:>10} {:>10} {:>10}", "guard bw", "expected", "measured", "victims");
+    for bw in [500u64, 2_000, 5_000, 15_000] {
+        let mut net = NetworkBuilder::new()
+            .relays(400)
+            .seed(0xe11)
+            .start(SimTime::from_ymd(2013, 2, 1))
+            .build();
+        let target = OnionAddress::from_pubkey(b"deanon rate target");
+        net.register_service(target, true);
+        net.advance_hours(1);
+        let config = DeanonConfig { guards: 4, guard_bandwidth: bw, ..DeanonConfig::default() };
+        let mut attack = DeanonAttack::deploy(&mut net, target, &config);
+
+        let mut fetches = 0u64;
+        let n_clients = 4_000u32;
+        for i in 0..n_clients {
+            let ip = Ipv4::new(
+                1 + (i % 220) as u8,
+                (i / 220) as u8,
+                (i % 250) as u8,
+                1 + (i % 200) as u8,
+            );
+            let client = net.add_client(ip);
+            if net.client_fetch(client, target) == FetchOutcome::Found {
+                fetches += 1;
+            }
+            if i % 1_000 == 0 {
+                attack.reposition(&mut net);
+            }
+        }
+        let expected = attack.expected_catch_rate(&net);
+        let mut caught: Vec<_> = net
+            .take_guard_observations()
+            .iter()
+            .map(|o| o.client_ip)
+            .collect();
+        caught.sort();
+        caught.dedup();
+        let measured = caught.len() as f64 / fetches.max(1) as f64;
+        println!(
+            "{bw:<12} {:>9.2}% {:>9.2}% {:>10}",
+            expected * 100.0,
+            measured * 100.0,
+            caught.len()
+        );
+    }
+    println!("\nShape check: measured tracks the analytic guard-bandwidth share and grows with attacker bandwidth.");
+}

@@ -1,0 +1,10 @@
+//! E10 — Regenerates Fig. 3: the geographic map of deanonymised
+//! clients of a popular (Goldnet) hidden service.
+
+use hs_landscape::report;
+
+fn main() {
+    let results = hs_bench::run_bench_study();
+    println!("{}", report::render_fig3(&results.deanon));
+    println!("Paper reference: a world map of client locations for one Goldnet front end (no absolute counts published)");
+}

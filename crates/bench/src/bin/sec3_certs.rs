@@ -1,0 +1,9 @@
+//! E3 — Regenerates the Sec. III HTTPS certificate survey.
+
+use hs_landscape::report;
+
+fn main() {
+    let results = hs_bench::run_bench_study();
+    println!("{}", report::render_certs(&results.certs));
+    println!("Paper reference (scale 1.0): 1225 self-signed CN-mismatch; 1168 with TorHost CN esjqyk2khizsy43i.onion; 34 clearnet-DNS CNs (deanonymising)");
+}

@@ -1,0 +1,55 @@
+//! Shared scaffolding for the benchmark harness binaries that
+//! regenerate every table and figure of Biryukov et al. (ICDCS 2014).
+//!
+//! Each binary under `src/bin/` reproduces one artifact; see
+//! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! record. The Criterion benches under `benches/` cover the hot paths
+//! (SHA-1, descriptor derivation, ring lookup, classifiers, consensus
+//! voting).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hs_landscape::{Study, StudyConfig};
+
+/// The scale used by the experiment binaries. Override with the
+/// `HS_SCALE` environment variable (e.g. `HS_SCALE=1.0` for the full
+/// paper-scale run; default 0.25 finishes in tens of seconds).
+pub fn bench_scale() -> f64 {
+    std::env::var("HS_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25)
+}
+
+/// Builds the standard study configuration at [`bench_scale`].
+pub fn bench_config() -> StudyConfig {
+    let scale = bench_scale();
+    StudyConfig {
+        scale,
+        relays: ((1_400.0 * scale) as usize).clamp(150, 1_400),
+        harvest: hs_landscape::hs_harvest::HarvestConfig {
+            fleet: hs_landscape::hs_harvest::FleetConfig {
+                ips: ((58.0 * scale) as u32).max(8),
+                relays_per_ip: 24,
+                bandwidth: 400,
+            },
+            warmup_hours: 26,
+            rotation_hours: 2,
+        },
+        scan_days: 7,
+        traffic_clients: ((500.0 * scale) as usize).max(60),
+        run_tracking: false,
+        ..StudyConfig::default()
+    }
+}
+
+/// Runs the standard study (used by most experiment binaries).
+pub fn run_bench_study() -> hs_landscape::StudyReport {
+    let config = bench_config();
+    eprintln!(
+        "[hs-bench] running study at scale {} ({} relays)…",
+        config.scale, config.relays
+    );
+    Study::new(config).run()
+}

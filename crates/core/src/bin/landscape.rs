@@ -1,0 +1,165 @@
+//! `landscape` — command-line front end for the study pipeline.
+//!
+//! ```text
+//! landscape study   [--scale S] [--seed N]   run the full pipeline, print all artifacts
+//! landscape fig1    [--scale S] [--seed N]   open-ports distribution (Fig. 1)
+//! landscape table1  [--scale S] [--seed N]   HTTP/HTTPS access (Table I)
+//! landscape fig2    [--scale S] [--seed N]   topics distribution (Fig. 2)
+//! landscape table2  [--scale S] [--seed N]   popularity ranking (Table II)
+//! landscape fig3    [--scale S] [--seed N]   client geo map (Fig. 3)
+//! landscape certs   [--scale S] [--seed N]   certificate survey (Sec. III)
+//! landscape sec5    [--scale S] [--seed N]   popularity statistics (Sec. V)
+//! landscape tracking [--seed N]              Silk Road tracking detection (Sec. VII)
+//! ```
+
+use std::process::ExitCode;
+
+use hs_landscape::{report, Study, StudyConfig};
+
+struct Args {
+    command: String,
+    scale: f64,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut scale = 0.1f64;
+    let mut seed = 0x2013_0204u64;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value".to_owned())?;
+                scale = v.parse().map_err(|_| format!("bad scale {v:?}"))?;
+                if !(scale > 0.0 && scale <= 1.0) {
+                    return Err("scale must be in (0, 1]".to_owned());
+                }
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value".to_owned())?;
+                seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(Args { command, scale, seed })
+}
+
+fn usage() -> String {
+    "usage: landscape <study|fig1|table1|fig2|table2|fig3|certs|sec5|tracking> \
+     [--scale S] [--seed N]"
+        .to_owned()
+}
+
+fn study_config(args: &Args) -> StudyConfig {
+    StudyConfig {
+        seed: args.seed,
+        scale: args.scale,
+        relays: ((1_400.0 * args.scale) as usize).clamp(150, 1_400),
+        harvest: hs_landscape::hs_harvest::HarvestConfig {
+            fleet: hs_landscape::hs_harvest::FleetConfig {
+                ips: ((58.0 * args.scale) as u32).max(8),
+                relays_per_ip: 24,
+                bandwidth: 400,
+            },
+            warmup_hours: 26,
+            rotation_hours: 2,
+        },
+        scan_days: 7,
+        traffic_clients: ((500.0 * args.scale) as usize).max(60),
+        run_tracking: false,
+        ..StudyConfig::default()
+    }
+}
+
+fn run_tracking(seed: u64) {
+    use hs_landscape::hs_tracking::{
+        scenario, ConsensusArchive, DetectorConfig, HistoryConfig, TrackingDetector,
+    };
+    use hs_landscape::tor_sim::clock::SimTime;
+    use hs_landscape::TrackingReport;
+
+    let mut archive = ConsensusArchive::generate(&HistoryConfig {
+        seed,
+        ..HistoryConfig::default()
+    });
+    scenario::inject_all(&mut archive, scenario::silkroad());
+    let detector = TrackingDetector::new(DetectorConfig::default());
+    let years = [
+        ("year 1 (Feb–Dec 2011)", (2011, 2, 1), (2011, 12, 31)),
+        ("year 2 (2012)", (2012, 1, 1), (2012, 12, 31)),
+        ("year 3 (Jan–Oct 2013)", (2013, 1, 1), (2013, 10, 31)),
+    ]
+    .into_iter()
+    .map(|(label, s, e)| {
+        (
+            label.to_owned(),
+            detector.analyse(
+                &archive,
+                scenario::silkroad(),
+                SimTime::from_ymd(s.0, s.1, s.2),
+                SimTime::from_ymd(e.0, e.1, e.2),
+            ),
+        )
+    })
+    .collect();
+    println!("{}", report::render_tracking(&TrackingReport { years }));
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.command == "tracking" {
+        run_tracking(args.seed);
+        return ExitCode::SUCCESS;
+    }
+    const COMMANDS: &[&str] = &[
+        "study", "fig1", "table1", "fig2", "table2", "fig3", "certs", "sec5",
+    ];
+    if !COMMANDS.contains(&args.command.as_str()) {
+        eprintln!("unknown command {:?}\n{}", args.command, usage());
+        return ExitCode::FAILURE;
+    }
+
+    let results = Study::new(study_config(&args)).run();
+    match args.command.as_str() {
+        "study" => {
+            println!("{}", report::render_fig1(&results.scan));
+            println!("{}", report::render_certs(&results.certs));
+            println!("{}", report::render_table1(&results.crawl));
+            println!("{}", report::render_funnel_and_languages(&results.crawl));
+            println!("{}", report::render_fig2(&results.crawl));
+            println!("{}", report::render_table2(&results.ranking, 30));
+            println!(
+                "{}",
+                report::render_sec5(&results.resolution, results.requested_published_share)
+            );
+            println!("{}", report::render_fig3(&results.deanon));
+        }
+        "fig1" => println!("{}", report::render_fig1(&results.scan)),
+        "table1" => println!("{}", report::render_table1(&results.crawl)),
+        "fig2" => {
+            println!("{}", report::render_funnel_and_languages(&results.crawl));
+            println!("{}", report::render_fig2(&results.crawl));
+        }
+        "table2" => println!("{}", report::render_table2(&results.ranking, 30)),
+        "fig3" => println!("{}", report::render_fig3(&results.deanon)),
+        "certs" => println!("{}", report::render_certs(&results.certs)),
+        "sec5" => println!(
+            "{}",
+            report::render_sec5(&results.resolution, results.requested_published_share)
+        ),
+        other => {
+            eprintln!("unknown command {other:?}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,214 @@
+//! Text rendering of every table and figure, shared by the examples
+//! and the benchmark binaries.
+
+use std::fmt::Write as _;
+
+use hs_content::{CertSurvey, CrawlReport};
+use hs_popularity::{Ranking, ResolutionReport};
+use hs_portscan::ScanReport;
+
+use crate::study::{DeanonReport, TrackingReport};
+
+/// Renders Fig. 1 (open-ports distribution) as an aligned text table.
+pub fn render_fig1(scan: &ScanReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 1 — Open ports distribution");
+    let _ = writeln!(out, "{:<16} {:>8}", "port", "open");
+    for (label, count) in scan.fig1_rows(50) {
+        let _ = writeln!(out, "{label:<16} {count:>8}");
+    }
+    let _ = writeln!(
+        out,
+        "total {} open ports on {} addresses ({} unique ports, coverage {:.0}%)",
+        scan.total_open(),
+        scan.with_descriptors,
+        scan.unique_ports(),
+        scan.coverage() * 100.0
+    );
+    out
+}
+
+/// Renders Table I (HTTP/HTTPS access per port).
+pub fn render_table1(crawl: &CrawlReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table I — HTTP and HTTPS access");
+    let _ = writeln!(out, "{:<10} {:>10}", "port", "# onions");
+    for (label, count) in crawl.table1_rows() {
+        let _ = writeln!(out, "{label:<10} {count:>10}");
+    }
+    let _ = writeln!(
+        out,
+        "attempted {} → still open {} → connected {}",
+        crawl.attempted, crawl.still_open, crawl.connected
+    );
+    out
+}
+
+/// Renders the Sec. IV exclusion funnel and language histogram.
+pub fn render_funnel_and_languages(crawl: &CrawlReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Sec. IV funnel:");
+    let _ = writeln!(
+        out,
+        "  connected {} | errors {} | short {} (ssh {}) | 443-dups {} | classified {}",
+        crawl.connected,
+        crawl.excluded_errors,
+        crawl.excluded_short,
+        crawl.ssh_banners,
+        crawl.excluded_mirrors,
+        crawl.classified.len()
+    );
+    let total = crawl.classified.len().max(1);
+    let _ = writeln!(out, "Languages ({} classified pages):", crawl.classified.len());
+    for (lang, count) in crawl.language_histogram() {
+        let _ = writeln!(
+            out,
+            "  {:<4} {:>6}  ({:.1}%)",
+            lang.code(),
+            count,
+            100.0 * f64::from(count) / total as f64
+        );
+    }
+    out
+}
+
+/// Renders Fig. 2 (topic distribution).
+pub fn render_fig2(crawl: &CrawlReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 2 — Topics distribution ({} English non-default pages; {} TorHost defaults removed)",
+        crawl.topic_classified_count(),
+        crawl.torhost_count()
+    );
+    for (topic, count, pct) in crawl.fig2_rows() {
+        let bar = "#".repeat((pct.round() as usize).min(40));
+        let _ = writeln!(out, "{:<18} {count:>5} {pct:>5.1}% {bar}", topic.label());
+    }
+    out
+}
+
+/// Renders Table II (popularity ranking), `n` rows.
+pub fn render_table2(ranking: &Ranking, n: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table II — Ranking of most popular hidden services");
+    let _ = writeln!(out, "{:<5} {:>8}  {:<22} {}", "#", "RQSTS", "Addr", "Desc");
+    for row in ranking.top(n) {
+        let _ = writeln!(
+            out,
+            "{:<5} {:>8}  {:<22} {}",
+            row.rank,
+            row.requests,
+            row.onion.to_string(),
+            row.label
+        );
+    }
+    out
+}
+
+/// Renders the Sec. V resolution statistics.
+pub fn render_sec5(resolution: &ResolutionReport, requested_share: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Sec. V — Popularity measurement");
+    let _ = writeln!(out, "  total requests        {:>10}", resolution.total_requests);
+    let _ = writeln!(out, "  unique descriptor IDs {:>10}", resolution.unique_desc_ids);
+    let _ = writeln!(out, "  resolved IDs          {:>10}", resolution.resolved_desc_ids);
+    let _ = writeln!(out, "  resolved onions       {:>10}", resolution.resolved_onions);
+    let _ = writeln!(
+        out,
+        "  phantom request share {:>9.1}%",
+        resolution.phantom_share() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  published services ever requested {:>5.1}%",
+        requested_share * 100.0
+    );
+    out
+}
+
+/// Renders the Sec. III certificate survey.
+pub fn render_certs(certs: &CertSurvey) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Sec. III — HTTPS certificates");
+    let _ = writeln!(out, "  HTTPS destinations           {:>6}", certs.https_destinations);
+    let _ = writeln!(out, "  self-signed, CN mismatch     {:>6}", certs.self_signed_mismatch);
+    let _ = writeln!(out, "  … with the TorHost CN        {:>6}", certs.torhost_cn);
+    let _ = writeln!(out, "  clearnet DNS CN (deanon.)    {:>6}", certs.clearnet_dns);
+    let _ = writeln!(out, "  matching onion CN            {:>6}", certs.matching_onion);
+    for (onion, name) in certs.deanonymised.iter().take(5) {
+        let _ = writeln!(out, "    {onion} → {name}");
+    }
+    out
+}
+
+/// Renders the Fig. 3 client map.
+pub fn render_fig3(deanon: &DeanonReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 3 — Clients of {} ({} unique clients, {} countries; expected catch rate {:.1}%/fetch)",
+        deanon.target,
+        deanon.unique_clients,
+        deanon.geomap.country_count(),
+        deanon.expected_rate * 100.0
+    );
+    out.push_str(&deanon.geomap.ascii_map());
+    out.push('\n');
+    for (code, name, count) in deanon.geomap.rows().iter().take(12) {
+        let _ = writeln!(out, "  {code} {name:<18} {count:>5}");
+    }
+    out
+}
+
+/// Renders the Sec. VII per-year tracking findings.
+pub fn render_tracking(tracking: &TrackingReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Sec. VII — Tracking detection (Silk Road)");
+    for (label, analysis) in &tracking.years {
+        let trackers = analysis.trackers();
+        let _ = writeln!(
+            out,
+            "{label}: mean HSDirs {:.0}, {} suspicious server(s), {} tracker(s)",
+            analysis.mean_hsdirs,
+            analysis.suspicious().len(),
+            trackers.len()
+        );
+        for t in trackers.iter().take(8) {
+            let _ = writeln!(
+                out,
+                "  {} ({}): responsible {}x (μ={:.2}, σ={:.2}), ratio {:.0}, switches {} ({} pre-responsibility), rules {:?}",
+                t.key.ip,
+                t.nicknames.join(","),
+                t.responsible_days.len(),
+                t.expected,
+                t.sigma,
+                t.max_ratio,
+                t.fingerprint_switches,
+                t.switches_before_responsible,
+                t.suspicions
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{Study, StudyConfig};
+
+    #[test]
+    fn all_renderers_produce_output() {
+        let report = Study::new(StudyConfig::test_scale()).run();
+        assert!(render_fig1(&report.scan).contains("Fig. 1"));
+        assert!(render_table1(&report.crawl).contains("Table I"));
+        assert!(render_funnel_and_languages(&report.crawl).contains("Languages"));
+        assert!(render_fig2(&report.crawl).contains("Fig. 2"));
+        assert!(render_table2(&report.ranking, 30).contains("Table II"));
+        assert!(render_sec5(&report.resolution, report.requested_published_share)
+            .contains("phantom"));
+        assert!(render_certs(&report.certs).contains("HTTPS"));
+        assert!(render_fig3(&report.deanon).contains("Fig. 3"));
+    }
+}

@@ -1,0 +1,307 @@
+//! The end-to-end study pipeline: everything the paper did, in order,
+//! against one simulated network.
+
+use onion_crypto::onion::OnionAddress;
+use tor_sim::clock::SimTime;
+use tor_sim::network::NetworkBuilder;
+
+use hs_content::{CertSurvey, CrawlReport, Crawler};
+use hs_deanon::{DeanonAttack, DeanonConfig, GeoMap};
+use hs_harvest::{HarvestConfig, HarvestOutcome, Harvester};
+use hs_popularity::{
+    ranking::requested_published_share, BotnetForensics, Ranking, ResolutionReport, Resolver,
+    TrafficConfig, TrafficDriver,
+};
+use hs_portscan::{ScanConfig, ScanReport, Scanner};
+use hs_tracking::{
+    scenario, ConsensusArchive, DetectorConfig, HistoryConfig, TrackingAnalysis,
+    TrackingDetector,
+};
+use hs_world::{GeoDb, World, WorldConfig};
+
+/// Study parameters.
+#[derive(Clone, Debug)]
+pub struct StudyConfig {
+    /// Deterministic seed for the whole study.
+    pub seed: u64,
+    /// World scale (1.0 = the paper's 39,824 addresses).
+    pub scale: f64,
+    /// Honest relay population.
+    pub relays: usize,
+    /// Harvesting-attack parameters.
+    pub harvest: HarvestConfig,
+    /// Port-scan days.
+    pub scan_days: usize,
+    /// Client pool size for request traffic.
+    pub traffic_clients: usize,
+    /// Client-deanonymisation parameters.
+    pub deanon: DeanonConfig,
+    /// Hours the dedicated Sec. VI deanonymisation window runs after
+    /// the harvest.
+    pub deanon_hours: u64,
+    /// Run the (expensive) 3-year tracking analysis.
+    pub run_tracking: bool,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            seed: 0x2013_0204,
+            scale: 1.0,
+            relays: 1_400,
+            harvest: HarvestConfig::default(),
+            scan_days: 7,
+            traffic_clients: 500,
+            deanon: DeanonConfig::default(),
+            deanon_hours: 48,
+            run_tracking: true,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// A configuration small enough for unit tests (~1 % scale).
+    pub fn test_scale() -> Self {
+        StudyConfig {
+            scale: 0.01,
+            relays: 120,
+            harvest: HarvestConfig {
+                fleet: hs_harvest::FleetConfig {
+                    ips: 8,
+                    relays_per_ip: 8,
+                    bandwidth: 300,
+                },
+                warmup_hours: 26,
+                rotation_hours: 2,
+            },
+            scan_days: 3,
+            traffic_clients: 60,
+            deanon_hours: 24,
+            run_tracking: false,
+            ..StudyConfig::default()
+        }
+    }
+}
+
+/// Sec. VI results.
+#[derive(Debug)]
+pub struct DeanonReport {
+    /// The attacked service.
+    pub target: OnionAddress,
+    /// Unique client IPs deanonymised.
+    pub unique_clients: u32,
+    /// Analytic per-fetch catch probability.
+    pub expected_rate: f64,
+    /// Country census of the caught clients (Fig. 3).
+    pub geomap: GeoMap,
+}
+
+/// Sec. VII results: one analysis per calendar year.
+#[derive(Debug)]
+pub struct TrackingReport {
+    /// (label, analysis) per year.
+    pub years: Vec<(String, TrackingAnalysis)>,
+}
+
+/// Everything the study measured.
+#[derive(Debug)]
+pub struct StudyReport {
+    /// The generated ground-truth world.
+    pub world: World,
+    /// Sec. II: harvesting outcome.
+    pub harvest: HarvestOutcome,
+    /// Sec. III: the port scan (Fig. 1).
+    pub scan: ScanReport,
+    /// Sec. III: the certificate survey.
+    pub certs: CertSurvey,
+    /// Sec. IV: crawl funnel, Table I, languages, Fig. 2.
+    pub crawl: CrawlReport,
+    /// Sec. V: descriptor-request resolution.
+    pub resolution: ResolutionReport,
+    /// Sec. V: Table II.
+    pub ranking: Ranking,
+    /// Sec. V: Goldnet server-status forensics.
+    pub forensics: BotnetForensics,
+    /// Sec. V: share of published services ever requested.
+    pub requested_published_share: f64,
+    /// Sec. VI: client deanonymisation.
+    pub deanon: DeanonReport,
+    /// Sec. VII: tracking detection (when enabled).
+    pub tracking: Option<TrackingReport>,
+}
+
+/// The study driver.
+///
+/// # Examples
+///
+/// ```no_run
+/// use hs_landscape::{Study, StudyConfig};
+///
+/// let report = Study::new(StudyConfig::test_scale()).run();
+/// assert!(report.harvest.onion_count() > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Study {
+    config: StudyConfig,
+}
+
+impl Study {
+    /// Creates a study.
+    pub fn new(config: StudyConfig) -> Self {
+        Study { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline.
+    pub fn run(&self) -> StudyReport {
+        let cfg = &self.config;
+
+        // --- World and network -----------------------------------------
+        let world = World::generate(
+            WorldConfig::default()
+                .with_seed(cfg.seed)
+                .with_scale(cfg.scale),
+        );
+        let geo = GeoDb::new();
+        let mut net = NetworkBuilder::new()
+            .relays(cfg.relays)
+            .seed(cfg.seed)
+            .start(SimTime::from_ymd(2013, 2, 1))
+            .build();
+        world.register_all(&mut net);
+        // The attacker's guard relays run long before the measurement:
+        // victims' guard sets must have had the chance to include them.
+        let attacker_guards = DeanonAttack::preposition_guards(&mut net, &cfg.deanon);
+        net.advance_hours(1);
+
+        // --- Client traffic + deanonymisation target --------------------
+        let mut traffic = TrafficDriver::new(
+            &mut net,
+            &world,
+            &geo,
+            TrafficConfig { clients: cfg.traffic_clients, seed: cfg.seed ^ 0x7aff },
+        );
+        // --- Harvest (Sec. II) with live traffic (Sec. V) ---------------
+        let harvester = Harvester::new(cfg.harvest.clone());
+        let harvest = harvester.run(&mut net, |net| {
+            traffic.tick_hour(net);
+        });
+
+        // --- Client deanonymisation (Sec. VI), a dedicated window -------
+        // The paper ran this as its own experiment against one of the
+        // Goldnet front ends; deploying the trackers only *after* the
+        // harvest keeps the Sec. V popularity logs unbiased.
+        let target: OnionAddress = "uecbcfgfofuwkcrd".parse().expect("goldnet label");
+        let mut attack =
+            DeanonAttack::deploy_with_guards(&mut net, target, &cfg.deanon, attacker_guards);
+        for _ in 0..cfg.deanon_hours {
+            attack.reposition(&mut net);
+            net.advance_hours(1);
+            traffic.tick_hour(&mut net);
+        }
+        let observations = net.take_guard_observations();
+        let geomap = GeoMap::build(&geo, &observations);
+        let deanon = DeanonReport {
+            target,
+            unique_clients: geomap.total_clients(),
+            expected_rate: attack.expected_catch_rate(&net),
+            geomap,
+        };
+
+        // --- Port scan (Sec. III, Fig. 1) --------------------------------
+        let scanner = Scanner::new(ScanConfig {
+            days: cfg.scan_days,
+            ..ScanConfig::default()
+        });
+        let scan = scanner.run(&mut net, &world, &harvest.onions);
+
+        // --- Certificates (Sec. III) -------------------------------------
+        let https_onions: Vec<OnionAddress> = scan
+            .open_by_onion
+            .iter()
+            .filter(|(_, ports)| ports.contains(&443))
+            .map(|(&onion, _)| onion)
+            .collect();
+        let certs = CertSurvey::run(&world, https_onions);
+
+        // --- Crawl (Sec. IV, Table I, Fig. 2) ----------------------------
+        let crawler = Crawler::new();
+        let crawl = crawler.run(&world, &scan.crawl_destinations());
+
+        // --- Popularity (Sec. V, Table II) -------------------------------
+        let resolver = Resolver::build(
+            &harvest.onions,
+            SimTime::from_ymd(2013, 1, 28),
+            SimTime::from_ymd(2013, 2, 8),
+        );
+        let resolution = resolver.resolve_log(&harvest.requests);
+        let ranking = Ranking::build_normalized(&resolution, &world, &harvest.slot_hours);
+        let top_onions: Vec<OnionAddress> =
+            ranking.top(40).iter().map(|r| r.onion).collect();
+        let forensics = BotnetForensics::probe(&world, top_onions);
+        let requested_share = requested_published_share(&resolution, &world);
+
+        // --- Tracking detection (Sec. VII) -------------------------------
+        let tracking = cfg.run_tracking.then(|| {
+            let mut archive = ConsensusArchive::generate(&HistoryConfig {
+                seed: cfg.seed ^ 0x7ac,
+                ..HistoryConfig::default()
+            });
+            scenario::inject_all(&mut archive, scenario::silkroad());
+            let detector = TrackingDetector::new(DetectorConfig::default());
+            let years = [
+                ("year 1 (Feb–Dec 2011)", (2011, 2, 1), (2011, 12, 31)),
+                ("year 2 (2012)", (2012, 1, 1), (2012, 12, 31)),
+                ("year 3 (Jan–Oct 2013)", (2013, 1, 1), (2013, 10, 31)),
+            ]
+            .into_iter()
+            .map(|(label, s, e)| {
+                (
+                    label.to_owned(),
+                    detector.analyse(
+                        &archive,
+                        scenario::silkroad(),
+                        SimTime::from_ymd(s.0, s.1, s.2),
+                        SimTime::from_ymd(e.0, e.1, e.2),
+                    ),
+                )
+            })
+            .collect();
+            TrackingReport { years }
+        });
+
+        StudyReport {
+            world,
+            harvest,
+            scan,
+            certs,
+            crawl,
+            resolution,
+            ranking,
+            forensics,
+            requested_published_share: requested_share,
+            deanon,
+            tracking,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_scale_study_runs_end_to_end() {
+        let report = Study::new(StudyConfig::test_scale()).run();
+        assert!(report.harvest.onion_count() > 50, "harvest crop");
+        assert!(report.scan.total_open() > 0, "scan found ports");
+        assert!(!report.crawl.classified.is_empty(), "pages classified");
+        assert!(report.resolution.total_requests > 0, "requests logged");
+        assert!(!report.ranking.rows().is_empty(), "ranking built");
+        assert!(report.tracking.is_none(), "tracking disabled at test scale");
+    }
+}

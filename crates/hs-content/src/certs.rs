@@ -1,0 +1,130 @@
+//! HTTPS certificate survey (Sec. III).
+//!
+//! During the port scan the paper collected TLS certificates from every
+//! port-443 destination and found: 1,225 self-signed certificates whose
+//! common name did not match the requested host; 1,168 of those carried
+//! the TorHost shared name `esjqyk2khizsy43i.onion`; and 34 certificates
+//! carried the operator's *public DNS* name — deanonymising the service.
+
+use onion_crypto::onion::OnionAddress;
+
+use hs_world::{CertKind, Certificate, World};
+
+/// Survey results over all HTTPS destinations.
+#[derive(Clone, Debug, Default)]
+pub struct CertSurvey {
+    /// Destinations that presented a certificate.
+    pub https_destinations: u32,
+    /// Self-signed with mismatching common name (includes TorHost).
+    pub self_signed_mismatch: u32,
+    /// The TorHost shared certificate.
+    pub torhost_cn: u32,
+    /// Certificates carrying a clearnet DNS name (deanonymising).
+    pub clearnet_dns: u32,
+    /// Common name matches the onion address.
+    pub matching_onion: u32,
+    /// The deanonymised services and the DNS names that expose them.
+    pub deanonymised: Vec<(OnionAddress, String)>,
+}
+
+impl CertSurvey {
+    /// Runs the survey over the port-443 destinations found by the
+    /// scan.
+    pub fn run(world: &World, https_onions: impl IntoIterator<Item = OnionAddress>) -> Self {
+        let mut survey = CertSurvey::default();
+        for onion in https_onions {
+            let Some(service) = world.get(onion) else { continue };
+            let Some(cert) = service.certificate() else { continue };
+            survey.https_destinations += 1;
+            survey.tally(onion, &cert);
+        }
+        survey
+    }
+
+    fn tally(&mut self, onion: OnionAddress, cert: &Certificate) {
+        let requested_host = format!("{onion}");
+        let mismatch = cert.common_name != requested_host;
+        match cert.kind {
+            CertKind::TorHostCn => {
+                self.torhost_cn += 1;
+                self.self_signed_mismatch += 1;
+            }
+            CertKind::SelfSignedMismatch => {
+                debug_assert!(cert.self_signed && mismatch);
+                self.self_signed_mismatch += 1;
+            }
+            CertKind::ClearnetDns => {
+                self.clearnet_dns += 1;
+                self.deanonymised.push((onion, cert.common_name.clone()));
+            }
+            CertKind::MatchingOnion => {
+                debug_assert!(!mismatch);
+                self.matching_onion += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_world::{Role, WorldConfig};
+
+    fn survey_at(scale: f64) -> (CertSurvey, u32) {
+        let world = World::generate(WorldConfig { seed: 3, scale });
+        let https: Vec<OnionAddress> = world
+            .services()
+            .iter()
+            .filter(|s| {
+                matches!(s.role, Role::Web) && (s.web.https || s.web.https_only)
+            })
+            .map(|s| s.onion)
+            .collect();
+        let n = https.len() as u32;
+        (CertSurvey::run(&world, https), n)
+    }
+
+    #[test]
+    fn counts_sum_to_destinations() {
+        let (s, n) = survey_at(0.1);
+        assert_eq!(s.https_destinations, n);
+        assert_eq!(
+            s.self_signed_mismatch + s.clearnet_dns + s.matching_onion,
+            n
+        );
+    }
+
+    #[test]
+    fn torhost_is_subset_of_mismatch() {
+        let (s, _) = survey_at(0.1);
+        assert!(s.torhost_cn <= s.self_signed_mismatch);
+        assert!(s.torhost_cn > 0);
+    }
+
+    #[test]
+    fn shape_matches_paper() {
+        let (s, _) = survey_at(0.25);
+        // TorHost dominates the mismatching population (1168 of 1225).
+        assert!(s.torhost_cn as f64 / s.self_signed_mismatch as f64 > 0.9);
+        // Deanonymising certs are rare but present.
+        assert!(s.clearnet_dns > 0);
+        assert!(s.clearnet_dns < s.https_destinations / 10);
+        assert_eq!(s.deanonymised.len() as u32, s.clearnet_dns);
+    }
+
+    #[test]
+    fn deanonymised_names_are_clearnet() {
+        let (s, _) = survey_at(0.1);
+        for (_, name) in &s.deanonymised {
+            assert!(!name.ends_with(".onion"), "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_onions_skipped() {
+        let world = World::generate(WorldConfig { seed: 3, scale: 0.01 });
+        let ghost = OnionAddress::from_pubkey(b"ghost https");
+        let s = CertSurvey::run(&world, [ghost]);
+        assert_eq!(s.https_destinations, 0);
+    }
+}

@@ -1,0 +1,368 @@
+//! The HTTP(S) crawl and exclusion funnel of Sec. IV.
+//!
+//! Two months after the port scan the paper tried every non-55080
+//! destination (8,153), found 7,114 still open, connected to 6,579
+//! (Table I), and then excluded: error pages wrapped in HTML (73),
+//! pages with fewer than 20 words of text (2,348, of which 1,092 were
+//! SSH banners) and port-443 copies of port-80 content (1,108) —
+//! leaving 3,050 destinations for language detection and topic
+//! classification.
+
+use std::collections::{BTreeMap, HashMap};
+
+use onion_crypto::onion::OnionAddress;
+
+use hs_world::taxonomy::{Language, Topic};
+use hs_world::World;
+
+use crate::html::{strip_tags, word_count};
+use crate::langdetect::LanguageDetector;
+use crate::topics::TopicClassifier;
+
+/// One page that survived the funnel and was classified.
+#[derive(Clone, Debug)]
+pub struct ClassifiedPage {
+    /// The destination.
+    pub onion: OnionAddress,
+    /// The destination port.
+    pub port: u16,
+    /// Detected language.
+    pub language: Language,
+    /// Detected topic (only for English, non-TorHost pages).
+    pub topic: Option<Topic>,
+    /// Whether the page is the TorHost hosting default.
+    pub torhost_default: bool,
+    /// Word count of the stripped text.
+    pub words: usize,
+}
+
+/// Everything the crawl measured.
+#[derive(Clone, Debug, Default)]
+pub struct CrawlReport {
+    /// Destinations attempted (paper: 8,153).
+    pub attempted: usize,
+    /// Destinations still open (paper: 7,114).
+    pub still_open: usize,
+    /// Destinations connected via HTTP(S) (paper: 6,579).
+    pub connected: usize,
+    /// Connected destinations per port (Table I).
+    pub connected_by_port: BTreeMap<u16, u32>,
+    /// Excluded: HTML-wrapped error messages (paper: 73).
+    pub excluded_errors: usize,
+    /// Excluded: fewer than 20 words (paper: 2,348).
+    pub excluded_short: usize,
+    /// SSH banners within the short exclusions (paper: 1,092).
+    pub ssh_banners: usize,
+    /// Excluded: port-443 copies of port-80 content (paper: 1,108).
+    pub excluded_mirrors: usize,
+    /// Pages that survived and were classified (paper: 3,050).
+    pub classified: Vec<ClassifiedPage>,
+}
+
+impl CrawlReport {
+    /// Table I rows: connected destinations for ports 80, 443, 22,
+    /// 8080, and everything else aggregated.
+    pub fn table1_rows(&self) -> Vec<(String, u32)> {
+        let named = [80u16, 443, 22, 8080];
+        let mut rows: Vec<(String, u32)> = named
+            .iter()
+            .map(|p| (p.to_string(), *self.connected_by_port.get(p).unwrap_or(&0)))
+            .collect();
+        let other: u32 = self
+            .connected_by_port
+            .iter()
+            .filter(|(p, _)| !named.contains(p))
+            .map(|(_, c)| *c)
+            .sum();
+        rows.push(("Other".to_owned(), other));
+        rows
+    }
+
+    /// Language histogram over classified pages, descending.
+    pub fn language_histogram(&self) -> Vec<(Language, u32)> {
+        let mut counts: HashMap<Language, u32> = HashMap::new();
+        for p in &self.classified {
+            *counts.entry(p.language).or_insert(0) += 1;
+        }
+        let mut rows: Vec<_> = counts.into_iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1));
+        rows
+    }
+
+    /// Number of classified pages detected as English.
+    pub fn english_count(&self) -> usize {
+        self.classified
+            .iter()
+            .filter(|p| p.language == Language::English)
+            .count()
+    }
+
+    /// English pages showing the TorHost default (paper: 805).
+    pub fn torhost_count(&self) -> usize {
+        self.classified.iter().filter(|p| p.torhost_default).count()
+    }
+
+    /// Fig. 2: topic histogram over English, non-TorHost pages, as
+    /// (topic, count, percent) in [`Topic::ALL`] order.
+    pub fn fig2_rows(&self) -> Vec<(Topic, u32, f64)> {
+        let mut counts: HashMap<Topic, u32> = HashMap::new();
+        let mut total = 0u32;
+        for p in &self.classified {
+            if let Some(t) = p.topic {
+                *counts.entry(t).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        Topic::ALL
+            .iter()
+            .map(|&t| {
+                let c = *counts.get(&t).unwrap_or(&0);
+                let pct = if total == 0 {
+                    0.0
+                } else {
+                    100.0 * f64::from(c) / f64::from(total)
+                };
+                (t, c, pct)
+            })
+            .collect()
+    }
+
+    /// Number of pages that entered topic classification (paper: 1,813).
+    pub fn topic_classified_count(&self) -> usize {
+        self.classified.iter().filter(|p| p.topic.is_some()).count()
+    }
+}
+
+/// The crawler: fetches every destination, applies the funnel, runs
+/// the classifiers.
+#[derive(Debug, Default)]
+pub struct Crawler {
+    detector: LanguageDetector,
+    classifier: TopicClassifier,
+}
+
+impl Crawler {
+    /// Creates a crawler with freshly trained classifiers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs the crawl over the scan's destinations.
+    pub fn run(&self, world: &World, destinations: &[(OnionAddress, u16)]) -> CrawlReport {
+        let mut report = CrawlReport {
+            attempted: destinations.len(),
+            ..CrawlReport::default()
+        };
+
+        // Fetch phase: which destinations are still open and connect.
+        struct Fetched {
+            onion: OnionAddress,
+            port: u16,
+            status: u16,
+            body: String,
+        }
+        let mut fetched: Vec<Fetched> = Vec::new();
+        for &(onion, port) in destinations {
+            let Some(service) = world.get(onion) else { continue };
+            if !service.alive_at_crawl {
+                continue;
+            }
+            report.still_open += 1;
+            if !service.connects_at_crawl {
+                continue;
+            }
+            let Some(page) = service.render_page(port) else {
+                continue;
+            };
+            report.connected += 1;
+            *report.connected_by_port.entry(port).or_insert(0) += 1;
+            fetched.push(Fetched { onion, port, status: page.status, body: page.body });
+        }
+
+        // Index port-80/8080 bodies to detect 443 mirrors.
+        let mut http_bodies: HashMap<OnionAddress, &str> = HashMap::new();
+        for f in &fetched {
+            if f.port == 80 || f.port == 8080 {
+                http_bodies.insert(f.onion, &f.body);
+            }
+        }
+
+        // Funnel + classification.
+        for f in &fetched {
+            let text = strip_tags(&f.body);
+            // 1. HTML-wrapped error messages (and HTTP error statuses).
+            if (f.status != 200 && f.status != 0) || text.starts_with("Error") {
+                report.excluded_errors += 1;
+                continue;
+            }
+            // 2. Fewer than 20 words (SSH banners fall in here).
+            let words = word_count(&text);
+            if words < 20 {
+                report.excluded_short += 1;
+                if f.body.starts_with("SSH-") {
+                    report.ssh_banners += 1;
+                }
+                continue;
+            }
+            // 3. Port-443 copies of port-80 content.
+            if f.port == 443 {
+                if let Some(http_body) = http_bodies.get(&f.onion) {
+                    if *http_body == f.body {
+                        report.excluded_mirrors += 1;
+                        continue;
+                    }
+                }
+            }
+            // Classification.
+            let language = self.detector.detect(&text);
+            let torhost_default = f.body.contains("TorHost free anonymous hosting");
+            let topic = (language == Language::English && !torhost_default)
+                .then(|| self.classifier.classify(&text));
+            report.classified.push(ClassifiedPage {
+                onion: f.onion,
+                port: f.port,
+                language,
+                topic,
+                torhost_default,
+                words,
+            });
+        }
+        report
+    }
+
+    /// Classification accuracy against the world's ground truth —
+    /// a diagnostic the paper could not compute on live data.
+    pub fn evaluate_against_truth(&self, world: &World, report: &CrawlReport) -> (f64, f64) {
+        let mut lang_ok = 0u32;
+        let mut lang_n = 0u32;
+        let mut topic_ok = 0u32;
+        let mut topic_n = 0u32;
+        for p in &report.classified {
+            let Some(s) = world.get(p.onion) else { continue };
+            if !matches!(s.role, hs_world::Role::Web) {
+                continue;
+            }
+            if !(s.web.torhost_default || s.web.short_page || s.web.error_page) {
+                lang_n += 1;
+                if s.web.language == p.language {
+                    lang_ok += 1;
+                }
+                if let Some(t) = p.topic {
+                    topic_n += 1;
+                    if s.web.topic == t {
+                        topic_ok += 1;
+                    }
+                }
+            }
+        }
+        (
+            if lang_n == 0 { 0.0 } else { f64::from(lang_ok) / f64::from(lang_n) },
+            if topic_n == 0 { 0.0 } else { f64::from(topic_ok) / f64::from(topic_n) },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_world::WorldConfig;
+
+    fn crawl_world(scale: f64) -> (World, CrawlReport, Crawler) {
+        let world = World::generate(WorldConfig { seed: 11, scale });
+        // Destinations: every open non-55080 port of every service (a
+        // perfect-coverage scan, adequate for funnel testing).
+        let destinations: Vec<(OnionAddress, u16)> = world
+            .services()
+            .iter()
+            .flat_map(|s| {
+                s.open_ports()
+                    .into_iter()
+                    .map(move |p| (s.onion, p))
+            })
+            .filter(|&(_, p)| p != hs_world::service::SKYNET_PORT)
+            .collect();
+        let crawler = Crawler::new();
+        let report = crawler.run(&world, &destinations);
+        (world, report, crawler)
+    }
+
+    #[test]
+    fn funnel_accounting_is_exact() {
+        let (_, r, _) = crawl_world(0.05);
+        assert_eq!(
+            r.connected,
+            r.excluded_errors + r.excluded_short + r.excluded_mirrors + r.classified.len()
+        );
+        assert!(r.still_open <= r.attempted);
+        assert!(r.connected <= r.still_open);
+    }
+
+    #[test]
+    fn table1_is_dominated_by_port_80() {
+        let (_, r, _) = crawl_world(0.05);
+        let rows = r.table1_rows();
+        assert_eq!(rows[0].0, "80");
+        assert!(rows[0].1 > rows[1].1, "{rows:?}");
+    }
+
+    #[test]
+    fn ssh_banners_inside_short_exclusions() {
+        let (_, r, _) = crawl_world(0.05);
+        assert!(r.ssh_banners > 0);
+        assert!(r.ssh_banners <= r.excluded_short);
+    }
+
+    #[test]
+    fn mirrors_excluded() {
+        let (_, r, _) = crawl_world(0.05);
+        assert!(r.excluded_mirrors > 0);
+        // No classified page is a 443 copy of its port-80 twin.
+        for p in r.classified.iter().filter(|p| p.port == 443) {
+            assert!(!r
+                .classified
+                .iter()
+                .any(|q| q.port == 80 && q.onion == p.onion && q.words == p.words));
+        }
+    }
+
+    #[test]
+    fn english_share_near_84_percent() {
+        let (_, r, _) = crawl_world(0.1);
+        let share = r.english_count() as f64 / r.classified.len() as f64;
+        assert!((0.78..0.92).contains(&share), "share {share}");
+    }
+
+    #[test]
+    fn torhost_defaults_detected() {
+        let (world, r, _) = crawl_world(0.1);
+        let truth = world
+            .services()
+            .iter()
+            .filter(|s| s.web.torhost_default && s.alive_at_crawl && s.connects_at_crawl)
+            .count();
+        let measured = r.torhost_count();
+        assert!(measured > 0);
+        let diff = (measured as i64 - truth as i64).abs();
+        assert!(diff <= truth as i64 / 10 + 2, "measured {measured}, truth {truth}");
+    }
+
+    #[test]
+    fn fig2_shape_adult_and_drugs_lead() {
+        let (_, r, _) = crawl_world(0.15);
+        let rows = r.fig2_rows();
+        let pct = |t: Topic| rows.iter().find(|(x, _, _)| *x == t).unwrap().2;
+        assert!(pct(Topic::Adult) > 10.0, "adult {}", pct(Topic::Adult));
+        assert!(pct(Topic::Drugs) > 8.0, "drugs {}", pct(Topic::Drugs));
+        assert!(pct(Topic::Sports) < pct(Topic::Adult));
+        let total: f64 = rows.iter().map(|(_, _, p)| p).sum();
+        assert!((99.0..101.0).contains(&total));
+    }
+
+    #[test]
+    fn classifier_accuracy_reasonable() {
+        let (world, r, crawler) = crawl_world(0.1);
+        let (lang_acc, topic_acc) = crawler.evaluate_against_truth(&world, &r);
+        assert!(lang_acc > 0.85, "language accuracy {lang_acc}");
+        assert!(topic_acc > 0.75, "topic accuracy {topic_acc}");
+    }
+}

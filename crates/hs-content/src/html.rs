@@ -1,0 +1,144 @@
+//! Minimal HTML handling: tag stripping, tokenisation and word
+//! counting — what the paper's crawler needed before feeding text to
+//! Langdetect and Mallet.
+
+/// Strips HTML tags and comments, returning the visible text.
+///
+/// This is a deliberately small state machine, not a spec-compliant
+/// parser: crawled hidden-service pages are fed through it only to
+/// recover word streams for classification.
+///
+/// # Examples
+///
+/// ```
+/// use hs_content::html::strip_tags;
+///
+/// assert_eq!(strip_tags("<p>hello <b>world</b></p>"), "hello world");
+/// assert_eq!(strip_tags("a<!-- comment -->b"), "ab");
+/// ```
+pub fn strip_tags(html: &str) -> String {
+    let mut out = String::with_capacity(html.len());
+    let mut chars = html.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        if c == '<' {
+            if html[i..].starts_with("<!--") {
+                // Skip until the end of the comment.
+                if let Some(end) = html[i..].find("-->") {
+                    let stop = i + end + 3;
+                    while chars.peek().is_some_and(|&(j, _)| j < stop) {
+                        chars.next();
+                    }
+                } else {
+                    break; // unterminated comment swallows the rest
+                }
+            } else {
+                for (_, c2) in chars.by_ref() {
+                    if c2 == '>' {
+                        break;
+                    }
+                }
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    collapse_whitespace(&out)
+}
+
+fn collapse_whitespace(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for c in s.chars() {
+        if c.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            out.push(c);
+            last_space = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Splits text into lowercase word tokens (alphabetic runs; CJK and
+/// other non-alphabetic scripts fall out as single characters, which is
+/// adequate for the n-gram language detector).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            if c.is_ascii() {
+                cur.push(c.to_ascii_lowercase());
+            } else {
+                cur.extend(c.to_lowercase());
+            }
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Counts natural-language words in stripped text — the statistic the
+/// paper's 20-word exclusion rule is based on.
+pub fn word_count(text: &str) -> usize {
+    tokenize(text).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_nested_tags() {
+        assert_eq!(
+            strip_tags("<html><body><h1>Title</h1><p>one two</p></body></html>"),
+            "Titleone two"
+        );
+    }
+
+    #[test]
+    fn strips_comments() {
+        assert_eq!(strip_tags("x <!-- <b>hidden</b> --> y"), "x y");
+        // Unterminated comment drops the remainder rather than leaking it.
+        assert_eq!(strip_tags("x <!-- open"), "x");
+    }
+
+    #[test]
+    fn collapses_whitespace() {
+        assert_eq!(strip_tags("a\n\n   b\t c  "), "a b c");
+    }
+
+    #[test]
+    fn tokenize_lowercases_and_splits() {
+        assert_eq!(tokenize("Hello, WORLD! x2"), vec!["hello", "world", "x2"]);
+        assert!(tokenize("...").is_empty());
+    }
+
+    #[test]
+    fn tokenize_handles_unicode() {
+        assert_eq!(tokenize("Füße über"), vec!["füße", "über"]);
+        assert_eq!(tokenize("русский язык"), vec!["русский", "язык"]);
+    }
+
+    #[test]
+    fn word_count_matches_rule() {
+        let page = "<html><body>one two three four five</body></html>";
+        assert_eq!(word_count(&strip_tags(page)), 5);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(strip_tags(""), "");
+        assert_eq!(word_count(""), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Content analysis of Tor hidden services (Sec. III–IV of Biryukov et
+//! al., ICDCS 2014): crawling, the exclusion funnel, language
+//! detection, topic classification and the HTTPS certificate survey.
+//!
+//! - [`html`] — tag stripping, tokenisation, word counting;
+//! - [`langdetect`] — character-trigram naive Bayes over 17 languages
+//!   (substituting the paper's Langdetect);
+//! - [`topics`] — multinomial naive Bayes over the 18 Fig. 2 topics
+//!   (substituting Mallet / uClassify);
+//! - [`certs`] — the Sec. III certificate survey;
+//! - [`crawl`] — the Sec. IV funnel producing Table I, the language
+//!   histogram and Fig. 2.
+//!
+//! # Examples
+//!
+//! ```
+//! use hs_content::{Crawler, LanguageDetector, TopicClassifier};
+//! use hs_world::taxonomy::{Language, Topic};
+//!
+//! let det = LanguageDetector::train_default();
+//! assert_eq!(det.detect("het is een pagina in het nederlands"), Language::Dutch);
+//!
+//! let clf = TopicClassifier::train_default();
+//! assert_eq!(clf.classify("escrow bitcoin mixer tumbler fee"), Topic::Services);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod certs;
+pub mod crawl;
+pub mod html;
+pub mod langdetect;
+pub mod topics;
+
+pub use certs::CertSurvey;
+pub use crawl::{ClassifiedPage, CrawlReport, Crawler};
+pub use langdetect::LanguageDetector;
+pub use topics::TopicClassifier;

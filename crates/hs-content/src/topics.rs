@@ -1,0 +1,240 @@
+//! Multinomial naive-Bayes topic classification over the 18 categories
+//! of Fig. 2, standing in for the paper's Mallet / uClassify setup.
+//!
+//! Training documents are synthesised from the per-topic seed
+//! vocabularies (70 % topic keywords, 30 % common English filler) with
+//! a dedicated RNG; world-generated pages mix keywords and filler with
+//! different proportions and an independent stream, so classification
+//! has honest errors at realistic rates.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use hs_world::lexicon;
+use hs_world::taxonomy::Topic;
+
+use crate::html::tokenize;
+
+/// A trained topic classifier.
+///
+/// # Examples
+///
+/// ```
+/// use hs_content::topics::TopicClassifier;
+/// use hs_world::taxonomy::Topic;
+///
+/// let clf = TopicClassifier::train_default();
+/// let page = "cannabis vendor escrow shipping stealth mdma marketplace";
+/// assert_eq!(clf.classify(page), Topic::Drugs);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TopicClassifier {
+    vocab: HashMap<String, usize>,
+    /// `log_lik[topic_idx][word_idx]`.
+    log_lik: Vec<Vec<f64>>,
+    log_prior: Vec<f64>,
+    /// Smoothed log-probability of an unseen word, per topic.
+    log_unseen: Vec<f64>,
+}
+
+impl TopicClassifier {
+    /// Trains on documents synthesised from the seed lexicons.
+    pub fn train_default() -> Self {
+        let mut rng = StdRng::seed_from_u64(0x70b1_c0de);
+        let docs = synth_training_docs(&mut rng, 40, 90);
+        Self::train(&docs)
+    }
+
+    /// Trains from labelled documents (token lists).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `docs` is empty.
+    pub fn train(docs: &[(Topic, Vec<String>)]) -> Self {
+        assert!(!docs.is_empty(), "training set must be nonempty");
+        let mut vocab: HashMap<String, usize> = HashMap::new();
+        for (_, words) in docs {
+            for w in words {
+                let next = vocab.len();
+                vocab.entry(w.clone()).or_insert(next);
+            }
+        }
+        let v = vocab.len();
+        let k = Topic::ALL.len();
+        let mut word_counts = vec![vec![0u32; v]; k];
+        let mut topic_words = vec![0u64; k];
+        let mut topic_docs = vec![0u32; k];
+        for (topic, words) in docs {
+            let t = topic_index(*topic);
+            topic_docs[t] += 1;
+            for w in words {
+                let wi = vocab[w];
+                word_counts[t][wi] += 1;
+                topic_words[t] += 1;
+            }
+        }
+        let total_docs: u32 = topic_docs.iter().sum();
+        // Topics with no training documents are impossible, not merely
+        // unlikely — otherwise their flat unseen-word likelihood can
+        // out-score every trained topic on partially-novel text.
+        let log_prior = topic_docs
+            .iter()
+            .map(|&d| {
+                if d == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    (f64::from(d) / f64::from(total_docs)).ln()
+                }
+            })
+            .collect();
+        let mut log_lik = vec![vec![0.0f64; v]; k];
+        let mut log_unseen = vec![0.0f64; k];
+        for t in 0..k {
+            let denom = topic_words[t] as f64 + v as f64;
+            for wi in 0..v {
+                log_lik[t][wi] = ((f64::from(word_counts[t][wi]) + 1.0) / denom).ln();
+            }
+            log_unseen[t] = (1.0 / denom).ln();
+        }
+        TopicClassifier { vocab, log_lik, log_prior, log_unseen }
+    }
+
+    /// Classifies text into its most likely topic.
+    pub fn classify(&self, text: &str) -> Topic {
+        let scores = self.scores(text);
+        let mut best = 0usize;
+        for (i, &s) in scores.iter().enumerate() {
+            if s > scores[best] {
+                best = i;
+            }
+        }
+        Topic::ALL[best]
+    }
+
+    /// Per-topic log scores, indexed like [`Topic::ALL`].
+    pub fn scores(&self, text: &str) -> Vec<f64> {
+        let tokens = tokenize(text);
+        Topic::ALL
+            .iter()
+            .enumerate()
+            .map(|(t, _)| {
+                let mut s = self.log_prior[t];
+                for w in &tokens {
+                    s += match self.vocab.get(w) {
+                        Some(&wi) => self.log_lik[t][wi],
+                        None => self.log_unseen[t],
+                    };
+                }
+                s
+            })
+            .collect()
+    }
+
+    /// Vocabulary size (diagnostic).
+    pub fn vocab_len(&self) -> usize {
+        self.vocab.len()
+    }
+}
+
+impl Default for TopicClassifier {
+    fn default() -> Self {
+        Self::train_default()
+    }
+}
+
+fn topic_index(topic: Topic) -> usize {
+    Topic::ALL.iter().position(|&t| t == topic).expect("topic in ALL")
+}
+
+/// Synthesises `docs_per_topic` training documents of `words_per_doc`
+/// words for every topic.
+pub fn synth_training_docs(
+    rng: &mut StdRng,
+    docs_per_topic: usize,
+    words_per_doc: usize,
+) -> Vec<(Topic, Vec<String>)> {
+    let filler = lexicon::ENGLISH_FILLER;
+    let mut docs = Vec::with_capacity(Topic::ALL.len() * docs_per_topic);
+    for topic in Topic::ALL {
+        let kw = lexicon::topic_keywords(topic);
+        for _ in 0..docs_per_topic {
+            let words = (0..words_per_doc)
+                .map(|_| {
+                    let pool = if rng.random::<f64>() < 0.7 { kw } else { filler };
+                    pool[rng.random_range(0..pool.len())].to_owned()
+                })
+                .collect();
+            docs.push((topic, words));
+        }
+    }
+    docs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_world::service::sample_words;
+    use hs_world::taxonomy::Language;
+
+    #[test]
+    fn classifies_obvious_pages() {
+        let clf = TopicClassifier::train_default();
+        assert_eq!(
+            clf.classify("pistol rifle ammunition caliber rounds tactical"),
+            Topic::Weapons
+        );
+        assert_eq!(
+            clf.classify("chess poker lottery tournament player jackpot dice"),
+            Topic::Games
+        );
+        assert_eq!(
+            clf.classify("freedom speech corruption censorship human rights leak"),
+            Topic::Politics
+        );
+    }
+
+    #[test]
+    fn accuracy_on_generated_pages() {
+        let clf = TopicClassifier::train_default();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut correct = 0u32;
+        let mut total = 0u32;
+        for topic in Topic::ALL {
+            for _ in 0..15 {
+                let words = sample_words(Language::English, topic, 150, &mut rng);
+                if clf.classify(&words.join(" ")) == topic {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        let acc = f64::from(correct) / f64::from(total);
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn unseen_words_do_not_panic() {
+        let clf = TopicClassifier::train_default();
+        let _ = clf.classify("zzyzx quux flibbertigibbet");
+    }
+
+    #[test]
+    fn train_on_custom_corpus() {
+        let docs = vec![
+            (Topic::Art, vec!["painting".to_owned(), "canvas".to_owned()]),
+            (Topic::Science, vec!["quantum".to_owned(), "theorem".to_owned()]),
+        ];
+        let clf = TopicClassifier::train(&docs);
+        assert_eq!(clf.classify("a beautiful painting on canvas"), Topic::Art);
+        assert_eq!(clf.classify("a quantum theorem"), Topic::Science);
+        assert!(clf.vocab_len() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "training set must be nonempty")]
+    fn empty_training_panics() {
+        let _ = TopicClassifier::train(&[]);
+    }
+}

@@ -1,0 +1,276 @@
+//! Opportunistic deanonymisation of hidden-service clients (Sec. VI).
+//!
+//! The attacker (1) controls the responsible HSDirs of the target
+//! service — by brute-forcing relay fingerprints just past the
+//! service's daily descriptor IDs — and (2) runs a set of entry
+//! guards. Each descriptor response from an attacker HSDir is wrapped
+//! in a traffic signature; whenever the requesting client's entry
+//! guard happens to be one of the attacker's, the guard sees the
+//! signature and reads the client's IP address directly off the
+//! connection.
+
+use onion_crypto::descriptor::DescriptorId;
+use onion_crypto::identity::{Fingerprint, SimIdentity};
+use onion_crypto::onion::OnionAddress;
+use onion_crypto::u160::U160;
+
+use tor_sim::cells::TrafficSignature;
+use tor_sim::clock::{DAY, HOUR};
+use tor_sim::flags::RelayFlags;
+use tor_sim::network::Network;
+use tor_sim::relay::{Ipv4, Operator, RelayId};
+
+/// Attack parameters.
+#[derive(Clone, Debug)]
+pub struct DeanonConfig {
+    /// Number of attacker guard relays.
+    pub guards: u32,
+    /// Bandwidth of each attacker guard (kB/s) — drives the share of
+    /// victim guard sets the attacker lands in.
+    pub guard_bandwidth: u64,
+    /// The cell signature armed on the attacker HSDirs.
+    pub signature: TrafficSignature,
+}
+
+impl Default for DeanonConfig {
+    fn default() -> Self {
+        DeanonConfig {
+            guards: 4,
+            guard_bandwidth: 5_000,
+            signature: TrafficSignature::default(),
+        }
+    }
+}
+
+/// The deployed attack.
+#[derive(Debug)]
+pub struct DeanonAttack {
+    target: OnionAddress,
+    guard_relays: Vec<RelayId>,
+    hsdir_relays: Vec<RelayId>,
+}
+
+impl DeanonAttack {
+    /// Creates the attacker's guard relays, backdated past the
+    /// Guard-flag uptime threshold (a real attacker simply waits
+    /// 8 days). Guards must be running *before* victims build their
+    /// guard sets — the attack is opportunistic: it catches the
+    /// clients whose long-lived guard choice already fell on the
+    /// attacker.
+    pub fn preposition_guards(net: &mut Network, config: &DeanonConfig) -> Vec<RelayId> {
+        let now = net.time();
+        let mut guard_relays = Vec::with_capacity(config.guards as usize);
+        for g in 0..config.guards {
+            let fp = Fingerprint::from_digest(onion_crypto::sha1::Sha1::digest(
+                format!("deanon guard {g}").as_bytes(),
+            ));
+            let id = net.add_relay(
+                format!("fastguard{g}"),
+                Ipv4::new(203, 0, 113, 10 + g as u8),
+                9001,
+                SimIdentity::forge(fp),
+                config.guard_bandwidth,
+                Operator::Harvester,
+            );
+            net.relay_mut(id).last_restart = now - 30 * DAY;
+            guard_relays.push(id);
+        }
+        net.revote();
+        guard_relays
+    }
+
+    /// Deploys attacker guards and HSDir trackers against `target`.
+    ///
+    /// Convenience wrapper: prepositions guards and immediately deploys
+    /// the trackers. When victims' guard sets already exist, call
+    /// [`DeanonAttack::preposition_guards`] first (before the victims
+    /// appear) and finish with [`DeanonAttack::deploy_with_guards`].
+    pub fn deploy(net: &mut Network, target: OnionAddress, config: &DeanonConfig) -> Self {
+        let guards = Self::preposition_guards(net, config);
+        Self::deploy_with_guards(net, target, config, guards)
+    }
+
+    /// Deploys the 6 HSDir tracker relays (26 h backdated uptime,
+    /// fingerprints just past the target's current descriptor IDs),
+    /// arms the traffic signature, and takes ownership of the
+    /// prepositioned `guard_relays`. Call [`DeanonAttack::reposition`]
+    /// whenever the service's time period changes.
+    pub fn deploy_with_guards(
+        net: &mut Network,
+        target: OnionAddress,
+        config: &DeanonConfig,
+        guard_relays: Vec<RelayId>,
+    ) -> Self {
+        let now = net.time();
+        let mut hsdir_relays = Vec::with_capacity(6);
+        for h in 0..6u32 {
+            let fp = Fingerprint::from_digest(onion_crypto::sha1::Sha1::digest(
+                format!("deanon hsdir {h}").as_bytes(),
+            ));
+            let id = net.add_relay(
+                format!("tracker{h}"),
+                Ipv4::new(203, 0, 114, 10 + h as u8),
+                9001,
+                SimIdentity::forge(fp),
+                800,
+                Operator::Harvester,
+            );
+            net.relay_mut(id).last_restart = now - 26 * HOUR;
+            hsdir_relays.push(id);
+        }
+
+        net.arm_signature(target, config.signature.clone());
+        let mut attack = DeanonAttack { target, guard_relays, hsdir_relays };
+        attack.reposition(net);
+        net.revote();
+        attack
+    }
+
+    /// The attacked service.
+    pub fn target(&self) -> OnionAddress {
+        self.target
+    }
+
+    /// The attacker's guard relays.
+    pub fn guards(&self) -> &[RelayId] {
+        &self.guard_relays
+    }
+
+    /// The attacker's HSDir tracker relays.
+    pub fn hsdirs(&self) -> &[RelayId] {
+        &self.hsdir_relays
+    }
+
+    /// Rotates the tracker relays' fingerprints to sit immediately
+    /// after the target's current descriptor IDs (3 per replica) —
+    /// exactly the behaviour the Sec. VII detector later finds in the
+    /// consensus archive.
+    pub fn reposition(&mut self, net: &mut Network) {
+        let ids = DescriptorId::pair_at(self.target, net.time().unix());
+        for (r, &relay) in self.hsdir_relays.iter().enumerate() {
+            let replica = r / 3;
+            let slot = (r % 3) as u64;
+            let pos = ids[replica]
+                .to_u160()
+                .wrapping_add(U160::from_u64(slot + 1));
+            let identity = SimIdentity::forge(Fingerprint::from_digest(pos.into()));
+            net.relay_mut(relay).rotate_identity(identity);
+        }
+        net.revote();
+    }
+
+    /// Probability that a *single* descriptor fetch is caught: the
+    /// chance the victim's circuit uses an attacker guard, estimated
+    /// from consensus guard bandwidth (guard sets are sampled
+    /// bandwidth-weighted).
+    pub fn expected_catch_rate(&self, net: &Network) -> f64 {
+        let total: u64 = net.consensus().guard_bandwidth();
+        if total == 0 {
+            return 0.0;
+        }
+        let ours: u64 = self
+            .guard_relays
+            .iter()
+            .filter_map(|&r| net.consensus().entry(net.relay(r).fingerprint()))
+            .filter(|e| e.flags.contains(RelayFlags::GUARD))
+            .map(|e| e.bandwidth)
+            .sum();
+        ours as f64 / total as f64
+    }
+
+    /// Whether the attacker currently holds all six responsible HSDir
+    /// slots of the target.
+    pub fn controls_responsible_set(&self, net: &Network) -> bool {
+        let responsible = net
+            .consensus()
+            .responsible_for_service(self.target, net.time().unix());
+        responsible.len() == 6
+            && responsible
+                .iter()
+                .all(|e| self.hsdir_relays.contains(&e.relay))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tor_sim::clock::SimTime;
+    use tor_sim::network::{FetchOutcome, NetworkBuilder};
+
+    fn setup() -> (Network, DeanonAttack, OnionAddress) {
+        let mut net = NetworkBuilder::new()
+            .relays(120)
+            .seed(31)
+            .start(SimTime::from_ymd(2013, 2, 1))
+            .build();
+        let target = OnionAddress::from_pubkey(b"watched hidden service");
+        net.register_service(target, true);
+        net.advance_hours(1);
+        let attack = DeanonAttack::deploy(&mut net, target, &DeanonConfig::default());
+        net.advance_hours(1);
+        (net, attack, target)
+    }
+
+    #[test]
+    fn trackers_take_all_six_slots() {
+        let (net, attack, _) = setup();
+        assert!(attack.controls_responsible_set(&net));
+    }
+
+    #[test]
+    fn guards_enter_consensus_with_guard_flag() {
+        let (net, attack, _) = setup();
+        for &g in attack.guards() {
+            let entry = net
+                .consensus()
+                .entry(net.relay(g).fingerprint())
+                .expect("guard listed");
+            assert!(entry.flags.contains(RelayFlags::GUARD));
+        }
+    }
+
+    #[test]
+    fn victims_with_attacker_guard_are_deanonymised() {
+        let (mut net, attack, target) = setup();
+        let mut caught = 0u32;
+        let n = 60;
+        for i in 0..n {
+            let ip = Ipv4::new(85, 1 + (i / 200) as u8, (i % 200) as u8 + 1, 9);
+            let client = net.add_client(ip);
+            assert_eq!(net.client_fetch(client, target), FetchOutcome::Found);
+        }
+        let observations = net.take_guard_observations();
+        for obs in &observations {
+            assert!(attack.guards().contains(&obs.guard));
+            assert_eq!(obs.onion, target);
+            caught += 1;
+        }
+        // The expected rate is the attacker's guard-bandwidth share;
+        // with 4 × 5000 kB/s guards it is well above zero.
+        let expected = attack.expected_catch_rate(&net);
+        assert!(expected > 0.02, "expected {expected}");
+        assert!(caught > 0, "some victims caught (expected ~{expected}/fetch)");
+    }
+
+    #[test]
+    fn repositioning_follows_rotation() {
+        let (mut net, mut attack, _) = setup();
+        assert!(attack.controls_responsible_set(&net));
+        net.advance_hours(25); // cross the period boundary
+        // After rotation, trackers point at stale positions...
+        attack.reposition(&mut net);
+        // ... until repositioned.
+        assert!(attack.controls_responsible_set(&net));
+    }
+
+    #[test]
+    fn fetch_for_other_services_not_observed() {
+        let (mut net, _attack, _) = setup();
+        let other = OnionAddress::from_pubkey(b"innocent service");
+        net.register_service(other, true);
+        net.advance_hours(1);
+        let client = net.add_client(Ipv4::new(9, 8, 7, 6));
+        let _ = net.client_fetch(client, other);
+        assert!(net.take_guard_observations().is_empty());
+    }
+}

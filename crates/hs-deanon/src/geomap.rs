@@ -1,0 +1,160 @@
+//! Geographic mapping of deanonymised clients (Fig. 3).
+//!
+//! The paper plotted the world-wide locations of clients of one of the
+//! Goldnet hidden services. We reproduce the same join — observed
+//! client IP → country — against the synthetic geolocation database,
+//! plus an ASCII world map for terminal output.
+
+use std::collections::HashMap;
+
+use tor_sim::network::GuardObservation;
+
+use hs_world::geo::{Country, GeoDb};
+
+/// The per-country census of deanonymised clients.
+#[derive(Clone, Debug, Default)]
+pub struct GeoMap {
+    /// (country code, country name, unique clients).
+    rows: Vec<(&'static str, &'static str, u32)>,
+    /// Country → representative coordinates and count (for plotting).
+    points: Vec<(f64, f64, u32)>,
+    /// Total unique client IPs mapped.
+    total: u32,
+}
+
+impl GeoMap {
+    /// Builds the map from guard observations (deduplicating client
+    /// IPs).
+    pub fn build(db: &GeoDb, observations: &[GuardObservation]) -> Self {
+        let mut unique_ips: Vec<_> = observations.iter().map(|o| o.client_ip).collect();
+        unique_ips.sort();
+        unique_ips.dedup();
+
+        let mut counts: HashMap<&'static str, (&'static Country, u32)> = HashMap::new();
+        for ip in &unique_ips {
+            let c = db.lookup(*ip);
+            counts.entry(c.code).or_insert((c, 0)).1 += 1;
+        }
+        let mut rows: Vec<_> = counts
+            .values()
+            .map(|(c, n)| (c.code, c.name, *n))
+            .collect();
+        rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+        let points = counts
+            .values()
+            .map(|(c, n)| (c.lat, c.lon, *n))
+            .collect();
+        GeoMap { rows, points, total: unique_ips.len() as u32 }
+    }
+
+    /// Country histogram rows, descending by client count.
+    pub fn rows(&self) -> &[(&'static str, &'static str, u32)] {
+        &self.rows
+    }
+
+    /// Total unique clients mapped.
+    pub fn total_clients(&self) -> u32 {
+        self.total
+    }
+
+    /// Number of countries with at least one client.
+    pub fn country_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders an ASCII world map (equirectangular projection) with
+    /// density markers: `.` 1+, `o` 5+, `O` 20+, `@` 100+ clients.
+    pub fn ascii_map(&self) -> String {
+        const W: usize = 72;
+        const H: usize = 24;
+        let mut grid = vec![vec![' '; W]; H];
+        for &(lat, lon, n) in &self.points {
+            let x = (((lon + 180.0) / 360.0) * (W as f64 - 1.0)).round() as usize;
+            let y = (((90.0 - lat) / 180.0) * (H as f64 - 1.0)).round() as usize;
+            let marker = match n {
+                0 => continue,
+                1..=4 => '.',
+                5..=19 => 'o',
+                20..=99 => 'O',
+                _ => '@',
+            };
+            grid[y.min(H - 1)][x.min(W - 1)] = marker;
+        }
+        let mut out = String::with_capacity((W + 1) * H);
+        out.push('+');
+        out.push_str(&"-".repeat(W));
+        out.push_str("+\n");
+        for row in grid {
+            out.push('|');
+            out.extend(row);
+            out.push_str("|\n");
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(W));
+        out.push('+');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_crypto::onion::OnionAddress;
+    use tor_sim::clock::SimTime;
+    use tor_sim::relay::{Ipv4, RelayId};
+
+    fn obs(ip: Ipv4) -> GuardObservation {
+        GuardObservation {
+            time: SimTime::from_ymd(2013, 2, 5),
+            guard: RelayId(0),
+            client_ip: ip,
+            onion: OnionAddress::from_pubkey(b"goldnet"),
+        }
+    }
+
+    #[test]
+    fn deduplicates_client_ips() {
+        let db = GeoDb::new();
+        let ip = Ipv4::new(10, 1, 2, 3);
+        let map = GeoMap::build(&db, &[obs(ip), obs(ip), obs(ip)]);
+        assert_eq!(map.total_clients(), 1);
+    }
+
+    #[test]
+    fn counts_by_country() {
+        let db = GeoDb::new();
+        let observations: Vec<GuardObservation> = (0..50u32)
+            .map(|i| obs(Ipv4::new((1 + i * 4 % 220) as u8, i as u8, 1, 1)))
+            .collect();
+        let map = GeoMap::build(&db, &observations);
+        assert_eq!(map.total_clients(), 50);
+        let sum: u32 = map.rows().iter().map(|r| r.2).sum();
+        assert_eq!(sum, 50);
+        assert!(map.country_count() > 3);
+        // Rows sorted descending.
+        for pair in map.rows().windows(2) {
+            assert!(pair[0].2 >= pair[1].2);
+        }
+    }
+
+    #[test]
+    fn ascii_map_renders() {
+        let db = GeoDb::new();
+        let observations: Vec<GuardObservation> = (0..200u32)
+            .map(|i| obs(Ipv4::new((1 + i * 7 % 220) as u8, (i % 255) as u8, 3, 4)))
+            .collect();
+        let map = GeoMap::build(&db, &observations);
+        let art = map.ascii_map();
+        assert!(art.lines().count() >= 24);
+        assert!(art.contains('.') || art.contains('o') || art.contains('O'));
+    }
+
+    #[test]
+    fn empty_observations() {
+        let db = GeoDb::new();
+        let map = GeoMap::build(&db, &[]);
+        assert_eq!(map.total_clients(), 0);
+        assert_eq!(map.country_count(), 0);
+        assert!(!map.ascii_map().is_empty());
+    }
+}

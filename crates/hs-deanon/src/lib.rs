@@ -1,0 +1,22 @@
+//! Opportunistic deanonymisation of Tor hidden-service clients
+//! (Sec. VI of Biryukov et al., ICDCS 2014).
+//!
+//! The attack combines two footholds: control of the target service's
+//! responsible HSDirs (gained by brute-forcing relay fingerprints just
+//! past the daily descriptor IDs) and a set of attacker entry guards.
+//! Descriptor responses are wrapped in a cell-level traffic signature;
+//! when a victim's circuit happens to enter through an attacker guard,
+//! the guard detects the signature and reads the victim's IP address.
+//!
+//! - [`attack`] — deployment, daily fingerprint repositioning, catch
+//!   rates (analytic and measured);
+//! - [`geomap`] — the Fig. 3 country census and ASCII world map.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod attack;
+pub mod geomap;
+
+pub use attack::{DeanonAttack, DeanonConfig};
+pub use geomap::GeoMap;

@@ -1,0 +1,224 @@
+//! The harvesting attack: warm up the fleet for 25 hours, then rotate
+//! activation waves through the consensus so the fleet's relays
+//! gradually become responsible HSDirs for (nearly) every hidden
+//! service within one descriptor rotation.
+
+use std::collections::{BTreeSet, HashMap};
+
+use onion_crypto::onion::OnionAddress;
+
+use tor_sim::network::Network;
+use tor_sim::relay::RelayId;
+use tor_sim::store::RequestRecord;
+
+use crate::fleet::{Fleet, FleetConfig};
+
+/// Harvest timing parameters.
+#[derive(Clone, Debug)]
+pub struct HarvestConfig {
+    /// Fleet shape.
+    pub fleet: FleetConfig,
+    /// Hours to keep all relays up before the sweep (≥ 25 for the
+    /// HSDir flag; the paper used 25).
+    pub warmup_hours: u64,
+    /// Hours between activation-wave rotations (each wave mans its
+    /// ring positions for this long — the paper's 2-hour windows).
+    pub rotation_hours: u64,
+}
+
+impl Default for HarvestConfig {
+    fn default() -> Self {
+        HarvestConfig {
+            fleet: FleetConfig::default(),
+            warmup_hours: 26,
+            rotation_hours: 2,
+        }
+    }
+}
+
+/// One logged client request, attributed to the attacker relay that
+/// served it.
+#[derive(Clone, Copy, Debug)]
+pub struct LoggedRequest {
+    /// The attacker HSDir that logged the request.
+    pub relay: RelayId,
+    /// The request record.
+    pub record: RequestRecord,
+}
+
+/// Everything the harvest collected.
+#[derive(Clone, Debug)]
+pub struct HarvestOutcome {
+    /// Distinct onion addresses derived from collected descriptors.
+    pub onions: Vec<OnionAddress>,
+    /// Client descriptor requests logged at fleet HSDirs.
+    pub requests: Vec<LoggedRequest>,
+    /// Per-service logging-slot-hours over the run — how long (and how
+    /// many of the six responsible slots) the fleet manned each
+    /// service's descriptor positions. Derivable by the attacker from
+    /// the public consensus archive; used to normalise request counts
+    /// into per-2 h rates.
+    pub slot_hours: HashMap<OnionAddress, u64>,
+    /// The deployed fleet's relays.
+    pub fleet_relays: Vec<RelayId>,
+    /// Activation waves executed.
+    pub waves: u32,
+    /// Total wall-clock hours spent (warm-up + sweep).
+    pub hours: u64,
+}
+
+impl HarvestOutcome {
+    /// Number of distinct onion addresses collected.
+    pub fn onion_count(&self) -> usize {
+        self.onions.len()
+    }
+
+    /// Fraction of `published` services whose address was collected.
+    pub fn coverage_of(&self, published: usize) -> f64 {
+        if published == 0 {
+            return 0.0;
+        }
+        self.onions.len() as f64 / published as f64
+    }
+}
+
+/// The harvesting attacker.
+#[derive(Debug)]
+pub struct Harvester {
+    config: HarvestConfig,
+}
+
+impl Harvester {
+    /// Creates a harvester with the paper's parameters (58 IPs).
+    pub fn new(config: HarvestConfig) -> Self {
+        Harvester { config }
+    }
+
+    /// Runs the full attack against the network. `drive` is invoked
+    /// after every simulated hour so the caller can generate client
+    /// traffic (the popularity measurement) while the harvest runs.
+    pub fn run(
+        &self,
+        net: &mut Network,
+        mut drive: impl FnMut(&mut Network),
+    ) -> HarvestOutcome {
+        let fleet = Fleet::deploy(net, self.config.fleet.clone());
+        let mut hours = 0u64;
+
+        // Warm-up: all n×m relays run reachable; wave 0's pairs enter
+        // the consensus, everything else accrues uptime as shadows.
+        for _ in 0..self.config.warmup_hours {
+            net.advance_hours(1);
+            hours += 1;
+            drive(net);
+        }
+
+        // Sweep: burn through activation waves.
+        let waves = fleet.wave_count();
+        for k in 0..waves {
+            fleet.activate_wave(net, k);
+            net.revote();
+            for _ in 0..self.config.rotation_hours {
+                net.advance_hours(1);
+                hours += 1;
+                drive(net);
+            }
+        }
+
+        // Collection: descriptors accumulated in fleet stores, request
+        // logs from every fleet relay.
+        let mut onions: BTreeSet<OnionAddress> = BTreeSet::new();
+        let mut requests = Vec::new();
+        for relay in fleet.all_relays() {
+            for desc in net.store(relay).iter() {
+                onions.insert(desc.onion);
+            }
+            for record in net.take_request_log(relay) {
+                requests.push(LoggedRequest { relay, record });
+            }
+        }
+
+        HarvestOutcome {
+            onions: onions.into_iter().collect(),
+            requests,
+            slot_hours: net.slot_hours_map().clone(),
+            fleet_relays: fleet.all_relays().collect(),
+            waves,
+            hours,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tor_sim::clock::SimTime;
+    use tor_sim::network::NetworkBuilder;
+
+    fn harvest_against(n_services: usize) -> (HarvestOutcome, usize) {
+        let mut net = NetworkBuilder::new()
+            .relays(80)
+            .seed(21)
+            .start(SimTime::from_ymd(2013, 2, 1))
+            .build();
+        for i in 0..n_services {
+            let onion = OnionAddress::from_pubkey(format!("service {i}").as_bytes());
+            net.register_service(onion, true);
+        }
+        net.advance_hours(1);
+        let config = HarvestConfig {
+            fleet: FleetConfig { ips: 6, relays_per_ip: 8, bandwidth: 300 },
+            warmup_hours: 26,
+            rotation_hours: 2,
+        };
+        let outcome = Harvester::new(config).run(&mut net, |_| {});
+        (outcome, n_services)
+    }
+
+    #[test]
+    fn harvest_collects_most_services() {
+        let (outcome, published) = harvest_against(150);
+        let coverage = outcome.coverage_of(published);
+        // 48 fleet relays vs ~80 honest HSDirs: expected coverage is
+        // high after a full sweep.
+        assert!(coverage > 0.8, "coverage {coverage}");
+        assert!(outcome.onion_count() <= published);
+    }
+
+    #[test]
+    fn harvest_takes_about_one_rotation() {
+        let (outcome, _) = harvest_against(20);
+        assert_eq!(outcome.waves, 4);
+        assert_eq!(outcome.hours, 26 + 4 * 2);
+    }
+
+    #[test]
+    fn collected_addresses_are_real_services() {
+        let (outcome, published) = harvest_against(60);
+        assert!(outcome.onion_count() > 0);
+        let expected: BTreeSet<OnionAddress> = (0..published)
+            .map(|i| OnionAddress::from_pubkey(format!("service {i}").as_bytes()))
+            .collect();
+        for onion in &outcome.onions {
+            assert!(expected.contains(onion));
+        }
+    }
+
+    #[test]
+    fn drive_callback_runs_every_hour() {
+        let mut net = NetworkBuilder::new()
+            .relays(40)
+            .seed(2)
+            .start(SimTime::from_ymd(2013, 2, 1))
+            .build();
+        net.advance_hours(1);
+        let config = HarvestConfig {
+            fleet: FleetConfig { ips: 2, relays_per_ip: 4, bandwidth: 300 },
+            warmup_hours: 3,
+            rotation_hours: 1,
+        };
+        let mut ticks = 0u64;
+        let outcome = Harvester::new(config).run(&mut net, |_| ticks += 1);
+        assert_eq!(ticks, outcome.hours);
+    }
+}

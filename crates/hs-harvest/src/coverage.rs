@@ -1,0 +1,98 @@
+//! Cost analysis of the harvesting attack (Sec. II).
+//!
+//! The paper notes that without the shadowing flaw an attacker would
+//! need "more than 300 IP addresses for at least 27 hours" to become a
+//! responsible directory for every hidden service, while shadowing let
+//! them do it from 58 IPs. These helpers derive both numbers from the
+//! ring arithmetic so the claim can be regenerated.
+
+/// Relays a deterministic full-ring attacker needs concurrently: one
+/// brute-force-placed relay per 3-window of honest HSDirs (each
+/// descriptor replica is stored on the 3 fingerprints following it, so
+/// a relay placed at every third honest gap intercepts one replica of
+/// everything).
+pub fn naive_relays_needed(honest_hsdirs: u32) -> u32 {
+    honest_hsdirs.div_ceil(3)
+}
+
+/// IP addresses a naïve attacker needs: two consensus slots per IP.
+pub fn naive_ips_needed(honest_hsdirs: u32) -> u32 {
+    naive_relays_needed(honest_hsdirs).div_ceil(2)
+}
+
+/// IP addresses a *shadowing* attacker needs to sweep the same
+/// coverage within one descriptor rotation: `m` relays per IP rotate
+/// through `m / 2` activation waves, so each IP contributes `m`
+/// distinct ring positions per day instead of 2.
+pub fn shadowing_ips_needed(honest_hsdirs: u32, relays_per_ip: u32) -> u32 {
+    naive_relays_needed(honest_hsdirs).div_ceil(relays_per_ip.max(1))
+}
+
+/// Hours the attack takes: ≥ 25 h warm-up (HSDir flag) plus one full
+/// sweep.
+pub fn attack_hours(relays_per_ip: u32, rotation_hours: u64) -> u64 {
+    25 + u64::from(relays_per_ip / 2) * rotation_hours
+}
+
+/// Expected fraction of services collected when `attacker` relays are
+/// placed uniformly at random (NOT brute-force-placed) among `honest`
+/// HSDirs — the baseline that motivates deliberate placement. Each of
+/// the 6 responsible slots independently lands on an attacker relay
+/// with probability `a / (a + h)`.
+pub fn random_placement_coverage(honest: u32, attacker: u32) -> f64 {
+    let a = f64::from(attacker);
+    let h = f64::from(honest);
+    if a + h == 0.0 {
+        return 0.0;
+    }
+    let p_honest_slot = h / (a + h);
+    1.0 - p_honest_slot.powi(6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_naive_requirement() {
+        // At the 2013 HSDir population (~1,500–1,900 over the period),
+        // the naïve attack needs more than 300 IPs — the paper's claim.
+        assert!(naive_ips_needed(1_862) > 300);
+        assert!(naive_ips_needed(1_862) < 350);
+    }
+
+    #[test]
+    fn shadowing_reaches_58_ips() {
+        // With 24 relays per IP, the paper-scale requirement drops to
+        // under 58 rented IPs.
+        let ips = shadowing_ips_needed(1_862, 24);
+        assert!(ips <= 58, "needed {ips}");
+        assert!(ips > 20);
+    }
+
+    #[test]
+    fn attack_duration_one_day_plus_warmup() {
+        assert_eq!(attack_hours(24, 2), 25 + 24);
+    }
+
+    #[test]
+    fn random_placement_is_worse_than_deliberate() {
+        // 1,392 random relays among 1,400 honest cover ~98.5 %;
+        // deliberate placement covers everything with the same count.
+        let cov = random_placement_coverage(1_400, 1_392);
+        assert!((0.95..1.0).contains(&cov));
+        // Few relays cover little.
+        assert!(random_placement_coverage(1_400, 20) < 0.10);
+        assert_eq!(random_placement_coverage(0, 0), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_attacker_count() {
+        let mut last = 0.0;
+        for a in [10, 50, 200, 800, 3_000] {
+            let c = random_placement_coverage(1_500, a);
+            assert!(c > last);
+            last = c;
+        }
+    }
+}

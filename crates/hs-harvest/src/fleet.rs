@@ -1,0 +1,246 @@
+//! The attacker's relay fleet: `n` rented IP addresses running `m`
+//! relays each, with brute-force-placed fingerprints.
+
+use onion_crypto::identity::{Fingerprint, SimIdentity};
+use onion_crypto::u160::U160;
+use tor_sim::network::Network;
+use tor_sim::relay::{Ipv4, Operator, RelayId};
+
+/// Configuration of the harvesting fleet (defaults follow the paper:
+/// 58 EC2 instances).
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of rented IP addresses (the paper: 58).
+    pub ips: u32,
+    /// Relays per IP; only 2 are in the consensus at a time, the rest
+    /// run as shadow relays.
+    pub relays_per_ip: u32,
+    /// Bandwidth advertised by every fleet relay (kB/s).
+    pub bandwidth: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { ips: 58, relays_per_ip: 24, bandwidth: 400 }
+    }
+}
+
+/// A deployed fleet.
+#[derive(Clone, Debug)]
+pub struct Fleet {
+    config: FleetConfig,
+    /// `relays[ip][slot]`, slots ordered by descending bandwidth (the
+    /// activation order under the two-per-IP rule).
+    relays: Vec<Vec<RelayId>>,
+}
+
+impl Fleet {
+    /// Deploys the fleet into the network.
+    ///
+    /// Fingerprints are placed evenly around the ring, interleaved so
+    /// that every activation wave (one slot pair across all IPs) is
+    /// itself evenly spread — the placement a brute-forcing attacker
+    /// would compute. Within one IP, earlier slots advertise slightly
+    /// higher bandwidth, which fixes the activation order under the
+    /// consensus two-per-IP rule.
+    pub fn deploy(net: &mut Network, config: FleetConfig) -> Fleet {
+        let n = config.ips;
+        let m = config.relays_per_ip;
+        let total = u64::from(n) * u64::from(m);
+        let gap = U160::MAX.div_u64(total.max(1));
+        let mut relays = Vec::with_capacity(n as usize);
+        for ip_idx in 0..n {
+            let ip = Ipv4::new(198, 18, (ip_idx / 250) as u8 + 1, (ip_idx % 250) as u8 + 1);
+            let mut per_ip = Vec::with_capacity(m as usize);
+            for slot in 0..m {
+                // Interleaved ring position: consecutive slots of one IP
+                // sit `n` positions apart, so each activation wave is a
+                // full-ring covering set.
+                let index = u64::from(ip_idx) * u64::from(m) + u64::from(slot);
+                let pos = position_for(index, gap);
+                let identity = SimIdentity::forge(Fingerprint::from_digest(pos.into()));
+                let id = net.add_relay(
+                    format!("harvest{ip_idx}x{slot}"),
+                    ip,
+                    9001 + slot as u16,
+                    identity,
+                    // Descending bandwidth fixes activation order.
+                    config.bandwidth + u64::from(m - slot),
+                    Operator::Harvester,
+                );
+                per_ip.push(id);
+            }
+            relays.push(per_ip);
+        }
+        Fleet { config, relays }
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Total relay instances (`ips × relays_per_ip`).
+    pub fn relay_count(&self) -> usize {
+        self.relays.iter().map(Vec::len).sum()
+    }
+
+    /// Every relay in the fleet.
+    pub fn all_relays(&self) -> impl Iterator<Item = RelayId> + '_ {
+        self.relays.iter().flatten().copied()
+    }
+
+    /// The relays in activation wave `k`: slots `2k` and `2k+1` on
+    /// every IP.
+    pub fn wave(&self, k: u32) -> Vec<RelayId> {
+        let a = (2 * k) as usize;
+        let b = a + 1;
+        self.relays
+            .iter()
+            .flat_map(|per_ip| {
+                [per_ip.get(a), per_ip.get(b)]
+                    .into_iter()
+                    .flatten()
+                    .copied()
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    /// Number of activation waves (`relays_per_ip / 2`).
+    pub fn wave_count(&self) -> u32 {
+        self.config.relays_per_ip / 2
+    }
+
+    /// Makes exactly wave `k` reachable-active: earlier waves are
+    /// rendered unreachable to the authorities (the shadowing move),
+    /// later waves stay reachable shadows.
+    pub fn activate_wave(&self, net: &mut Network, k: u32) {
+        for wave_idx in 0..self.wave_count() {
+            for relay in self.wave(wave_idx) {
+                let r = net.relay_mut(relay);
+                // Waves before `k` have been burned: unreachable.
+                // Wave `k` and later: reachable (later ones are shadows
+                // because their bandwidth ranks below the active pair).
+                r.reachable = wave_idx >= k;
+            }
+        }
+    }
+}
+
+/// Evenly spaced ring position `index × gap` (double-and-add multiply,
+/// since `U160` has no native multiplication).
+fn position_for(index: u64, gap: U160) -> U160 {
+    let mut acc = U160::ZERO;
+    let mut addend = gap;
+    let mut rest = index;
+    while rest > 0 {
+        if rest & 1 == 1 {
+            acc = acc.wrapping_add(addend);
+        }
+        addend = addend.wrapping_add(addend);
+        rest >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tor_sim::clock::SimTime;
+    use tor_sim::network::NetworkBuilder;
+
+    fn net() -> Network {
+        NetworkBuilder::new()
+            .relays(50)
+            .seed(1)
+            .start(SimTime::from_ymd(2013, 2, 1))
+            .build()
+    }
+
+    #[test]
+    fn deploy_creates_n_times_m_relays() {
+        let mut net = net();
+        let fleet = Fleet::deploy(
+            &mut net,
+            FleetConfig { ips: 4, relays_per_ip: 6, bandwidth: 100 },
+        );
+        assert_eq!(fleet.relay_count(), 24);
+        assert_eq!(fleet.wave_count(), 3);
+        assert_eq!(fleet.wave(0).len(), 8);
+    }
+
+    #[test]
+    fn only_two_per_ip_enter_consensus() {
+        let mut net = net();
+        let fleet = Fleet::deploy(
+            &mut net,
+            FleetConfig { ips: 3, relays_per_ip: 8, bandwidth: 100 },
+        );
+        net.advance_hours(1);
+        let listed = fleet
+            .all_relays()
+            .filter(|&r| {
+                net.consensus().entry(net.relay(r).fingerprint()).is_some()
+            })
+            .count();
+        assert_eq!(listed, 6, "2 per IP × 3 IPs");
+        // And the listed ones are wave 0 (highest bandwidth).
+        for r in fleet.wave(0) {
+            assert!(net.consensus().entry(net.relay(r).fingerprint()).is_some());
+        }
+    }
+
+    #[test]
+    fn wave_rotation_swaps_active_relays() {
+        let mut net = net();
+        let fleet = Fleet::deploy(
+            &mut net,
+            FleetConfig { ips: 2, relays_per_ip: 6, bandwidth: 100 },
+        );
+        net.advance_hours(26); // accrue HSDir uptime
+        fleet.activate_wave(&mut net, 1);
+        net.advance_hours(1);
+        for r in fleet.wave(0) {
+            assert!(net.consensus().entry(net.relay(r).fingerprint()).is_none());
+        }
+        for r in fleet.wave(1) {
+            let entry = net.consensus().entry(net.relay(r).fingerprint());
+            assert!(entry.is_some(), "wave 1 active");
+            assert!(
+                entry.unwrap().flags.contains(tor_sim::RelayFlags::HSDIR),
+                "shadow relays carry HSDir immediately"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprints_evenly_spread() {
+        let mut net = net();
+        let fleet = Fleet::deploy(
+            &mut net,
+            FleetConfig { ips: 10, relays_per_ip: 4, bandwidth: 100 },
+        );
+        let mut positions: Vec<U160> = fleet
+            .all_relays()
+            .map(|r| net.relay(r).fingerprint().to_u160())
+            .collect();
+        positions.sort();
+        positions.dedup();
+        assert_eq!(positions.len(), 40, "all positions distinct");
+        // Max gap between consecutive positions is at most twice the
+        // average gap — even spread.
+        let avg = U160::MAX.div_u64(40);
+        let double_avg = avg.wrapping_add(avg);
+        for pair in positions.windows(2) {
+            assert!(pair[0].distance_to(pair[1]) <= double_avg);
+        }
+    }
+
+    #[test]
+    fn position_for_is_multiplication() {
+        let gap = U160::from_u64(1000);
+        assert_eq!(position_for(0, gap), U160::ZERO);
+        assert_eq!(position_for(7, gap), U160::from_u64(7000));
+    }
+}

@@ -1,0 +1,28 @@
+//! The onion-address harvesting attack of Biryukov et al. (Sec. II):
+//! shadow relays, activation-wave rotation, descriptor collection and
+//! client-request logging.
+//!
+//! The 2013 flaw: directory authorities listed at most two relays per
+//! IP address in the consensus, but *monitored* every running relay —
+//! including the unlisted "shadow" relays — and accrued their uptime.
+//! A relay therefore earned the HSDir flag (≥ 25 h uptime) while
+//! hidden from the consensus, and the attacker could burn through
+//! shadow relays wave by wave, each wave entering the consensus as
+//! instant HSDirs at brute-force-chosen ring positions. With 58 IPs ×
+//! 24 relays, the fleet manned (nearly) every ring position within one
+//! 24 h descriptor rotation and collected 39,824 onion addresses.
+//!
+//! - [`fleet`] — deployment and wave rotation;
+//! - [`attack`] — the warm-up + sweep + collection driver;
+//! - [`coverage`] — the Sec. II cost arithmetic (58 IPs with shadowing
+//!   vs > 300 without).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod attack;
+pub mod coverage;
+pub mod fleet;
+
+pub use attack::{HarvestConfig, HarvestOutcome, Harvester, LoggedRequest};
+pub use fleet::{Fleet, FleetConfig};

@@ -1,0 +1,26 @@
+//! Popularity measurement of Tor hidden services (Sec. V of Biryukov
+//! et al., ICDCS 2014).
+//!
+//! While the harvesting fleet mans the HSDir ring it also logs every
+//! client descriptor request it receives. Resolving the logged
+//! descriptor IDs back to onion addresses (by recomputing the forward
+//! map over a window of days) yields the request rate per service —
+//! the paper's popularity estimate, Table II.
+//!
+//! - [`traffic`] — the Poisson client-request generator (including the
+//!   80 % phantom stream aimed at never-published descriptors);
+//! - [`resolver`] — descriptor-ID → onion resolution over a date
+//!   window;
+//! - [`ranking`] — Table II, the Goldnet `server-status` forensics and
+//!   the requested-vs-published share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod ranking;
+pub mod resolver;
+pub mod traffic;
+
+pub use ranking::{BotnetForensics, RankedService, Ranking};
+pub use resolver::{ResolutionReport, Resolver};
+pub use traffic::{poisson, TrafficConfig, TrafficDriver};

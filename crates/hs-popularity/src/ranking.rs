@@ -1,0 +1,285 @@
+//! The popularity ranking (Table II) and the botnet forensics the
+//! paper performed on its most popular entries.
+
+use std::collections::HashMap;
+
+use onion_crypto::onion::OnionAddress;
+
+use hs_world::{Role, World};
+
+use crate::resolver::ResolutionReport;
+
+/// One row of the reproduced Table II.
+#[derive(Clone, Debug)]
+pub struct RankedService {
+    /// Rank by measured request count (1 = most popular).
+    pub rank: u32,
+    /// The onion address.
+    pub onion: OnionAddress,
+    /// Requests per 2-hour window (normalised estimate when built via
+    /// [`Ranking::build_normalized`], raw observed count otherwise).
+    pub requests: u64,
+    /// Identification, combining the paper's manual labelling with the
+    /// server-status forensics (e.g. `Goldnet`, `Skynet`, `SilkRoad`).
+    pub label: String,
+}
+
+/// The full ranking.
+#[derive(Clone, Debug, Default)]
+pub struct Ranking {
+    rows: Vec<RankedService>,
+}
+
+impl Ranking {
+    /// Builds the ranking from a resolution report, labelling entries
+    /// with world ground truth where planted and with forensic
+    /// fingerprinting for the botnet front ends.
+    pub fn build(report: &ResolutionReport, world: &World) -> Self {
+        Self::build_inner(report, world, None)
+    }
+
+    /// Builds the ranking with coverage normalisation: observed counts
+    /// are converted into estimated requests per 2-hour window using
+    /// the attacker's per-service slot-hours (a client picks one of
+    /// the six responsible dirs uniformly, so a service whose slots
+    /// were manned for `s` slot-hours yields `rate × s / 12` logged
+    /// requests — invert that).
+    pub fn build_normalized(
+        report: &ResolutionReport,
+        world: &World,
+        slot_hours: &std::collections::HashMap<OnionAddress, u64>,
+    ) -> Self {
+        Self::build_inner(report, world, Some(slot_hours))
+    }
+
+    fn build_inner(
+        report: &ResolutionReport,
+        world: &World,
+        slot_hours: Option<&std::collections::HashMap<OnionAddress, u64>>,
+    ) -> Self {
+        let mut rows: Vec<RankedService> = report
+            .requests_per_onion
+            .iter()
+            .map(|(&onion, &observed)| {
+                let requests = match slot_hours.and_then(|m| m.get(&onion)) {
+                    Some(&s) if s > 0 => {
+                        ((observed as f64) * 12.0 / (s as f64)).round() as u64
+                    }
+                    _ => observed,
+                };
+                RankedService {
+                    rank: 0,
+                    onion,
+                    requests,
+                    label: label_for(world, onion),
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| b.requests.cmp(&a.requests).then(a.onion.cmp(&b.onion)));
+        for (i, row) in rows.iter_mut().enumerate() {
+            row.rank = (i + 1) as u32;
+        }
+        Ranking { rows }
+    }
+
+    /// All rows, most popular first.
+    pub fn rows(&self) -> &[RankedService] {
+        &self.rows
+    }
+
+    /// The top `n` rows.
+    pub fn top(&self, n: usize) -> &[RankedService] {
+        &self.rows[..n.min(self.rows.len())]
+    }
+
+    /// The rank of a given label's best entry, if present.
+    pub fn rank_of_label(&self, label: &str) -> Option<u32> {
+        self.rows.iter().find(|r| r.label == label).map(|r| r.rank)
+    }
+
+    /// The rank of a specific onion address.
+    pub fn rank_of(&self, onion: OnionAddress) -> Option<u32> {
+        self.rows.iter().find(|r| r.onion == onion).map(|r| r.rank)
+    }
+}
+
+fn label_for(world: &World, onion: OnionAddress) -> String {
+    match world.get(onion) {
+        Some(s) => match (s.planted, &s.role) {
+            (Some(name), _) => name.to_owned(),
+            (None, Role::GoldnetCc { .. }) => "Goldnet".to_owned(),
+            (None, Role::SkynetCc) => "Skynet".to_owned(),
+            (None, Role::Web) => s.web.topic.label().to_owned(),
+            (None, _) => "<n/a>".to_owned(),
+        },
+        None => "<n/a>".to_owned(),
+    }
+}
+
+/// Sec. V forensics: probing the most popular addresses on port 80 and
+/// grouping the 503-with-`server-status` responders by their Apache
+/// uptime, which reveals how many *physical servers* stand behind the
+/// front-end onions.
+#[derive(Clone, Debug, Default)]
+pub struct BotnetForensics {
+    /// Front ends confirmed 503 + server-status, keyed by uptime group.
+    pub groups: HashMap<u64, Vec<OnionAddress>>,
+}
+
+impl BotnetForensics {
+    /// Probes `candidates` (typically the ranking's head) against the
+    /// world.
+    pub fn probe(world: &World, candidates: impl IntoIterator<Item = OnionAddress>) -> Self {
+        let mut groups: HashMap<u64, Vec<OnionAddress>> = HashMap::new();
+        for onion in candidates {
+            let Some(s) = world.get(onion) else { continue };
+            let Some(page) = s.render_page(80) else { continue };
+            if page.status != 503 {
+                continue;
+            }
+            if let Some(uptime) = parse_server_status_uptime(&page.body) {
+                groups.entry(uptime).or_default().push(onion);
+            }
+        }
+        BotnetForensics { groups }
+    }
+
+    /// Number of distinct physical servers inferred.
+    pub fn physical_servers(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total front-end onions fingerprinted.
+    pub fn frontends(&self) -> usize {
+        self.groups.values().map(Vec::len).sum()
+    }
+}
+
+/// Extracts the Apache uptime from an exposed `server-status` page.
+pub fn parse_server_status_uptime(body: &str) -> Option<u64> {
+    let marker = "Apache uptime ";
+    let start = body.find(marker)? + marker.len();
+    let rest = &body[start..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// The "10 % of published descriptors were ever requested" statistic:
+/// the share of live services that received at least one resolved
+/// request.
+pub fn requested_published_share(report: &ResolutionReport, world: &World) -> f64 {
+    let published = world
+        .services()
+        .iter()
+        .filter(|s| s.publishes_descriptors())
+        .count();
+    if published == 0 {
+        return 0.0;
+    }
+    let requested = world
+        .services()
+        .iter()
+        .filter(|s| {
+            s.publishes_descriptors() && report.requests_per_onion.contains_key(&s.onion)
+        })
+        .count();
+    requested as f64 / published as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_world::WorldConfig;
+
+    fn fake_report(world: &World) -> ResolutionReport {
+        // Requests exactly proportional to planted popularity.
+        let mut report = ResolutionReport::default();
+        for s in world.services() {
+            if s.publishes_descriptors() && s.popularity > 0.0 {
+                let req = s.popularity.round() as u64;
+                if req > 0 {
+                    report.requests_per_onion.insert(s.onion, req);
+                    report.total_requests += req;
+                }
+            }
+        }
+        report.resolved_onions = report.requests_per_onion.len();
+        report
+    }
+
+    #[test]
+    fn goldnet_tops_ranking() {
+        let world = World::generate(WorldConfig { seed: 2, scale: 0.02 });
+        let ranking = Ranking::build(&fake_report(&world), &world);
+        let top5 = ranking.top(5);
+        assert!(top5.iter().all(|r| r.label == "Goldnet"), "{top5:?}");
+        // Rates are scaled by the world scale (0.02 here).
+        assert_eq!(top5[0].requests, (13_714.0f64 * 0.02).round() as u64);
+    }
+
+    #[test]
+    fn silkroad_in_top_20() {
+        let world = World::generate(WorldConfig { seed: 2, scale: 0.02 });
+        let ranking = Ranking::build(&fake_report(&world), &world);
+        let rank = ranking.rank_of_label("SilkRoad").unwrap();
+        assert!((14..=22).contains(&rank), "rank {rank}");
+    }
+
+    #[test]
+    fn ranks_are_dense_and_ordered() {
+        let world = World::generate(WorldConfig { seed: 2, scale: 0.02 });
+        let ranking = Ranking::build(&fake_report(&world), &world);
+        for (i, row) in ranking.rows().iter().enumerate() {
+            assert_eq!(row.rank, (i + 1) as u32);
+        }
+        for pair in ranking.rows().windows(2) {
+            assert!(pair[0].requests >= pair[1].requests);
+        }
+    }
+
+    #[test]
+    fn forensics_groups_goldnet_by_physical_server() {
+        let world = World::generate(WorldConfig { seed: 2, scale: 0.02 });
+        let goldnet: Vec<OnionAddress> = world
+            .services()
+            .iter()
+            .filter(|s| matches!(s.role, Role::GoldnetCc { .. }))
+            .map(|s| s.onion)
+            .collect();
+        let forensics = BotnetForensics::probe(&world, goldnet.iter().copied());
+        assert_eq!(forensics.physical_servers(), 2, "two uptime groups");
+        assert_eq!(forensics.frontends(), goldnet.len());
+    }
+
+    #[test]
+    fn forensics_ignores_normal_services() {
+        let world = World::generate(WorldConfig { seed: 2, scale: 0.02 });
+        let web: Vec<OnionAddress> = world
+            .services()
+            .iter()
+            .filter(|s| matches!(s.role, Role::Web))
+            .take(20)
+            .map(|s| s.onion)
+            .collect();
+        let forensics = BotnetForensics::probe(&world, web);
+        assert_eq!(forensics.frontends(), 0);
+    }
+
+    #[test]
+    fn server_status_parser() {
+        assert_eq!(
+            parse_server_status_uptime("... Apache uptime 3777777 seconds ..."),
+            Some(3_777_777)
+        );
+        assert_eq!(parse_server_status_uptime("no status here"), None);
+    }
+
+    #[test]
+    fn requested_share_close_to_paper() {
+        let world = World::generate(WorldConfig { seed: 2, scale: 0.1 });
+        let share = requested_published_share(&fake_report(&world), &world);
+        // Paper: ~10 % of published descriptors ever requested; our
+        // calibration yields 3140/24511 ≈ 12.8 %.
+        assert!((0.08..0.18).contains(&share), "share {share}");
+    }
+}

@@ -1,0 +1,193 @@
+//! Client descriptor-request traffic.
+//!
+//! Drives the simulated client population: every hour each service
+//! (live *or* dead) receives a Poisson-distributed number of descriptor
+//! fetches according to its popularity weight. Fetches for dead
+//! services target descriptor IDs that were never published — the 80 %
+//! "phantom" request stream the paper observed and could not fully
+//! explain.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use onion_crypto::onion::OnionAddress;
+use tor_sim::network::{ClientId, Network};
+
+use hs_world::{GeoDb, World};
+
+/// Traffic configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficConfig {
+    /// Size of the client pool issuing requests.
+    pub clients: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig { clients: 400, seed: 0x7aff_1c }
+    }
+}
+
+/// The request generator.
+#[derive(Debug)]
+pub struct TrafficDriver {
+    clients: Vec<ClientId>,
+    /// (address, expected requests per hour).
+    rates: Vec<(OnionAddress, f64)>,
+    rng: StdRng,
+    /// Total requests issued so far.
+    pub issued: u64,
+}
+
+impl TrafficDriver {
+    /// Builds the driver: registers `config.clients` clients at
+    /// geo-weighted IPs and derives hourly rates from the world's
+    /// popularity weights (which are per 2-hour window).
+    pub fn new(
+        net: &mut Network,
+        world: &World,
+        geo: &GeoDb,
+        config: TrafficConfig,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let clients = (0..config.clients.max(1))
+            .map(|_| net.add_client(geo.sample_client_ip(&mut rng)))
+            .collect();
+        let rates = world
+            .services()
+            .iter()
+            .filter(|s| s.popularity > 0.0)
+            .map(|s| (s.onion, s.popularity / 2.0))
+            .collect();
+        TrafficDriver { clients, rates, rng, issued: 0 }
+    }
+
+    /// Issues one hour of traffic.
+    pub fn tick_hour(&mut self, net: &mut Network) {
+        for i in 0..self.rates.len() {
+            let (onion, rate) = self.rates[i];
+            let n = poisson(rate, &mut self.rng);
+            for _ in 0..n {
+                let client = self.clients[self.rng.random_range(0..self.clients.len())];
+                let _ = net.client_fetch(client, onion);
+                self.issued += 1;
+            }
+        }
+    }
+
+    /// The client pool.
+    pub fn clients(&self) -> &[ClientId] {
+        &self.clients
+    }
+
+    /// Expected requests per hour across all services.
+    pub fn expected_hourly(&self) -> f64 {
+        self.rates.iter().map(|(_, r)| r).sum()
+    }
+}
+
+/// Samples a Poisson variate: Knuth's method for small λ, a rounded
+/// normal approximation for large λ.
+pub fn poisson(lambda: f64, rng: &mut impl Rng) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+            if k > 10_000 {
+                return k; // numeric safety valve
+            }
+        }
+    } else {
+        // Box–Muller normal approximation N(λ, λ).
+        let u1: f64 = rng.random::<f64>().max(1e-12);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = lambda + lambda.sqrt() * z;
+        if v < 0.0 {
+            0
+        } else {
+            v.round() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_world::WorldConfig;
+    use tor_sim::clock::SimTime;
+    use tor_sim::network::NetworkBuilder;
+
+    #[test]
+    fn poisson_mean_matches_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for lambda in [0.5f64, 4.0, 25.0, 200.0] {
+            let n = 3_000;
+            let total: u64 = (0..n).map(|_| poisson(lambda, &mut rng)).sum();
+            let mean = total as f64 / f64::from(n);
+            assert!(
+                (mean - lambda).abs() < lambda.sqrt() * 0.2 + 0.1,
+                "λ={lambda}, mean={mean}"
+            );
+        }
+        assert_eq!(poisson(0.0, &mut rng), 0);
+        assert_eq!(poisson(-3.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn driver_issues_traffic() {
+        let world = World::generate(WorldConfig { seed: 4, scale: 0.01 });
+        let mut net = NetworkBuilder::new()
+            .relays(60)
+            .seed(4)
+            .start(SimTime::from_ymd(2013, 2, 1))
+            .build();
+        world.register_all(&mut net);
+        net.advance_hours(1);
+        let geo = GeoDb::new();
+        let mut driver = TrafficDriver::new(
+            &mut net,
+            &world,
+            &geo,
+            TrafficConfig { clients: 30, seed: 9 },
+        );
+        assert!(driver.expected_hourly() > 0.0);
+        driver.tick_hour(&mut net);
+        driver.tick_hour(&mut net);
+        assert!(driver.issued > 0, "requests issued");
+    }
+
+    #[test]
+    fn dead_services_also_requested() {
+        // The phantom stream: dark services carry positive weights.
+        let world = World::generate(WorldConfig { seed: 4, scale: 0.02 });
+        let phantom_rate: f64 = world
+            .services()
+            .iter()
+            .filter(|s| matches!(s.role, hs_world::Role::Dark))
+            .map(|s| s.popularity)
+            .sum();
+        let real_rate: f64 = world
+            .services()
+            .iter()
+            .filter(|s| s.publishes_descriptors())
+            .map(|s| s.popularity)
+            .sum();
+        // Generated phantom share is ~30 %; the *observed* share at the
+        // attacker's HSDirs is ~80 % because phantom fetches probe all
+        // six responsible dirs (see `hs_world::world`).
+        let share = phantom_rate / (phantom_rate + real_rate);
+        assert!((0.15..0.55).contains(&share), "phantom share {share}");
+    }
+}

@@ -1,0 +1,307 @@
+//! The port scanner: probes every harvested onion address over a
+//! multi-day schedule, through the simulated Tor network.
+
+use std::collections::BTreeMap;
+
+use onion_crypto::onion::OnionAddress;
+use tor_sim::clock::{SimTime, DAY};
+use tor_sim::network::{FetchOutcome, Network};
+use tor_sim::relay::Ipv4;
+use tor_sim::service::{PortReply, ServiceBackend};
+
+use hs_world::service::SKYNET_PORT;
+use hs_world::World;
+
+use crate::schedule::ScanSchedule;
+
+/// Scanner configuration.
+#[derive(Clone, Debug)]
+pub struct ScanConfig {
+    /// First scan day (the paper: 2013-02-14).
+    pub start: SimTime,
+    /// Number of scan days (the paper: 7, Feb 14–21).
+    pub days: usize,
+    /// Extra never-open decoy ports probed alongside the candidate set,
+    /// to exercise closed/timeout paths like a real sweep.
+    pub decoy_ports: Vec<u16>,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        ScanConfig {
+            start: SimTime::from_ymd(2013, 2, 14),
+            days: 7,
+            decoy_ports: vec![21, 23, 25, 110, 143, 993, 3306, 5900, 8443],
+        }
+    }
+}
+
+/// One conclusive probe result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeResult {
+    /// Target address.
+    pub onion: OnionAddress,
+    /// Probed port.
+    pub port: u16,
+    /// The reply.
+    pub reply: PortReply,
+}
+
+/// Everything the scan learned (Sec. III).
+#[derive(Clone, Debug, Default)]
+pub struct ScanReport {
+    /// Addresses whose descriptor was fetchable at least once during
+    /// the scan week.
+    pub with_descriptors: usize,
+    /// Total addresses probed.
+    pub targets: usize,
+    /// Open-port counts per port number (abnormal 55080 replies counted
+    /// as open, per the paper's methodology).
+    pub open_by_port: BTreeMap<u16, u32>,
+    /// Open ports per onion address.
+    pub open_by_onion: BTreeMap<OnionAddress, Vec<u16>>,
+    /// Probes scheduled vs probes that concluded (service reachable on
+    /// the day) — the paper's 87 % coverage statistic.
+    pub probes_scheduled: u64,
+    /// Probes that reached the service and produced a definite reply.
+    pub probes_concluded: u64,
+    /// Number of 55080 abnormal-close replies (the Skynet census).
+    pub skynet_count: u32,
+}
+
+impl ScanReport {
+    /// Total open ports found (the paper: 22,007).
+    pub fn total_open(&self) -> u32 {
+        self.open_by_port.values().sum()
+    }
+
+    /// Number of distinct open port numbers (the paper: 495).
+    pub fn unique_ports(&self) -> usize {
+        self.open_by_port.len()
+    }
+
+    /// Scan coverage: concluded / scheduled (the paper: 0.87).
+    pub fn coverage(&self) -> f64 {
+        if self.probes_scheduled == 0 {
+            return 0.0;
+        }
+        self.probes_concluded as f64 / self.probes_scheduled as f64
+    }
+
+    /// Fig. 1 rows: named ports with ≥ `threshold` hits, descending,
+    /// plus a final aggregated "other" row.
+    pub fn fig1_rows(&self, threshold: u32) -> Vec<(String, u32)> {
+        let mut named: Vec<(String, u32)> = Vec::new();
+        let mut other = 0u32;
+        for (&port, &count) in &self.open_by_port {
+            if count >= threshold {
+                named.push((port_label(port), count));
+            } else {
+                other += count;
+            }
+        }
+        named.sort_by(|a, b| b.1.cmp(&a.1));
+        if other > 0 {
+            named.push(("other".to_owned(), other));
+        }
+        named
+    }
+
+    /// The destinations a crawler would try next (every open port except
+    /// 55080) — Sec. IV starts here.
+    pub fn crawl_destinations(&self) -> Vec<(OnionAddress, u16)> {
+        self.open_by_onion
+            .iter()
+            .flat_map(|(&onion, ports)| {
+                ports
+                    .iter()
+                    .filter(|&&p| p != SKYNET_PORT)
+                    .map(move |&p| (onion, p))
+            })
+            .collect()
+    }
+}
+
+/// Human label for a port, matching Fig. 1's axis.
+pub fn port_label(port: u16) -> String {
+    match port {
+        22 => "22-ssh".to_owned(),
+        80 => "80-http".to_owned(),
+        443 => "443-https".to_owned(),
+        4050 => "4050".to_owned(),
+        6667 => "6667-irc".to_owned(),
+        11009 => "11009-TorChat".to_owned(),
+        55080 => "55080-Skynet".to_owned(),
+        p => p.to_string(),
+    }
+}
+
+/// The scanner.
+#[derive(Debug)]
+pub struct Scanner {
+    config: ScanConfig,
+}
+
+impl Scanner {
+    /// Creates a scanner with the paper's schedule.
+    pub fn new(config: ScanConfig) -> Self {
+        Scanner { config }
+    }
+
+    /// Runs the scan of `targets` against the world, through the
+    /// network.
+    ///
+    /// For every target and scan day: fetch the descriptor once, then
+    /// probe the ports scheduled for that day. Unreachable services
+    /// leave their scheduled probes unconcluded — the coverage gap.
+    pub fn run(
+        &self,
+        net: &mut Network,
+        world: &World,
+        targets: &[OnionAddress],
+    ) -> ScanReport {
+        // Candidate ports: everything any service listens on, plus the
+        // Skynet oracle port and the decoys.
+        let mut candidates: Vec<u16> = world
+            .services()
+            .iter()
+            .flat_map(|s| s.open_ports())
+            .collect();
+        candidates.push(SKYNET_PORT);
+        candidates.extend_from_slice(&self.config.decoy_ports);
+        let schedule = ScanSchedule::split(candidates, self.config.days);
+
+        let scanner_client = net.add_client(Ipv4::new(198, 18, 0, 1));
+        let mut report = ScanReport {
+            targets: targets.len(),
+            ..ScanReport::default()
+        };
+        let mut had_descriptor = vec![false; targets.len()];
+
+        for day in 0..self.config.days {
+            // Synchronise simulated time to the scan day and let churn
+            // take services up/down.
+            let day_time = self.config.start + (day as u64) * DAY;
+            while net.time() < day_time {
+                net.advance_hours(1);
+            }
+            world.apply_churn(net, net.time());
+            net.revote();
+
+            let ports = schedule.ports_on(day).to_vec();
+            for (ti, &onion) in targets.iter().enumerate() {
+                report.probes_scheduled += ports.len() as u64;
+                let fetched = net.client_fetch(scanner_client, onion);
+                if fetched != FetchOutcome::Found {
+                    continue;
+                }
+                had_descriptor[ti] = true;
+                for &port in &ports {
+                    let reply = world.connect(onion, port, net.time());
+                    match reply {
+                        PortReply::Timeout => {}
+                        PortReply::Closed => report.probes_concluded += 1,
+                        PortReply::Open | PortReply::AbnormalClose => {
+                            report.probes_concluded += 1;
+                            *report.open_by_port.entry(port).or_insert(0) += 1;
+                            report
+                                .open_by_onion
+                                .entry(onion)
+                                .or_default()
+                                .push(port);
+                            if reply == PortReply::AbnormalClose && port == SKYNET_PORT {
+                                report.skynet_count += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        report.with_descriptors = had_descriptor.iter().filter(|&&b| b).count();
+        for ports in report.open_by_onion.values_mut() {
+            ports.sort_unstable();
+            ports.dedup();
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_world::WorldConfig;
+    use tor_sim::network::NetworkBuilder;
+
+    fn scan_small() -> (ScanReport, World) {
+        let world = World::generate(WorldConfig { seed: 5, scale: 0.01 });
+        let mut net = NetworkBuilder::new()
+            .relays(120)
+            .seed(5)
+            .start(SimTime::from_ymd(2013, 2, 13))
+            .build();
+        world.register_all(&mut net);
+        net.advance_hours(1);
+        let targets: Vec<OnionAddress> =
+            world.services().iter().map(|s| s.onion).collect();
+        let config = ScanConfig { days: 3, ..ScanConfig::default() };
+        let report = Scanner::new(config).run(&mut net, &world, &targets);
+        (report, world)
+    }
+
+    #[test]
+    fn skynet_dominates_open_ports() {
+        let (report, _) = scan_small();
+        let rows = report.fig1_rows(1);
+        assert_eq!(rows[0].0, "55080-Skynet", "rows: {rows:?}");
+        // Port 80 among the top rows.
+        assert!(rows.iter().take(4).any(|(l, _)| l == "80-http"));
+    }
+
+    #[test]
+    fn coverage_in_plausible_band() {
+        let (report, _) = scan_small();
+        let cov = report.coverage();
+        assert!((0.55..0.999).contains(&cov), "coverage {cov}");
+    }
+
+    #[test]
+    fn descriptors_found_for_most_live_services() {
+        let (report, world) = scan_small();
+        let publishing = world
+            .services()
+            .iter()
+            .filter(|s| s.publishes_descriptors())
+            .count();
+        assert!(report.with_descriptors > publishing * 8 / 10);
+        assert!(report.with_descriptors <= publishing);
+    }
+
+    #[test]
+    fn crawl_destinations_exclude_skynet_port() {
+        let (report, _) = scan_small();
+        assert!(report
+            .crawl_destinations()
+            .iter()
+            .all(|&(_, p)| p != SKYNET_PORT));
+        assert!(!report.crawl_destinations().is_empty());
+    }
+
+    #[test]
+    fn decoy_ports_never_open() {
+        let (report, _) = scan_small();
+        for decoy in [21u16, 23, 25] {
+            assert!(!report.open_by_port.contains_key(&decoy), "port {decoy}");
+        }
+    }
+
+    #[test]
+    fn open_lists_deduplicated() {
+        let (report, _) = scan_small();
+        for ports in report.open_by_onion.values() {
+            let mut sorted = ports.clone();
+            sorted.dedup();
+            assert_eq!(&sorted, ports);
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! The consensus archive: a generated three-year daily history of the
+//! Tor relay population (2011-02-01 … 2013-10-31), matching the HSDir
+//! growth the paper reports (757 → 1,862) and carrying enough per-relay
+//! detail (fingerprint, nickname, IP, first-seen) for the Sec. VII
+//! tracking detector.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use onion_crypto::identity::{Fingerprint, SimIdentity};
+use tor_sim::clock::{SimTime, DAY};
+use tor_sim::relay::Ipv4;
+
+/// One relay as archived in a daily consensus.
+#[derive(Clone, Debug)]
+pub struct ArchivedRelay {
+    /// Identity fingerprint on that day.
+    pub fingerprint: Fingerprint,
+    /// Nickname.
+    pub nickname: String,
+    /// IP address — the stable key a long-term observer uses to track
+    /// a *server* across fingerprint changes.
+    pub ip: Ipv4,
+    /// OR port.
+    pub or_port: u16,
+    /// Whether the relay carried the HSDir flag that day.
+    pub hsdir: bool,
+}
+
+/// One day of the archive.
+#[derive(Clone, Debug)]
+pub struct DailyConsensus {
+    /// Midnight timestamp of the day.
+    pub date: SimTime,
+    /// Relays listed that day.
+    pub relays: Vec<ArchivedRelay>,
+}
+
+impl DailyConsensus {
+    /// Number of HSDir-flagged relays.
+    pub fn hsdir_count(&self) -> usize {
+        self.relays.iter().filter(|r| r.hsdir).count()
+    }
+
+    /// HSDir fingerprints, sorted — the day's ring.
+    pub fn hsdir_ring(&self) -> Vec<&ArchivedRelay> {
+        let mut ring: Vec<&ArchivedRelay> =
+            self.relays.iter().filter(|r| r.hsdir).collect();
+        ring.sort_by_key(|r| r.fingerprint);
+        ring
+    }
+}
+
+/// The full archive.
+#[derive(Clone, Debug)]
+pub struct ConsensusArchive {
+    days: Vec<DailyConsensus>,
+}
+
+/// Generation parameters.
+#[derive(Clone, Debug)]
+pub struct HistoryConfig {
+    /// First archived day.
+    pub start: SimTime,
+    /// Last archived day (inclusive).
+    pub end: SimTime,
+    /// HSDir population on the first day (paper: 757).
+    pub hsdirs_at_start: u32,
+    /// HSDir population on the last day (paper: 1,862).
+    pub hsdirs_at_end: u32,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for HistoryConfig {
+    fn default() -> Self {
+        HistoryConfig {
+            start: SimTime::from_ymd(2011, 2, 1),
+            end: SimTime::from_ymd(2013, 10, 31),
+            hsdirs_at_start: 757,
+            hsdirs_at_end: 1_862,
+            seed: 0x51_1c_0ad,
+        }
+    }
+}
+
+/// A simulated honest server for archive generation.
+#[derive(Clone, Debug)]
+struct HonestServer {
+    ip: Ipv4,
+    or_port: u16,
+    nickname: String,
+    fingerprint: Fingerprint,
+    join_day: usize,
+    leave_day: usize,
+    daily_up: f64,
+    /// Days on which this operator rotates keys (benign churn).
+    key_rotation_days: Vec<usize>,
+    up_streak: u32,
+}
+
+impl ConsensusArchive {
+    /// Generates the honest background population.
+    pub fn generate(config: &HistoryConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let total_days = (config.end.since(config.start) / DAY) as usize + 1;
+
+        // Build a server pool sized so the per-day HSDir population
+        // grows linearly from start to end. Servers join at staggered
+        // days and live long.
+        let target_end = config.hsdirs_at_end as usize;
+        let pool_size = target_end * 108 / 100;
+        let mut servers: Vec<HonestServer> = Vec::with_capacity(pool_size);
+        for i in 0..pool_size {
+            // Join day: a fraction online from day 0, the rest arriving
+            // uniformly — approximating the linear growth.
+            let initial = config.hsdirs_at_start as usize * 11 / 10;
+            let join_day = if i < initial {
+                0
+            } else {
+                rng.random_range(0..total_days)
+            };
+            let lifetime = rng.random_range(total_days / 2..total_days * 4);
+            let daily_up = 0.90 + rng.random::<f64>() * 0.099;
+            let rotations = if rng.random::<f64>() < 0.05 {
+                // 5 % of operators rotate keys once or twice over 3 years.
+                (0..rng.random_range(1..3usize))
+                    .map(|_| rng.random_range(join_day + 1..total_days + 1))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let identity = SimIdentity::generate(&mut rng);
+            servers.push(HonestServer {
+                ip: Ipv4::new(
+                    60 + (i / (200 * 200)) as u8,
+                    (i / 200 % 200) as u8 + 1,
+                    (i % 200) as u8 + 1,
+                    1,
+                ),
+                or_port: 9001,
+                nickname: format!("relay{i}"),
+                fingerprint: identity.fingerprint(),
+                join_day,
+                leave_day: (join_day + lifetime).min(total_days + 1),
+                daily_up,
+                key_rotation_days: rotations,
+                up_streak: 0,
+            });
+        }
+
+        let mut days = Vec::with_capacity(total_days);
+        for d in 0..total_days {
+            let date = config.start + (d as u64) * DAY;
+            let mut relays = Vec::new();
+            for s in servers.iter_mut() {
+                if d < s.join_day || d >= s.leave_day {
+                    s.up_streak = 0;
+                    continue;
+                }
+                if s.key_rotation_days.contains(&d) {
+                    let identity = SimIdentity::generate(&mut rng);
+                    s.fingerprint = identity.fingerprint();
+                }
+                if rng.random::<f64>() >= s.daily_up {
+                    s.up_streak = 0;
+                    continue;
+                }
+                s.up_streak += 1;
+                relays.push(ArchivedRelay {
+                    fingerprint: s.fingerprint,
+                    nickname: s.nickname.clone(),
+                    ip: s.ip,
+                    or_port: s.or_port,
+                    // HSDir needs ≥ 25 h continuous uptime: at daily
+                    // granularity, up today and yesterday.
+                    hsdir: s.up_streak >= 2,
+                });
+            }
+            days.push(DailyConsensus { date, relays });
+        }
+        ConsensusArchive { days }
+    }
+
+    /// All archived days, oldest first.
+    pub fn days(&self) -> &[DailyConsensus] {
+        &self.days
+    }
+
+    /// Number of archived days.
+    pub fn len(&self) -> usize {
+        self.days.len()
+    }
+
+    /// Whether the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.days.is_empty()
+    }
+
+    /// The archived day containing `t`, if any.
+    pub fn day_at(&self, t: SimTime) -> Option<&DailyConsensus> {
+        let first = self.days.first()?.date;
+        if t < first {
+            return None;
+        }
+        let idx = (t.since(first) / DAY) as usize;
+        self.days.get(idx)
+    }
+
+    /// Mutable access for scenario injection.
+    pub(crate) fn days_mut(&mut self) -> &mut Vec<DailyConsensus> {
+        &mut self.days
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> HistoryConfig {
+        HistoryConfig {
+            start: SimTime::from_ymd(2011, 2, 1),
+            end: SimTime::from_ymd(2011, 6, 30),
+            hsdirs_at_start: 100,
+            hsdirs_at_end: 140,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn archive_spans_requested_window() {
+        let a = ConsensusArchive::generate(&small_config());
+        assert_eq!(a.len(), 150);
+        assert_eq!(a.days()[0].date, SimTime::from_ymd(2011, 2, 1));
+        assert_eq!(
+            a.days().last().unwrap().date,
+            SimTime::from_ymd(2011, 6, 30)
+        );
+    }
+
+    #[test]
+    fn hsdir_population_near_targets() {
+        let a = ConsensusArchive::generate(&small_config());
+        let first = a.days()[3].hsdir_count() as f64;
+        let last = a.days().last().unwrap().hsdir_count() as f64;
+        assert!((70.0..160.0).contains(&first), "start {first}");
+        assert!(last >= first, "population grows: {first} → {last}");
+    }
+
+    #[test]
+    fn full_scale_growth_matches_paper() {
+        let a = ConsensusArchive::generate(&HistoryConfig::default());
+        let first = a.days()[5].hsdir_count() as f64;
+        let last = a.days().last().unwrap().hsdir_count() as f64;
+        assert!((600.0..950.0).contains(&first), "2011 count {first}");
+        assert!((1_500.0..2_200.0).contains(&last), "2013 count {last}");
+    }
+
+    #[test]
+    fn ring_is_sorted() {
+        let a = ConsensusArchive::generate(&small_config());
+        let ring = a.days()[30].hsdir_ring();
+        for pair in ring.windows(2) {
+            assert!(pair[0].fingerprint <= pair[1].fingerprint);
+        }
+    }
+
+    #[test]
+    fn day_lookup() {
+        let a = ConsensusArchive::generate(&small_config());
+        let t = SimTime::from_ymd(2011, 3, 15) + 7 * 3600;
+        let day = a.day_at(t).unwrap();
+        assert_eq!(day.date, SimTime::from_ymd(2011, 3, 15));
+        assert!(a.day_at(SimTime::from_ymd(2010, 1, 1)).is_none());
+        assert!(a.day_at(SimTime::from_ymd(2020, 1, 1)).is_none());
+    }
+
+    #[test]
+    fn some_benign_key_rotation_exists() {
+        let a = ConsensusArchive::generate(&small_config());
+        // Track fingerprints per IP over time: at least one honest
+        // server rotates (5 % of pool over the window).
+        use std::collections::HashMap;
+        let mut fps: HashMap<Ipv4, std::collections::HashSet<Fingerprint>> = HashMap::new();
+        for day in a.days() {
+            for r in &day.relays {
+                fps.entry(r.ip).or_default().insert(r.fingerprint);
+            }
+        }
+        let rotated = fps.values().filter(|s| s.len() > 1).count();
+        assert!(rotated >= 1, "some operators rotate keys");
+        let stable = fps.values().filter(|s| s.len() == 1).count();
+        assert!(stable > rotated * 5, "most never rotate");
+    }
+
+    #[test]
+    fn determinism() {
+        let a = ConsensusArchive::generate(&small_config());
+        let b = ConsensusArchive::generate(&small_config());
+        assert_eq!(a.days()[40].relays.len(), b.days()[40].relays.len());
+        assert_eq!(
+            a.days()[40].relays[0].fingerprint,
+            b.days()[40].relays[0].fingerprint
+        );
+    }
+}

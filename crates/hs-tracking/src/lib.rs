@@ -1,0 +1,29 @@
+//! Detecting trackers of Tor hidden services in the public consensus
+//! history (Sec. VII of Biryukov et al., ICDCS 2014).
+//!
+//! Anyone can recompute which relays were responsible for a hidden
+//! service's descriptors on any past day: the descriptor IDs are a
+//! deterministic function of the onion address and the date, and the
+//! consensus archive records every relay's fingerprint and flags. A
+//! relay that keeps landing *just after* the target's descriptor IDs —
+//! especially right after a fingerprint change — is tracking the
+//! service. Applied to Silk Road, the paper found three campaigns
+//! (one being the authors' own experiments).
+//!
+//! - [`history`] — the generated 3-year consensus archive
+//!   (757 → 1,862 HSDirs);
+//! - [`scenario`] — injection of the three campaigns + the year-1
+//!   oddity;
+//! - [`detector`] — the statistical rules and per-server evidence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod detector;
+pub mod history;
+pub mod scenario;
+
+pub use detector::{
+    DetectorConfig, ServerKey, ServerReport, Suspicion, TrackingAnalysis, TrackingDetector,
+};
+pub use history::{ArchivedRelay, ConsensusArchive, DailyConsensus, HistoryConfig};

@@ -1,0 +1,268 @@
+//! Injection of the tracking campaigns the paper found in the real
+//! consensus archive (Sec. VII), plus the year-1 oddity.
+//!
+//! Three campaigns target the Silk Road main address
+//! (`silkroadvb5piz3r.onion`):
+//!
+//! 1. **Ours** (Nov 2012 – Jan 2013): the harvesting experiment's
+//!    relays, repeatedly changing fingerprints to positions at ratio
+//!    ≳ 100 from the descriptor ID.
+//! 2. **May 21 – Jun 3 2013**: servers sharing one nickname taking
+//!    over 1 of 6 responsible slots nearly every period (4 skipped),
+//!    fingerprints at ratio > 10,000.
+//! 3. **Aug 31 2013**: six relays with common nickname parts on
+//!    3 IP addresses seizing *all six* responsible slots for 24 h,
+//!    at minuscule ring distances.
+//!
+//! Plus the year-1 oddity: one server that normally lacks the HSDir
+//! flag but holds it on exactly the 3 occasions Silk Road would pick
+//! it as responsible.
+
+use onion_crypto::descriptor::DescriptorId;
+use onion_crypto::identity::Fingerprint;
+use onion_crypto::onion::OnionAddress;
+use onion_crypto::u160::U160;
+use tor_sim::clock::SimTime;
+use tor_sim::relay::Ipv4;
+
+use crate::history::{ArchivedRelay, ConsensusArchive};
+
+/// The Silk Road onion address the paper analysed.
+pub fn silkroad() -> OnionAddress {
+    "silkroadvb5piz3r".parse().expect("valid label")
+}
+
+/// Injects all three campaigns and the year-1 oddity.
+pub fn inject_all(archive: &mut ConsensusArchive, target: OnionAddress) {
+    inject_our_harvest_relays(archive, target);
+    inject_may_campaign(archive, target);
+    inject_august_takeover(archive, target);
+    inject_year1_oddity(archive, target);
+}
+
+/// A fingerprint at forward ring distance `dist` past the
+/// replica-`replica` descriptor ID of `target` on `date`.
+fn placed_fingerprint(
+    target: OnionAddress,
+    date: SimTime,
+    replica: usize,
+    dist: U160,
+) -> Fingerprint {
+    let ids = DescriptorId::pair_at(target, date.unix() + 43_200);
+    let pos = ids[replica].to_u160().wrapping_add(dist);
+    Fingerprint::from_digest(pos.into())
+}
+
+/// A ring distance of `avg_gap / ratio`, where `avg_gap = 2^160 / n`.
+fn gap_fraction(hsdirs: u64, ratio: u64) -> U160 {
+    U160::MAX.div_u64(hsdirs.max(1)).div_u64(ratio.max(1))
+}
+
+/// Campaign 1 — our own harvesting relays (ratio ≳ 100).
+///
+/// Two servers (stable IPs) re-position on multiple occasions between
+/// 2012-11-05 and 2013-01-20, at a distance of `avg_gap / 150` from
+/// the descriptor ID.
+pub fn inject_our_harvest_relays(archive: &mut ConsensusArchive, target: OnionAddress) {
+    let occasions = [
+        SimTime::from_ymd(2012, 11, 5),
+        SimTime::from_ymd(2012, 11, 28),
+        SimTime::from_ymd(2012, 12, 14),
+        SimTime::from_ymd(2013, 1, 6),
+        SimTime::from_ymd(2013, 1, 20),
+    ];
+    for day in archive.days_mut().iter_mut() {
+        if !occasions.contains(&day.date) {
+            continue;
+        }
+        let hsdirs = day.hsdir_count().max(1) as u64;
+        // ratio ≈ 150 (> the 100 threshold the paper mentions).
+        let dist = gap_fraction(hsdirs, 150);
+        for (srv, replica) in [(0usize, 0usize), (1, 1)] {
+            day.relays.push(ArchivedRelay {
+                fingerprint: placed_fingerprint(target, day.date, replica, dist),
+                nickname: format!("unnamed{srv}"),
+                ip: Ipv4::new(198, 18, 50, srv as u8 + 1),
+                or_port: 9001,
+                hsdir: true,
+            });
+        }
+    }
+}
+
+/// Campaign 2 — the May 21 – Jun 3 2013 tracker (ratio > 10,000).
+pub fn inject_may_campaign(archive: &mut ConsensusArchive, target: OnionAddress) {
+    let start = SimTime::from_ymd(2013, 5, 21);
+    let end = SimTime::from_ymd(2013, 6, 3);
+    // Four skipped periods, as the paper observed.
+    let skipped = [
+        SimTime::from_ymd(2013, 5, 24),
+        SimTime::from_ymd(2013, 5, 27),
+        SimTime::from_ymd(2013, 5, 30),
+        SimTime::from_ymd(2013, 6, 1),
+    ];
+    for day in archive.days_mut().iter_mut() {
+        if day.date < start || day.date > end || skipped.contains(&day.date) {
+            continue;
+        }
+        let hsdirs = day.hsdir_count().max(1) as u64;
+        // ratio > 10k: distance < avg_gap / 10_000.
+        let dist = gap_fraction(hsdirs, 20_000);
+        day.relays.push(ArchivedRelay {
+            fingerprint: placed_fingerprint(target, day.date, 0, dist),
+            nickname: "PrivacyRelayX".to_owned(),
+            ip: Ipv4::new(198, 18, 60, 1),
+            or_port: 443,
+            hsdir: true,
+        });
+    }
+}
+
+/// Campaign 3 — the Aug 31 2013 full takeover: six relays, shared
+/// nickname parts, three IPs, all six responsible slots, tiny
+/// distances.
+pub fn inject_august_takeover(archive: &mut ConsensusArchive, target: OnionAddress) {
+    let day_date = SimTime::from_ymd(2013, 8, 31);
+    for day in archive.days_mut().iter_mut() {
+        if day.date != day_date {
+            continue;
+        }
+        for slot in 0..6usize {
+            let replica = slot / 3;
+            // Minuscule distances (1, 2, 3 ring units): the paper calls
+            // these "very small".
+            let dist = U160::from_u64((slot % 3) as u64 + 1);
+            day.relays.push(ArchivedRelay {
+                fingerprint: placed_fingerprint(target, day.date, replica, dist),
+                nickname: format!("GlobalObserver{slot}"),
+                ip: Ipv4::new(198, 18, 70, (slot / 2) as u8 + 1),
+                or_port: 9001,
+                hsdir: true,
+            });
+        }
+    }
+}
+
+/// Year-1 oddity: a server without the HSDir flag except on the three
+/// days Silk Road would choose it — modelled by injecting it *with*
+/// the flag on exactly those days (and without, on surrounding days).
+pub fn inject_year1_oddity(archive: &mut ConsensusArchive, target: OnionAddress) {
+    let occasions = [
+        SimTime::from_ymd(2011, 4, 11),
+        SimTime::from_ymd(2011, 7, 2),
+        SimTime::from_ymd(2011, 11, 19),
+    ];
+    let year1_end = SimTime::from_ymd(2011, 12, 31);
+    for day in archive.days_mut().iter_mut() {
+        if day.date > year1_end {
+            continue;
+        }
+        let on_occasion = occasions.contains(&day.date);
+        let hsdirs = day.hsdir_count().max(1) as u64;
+        // Close enough to be responsible when flagged, but a chance-
+        // plausible distance (ratio ~ 2) — the paper could not prove
+        // intent, only "strange behaviour".
+        let dist = gap_fraction(hsdirs, 2);
+        day.relays.push(ArchivedRelay {
+            fingerprint: if on_occasion {
+                placed_fingerprint(target, day.date, 1, dist)
+            } else {
+                // A stable unrelated position on ordinary days.
+                Fingerprint::from_digest(onion_crypto::sha1::Sha1::digest(b"oddity"))
+            },
+            nickname: "flickerflag".to_owned(),
+            ip: Ipv4::new(198, 18, 80, 1),
+            or_port: 9030,
+            hsdir: on_occasion,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryConfig;
+
+    fn mini_archive() -> ConsensusArchive {
+        ConsensusArchive::generate(&HistoryConfig {
+            start: SimTime::from_ymd(2013, 8, 25),
+            end: SimTime::from_ymd(2013, 9, 5),
+            hsdirs_at_start: 120,
+            hsdirs_at_end: 130,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn august_takeover_controls_all_slots() {
+        let mut archive = mini_archive();
+        let target = silkroad();
+        inject_august_takeover(&mut archive, target);
+        let day = archive.day_at(SimTime::from_ymd(2013, 8, 31)).unwrap();
+
+        // Recompute responsibility: the 3 ring successors of each
+        // descriptor ID must all be GlobalObserver relays.
+        let ids = DescriptorId::pair_at(target, day.date.unix() + 43_200);
+        let ring = day.hsdir_ring();
+        for id in ids {
+            let pos = id.to_u160();
+            let mut successors: Vec<&&ArchivedRelay> = ring
+                .iter()
+                .filter(|r| {
+                    pos.distance_to(r.fingerprint.to_u160()) != onion_crypto::U160::ZERO
+                })
+                .collect();
+            successors
+                .sort_by_key(|r| pos.distance_to(r.fingerprint.to_u160()));
+            for r in successors.iter().take(3) {
+                assert!(
+                    r.nickname.starts_with("GlobalObserver"),
+                    "slot held by {}",
+                    r.nickname
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn may_campaign_present_on_most_days() {
+        let mut archive = ConsensusArchive::generate(&HistoryConfig {
+            start: SimTime::from_ymd(2013, 5, 15),
+            end: SimTime::from_ymd(2013, 6, 10),
+            hsdirs_at_start: 120,
+            hsdirs_at_end: 130,
+            seed: 4,
+        });
+        inject_may_campaign(&mut archive, silkroad());
+        let present = archive
+            .days()
+            .iter()
+            .filter(|d| d.relays.iter().any(|r| r.nickname == "PrivacyRelayX"))
+            .count();
+        // 14-day window minus 4 skips.
+        assert_eq!(present, 10);
+    }
+
+    #[test]
+    fn oddity_flag_only_on_occasions() {
+        let mut archive = ConsensusArchive::generate(&HistoryConfig {
+            start: SimTime::from_ymd(2011, 4, 1),
+            end: SimTime::from_ymd(2011, 4, 30),
+            hsdirs_at_start: 100,
+            hsdirs_at_end: 105,
+            seed: 5,
+        });
+        inject_year1_oddity(&mut archive, silkroad());
+        for day in archive.days() {
+            let odd = day.relays.iter().find(|r| r.nickname == "flickerflag");
+            let odd = odd.expect("oddity present every day in year 1");
+            let expect_flag = day.date == SimTime::from_ymd(2011, 4, 11);
+            assert_eq!(odd.hsdir, expect_flag, "{}", day.date);
+        }
+    }
+
+    #[test]
+    fn silkroad_parses() {
+        assert_eq!(silkroad().label(), "silkroadvb5piz3r");
+    }
+}

@@ -1,0 +1,206 @@
+//! A synthetic IPv4 geolocation database.
+//!
+//! Fig. 3 of the paper plots the countries of deanonymised clients of a
+//! popular hidden service. The original used a commercial geo-IP
+//! database over live client IPs; we substitute a deterministic
+//! allocation of first-octet blocks to countries, weighted by a
+//! plausible 2013 Tor-client population, so the attack pipeline can
+//! perform the same IP → country join.
+
+use rand::{Rng, RngExt};
+
+use tor_sim::relay::Ipv4;
+
+/// A country in the synthetic database.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Country {
+    /// ISO 3166-1 alpha-2 code.
+    pub code: &'static str,
+    /// English name.
+    pub name: &'static str,
+    /// Relative Tor-client population weight.
+    pub weight: u32,
+    /// Representative latitude (for map rendering).
+    pub lat: f64,
+    /// Representative longitude.
+    pub lon: f64,
+}
+
+/// 2013-plausible Tor client distribution (weights sum to 1000).
+pub const COUNTRIES: &[Country] = &[
+    Country { code: "US", name: "United States", weight: 175, lat: 39.8, lon: -98.5 },
+    Country { code: "DE", name: "Germany", weight: 105, lat: 51.2, lon: 10.4 },
+    Country { code: "RU", name: "Russia", weight: 85, lat: 61.5, lon: 105.3 },
+    Country { code: "FR", name: "France", weight: 65, lat: 46.2, lon: 2.2 },
+    Country { code: "IT", name: "Italy", weight: 60, lat: 41.9, lon: 12.6 },
+    Country { code: "GB", name: "United Kingdom", weight: 55, lat: 55.4, lon: -3.4 },
+    Country { code: "ES", name: "Spain", weight: 45, lat: 40.5, lon: -3.7 },
+    Country { code: "PL", name: "Poland", weight: 38, lat: 51.9, lon: 19.1 },
+    Country { code: "NL", name: "Netherlands", weight: 35, lat: 52.1, lon: 5.3 },
+    Country { code: "JP", name: "Japan", weight: 33, lat: 36.2, lon: 138.3 },
+    Country { code: "BR", name: "Brazil", weight: 32, lat: -14.2, lon: -51.9 },
+    Country { code: "CA", name: "Canada", weight: 30, lat: 56.1, lon: -106.3 },
+    Country { code: "SE", name: "Sweden", weight: 25, lat: 60.1, lon: 18.6 },
+    Country { code: "UA", name: "Ukraine", weight: 23, lat: 48.4, lon: 31.2 },
+    Country { code: "IR", name: "Iran", weight: 22, lat: 32.4, lon: 53.7 },
+    Country { code: "AU", name: "Australia", weight: 22, lat: -25.3, lon: 133.8 },
+    Country { code: "CZ", name: "Czech Republic", weight: 20, lat: 49.8, lon: 15.5 },
+    Country { code: "AT", name: "Austria", weight: 18, lat: 47.5, lon: 14.6 },
+    Country { code: "CH", name: "Switzerland", weight: 17, lat: 46.8, lon: 8.2 },
+    Country { code: "RO", name: "Romania", weight: 15, lat: 45.9, lon: 25.0 },
+    Country { code: "IN", name: "India", weight: 14, lat: 20.6, lon: 79.0 },
+    Country { code: "CN", name: "China", weight: 13, lat: 35.9, lon: 104.2 },
+    Country { code: "AR", name: "Argentina", weight: 12, lat: -38.4, lon: -63.6 },
+    Country { code: "MX", name: "Mexico", weight: 11, lat: 23.6, lon: -102.6 },
+    Country { code: "TR", name: "Turkey", weight: 10, lat: 39.0, lon: 35.2 },
+    Country { code: "KR", name: "South Korea", weight: 9, lat: 35.9, lon: 127.8 },
+    Country { code: "FI", name: "Finland", weight: 4, lat: 61.9, lon: 25.7 },
+    Country { code: "NO", name: "Norway", weight: 3, lat: 60.5, lon: 8.5 },
+    Country { code: "EG", name: "Egypt", weight: 2, lat: 26.8, lon: 30.8 },
+    Country { code: "ZA", name: "South Africa", weight: 2, lat: -30.6, lon: 22.9 },
+];
+
+/// The synthetic geolocation database: first-octet blocks 1–223 are
+/// assigned to countries proportionally to client weight.
+#[derive(Clone, Debug)]
+pub struct GeoDb {
+    /// `octet_owner[o]` = index into [`COUNTRIES`] for first octet `o`.
+    octet_owner: [u8; 224],
+}
+
+impl Default for GeoDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GeoDb {
+    /// Builds the database (deterministic, no RNG involved).
+    pub fn new() -> Self {
+        let total: u32 = COUNTRIES.iter().map(|c| c.weight).sum();
+        let usable = 223u32; // first octets 1..=223 (classic unicast)
+        let mut octet_owner = [0u8; 224];
+        let mut next_octet = 1usize;
+        let mut acc = 0u32;
+        for (i, c) in COUNTRIES.iter().enumerate() {
+            acc += c.weight;
+            let end = 1 + (acc * usable / total) as usize;
+            while next_octet < end.min(224) {
+                octet_owner[next_octet] = i as u8;
+                next_octet += 1;
+            }
+        }
+        while next_octet < 224 {
+            octet_owner[next_octet] = (COUNTRIES.len() - 1) as u8;
+            next_octet += 1;
+        }
+        GeoDb { octet_owner }
+    }
+
+    /// Looks up the country of an IP address.
+    pub fn lookup(&self, ip: Ipv4) -> &'static Country {
+        let octet = ip.octets()[0] as usize;
+        let idx = if octet == 0 || octet > 223 {
+            0
+        } else {
+            self.octet_owner[octet] as usize
+        };
+        &COUNTRIES[idx]
+    }
+
+    /// Samples a client IP address with country frequencies following
+    /// the population weights.
+    pub fn sample_client_ip(&self, rng: &mut impl Rng) -> Ipv4 {
+        // Sample a country by weight, then a random host inside one of
+        // its octet blocks.
+        let total: u32 = COUNTRIES.iter().map(|c| c.weight).sum();
+        let mut target = rng.random_range(0..total);
+        let mut country_idx = 0usize;
+        for (i, c) in COUNTRIES.iter().enumerate() {
+            if target < c.weight {
+                country_idx = i;
+                break;
+            }
+            target -= c.weight;
+        }
+        let blocks: Vec<u8> = (1..=223u8)
+            .filter(|&o| self.octet_owner[o as usize] as usize == country_idx)
+            .collect();
+        let first = if blocks.is_empty() {
+            1
+        } else {
+            blocks[rng.random_range(0..blocks.len())]
+        };
+        Ipv4::new(
+            first,
+            rng.random_range(0..=255),
+            rng.random_range(0..=255),
+            rng.random_range(1..=254),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_sum_to_1000() {
+        let total: u32 = COUNTRIES.iter().map(|c| c.weight).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn lookup_is_total() {
+        let db = GeoDb::new();
+        for o in 0..=255u8 {
+            let c = db.lookup(Ipv4::new(o, 1, 2, 3));
+            assert!(!c.code.is_empty());
+        }
+    }
+
+    #[test]
+    fn sampled_ips_map_back_to_weighted_countries() {
+        let db = GeoDb::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut us = 0u32;
+        let mut za = 0u32;
+        let n = 5_000;
+        for _ in 0..n {
+            let ip = db.sample_client_ip(&mut rng);
+            match db.lookup(ip).code {
+                "US" => us += 1,
+                "ZA" => za += 1,
+                _ => {}
+            }
+        }
+        // US ≈ 17.5 %, ZA ≈ 0.2 %.
+        assert!((0.13..0.23).contains(&(us as f64 / n as f64)), "US share {us}");
+        assert!(za < us / 10, "ZA must be rare");
+    }
+
+    #[test]
+    fn every_sampled_ip_is_unicast() {
+        let db = GeoDb::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..500 {
+            let ip = db.sample_client_ip(&mut rng);
+            let o = ip.octets()[0];
+            assert!((1..=223).contains(&o));
+        }
+    }
+
+    #[test]
+    fn big_countries_get_more_blocks() {
+        let db = GeoDb::new();
+        let count = |code: &str| {
+            (1..=223u8)
+                .filter(|&o| db.lookup(Ipv4::new(o, 0, 0, 1)).code == code)
+                .count()
+        };
+        assert!(count("US") > count("SE"));
+        assert!(count("DE") > count("NO"));
+    }
+}

@@ -1,0 +1,331 @@
+//! Seed vocabularies for page generation and classifier training.
+//!
+//! The world generator renders hidden-service pages by sampling from a
+//! per-topic keyword vocabulary mixed with common filler, in one of 17
+//! languages. The content-analysis crate trains its language detector
+//! and topic classifier on documents synthesised from these same seed
+//! lists *with independent sampling noise*, standing in for the paper's
+//! Langdetect profiles and Mallet/uClassify training corpora.
+
+use crate::taxonomy::{Language, Topic};
+
+/// Topic-specific keywords (English), used both to generate pages and to
+/// train the topic classifier.
+pub fn topic_keywords(topic: Topic) -> &'static [&'static str] {
+    match topic {
+        Topic::Adult => &[
+            "adult", "explicit", "webcam", "video", "gallery", "amateur", "premium",
+            "membership", "photos", "models", "erotic", "mature", "cams", "fetish",
+            "uncensored", "nude", "hot", "exclusive", "pics", "movies", "dating",
+            "singles", "chat", "live", "stream", "sexy", "babes", "hardcore",
+        ],
+        Topic::Drugs => &[
+            "cannabis", "weed", "marijuana", "mdma", "ecstasy", "lsd", "cocaine",
+            "heroin", "pills", "grams", "ounce", "vendor", "stealth", "shipping",
+            "escrow", "marketplace", "listing", "opioid", "psychedelic", "mushrooms",
+            "hash", "strain", "dose", "tabs", "pure", "lab", "tested", "reship",
+            "dispensary", "pharma",
+        ],
+        Topic::Politics => &[
+            "freedom", "speech", "corruption", "leak", "cables", "government",
+            "censorship", "repression", "rights", "human", "activist", "dissident",
+            "regime", "protest", "revolution", "transparency", "whistleblower",
+            "democracy", "election", "propaganda", "surveillance", "journalist",
+            "press", "liberty", "oppression", "reform", "manifesto", "petition",
+        ],
+        Topic::Counterfeit => &[
+            "counterfeit", "replica", "cards", "stolen", "dumps", "cvv", "fullz",
+            "paypal", "accounts", "hacked", "skimmer", "cloned", "passport", "fake",
+            "documents", "license", "banknotes", "bills", "currency", "carding",
+            "track2", "balance", "transfer", "westernunion", "cashout", "atm",
+            "identity", "ssn",
+        ],
+        Topic::Weapons => &[
+            "weapon", "firearm", "pistol", "rifle", "glock", "ammunition", "ammo",
+            "caliber", "rounds", "barrel", "suppressor", "holster", "tactical",
+            "gun", "shotgun", "magazine", "scope", "knife", "blade", "armory",
+            "ballistic", "trigger", "parts", "kit",
+        ],
+        Topic::Tutorials => &[
+            "tutorial", "guide", "howto", "faq", "beginners", "stepbystep",
+            "instructions", "learn", "manual", "walkthrough", "tips", "tricks",
+            "frequently", "asked", "questions", "answers", "basics", "advanced",
+            "lesson", "course", "handbook", "reference", "explained", "primer",
+        ],
+        Topic::Security => &[
+            "security", "encryption", "pgp", "gpg", "cipher", "key", "signature",
+            "vulnerability", "patch", "firewall", "malware", "antivirus", "audit",
+            "pentest", "hardening", "passphrase", "opsec", "threat", "exploit",
+            "disclosure", "advisory", "sandbox", "integrity", "authentication",
+            "certificate", "cryptography",
+        ],
+        Topic::Anonymity => &[
+            "anonymity", "anonymous", "privacy", "onion", "relay", "circuit",
+            "pseudonym", "remailer", "mixnet", "hidden", "untraceable", "metadata",
+            "fingerprinting", "proxy", "vpn", "i2p", "freenet", "darknet",
+            "deanonymization", "traffic", "analysis", "hosting", "mail",
+            "anonymizer", "bridge", "pluggable",
+        ],
+        Topic::Hacking => &[
+            "hacking", "hacker", "botnet", "ddos", "rootkit", "keylogger", "rat",
+            "zeroday", "sqlinjection", "xss", "phishing", "bruteforce", "shell",
+            "backdoor", "payload", "crack", "warez", "defacement", "dox", "leak",
+            "database", "breach", "spam", "flood",
+        ],
+        Topic::Software => &[
+            "software", "hardware", "download", "release", "version", "linux",
+            "windows", "source", "code", "repository", "compile", "build",
+            "install", "package", "driver", "firmware", "cpu", "gpu", "router",
+            "server", "client", "library", "framework", "opensource", "license",
+            "binary", "patchnotes",
+        ],
+        Topic::Art => &[
+            "art", "gallery", "painting", "poetry", "poems", "literature",
+            "drawing", "sketch", "artist", "exhibition", "creative", "writing",
+            "fiction", "stories", "novel", "photography", "portrait", "canvas",
+            "sculpture", "zine",
+        ],
+        Topic::Services => &[
+            "service", "escrow", "laundering", "mixer", "tumbler", "hitman",
+            "hire", "contract", "fee", "bitcoin", "payment", "wallet", "deposit",
+            "guarantee", "reputation", "vouches", "middleman", "broker", "rent",
+            "custom", "order", "delivery", "refund", "commission",
+        ],
+        Topic::Games => &[
+            "game", "chess", "poker", "lottery", "casino", "bet", "wager",
+            "jackpot", "dice", "roll", "tournament", "player", "rank", "elo",
+            "cards", "blackjack", "roulette", "winnings", "odds", "stake",
+        ],
+        Topic::Science => &[
+            "science", "research", "physics", "chemistry", "biology", "paper",
+            "journal", "experiment", "hypothesis", "theory", "quantum", "genome",
+            "mathematics", "theorem", "proof", "dataset", "laboratory", "peer",
+            "review", "citation",
+        ],
+        Topic::DigitalLibraries => &[
+            "library", "ebook", "books", "archive", "collection", "catalog",
+            "author", "title", "isbn", "pdf", "epub", "mirror", "repository",
+            "texts", "manuscripts", "scanned", "volumes", "index", "borrow",
+            "shelf", "bibliography",
+        ],
+        Topic::Sports => &[
+            "sports", "football", "soccer", "league", "match", "score", "team",
+            "season", "championship", "tournament", "player", "transfer",
+            "standings", "fixtures", "goals", "basketball", "tennis", "racing",
+        ],
+        Topic::Technology => &[
+            "technology", "gadget", "mobile", "phone", "tablet", "innovation",
+            "startup", "electronics", "chip", "sensor", "robotics", "network",
+            "protocol", "bandwidth", "wireless", "satellite", "drone", "battery",
+            "review", "benchmark",
+        ],
+        Topic::Other => &[
+            "misc", "random", "personal", "blog", "diary", "notes", "links",
+            "directory", "list", "page", "home", "welcome", "about", "contact",
+            "updates", "news", "announcement", "forum", "stuff", "various",
+        ],
+    }
+}
+
+/// Common English filler words mixed into every English page so topic
+/// classification is non-trivial.
+pub const ENGLISH_FILLER: &[&str] = &[
+    "the", "and", "for", "with", "this", "that", "from", "have", "are", "you",
+    "not", "all", "can", "your", "will", "one", "more", "when", "what", "some",
+    "time", "there", "here", "about", "which", "their", "other", "into", "only",
+    "also", "them", "then", "its", "our", "new", "use", "any", "these", "most",
+    "make", "like", "just", "over", "such", "very", "even", "back", "after",
+    "first", "well", "year", "where", "must", "before", "right", "too", "does",
+];
+
+/// Characteristic common words per language, used to generate non-English
+/// pages and to build language-detector profiles.
+pub fn language_words(lang: Language) -> &'static [&'static str] {
+    match lang {
+        Language::English => ENGLISH_FILLER,
+        Language::German => &[
+            "und", "der", "die", "das", "nicht", "mit", "ist", "von", "sich",
+            "auch", "auf", "werden", "haben", "eine", "einen", "dem", "des",
+            "für", "aber", "wenn", "oder", "wird", "sind", "noch", "wie",
+            "einem", "über", "zum", "kann", "mehr", "schon", "durch", "gegen",
+            "seine", "ihre", "unter", "dieser", "alle", "wieder", "zeit",
+            "jahr", "immer", "beim", "große", "neue", "deutsch", "sprache",
+        ],
+        Language::Russian => &[
+            "и", "в", "не", "на", "что", "с", "это", "как", "по", "но", "все",
+            "она", "так", "его", "только", "мне", "было", "меня", "еще", "нет",
+            "для", "уже", "вот", "когда", "даже", "ничего", "себя", "может",
+            "они", "есть", "надо", "сказал", "этого", "чтобы", "быть", "будет",
+            "время", "если", "люди", "русский", "язык", "страница", "сайт",
+        ],
+        Language::Portuguese => &[
+            "que", "não", "uma", "com", "para", "mais", "como", "mas", "foi",
+            "ele", "das", "tem", "seu", "sua", "ser", "quando", "muito", "nos",
+            "já", "está", "eu", "também", "pelo", "pela", "até", "isso", "ela",
+            "entre", "depois", "sem", "mesmo", "aos", "seus", "quem", "nas",
+            "esse", "eles", "você", "essa", "num", "nem", "são", "português",
+            "página", "serviço", "então", "coisa",
+        ],
+        Language::Spanish => &[
+            "que", "de", "no", "la", "el", "en", "es", "y", "los", "se", "del",
+            "las", "por", "un", "para", "con", "una", "su", "al", "lo", "como",
+            "más", "pero", "sus", "le", "ya", "o", "este", "sí", "porque",
+            "esta", "entre", "cuando", "muy", "sin", "sobre", "también", "hasta",
+            "hay", "donde", "quien", "desde", "todo", "nos", "durante", "todos",
+            "español", "página", "gracias", "ahora", "cada",
+        ],
+        Language::French => &[
+            "les", "des", "est", "dans", "et", "que", "une", "pour", "qui",
+            "pas", "sur", "plus", "par", "avec", "tout", "faire", "son", "mais",
+            "comme", "nous", "vous", "bien", "sans", "peut", "cette", "été",
+            "aussi", "leur", "sont", "deux", "même", "ils", "elle", "était",
+            "fait", "être", "aux", "ces", "donc", "encore", "français", "très",
+            "après", "autres", "depuis", "toujours", "chez",
+        ],
+        Language::Polish => &[
+            "nie", "się", "jest", "na", "do", "że", "jak", "ale", "po", "co",
+            "tak", "za", "tego", "tym", "już", "tylko", "był", "być", "może",
+            "przez", "jego", "przy", "bardzo", "kiedy", "nawet", "żeby",
+            "jeszcze", "wszystko", "gdzie", "które", "można", "przed", "także",
+            "sobie", "czy", "ich", "bez", "lub", "polski", "strona", "dla",
+            "jako", "pod", "oraz", "między", "każdy",
+        ],
+        Language::Japanese => &[
+            "の", "に", "は", "を", "た", "が", "で", "て", "と", "し", "れ",
+            "さ", "ある", "いる", "も", "する", "から", "な", "こと", "として",
+            "い", "や", "れる", "など", "なっ", "ない", "この", "ため", "その",
+            "あっ", "よう", "また", "もの", "という", "あり", "まで", "られ",
+            "なる", "へ", "か", "だ", "これ", "によって", "により", "おり",
+            "日本語", "ページ", "サービス",
+        ],
+        Language::Italian => &[
+            "che", "di", "la", "il", "un", "per", "non", "sono", "una", "con",
+            "si", "da", "come", "anche", "più", "ma", "del", "le", "nel",
+            "della", "questo", "quando", "nella", "hanno", "essere", "fatto",
+            "dei", "alla", "era", "molto", "stato", "quella", "tutti", "ancora",
+            "sua", "loro", "tempo", "può", "così", "due", "italiano", "pagina",
+            "dopo", "senza", "anni", "solo",
+        ],
+        Language::Czech => &[
+            "je", "se", "na", "že", "to", "však", "jako", "jsem", "jsou",
+            "který", "ale", "tak", "by", "bylo", "byl", "nebo", "podle", "ještě",
+            "až", "byla", "české", "aby", "co", "či", "už", "při", "pro",
+            "která", "může", "své", "jeho", "mezi", "tím", "být", "další",
+            "když", "velmi", "český", "stránka", "jen", "také", "nové", "proto",
+            "tady", "kde",
+        ],
+        Language::Arabic => &[
+            "في", "من", "على", "أن", "إلى", "عن", "مع", "هذا", "كان", "التي",
+            "الذي", "هذه", "ما", "لا", "أو", "كل", "بعد", "قد", "بين", "وقد",
+            "كما", "لم", "فيها", "عند", "لكن", "منذ", "حيث", "هناك", "ولا",
+            "عليه", "إذا", "ثم", "أكثر", "حتى", "غير", "بها", "وهو", "العربية",
+            "صفحة", "خدمة", "موقع", "جديد",
+        ],
+        Language::Dutch => &[
+            "de", "het", "een", "van", "en", "in", "is", "dat", "op", "te",
+            "zijn", "voor", "met", "die", "niet", "aan", "er", "om", "ook",
+            "als", "maar", "dan", "zij", "bij", "nog", "kan", "naar", "uit",
+            "worden", "wordt", "heeft", "hebben", "deze", "meer", "door",
+            "over", "zich", "hij", "wel", "geen", "nederlands", "pagina",
+            "onze", "alle", "tussen", "onder",
+        ],
+        Language::Basque => &[
+            "eta", "da", "ez", "du", "bat", "zen", "dira", "ere", "baina",
+            "dute", "izan", "egin", "hau", "den", "beste", "bere", "zuen",
+            "behar", "horrek", "baino", "oso", "gabe", "arte", "bezala",
+            "horren", "dela", "duen", "ziren", "lehen", "berri", "urte",
+            "euskaraz", "orrialdea", "zerbitzua", "guztiak", "hemen", "orain",
+            "gero", "bakarrik", "baita",
+        ],
+        Language::Chinese => &[
+            "的", "是", "在", "了", "不", "和", "有", "我", "这", "他", "就",
+            "人", "都", "一个", "上", "也", "很", "到", "说", "要", "去", "你",
+            "会", "着", "没有", "看", "好", "自己", "这个", "那", "来", "对",
+            "能", "中国", "中文", "页面", "服务", "网站", "可以", "我们",
+            "时候", "什么", "知道", "因为",
+        ],
+        Language::Hungarian => &[
+            "a", "az", "és", "hogy", "nem", "is", "egy", "volt", "de", "van",
+            "már", "ezt", "csak", "meg", "mint", "ha", "vagy", "még", "ki",
+            "azt", "el", "minden", "lehet", "olyan", "amikor", "nagyon",
+            "magyar", "oldal", "szolgáltatás", "után", "akkor", "mert", "így",
+            "amely", "más", "ember", "kell", "való", "itt", "most", "pedig",
+            "sem", "lesz", "ezek",
+        ],
+        Language::Bantu => &[
+            "na", "ya", "wa", "kwa", "ni", "za", "katika", "hii", "hiyo",
+            "watu", "kama", "lakini", "sasa", "pia", "tu", "yake", "wake",
+            "hapa", "sana", "kila", "baada", "kabla", "ndani", "nje", "juu",
+            "chini", "moja", "mbili", "habari", "ukurasa", "huduma", "karibu",
+            "asante", "ndiyo", "hapana", "kitu", "mahali", "wakati", "siku",
+            "mtu",
+        ],
+        Language::Swedish => &[
+            "och", "att", "det", "som", "en", "på", "är", "av", "för", "med",
+            "till", "den", "har", "de", "inte", "om", "ett", "men", "var",
+            "jag", "sig", "från", "vi", "så", "kan", "när", "han", "skulle",
+            "kommer", "eller", "vad", "sina", "här", "alla", "andra", "mycket",
+            "svenska", "sidan", "tjänst", "efter", "utan", "mellan", "bara",
+            "finns", "några", "då",
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_topic_has_keywords() {
+        for topic in Topic::ALL {
+            let kw = topic_keywords(topic);
+            assert!(kw.len() >= 15, "{topic}: only {} keywords", kw.len());
+        }
+    }
+
+    #[test]
+    fn every_language_has_words() {
+        for lang in Language::ALL {
+            let words = language_words(lang);
+            assert!(words.len() >= 35, "{lang}: only {} words", words.len());
+        }
+    }
+
+    #[test]
+    fn topic_vocabularies_mostly_disjoint() {
+        // Some overlap is fine (and realistic) but each pair must differ
+        // in the bulk of its vocabulary for classification to make sense.
+        for a in Topic::ALL {
+            for b in Topic::ALL {
+                if a >= b {
+                    continue;
+                }
+                let wa: std::collections::HashSet<_> =
+                    topic_keywords(a).iter().collect();
+                let overlap = topic_keywords(b)
+                    .iter()
+                    .filter(|w| wa.contains(*w))
+                    .count();
+                assert!(
+                    overlap * 3 <= topic_keywords(b).len(),
+                    "{a} and {b} overlap too much ({overlap})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn language_lexicons_distinct_from_english() {
+        for lang in &Language::ALL[1..] {
+            let en: std::collections::HashSet<_> = ENGLISH_FILLER.iter().collect();
+            let overlap = language_words(*lang)
+                .iter()
+                .filter(|w| en.contains(*w))
+                .count();
+            assert!(
+                overlap <= 3,
+                "{lang} shares {overlap} words with English filler"
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Synthetic Tor hidden-service world, calibrated to the populations
+//! measured by *"Content and popularity analysis of Tor hidden
+//! services"* (Biryukov et al., ICDCS 2014).
+//!
+//! The paper studied the live 2013 network; this crate substitutes a
+//! deterministic generator that reproduces every marginal the paper
+//! reports — Fig. 1's port distribution, Sec. III's certificate
+//! populations, Sec. IV's content funnel, languages and topics, and
+//! Table II's popularity ranking — so the measurement pipelines in the
+//! sibling crates can run unchanged against it.
+//!
+//! - [`taxonomy`] — the 18 topics of Fig. 2 and 17 languages of Sec. IV;
+//! - [`lexicon`] — seed vocabularies for page generation and training;
+//! - [`calib`] — every count the paper reports, as constants;
+//! - [`entities`] — the named Table II services, planted verbatim;
+//! - [`service`] — the per-service model (roles, ports, pages, certs);
+//! - [`world`] — the generator and the [`tor_sim::ServiceBackend`] glue;
+//! - [`geo`] — a synthetic IP-geolocation database for Fig. 3.
+//!
+//! # Examples
+//!
+//! ```
+//! use hs_world::{World, WorldConfig};
+//!
+//! let world = World::generate(WorldConfig::test_scale());
+//! let silkroad = world.get("silkroadvb5piz3r".parse()?).unwrap();
+//! assert_eq!(silkroad.planted, Some("SilkRoad"));
+//! # Ok::<(), onion_crypto::onion::ParseOnionError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod calib;
+pub mod entities;
+pub mod geo;
+pub mod lexicon;
+pub mod service;
+pub mod taxonomy;
+pub mod world;
+
+pub use geo::GeoDb;
+pub use service::{CertKind, Certificate, Page, Role, Service, WebProfile};
+pub use taxonomy::{Language, Topic};
+pub use world::{World, WorldConfig};

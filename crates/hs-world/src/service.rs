@@ -1,0 +1,531 @@
+//! The hidden-service model: roles, open ports, page content and TLS
+//! certificates.
+
+use core::fmt;
+
+use onion_crypto::onion::OnionAddress;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use crate::lexicon;
+use crate::taxonomy::{Language, Topic};
+
+/// Skynet's connection-forwarder port.
+pub const SKYNET_PORT: u16 = 55_080;
+/// TorChat's listening port.
+pub const TORCHAT_PORT: u16 = 11_009;
+/// The IRC port seen in Fig. 1.
+pub const IRC_PORT: u16 = 6_667;
+/// The unexplained port-4050 cluster of Fig. 1.
+pub const PORT_4050: u16 = 4_050;
+
+/// What a service fundamentally is; determines ports and content.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Role {
+    /// A machine infected with the Skynet malware: no open ports, but
+    /// port 55080 answers with an abnormal error.
+    SkynetBot,
+    /// A Goldnet command-and-control front end (port 80, 503 + exposed
+    /// `server-status`); `group` is the physical server.
+    GoldnetCc {
+        /// Physical-server group (0 or 1), recoverable from matching
+        /// Apache uptimes on the status page.
+        group: u8,
+    },
+    /// A Skynet command-and-control or bitcoin-pool onion.
+    SkynetCc,
+    /// A web service on port 80 (possibly mirrored on 443).
+    Web,
+    /// An SSH host (port 22 only).
+    SshHost,
+    /// A TorChat peer (port 11009).
+    TorChat,
+    /// An IRC server (port 6667).
+    Irc,
+    /// One of the long tail of unusual single-port services.
+    CustomPort(u16),
+    /// Descriptor published but no open ports at all.
+    NoOpenPorts,
+    /// Address harvested but descriptor no longer published (dead
+    /// service; target of phantom requests).
+    Dark,
+}
+
+/// TLS certificate flavour served on port 443 (Sec. III).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CertKind {
+    /// Self-signed, common name unrelated to the requested host.
+    SelfSignedMismatch,
+    /// The TorHost shared certificate (`esjqyk2khizsy43i.onion`).
+    TorHostCn,
+    /// Carries the operator's *clearnet* DNS name — deanonymising.
+    ClearnetDns,
+    /// Common name matches the onion address.
+    MatchingOnion,
+}
+
+/// A TLS certificate as observed by the scanner.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Certificate {
+    /// The certificate's common name.
+    pub common_name: String,
+    /// Whether it is self-signed.
+    pub self_signed: bool,
+    /// Its flavour.
+    pub kind: CertKind,
+}
+
+/// Web-content attributes of a service with HTTP content.
+#[derive(Clone, Copy, Debug)]
+pub struct WebProfile {
+    /// Page topic.
+    pub topic: Topic,
+    /// Page language.
+    pub language: Language,
+    /// Shows the TorHost free-hosting default page.
+    pub torhost_default: bool,
+    /// Fewer than 20 words of text.
+    pub short_page: bool,
+    /// An error message wrapped in HTML.
+    pub error_page: bool,
+    /// Port 443 open too.
+    pub https: bool,
+    /// Port 443 serves a byte-identical copy of port 80.
+    pub https_mirror: bool,
+    /// Certificate flavour when `https`.
+    pub cert: CertKind,
+    /// Serves on 8080 instead of 80 (Table I's four oddballs).
+    pub on_8080: bool,
+    /// Serves HTTPS only — port 443 without a port-80 counterpart.
+    pub https_only: bool,
+}
+
+impl Default for WebProfile {
+    fn default() -> Self {
+        WebProfile {
+            topic: Topic::Other,
+            language: Language::English,
+            torhost_default: false,
+            short_page: false,
+            error_page: false,
+            https: false,
+            https_mirror: false,
+            cert: CertKind::MatchingOnion,
+            on_8080: false,
+            https_only: false,
+        }
+    }
+}
+
+/// One hidden service in the synthetic world.
+#[derive(Clone, Debug)]
+pub struct Service {
+    /// Stable index in the world.
+    pub index: u32,
+    /// The service's onion address.
+    pub onion: OnionAddress,
+    /// What it is.
+    pub role: Role,
+    /// Web attributes (meaningful for `Web`-role services).
+    pub web: WebProfile,
+    /// Expected descriptor fetches per 2-hour window.
+    pub popularity: f64,
+    /// Table II label, if this is a planted entity.
+    pub planted: Option<&'static str>,
+    /// Probability the service is up on any given day of the scan week
+    /// (scan-time churn; the paper reached 87 % port coverage).
+    pub daily_availability: f64,
+    /// Destination still in place at crawl time, two months later.
+    pub alive_at_crawl: bool,
+    /// An HTTP(S) connection to the destination succeeds at crawl time
+    /// (the paper connected to 6,579 of 7,114 still-open destinations).
+    pub connects_at_crawl: bool,
+}
+
+impl Service {
+    /// The ports this service listens on (sorted). Port 55080's
+    /// abnormal-close behaviour is *not* listed here — it is not an
+    /// open port, merely a distinguishable reply.
+    pub fn open_ports(&self) -> Vec<u16> {
+        match self.role {
+            Role::SkynetBot => vec![],
+            Role::GoldnetCc { .. } => vec![80],
+            Role::SkynetCc => vec![IRC_PORT, SKYNET_PORT],
+            Role::Web => {
+                if self.web.https_only {
+                    return vec![443];
+                }
+                let mut p = vec![if self.web.on_8080 { 8080 } else { 80 }];
+                if self.web.https {
+                    p.push(443);
+                }
+                p.sort_unstable();
+                p
+            }
+            Role::SshHost => vec![22],
+            Role::TorChat => vec![TORCHAT_PORT],
+            Role::Irc => vec![IRC_PORT],
+            Role::CustomPort(p) => vec![p],
+            Role::NoOpenPorts | Role::Dark => vec![],
+        }
+    }
+
+    /// Whether the service publishes descriptors at all.
+    pub fn publishes_descriptors(&self) -> bool {
+        !matches!(self.role, Role::Dark)
+    }
+
+    /// Whether this is one of the skynet-infected machines (counted via
+    /// the 55080 oracle).
+    pub fn is_skynet_bot(&self) -> bool {
+        matches!(self.role, Role::SkynetBot)
+    }
+
+    /// The TLS certificate served on 443, if any.
+    pub fn certificate(&self) -> Option<Certificate> {
+        if !(matches!(self.role, Role::Web) && (self.web.https || self.web.https_only)) {
+            return None;
+        }
+        let cn_seed = self.onion.label();
+        let cert = match self.web.cert {
+            CertKind::TorHostCn => Certificate {
+                common_name: "esjqyk2khizsy43i.onion".to_owned(),
+                self_signed: true,
+                kind: CertKind::TorHostCn,
+            },
+            CertKind::SelfSignedMismatch => Certificate {
+                // A common name unrelated to the requested host.
+                common_name: format!("{}.local", &cn_seed[..8]),
+                self_signed: true,
+                kind: CertKind::SelfSignedMismatch,
+            },
+            CertKind::ClearnetDns => Certificate {
+                common_name: format!("www.{}.example.com", &cn_seed[..6]),
+                self_signed: false,
+                kind: CertKind::ClearnetDns,
+            },
+            CertKind::MatchingOnion => Certificate {
+                common_name: format!("{cn_seed}.onion"),
+                self_signed: true,
+                kind: CertKind::MatchingOnion,
+            },
+        };
+        Some(cert)
+    }
+
+    /// Renders the page text served at `port`, or `None` when the port
+    /// speaks no HTTP. Deterministic per (service, port).
+    pub fn render_page(&self, port: u16) -> Option<Page> {
+        match self.role {
+            Role::GoldnetCc { group } if port == 80 => Some(Page {
+                status: 503,
+                body: format!(
+                    "<html><head><title>503 Service Unavailable</title></head>\
+                     <body><h1>Service Unavailable</h1></body></html>\
+                     <!-- server-status: Apache uptime {} seconds, \
+                     10 req/sec, 330 KB/s, POST -->",
+                    3_000_000 + u64::from(group) * 777_777
+                ),
+                words: 5,
+            }),
+            Role::SshHost if port == 22 => Some(Page {
+                status: 0,
+                body: format!(
+                    "SSH-2.0-OpenSSH_5.9p1 Debian-5ubuntu1 {}",
+                    &self.onion.label()[..4]
+                ),
+                words: 2,
+            }),
+            Role::Web => {
+                if self.web.https_only {
+                    return (port == 443).then(|| self.render_web_page());
+                }
+                let web_port = if self.web.on_8080 { 8080 } else { 80 };
+                if port == web_port || (port == 443 && self.web.https) {
+                    Some(self.render_web_page())
+                } else {
+                    None
+                }
+            }
+            // TorChat/IRC/custom ports accept TCP but reply with a
+            // non-HTTP protocol greeting: a handful of words at most.
+            Role::TorChat if port == TORCHAT_PORT => Some(Page {
+                status: 0,
+                body: "ping 1a2b3c4d".to_owned(),
+                words: 2,
+            }),
+            Role::Irc | Role::SkynetCc if port == IRC_PORT => Some(Page {
+                status: 0,
+                body: ":server NOTICE AUTH :*** Looking up your hostname".to_owned(),
+                words: 7,
+            }),
+            Role::CustomPort(p) if port == p => Some(Page {
+                status: 0,
+                body: "protocol error".to_owned(),
+                words: 2,
+            }),
+            _ => None,
+        }
+    }
+
+    fn render_web_page(&self) -> Page {
+        let mut rng = self.page_rng();
+        if self.web.torhost_default {
+            return Page {
+                status: 200,
+                body: torhost_default_page(),
+                words: 40,
+            };
+        }
+        if self.web.error_page {
+            return Page {
+                status: 200,
+                body: "<html><body><h1>Error</h1><p>database connection \
+                       failed please contact the administrator of this \
+                       site for details about this internal error and try \
+                       again later thank you</p></body></html>"
+                    .to_owned(),
+                words: 24,
+            };
+        }
+        if self.web.short_page {
+            let n = rng.random_range(1..20usize);
+            let words = sample_words(Language::English, self.web.topic, n, &mut rng);
+            return Page {
+                status: 200,
+                body: format!("<html><body>{}</body></html>", words.join(" ")),
+                words: n,
+            };
+        }
+        let n = rng.random_range(60..400usize);
+        let words = sample_words(self.web.language, self.web.topic, n, &mut rng);
+        Page {
+            status: 200,
+            body: format!(
+                "<html><head><title>{}</title></head><body><p>{}</p></body></html>",
+                self.onion.label(),
+                words.join(" ")
+            ),
+            words: n,
+        }
+    }
+
+    /// Per-service deterministic RNG for page rendering.
+    fn page_rng(&self) -> StdRng {
+        let b = self.onion.permanent_id();
+        let mut seed = 0u64;
+        for &x in b.as_bytes() {
+            seed = seed.wrapping_mul(131).wrapping_add(u64::from(x));
+        }
+        StdRng::seed_from_u64(seed ^ 0x9a9e_2013)
+    }
+}
+
+/// A fetched page (or protocol banner).
+#[derive(Clone, Debug)]
+pub struct Page {
+    /// HTTP status (0 for non-HTTP protocol replies).
+    pub status: u16,
+    /// Raw body.
+    pub body: String,
+    /// Number of natural-language words in the body (what the crawl's
+    /// 20-word rule counts).
+    pub words: usize,
+}
+
+impl fmt::Display for Page {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} words", self.status, self.words)
+    }
+}
+
+/// The TorHost free-hosting default page (served by 805 crawled
+/// services in the paper).
+pub fn torhost_default_page() -> String {
+    "<html><head><title>TorHost free anonymous hosting</title></head><body>\
+     <h1>Welcome to your new TorHost site</h1><p>This is the default page \
+     of the torhost onion free anonymous hosting service. Upload your own \
+     content to replace this page. Free hosting for hidden services with \
+     anonymous registration and no logs kept of any uploads or visits \
+     enjoy your stay on the hidden web</p></body></html>"
+        .to_owned()
+}
+
+/// Samples `n` words: roughly 55 % topic keywords, 45 % language filler
+/// for English pages; non-English pages draw from the language lexicon
+/// with a sprinkle of (English) topic keywords, as real pages do.
+pub fn sample_words(
+    language: Language,
+    topic: Topic,
+    n: usize,
+    rng: &mut impl Rng,
+) -> Vec<String> {
+    let keywords = lexicon::topic_keywords(topic);
+    let filler = lexicon::language_words(language);
+    let keyword_share = if language == Language::English { 0.55 } else { 0.15 };
+    (0..n)
+        .map(|_| {
+            let pool = if rng.random::<f64>() < keyword_share {
+                keywords
+            } else {
+                filler
+            };
+            pool[rng.random_range(0..pool.len())].to_owned()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn web_service(web: WebProfile) -> Service {
+        Service {
+            index: 0,
+            onion: OnionAddress::from_pubkey(b"a web service"),
+            role: Role::Web,
+            web,
+            popularity: 1.0,
+            planted: None,
+            daily_availability: 1.0,
+            alive_at_crawl: true,
+            connects_at_crawl: true,
+        }
+    }
+
+    #[test]
+    fn skynet_bot_has_no_open_ports() {
+        let s = Service {
+            index: 0,
+            onion: OnionAddress::from_pubkey(b"bot"),
+            role: Role::SkynetBot,
+            web: WebProfile::default(),
+            popularity: 0.0,
+            planted: None,
+            daily_availability: 1.0,
+            alive_at_crawl: true,
+            connects_at_crawl: true,
+        };
+        assert!(s.open_ports().is_empty());
+        assert!(s.is_skynet_bot());
+        assert!(s.render_page(SKYNET_PORT).is_none());
+    }
+
+    #[test]
+    fn web_ports_follow_profile() {
+        let mut web = WebProfile { https: true, ..WebProfile::default() };
+        assert_eq!(web_service(web).open_ports(), vec![80, 443]);
+        web.https = false;
+        assert_eq!(web_service(web).open_ports(), vec![80]);
+        web.on_8080 = true;
+        assert_eq!(web_service(web).open_ports(), vec![8080]);
+    }
+
+    #[test]
+    fn page_rendering_deterministic() {
+        let s = web_service(WebProfile { topic: Topic::Drugs, ..WebProfile::default() });
+        let a = s.render_page(80).unwrap();
+        let b = s.render_page(80).unwrap();
+        assert_eq!(a.body, b.body);
+        assert!(a.words >= 60);
+        assert_eq!(a.status, 200);
+    }
+
+    #[test]
+    fn https_mirror_serves_identical_content() {
+        let s = web_service(WebProfile {
+            https: true,
+            https_mirror: true,
+            ..WebProfile::default()
+        });
+        assert_eq!(s.render_page(80).unwrap().body, s.render_page(443).unwrap().body);
+    }
+
+    #[test]
+    fn short_page_under_20_words() {
+        let s = web_service(WebProfile { short_page: true, ..WebProfile::default() });
+        assert!(s.render_page(80).unwrap().words < 20);
+    }
+
+    #[test]
+    fn torhost_default_page_is_english_boilerplate() {
+        let s = web_service(WebProfile { torhost_default: true, ..WebProfile::default() });
+        let p = s.render_page(80).unwrap();
+        assert!(p.body.contains("TorHost"));
+        assert!(p.words >= 20);
+    }
+
+    #[test]
+    fn goldnet_returns_503_with_server_status() {
+        let s = Service {
+            index: 0,
+            onion: OnionAddress::from_pubkey(b"goldnet"),
+            role: Role::GoldnetCc { group: 1 },
+            web: WebProfile::default(),
+            popularity: 10_000.0,
+            planted: Some("Goldnet"),
+            daily_availability: 1.0,
+            alive_at_crawl: true,
+            connects_at_crawl: true,
+        };
+        let p = s.render_page(80).unwrap();
+        assert_eq!(p.status, 503);
+        assert!(p.body.contains("server-status"));
+    }
+
+    #[test]
+    fn certificates_by_kind() {
+        let mk = |cert| {
+            web_service(WebProfile { https: true, cert, ..WebProfile::default() })
+                .certificate()
+                .unwrap()
+        };
+        let torhost = mk(CertKind::TorHostCn);
+        assert_eq!(torhost.common_name, "esjqyk2khizsy43i.onion");
+        assert!(torhost.self_signed);
+
+        let clearnet = mk(CertKind::ClearnetDns);
+        assert!(clearnet.common_name.ends_with(".example.com"));
+        assert!(!clearnet.self_signed);
+
+        let matching = mk(CertKind::MatchingOnion);
+        assert!(matching.common_name.ends_with(".onion"));
+
+        // No HTTPS → no certificate.
+        assert!(web_service(WebProfile::default()).certificate().is_none());
+    }
+
+    #[test]
+    fn ssh_banner_is_short() {
+        let s = Service {
+            index: 0,
+            onion: OnionAddress::from_pubkey(b"sshhost"),
+            role: Role::SshHost,
+            web: WebProfile::default(),
+            popularity: 0.5,
+            planted: None,
+            daily_availability: 1.0,
+            alive_at_crawl: true,
+            connects_at_crawl: true,
+        };
+        let p = s.render_page(22).unwrap();
+        assert!(p.body.starts_with("SSH-2.0"));
+        assert!(p.words < 20);
+        assert!(s.render_page(80).is_none());
+    }
+
+    #[test]
+    fn non_english_pages_use_language_lexicon() {
+        let s = web_service(WebProfile {
+            language: Language::German,
+            topic: Topic::Politics,
+            ..WebProfile::default()
+        });
+        let p = s.render_page(80).unwrap();
+        let german_hits = ["und", "der", "nicht", "das", "werden"]
+            .iter()
+            .filter(|w| p.body.split_whitespace().any(|t| t == **w))
+            .count();
+        assert!(german_hits >= 2, "expected German words in body");
+    }
+}

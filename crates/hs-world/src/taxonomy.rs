@@ -1,0 +1,286 @@
+//! The classification taxonomy of the paper: 18 content topics (Fig. 2)
+//! and 17 page languages (Sec. IV).
+
+use core::fmt;
+
+/// The 18 content categories of Fig. 2.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Topic {
+    /// Adult content (17 % of classified English pages).
+    Adult,
+    /// Drug marketplaces and forums (15 %).
+    Drugs,
+    /// Political reporting, leaks, human-rights resources (9 %).
+    Politics,
+    /// Counterfeit goods, stolen card numbers, hacked accounts (8 %).
+    Counterfeit,
+    /// Weapon sales (4 %).
+    Weapons,
+    /// FAQs and tutorials (4 %).
+    Tutorials,
+    /// Security resources (5 %).
+    Security,
+    /// Anonymity technology and discussion (8 %).
+    Anonymity,
+    /// Hacking fora and services (3 %).
+    Hacking,
+    /// Software and hardware (7 %).
+    Software,
+    /// Art (2 %).
+    Art,
+    /// Escrow, money laundering, hit-man style "services" (4 %).
+    Services,
+    /// Games: chess, lotteries, bitcoin poker (1 %).
+    Games,
+    /// Science (1 %).
+    Science,
+    /// Digital libraries (4 %).
+    DigitalLibraries,
+    /// Sports (1 %).
+    Sports,
+    /// Technology (4 %).
+    Technology,
+    /// Everything else (3 %).
+    Other,
+}
+
+impl Topic {
+    /// All topics, in Fig. 2 order.
+    pub const ALL: [Topic; 18] = [
+        Topic::Adult,
+        Topic::Drugs,
+        Topic::Politics,
+        Topic::Counterfeit,
+        Topic::Weapons,
+        Topic::Tutorials,
+        Topic::Security,
+        Topic::Anonymity,
+        Topic::Hacking,
+        Topic::Software,
+        Topic::Art,
+        Topic::Services,
+        Topic::Games,
+        Topic::Science,
+        Topic::DigitalLibraries,
+        Topic::Sports,
+        Topic::Technology,
+        Topic::Other,
+    ];
+
+    /// The paper's measured share of classified English pages, in
+    /// percent (Fig. 2; sums to 100).
+    pub fn paper_percent(self) -> u32 {
+        match self {
+            Topic::Adult => 17,
+            Topic::Drugs => 15,
+            Topic::Politics => 9,
+            Topic::Counterfeit => 8,
+            Topic::Weapons => 4,
+            Topic::Tutorials => 4,
+            Topic::Security => 5,
+            Topic::Anonymity => 8,
+            Topic::Hacking => 3,
+            Topic::Software => 7,
+            Topic::Art => 2,
+            Topic::Services => 4,
+            Topic::Games => 1,
+            Topic::Science => 1,
+            Topic::DigitalLibraries => 4,
+            Topic::Sports => 1,
+            Topic::Technology => 4,
+            Topic::Other => 3,
+        }
+    }
+
+    /// Human-readable label matching Fig. 2.
+    pub fn label(self) -> &'static str {
+        match self {
+            Topic::Adult => "Adult",
+            Topic::Drugs => "Drugs",
+            Topic::Politics => "Politics",
+            Topic::Counterfeit => "Counterfeit",
+            Topic::Weapons => "Weapons",
+            Topic::Tutorials => "FAQs,Tutorials",
+            Topic::Security => "Security",
+            Topic::Anonymity => "Anonymity",
+            Topic::Hacking => "Hacking",
+            Topic::Software => "Software,Hardware",
+            Topic::Art => "Art",
+            Topic::Services => "Services",
+            Topic::Games => "Games",
+            Topic::Science => "Science",
+            Topic::DigitalLibraries => "Digital libs",
+            Topic::Sports => "Sports",
+            Topic::Technology => "Technology",
+            Topic::Other => "Other",
+        }
+    }
+}
+
+impl fmt::Display for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The 17 page languages the paper found (Sec. IV).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Language {
+    /// English — 84 % of classified pages.
+    English,
+    /// German.
+    German,
+    /// Russian.
+    Russian,
+    /// Portuguese.
+    Portuguese,
+    /// Spanish.
+    Spanish,
+    /// French.
+    French,
+    /// Polish.
+    Polish,
+    /// Japanese.
+    Japanese,
+    /// Italian.
+    Italian,
+    /// Czech.
+    Czech,
+    /// Arabic.
+    Arabic,
+    /// Dutch.
+    Dutch,
+    /// Basque.
+    Basque,
+    /// Chinese.
+    Chinese,
+    /// Hungarian.
+    Hungarian,
+    /// Bantu (as reported by the paper's detector).
+    Bantu,
+    /// Swedish.
+    Swedish,
+}
+
+impl Language {
+    /// All languages, English first.
+    pub const ALL: [Language; 17] = [
+        Language::English,
+        Language::German,
+        Language::Russian,
+        Language::Portuguese,
+        Language::Spanish,
+        Language::French,
+        Language::Polish,
+        Language::Japanese,
+        Language::Italian,
+        Language::Czech,
+        Language::Arabic,
+        Language::Dutch,
+        Language::Basque,
+        Language::Chinese,
+        Language::Hungarian,
+        Language::Bantu,
+        Language::Swedish,
+    ];
+
+    /// Share of classified pages in this language, in permille
+    /// (English 840‰, every other language < 30‰; sums to 1000).
+    pub fn paper_permille(self) -> u32 {
+        match self {
+            Language::English => 840,
+            Language::German => 25,
+            Language::Russian => 22,
+            Language::Portuguese => 18,
+            Language::Spanish => 15,
+            Language::French => 14,
+            Language::Polish => 12,
+            Language::Japanese => 10,
+            Language::Italian => 9,
+            Language::Czech => 7,
+            Language::Arabic => 6,
+            Language::Dutch => 6,
+            Language::Basque => 4,
+            Language::Chinese => 4,
+            Language::Hungarian => 3,
+            Language::Bantu => 2,
+            Language::Swedish => 3,
+        }
+    }
+
+    /// ISO-639-ish code used in reports.
+    pub fn code(self) -> &'static str {
+        match self {
+            Language::English => "en",
+            Language::German => "de",
+            Language::Russian => "ru",
+            Language::Portuguese => "pt",
+            Language::Spanish => "es",
+            Language::French => "fr",
+            Language::Polish => "pl",
+            Language::Japanese => "ja",
+            Language::Italian => "it",
+            Language::Czech => "cs",
+            Language::Arabic => "ar",
+            Language::Dutch => "nl",
+            Language::Basque => "eu",
+            Language::Chinese => "zh",
+            Language::Hungarian => "hu",
+            Language::Bantu => "bnt",
+            Language::Swedish => "sv",
+        }
+    }
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topic_percentages_sum_to_100() {
+        let total: u32 = Topic::ALL.iter().map(|t| t.paper_percent()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn language_permille_sums_to_1000() {
+        let total: u32 = Language::ALL.iter().map(|l| l.paper_permille()).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn english_dominates() {
+        assert_eq!(Language::English.paper_permille(), 840);
+        for lang in &Language::ALL[1..] {
+            assert!(lang.paper_permille() < 30, "{lang} must be <3%");
+        }
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<&str> = Topic::ALL.iter().map(|t| t.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 18);
+        let mut codes: Vec<&str> = Language::ALL.iter().map(|l| l.code()).collect();
+        codes.sort();
+        codes.dedup();
+        assert_eq!(codes.len(), 17);
+    }
+
+    #[test]
+    fn fig2_headline_shape() {
+        // Adult and Drugs lead; Drugs+Adult+Counterfeit+Weapons = 44 %.
+        let illegal = Topic::Adult.paper_percent()
+            + Topic::Drugs.paper_percent()
+            + Topic::Counterfeit.paper_percent()
+            + Topic::Weapons.paper_percent();
+        assert_eq!(illegal, 44);
+    }
+}

@@ -1,0 +1,140 @@
+//! RFC 4648 base32 encoding, in the lowercase, unpadded flavour used by
+//! `.onion` addresses.
+//!
+//! Tor derives a v2 onion address by base32-encoding the first 10 bytes of
+//! the SHA-1 digest of the service's public key, yielding the familiar
+//! 16-character names like `silkroadvb5piz3r`.
+//!
+//! # Examples
+//!
+//! ```
+//! use onion_crypto::base32;
+//!
+//! assert_eq!(base32::encode(b"hello"), "nbswy3dp");
+//! assert_eq!(base32::decode("nbswy3dp").unwrap(), b"hello");
+//! ```
+
+use core::fmt;
+
+const ALPHABET: &[u8; 32] = b"abcdefghijklmnopqrstuvwxyz234567";
+
+/// Encodes `data` as lowercase, unpadded RFC 4648 base32.
+pub fn encode(data: impl AsRef<[u8]>) -> String {
+    let data = data.as_ref();
+    let mut out = String::with_capacity(data.len().div_ceil(5) * 8);
+    let mut acc: u64 = 0;
+    let mut bits: u32 = 0;
+    for &byte in data {
+        acc = (acc << 8) | u64::from(byte);
+        bits += 8;
+        while bits >= 5 {
+            bits -= 5;
+            out.push(ALPHABET[((acc >> bits) & 0x1f) as usize] as char);
+        }
+    }
+    if bits > 0 {
+        out.push(ALPHABET[((acc << (5 - bits)) & 0x1f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes lowercase or uppercase unpadded base32.
+///
+/// Trailing `=` padding is accepted and ignored so that strings produced by
+/// other encoders round-trip.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when a character outside the base32 alphabet is
+/// encountered.
+pub fn decode(s: &str) -> Result<Vec<u8>, DecodeError> {
+    let s = s.trim_end_matches('=');
+    let mut out = Vec::with_capacity(s.len() * 5 / 8);
+    let mut acc: u64 = 0;
+    let mut bits: u32 = 0;
+    for (pos, ch) in s.bytes().enumerate() {
+        let val = match ch {
+            b'a'..=b'z' => ch - b'a',
+            b'A'..=b'Z' => ch - b'A',
+            b'2'..=b'7' => ch - b'2' + 26,
+            _ => return Err(DecodeError { position: pos, byte: ch }),
+        };
+        acc = (acc << 5) | u64::from(val);
+        bits += 5;
+        if bits >= 8 {
+            bits -= 8;
+            out.push(((acc >> bits) & 0xff) as u8);
+        }
+    }
+    Ok(out)
+}
+
+/// Error returned by [`decode`] when input contains a non-base32 character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset of the offending character.
+    pub position: usize,
+    /// The offending byte.
+    pub byte: u8,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid base32 character {:?} at position {}",
+            self.byte as char, self.position
+        )
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        // RFC 4648 test vectors, lowered and unpadded.
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "my");
+        assert_eq!(encode(b"fo"), "mzxq");
+        assert_eq!(encode(b"foo"), "mzxw6");
+        assert_eq!(encode(b"foob"), "mzxw6yq");
+        assert_eq!(encode(b"fooba"), "mzxw6ytb");
+        assert_eq!(encode(b"foobar"), "mzxw6ytboi");
+    }
+
+    #[test]
+    fn decode_vectors() {
+        assert_eq!(decode("").unwrap(), b"");
+        assert_eq!(decode("mzxw6ytboi").unwrap(), b"foobar");
+        assert_eq!(decode("MZXW6YTBOI").unwrap(), b"foobar");
+        assert_eq!(decode("mzxw6ytboi======").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn decode_rejects_invalid() {
+        let err = decode("mzx0").unwrap_err();
+        assert_eq!(err.position, 3);
+        assert_eq!(err.byte, b'0');
+        assert!(decode("a!b").is_err());
+        assert!(decode("abc1").is_err()); // '1' is not in the alphabet
+    }
+
+    #[test]
+    fn onion_length() {
+        // 10 bytes encode to exactly 16 characters — the v2 onion length.
+        assert_eq!(encode([0u8; 10]).len(), 16);
+        assert_eq!(encode([0xffu8; 10]).len(), 16);
+    }
+
+    #[test]
+    fn roundtrip_all_lengths() {
+        for len in 0..64usize {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 % 256) as u8).collect();
+            assert_eq!(decode(&encode(&data)).unwrap(), data, "len {len}");
+        }
+    }
+}

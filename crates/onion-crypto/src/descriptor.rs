@@ -1,0 +1,241 @@
+//! v2 hidden-service descriptor identifiers and the 24-hour rotation
+//! schedule (rend-spec-v2 §1.3).
+//!
+//! Every hidden service periodically publishes two *descriptors* (one per
+//! replica). Each descriptor is stored under a *descriptor ID* that
+//! changes every 24 hours:
+//!
+//! ```text
+//! descriptor-id = SHA1(permanent-id | secret-id-part)
+//! secret-id-part = SHA1(time-period | replica)        // no cookie: public service
+//! time-period = (current-time + permanent-id-byte-0 * 86400 / 256) / 86400
+//! ```
+//!
+//! The per-service offset derived from `permanent-id-byte-0` staggers
+//! rotation moments across services so all descriptors don't rotate at
+//! midnight simultaneously. The popularity measurement of Sec. V resolves
+//! observed descriptor IDs back to onion addresses by recomputing this
+//! forward map for every collected address over a window of days.
+
+use core::fmt;
+
+use crate::sha1::{Digest, Sha1};
+use crate::onion::{OnionAddress, PermanentId};
+use crate::u160::U160;
+
+/// Seconds in a time period (24 hours).
+pub const TIME_PERIOD_SECS: u64 = 86_400;
+
+/// Number of descriptor replicas a service publishes per period.
+pub const REPLICAS: u8 = 2;
+
+/// Number of consecutive HSDir fingerprints responsible per replica.
+pub const HSDIRS_PER_REPLICA: usize = 3;
+
+/// A descriptor replica index (`0` or `1`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Replica(u8);
+
+impl Replica {
+    /// Both replicas, in order.
+    pub const ALL: [Replica; REPLICAS as usize] = [Replica(0), Replica(1)];
+
+    /// Creates a replica index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= REPLICAS`.
+    pub fn new(index: u8) -> Self {
+        assert!(index < REPLICAS, "replica index out of range");
+        Replica(index)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Replica {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "replica {}", self.0)
+    }
+}
+
+/// A time-period number: which 24-hour window a descriptor ID is valid
+/// for, *as seen by one particular service* (periods are per-service
+/// staggered).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimePeriod(pub u64);
+
+impl TimePeriod {
+    /// Computes the time period for a service at a Unix timestamp.
+    pub fn at(now_unix: u64, id: PermanentId) -> Self {
+        TimePeriod((now_unix + u64::from(id.byte0()) * TIME_PERIOD_SECS / 256) / TIME_PERIOD_SECS)
+    }
+
+    /// The Unix timestamp at which this service's period began.
+    pub fn start_unix(self, id: PermanentId) -> u64 {
+        self.0 * TIME_PERIOD_SECS - u64::from(id.byte0()) * TIME_PERIOD_SECS / 256
+    }
+
+    /// The next period.
+    pub fn next(self) -> Self {
+        TimePeriod(self.0 + 1)
+    }
+}
+
+impl fmt::Display for TimePeriod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "period {}", self.0)
+    }
+}
+
+/// A v2 descriptor identifier: the ring position a descriptor is stored
+/// at for one (service, period, replica) triple.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DescriptorId(Digest);
+
+impl DescriptorId {
+    /// Computes `SHA1(permanent-id | SHA1(time-period | replica))`.
+    pub fn compute(id: PermanentId, period: TimePeriod, replica: Replica) -> Self {
+        let mut inner = Sha1::new();
+        inner.update((period.0 as u32).to_be_bytes());
+        inner.update([replica.index()]);
+        let secret_id_part = inner.finalize();
+
+        let mut outer = Sha1::new();
+        outer.update(id.as_bytes());
+        outer.update(secret_id_part.as_bytes());
+        DescriptorId(outer.finalize())
+    }
+
+    /// Computes both replicas' descriptor IDs for a service at `now`.
+    pub fn pair_at(onion: OnionAddress, now_unix: u64) -> [DescriptorId; REPLICAS as usize] {
+        let id = onion.permanent_id();
+        let period = TimePeriod::at(now_unix, id);
+        Replica::ALL.map(|r| DescriptorId::compute(id, period, r))
+    }
+
+    /// Wraps a raw digest (e.g. an ID observed in a request log).
+    pub fn from_digest(d: Digest) -> Self {
+        DescriptorId(d)
+    }
+
+    /// The underlying digest.
+    pub fn digest(&self) -> Digest {
+        self.0
+    }
+
+    /// The ID as a ring position.
+    pub fn to_u160(self) -> U160 {
+        U160::from(self.0)
+    }
+
+    /// Base32 rendering, as descriptor IDs appear in HSDir request logs.
+    pub fn to_base32(self) -> String {
+        crate::base32::encode(self.0.as_bytes())
+    }
+}
+
+impl fmt::Debug for DescriptorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DescriptorId({})", &self.0.to_hex()[..12])
+    }
+}
+
+impl fmt::Display for DescriptorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_base32())
+    }
+}
+
+impl From<DescriptorId> for U160 {
+    fn from(d: DescriptorId) -> Self {
+        d.to_u160()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::onion::OnionAddress;
+
+    fn onion(seed: &[u8]) -> OnionAddress {
+        OnionAddress::from_pubkey(seed)
+    }
+
+    #[test]
+    fn period_changes_every_24h() {
+        let o = onion(b"svc");
+        let id = o.permanent_id();
+        let t0 = 1_359_936_000u64; // 2013-02-04 00:00 UTC
+        let p0 = TimePeriod::at(t0, id);
+        assert_eq!(TimePeriod::at(t0 + 3600, id), p0);
+        assert_eq!(TimePeriod::at(t0 + TIME_PERIOD_SECS, id).0, p0.0 + 1);
+    }
+
+    #[test]
+    fn period_offset_staggers_services() {
+        // A service whose byte0 is large rotates earlier within the day.
+        let id_hi = PermanentId::from_bytes([0xff, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let id_lo = PermanentId::from_bytes([0x00, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        // Just before midnight, the high-offset service is already in the
+        // next period.
+        let t = TIME_PERIOD_SECS - 120;
+        assert_eq!(TimePeriod::at(t, id_lo).0, 0);
+        assert_eq!(TimePeriod::at(t, id_hi).0, 1);
+    }
+
+    #[test]
+    fn period_start_inverse() {
+        let id = onion(b"k").permanent_id();
+        let t = 1_360_000_000u64;
+        let p = TimePeriod::at(t, id);
+        let start = p.start_unix(id);
+        assert!(start <= t);
+        assert_eq!(TimePeriod::at(start, id), p);
+        assert_eq!(TimePeriod::at(start + TIME_PERIOD_SECS - 1, id), p);
+        assert_eq!(TimePeriod::at(start + TIME_PERIOD_SECS, id).0, p.0 + 1);
+    }
+
+    #[test]
+    fn replicas_differ() {
+        let o = onion(b"svc2");
+        let [a, b] = DescriptorId::pair_at(o, 1_360_000_000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ids_stable_within_period_and_rotate() {
+        let o = onion(b"svc3");
+        let id = o.permanent_id();
+        let start = TimePeriod::at(1_360_000_000, id).start_unix(id);
+        let a = DescriptorId::pair_at(o, start);
+        let b = DescriptorId::pair_at(o, start + TIME_PERIOD_SECS / 2);
+        assert_eq!(a, b);
+        let c = DescriptorId::pair_at(o, start + TIME_PERIOD_SECS);
+        assert_ne!(a[0], c[0]);
+        assert_ne!(a[1], c[1]);
+    }
+
+    #[test]
+    fn distinct_services_distinct_ids() {
+        let t = 1_360_000_000;
+        let a = DescriptorId::pair_at(onion(b"one"), t);
+        let b = DescriptorId::pair_at(onion(b"two"), t);
+        assert_ne!(a[0], b[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "replica index out of range")]
+    fn replica_bounds() {
+        let _ = Replica::new(2);
+    }
+
+    #[test]
+    fn base32_rendering_is_32_chars() {
+        let [a, _] = DescriptorId::pair_at(onion(b"svc4"), 1_360_000_000);
+        assert_eq!(a.to_base32().len(), 32);
+    }
+}

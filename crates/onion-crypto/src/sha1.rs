@@ -1,0 +1,350 @@
+//! A from-scratch implementation of the SHA-1 message digest (FIPS 180-4).
+//!
+//! Tor's v2 hidden-service machinery is built entirely on SHA-1: relay
+//! fingerprints, onion addresses and descriptor identifiers are all (parts
+//! of) SHA-1 digests. The simulator therefore carries its own
+//! implementation rather than pulling in an external dependency.
+//!
+//! SHA-1 is cryptographically broken for collision resistance, but the
+//! protocol logic reproduced here only relies on it as a deterministic
+//! 160-bit map, exactly as the 2013 Tor network did.
+//!
+//! # Examples
+//!
+//! ```
+//! use onion_crypto::sha1::Sha1;
+//!
+//! let digest = Sha1::digest(b"abc");
+//! assert_eq!(
+//!     digest.to_hex(),
+//!     "a9993e364706816aba3e25717850c26c9cd0d89d"
+//! );
+//! ```
+
+use core::fmt;
+
+/// Length of a SHA-1 digest in bytes.
+pub const DIGEST_LEN: usize = 20;
+
+/// A 160-bit SHA-1 digest.
+///
+/// The inner bytes are exposed through [`Digest::as_bytes`] and
+/// [`Digest::into_bytes`]; the type mainly exists so digests render as hex
+/// in debug output and can be compared/ordered as ring positions.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Digest(pub(crate) [u8; DIGEST_LEN]);
+
+impl Digest {
+    /// Wraps raw digest bytes.
+    pub fn from_bytes(bytes: [u8; DIGEST_LEN]) -> Self {
+        Digest(bytes)
+    }
+
+    /// Borrows the digest bytes.
+    pub fn as_bytes(&self) -> &[u8; DIGEST_LEN] {
+        &self.0
+    }
+
+    /// Consumes the digest, returning the raw bytes.
+    pub fn into_bytes(self) -> [u8; DIGEST_LEN] {
+        self.0
+    }
+
+    /// Lowercase hexadecimal rendering of the digest.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(DIGEST_LEN * 2);
+        for b in &self.0 {
+            s.push(HEX[(b >> 4) as usize] as char);
+            s.push(HEX[(b & 0xf) as usize] as char);
+        }
+        s
+    }
+
+    /// Parses a 40-character hex string into a digest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDigestError`] if the input is not exactly 40 hex
+    /// characters.
+    pub fn parse_hex(s: &str) -> Result<Self, ParseDigestError> {
+        let bytes = s.as_bytes();
+        if bytes.len() != DIGEST_LEN * 2 {
+            return Err(ParseDigestError);
+        }
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, chunk) in bytes.chunks_exact(2).enumerate() {
+            let hi = hex_val(chunk[0]).ok_or(ParseDigestError)?;
+            let lo = hex_val(chunk[1]).ok_or(ParseDigestError)?;
+            out[i] = (hi << 4) | lo;
+        }
+        Ok(Digest(out))
+    }
+}
+
+const HEX: &[u8; 16] = b"0123456789abcdef";
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; DIGEST_LEN]> for Digest {
+    fn from(bytes: [u8; DIGEST_LEN]) -> Self {
+        Digest(bytes)
+    }
+}
+
+/// Error returned by [`Digest::parse_hex`] for malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseDigestError;
+
+impl fmt::Display for ParseDigestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid sha-1 digest hex string")
+    }
+}
+
+impl std::error::Error for ParseDigestError {}
+
+/// Incremental SHA-1 hasher.
+///
+/// Use [`Sha1::digest`] for one-shot hashing, or [`Sha1::new`] +
+/// [`Sha1::update`] + [`Sha1::finalize`] for streaming input.
+///
+/// # Examples
+///
+/// ```
+/// use onion_crypto::sha1::Sha1;
+///
+/// let mut hasher = Sha1::new();
+/// hasher.update(b"hello ");
+/// hasher.update(b"world");
+/// assert_eq!(hasher.finalize(), Sha1::digest(b"hello world"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sha1 {
+    state: [u32; 5],
+    /// Total message length in bytes.
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a hasher in the standard initial state.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// One-shot convenience: hash `data` and return the digest.
+    pub fn digest(data: impl AsRef<[u8]>) -> Digest {
+        let mut h = Sha1::new();
+        h.update(data.as_ref());
+        h.finalize()
+    }
+
+    /// Absorbs more message bytes.
+    pub fn update(&mut self, data: impl AsRef<[u8]>) {
+        let mut data = data.as_ref();
+        self.len = self.len.wrapping_add(data.len() as u64);
+
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            } else {
+                // Buffer still partial ⇒ the input was fully consumed;
+                // falling through would clobber buf_len with an empty
+                // remainder.
+                return;
+            }
+        }
+
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    /// Finishes the computation and returns the digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.len.wrapping_mul(8);
+        // Append 0x80 then zero-pad to 56 mod 64, then the 64-bit length.
+        self.update([0x80u8]);
+        while self.buf_len != 56 {
+            self.update([0u8]);
+        }
+        // `update` would adjust `len`; write the length block directly.
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(data: &[u8]) -> String {
+        Sha1::digest(data).to_hex()
+    }
+
+    #[test]
+    fn fips_vectors() {
+        assert_eq!(hex(b""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(hex(b"abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(chunk);
+        }
+        assert_eq!(
+            h.finalize().to_hex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for split in [0usize, 1, 17, 63, 64, 65, 500, 999, 1000] {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Sha1::digest(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn length_boundary_padding() {
+        // Messages around the 55/56/64-byte padding boundaries.
+        for len in 50..70 {
+            let data = vec![0xabu8; len];
+            // Compare against a second independent run; the digest must be
+            // stable and the hasher must not panic on any boundary.
+            assert_eq!(Sha1::digest(&data), Sha1::digest(&data));
+        }
+        assert_eq!(
+            hex(&[0u8; 64]),
+            "c8d7d0ef0eedfa82d2ea1aa592845b9a6d4b02b7"
+        );
+    }
+
+    #[test]
+    fn digest_hex_roundtrip() {
+        let d = Sha1::digest(b"roundtrip");
+        let parsed = Digest::parse_hex(&d.to_hex()).unwrap();
+        assert_eq!(d, parsed);
+    }
+
+    #[test]
+    fn parse_hex_rejects_bad_input() {
+        assert!(Digest::parse_hex("abc").is_err());
+        assert!(Digest::parse_hex(&"g".repeat(40)).is_err());
+        let ok = "a".repeat(40);
+        assert!(Digest::parse_hex(&ok).is_ok());
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let d = Sha1::digest(b"x");
+        assert!(!format!("{d}").is_empty());
+        assert!(format!("{d:?}").starts_with("Digest("));
+    }
+}

@@ -1,0 +1,248 @@
+//! 160-bit unsigned integers: positions on the hidden-service directory
+//! ring.
+//!
+//! Relay fingerprints and descriptor identifiers are SHA-1 digests. The
+//! responsible-HSDir rule and the tracking-detection heuristics of
+//! Sec. VII both interpret those digests as big-endian 160-bit integers on
+//! a wrapping ring: a relay is responsible for a descriptor when its
+//! fingerprint is one of the three that *follow* the descriptor ID, and a
+//! tracker betrays itself by placing its fingerprint at an abnormally
+//! small ring distance from the target's descriptor ID.
+//!
+//! # Examples
+//!
+//! ```
+//! use onion_crypto::u160::U160;
+//!
+//! let a = U160::from_u64(10);
+//! let b = U160::from_u64(3);
+//! // Ring distance from 3 forward to 10 is 7; from 10 forward to 3 wraps.
+//! assert_eq!(b.distance_to(a), U160::from_u64(7));
+//! assert!(a.distance_to(b) > U160::from_u64(u64::MAX));
+//! ```
+
+use core::fmt;
+
+use crate::sha1::{Digest, DIGEST_LEN};
+
+/// A 160-bit unsigned integer, stored as five 32-bit big-endian limbs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct U160 {
+    /// limbs[0] is the most significant 32 bits.
+    limbs: [u32; 5],
+}
+
+impl U160 {
+    /// The zero value.
+    pub const ZERO: U160 = U160 { limbs: [0; 5] };
+
+    /// The all-ones value (2^160 − 1).
+    pub const MAX: U160 = U160 { limbs: [u32::MAX; 5] };
+
+    /// Builds a value from big-endian digest bytes.
+    pub fn from_bytes(bytes: &[u8; DIGEST_LEN]) -> Self {
+        let mut limbs = [0u32; 5];
+        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+            limbs[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        U160 { limbs }
+    }
+
+    /// Builds a value from a small integer.
+    pub fn from_u64(v: u64) -> Self {
+        let mut limbs = [0u32; 5];
+        limbs[3] = (v >> 32) as u32;
+        limbs[4] = v as u32;
+        U160 { limbs }
+    }
+
+    /// Returns the big-endian byte representation.
+    pub fn to_bytes(self) -> [u8; DIGEST_LEN] {
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, limb) in self.limbs.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&limb.to_be_bytes());
+        }
+        out
+    }
+
+    /// Wrapping addition modulo 2^160.
+    pub fn wrapping_add(self, rhs: U160) -> U160 {
+        let mut out = [0u32; 5];
+        let mut carry = 0u64;
+        for i in (0..5).rev() {
+            let sum = u64::from(self.limbs[i]) + u64::from(rhs.limbs[i]) + carry;
+            out[i] = sum as u32;
+            carry = sum >> 32;
+        }
+        U160 { limbs: out }
+    }
+
+    /// Wrapping subtraction modulo 2^160.
+    pub fn wrapping_sub(self, rhs: U160) -> U160 {
+        let mut out = [0u32; 5];
+        let mut borrow = 0i64;
+        for i in (0..5).rev() {
+            let diff = i64::from(self.limbs[i]) - i64::from(rhs.limbs[i]) - borrow;
+            if diff < 0 {
+                out[i] = (diff + (1i64 << 32)) as u32;
+                borrow = 1;
+            } else {
+                out[i] = diff as u32;
+                borrow = 0;
+            }
+        }
+        U160 { limbs: out }
+    }
+
+    /// Forward (clockwise) ring distance from `self` to `other`:
+    /// `other − self mod 2^160`.
+    ///
+    /// This is the quantity the Sec. VII tracking detector compares against
+    /// the average inter-fingerprint gap.
+    pub fn distance_to(self, other: U160) -> U160 {
+        other.wrapping_sub(self)
+    }
+
+    /// Approximate conversion to `f64` (keeps ~53 bits of precision).
+    ///
+    /// Used for the `avg_dist / distance` ratio statistic, where relative
+    /// magnitude is all that matters.
+    pub fn to_f64(self) -> f64 {
+        let mut acc = 0.0f64;
+        for &limb in &self.limbs {
+            acc = acc * 4294967296.0 + f64::from(limb);
+        }
+        acc
+    }
+
+    /// Divides by a small integer, returning the quotient (remainder
+    /// discarded). Used to compute the average ring gap `2^160 / n`.
+    pub fn div_u64(self, divisor: u64) -> U160 {
+        assert!(divisor != 0, "division by zero");
+        let mut out = [0u32; 5];
+        let mut rem: u64 = 0;
+        for i in 0..5 {
+            let cur = (rem << 32) | u64::from(self.limbs[i]);
+            out[i] = (cur / divisor) as u32;
+            rem = cur % divisor;
+        }
+        U160 { limbs: out }
+    }
+
+    /// Lowercase hex rendering (40 characters).
+    pub fn to_hex(self) -> String {
+        Digest::from_bytes(self.to_bytes()).to_hex()
+    }
+}
+
+impl From<Digest> for U160 {
+    fn from(d: Digest) -> Self {
+        U160::from_bytes(d.as_bytes())
+    }
+}
+
+impl From<U160> for Digest {
+    fn from(v: U160) -> Self {
+        Digest::from_bytes(v.to_bytes())
+    }
+}
+
+impl fmt::Debug for U160 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U160({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for U160 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl fmt::LowerHex for U160 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip() {
+        let bytes: [u8; 20] = core::array::from_fn(|i| (i * 13 + 1) as u8);
+        assert_eq!(U160::from_bytes(&bytes).to_bytes(), bytes);
+    }
+
+    #[test]
+    fn ordering_matches_bytes() {
+        let lo = U160::from_u64(5);
+        let hi = U160::from_bytes(&{
+            let mut b = [0u8; 20];
+            b[0] = 1;
+            b
+        });
+        assert!(lo < hi);
+        assert!(U160::ZERO < lo);
+        assert!(hi < U160::MAX);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = U160::from_bytes(&[0xab; 20]);
+        let b = U160::from_u64(0xdead_beef_0123);
+        assert_eq!(a.wrapping_add(b).wrapping_sub(b), a);
+        assert_eq!(a.wrapping_sub(b).wrapping_add(b), a);
+    }
+
+    #[test]
+    fn wrapping_behaviour() {
+        assert_eq!(U160::MAX.wrapping_add(U160::from_u64(1)), U160::ZERO);
+        assert_eq!(U160::ZERO.wrapping_sub(U160::from_u64(1)), U160::MAX);
+    }
+
+    #[test]
+    fn ring_distance() {
+        let a = U160::from_u64(100);
+        let b = U160::from_u64(40);
+        assert_eq!(b.distance_to(a), U160::from_u64(60));
+        // Wrapping the other way: 2^160 - 60.
+        assert_eq!(
+            a.distance_to(b),
+            U160::MAX.wrapping_sub(U160::from_u64(59))
+        );
+        assert_eq!(a.distance_to(a), U160::ZERO);
+    }
+
+    #[test]
+    fn div_small() {
+        assert_eq!(U160::from_u64(100).div_u64(7), U160::from_u64(14));
+        // 2^160 / 2 == 2^159: top bit of limb 0 set.
+        let half = U160::MAX.div_u64(2);
+        assert_eq!(half.to_bytes()[0], 0x7f);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_zero_panics() {
+        let _ = U160::from_u64(1).div_u64(0);
+    }
+
+    #[test]
+    fn to_f64_monotone() {
+        let small = U160::from_u64(1 << 40);
+        let big = U160::MAX;
+        assert!(small.to_f64() < big.to_f64());
+        assert!((small.to_f64() - (1u64 << 40) as f64).abs() < 1.0);
+        // MAX ≈ 2^160
+        assert!((big.to_f64() / 2f64.powi(160) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn digest_conversions() {
+        let d = crate::sha1::Sha1::digest(b"ring");
+        let v = U160::from(d);
+        assert_eq!(Digest::from(v), d);
+    }
+}

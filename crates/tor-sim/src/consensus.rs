@@ -1,0 +1,266 @@
+//! The network consensus: the hourly directory document listing usable
+//! relays, and the responsible-HSDir ring lookup performed against it.
+
+use core::fmt;
+
+use onion_crypto::descriptor::{DescriptorId, HSDIRS_PER_REPLICA};
+use onion_crypto::identity::Fingerprint;
+use onion_crypto::onion::OnionAddress;
+use onion_crypto::u160::U160;
+
+use crate::clock::SimTime;
+use crate::flags::RelayFlags;
+use crate::relay::{Ipv4, RelayId};
+
+/// One router-status line of a consensus.
+#[derive(Clone, Debug)]
+pub struct ConsensusEntry {
+    /// Simulator handle of the relay.
+    pub relay: RelayId,
+    /// Identity fingerprint (the ring position).
+    pub fingerprint: Fingerprint,
+    /// Operator-chosen nickname.
+    pub nickname: String,
+    /// Advertised IP address.
+    pub ip: Ipv4,
+    /// OR port.
+    pub or_port: u16,
+    /// Measured bandwidth in kB/s.
+    pub bandwidth: u64,
+    /// Assigned flags.
+    pub flags: RelayFlags,
+}
+
+/// A consensus document: all usable relays at one `valid_after` time,
+/// ordered by fingerprint.
+///
+/// # Examples
+///
+/// Responsible-HSDir lookup walks the fingerprint ring:
+///
+/// ```
+/// # use tor_sim::test_support::tiny_consensus;
+/// let consensus = tiny_consensus(12);
+/// let onion: onion_crypto::OnionAddress = "silkroadvb5piz3r".parse().unwrap();
+/// let responsible = consensus.responsible_for_service(onion, consensus.valid_after().unix());
+/// assert_eq!(responsible.len(), 6); // 3 per replica × 2 replicas
+/// ```
+#[derive(Clone, Debug)]
+pub struct Consensus {
+    valid_after: SimTime,
+    /// Entries sorted by fingerprint.
+    entries: Vec<ConsensusEntry>,
+    /// Indices (into `entries`) of relays with the HSDir flag, in
+    /// fingerprint order — the hidden-service directory ring.
+    hsdir_ring: Vec<usize>,
+}
+
+impl Consensus {
+    /// Builds a consensus from unsorted entries.
+    pub fn new(valid_after: SimTime, mut entries: Vec<ConsensusEntry>) -> Self {
+        entries.sort_by_key(|e| e.fingerprint);
+        let hsdir_ring = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.flags.contains(RelayFlags::HSDIR))
+            .map(|(i, _)| i)
+            .collect();
+        Consensus { valid_after, entries, hsdir_ring }
+    }
+
+    /// The time this consensus became valid.
+    pub fn valid_after(&self) -> SimTime {
+        self.valid_after
+    }
+
+    /// All entries, in fingerprint order.
+    pub fn entries(&self) -> &[ConsensusEntry] {
+        &self.entries
+    }
+
+    /// Number of listed relays.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the consensus lists no relays.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of relays carrying the HSDir flag.
+    pub fn hsdir_count(&self) -> usize {
+        self.hsdir_ring.len()
+    }
+
+    /// Iterates over the HSDir ring in fingerprint order.
+    pub fn hsdirs(&self) -> impl Iterator<Item = &ConsensusEntry> + '_ {
+        self.hsdir_ring.iter().map(move |&i| &self.entries[i])
+    }
+
+    /// Looks up an entry by fingerprint.
+    pub fn entry(&self, fp: Fingerprint) -> Option<&ConsensusEntry> {
+        self.entries
+            .binary_search_by_key(&fp, |e| e.fingerprint)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// The relays responsible for storing one descriptor replica: the
+    /// `HSDIRS_PER_REPLICA` HSDir-flagged relays whose fingerprints
+    /// *follow* the descriptor ID on the ring (wrapping).
+    ///
+    /// Returns fewer entries when the ring itself is smaller.
+    pub fn responsible_hsdirs(&self, desc_id: DescriptorId) -> Vec<&ConsensusEntry> {
+        self.hsdirs_after(desc_id.to_u160(), HSDIRS_PER_REPLICA)
+    }
+
+    /// The first `count` HSDirs strictly after ring position `pos`.
+    pub fn hsdirs_after(&self, pos: U160, count: usize) -> Vec<&ConsensusEntry> {
+        let n = self.hsdir_ring.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Find the first ring slot whose fingerprint exceeds `pos`.
+        let start = self
+            .hsdir_ring
+            .partition_point(|&i| self.entries[i].fingerprint.to_u160() <= pos);
+        (0..count.min(n))
+            .map(|k| &self.entries[self.hsdir_ring[(start + k) % n]])
+            .collect()
+    }
+
+    /// All six relays responsible for a service at `now_unix` (three per
+    /// replica; duplicates possible on tiny rings).
+    pub fn responsible_for_service(
+        &self,
+        onion: OnionAddress,
+        now_unix: u64,
+    ) -> Vec<&ConsensusEntry> {
+        DescriptorId::pair_at(onion, now_unix)
+            .into_iter()
+            .flat_map(|id| self.responsible_hsdirs(id))
+            .collect()
+    }
+
+    /// Entries with the Guard flag.
+    pub fn guards(&self) -> impl Iterator<Item = &ConsensusEntry> + '_ {
+        self.entries
+            .iter()
+            .filter(|e| e.flags.contains(RelayFlags::GUARD))
+    }
+
+    /// Total bandwidth of all Guard-flagged entries.
+    pub fn guard_bandwidth(&self) -> u64 {
+        self.guards().map(|e| e.bandwidth).sum()
+    }
+
+    /// The average gap between consecutive HSDir fingerprints on the
+    /// ring (`2^160 / hsdir_count`), used by the Sec. VII ratio
+    /// statistic.
+    pub fn average_hsdir_gap(&self) -> U160 {
+        match self.hsdir_count() {
+            0 => U160::MAX,
+            n => U160::MAX.div_u64(n as u64),
+        }
+    }
+}
+
+impl fmt::Display for Consensus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "consensus {} ({} relays, {} HSDirs)",
+            self.valid_after,
+            self.len(),
+            self.hsdir_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::tiny_consensus;
+    use onion_crypto::sha1::Sha1;
+
+    #[test]
+    fn entries_sorted_by_fingerprint() {
+        let c = tiny_consensus(20);
+        let fps: Vec<_> = c.entries().iter().map(|e| e.fingerprint).collect();
+        let mut sorted = fps.clone();
+        sorted.sort();
+        assert_eq!(fps, sorted);
+    }
+
+    #[test]
+    fn responsible_hsdirs_follow_descriptor_id() {
+        let c = tiny_consensus(30);
+        let desc = DescriptorId::from_digest(Sha1::digest(b"some descriptor"));
+        let resp = c.responsible_hsdirs(desc);
+        assert_eq!(resp.len(), 3);
+        // Every responsible fingerprint is > desc on the wrapped ring:
+        // walking from desc forward, the three relays returned must be the
+        // three nearest in forward distance among all HSDirs.
+        let d0 = desc.to_u160();
+        let mut dists: Vec<_> = c
+            .hsdirs()
+            .map(|e| d0.distance_to(e.fingerprint.to_u160()))
+            .collect();
+        dists.sort();
+        let mut resp_dists: Vec<_> = resp
+            .iter()
+            .map(|e| d0.distance_to(e.fingerprint.to_u160()))
+            .collect();
+        resp_dists.sort();
+        assert_eq!(resp_dists, dists[..3].to_vec());
+    }
+
+    #[test]
+    fn ring_wraps() {
+        let c = tiny_consensus(10);
+        // A descriptor ID beyond the largest fingerprint wraps to the
+        // smallest fingerprints.
+        let max_fp = c.hsdirs().map(|e| e.fingerprint).max().unwrap();
+        let desc = DescriptorId::from_digest(max_fp.digest());
+        let resp = c.responsible_hsdirs(desc);
+        let first_fp = c.hsdirs().next().unwrap().fingerprint;
+        assert!(resp.iter().any(|e| e.fingerprint == first_fp));
+    }
+
+    #[test]
+    fn service_gets_six_responsible() {
+        let c = tiny_consensus(50);
+        let onion: OnionAddress = "duckduckgo123456"
+            .parse()
+            .unwrap_or_else(|_| OnionAddress::from_pubkey(b"ddg"));
+        let resp = c.responsible_for_service(onion, c.valid_after().unix());
+        assert_eq!(resp.len(), 6);
+    }
+
+    #[test]
+    fn lookup_by_fingerprint() {
+        let c = tiny_consensus(8);
+        let fp = c.entries()[3].fingerprint;
+        assert_eq!(c.entry(fp).unwrap().fingerprint, fp);
+        let absent = Fingerprint::from_digest(Sha1::digest(b"absent"));
+        assert!(c.entry(absent).is_none());
+    }
+
+    #[test]
+    fn empty_ring_returns_nothing() {
+        let c = Consensus::new(SimTime::EPOCH, Vec::new());
+        assert!(c.is_empty());
+        let desc = DescriptorId::from_digest(Sha1::digest(b"x"));
+        assert!(c.responsible_hsdirs(desc).is_empty());
+        assert_eq!(c.average_hsdir_gap(), U160::MAX);
+    }
+
+    #[test]
+    fn average_gap_scales() {
+        let c = tiny_consensus(16);
+        let gap = c.average_hsdir_gap();
+        let expected = U160::MAX.div_u64(c.hsdir_count() as u64);
+        assert_eq!(gap, expected);
+    }
+}

@@ -1,0 +1,142 @@
+//! Consensus flags assigned by the directory authorities.
+
+use core::fmt;
+use core::ops::{BitOr, BitOrAssign};
+
+/// A set of router-status flags, as they appear in a consensus entry.
+///
+/// Implemented as a hand-rolled bitset rather than pulling in the
+/// `bitflags` crate; only the flags relevant to hidden-service analysis
+/// are modelled.
+///
+/// # Examples
+///
+/// ```
+/// use tor_sim::flags::RelayFlags;
+///
+/// let flags = RelayFlags::RUNNING | RelayFlags::HSDIR;
+/// assert!(flags.contains(RelayFlags::HSDIR));
+/// assert!(!flags.contains(RelayFlags::GUARD));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RelayFlags(u8);
+
+impl RelayFlags {
+    /// No flags.
+    pub const NONE: RelayFlags = RelayFlags(0);
+    /// The relay is currently usable.
+    pub const RUNNING: RelayFlags = RelayFlags(1 << 0);
+    /// The relay is fast enough for general traffic.
+    pub const FAST: RelayFlags = RelayFlags(1 << 1);
+    /// The relay has demonstrated longevity.
+    pub const STABLE: RelayFlags = RelayFlags(1 << 2);
+    /// The relay is suitable as an entry guard.
+    pub const GUARD: RelayFlags = RelayFlags(1 << 3);
+    /// The relay stores and serves v2 hidden-service descriptors
+    /// (requires ≥ 25 h observed uptime).
+    pub const HSDIR: RelayFlags = RelayFlags(1 << 4);
+    /// The relay permits exit traffic.
+    pub const EXIT: RelayFlags = RelayFlags(1 << 5);
+    /// The relay is listed in the consensus as valid.
+    pub const VALID: RelayFlags = RelayFlags(1 << 6);
+
+    /// Whether every flag in `other` is set in `self`.
+    pub fn contains(self, other: RelayFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Adds the flags in `other`.
+    pub fn insert(&mut self, other: RelayFlags) {
+        self.0 |= other.0;
+    }
+
+    /// Removes the flags in `other`.
+    pub fn remove(&mut self, other: RelayFlags) {
+        self.0 &= !other.0;
+    }
+
+    /// Whether no flags are set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl BitOr for RelayFlags {
+    type Output = RelayFlags;
+    fn bitor(self, rhs: RelayFlags) -> RelayFlags {
+        RelayFlags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for RelayFlags {
+    fn bitor_assign(&mut self, rhs: RelayFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Debug for RelayFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RelayFlags({self})")
+    }
+}
+
+impl fmt::Display for RelayFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("-");
+        }
+        let names = [
+            (RelayFlags::RUNNING, "Running"),
+            (RelayFlags::FAST, "Fast"),
+            (RelayFlags::STABLE, "Stable"),
+            (RelayFlags::GUARD, "Guard"),
+            (RelayFlags::HSDIR, "HSDir"),
+            (RelayFlags::EXIT, "Exit"),
+            (RelayFlags::VALID, "Valid"),
+        ];
+        let mut first = true;
+        for (flag, name) in names {
+            if self.contains(flag) {
+                if !first {
+                    f.write_str(" ")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_insert() {
+        let mut flags = RelayFlags::NONE;
+        assert!(flags.is_empty());
+        flags.insert(RelayFlags::RUNNING);
+        flags |= RelayFlags::HSDIR;
+        assert!(flags.contains(RelayFlags::RUNNING | RelayFlags::HSDIR));
+        assert!(!flags.contains(RelayFlags::GUARD));
+        flags.remove(RelayFlags::RUNNING);
+        assert!(!flags.contains(RelayFlags::RUNNING));
+        assert!(flags.contains(RelayFlags::HSDIR));
+    }
+
+    #[test]
+    fn contains_requires_all() {
+        let flags = RelayFlags::RUNNING;
+        assert!(!flags.contains(RelayFlags::RUNNING | RelayFlags::GUARD));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RelayFlags::NONE.to_string(), "-");
+        assert_eq!(
+            (RelayFlags::RUNNING | RelayFlags::HSDIR).to_string(),
+            "Running HSDir"
+        );
+    }
+}

@@ -1,0 +1,760 @@
+//! The network orchestrator: relays, consensus rounds, descriptor
+//! publication, client fetches and full connections.
+//!
+//! [`Network`] owns all protocol state and advances it in consensus
+//! intervals. Measurement crates drive it from outside: the world
+//! generator registers services and toggles their liveness, the
+//! harvester adds its relay fleet and flips reachability bits, the
+//! popularity pipeline replays client request streams, and the
+//! deanonymisation attack reads the guard-observation feed.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use onion_crypto::descriptor::{DescriptorId, Replica, TimePeriod};
+use onion_crypto::identity::SimIdentity;
+use onion_crypto::onion::OnionAddress;
+
+use crate::authority::Authority;
+use crate::cells::TrafficSignature;
+use crate::clock::{SimTime, DAY, HOUR};
+use crate::consensus::Consensus;
+
+use crate::guard::GuardSet;
+use crate::relay::{Ipv4, Operator, Relay, RelayId};
+use crate::service::{ConnectOutcome, PortReply, ServiceBackend};
+use crate::store::{DescriptorStore, RequestLog, RequestRecord, StoredDescriptor};
+
+/// Handle to a client registered in the network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClientId(pub usize);
+
+/// A Tor client: an IP address plus its entry-guard state.
+#[derive(Clone, Debug)]
+pub struct ClientState {
+    /// The client's real IP address — what the deanonymisation attack
+    /// recovers.
+    pub ip: Ipv4,
+    /// The client's guard set.
+    pub guards: GuardSet,
+}
+
+/// A registered hidden service, from the network's point of view.
+#[derive(Clone, Debug)]
+pub struct ServiceRecord {
+    /// The service's onion address.
+    pub onion: OnionAddress,
+    /// Whether its Tor process is currently publishing descriptors.
+    pub online: bool,
+}
+
+/// What an attacker guard logged when it saw the traffic signature pass
+/// toward one of its clients.
+#[derive(Clone, Copy, Debug)]
+pub struct GuardObservation {
+    /// When the signature was detected.
+    pub time: SimTime,
+    /// The attacker guard that saw it.
+    pub guard: RelayId,
+    /// The deanonymised client IP.
+    pub client_ip: Ipv4,
+    /// The target service the signature was armed for.
+    pub onion: OnionAddress,
+}
+
+/// Result of a client descriptor fetch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FetchOutcome {
+    /// A responsible HSDir served the descriptor.
+    Found,
+    /// All responsible HSDirs were queried; none had it.
+    NotFound,
+    /// The client has no usable guard (cannot build circuits).
+    NoCircuit,
+    /// The consensus currently lists no HSDirs.
+    NoHsdirs,
+}
+
+/// The simulated Tor network.
+///
+/// # Examples
+///
+/// ```
+/// use tor_sim::network::NetworkBuilder;
+/// use tor_sim::clock::SimTime;
+///
+/// let mut net = NetworkBuilder::new()
+///     .relays(60)
+///     .seed(7)
+///     .start(SimTime::from_ymd(2013, 2, 1))
+///     .build();
+/// assert!(net.consensus().hsdir_count() > 0);
+/// net.advance_hours(2);
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    time: SimTime,
+    consensus_interval: u64,
+    authority: Authority,
+    relays: Vec<Relay>,
+    consensus: Consensus,
+    services: HashMap<OnionAddress, ServiceRecord>,
+    stores: Vec<DescriptorStore>,
+    logs: Vec<RequestLog>,
+    clients: Vec<ClientState>,
+    /// Services for which attacker HSDirs arm the traffic signature.
+    signature_targets: HashMap<OnionAddress, TrafficSignature>,
+    guard_observations: Vec<GuardObservation>,
+    /// Per-service logging-slot-hours: for every hour, how many of the
+    /// six responsible HSDir slots were held by logging relays.
+    /// An attacker can derive the same table from public consensuses
+    /// plus its own relay list; it normalises observed request counts
+    /// into per-2 h rates.
+    slot_hours: HashMap<OnionAddress, u64>,
+    coverage_recorded_hour: Option<u64>,
+    rng: StdRng,
+}
+
+impl Network {
+    /// Current simulation time.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// The latest consensus.
+    pub fn consensus(&self) -> &Consensus {
+        &self.consensus
+    }
+
+    /// All relays (including stopped and shadow relays).
+    pub fn relays(&self) -> &[Relay] {
+        &self.relays
+    }
+
+    /// One relay by handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn relay(&self, id: RelayId) -> &Relay {
+        &self.relays[id.0]
+    }
+
+    /// Mutable access to a relay (to flip reachability, rotate identity,
+    /// adjust bandwidth, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn relay_mut(&mut self, id: RelayId) -> &mut Relay {
+        &mut self.relays[id.0]
+    }
+
+    /// The descriptor store held by a relay.
+    pub fn store(&self, id: RelayId) -> &DescriptorStore {
+        &self.stores[id.0]
+    }
+
+    /// The request log of a logging relay.
+    pub fn request_log(&self, id: RelayId) -> &RequestLog {
+        &self.logs[id.0]
+    }
+
+    /// Drains the request log of a relay.
+    pub fn take_request_log(&mut self, id: RelayId) -> Vec<RequestRecord> {
+        self.logs[id.0].take()
+    }
+
+    /// Guard observations accumulated by attacker guards so far.
+    pub fn guard_observations(&self) -> &[GuardObservation] {
+        &self.guard_observations
+    }
+
+    /// Drains the guard-observation feed.
+    pub fn take_guard_observations(&mut self) -> Vec<GuardObservation> {
+        std::mem::take(&mut self.guard_observations)
+    }
+
+    /// Registered services.
+    pub fn services(&self) -> impl Iterator<Item = &ServiceRecord> + '_ {
+        self.services.values()
+    }
+
+    /// Adds a relay and returns its handle. The relay participates from
+    /// the *next* consensus round.
+    pub fn add_relay(
+        &mut self,
+        nickname: impl Into<String>,
+        ip: Ipv4,
+        or_port: u16,
+        identity: SimIdentity,
+        bandwidth: u64,
+        operator: Operator,
+    ) -> RelayId {
+        let id = RelayId(self.relays.len());
+        let mut relay = Relay::new(id, nickname, ip, or_port, identity, bandwidth, self.time);
+        relay.operator = operator;
+        relay.logging = operator != Operator::Honest;
+        self.relays.push(relay);
+        self.stores.push(DescriptorStore::new());
+        self.logs.push(RequestLog::new());
+        id
+    }
+
+    /// Registers a hidden service. `online` services publish descriptors
+    /// at every consensus round.
+    pub fn register_service(&mut self, onion: OnionAddress, online: bool) {
+        self.services
+            .insert(onion, ServiceRecord { onion, online });
+    }
+
+    /// Sets a service's liveness.
+    pub fn set_service_online(&mut self, onion: OnionAddress, online: bool) {
+        if let Some(s) = self.services.get_mut(&onion) {
+            s.online = online;
+        }
+    }
+
+    /// Arms the traffic signature on all attacker HSDirs for `onion`:
+    /// descriptor responses for that service will carry the signature.
+    pub fn arm_signature(&mut self, onion: OnionAddress, signature: TrafficSignature) {
+        self.signature_targets.insert(onion, signature);
+    }
+
+    /// Registers a client at `ip` and returns its handle. Guard sets are
+    /// populated lazily on first use.
+    pub fn add_client(&mut self, ip: Ipv4) -> ClientId {
+        let id = ClientId(self.clients.len());
+        self.clients.push(ClientState { ip, guards: GuardSet::new() });
+        id
+    }
+
+    /// A client's current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn client(&self, id: ClientId) -> &ClientState {
+        &self.clients[id.0]
+    }
+
+    /// Number of registered clients.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Advances time by `hours`, running a consensus round, descriptor
+    /// expiry and descriptor publication at every consensus interval.
+    pub fn advance_hours(&mut self, hours: u64) {
+        let target = self.time + hours * HOUR;
+        while self.time < target {
+            self.time += self.consensus_interval;
+            self.step();
+        }
+    }
+
+    /// Runs one consensus round *now* without moving time (useful after
+    /// external mutations like reachability flips).
+    pub fn revote(&mut self) {
+        self.step();
+    }
+
+    fn step(&mut self) {
+        self.consensus = self.authority.vote(&self.relays, self.time);
+        for store in &mut self.stores {
+            store.expire(self.time);
+        }
+        self.publish_descriptors();
+    }
+
+    /// Publishes both descriptor replicas of every online service to the
+    /// currently responsible HSDirs, and records slot-hour coverage (at
+    /// most once per hour) for logging relays.
+    fn publish_descriptors(&mut self) {
+        let now = self.time.unix();
+        let hour = self.time.hours();
+        let record_coverage = self.coverage_recorded_hour != Some(hour);
+        let mut uploads: Vec<(RelayId, StoredDescriptor)> = Vec::new();
+        let mut covered: Vec<(OnionAddress, u64)> = Vec::new();
+        for service in self.services.values() {
+            if !service.online {
+                continue;
+            }
+            let perm = service.onion.permanent_id();
+            let period = TimePeriod::at(now, perm);
+            let mut logging_slots = 0u64;
+            for replica in Replica::ALL {
+                let desc_id = DescriptorId::compute(perm, period, replica);
+                for entry in self.consensus.responsible_hsdirs(desc_id) {
+                    if self.relays[entry.relay.0].logging {
+                        logging_slots += 1;
+                    }
+                    uploads.push((
+                        entry.relay,
+                        StoredDescriptor {
+                            descriptor_id: desc_id,
+                            onion: service.onion,
+                            published: self.time,
+                        },
+                    ));
+                }
+            }
+            if record_coverage && logging_slots > 0 {
+                covered.push((service.onion, logging_slots));
+            }
+        }
+        for (relay, desc) in uploads {
+            self.stores[relay.0].publish(desc);
+        }
+        if record_coverage {
+            self.coverage_recorded_hour = Some(hour);
+            for (onion, slots) in covered {
+                *self.slot_hours.entry(onion).or_insert(0) += slots;
+            }
+        }
+    }
+
+    /// Slot-hours of logging-relay coverage accumulated for a service.
+    pub fn slot_hours(&self, onion: OnionAddress) -> u64 {
+        self.slot_hours.get(&onion).copied().unwrap_or(0)
+    }
+
+    /// The full slot-hour coverage table.
+    pub fn slot_hours_map(&self) -> &HashMap<OnionAddress, u64> {
+        &self.slot_hours
+    }
+
+    /// A client fetches a descriptor by ID (phantom requests — fetches
+    /// for IDs that were never published — go through this entry point
+    /// too, exactly like the 80 % of requests the paper observed).
+    ///
+    /// The fetch is routed through a circuit whose first hop is one of
+    /// the client's guards; each responsible HSDir is tried in random
+    /// order until one returns the descriptor. Logging HSDirs record the
+    /// request; if the response carries an armed traffic signature and
+    /// the guard is attacker-operated, a [`GuardObservation`] is emitted.
+    pub fn client_fetch_desc_id(&mut self, client: ClientId, desc_id: DescriptorId) -> FetchOutcome {
+        // Establish the entry guard.
+        self.clients[client.0]
+            .guards
+            .maintain(&self.consensus, self.time, &mut self.rng);
+        let Some(guard) = self.clients[client.0].guards.pick(&self.consensus, &mut self.rng)
+        else {
+            return FetchOutcome::NoCircuit;
+        };
+
+        let responsible: Vec<RelayId> = self
+            .consensus
+            .responsible_hsdirs(desc_id)
+            .iter()
+            .map(|e| e.relay)
+            .collect();
+        if responsible.is_empty() {
+            return FetchOutcome::NoHsdirs;
+        }
+
+        let mut order = responsible;
+        order.shuffle(&mut self.rng);
+
+        let mut outcome = FetchOutcome::NotFound;
+        for hsdir in order {
+            let found = self.stores[hsdir.0].contains(desc_id);
+            if self.relays[hsdir.0].logging {
+                self.logs[hsdir.0].record(RequestRecord {
+                    time: self.time,
+                    descriptor_id: desc_id,
+                    found,
+                });
+            }
+            if !found {
+                continue;
+            }
+            outcome = FetchOutcome::Found;
+            // Signature injection: the attacker HSDir knows the target
+            // services' current descriptor IDs and arms responses.
+            if self.relays[hsdir.0].operator != Operator::Honest {
+                if let Some((onion, sig)) = self.signature_for(desc_id) {
+                    let cells = sig.encode_response(3);
+                    // The guard inspects cells flowing toward the client.
+                    if self.relays[guard.0].operator != Operator::Honest
+                        && sig.matches(&cells)
+                    {
+                        self.guard_observations.push(GuardObservation {
+                            time: self.time,
+                            guard,
+                            client_ip: self.clients[client.0].ip,
+                            onion,
+                        });
+                    }
+                }
+            }
+            break;
+        }
+        outcome
+    }
+
+    /// A client fetches the descriptor of a service by onion address:
+    /// picks a replica at random, falls back to the other.
+    pub fn client_fetch(&mut self, client: ClientId, onion: OnionAddress) -> FetchOutcome {
+        let mut ids = DescriptorId::pair_at(onion, self.time.unix());
+        if self.rng.random::<bool>() {
+            ids.swap(0, 1);
+        }
+        let first = self.client_fetch_desc_id(client, ids[0]);
+        match first {
+            FetchOutcome::Found | FetchOutcome::NoCircuit | FetchOutcome::NoHsdirs => first,
+            FetchOutcome::NotFound => self.client_fetch_desc_id(client, ids[1]),
+        }
+    }
+
+    /// Full application connection: descriptor fetch, rendezvous, then
+    /// the backend's port reply.
+    pub fn connect_port(
+        &mut self,
+        client: ClientId,
+        onion: OnionAddress,
+        port: u16,
+        backend: &dyn ServiceBackend,
+    ) -> ConnectOutcome {
+        match self.client_fetch(client, onion) {
+            FetchOutcome::Found => {}
+            _ => return ConnectOutcome::NoDescriptor,
+        }
+        if !backend.is_online(onion, self.time) {
+            return ConnectOutcome::ServiceUnreachable;
+        }
+        ConnectOutcome::Port(backend.connect(onion, port, self.time))
+    }
+
+    /// Convenience wrapper matching the paper's scan semantics: returns
+    /// the port reply only (no descriptor → `Timeout`-equivalent
+    /// `NoDescriptor` is surfaced via [`ConnectOutcome`]).
+    pub fn scan_port(
+        &mut self,
+        client: ClientId,
+        onion: OnionAddress,
+        port: u16,
+        backend: &dyn ServiceBackend,
+    ) -> Option<PortReply> {
+        match self.connect_port(client, onion, port, backend) {
+            ConnectOutcome::Port(reply) => Some(reply),
+            _ => None,
+        }
+    }
+
+    fn signature_for(&self, desc_id: DescriptorId) -> Option<(OnionAddress, TrafficSignature)> {
+        let now = self.time.unix();
+        for (&onion, sig) in &self.signature_targets {
+            if DescriptorId::pair_at(onion, now).contains(&desc_id) {
+                return Some((onion, sig.clone()));
+            }
+        }
+        None
+    }
+}
+
+/// Builder for [`Network`], seeding an initial honest relay population.
+#[derive(Clone, Debug)]
+pub struct NetworkBuilder {
+    relays: usize,
+    seed: u64,
+    start: SimTime,
+    consensus_interval: u64,
+    min_bandwidth: u64,
+    max_bandwidth: u64,
+    /// Fraction of relays started long enough ago to hold every flag.
+    established_fraction: f64,
+}
+
+impl Default for NetworkBuilder {
+    fn default() -> Self {
+        NetworkBuilder {
+            relays: 1400,
+            seed: 0x7042_2013,
+            start: SimTime::from_ymd(2013, 2, 1),
+            consensus_interval: HOUR,
+            min_bandwidth: 20,
+            max_bandwidth: 10_000,
+            established_fraction: 0.8,
+        }
+    }
+}
+
+impl NetworkBuilder {
+    /// Creates a builder with 2013-scale defaults (~1400 relays).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of initial honest relays.
+    pub fn relays(mut self, n: usize) -> Self {
+        self.relays = n;
+        self
+    }
+
+    /// Sets the deterministic seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the simulation start time.
+    pub fn start(mut self, t: SimTime) -> Self {
+        self.start = t;
+        self
+    }
+
+    /// Sets the consensus interval in seconds (default one hour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is zero.
+    pub fn consensus_interval(mut self, secs: u64) -> Self {
+        assert!(secs > 0, "consensus interval must be nonzero");
+        self.consensus_interval = secs;
+        self
+    }
+
+    /// Sets the fraction of relays old enough to hold Guard/HSDir flags
+    /// at start.
+    pub fn established_fraction(mut self, f: f64) -> Self {
+        self.established_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builds the network and votes the initial consensus.
+    pub fn build(self) -> Network {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut relays = Vec::with_capacity(self.relays);
+        for i in 0..self.relays {
+            // Distinct public IPs for honest volunteers.
+            let ip = Ipv4::new(
+                51 + (i / (253 * 253)) as u8,
+                1 + ((i / 253) % 253) as u8,
+                1 + (i % 253) as u8,
+                1,
+            );
+            // Heavy-tailed bandwidth: a few fast relays, many slow ones.
+            let u: f64 = rng.random::<f64>();
+            let bw = (self.min_bandwidth as f64
+                * ((self.max_bandwidth / self.min_bandwidth.max(1)) as f64).powf(u * u))
+                as u64;
+            let established = rng.random::<f64>() < self.established_fraction;
+            let age_secs = if established {
+                rng.random_range(9 * DAY..120 * DAY)
+            } else {
+                rng.random_range(0..25 * HOUR)
+            };
+            let identity = SimIdentity::generate(&mut rng);
+            relays.push(Relay::new(
+                RelayId(i),
+                format!("relay{i}"),
+                ip,
+                9001,
+                identity,
+                bw.max(self.min_bandwidth),
+                self.start - age_secs,
+            ));
+        }
+
+        let authority = Authority::new();
+        let consensus = authority.vote(&relays, self.start);
+        let n = relays.len();
+        Network {
+            time: self.start,
+            consensus_interval: self.consensus_interval,
+            authority,
+            relays,
+            consensus,
+            services: HashMap::new(),
+            stores: vec![DescriptorStore::new(); n],
+            logs: vec![RequestLog::new(); n],
+            clients: Vec::new(),
+            signature_targets: HashMap::new(),
+            guard_observations: Vec::new(),
+            slot_hours: HashMap::new(),
+            coverage_recorded_hour: None,
+            rng: StdRng::seed_from_u64(self.seed ^ 0xc11e_77_5eed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flags::RelayFlags;
+
+    struct AlwaysOpen;
+    impl ServiceBackend for AlwaysOpen {
+        fn connect(&self, _onion: OnionAddress, _port: u16, _now: SimTime) -> PortReply {
+            PortReply::Open
+        }
+        fn is_online(&self, _onion: OnionAddress, _now: SimTime) -> bool {
+            true
+        }
+    }
+
+    fn small_net() -> Network {
+        NetworkBuilder::new()
+            .relays(80)
+            .seed(11)
+            .start(SimTime::from_ymd(2013, 2, 1))
+            .build()
+    }
+
+    #[test]
+    fn builder_produces_flagged_relays() {
+        let net = small_net();
+        assert_eq!(net.relays().len(), 80);
+        assert!(net.consensus().hsdir_count() > 20, "most relays are HSDirs");
+        assert!(net.consensus().guards().count() > 5, "some guards exist");
+    }
+
+    #[test]
+    fn descriptors_published_and_fetchable() {
+        let mut net = small_net();
+        let onion = OnionAddress::from_pubkey(b"my hidden service");
+        net.register_service(onion, true);
+        net.advance_hours(1);
+
+        let client = net.add_client(Ipv4::new(93, 184, 216, 34));
+        assert_eq!(net.client_fetch(client, onion), FetchOutcome::Found);
+    }
+
+    #[test]
+    fn offline_service_not_fetchable() {
+        let mut net = small_net();
+        let onion = OnionAddress::from_pubkey(b"dead service");
+        net.register_service(onion, false);
+        net.advance_hours(1);
+        let client = net.add_client(Ipv4::new(1, 2, 3, 4));
+        assert_eq!(net.client_fetch(client, onion), FetchOutcome::NotFound);
+    }
+
+    #[test]
+    fn phantom_request_not_found_but_logged() {
+        let mut net = small_net();
+        net.advance_hours(1);
+        // Make every relay a logging attacker so the request is surely
+        // logged at the responsible HSDirs.
+        for i in 0..net.relays().len() {
+            net.relay_mut(RelayId(i)).logging = true;
+        }
+        let phantom = OnionAddress::from_pubkey(b"never published");
+        let client = net.add_client(Ipv4::new(5, 6, 7, 8));
+        assert_eq!(net.client_fetch(client, phantom), FetchOutcome::NotFound);
+
+        let logged: usize = (0..net.relays().len())
+            .map(|i| net.request_log(RelayId(i)).len())
+            .sum();
+        // Both replicas tried, 3 HSDirs each.
+        assert_eq!(logged, 6);
+        assert!((0..net.relays().len())
+            .flat_map(|i| net.request_log(RelayId(i)).records().iter())
+            .all(|r| !r.found));
+    }
+
+    #[test]
+    fn descriptor_rotation_moves_stores() {
+        let mut net = small_net();
+        let onion = OnionAddress::from_pubkey(b"rotating service");
+        net.register_service(onion, true);
+        net.advance_hours(1);
+        let before: Vec<RelayId> = net
+            .consensus()
+            .responsible_for_service(onion, net.time().unix())
+            .iter()
+            .map(|e| e.relay)
+            .collect();
+        net.advance_hours(25);
+        let after: Vec<RelayId> = net
+            .consensus()
+            .responsible_for_service(onion, net.time().unix())
+            .iter()
+            .map(|e| e.relay)
+            .collect();
+        assert_ne!(before, after, "responsible set rotates with the period");
+        // And the descriptor is still fetchable after rotation.
+        let client = net.add_client(Ipv4::new(9, 9, 9, 9));
+        assert_eq!(net.client_fetch(client, onion), FetchOutcome::Found);
+    }
+
+    #[test]
+    fn connect_port_full_path() {
+        let mut net = small_net();
+        let onion = OnionAddress::from_pubkey(b"webserver");
+        net.register_service(onion, true);
+        net.advance_hours(1);
+        let client = net.add_client(Ipv4::new(10, 1, 1, 1));
+        let out = net.connect_port(client, onion, 80, &AlwaysOpen);
+        assert_eq!(out, ConnectOutcome::Port(PortReply::Open));
+        assert!(out.counts_as_open());
+
+        let ghost = OnionAddress::from_pubkey(b"ghost");
+        let out = net.connect_port(client, ghost, 80, &AlwaysOpen);
+        assert_eq!(out, ConnectOutcome::NoDescriptor);
+    }
+
+    #[test]
+    fn signature_observation_requires_attacker_guard() {
+        let mut net = small_net();
+        let onion = OnionAddress::from_pubkey(b"watched service");
+        net.register_service(onion, true);
+        net.arm_signature(onion, TrafficSignature::default());
+
+        // Turn every relay into an attacker relay: HSDirs inject, guards
+        // detect — guaranteeing an observation on a successful fetch.
+        for i in 0..net.relays().len() {
+            let r = net.relay_mut(RelayId(i));
+            r.operator = Operator::Harvester;
+            r.logging = true;
+        }
+        net.advance_hours(1);
+
+        let victim_ip = Ipv4::new(203, 0, 113, 7);
+        let client = net.add_client(victim_ip);
+        assert_eq!(net.client_fetch(client, onion), FetchOutcome::Found);
+        let obs = net.guard_observations();
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].client_ip, victim_ip);
+        assert_eq!(obs[0].onion, onion);
+    }
+
+    #[test]
+    fn no_observation_with_honest_guards() {
+        let mut net = small_net();
+        let onion = OnionAddress::from_pubkey(b"watched service 2");
+        net.register_service(onion, true);
+        net.arm_signature(onion, TrafficSignature::default());
+        net.advance_hours(1);
+        let client = net.add_client(Ipv4::new(198, 51, 100, 4));
+        let _ = net.client_fetch(client, onion);
+        assert!(net.guard_observations().is_empty());
+    }
+
+    #[test]
+    fn added_relay_joins_next_round() {
+        let mut net = small_net();
+        let mut rng = StdRng::seed_from_u64(77);
+        let id = net.add_relay(
+            "latecomer",
+            Ipv4::new(203, 0, 113, 99),
+            9001,
+            SimIdentity::generate(&mut rng),
+            9_999,
+            Operator::Harvester,
+        );
+        assert!(net.consensus().entry(net.relay(id).fingerprint()).is_none());
+        net.advance_hours(1);
+        assert!(net.consensus().entry(net.relay(id).fingerprint()).is_some());
+        // But no HSDir flag until 25 h of uptime.
+        let e = net.consensus().entry(net.relay(id).fingerprint()).unwrap();
+        assert!(!e.flags.contains(RelayFlags::HSDIR));
+        net.advance_hours(25);
+        let e = net.consensus().entry(net.relay(id).fingerprint()).unwrap();
+        assert!(e.flags.contains(RelayFlags::HSDIR));
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests over the protocol-critical invariants.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use onion_crypto::descriptor::DescriptorId;
+use onion_crypto::identity::Fingerprint;
+use onion_crypto::sha1::{Digest, Sha1};
+use onion_crypto::u160::U160;
+
+use crate::clock::SimTime;
+use crate::consensus::{Consensus, ConsensusEntry};
+use crate::flags::RelayFlags;
+use crate::relay::{Ipv4, RelayId};
+
+fn consensus_from_fps(fps: &[[u8; 20]]) -> Consensus {
+    let entries = fps
+        .iter()
+        .enumerate()
+        .map(|(i, fp)| ConsensusEntry {
+            relay: RelayId(i),
+            fingerprint: Fingerprint::from_digest(Digest::from_bytes(*fp)),
+            nickname: format!("r{i}"),
+            ip: Ipv4::new(10, 0, (i / 200) as u8, (i % 200) as u8),
+            or_port: 9001,
+            bandwidth: 100 + i as u64,
+            flags: RelayFlags::RUNNING | RelayFlags::HSDIR | RelayFlags::VALID,
+        })
+        .collect();
+    Consensus::new(SimTime::from_ymd(2013, 2, 4), entries)
+}
+
+proptest! {
+    /// The ring lookup returns exactly the 3 nearest successors, for
+    /// arbitrary fingerprint sets and query points.
+    #[test]
+    fn responsible_lookup_matches_bruteforce(
+        fps in proptest::collection::hash_set(any::<[u8; 20]>(), 3..40),
+        query in any::<[u8; 20]>(),
+    ) {
+        let fps: Vec<[u8; 20]> = fps.into_iter().collect();
+        let consensus = consensus_from_fps(&fps);
+        let desc = DescriptorId::from_digest(Digest::from_bytes(query));
+        let pos = desc.to_u160();
+
+        let got: Vec<U160> = consensus
+            .responsible_hsdirs(desc)
+            .iter()
+            .map(|e| pos.distance_to(e.fingerprint.to_u160()))
+            .collect();
+
+        let mut brute: Vec<U160> = fps
+            .iter()
+            .map(|fp| pos.distance_to(U160::from_bytes(fp)))
+            .collect();
+        brute.sort();
+        let mut got_sorted = got.clone();
+        got_sorted.sort();
+        prop_assert_eq!(got_sorted, brute[..3.min(brute.len())].to_vec());
+    }
+
+    /// The lookup never returns duplicates when the ring has ≥ 3
+    /// distinct members.
+    #[test]
+    fn responsible_lookup_distinct(
+        fps in proptest::collection::hash_set(any::<[u8; 20]>(), 3..30),
+        query in any::<[u8; 20]>(),
+    ) {
+        let fps: Vec<[u8; 20]> = fps.into_iter().collect();
+        let consensus = consensus_from_fps(&fps);
+        let desc = DescriptorId::from_digest(Digest::from_bytes(query));
+        let resp = consensus.responsible_hsdirs(desc);
+        let mut fingerprints: Vec<_> = resp.iter().map(|e| e.fingerprint).collect();
+        fingerprints.sort();
+        fingerprints.dedup();
+        prop_assert_eq!(fingerprints.len(), resp.len());
+    }
+
+    /// The dir-spec document encoding round-trips arbitrary consensuses.
+    #[test]
+    fn docfmt_roundtrip(
+        fps in proptest::collection::hash_set(any::<[u8; 20]>(), 1..20),
+    ) {
+        let fps: Vec<[u8; 20]> = fps.into_iter().collect();
+        let consensus = consensus_from_fps(&fps);
+        let doc = crate::docfmt::encode(&consensus);
+        let parsed = crate::docfmt::decode(&doc).unwrap();
+        prop_assert_eq!(parsed.len(), consensus.len());
+        for (a, b) in parsed.entries().iter().zip(consensus.entries()) {
+            prop_assert_eq!(a.fingerprint, b.fingerprint);
+            prop_assert_eq!(a.flags, b.flags);
+            prop_assert_eq!(a.bandwidth, b.bandwidth);
+        }
+    }
+
+    /// Weighted sampling always returns a valid index with nonzero
+    /// weight.
+    #[test]
+    fn weighted_sampling_valid(
+        weights in proptest::collection::vec(0u64..1000, 1..50),
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let items: Vec<(usize, u64)> =
+            weights.iter().copied().enumerate().collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        match crate::guard::sample_weighted_index(&items, &mut rng) {
+            Some(idx) => {
+                prop_assert!(idx < items.len());
+                prop_assert!(items[idx].1 > 0, "zero-weight item sampled");
+            }
+            None => {
+                prop_assert!(weights.iter().all(|&w| w == 0));
+            }
+        }
+    }
+
+    /// The traffic signature matcher detects every encoding of itself
+    /// and never fires on plain responses.
+    #[test]
+    fn signature_soundness(run in 1usize..80, payload in 0usize..40) {
+        use crate::cells::{plain_response, TrafficSignature};
+        let sig = TrafficSignature::new(run);
+        prop_assert!(sig.matches(&sig.encode_response(payload)));
+        prop_assert!(!sig.matches(&plain_response(payload)));
+    }
+
+    /// SHA-1-derived ring positions are uniform enough that the
+    /// average-gap estimate is within an order of magnitude of every
+    /// observed gap for moderate rings — sanity for the ratio statistic.
+    #[test]
+    fn ring_positions_cover_space(n in 50usize..200) {
+        let mut positions: Vec<U160> = (0..n)
+            .map(|i| U160::from(Sha1::digest(format!("relay {i}").as_bytes())))
+            .collect();
+        positions.sort();
+        // Largest gap should not exceed ~20x the average for n ≥ 50
+        // (loose bound; catches gross non-uniformity or sort bugs).
+        let avg = U160::MAX.div_u64(n as u64);
+        let mut worst = U160::ZERO;
+        for pair in positions.windows(2) {
+            let gap = pair[0].distance_to(pair[1]);
+            if gap > worst {
+                worst = gap;
+            }
+        }
+        let bound = avg.to_f64() * 20.0;
+        prop_assert!(worst.to_f64() < bound);
+    }
+}

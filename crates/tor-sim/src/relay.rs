@@ -1,0 +1,233 @@
+//! Relays: the volunteer routers that make up the simulated Tor network.
+
+use core::fmt;
+
+use onion_crypto::identity::{Fingerprint, SimIdentity};
+
+use crate::clock::SimTime;
+use crate::flags::RelayFlags;
+
+/// Index of a relay inside a [`crate::network::Network`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RelayId(pub usize);
+
+impl fmt::Display for RelayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "relay#{}", self.0)
+    }
+}
+
+/// An IPv4 address, stored as a `u32`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ipv4(pub u32);
+
+impl Ipv4 {
+    /// Builds an address from dotted-quad octets.
+    pub fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// The four octets.
+    pub fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+}
+
+impl fmt::Debug for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ipv4({self})")
+    }
+}
+
+impl fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+/// Which party operates a relay — used by measurement code to tell
+/// attacker infrastructure apart from honest volunteers. The *protocol*
+/// never looks at this field.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Operator {
+    /// An ordinary volunteer relay.
+    #[default]
+    Honest,
+    /// Part of our harvesting fleet (the paper's 58 EC2 instances).
+    Harvester,
+    /// A third-party tracking campaign (Sec. VII's unknown entities),
+    /// tagged with a campaign number.
+    Tracker(u8),
+}
+
+/// A Tor relay.
+///
+/// A relay is *running* when its operator has it switched on, and
+/// *reachable* when the directory authorities can connect to it. The
+/// shadowing flaw exploited for harvesting lives in that distinction:
+/// a running-but-unreachable relay drops out of the consensus while its
+/// accumulated uptime (and therefore its HSDir flag eligibility) is
+/// retained by the authorities.
+#[derive(Clone, Debug)]
+pub struct Relay {
+    /// Stable simulator handle.
+    pub id: RelayId,
+    /// Operator-chosen nickname (not unique).
+    pub nickname: String,
+    /// IP address; at most two relays per IP enter the consensus.
+    pub ip: Ipv4,
+    /// OR port.
+    pub or_port: u16,
+    /// Identity key; the fingerprint is the relay's ring position.
+    pub identity: SimIdentity,
+    /// Measured bandwidth in kB/s (the two-per-IP tie-breaker).
+    pub bandwidth: u64,
+    /// Whether the operator currently has the relay switched on.
+    pub running: bool,
+    /// Whether directory authorities can reach the relay.
+    pub reachable: bool,
+    /// When the relay last (re)started; uptime accrues from here.
+    pub last_restart: SimTime,
+    /// Who operates the relay.
+    pub operator: Operator,
+    /// Whether this relay records descriptor-request logs (attacker
+    /// HSDirs do; honest relays keep no logs).
+    pub logging: bool,
+}
+
+impl Relay {
+    /// Creates a running, reachable relay.
+    pub fn new(
+        id: RelayId,
+        nickname: impl Into<String>,
+        ip: Ipv4,
+        or_port: u16,
+        identity: SimIdentity,
+        bandwidth: u64,
+        now: SimTime,
+    ) -> Self {
+        Relay {
+            id,
+            nickname: nickname.into(),
+            ip,
+            or_port,
+            identity,
+            bandwidth,
+            running: true,
+            reachable: true,
+            last_restart: now,
+            operator: Operator::Honest,
+            logging: false,
+        }
+    }
+
+    /// The relay's identity fingerprint.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.identity.fingerprint()
+    }
+
+    /// Continuous uptime in seconds as observed at `now` (zero when the
+    /// relay is not running).
+    pub fn uptime(&self, now: SimTime) -> u64 {
+        if self.running {
+            now.since(self.last_restart)
+        } else {
+            0
+        }
+    }
+
+    /// Switches the relay off (clears uptime).
+    pub fn stop(&mut self) {
+        self.running = false;
+        self.reachable = false;
+    }
+
+    /// Switches the relay on at `now`, resetting the uptime clock.
+    pub fn start(&mut self, now: SimTime) {
+        self.running = true;
+        self.reachable = true;
+        self.last_restart = now;
+    }
+
+    /// Replaces the identity key, as a tracker repositioning itself on
+    /// the ring does. Real Tor treats this as a brand-new relay, but the
+    /// authorities' uptime observation is keyed on (IP, port) history in
+    /// our model — matching the paper's observation that trackers kept
+    /// HSDir flags across fingerprint switches by keeping the same
+    /// machine up.
+    pub fn rotate_identity(&mut self, identity: SimIdentity) {
+        self.identity = identity;
+    }
+}
+
+/// Snapshot of a relay as the directory authorities see it while voting.
+#[derive(Clone, Debug)]
+pub struct RelayObservation {
+    /// The relay observed.
+    pub id: RelayId,
+    /// Its fingerprint at observation time.
+    pub fingerprint: Fingerprint,
+    /// Continuous uptime in seconds.
+    pub uptime: u64,
+    /// Measured bandwidth.
+    pub bandwidth: u64,
+    /// Flags the authority would assign.
+    pub flags: RelayFlags,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{SimTime, HOUR};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn relay(now: SimTime) -> Relay {
+        let mut rng = StdRng::seed_from_u64(5);
+        Relay::new(
+            RelayId(0),
+            "testrelay",
+            Ipv4::new(10, 0, 0, 1),
+            9001,
+            SimIdentity::generate(&mut rng),
+            1000,
+            now,
+        )
+    }
+
+    #[test]
+    fn uptime_accrues() {
+        let t0 = SimTime::from_ymd(2013, 1, 1);
+        let r = relay(t0);
+        assert_eq!(r.uptime(t0), 0);
+        assert_eq!(r.uptime(t0 + 25 * HOUR), 25 * HOUR);
+    }
+
+    #[test]
+    fn stop_start_resets_uptime() {
+        let t0 = SimTime::from_ymd(2013, 1, 1);
+        let mut r = relay(t0);
+        r.stop();
+        assert_eq!(r.uptime(t0 + HOUR), 0);
+        assert!(!r.reachable);
+        r.start(t0 + 2 * HOUR);
+        assert_eq!(r.uptime(t0 + 3 * HOUR), HOUR);
+    }
+
+    #[test]
+    fn identity_rotation_changes_fingerprint() {
+        let t0 = SimTime::from_ymd(2013, 1, 1);
+        let mut r = relay(t0);
+        let old = r.fingerprint();
+        let mut rng = StdRng::seed_from_u64(99);
+        r.rotate_identity(SimIdentity::generate(&mut rng));
+        assert_ne!(r.fingerprint(), old);
+    }
+
+    #[test]
+    fn ipv4_display() {
+        assert_eq!(Ipv4::new(192, 168, 1, 42).to_string(), "192.168.1.42");
+        assert_eq!(Ipv4::new(192, 168, 1, 42).octets(), [192, 168, 1, 42]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Per-relay hidden-service descriptor storage and request logging.
+//!
+//! Every relay with the HSDir flag stores the descriptors it is
+//! responsible for, for 24 hours. Honest relays keep no records of who
+//! asked for what; the harvesting attack works precisely because an
+//! *attacker's* relay can log every descriptor publication and every
+//! client request it sees — which is all the popularity measurement of
+//! Sec. V consists of.
+
+use std::collections::HashMap;
+
+use onion_crypto::descriptor::DescriptorId;
+use onion_crypto::onion::OnionAddress;
+
+use crate::clock::{SimTime, DAY};
+
+/// A stored v2 descriptor (contents abstracted to what the measurement
+/// pipelines consume).
+#[derive(Clone, Debug)]
+pub struct StoredDescriptor {
+    /// The ID the descriptor is filed under.
+    pub descriptor_id: DescriptorId,
+    /// The service it belongs to. A real descriptor contains the public
+    /// key, from which the onion address is derived — the paper's
+    /// harvesters did exactly that derivation.
+    pub onion: OnionAddress,
+    /// Publication time; descriptors expire 24 h later.
+    pub published: SimTime,
+}
+
+/// One descriptor store, held by one HSDir relay.
+#[derive(Clone, Debug, Default)]
+pub struct DescriptorStore {
+    descriptors: HashMap<DescriptorId, StoredDescriptor>,
+}
+
+impl DescriptorStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores (or refreshes) a descriptor.
+    pub fn publish(&mut self, desc: StoredDescriptor) {
+        self.descriptors.insert(desc.descriptor_id, desc);
+    }
+
+    /// Looks up a descriptor by ID.
+    pub fn fetch(&self, id: DescriptorId) -> Option<&StoredDescriptor> {
+        self.descriptors.get(&id)
+    }
+
+    /// Whether a descriptor with this ID is stored.
+    pub fn contains(&self, id: DescriptorId) -> bool {
+        self.descriptors.contains_key(&id)
+    }
+
+    /// Drops descriptors published more than 24 h before `now`.
+    pub fn expire(&mut self, now: SimTime) {
+        self.descriptors
+            .retain(|_, d| now.since(d.published) < DAY);
+    }
+
+    /// Number of stored descriptors.
+    pub fn len(&self) -> usize {
+        self.descriptors.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.descriptors.is_empty()
+    }
+
+    /// Iterates over stored descriptors (the harvester's crop).
+    pub fn iter(&self) -> impl Iterator<Item = &StoredDescriptor> + '_ {
+        self.descriptors.values()
+    }
+}
+
+/// One descriptor request observed by a logging relay.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestRecord {
+    /// When the request arrived.
+    pub time: SimTime,
+    /// The descriptor ID asked for.
+    pub descriptor_id: DescriptorId,
+    /// Whether the store had the descriptor.
+    pub found: bool,
+}
+
+/// The request log an attacker-operated HSDir accumulates.
+#[derive(Clone, Debug, Default)]
+pub struct RequestLog {
+    records: Vec<RequestRecord>,
+}
+
+impl RequestLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn record(&mut self, rec: RequestRecord) {
+        self.records.push(rec);
+    }
+
+    /// All records, in arrival order.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// Number of logged requests.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Drains the log, returning all records.
+    pub fn take(&mut self) -> Vec<RequestRecord> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::HOUR;
+
+    fn desc(seed: &[u8], published: SimTime) -> StoredDescriptor {
+        let onion = OnionAddress::from_pubkey(seed);
+        let [id, _] = DescriptorId::pair_at(onion, published.unix());
+        StoredDescriptor { descriptor_id: id, onion, published }
+    }
+
+    #[test]
+    fn publish_fetch_roundtrip() {
+        let t = SimTime::from_ymd(2013, 2, 4);
+        let mut store = DescriptorStore::new();
+        let d = desc(b"svc", t);
+        store.publish(d.clone());
+        assert!(store.contains(d.descriptor_id));
+        assert_eq!(store.fetch(d.descriptor_id).unwrap().onion, d.onion);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn expiry_after_24h() {
+        let t = SimTime::from_ymd(2013, 2, 4);
+        let mut store = DescriptorStore::new();
+        let d = desc(b"svc", t);
+        let id = d.descriptor_id;
+        store.publish(d);
+        store.expire(t + 23 * HOUR);
+        assert!(store.contains(id));
+        store.expire(t + 24 * HOUR);
+        assert!(!store.contains(id));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn republish_refreshes_expiry() {
+        let t = SimTime::from_ymd(2013, 2, 4);
+        let mut store = DescriptorStore::new();
+        let mut d = desc(b"svc", t);
+        let id = d.descriptor_id;
+        store.publish(d.clone());
+        d.published = t + 12 * HOUR;
+        store.publish(d);
+        store.expire(t + 30 * HOUR);
+        assert!(store.contains(id));
+    }
+
+    #[test]
+    fn request_log_accumulates_and_drains() {
+        let t = SimTime::from_ymd(2013, 2, 4);
+        let mut log = RequestLog::new();
+        assert!(log.is_empty());
+        let onion = OnionAddress::from_pubkey(b"q");
+        let [id, _] = DescriptorId::pair_at(onion, t.unix());
+        log.record(RequestRecord { time: t, descriptor_id: id, found: false });
+        log.record(RequestRecord { time: t + 60, descriptor_id: id, found: true });
+        assert_eq!(log.len(), 2);
+        assert!(!log.records()[0].found);
+        let drained = log.take();
+        assert_eq!(drained.len(), 2);
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! Deterministic fixtures shared by unit tests and doctests.
+//!
+//! Not part of the supported API surface.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use onion_crypto::identity::SimIdentity;
+
+use crate::authority::Authority;
+use crate::clock::{SimTime, DAY};
+use crate::consensus::Consensus;
+use crate::relay::{Ipv4, Relay, RelayId};
+
+/// Builds a deterministic consensus of `n` established relays (every
+/// relay has been up for 30 days, so all hold HSDir and, above the
+/// bandwidth median, Guard).
+pub fn tiny_consensus(n: usize) -> Consensus {
+    let start = SimTime::from_ymd(2013, 2, 1);
+    let mut rng = StdRng::seed_from_u64(0xf1f1);
+    let relays: Vec<Relay> = (0..n)
+        .map(|i| {
+            Relay::new(
+                RelayId(i),
+                format!("fixture{i}"),
+                Ipv4::new(10, 10, (i / 200) as u8, (i % 200) as u8 + 1),
+                9001,
+                SimIdentity::generate(&mut rng),
+                100 + (i as u64 * 37) % 2000,
+                start - 30 * DAY,
+            )
+        })
+        .collect();
+    Authority::new().vote(&relays, start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flags::RelayFlags;
+
+    #[test]
+    fn fixture_is_fully_flagged() {
+        let c = tiny_consensus(25);
+        assert_eq!(c.len(), 25);
+        assert_eq!(c.hsdir_count(), 25);
+        assert!(c.guards().count() >= 10);
+        assert!(c
+            .entries()
+            .iter()
+            .all(|e| e.flags.contains(RelayFlags::RUNNING)));
+    }
+
+    #[test]
+    fn fixture_is_deterministic() {
+        let a = tiny_consensus(10);
+        let b = tiny_consensus(10);
+        let fa: Vec<_> = a.entries().iter().map(|e| e.fingerprint).collect();
+        let fb: Vec<_> = b.entries().iter().map(|e| e.fingerprint).collect();
+        assert_eq!(fa, fb);
+    }
+}

@@ -1,0 +1,56 @@
+//! Census of the Skynet botnet and the Goldnet command-and-control
+//! infrastructure (Sec. III and Sec. V).
+//!
+//! ```sh
+//! cargo run --release -p hs-landscape --example botnet_census
+//! ```
+
+use hs_landscape::hs_popularity::BotnetForensics;
+use hs_landscape::hs_portscan::{ScanConfig, Scanner};
+use hs_landscape::hs_world::{Role, World, WorldConfig};
+use hs_landscape::tor_sim::clock::SimTime;
+use hs_landscape::tor_sim::network::NetworkBuilder;
+
+fn main() {
+    let world = World::generate(WorldConfig { seed: 0xb07, scale: 0.1 });
+    let mut net = NetworkBuilder::new()
+        .relays(300)
+        .seed(0xb07)
+        .start(SimTime::from_ymd(2013, 2, 13))
+        .build();
+    world.register_all(&mut net);
+    net.advance_hours(1);
+
+    // Scan everything, count the 55080 oracle hits.
+    let targets: Vec<_> = world.services().iter().map(|s| s.onion).collect();
+    let report = Scanner::new(ScanConfig { days: 4, ..ScanConfig::default() })
+        .run(&mut net, &world, &targets);
+
+    println!(
+        "Skynet census: {} infected machines detected via the abnormal \
+         port-55080 reply (ground truth: {}).",
+        report.skynet_count,
+        world.services().iter().filter(|s| s.is_skynet_bot()).count()
+    );
+
+    // Goldnet: probe the C&C front ends and group them by the Apache
+    // uptime leaked on their server-status pages.
+    let goldnet: Vec<_> = world
+        .services()
+        .iter()
+        .filter(|s| matches!(s.role, Role::GoldnetCc { .. }))
+        .map(|s| s.onion)
+        .collect();
+    let forensics = BotnetForensics::probe(&world, goldnet.iter().copied());
+    println!(
+        "\nGoldnet: {} front-end onions -> {} physical servers (by Apache uptime):",
+        forensics.frontends(),
+        forensics.physical_servers()
+    );
+    for (uptime, onions) in &forensics.groups {
+        println!("  uptime {uptime}s:");
+        for onion in onions {
+            println!("    {onion}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Sec. IV demo: crawl the hidden-service web, apply the exclusion
+//! funnel, detect languages and classify topics.
+//!
+//! ```sh
+//! cargo run --release -p hs-landscape --example landscape_survey
+//! ```
+
+use hs_landscape::hs_content::{CertSurvey, Crawler};
+use hs_landscape::hs_world::{service::SKYNET_PORT, World, WorldConfig};
+use hs_landscape::onion_crypto::OnionAddress;
+
+fn main() {
+    let world = World::generate(WorldConfig { seed: 0x5c0, scale: 0.2 });
+
+    // Perfect-coverage destination list (the scan's output at 100 %).
+    let destinations: Vec<(OnionAddress, u16)> = world
+        .services()
+        .iter()
+        .flat_map(|s| s.open_ports().into_iter().map(move |p| (s.onion, p)))
+        .filter(|&(_, p)| p != SKYNET_PORT)
+        .collect();
+    println!("Crawling {} destinations…", destinations.len());
+
+    let crawler = Crawler::new();
+    let report = crawler.run(&world, &destinations);
+
+    println!(
+        "still open {} | connected {} | errors {} | short {} (ssh {}) | 443 dups {} | classified {}",
+        report.still_open,
+        report.connected,
+        report.excluded_errors,
+        report.excluded_short,
+        report.ssh_banners,
+        report.excluded_mirrors,
+        report.classified.len()
+    );
+
+    println!("\nLanguages:");
+    for (lang, count) in report.language_histogram().iter().take(8) {
+        println!(
+            "  {:<4} {:>6} ({:.1}%)",
+            lang.code(),
+            count,
+            100.0 * f64::from(*count) / report.classified.len() as f64
+        );
+    }
+
+    println!(
+        "\nTopics ({} pages; {} TorHost defaults removed):",
+        report.topic_classified_count(),
+        report.torhost_count()
+    );
+    for (topic, count, pct) in report.fig2_rows() {
+        let bar = "#".repeat(pct.round() as usize);
+        println!("  {:<18} {count:>5} {pct:>5.1}% {bar}", topic.label());
+    }
+
+    let (lang_acc, topic_acc) = crawler.evaluate_against_truth(&world, &report);
+    println!(
+        "\nClassifier accuracy vs ground truth: language {:.1}%, topic {:.1}%",
+        lang_acc * 100.0,
+        topic_acc * 100.0
+    );
+
+    // Certificate survey over every HTTPS destination.
+    let https: Vec<OnionAddress> = destinations
+        .iter()
+        .filter(|&&(_, p)| p == 443)
+        .map(|&(o, _)| o)
+        .collect();
+    let certs = CertSurvey::run(&world, https);
+    println!(
+        "\nHTTPS certs: {} destinations | {} self-signed CN-mismatch ({} TorHost) | {} clearnet-DNS (deanonymising)",
+        certs.https_destinations, certs.self_signed_mismatch, certs.torhost_cn, certs.clearnet_dns
+    );
+}

@@ -1,0 +1,47 @@
+//! Quickstart: run a scaled-down version of the whole study and print
+//! the headline artifacts.
+//!
+//! ```sh
+//! cargo run --release -p hs-landscape --example quickstart
+//! ```
+
+use hs_landscape::{report, Study, StudyConfig};
+
+fn main() {
+    // ~5 % of paper scale: finishes in seconds, preserves every shape.
+    let config = StudyConfig {
+        scale: 0.05,
+        relays: 300,
+        harvest: hs_landscape::hs_harvest::HarvestConfig {
+            fleet: hs_landscape::hs_harvest::FleetConfig {
+                ips: 12,
+                relays_per_ip: 12,
+                bandwidth: 300,
+            },
+            warmup_hours: 26,
+            rotation_hours: 2,
+        },
+        scan_days: 5,
+        traffic_clients: 150,
+        run_tracking: false,
+        ..StudyConfig::default()
+    };
+
+    println!("Running the study at scale {} …\n", config.scale);
+    let results = Study::new(config).run();
+
+    println!(
+        "Harvested {} onion addresses with {} relay instances over {} hours.\n",
+        results.harvest.onion_count(),
+        results.harvest.fleet_relays.len(),
+        results.harvest.hours
+    );
+    println!("{}", report::render_fig1(&results.scan));
+    println!("{}", report::render_table1(&results.crawl));
+    println!("{}", report::render_fig2(&results.crawl));
+    println!("{}", report::render_table2(&results.ranking, 15));
+    println!(
+        "{}",
+        report::render_sec5(&results.resolution, results.requested_published_share)
+    );
+}

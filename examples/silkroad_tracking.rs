@@ -1,0 +1,63 @@
+//! Sec. VII case study: detect tracking of Silk Road in a three-year
+//! consensus archive with the paper's three campaigns injected.
+//!
+//! ```sh
+//! cargo run --release -p hs-landscape --example silkroad_tracking
+//! ```
+
+use hs_landscape::hs_tracking::{
+    scenario, ConsensusArchive, DetectorConfig, HistoryConfig, TrackingDetector,
+};
+use hs_landscape::tor_sim::clock::SimTime;
+
+fn main() {
+    println!("Generating 3-year consensus archive (2011-02-01 … 2013-10-31)…");
+    let mut archive = ConsensusArchive::generate(&HistoryConfig::default());
+    println!(
+        "  {} days, HSDir ring {} → {}",
+        archive.len(),
+        archive.days()[5].hsdir_count(),
+        archive.days().last().unwrap().hsdir_count()
+    );
+
+    println!("Injecting the three tracking campaigns…");
+    scenario::inject_all(&mut archive, scenario::silkroad());
+
+    let detector = TrackingDetector::new(DetectorConfig::default());
+    for (label, start, end) in [
+        ("Year 1 (Feb–Dec 2011)", (2011, 2, 1), (2011, 12, 31)),
+        ("Year 2 (2012)", (2012, 1, 1), (2012, 12, 31)),
+        ("Year 3 (Jan–Oct 2013)", (2013, 1, 1), (2013, 10, 31)),
+    ] {
+        let analysis = detector.analyse(
+            &archive,
+            scenario::silkroad(),
+            SimTime::from_ymd(start.0, start.1, start.2),
+            SimTime::from_ymd(end.0, end.1, end.2),
+        );
+        println!(
+            "\n{label}: mean ring size {:.0}",
+            analysis.mean_hsdirs,
+        );
+        let trackers = analysis.trackers();
+        if trackers.is_empty() {
+            println!("  no clear indication of tracking");
+        }
+        for t in trackers.iter().take(6) {
+            println!(
+                "  TRACKER {} [{}] responsible {}x | max ratio {:.0} | fp switches {} ({} right before responsibility) | rules {:?}",
+                t.key.ip,
+                t.nicknames.join(","),
+                t.responsible_days.len(),
+                t.max_ratio,
+                t.fingerprint_switches,
+                t.switches_before_responsible,
+                t.suspicions,
+            );
+        }
+    }
+    println!(
+        "\nConclusion: fingerprint changes combined with small descriptor-ID \
+         distance are the most reliable tracking tell — as the paper found."
+    );
+}

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Regenerates every paper artifact at the given scale and stores the
+# outputs under results/ (used to fill EXPERIMENTS.md).
+set -e
+SCALE="${HS_SCALE:-0.25}"
+export HS_SCALE="$SCALE"
+mkdir -p results
+for bin in fig1_ports table1_http fig2_topics table2_popularity fig3_geomap \
+           sec3_certs sec5_stats harvest_coverage; do
+  echo "== $bin (scale $SCALE)"
+  cargo run --release -q -p hs-bench --bin "$bin" > "results/$bin.txt" 2>"results/$bin.log" || true
+done
+echo "== sec7_tracking"
+cargo run --release -q -p hs-bench --bin sec7_tracking > results/sec7_tracking.txt 2>results/sec7_tracking.log || true
+echo "== deanon_rate"
+cargo run --release -q -p hs-bench --bin deanon_rate > results/deanon_rate.txt 2>results/deanon_rate.log || true
+echo done
