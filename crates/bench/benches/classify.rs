@@ -37,9 +37,8 @@ fn bench_topics(c: &mut Criterion) {
 fn bench_html(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let words = sample_words(Language::English, Topic::Adult, 300, &mut rng).join(" ");
-    let page = format!(
-        "<html><head><title>x</title></head><body><p>{words}</p><!-- c --></body></html>"
-    );
+    let page =
+        format!("<html><head><title>x</title></head><body><p>{words}</p><!-- c --></body></html>");
     c.bench_function("html_strip_300w", |b| {
         b.iter(|| html::strip_tags(black_box(&page)));
     });

@@ -18,7 +18,12 @@ fn bench_world_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("stages");
     group.sample_size(10);
     group.bench_function("world_generate_2pct", |b| {
-        b.iter(|| World::generate(WorldConfig { seed: 1, scale: 0.02 }));
+        b.iter(|| {
+            World::generate(WorldConfig {
+                seed: 1,
+                scale: 0.02,
+            })
+        });
     });
     group.finish();
 }
@@ -42,7 +47,11 @@ fn bench_harvest_sweep(c: &mut Criterion) {
             },
             |mut net| {
                 let config = HarvestConfig {
-                    fleet: FleetConfig { ips: 4, relays_per_ip: 6, bandwidth: 300 },
+                    fleet: FleetConfig {
+                        ips: 4,
+                        relays_per_ip: 6,
+                        bandwidth: 300,
+                    },
                     warmup_hours: 26,
                     rotation_hours: 1,
                 };
@@ -56,7 +65,10 @@ fn bench_harvest_sweep(c: &mut Criterion) {
 fn bench_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("stages");
     group.sample_size(10);
-    let world = World::generate(WorldConfig { seed: 3, scale: 0.005 });
+    let world = World::generate(WorldConfig {
+        seed: 3,
+        scale: 0.005,
+    });
     let targets: Vec<OnionAddress> = world.services().iter().map(|s| s.onion).collect();
     group.bench_function("portscan_half_pct", |b| {
         b.iter_with_setup(
@@ -71,8 +83,11 @@ fn bench_scan(c: &mut Criterion) {
                 net
             },
             |mut net| {
-                Scanner::new(ScanConfig { days: 2, ..ScanConfig::default() })
-                    .run(&mut net, &world, &targets)
+                Scanner::new(ScanConfig {
+                    days: 2,
+                    ..ScanConfig::default()
+                })
+                .run(&mut net, &world, &targets)
             },
         );
     });
@@ -82,7 +97,10 @@ fn bench_scan(c: &mut Criterion) {
 fn bench_crawl(c: &mut Criterion) {
     let mut group = c.benchmark_group("stages");
     group.sample_size(10);
-    let world = World::generate(WorldConfig { seed: 4, scale: 0.02 });
+    let world = World::generate(WorldConfig {
+        seed: 4,
+        scale: 0.02,
+    });
     let destinations: Vec<(OnionAddress, u16)> = world
         .services()
         .iter()

@@ -52,5 +52,10 @@ fn bench_resolver(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_u160, bench_responsible_lookup, bench_resolver);
+criterion_group!(
+    benches,
+    bench_u160,
+    bench_responsible_lookup,
+    bench_resolver
+);
 criterion_main!(benches);

@@ -12,10 +12,7 @@ use hs_landscape::hs_tracking::{
 };
 use hs_landscape::tor_sim::clock::SimTime;
 
-fn analyse(
-    archive: &ConsensusArchive,
-    ratio_threshold: f64,
-) -> (usize, bool, bool, bool) {
+fn analyse(archive: &ConsensusArchive, ratio_threshold: f64) -> (usize, bool, bool, bool) {
     let det = TrackingDetector::new(DetectorConfig {
         ratio_threshold,
         ..DetectorConfig::default()
@@ -27,11 +24,8 @@ fn analyse(
         SimTime::from_ymd(2013, 10, 31),
     );
     let trackers = full.trackers();
-    let has = |pred: &dyn Fn(&str) -> bool| {
-        trackers
-            .iter()
-            .any(|t| t.nicknames.iter().any(|n| pred(n)))
-    };
+    let has =
+        |pred: &dyn Fn(&str) -> bool| trackers.iter().any(|t| t.nicknames.iter().any(|n| pred(n)));
     let ours = has(&|n: &str| n.starts_with("unnamed"));
     let may = has(&|n: &str| n == "PrivacyRelayX");
     let august = has(&|n: &str| n.starts_with("GlobalObserver"));

@@ -25,7 +25,11 @@ fn run_once(ips: u32, relays_per_ip: u32, services: usize) -> f64 {
     }
     net.advance_hours(1);
     let config = HarvestConfig {
-        fleet: FleetConfig { ips, relays_per_ip, bandwidth: 350 },
+        fleet: FleetConfig {
+            ips,
+            relays_per_ip,
+            bandwidth: 350,
+        },
         warmup_hours: 26,
         rotation_hours: 2,
     };
@@ -35,8 +39,13 @@ fn run_once(ips: u32, relays_per_ip: u32, services: usize) -> f64 {
 
 fn main() {
     let services = 400;
-    println!("Ablation A — coverage vs relays per IP (8 IPs, 300 honest relays, {services} services)");
-    println!("{:<14} {:>10} {:>14} {:>12}", "relays/IP", "instances", "measured cov", "hours");
+    println!(
+        "Ablation A — coverage vs relays per IP (8 IPs, 300 honest relays, {services} services)"
+    );
+    println!(
+        "{:<14} {:>10} {:>14} {:>12}",
+        "relays/IP", "instances", "measured cov", "hours"
+    );
     for m in [2u32, 4, 8, 16, 24] {
         let cov = run_once(8, m, services);
         println!(

@@ -9,7 +9,10 @@ use hs_landscape::tor_sim::relay::Ipv4;
 
 fn main() {
     println!("Sec. VI — catch rate vs attacker guard bandwidth");
-    println!("{:<12} {:>10} {:>10} {:>10}", "guard bw", "expected", "measured", "victims");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "guard bw", "expected", "measured", "victims"
+    );
     for bw in [500u64, 2_000, 5_000, 15_000] {
         let mut net = NetworkBuilder::new()
             .relays(400)
@@ -19,7 +22,11 @@ fn main() {
         let target = OnionAddress::from_pubkey(b"deanon rate target");
         net.register_service(target, true);
         net.advance_hours(1);
-        let config = DeanonConfig { guards: 4, guard_bandwidth: bw, ..DeanonConfig::default() };
+        let config = DeanonConfig {
+            guards: 4,
+            guard_bandwidth: bw,
+            ..DeanonConfig::default()
+        };
         let mut attack = DeanonAttack::deploy(&mut net, target, &config);
 
         let mut fetches = 0u64;

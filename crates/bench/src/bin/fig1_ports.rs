@@ -2,9 +2,10 @@
 //! Sec. III scan statistics. `HS_SCALE=1.0` for the paper-scale run.
 
 use hs_landscape::report;
+use hs_landscape::StageId;
 
 fn main() {
-    let results = hs_bench::run_bench_study();
-    println!("{}", report::render_fig1(&results.scan));
+    let run = hs_bench::run_bench_stages(&[StageId::PortScan]);
+    println!("{}", report::render_fig1(run.artifacts.scan()));
     println!("Paper reference (scale 1.0): 55080-Skynet 13854 | 80-http 4027 | 443-https 1366 | 22-ssh 1238 | 11009-TorChat 385 | 4050 138 | 6667-irc 113 | other 886; total 22007 on 24511 addresses; 495 unique ports; coverage 87%");
 }

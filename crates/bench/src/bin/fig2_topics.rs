@@ -2,15 +2,20 @@
 //! and Fig. 2 (topic distribution).
 
 use hs_landscape::report;
+use hs_landscape::StageId;
 
 fn main() {
-    let results = hs_bench::run_bench_study();
-    println!("{}", report::render_table1(&results.crawl));
-    println!("{}", report::render_funnel_and_languages(&results.crawl));
-    println!("{}", report::render_fig2(&results.crawl));
+    let run = hs_bench::run_bench_stages(&[StageId::Crawl]);
+    let crawl = run.artifacts.crawl();
+    println!("{}", report::render_table1(crawl));
+    println!("{}", report::render_funnel_and_languages(crawl));
+    println!("{}", report::render_fig2(crawl));
     let (lang_acc, topic_acc) = hs_landscape::hs_content::Crawler::new()
-        .evaluate_against_truth(&results.world, &results.crawl);
-    println!("classifier accuracy vs ground truth: language {:.1}%, topic {:.1}%",
-             lang_acc * 100.0, topic_acc * 100.0);
+        .evaluate_against_truth(run.artifacts.world(), crawl);
+    println!(
+        "classifier accuracy vs ground truth: language {:.1}%, topic {:.1}%",
+        lang_acc * 100.0,
+        topic_acc * 100.0
+    );
     println!("Paper reference (scale 1.0): 3050 classified; 84% English; 805 TorHost defaults; Fig. 2: Adult 17, Drugs 15, Politics 9, Counterfeit 8, Weapons 4, FAQs 4, Security 5, Anonymity 8, Hacking 3, Software 7, Art 2, Services 4, Games 1, Science 1, DigLibs 4, Sports 1, Technology 4, Other 3 (%)");
 }

@@ -2,9 +2,10 @@
 //! clients of a popular (Goldnet) hidden service.
 
 use hs_landscape::report;
+use hs_landscape::StageId;
 
 fn main() {
-    let results = hs_bench::run_bench_study();
-    println!("{}", report::render_fig3(&results.deanon));
+    let run = hs_bench::run_bench_stages(&[StageId::Geomap]);
+    println!("{}", report::render_fig3(run.artifacts.deanon()));
     println!("Paper reference: a world map of client locations for one Goldnet front end (no absolute counts published)");
 }

@@ -3,6 +3,7 @@
 
 use hs_landscape::hs_harvest::coverage;
 use hs_landscape::hs_world::calib;
+use hs_landscape::StageId;
 
 fn main() {
     println!("Sec. II — Harvest cost arithmetic");
@@ -15,7 +16,11 @@ fn main() {
             coverage::attack_hours(24, 2),
         );
     }
-    println!("  paper: {} IPs used; >{} needed naïvely", calib::HARVEST_IPS, calib::NAIVE_ATTACK_IPS);
+    println!(
+        "  paper: {} IPs used; >{} needed naïvely",
+        calib::HARVEST_IPS,
+        calib::NAIVE_ATTACK_IPS
+    );
 
     println!("\nRandom vs deliberate placement (expected coverage of the 6-slot responsible set):");
     for attacker in [50u32, 200, 600, 1_392] {
@@ -25,9 +30,11 @@ fn main() {
         );
     }
 
-    let results = hs_bench::run_bench_study();
-    let publishing = results
-        .world
+    let run = hs_bench::run_bench_stages(&[StageId::Harvest]);
+    let harvest = run.artifacts.harvest();
+    let publishing = run
+        .artifacts
+        .world()
         .services()
         .iter()
         .filter(|s| s.publishes_descriptors())
@@ -35,10 +42,10 @@ fn main() {
     println!(
         "\nMeasured sweep at scale {}: {} of {} publishing services collected ({:.1}%) in {} hours with {} relay instances",
         hs_bench::bench_scale(),
-        results.harvest.onion_count(),
+        harvest.onion_count(),
         publishing,
-        results.harvest.coverage_of(publishing) * 100.0,
-        results.harvest.hours,
-        results.harvest.fleet_relays.len(),
+        harvest.coverage_of(publishing) * 100.0,
+        harvest.hours,
+        harvest.fleet_relays.len(),
     );
 }

@@ -1,9 +1,10 @@
 //! E3 — Regenerates the Sec. III HTTPS certificate survey.
 
 use hs_landscape::report;
+use hs_landscape::StageId;
 
 fn main() {
-    let results = hs_bench::run_bench_study();
-    println!("{}", report::render_certs(&results.certs));
+    let run = hs_bench::run_bench_stages(&[StageId::Certs]);
+    println!("{}", report::render_certs(run.artifacts.certs()));
     println!("Paper reference (scale 1.0): 1225 self-signed CN-mismatch; 1168 with TorHost CN esjqyk2khizsy43i.onion; 34 clearnet-DNS CNs (deanonymising)");
 }

@@ -1,12 +1,14 @@
 //! E8 — Regenerates the Sec. V popularity-measurement statistics.
 
 use hs_landscape::report;
+use hs_landscape::StageId;
 
 fn main() {
-    let results = hs_bench::run_bench_study();
+    let run = hs_bench::run_bench_stages(&[StageId::Popularity]);
+    let pop = run.artifacts.popularity();
     println!(
         "{}",
-        report::render_sec5(&results.resolution, results.requested_published_share)
+        report::render_sec5(&pop.resolution, pop.requested_published_share)
     );
     println!("Paper reference (scale 1.0): 1,031,176 requests; 29,123 unique descriptor IDs; 6,113 resolved → 3,140 onions; 80% phantom requests; 10% of published descriptors ever requested");
 }

@@ -1,9 +1,10 @@
 //! E4 — Regenerates Table I (HTTP/HTTPS access per port).
 
 use hs_landscape::report;
+use hs_landscape::StageId;
 
 fn main() {
-    let results = hs_bench::run_bench_study();
-    println!("{}", report::render_table1(&results.crawl));
+    let run = hs_bench::run_bench_stages(&[StageId::Crawl]);
+    println!("{}", report::render_table1(run.artifacts.crawl()));
     println!("Paper reference (scale 1.0): 80→3741 | 443→1289 | 22→1094 | 8080→4 | other→451 (6579 connected of 7114 open of 8153 attempted)");
 }

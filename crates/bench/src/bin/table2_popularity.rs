@@ -2,14 +2,16 @@
 //! services) plus the Goldnet server-status forensics.
 
 use hs_landscape::report;
+use hs_landscape::StageId;
 
 fn main() {
-    let results = hs_bench::run_bench_study();
-    println!("{}", report::render_table2(&results.ranking, 30));
+    let run = hs_bench::run_bench_stages(&[StageId::Popularity]);
+    let pop = run.artifacts.popularity();
+    println!("{}", report::render_table2(&pop.ranking, 30));
     println!(
         "Goldnet forensics: {} front ends → {} physical servers",
-        results.forensics.frontends(),
-        results.forensics.physical_servers()
+        pop.forensics.frontends(),
+        pop.forensics.physical_servers()
     );
     println!("Paper reference: top-5 all Goldnet (13714…7183); BcMine #9; Skynet cluster #10–28; SilkRoad #18 @1175; FreedomHosting #27 @694; BMR #62 @172; DuckDuckGo #157 @55; TorHost #547 @10");
 }

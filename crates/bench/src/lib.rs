@@ -10,7 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use hs_landscape::{Study, StudyConfig};
+use hs_landscape::pipeline::{PipelineRun, StageId};
+use hs_landscape::{report, Study, StudyConfig};
 
 /// The scale used by the experiment binaries. Override with the
 /// `HS_SCALE` environment variable (e.g. `HS_SCALE=1.0` for the full
@@ -44,7 +45,8 @@ pub fn bench_config() -> StudyConfig {
     }
 }
 
-/// Runs the standard study (used by most experiment binaries).
+/// Runs the standard study (used by binaries that need the full
+/// report).
 pub fn run_bench_study() -> hs_landscape::StudyReport {
     let config = bench_config();
     eprintln!(
@@ -52,4 +54,22 @@ pub fn run_bench_study() -> hs_landscape::StudyReport {
         config.scale, config.relays
     );
     Study::new(config).run()
+}
+
+/// Runs only the dependency closure of `targets` at [`bench_scale`],
+/// printing the per-stage timing table (skipped stages included) to
+/// stderr. Figure-specific binaries use this so each pays only for
+/// the stages its artifact needs.
+pub fn run_bench_stages(targets: &[StageId]) -> PipelineRun {
+    let config = bench_config();
+    let names: Vec<&str> = targets.iter().map(|s| s.name()).collect();
+    eprintln!(
+        "[hs-bench] running stages [{}] at scale {} ({} relays)…",
+        names.join(", "),
+        config.scale,
+        config.relays
+    );
+    let run = Study::new(config).run_stages(targets);
+    eprintln!("{}", report::render_stage_timings(&run.timings));
+    run
 }

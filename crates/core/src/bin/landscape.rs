@@ -1,5 +1,11 @@
 //! `landscape` — command-line front end for the study pipeline.
 //!
+//! Figure-specific commands run only the dependency closure of the
+//! stages they need (e.g. `fig1` never pays for the deanonymisation
+//! window, the crawl, or tracking). Every invocation writes the
+//! per-stage wall-clock timings — executed *and* skipped stages — to
+//! `results/bench_stages.json`.
+//!
 //! ```text
 //! landscape study   [--scale S] [--seed N]   run the full pipeline, print all artifacts
 //! landscape fig1    [--scale S] [--seed N]   open-ports distribution (Fig. 1)
@@ -10,10 +16,13 @@
 //! landscape certs   [--scale S] [--seed N]   certificate survey (Sec. III)
 //! landscape sec5    [--scale S] [--seed N]   popularity statistics (Sec. V)
 //! landscape tracking [--seed N]              Silk Road tracking detection (Sec. VII)
+//! landscape stages  [--scale S] [--seed N]   print the stage plan and timings only
 //! ```
 
+use std::path::Path;
 use std::process::ExitCode;
 
+use hs_landscape::pipeline::{PipelineTimings, StageId};
 use hs_landscape::{report, Study, StudyConfig};
 
 struct Args {
@@ -43,11 +52,15 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
-    Ok(Args { command, scale, seed })
+    Ok(Args {
+        command,
+        scale,
+        seed,
+    })
 }
 
 fn usage() -> String {
-    "usage: landscape <study|fig1|table1|fig2|table2|fig3|certs|sec5|tracking> \
+    "usage: landscape <study|fig1|table1|fig2|table2|fig3|certs|sec5|tracking|stages> \
      [--scale S] [--seed N]"
         .to_owned()
 }
@@ -73,38 +86,45 @@ fn study_config(args: &Args) -> StudyConfig {
     }
 }
 
-fn run_tracking(seed: u64) {
-    use hs_landscape::hs_tracking::{
-        scenario, ConsensusArchive, DetectorConfig, HistoryConfig, TrackingDetector,
-    };
-    use hs_landscape::tor_sim::clock::SimTime;
-    use hs_landscape::TrackingReport;
+/// The stages each command needs; `None` means the full study.
+fn command_stages(command: &str) -> Option<Vec<StageId>> {
+    match command {
+        "study" => None,
+        "fig1" => Some(vec![StageId::PortScan]),
+        "table1" | "fig2" => Some(vec![StageId::Crawl]),
+        "table2" | "sec5" => Some(vec![StageId::Popularity]),
+        "fig3" => Some(vec![StageId::Geomap]),
+        "certs" => Some(vec![StageId::Certs]),
+        "tracking" => Some(vec![StageId::Tracking]),
+        "stages" => Some(vec![
+            StageId::Geomap,
+            StageId::Certs,
+            StageId::Crawl,
+            StageId::Popularity,
+        ]),
+        _ => unreachable!("command validated in main"),
+    }
+}
 
-    let mut archive = ConsensusArchive::generate(&HistoryConfig {
-        seed,
-        ..HistoryConfig::default()
-    });
-    scenario::inject_all(&mut archive, scenario::silkroad());
-    let detector = TrackingDetector::new(DetectorConfig::default());
-    let years = [
-        ("year 1 (Feb–Dec 2011)", (2011, 2, 1), (2011, 12, 31)),
-        ("year 2 (2012)", (2012, 1, 1), (2012, 12, 31)),
-        ("year 3 (Jan–Oct 2013)", (2013, 1, 1), (2013, 10, 31)),
-    ]
-    .into_iter()
-    .map(|(label, s, e)| {
-        (
-            label.to_owned(),
-            detector.analyse(
-                &archive,
-                scenario::silkroad(),
-                SimTime::from_ymd(s.0, s.1, s.2),
-                SimTime::from_ymd(e.0, e.1, e.2),
-            ),
-        )
-    })
-    .collect();
-    println!("{}", report::render_tracking(&TrackingReport { years }));
+/// Writes the machine-readable per-stage record alongside the run's
+/// parameters.
+fn write_stage_json(args: &Args, timings: &PipelineTimings) {
+    let path = Path::new("results").join("bench_stages.json");
+    let body = format!(
+        "{{\n\"command\": \"{}\", \"scale\": {}, \"seed\": {},\n\"timings\": {}}}\n",
+        args.command,
+        args.scale,
+        args.seed,
+        timings.to_json().trim_end()
+    );
+    let written = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write(&path, body))
+        .is_ok();
+    if written {
+        eprintln!("[landscape] stage timings written to {}", path.display());
+    } else {
+        eprintln!("[landscape] warning: could not write {}", path.display());
+    }
 }
 
 fn main() -> ExitCode {
@@ -115,51 +135,61 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-
-    if args.command == "tracking" {
-        run_tracking(args.seed);
-        return ExitCode::SUCCESS;
-    }
     const COMMANDS: &[&str] = &[
-        "study", "fig1", "table1", "fig2", "table2", "fig3", "certs", "sec5",
+        "study", "fig1", "table1", "fig2", "table2", "fig3", "certs", "sec5", "tracking", "stages",
     ];
     if !COMMANDS.contains(&args.command.as_str()) {
         eprintln!("unknown command {:?}\n{}", args.command, usage());
         return ExitCode::FAILURE;
     }
 
-    let results = Study::new(study_config(&args)).run();
-    match args.command.as_str() {
-        "study" => {
-            println!("{}", report::render_fig1(&results.scan));
-            println!("{}", report::render_certs(&results.certs));
-            println!("{}", report::render_table1(&results.crawl));
-            println!("{}", report::render_funnel_and_languages(&results.crawl));
-            println!("{}", report::render_fig2(&results.crawl));
-            println!("{}", report::render_table2(&results.ranking, 30));
-            println!(
-                "{}",
-                report::render_sec5(&results.resolution, results.requested_published_share)
-            );
-            println!("{}", report::render_fig3(&results.deanon));
-        }
-        "fig1" => println!("{}", report::render_fig1(&results.scan)),
-        "table1" => println!("{}", report::render_table1(&results.crawl)),
-        "fig2" => {
-            println!("{}", report::render_funnel_and_languages(&results.crawl));
-            println!("{}", report::render_fig2(&results.crawl));
-        }
-        "table2" => println!("{}", report::render_table2(&results.ranking, 30)),
-        "fig3" => println!("{}", report::render_fig3(&results.deanon)),
-        "certs" => println!("{}", report::render_certs(&results.certs)),
-        "sec5" => println!(
+    let study = Study::new(study_config(&args));
+    let Some(targets) = command_stages(&args.command) else {
+        // The full study: every stage, parallel analyses.
+        let results = study.run();
+        println!("{}", report::render_fig1(&results.scan));
+        println!("{}", report::render_certs(&results.certs));
+        println!("{}", report::render_table1(&results.crawl));
+        println!("{}", report::render_funnel_and_languages(&results.crawl));
+        println!("{}", report::render_fig2(&results.crawl));
+        println!("{}", report::render_table2(&results.ranking, 30));
+        println!(
             "{}",
             report::render_sec5(&results.resolution, results.requested_published_share)
-        ),
-        other => {
-            eprintln!("unknown command {other:?}\n{}", usage());
-            return ExitCode::FAILURE;
+        );
+        println!("{}", report::render_fig3(&results.deanon));
+        eprintln!("{}", report::render_stage_timings(&results.stages));
+        write_stage_json(&args, &results.stages);
+        return ExitCode::SUCCESS;
+    };
+
+    let run = study.run_stages(&targets);
+    let artifacts = &run.artifacts;
+    match args.command.as_str() {
+        "fig1" => println!("{}", report::render_fig1(artifacts.scan())),
+        "table1" => println!("{}", report::render_table1(artifacts.crawl())),
+        "fig2" => {
+            println!("{}", report::render_funnel_and_languages(artifacts.crawl()));
+            println!("{}", report::render_fig2(artifacts.crawl()));
         }
+        "table2" => println!(
+            "{}",
+            report::render_table2(&artifacts.popularity().ranking, 30)
+        ),
+        "fig3" => println!("{}", report::render_fig3(artifacts.deanon())),
+        "certs" => println!("{}", report::render_certs(artifacts.certs())),
+        "sec5" => {
+            let pop = artifacts.popularity();
+            println!(
+                "{}",
+                report::render_sec5(&pop.resolution, pop.requested_published_share)
+            );
+        }
+        "tracking" => println!("{}", report::render_tracking(artifacts.tracking())),
+        "stages" => {}
+        other => unreachable!("command {other:?} validated above"),
     }
+    eprintln!("{}", report::render_stage_timings(&run.timings));
+    write_stage_json(&args, &run.timings);
     ExitCode::SUCCESS
 }

@@ -34,9 +34,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod pipeline;
 pub mod report;
 pub mod study;
 
+pub use pipeline::{ExecMode, PipelineRun, PipelineTimings, StageId, StageTiming};
 pub use study::{DeanonReport, Study, StudyConfig, StudyReport, TrackingReport};
 
 // Re-export the subsystem crates under one roof.

@@ -1,0 +1,182 @@
+//! The typed artifact store stages read from and write into.
+//!
+//! Each slot is produced by exactly one stage (documented per field)
+//! and read through a panicking accessor: asking for an artifact whose
+//! stage has not run is a *scheduling* bug in the engine, never a
+//! recoverable condition, so accessors `expect` with the producing
+//! stage's name.
+//!
+//! Sim stages deposit both their measurement artifact *and* a snapshot
+//! of the [`Network`] (and, where relevant, the [`TrafficDriver`])
+//! they produced. Downstream sim stages **clone** their input snapshot
+//! instead of mutating it, which is what makes `DeanonWindow` and
+//! `PortScan` independent siblings of the harvest: each branches its
+//! own deterministic timeline, so a selective run reproduces a full
+//! run's artifacts byte for byte.
+
+use onion_crypto::onion::OnionAddress;
+use tor_sim::network::{GuardObservation, Network};
+use tor_sim::relay::RelayId;
+
+use hs_content::{CertSurvey, CrawlReport};
+use hs_deanon::GeoMap;
+use hs_harvest::HarvestOutcome;
+use hs_popularity::{BotnetForensics, Ranking, ResolutionReport, TrafficDriver};
+use hs_portscan::ScanReport;
+use hs_tracking::TrackingAnalysis;
+use hs_world::{GeoDb, World};
+
+/// Sec. VI results (assembled by the `Geomap` analysis stage).
+#[derive(Clone, Debug)]
+pub struct DeanonReport {
+    /// The attacked service.
+    pub target: OnionAddress,
+    /// Unique client IPs deanonymised.
+    pub unique_clients: u32,
+    /// Analytic per-fetch catch probability.
+    pub expected_rate: f64,
+    /// Country census of the caught clients (Fig. 3).
+    pub geomap: GeoMap,
+}
+
+/// Sec. VII results: one analysis per calendar year.
+#[derive(Clone, Debug)]
+pub struct TrackingReport {
+    /// (label, analysis) per year.
+    pub years: Vec<(String, TrackingAnalysis)>,
+}
+
+/// Raw output of the dedicated Sec. VI deanonymisation window, before
+/// the geographic analysis runs.
+#[derive(Clone, Debug)]
+pub struct DeanonWindowOut {
+    /// The Goldnet front end under attack (looked up from the world).
+    pub target: OnionAddress,
+    /// Signature hits logged at the attacker's guards.
+    pub observations: Vec<GuardObservation>,
+    /// Analytic per-fetch catch probability at window end.
+    pub expected_rate: f64,
+}
+
+/// Sec. V outputs, bundled because they share the resolution log.
+#[derive(Clone, Debug)]
+pub struct PopularityOut {
+    /// Descriptor-ID resolution over the harvest request log.
+    pub resolution: ResolutionReport,
+    /// Table II ranking.
+    pub ranking: Ranking,
+    /// Goldnet server-status forensics over the top-ranked onions.
+    pub forensics: BotnetForensics,
+    /// Share of published services ever requested.
+    pub requested_published_share: f64,
+}
+
+/// Every artifact a pipeline run can produce. Slots start empty and
+/// are filled by their producing stage.
+#[derive(Debug, Default)]
+pub struct ArtifactStore {
+    // --- Setup ------------------------------------------------------
+    pub(crate) world: Option<World>,
+    pub(crate) geo: Option<GeoDb>,
+    pub(crate) attacker_guards: Option<Vec<RelayId>>,
+    pub(crate) net_setup: Option<Network>,
+    pub(crate) traffic_setup: Option<TrafficDriver>,
+    // --- Harvest ----------------------------------------------------
+    pub(crate) harvest: Option<HarvestOutcome>,
+    pub(crate) net_harvest: Option<Network>,
+    pub(crate) traffic_harvest: Option<TrafficDriver>,
+    // --- DeanonWindow -----------------------------------------------
+    pub(crate) deanon_window: Option<DeanonWindowOut>,
+    // --- PortScan ---------------------------------------------------
+    pub(crate) scan: Option<ScanReport>,
+    // --- Analyses ---------------------------------------------------
+    pub(crate) deanon: Option<DeanonReport>,
+    pub(crate) certs: Option<CertSurvey>,
+    pub(crate) crawl: Option<CrawlReport>,
+    pub(crate) popularity: Option<PopularityOut>,
+    pub(crate) tracking: Option<TrackingReport>,
+}
+
+macro_rules! accessor {
+    ($(#[$doc:meta])* $name:ident: $ty:ty, $stage:literal) => {
+        $(#[$doc])*
+        ///
+        /// # Panics
+        ///
+        /// Panics if the producing stage has not run.
+        pub fn $name(&self) -> &$ty {
+            self.$name
+                .as_ref()
+                .unwrap_or_else(|| panic!(concat!(
+                    "artifact `", stringify!($name),
+                    "` requested but stage `", $stage, "` has not run"
+                )))
+        }
+    };
+}
+
+impl ArtifactStore {
+    accessor!(
+        /// The generated ground-truth world.
+        world: World, "setup");
+    accessor!(
+        /// The IP-geography database.
+        geo: GeoDb, "setup");
+    accessor!(
+        /// The attacker's prepositioned guard relays.
+        attacker_guards: Vec<RelayId>, "setup");
+    accessor!(
+        /// Network snapshot after setup (world registered, guards
+        /// prepositioned, first consensus voted).
+        net_setup: Network, "setup");
+    accessor!(
+        /// Traffic driver as constructed at setup time.
+        traffic_setup: TrafficDriver, "setup");
+    accessor!(
+        /// Sec. II harvesting outcome.
+        harvest: HarvestOutcome, "harvest");
+    accessor!(
+        /// Network snapshot after the harvest window.
+        net_harvest: Network, "harvest");
+    accessor!(
+        /// Traffic driver state after the harvest window.
+        traffic_harvest: TrafficDriver, "harvest");
+    accessor!(
+        /// Raw Sec. VI window output.
+        deanon_window: DeanonWindowOut, "deanon_window");
+    accessor!(
+        /// Sec. III port-scan report (Fig. 1).
+        scan: ScanReport, "port_scan");
+    accessor!(
+        /// Sec. VI deanonymisation report (Fig. 3).
+        deanon: DeanonReport, "geomap");
+    accessor!(
+        /// Sec. III certificate survey.
+        certs: CertSurvey, "certs");
+    accessor!(
+        /// Sec. IV crawl funnel, Table I, languages, Fig. 2.
+        crawl: CrawlReport, "crawl");
+    accessor!(
+        /// Sec. V resolution, ranking, forensics.
+        popularity: PopularityOut, "popularity");
+    accessor!(
+        /// Sec. VII tracking detection.
+        tracking: TrackingReport, "tracking");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_store_panics_with_stage_name() {
+        let store = ArtifactStore::default();
+        let err = std::panic::catch_unwind(|| {
+            let _ = store.scan();
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<&str>().unwrap();
+        assert!(msg.contains("`scan`"), "{msg}");
+        assert!(msg.contains("`port_scan`"), "{msg}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Per-stage instrumentation: wall-clock timings plus domain counters.
+//!
+//! Every stage execution records how long it ran and a handful of
+//! domain-meaningful counters (descriptors harvested, pages crawled,
+//! consensuses scanned, …). A [`PipelineTimings`] also remembers which
+//! stages the plan *skipped*, so selective runs can prove they did not
+//! pay for work they did not need.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use super::stage::StageId;
+
+/// One executed stage's instrumentation record.
+#[derive(Clone, Debug)]
+pub struct StageTiming {
+    /// Which stage ran.
+    pub stage: StageId,
+    /// Wall-clock duration of the stage body.
+    pub wall: Duration,
+    /// Domain counters, e.g. `("descriptors", 1234)`.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl StageTiming {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// The full instrumentation record of one pipeline run.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineTimings {
+    /// Stages that executed, in execution order.
+    pub executed: Vec<StageTiming>,
+    /// Stages the plan skipped, in canonical order.
+    pub skipped: Vec<StageId>,
+}
+
+impl PipelineTimings {
+    /// The record for `stage`, if it executed.
+    pub fn stage(&self, stage: StageId) -> Option<&StageTiming> {
+        self.executed.iter().find(|t| t.stage == stage)
+    }
+
+    /// Whether the plan skipped `stage`.
+    pub fn skipped(&self, stage: StageId) -> bool {
+        self.skipped.contains(&stage)
+    }
+
+    /// Total wall-clock time across executed stages. Parallel analysis
+    /// stages overlap, so this is CPU-ish time, not elapsed time.
+    pub fn total_wall(&self) -> Duration {
+        self.executed.iter().map(|t| t.wall).sum()
+    }
+
+    /// Machine-readable JSON (hand-rolled; the workspace carries no
+    /// serde). Stage names and counter names are static identifiers, so
+    /// no escaping is required.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"stages\": [\n");
+        for (i, t) in self.executed.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"stage\": \"{}\", \"wall_ms\": {:.3}, \"counters\": {{",
+                t.stage,
+                t.wall.as_secs_f64() * 1e3
+            );
+            for (j, (name, value)) in t.counters.iter().enumerate() {
+                let _ = write!(out, "\"{name}\": {value}");
+                if j + 1 < t.counters.len() {
+                    out.push_str(", ");
+                }
+            }
+            out.push_str("}}");
+            if i + 1 < self.executed.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n  \"skipped\": [");
+        for (i, s) in self.skipped.iter().enumerate() {
+            let _ = write!(out, "\"{s}\"");
+            if i + 1 < self.skipped.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PipelineTimings {
+        PipelineTimings {
+            executed: vec![
+                StageTiming {
+                    stage: StageId::Setup,
+                    wall: Duration::from_micros(1500),
+                    counters: vec![("relays", 120), ("services", 400)],
+                },
+                StageTiming {
+                    stage: StageId::Harvest,
+                    wall: Duration::from_millis(20),
+                    counters: vec![("descriptors", 390)],
+                },
+            ],
+            skipped: vec![StageId::DeanonWindow, StageId::Tracking],
+        }
+    }
+
+    #[test]
+    fn lookup_and_totals() {
+        let t = sample();
+        assert_eq!(
+            t.stage(StageId::Setup).unwrap().counter("relays"),
+            Some(120)
+        );
+        assert_eq!(t.stage(StageId::Setup).unwrap().counter("nope"), None);
+        assert!(t.stage(StageId::Crawl).is_none());
+        assert!(t.skipped(StageId::Tracking));
+        assert!(!t.skipped(StageId::Harvest));
+        assert_eq!(t.total_wall(), Duration::from_micros(21_500));
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let json = sample().to_json();
+        assert!(json.contains("\"stage\": \"setup\""));
+        assert!(json.contains("\"relays\": 120"));
+        assert!(json.contains("\"skipped\": [\"deanon_window\", \"tracking\"]"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -7,6 +7,7 @@ use hs_content::{CertSurvey, CrawlReport};
 use hs_popularity::{Ranking, ResolutionReport};
 use hs_portscan::ScanReport;
 
+use crate::pipeline::PipelineTimings;
 use crate::study::{DeanonReport, TrackingReport};
 
 /// Renders Fig. 1 (open-ports distribution) as an aligned text table.
@@ -59,7 +60,11 @@ pub fn render_funnel_and_languages(crawl: &CrawlReport) -> String {
         crawl.classified.len()
     );
     let total = crawl.classified.len().max(1);
-    let _ = writeln!(out, "Languages ({} classified pages):", crawl.classified.len());
+    let _ = writeln!(
+        out,
+        "Languages ({} classified pages):",
+        crawl.classified.len()
+    );
     for (lang, count) in crawl.language_histogram() {
         let _ = writeln!(
             out,
@@ -92,7 +97,7 @@ pub fn render_fig2(crawl: &CrawlReport) -> String {
 pub fn render_table2(ranking: &Ranking, n: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table II — Ranking of most popular hidden services");
-    let _ = writeln!(out, "{:<5} {:>8}  {:<22} {}", "#", "RQSTS", "Addr", "Desc");
+    let _ = writeln!(out, "{:<5} {:>8}  {:<22} Desc", "#", "RQSTS", "Addr");
     for row in ranking.top(n) {
         let _ = writeln!(
             out,
@@ -110,10 +115,26 @@ pub fn render_table2(ranking: &Ranking, n: usize) -> String {
 pub fn render_sec5(resolution: &ResolutionReport, requested_share: f64) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Sec. V — Popularity measurement");
-    let _ = writeln!(out, "  total requests        {:>10}", resolution.total_requests);
-    let _ = writeln!(out, "  unique descriptor IDs {:>10}", resolution.unique_desc_ids);
-    let _ = writeln!(out, "  resolved IDs          {:>10}", resolution.resolved_desc_ids);
-    let _ = writeln!(out, "  resolved onions       {:>10}", resolution.resolved_onions);
+    let _ = writeln!(
+        out,
+        "  total requests        {:>10}",
+        resolution.total_requests
+    );
+    let _ = writeln!(
+        out,
+        "  unique descriptor IDs {:>10}",
+        resolution.unique_desc_ids
+    );
+    let _ = writeln!(
+        out,
+        "  resolved IDs          {:>10}",
+        resolution.resolved_desc_ids
+    );
+    let _ = writeln!(
+        out,
+        "  resolved onions       {:>10}",
+        resolution.resolved_onions
+    );
     let _ = writeln!(
         out,
         "  phantom request share {:>9.1}%",
@@ -131,11 +152,31 @@ pub fn render_sec5(resolution: &ResolutionReport, requested_share: f64) -> Strin
 pub fn render_certs(certs: &CertSurvey) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Sec. III — HTTPS certificates");
-    let _ = writeln!(out, "  HTTPS destinations           {:>6}", certs.https_destinations);
-    let _ = writeln!(out, "  self-signed, CN mismatch     {:>6}", certs.self_signed_mismatch);
-    let _ = writeln!(out, "  … with the TorHost CN        {:>6}", certs.torhost_cn);
-    let _ = writeln!(out, "  clearnet DNS CN (deanon.)    {:>6}", certs.clearnet_dns);
-    let _ = writeln!(out, "  matching onion CN            {:>6}", certs.matching_onion);
+    let _ = writeln!(
+        out,
+        "  HTTPS destinations           {:>6}",
+        certs.https_destinations
+    );
+    let _ = writeln!(
+        out,
+        "  self-signed, CN mismatch     {:>6}",
+        certs.self_signed_mismatch
+    );
+    let _ = writeln!(
+        out,
+        "  … with the TorHost CN        {:>6}",
+        certs.torhost_cn
+    );
+    let _ = writeln!(
+        out,
+        "  clearnet DNS CN (deanon.)    {:>6}",
+        certs.clearnet_dns
+    );
+    let _ = writeln!(
+        out,
+        "  matching onion CN            {:>6}",
+        certs.matching_onion
+    );
     for (onion, name) in certs.deanonymised.iter().take(5) {
         let _ = writeln!(out, "    {onion} → {name}");
     }
@@ -193,6 +234,32 @@ pub fn render_tracking(tracking: &TrackingReport) -> String {
     out
 }
 
+/// Renders the per-stage timing and counter table of a pipeline run,
+/// including which stages the plan skipped.
+pub fn render_stage_timings(timings: &PipelineTimings) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Pipeline stages");
+    let _ = writeln!(out, "{:<14} {:>10}  counters", "stage", "wall");
+    for t in &timings.executed {
+        let counters = t
+            .counters
+            .iter()
+            .map(|(name, value)| format!("{name}={value}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8.1}ms  {counters}",
+            t.stage.name(),
+            t.wall.as_secs_f64() * 1e3
+        );
+    }
+    for s in &timings.skipped {
+        let _ = writeln!(out, "{:<14}    skipped", s.name());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,9 +273,13 @@ mod tests {
         assert!(render_funnel_and_languages(&report.crawl).contains("Languages"));
         assert!(render_fig2(&report.crawl).contains("Fig. 2"));
         assert!(render_table2(&report.ranking, 30).contains("Table II"));
-        assert!(render_sec5(&report.resolution, report.requested_published_share)
-            .contains("phantom"));
+        assert!(
+            render_sec5(&report.resolution, report.requested_published_share).contains("phantom")
+        );
         assert!(render_certs(&report.certs).contains("HTTPS"));
         assert!(render_fig3(&report.deanon).contains("Fig. 3"));
+        let stages = render_stage_timings(&report.stages);
+        assert!(stages.contains("harvest"), "{stages}");
+        assert!(stages.contains("skipped"), "{stages}");
     }
 }

@@ -1,28 +1,29 @@
-//! The end-to-end study pipeline: everything the paper did, in order,
-//! against one simulated network.
+//! The end-to-end study: everything the paper did, run through the
+//! staged [`crate::pipeline`] engine.
+//!
+//! [`Study`] is the stable front door: [`Study::run`] executes the
+//! full pipeline (analysis stages in parallel) and assembles a
+//! [`StudyReport`]; [`Study::run_until`] and [`Study::run_stages`]
+//! execute only a dependency closure for callers that need a subset of
+//! the artifacts (the bench binaries, the figure-specific CLI
+//! commands).
 
-use onion_crypto::onion::OnionAddress;
-use tor_sim::clock::SimTime;
-use tor_sim::network::NetworkBuilder;
+use hs_content::{CertSurvey, CrawlReport};
+use hs_deanon::DeanonConfig;
+use hs_harvest::{HarvestConfig, HarvestOutcome};
+use hs_popularity::{BotnetForensics, Ranking, ResolutionReport};
+use hs_portscan::ScanReport;
+use hs_world::World;
 
-use hs_content::{CertSurvey, CrawlReport, Crawler};
-use hs_deanon::{DeanonAttack, DeanonConfig, GeoMap};
-use hs_harvest::{HarvestConfig, HarvestOutcome, Harvester};
-use hs_popularity::{
-    ranking::requested_published_share, BotnetForensics, Ranking, ResolutionReport, Resolver,
-    TrafficConfig, TrafficDriver,
-};
-use hs_portscan::{ScanConfig, ScanReport, Scanner};
-use hs_tracking::{
-    scenario, ConsensusArchive, DetectorConfig, HistoryConfig, TrackingAnalysis,
-    TrackingDetector,
-};
-use hs_world::{GeoDb, World, WorldConfig};
+use crate::pipeline::{ExecMode, Pipeline, PipelineRun, PipelineTimings, StageId};
+
+pub use crate::pipeline::artifacts::{DeanonReport, TrackingReport};
 
 /// Study parameters.
 #[derive(Clone, Debug)]
 pub struct StudyConfig {
-    /// Deterministic seed for the whole study.
+    /// Deterministic seed for the whole study; per-stage seeds are
+    /// derived from it (see [`crate::pipeline::seeds`]).
     pub seed: u64,
     /// World scale (1.0 = the paper's 39,824 addresses).
     pub scale: f64,
@@ -83,26 +84,6 @@ impl StudyConfig {
     }
 }
 
-/// Sec. VI results.
-#[derive(Debug)]
-pub struct DeanonReport {
-    /// The attacked service.
-    pub target: OnionAddress,
-    /// Unique client IPs deanonymised.
-    pub unique_clients: u32,
-    /// Analytic per-fetch catch probability.
-    pub expected_rate: f64,
-    /// Country census of the caught clients (Fig. 3).
-    pub geomap: GeoMap,
-}
-
-/// Sec. VII results: one analysis per calendar year.
-#[derive(Debug)]
-pub struct TrackingReport {
-    /// (label, analysis) per year.
-    pub years: Vec<(String, TrackingAnalysis)>,
-}
-
 /// Everything the study measured.
 #[derive(Debug)]
 pub struct StudyReport {
@@ -128,6 +109,8 @@ pub struct StudyReport {
     pub deanon: DeanonReport,
     /// Sec. VII: tracking detection (when enabled).
     pub tracking: Option<TrackingReport>,
+    /// Per-stage wall-clock timings and domain counters.
+    pub stages: PipelineTimings,
 }
 
 /// The study driver.
@@ -139,6 +122,17 @@ pub struct StudyReport {
 ///
 /// let report = Study::new(StudyConfig::test_scale()).run();
 /// assert!(report.harvest.onion_count() > 0);
+/// ```
+///
+/// Selective runs return the raw artifact store instead of a report:
+///
+/// ```no_run
+/// use hs_landscape::pipeline::StageId;
+/// use hs_landscape::{Study, StudyConfig};
+///
+/// let run = Study::new(StudyConfig::test_scale()).run_until(StageId::PortScan);
+/// assert!(run.artifacts.scan().total_open() > 0);
+/// assert!(run.timings.skipped(StageId::DeanonWindow));
 /// ```
 #[derive(Clone, Debug)]
 pub struct Study {
@@ -156,136 +150,55 @@ impl Study {
         &self.config
     }
 
-    /// Runs the full pipeline.
+    /// Runs the full pipeline with the analysis stages in parallel.
     pub fn run(&self) -> StudyReport {
-        let cfg = &self.config;
+        self.run_full(ExecMode::Parallel)
+    }
 
-        // --- World and network -----------------------------------------
-        let world = World::generate(
-            WorldConfig::default()
-                .with_seed(cfg.seed)
-                .with_scale(cfg.scale),
-        );
-        let geo = GeoDb::new();
-        let mut net = NetworkBuilder::new()
-            .relays(cfg.relays)
-            .seed(cfg.seed)
-            .start(SimTime::from_ymd(2013, 2, 1))
-            .build();
-        world.register_all(&mut net);
-        // The attacker's guard relays run long before the measurement:
-        // victims' guard sets must have had the chance to include them.
-        let attacker_guards = DeanonAttack::preposition_guards(&mut net, &cfg.deanon);
-        net.advance_hours(1);
+    /// Runs the full pipeline with every stage on the calling thread —
+    /// the reference order [`Study::run`] is tested against.
+    pub fn run_sequential(&self) -> StudyReport {
+        self.run_full(ExecMode::Sequential)
+    }
 
-        // --- Client traffic + deanonymisation target --------------------
-        let mut traffic = TrafficDriver::new(
-            &mut net,
-            &world,
-            &geo,
-            TrafficConfig { clients: cfg.traffic_clients, seed: cfg.seed ^ 0x7aff },
-        );
-        // --- Harvest (Sec. II) with live traffic (Sec. V) ---------------
-        let harvester = Harvester::new(cfg.harvest.clone());
-        let harvest = harvester.run(&mut net, |net| {
-            traffic.tick_hour(net);
-        });
+    /// Runs the dependency closure of a single stage and returns the
+    /// raw artifacts: exactly the work `stage` needs, nothing else.
+    pub fn run_until(&self, stage: StageId) -> PipelineRun {
+        self.run_stages(&[stage])
+    }
 
-        // --- Client deanonymisation (Sec. VI), a dedicated window -------
-        // The paper ran this as its own experiment against one of the
-        // Goldnet front ends; deploying the trackers only *after* the
-        // harvest keeps the Sec. V popularity logs unbiased.
-        let target: OnionAddress = "uecbcfgfofuwkcrd".parse().expect("goldnet label");
-        let mut attack =
-            DeanonAttack::deploy_with_guards(&mut net, target, &cfg.deanon, attacker_guards);
-        for _ in 0..cfg.deanon_hours {
-            attack.reposition(&mut net);
-            net.advance_hours(1);
-            traffic.tick_hour(&mut net);
+    /// Runs the dependency closure of `targets` (analysis stages in
+    /// parallel where the plan allows).
+    pub fn run_stages(&self, targets: &[StageId]) -> PipelineRun {
+        Pipeline::new(self.config.clone()).run(targets, ExecMode::Parallel)
+    }
+
+    fn run_full(&self, mode: ExecMode) -> StudyReport {
+        let mut targets = vec![
+            StageId::Geomap,
+            StageId::Certs,
+            StageId::Crawl,
+            StageId::Popularity,
+        ];
+        if self.config.run_tracking {
+            targets.push(StageId::Tracking);
         }
-        let observations = net.take_guard_observations();
-        let geomap = GeoMap::build(&geo, &observations);
-        let deanon = DeanonReport {
-            target,
-            unique_clients: geomap.total_clients(),
-            expected_rate: attack.expected_catch_rate(&net),
-            geomap,
-        };
-
-        // --- Port scan (Sec. III, Fig. 1) --------------------------------
-        let scanner = Scanner::new(ScanConfig {
-            days: cfg.scan_days,
-            ..ScanConfig::default()
-        });
-        let scan = scanner.run(&mut net, &world, &harvest.onions);
-
-        // --- Certificates (Sec. III) -------------------------------------
-        let https_onions: Vec<OnionAddress> = scan
-            .open_by_onion
-            .iter()
-            .filter(|(_, ports)| ports.contains(&443))
-            .map(|(&onion, _)| onion)
-            .collect();
-        let certs = CertSurvey::run(&world, https_onions);
-
-        // --- Crawl (Sec. IV, Table I, Fig. 2) ----------------------------
-        let crawler = Crawler::new();
-        let crawl = crawler.run(&world, &scan.crawl_destinations());
-
-        // --- Popularity (Sec. V, Table II) -------------------------------
-        let resolver = Resolver::build(
-            &harvest.onions,
-            SimTime::from_ymd(2013, 1, 28),
-            SimTime::from_ymd(2013, 2, 8),
-        );
-        let resolution = resolver.resolve_log(&harvest.requests);
-        let ranking = Ranking::build_normalized(&resolution, &world, &harvest.slot_hours);
-        let top_onions: Vec<OnionAddress> =
-            ranking.top(40).iter().map(|r| r.onion).collect();
-        let forensics = BotnetForensics::probe(&world, top_onions);
-        let requested_share = requested_published_share(&resolution, &world);
-
-        // --- Tracking detection (Sec. VII) -------------------------------
-        let tracking = cfg.run_tracking.then(|| {
-            let mut archive = ConsensusArchive::generate(&HistoryConfig {
-                seed: cfg.seed ^ 0x7ac,
-                ..HistoryConfig::default()
-            });
-            scenario::inject_all(&mut archive, scenario::silkroad());
-            let detector = TrackingDetector::new(DetectorConfig::default());
-            let years = [
-                ("year 1 (Feb–Dec 2011)", (2011, 2, 1), (2011, 12, 31)),
-                ("year 2 (2012)", (2012, 1, 1), (2012, 12, 31)),
-                ("year 3 (Jan–Oct 2013)", (2013, 1, 1), (2013, 10, 31)),
-            ]
-            .into_iter()
-            .map(|(label, s, e)| {
-                (
-                    label.to_owned(),
-                    detector.analyse(
-                        &archive,
-                        scenario::silkroad(),
-                        SimTime::from_ymd(s.0, s.1, s.2),
-                        SimTime::from_ymd(e.0, e.1, e.2),
-                    ),
-                )
-            })
-            .collect();
-            TrackingReport { years }
-        });
-
+        let run = Pipeline::new(self.config.clone()).run(&targets, mode);
+        let mut artifacts = run.artifacts;
+        let popularity = artifacts.popularity.take().expect("popularity stage ran");
         StudyReport {
-            world,
-            harvest,
-            scan,
-            certs,
-            crawl,
-            resolution,
-            ranking,
-            forensics,
-            requested_published_share: requested_share,
-            deanon,
-            tracking,
+            world: artifacts.world.take().expect("setup stage ran"),
+            harvest: artifacts.harvest.take().expect("harvest stage ran"),
+            scan: artifacts.scan.take().expect("port_scan stage ran"),
+            certs: artifacts.certs.take().expect("certs stage ran"),
+            crawl: artifacts.crawl.take().expect("crawl stage ran"),
+            resolution: popularity.resolution,
+            ranking: popularity.ranking,
+            forensics: popularity.forensics,
+            requested_published_share: popularity.requested_published_share,
+            deanon: artifacts.deanon.take().expect("geomap stage ran"),
+            tracking: artifacts.tracking.take(),
+            stages: run.timings,
         }
     }
 }
@@ -303,5 +216,10 @@ mod tests {
         assert!(report.resolution.total_requests > 0, "requests logged");
         assert!(!report.ranking.rows().is_empty(), "ranking built");
         assert!(report.tracking.is_none(), "tracking disabled at test scale");
+        assert!(
+            report.stages.skipped(StageId::Tracking),
+            "tracking stage skipped"
+        );
+        assert_eq!(report.stages.executed.len(), 8, "eight stages ran");
     }
 }

@@ -33,8 +33,12 @@ impl CertSurvey {
     pub fn run(world: &World, https_onions: impl IntoIterator<Item = OnionAddress>) -> Self {
         let mut survey = CertSurvey::default();
         for onion in https_onions {
-            let Some(service) = world.get(onion) else { continue };
-            let Some(cert) = service.certificate() else { continue };
+            let Some(service) = world.get(onion) else {
+                continue;
+            };
+            let Some(cert) = service.certificate() else {
+                continue;
+            };
             survey.https_destinations += 1;
             survey.tally(onion, &cert);
         }
@@ -75,9 +79,7 @@ mod tests {
         let https: Vec<OnionAddress> = world
             .services()
             .iter()
-            .filter(|s| {
-                matches!(s.role, Role::Web) && (s.web.https || s.web.https_only)
-            })
+            .filter(|s| matches!(s.role, Role::Web) && (s.web.https || s.web.https_only))
             .map(|s| s.onion)
             .collect();
         let n = https.len() as u32;
@@ -122,7 +124,10 @@ mod tests {
 
     #[test]
     fn unknown_onions_skipped() {
-        let world = World::generate(WorldConfig { seed: 3, scale: 0.01 });
+        let world = World::generate(WorldConfig {
+            seed: 3,
+            scale: 0.01,
+        });
         let ghost = OnionAddress::from_pubkey(b"ghost https");
         let s = CertSurvey::run(&world, [ghost]);
         assert_eq!(s.https_destinations, 0);

@@ -85,7 +85,7 @@ impl CrawlReport {
             *counts.entry(p.language).or_insert(0) += 1;
         }
         let mut rows: Vec<_> = counts.into_iter().collect();
-        rows.sort_by(|a, b| b.1.cmp(&a.1));
+        rows.sort_by_key(|row| std::cmp::Reverse(row.1));
         rows
     }
 
@@ -163,7 +163,9 @@ impl Crawler {
         }
         let mut fetched: Vec<Fetched> = Vec::new();
         for &(onion, port) in destinations {
-            let Some(service) = world.get(onion) else { continue };
+            let Some(service) = world.get(onion) else {
+                continue;
+            };
             if !service.alive_at_crawl {
                 continue;
             }
@@ -176,7 +178,12 @@ impl Crawler {
             };
             report.connected += 1;
             *report.connected_by_port.entry(port).or_insert(0) += 1;
-            fetched.push(Fetched { onion, port, status: page.status, body: page.body });
+            fetched.push(Fetched {
+                onion,
+                port,
+                status: page.status,
+                body: page.body,
+            });
         }
 
         // Index port-80/8080 bodies to detect 443 mirrors.
@@ -238,7 +245,9 @@ impl Crawler {
         let mut topic_ok = 0u32;
         let mut topic_n = 0u32;
         for p in &report.classified {
-            let Some(s) = world.get(p.onion) else { continue };
+            let Some(s) = world.get(p.onion) else {
+                continue;
+            };
             if !matches!(s.role, hs_world::Role::Web) {
                 continue;
             }
@@ -256,8 +265,16 @@ impl Crawler {
             }
         }
         (
-            if lang_n == 0 { 0.0 } else { f64::from(lang_ok) / f64::from(lang_n) },
-            if topic_n == 0 { 0.0 } else { f64::from(topic_ok) / f64::from(topic_n) },
+            if lang_n == 0 {
+                0.0
+            } else {
+                f64::from(lang_ok) / f64::from(lang_n)
+            },
+            if topic_n == 0 {
+                0.0
+            } else {
+                f64::from(topic_ok) / f64::from(topic_n)
+            },
         )
     }
 }
@@ -274,11 +291,7 @@ mod tests {
         let destinations: Vec<(OnionAddress, u16)> = world
             .services()
             .iter()
-            .flat_map(|s| {
-                s.open_ports()
-                    .into_iter()
-                    .map(move |p| (s.onion, p))
-            })
+            .flat_map(|s| s.open_ports().into_iter().map(move |p| (s.onion, p)))
             .filter(|&(_, p)| p != hs_world::service::SKYNET_PORT)
             .collect();
         let crawler = Crawler::new();
@@ -343,7 +356,10 @@ mod tests {
         let measured = r.torhost_count();
         assert!(measured > 0);
         let diff = (measured as i64 - truth as i64).abs();
-        assert!(diff <= truth as i64 / 10 + 2, "measured {measured}, truth {truth}");
+        assert!(
+            diff <= truth as i64 / 10 + 2,
+            "measured {measured}, truth {truth}"
+        );
     }
 
     #[test]

@@ -100,7 +100,10 @@ impl LanguageDetector {
             .iter()
             .flat_map(|(_, p)| p.counts.keys().copied())
             .collect();
-        LanguageDetector { profiles, vocab_size: vocab.len() as f64 }
+        LanguageDetector {
+            profiles,
+            vocab_size: vocab.len() as f64,
+        }
     }
 
     /// Detects the most likely language of `text`. Ties (including
@@ -140,10 +143,22 @@ mod tests {
     fn detects_seed_languages() {
         let det = LanguageDetector::train_default();
         let cases = [
-            (Language::French, "les deux autres sont dans la maison avec nous"),
-            (Language::Spanish, "la página de los servicios está en español para todos"),
-            (Language::Russian, "это страница на русском языке для всех людей"),
-            (Language::Swedish, "det finns många andra sidor på svenska här"),
+            (
+                Language::French,
+                "les deux autres sont dans la maison avec nous",
+            ),
+            (
+                Language::Spanish,
+                "la página de los servicios está en español para todos",
+            ),
+            (
+                Language::Russian,
+                "это страница на русском языке для всех людей",
+            ),
+            (
+                Language::Swedish,
+                "det finns många andra sidor på svenska här",
+            ),
         ];
         for (expected, text) in cases {
             assert_eq!(det.detect(text), expected, "{text}");

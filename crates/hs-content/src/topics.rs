@@ -98,7 +98,12 @@ impl TopicClassifier {
             }
             log_unseen[t] = (1.0 / denom).ln();
         }
-        TopicClassifier { vocab, log_lik, log_prior, log_unseen }
+        TopicClassifier {
+            vocab,
+            log_lik,
+            log_prior,
+            log_unseen,
+        }
     }
 
     /// Classifies text into its most likely topic.
@@ -145,7 +150,10 @@ impl Default for TopicClassifier {
 }
 
 fn topic_index(topic: Topic) -> usize {
-    Topic::ALL.iter().position(|&t| t == topic).expect("topic in ALL")
+    Topic::ALL
+        .iter()
+        .position(|&t| t == topic)
+        .expect("topic in ALL")
 }
 
 /// Synthesises `docs_per_topic` training documents of `words_per_doc`
@@ -162,7 +170,11 @@ pub fn synth_training_docs(
         for _ in 0..docs_per_topic {
             let words = (0..words_per_doc)
                 .map(|_| {
-                    let pool = if rng.random::<f64>() < 0.7 { kw } else { filler };
+                    let pool = if rng.random::<f64>() < 0.7 {
+                        kw
+                    } else {
+                        filler
+                    };
                     pool[rng.random_range(0..pool.len())].to_owned()
                 })
                 .collect();
@@ -224,7 +236,10 @@ mod tests {
     fn train_on_custom_corpus() {
         let docs = vec![
             (Topic::Art, vec!["painting".to_owned(), "canvas".to_owned()]),
-            (Topic::Science, vec!["quantum".to_owned(), "theorem".to_owned()]),
+            (
+                Topic::Science,
+                vec!["quantum".to_owned(), "theorem".to_owned()],
+            ),
         ];
         let clf = TopicClassifier::train(&docs);
         assert_eq!(clf.classify("a beautiful painting on canvas"), Topic::Art);

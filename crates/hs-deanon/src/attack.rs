@@ -120,7 +120,11 @@ impl DeanonAttack {
         }
 
         net.arm_signature(target, config.signature.clone());
-        let mut attack = DeanonAttack { target, guard_relays, hsdir_relays };
+        let mut attack = DeanonAttack {
+            target,
+            guard_relays,
+            hsdir_relays,
+        };
         attack.reposition(net);
         net.revote();
         attack
@@ -249,7 +253,10 @@ mod tests {
         // with 4 × 5000 kB/s guards it is well above zero.
         let expected = attack.expected_catch_rate(&net);
         assert!(expected > 0.02, "expected {expected}");
-        assert!(caught > 0, "some victims caught (expected ~{expected}/fetch)");
+        assert!(
+            caught > 0,
+            "some victims caught (expected ~{expected}/fetch)"
+        );
     }
 
     #[test]
@@ -257,7 +264,7 @@ mod tests {
         let (mut net, mut attack, _) = setup();
         assert!(attack.controls_responsible_set(&net));
         net.advance_hours(25); // cross the period boundary
-        // After rotation, trackers point at stale positions...
+                               // After rotation, trackers point at stale positions...
         attack.reposition(&mut net);
         // ... until repositioned.
         assert!(attack.controls_responsible_set(&net));

@@ -35,16 +35,21 @@ impl GeoMap {
             let c = db.lookup(*ip);
             counts.entry(c.code).or_insert((c, 0)).1 += 1;
         }
-        let mut rows: Vec<_> = counts
-            .values()
-            .map(|(c, n)| (c.code, c.name, *n))
-            .collect();
+        // Sort both projections: map iteration order is not
+        // deterministic and these are artifact fields.
+        let mut rows: Vec<_> = counts.values().map(|(c, n)| (c.code, c.name, *n)).collect();
         rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
-        let points = counts
-            .values()
+        let mut entries: Vec<_> = counts.values().collect();
+        entries.sort_by_key(|(c, _)| c.code);
+        let points = entries
+            .into_iter()
             .map(|(c, n)| (c.lat, c.lon, *n))
             .collect();
-        GeoMap { rows, points, total: unique_ips.len() as u32 }
+        GeoMap {
+            rows,
+            points,
+            total: unique_ips.len() as u32,
+        }
     }
 
     /// Country histogram rows, descending by client count.

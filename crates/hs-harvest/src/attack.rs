@@ -97,11 +97,7 @@ impl Harvester {
     /// Runs the full attack against the network. `drive` is invoked
     /// after every simulated hour so the caller can generate client
     /// traffic (the popularity measurement) while the harvest runs.
-    pub fn run(
-        &self,
-        net: &mut Network,
-        mut drive: impl FnMut(&mut Network),
-    ) -> HarvestOutcome {
+    pub fn run(&self, net: &mut Network, mut drive: impl FnMut(&mut Network)) -> HarvestOutcome {
         let fleet = Fleet::deploy(net, self.config.fleet.clone());
         let mut hours = 0u64;
 
@@ -167,7 +163,11 @@ mod tests {
         }
         net.advance_hours(1);
         let config = HarvestConfig {
-            fleet: FleetConfig { ips: 6, relays_per_ip: 8, bandwidth: 300 },
+            fleet: FleetConfig {
+                ips: 6,
+                relays_per_ip: 8,
+                bandwidth: 300,
+            },
             warmup_hours: 26,
             rotation_hours: 2,
         };
@@ -213,7 +213,11 @@ mod tests {
             .build();
         net.advance_hours(1);
         let config = HarvestConfig {
-            fleet: FleetConfig { ips: 2, relays_per_ip: 4, bandwidth: 300 },
+            fleet: FleetConfig {
+                ips: 2,
+                relays_per_ip: 4,
+                bandwidth: 300,
+            },
             warmup_hours: 3,
             rotation_hours: 1,
         };

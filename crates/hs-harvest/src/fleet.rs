@@ -21,7 +21,11 @@ pub struct FleetConfig {
 
 impl Default for FleetConfig {
     fn default() -> Self {
-        FleetConfig { ips: 58, relays_per_ip: 24, bandwidth: 400 }
+        FleetConfig {
+            ips: 58,
+            relays_per_ip: 24,
+            bandwidth: 400,
+        }
     }
 }
 
@@ -163,7 +167,11 @@ mod tests {
         let mut net = net();
         let fleet = Fleet::deploy(
             &mut net,
-            FleetConfig { ips: 4, relays_per_ip: 6, bandwidth: 100 },
+            FleetConfig {
+                ips: 4,
+                relays_per_ip: 6,
+                bandwidth: 100,
+            },
         );
         assert_eq!(fleet.relay_count(), 24);
         assert_eq!(fleet.wave_count(), 3);
@@ -175,14 +183,16 @@ mod tests {
         let mut net = net();
         let fleet = Fleet::deploy(
             &mut net,
-            FleetConfig { ips: 3, relays_per_ip: 8, bandwidth: 100 },
+            FleetConfig {
+                ips: 3,
+                relays_per_ip: 8,
+                bandwidth: 100,
+            },
         );
         net.advance_hours(1);
         let listed = fleet
             .all_relays()
-            .filter(|&r| {
-                net.consensus().entry(net.relay(r).fingerprint()).is_some()
-            })
+            .filter(|&r| net.consensus().entry(net.relay(r).fingerprint()).is_some())
             .count();
         assert_eq!(listed, 6, "2 per IP × 3 IPs");
         // And the listed ones are wave 0 (highest bandwidth).
@@ -196,7 +206,11 @@ mod tests {
         let mut net = net();
         let fleet = Fleet::deploy(
             &mut net,
-            FleetConfig { ips: 2, relays_per_ip: 6, bandwidth: 100 },
+            FleetConfig {
+                ips: 2,
+                relays_per_ip: 6,
+                bandwidth: 100,
+            },
         );
         net.advance_hours(26); // accrue HSDir uptime
         fleet.activate_wave(&mut net, 1);
@@ -219,7 +233,11 @@ mod tests {
         let mut net = net();
         let fleet = Fleet::deploy(
             &mut net,
-            FleetConfig { ips: 10, relays_per_ip: 4, bandwidth: 100 },
+            FleetConfig {
+                ips: 10,
+                relays_per_ip: 4,
+                bandwidth: 100,
+            },
         );
         let mut positions: Vec<U160> = fleet
             .all_relays()

@@ -62,9 +62,7 @@ impl Ranking {
             .iter()
             .map(|(&onion, &observed)| {
                 let requests = match slot_hours.and_then(|m| m.get(&onion)) {
-                    Some(&s) if s > 0 => {
-                        ((observed as f64) * 12.0 / (s as f64)).round() as u64
-                    }
+                    Some(&s) if s > 0 => ((observed as f64) * 12.0 / (s as f64)).round() as u64,
                     _ => observed,
                 };
                 RankedService {
@@ -133,7 +131,9 @@ impl BotnetForensics {
         let mut groups: HashMap<u64, Vec<OnionAddress>> = HashMap::new();
         for onion in candidates {
             let Some(s) = world.get(onion) else { continue };
-            let Some(page) = s.render_page(80) else { continue };
+            let Some(page) = s.render_page(80) else {
+                continue;
+            };
             if page.status != 503 {
                 continue;
             }
@@ -179,9 +179,7 @@ pub fn requested_published_share(report: &ResolutionReport, world: &World) -> f6
     let requested = world
         .services()
         .iter()
-        .filter(|s| {
-            s.publishes_descriptors() && report.requests_per_onion.contains_key(&s.onion)
-        })
+        .filter(|s| s.publishes_descriptors() && report.requests_per_onion.contains_key(&s.onion))
         .count();
     requested as f64 / published as f64
 }
@@ -209,7 +207,10 @@ mod tests {
 
     #[test]
     fn goldnet_tops_ranking() {
-        let world = World::generate(WorldConfig { seed: 2, scale: 0.02 });
+        let world = World::generate(WorldConfig {
+            seed: 2,
+            scale: 0.02,
+        });
         let ranking = Ranking::build(&fake_report(&world), &world);
         let top5 = ranking.top(5);
         assert!(top5.iter().all(|r| r.label == "Goldnet"), "{top5:?}");
@@ -219,7 +220,10 @@ mod tests {
 
     #[test]
     fn silkroad_in_top_20() {
-        let world = World::generate(WorldConfig { seed: 2, scale: 0.02 });
+        let world = World::generate(WorldConfig {
+            seed: 2,
+            scale: 0.02,
+        });
         let ranking = Ranking::build(&fake_report(&world), &world);
         let rank = ranking.rank_of_label("SilkRoad").unwrap();
         assert!((14..=22).contains(&rank), "rank {rank}");
@@ -227,7 +231,10 @@ mod tests {
 
     #[test]
     fn ranks_are_dense_and_ordered() {
-        let world = World::generate(WorldConfig { seed: 2, scale: 0.02 });
+        let world = World::generate(WorldConfig {
+            seed: 2,
+            scale: 0.02,
+        });
         let ranking = Ranking::build(&fake_report(&world), &world);
         for (i, row) in ranking.rows().iter().enumerate() {
             assert_eq!(row.rank, (i + 1) as u32);
@@ -239,7 +246,10 @@ mod tests {
 
     #[test]
     fn forensics_groups_goldnet_by_physical_server() {
-        let world = World::generate(WorldConfig { seed: 2, scale: 0.02 });
+        let world = World::generate(WorldConfig {
+            seed: 2,
+            scale: 0.02,
+        });
         let goldnet: Vec<OnionAddress> = world
             .services()
             .iter()
@@ -253,7 +263,10 @@ mod tests {
 
     #[test]
     fn forensics_ignores_normal_services() {
-        let world = World::generate(WorldConfig { seed: 2, scale: 0.02 });
+        let world = World::generate(WorldConfig {
+            seed: 2,
+            scale: 0.02,
+        });
         let web: Vec<OnionAddress> = world
             .services()
             .iter()
@@ -276,7 +289,10 @@ mod tests {
 
     #[test]
     fn requested_share_close_to_paper() {
-        let world = World::generate(WorldConfig { seed: 2, scale: 0.1 });
+        let world = World::generate(WorldConfig {
+            seed: 2,
+            scale: 0.1,
+        });
         let share = requested_published_share(&fake_report(&world), &world);
         // Paper: ~10 % of published descriptors ever requested; our
         // calibration yields 3140/24511 ≈ 12.8 %.

@@ -122,7 +122,11 @@ mod tests {
     fn request(id: DescriptorId, t: SimTime) -> LoggedRequest {
         LoggedRequest {
             relay: RelayId(0),
-            record: RequestRecord { time: t, descriptor_id: id, found: true },
+            record: RequestRecord {
+                time: t,
+                descriptor_id: id,
+                found: true,
+            },
         }
     }
 
@@ -149,8 +153,7 @@ mod tests {
             assert!(resolver.resolve(a).is_some(), "time {t}");
         }
         // Far outside the window: unresolvable.
-        let [x, _] =
-            DescriptorId::pair_at(onion(3), SimTime::from_ymd(2013, 6, 1).unix());
+        let [x, _] = DescriptorId::pair_at(onion(3), SimTime::from_ymd(2013, 6, 1).unix());
         assert!(resolver.resolve(x).is_none());
     }
 

@@ -26,12 +26,19 @@ pub struct TrafficConfig {
 
 impl Default for TrafficConfig {
     fn default() -> Self {
-        TrafficConfig { clients: 400, seed: 0x7aff_1c }
+        TrafficConfig {
+            clients: 400,
+            seed: 0x007a_ff1c,
+        }
     }
 }
 
 /// The request generator.
-#[derive(Debug)]
+///
+/// `Clone` snapshots the full driver state (client pool, rates, RNG
+/// position) so a pipeline stage can branch deterministic traffic off
+/// a network snapshot.
+#[derive(Clone, Debug)]
 pub struct TrafficDriver {
     clients: Vec<ClientId>,
     /// (address, expected requests per hour).
@@ -45,12 +52,7 @@ impl TrafficDriver {
     /// Builds the driver: registers `config.clients` clients at
     /// geo-weighted IPs and derives hourly rates from the world's
     /// popularity weights (which are per 2-hour window).
-    pub fn new(
-        net: &mut Network,
-        world: &World,
-        geo: &GeoDb,
-        config: TrafficConfig,
-    ) -> Self {
+    pub fn new(net: &mut Network, world: &World, geo: &GeoDb, config: TrafficConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let clients = (0..config.clients.max(1))
             .map(|_| net.add_client(geo.sample_client_ip(&mut rng)))
@@ -61,7 +63,12 @@ impl TrafficDriver {
             .filter(|s| s.popularity > 0.0)
             .map(|s| (s.onion, s.popularity / 2.0))
             .collect();
-        TrafficDriver { clients, rates, rng, issued: 0 }
+        TrafficDriver {
+            clients,
+            rates,
+            rng,
+            issued: 0,
+        }
     }
 
     /// Issues one hour of traffic.
@@ -147,7 +154,10 @@ mod tests {
 
     #[test]
     fn driver_issues_traffic() {
-        let world = World::generate(WorldConfig { seed: 4, scale: 0.01 });
+        let world = World::generate(WorldConfig {
+            seed: 4,
+            scale: 0.01,
+        });
         let mut net = NetworkBuilder::new()
             .relays(60)
             .seed(4)
@@ -160,7 +170,10 @@ mod tests {
             &mut net,
             &world,
             &geo,
-            TrafficConfig { clients: 30, seed: 9 },
+            TrafficConfig {
+                clients: 30,
+                seed: 9,
+            },
         );
         assert!(driver.expected_hourly() > 0.0);
         driver.tick_hour(&mut net);
@@ -171,7 +184,10 @@ mod tests {
     #[test]
     fn dead_services_also_requested() {
         // The phantom stream: dark services carry positive weights.
-        let world = World::generate(WorldConfig { seed: 4, scale: 0.02 });
+        let world = World::generate(WorldConfig {
+            seed: 4,
+            scale: 0.02,
+        });
         let phantom_rate: f64 = world
             .services()
             .iter()

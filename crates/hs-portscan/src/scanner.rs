@@ -100,7 +100,7 @@ impl ScanReport {
                 other += count;
             }
         }
-        named.sort_by(|a, b| b.1.cmp(&a.1));
+        named.sort_by_key(|row| std::cmp::Reverse(row.1));
         if other > 0 {
             named.push(("other".to_owned(), other));
         }
@@ -154,12 +154,7 @@ impl Scanner {
     /// For every target and scan day: fetch the descriptor once, then
     /// probe the ports scheduled for that day. Unreachable services
     /// leave their scheduled probes unconcluded — the coverage gap.
-    pub fn run(
-        &self,
-        net: &mut Network,
-        world: &World,
-        targets: &[OnionAddress],
-    ) -> ScanReport {
+    pub fn run(&self, net: &mut Network, world: &World, targets: &[OnionAddress]) -> ScanReport {
         // Candidate ports: everything any service listens on, plus the
         // Skynet oracle port and the decoys.
         let mut candidates: Vec<u16> = world
@@ -204,11 +199,7 @@ impl Scanner {
                         PortReply::Open | PortReply::AbnormalClose => {
                             report.probes_concluded += 1;
                             *report.open_by_port.entry(port).or_insert(0) += 1;
-                            report
-                                .open_by_onion
-                                .entry(onion)
-                                .or_default()
-                                .push(port);
+                            report.open_by_onion.entry(onion).or_default().push(port);
                             if reply == PortReply::AbnormalClose && port == SKYNET_PORT {
                                 report.skynet_count += 1;
                             }
@@ -234,7 +225,10 @@ mod tests {
     use tor_sim::network::NetworkBuilder;
 
     fn scan_small() -> (ScanReport, World) {
-        let world = World::generate(WorldConfig { seed: 5, scale: 0.01 });
+        let world = World::generate(WorldConfig {
+            seed: 5,
+            scale: 0.01,
+        });
         let mut net = NetworkBuilder::new()
             .relays(120)
             .seed(5)
@@ -242,9 +236,11 @@ mod tests {
             .build();
         world.register_all(&mut net);
         net.advance_hours(1);
-        let targets: Vec<OnionAddress> =
-            world.services().iter().map(|s| s.onion).collect();
-        let config = ScanConfig { days: 3, ..ScanConfig::default() };
+        let targets: Vec<OnionAddress> = world.services().iter().map(|s| s.onion).collect();
+        let config = ScanConfig {
+            days: 3,
+            ..ScanConfig::default()
+        };
         let report = Scanner::new(config).run(&mut net, &world, &targets);
         (report, world)
     }

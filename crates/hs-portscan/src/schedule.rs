@@ -23,7 +23,11 @@ impl ScanSchedule {
     /// Panics if `days` is zero.
     pub fn split(ports: impl IntoIterator<Item = u16>, days: usize) -> Self {
         assert!(days > 0, "schedule needs at least one day");
-        let sorted: Vec<u16> = ports.into_iter().collect::<BTreeSet<_>>().into_iter().collect();
+        let sorted: Vec<u16> = ports
+            .into_iter()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
         let mut out = vec![Vec::new(); days];
         let per_day = sorted.len().div_ceil(days).max(1);
         for (i, port) in sorted.into_iter().enumerate() {

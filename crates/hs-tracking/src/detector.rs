@@ -163,8 +163,7 @@ impl TrackingAnalysis {
 
     /// Servers meeting the combined tracking criterion.
     pub fn trackers(&self) -> Vec<&ServerReport> {
-        let mut out: Vec<&ServerReport> =
-            self.servers.iter().filter(|s| s.is_tracking()).collect();
+        let mut out: Vec<&ServerReport> = self.servers.iter().filter(|s| s.is_tracking()).collect();
         out.sort_by(|a, b| b.max_ratio.total_cmp(&a.max_ratio));
         out
     }
@@ -223,7 +222,10 @@ impl TrackingDetector {
             // Update server tracks (sequential: fingerprint-switch
             // detection is stateful across days).
             for relay in &day.relays {
-                let key = ServerKey { ip: relay.ip, or_port: relay.or_port };
+                let key = ServerKey {
+                    ip: relay.ip,
+                    or_port: relay.or_port,
+                };
                 let track = tracks.entry(key).or_default();
                 if !track.nicknames.iter().any(|n| n == &relay.nickname) {
                     track.nicknames.push(relay.nickname.clone());
@@ -249,7 +251,10 @@ impl TrackingDetector {
             };
             for &(relay_idx, dist) in responsible {
                 let relay = &day.relays[relay_idx];
-                let key = ServerKey { ip: relay.ip, or_port: relay.or_port };
+                let key = ServerKey {
+                    ip: relay.ip,
+                    or_port: relay.or_port,
+                };
                 let ratio = avg_dist.to_f64() / dist.to_f64().max(1.0);
                 let track = tracks.entry(key).or_default();
                 track.responsible.push((day.date, ratio));
@@ -269,12 +274,15 @@ impl TrackingDetector {
         let mean_hsdirs = if precomputed.is_empty() {
             0.0
         } else {
-            precomputed.iter().map(|(n, _)| *n).sum::<usize>() as f64
-                / precomputed.len() as f64
+            precomputed.iter().map(|(n, _)| *n).sum::<usize>() as f64 / precomputed.len() as f64
         };
 
         // Pass 2: score.
-        let p = if mean_hsdirs > 0.0 { 6.0 / mean_hsdirs } else { 0.0 };
+        let p = if mean_hsdirs > 0.0 {
+            6.0 / mean_hsdirs
+        } else {
+            0.0
+        };
         let n = f64::from(days_in_window);
         let expected = n * p;
         let sigma = (n * p * (1.0 - p)).sqrt();
@@ -334,17 +342,19 @@ impl TrackingDetector {
         }
         servers.sort_by(|a, b| b.max_ratio.total_cmp(&a.max_ratio));
 
-        TrackingAnalysis { start, end, mean_hsdirs, servers }
+        TrackingAnalysis {
+            start,
+            end,
+            mean_hsdirs,
+            servers,
+        }
     }
 }
 
 /// The six responsible relays for `target` on one archived day, as
 /// (index into `day.relays`, ring distance) pairs, plus the HSDir ring
 /// size.
-fn responsible_indices(
-    day: &DailyConsensus,
-    target: OnionAddress,
-) -> (usize, Vec<(usize, U160)>) {
+fn responsible_indices(day: &DailyConsensus, target: OnionAddress) -> (usize, Vec<(usize, U160)>) {
     let ring: Vec<(usize, U160)> = day
         .relays
         .iter()
@@ -373,10 +383,7 @@ fn responsible_indices(
 /// Order-preserving parallel map over `items`, chunked across the
 /// available cores via crossbeam's scoped threads. Falls back to a
 /// sequential map for small inputs.
-fn parallel_map<T: Sync, R: Send>(
-    items: &[T],
-    f: impl Fn(&T) -> R + Sync,
-) -> Vec<R> {
+fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -469,7 +476,9 @@ mod tests {
             .expect("campaign server flagged");
         assert!(t.max_ratio > 10_000.0, "ratio {}", t.max_ratio);
         assert!(t.suspicions.contains(&Suspicion::BinomialOutlier));
-        assert!(t.suspicions.contains(&Suspicion::FingerprintChangeBeforeResponsible));
+        assert!(t
+            .suspicions
+            .contains(&Suspicion::FingerprintChangeBeforeResponsible));
     }
 
     #[test]
@@ -512,7 +521,11 @@ mod tests {
             .collect();
         assert!(!ours.is_empty(), "our relays flagged");
         for o in &ours {
-            assert!(o.max_ratio > 100.0 && o.max_ratio < 50_000.0, "{}", o.max_ratio);
+            assert!(
+                o.max_ratio > 100.0 && o.max_ratio < 50_000.0,
+                "{}",
+                o.max_ratio
+            );
         }
     }
 

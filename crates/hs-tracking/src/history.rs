@@ -44,8 +44,7 @@ impl DailyConsensus {
 
     /// HSDir fingerprints, sorted — the day's ring.
     pub fn hsdir_ring(&self) -> Vec<&ArchivedRelay> {
-        let mut ring: Vec<&ArchivedRelay> =
-            self.relays.iter().filter(|r| r.hsdir).collect();
+        let mut ring: Vec<&ArchivedRelay> = self.relays.iter().filter(|r| r.hsdir).collect();
         ring.sort_by_key(|r| r.fingerprint);
         ring
     }
@@ -79,7 +78,7 @@ impl Default for HistoryConfig {
             end: SimTime::from_ymd(2013, 10, 31),
             hsdirs_at_start: 757,
             hsdirs_at_end: 1_862,
-            seed: 0x51_1c_0ad,
+            seed: 0x0511_c0ad,
         }
     }
 }

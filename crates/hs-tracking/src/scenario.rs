@@ -208,12 +208,9 @@ mod tests {
             let pos = id.to_u160();
             let mut successors: Vec<&&ArchivedRelay> = ring
                 .iter()
-                .filter(|r| {
-                    pos.distance_to(r.fingerprint.to_u160()) != onion_crypto::U160::ZERO
-                })
+                .filter(|r| pos.distance_to(r.fingerprint.to_u160()) != onion_crypto::U160::ZERO)
                 .collect();
-            successors
-                .sort_by_key(|r| pos.distance_to(r.fingerprint.to_u160()));
+            successors.sort_by_key(|r| pos.distance_to(r.fingerprint.to_u160()));
             for r in successors.iter().take(3) {
                 assert!(
                     r.nickname.starts_with("GlobalObserver"),

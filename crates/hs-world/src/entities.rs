@@ -47,49 +47,283 @@ pub struct PlantedEntity {
 /// Every named or characterised row of Table II, plus the remaining
 /// Goldnet front ends discovered via server-status fingerprinting.
 pub const PLANTED: &[PlantedEntity] = &[
-    PlantedEntity { name: "Goldnet", onion_label: "uecbcfgfofuwkcrd", requests_2h: 13_714, paper_rank: 1, kind: EntityKind::Goldnet { group: 0 } },
-    PlantedEntity { name: "Goldnet", onion_label: "arloppepzch53w3i", requests_2h: 11_582, paper_rank: 2, kind: EntityKind::Goldnet { group: 0 } },
-    PlantedEntity { name: "Goldnet", onion_label: "pomyeasfnmtn544p", requests_2h: 11_315, paper_rank: 3, kind: EntityKind::Goldnet { group: 0 } },
-    PlantedEntity { name: "Goldnet", onion_label: "lqqciuwa5yzxewc3", requests_2h: 7_324, paper_rank: 4, kind: EntityKind::Goldnet { group: 1 } },
-    PlantedEntity { name: "Goldnet", onion_label: "eqlbyxrpd2wdjeig", requests_2h: 7_183, paper_rank: 5, kind: EntityKind::Goldnet { group: 1 } },
-    PlantedEntity { name: "<n/a>", onion_label: "onhiimfoqy4acjv4", requests_2h: 6_852, paper_rank: 6, kind: EntityKind::Unknown },
-    PlantedEntity { name: "Goldnet", onion_label: "saxtca3ktuhcyqx3", requests_2h: 6_528, paper_rank: 7, kind: EntityKind::Goldnet { group: 1 } },
-    PlantedEntity { name: "<n/a>", onion_label: "qxc7mc24mj7m4e2o", requests_2h: 4_941, paper_rank: 8, kind: EntityKind::Unknown },
-    PlantedEntity { name: "BcMine", onion_label: "mwjjmmahc4cjjlqp", requests_2h: 3_746, paper_rank: 9, kind: EntityKind::BitcoinMiner },
-    PlantedEntity { name: "Skynet", onion_label: "mepogl2rljvj374e", requests_2h: 3_678, paper_rank: 10, kind: EntityKind::SkynetCc },
-    PlantedEntity { name: "Adult", onion_label: "m3hjrfh4hlqc6aaa", requests_2h: 2_573, paper_rank: 11, kind: EntityKind::Web(Topic::Adult) },
-    PlantedEntity { name: "Skynet", onion_label: "ua4ttfm47jt32igm", requests_2h: 1_950, paper_rank: 12, kind: EntityKind::SkynetCc },
-    PlantedEntity { name: "Adult", onion_label: "opva2pilsncvtaaa", requests_2h: 1_863, paper_rank: 13, kind: EntityKind::Web(Topic::Adult) },
-    PlantedEntity { name: "Adult", onion_label: "nbo32el47o5claaa", requests_2h: 1_665, paper_rank: 14, kind: EntityKind::Web(Topic::Adult) },
-    PlantedEntity { name: "Adult", onion_label: "firelol5skg6eaaa", requests_2h: 1_631, paper_rank: 15, kind: EntityKind::Web(Topic::Adult) },
-    PlantedEntity { name: "Skynet", onion_label: "niazgxzlrbpevgvq", requests_2h: 1_481, paper_rank: 16, kind: EntityKind::SkynetCc },
-    PlantedEntity { name: "Skynet", onion_label: "owbm3sjqdnndmydf", requests_2h: 1_326, paper_rank: 17, kind: EntityKind::SkynetCc },
-    PlantedEntity { name: "SilkRoad", onion_label: "silkroadvb5piz3r", requests_2h: 1_175, paper_rank: 18, kind: EntityKind::Web(Topic::Drugs) },
-    PlantedEntity { name: "Adult", onion_label: "candy4ci6id24aaa", requests_2h: 1_094, paper_rank: 19, kind: EntityKind::Web(Topic::Adult) },
-    PlantedEntity { name: "Skynet", onion_label: "x3wyzqg6cfbqrwht", requests_2h: 1_021, paper_rank: 20, kind: EntityKind::SkynetCc },
-    PlantedEntity { name: "Skynet", onion_label: "4njzp3wzi6leo772", requests_2h: 942, paper_rank: 21, kind: EntityKind::SkynetCc },
-    PlantedEntity { name: "Skynet", onion_label: "qdzjxwujdtxrjkrz", requests_2h: 899, paper_rank: 22, kind: EntityKind::SkynetCc },
-    PlantedEntity { name: "Skynet", onion_label: "6tkpktox73usm5vq", requests_2h: 898, paper_rank: 23, kind: EntityKind::SkynetCc },
-    PlantedEntity { name: "Adult", onion_label: "kk2wajy64oip2aaa", requests_2h: 889, paper_rank: 24, kind: EntityKind::Web(Topic::Adult) },
-    PlantedEntity { name: "Skynet", onion_label: "gpt2u5hhaqvmnwhr", requests_2h: 781, paper_rank: 25, kind: EntityKind::SkynetCc },
-    PlantedEntity { name: "<n/a>", onion_label: "smouse2lbzrgeof4", requests_2h: 746, paper_rank: 26, kind: EntityKind::Unknown },
-    PlantedEntity { name: "FreedomHosting", onion_label: "xqz3u5drneuzhaeo", requests_2h: 694, paper_rank: 27, kind: EntityKind::Web(Topic::Anonymity) },
-    PlantedEntity { name: "Skynet", onion_label: "f2ylgv2jochpzm4c", requests_2h: 667, paper_rank: 28, kind: EntityKind::SkynetCc },
-    PlantedEntity { name: "Adult", onion_label: "kdq2y44aaas2aaaa", requests_2h: 585, paper_rank: 29, kind: EntityKind::Web(Topic::Adult) },
-    PlantedEntity { name: "Adult", onion_label: "4pms4sejqrrycaaa", requests_2h: 542, paper_rank: 30, kind: EntityKind::Web(Topic::Adult) },
-    PlantedEntity { name: "SilkRoad(wiki)", onion_label: "dkn255hz262ypmii", requests_2h: 453, paper_rank: 34, kind: EntityKind::Web(Topic::Drugs) },
-    PlantedEntity { name: "TorDir", onion_label: "dppmfxaacucguzpc", requests_2h: 255, paper_rank: 47, kind: EntityKind::Web(Topic::Other) },
-    PlantedEntity { name: "BlckMrktReloaded", onion_label: "5onwnspjvuk7cwvk", requests_2h: 172, paper_rank: 62, kind: EntityKind::Web(Topic::Drugs) },
-    PlantedEntity { name: "DuckDuckGo", onion_label: "3g2upl4pq6kufc4m", requests_2h: 55, paper_rank: 157, kind: EntityKind::Web(Topic::Technology) },
-    PlantedEntity { name: "Onion Bookmarks", onion_label: "x7yxqg5v4j6yzhti", requests_2h: 30, paper_rank: 250, kind: EntityKind::Web(Topic::Other) },
-    PlantedEntity { name: "Tor Host", onion_label: "torhostg5s7pa2sn", requests_2h: 10, paper_rank: 547, kind: EntityKind::Web(Topic::Anonymity) },
+    PlantedEntity {
+        name: "Goldnet",
+        onion_label: "uecbcfgfofuwkcrd",
+        requests_2h: 13_714,
+        paper_rank: 1,
+        kind: EntityKind::Goldnet { group: 0 },
+    },
+    PlantedEntity {
+        name: "Goldnet",
+        onion_label: "arloppepzch53w3i",
+        requests_2h: 11_582,
+        paper_rank: 2,
+        kind: EntityKind::Goldnet { group: 0 },
+    },
+    PlantedEntity {
+        name: "Goldnet",
+        onion_label: "pomyeasfnmtn544p",
+        requests_2h: 11_315,
+        paper_rank: 3,
+        kind: EntityKind::Goldnet { group: 0 },
+    },
+    PlantedEntity {
+        name: "Goldnet",
+        onion_label: "lqqciuwa5yzxewc3",
+        requests_2h: 7_324,
+        paper_rank: 4,
+        kind: EntityKind::Goldnet { group: 1 },
+    },
+    PlantedEntity {
+        name: "Goldnet",
+        onion_label: "eqlbyxrpd2wdjeig",
+        requests_2h: 7_183,
+        paper_rank: 5,
+        kind: EntityKind::Goldnet { group: 1 },
+    },
+    PlantedEntity {
+        name: "<n/a>",
+        onion_label: "onhiimfoqy4acjv4",
+        requests_2h: 6_852,
+        paper_rank: 6,
+        kind: EntityKind::Unknown,
+    },
+    PlantedEntity {
+        name: "Goldnet",
+        onion_label: "saxtca3ktuhcyqx3",
+        requests_2h: 6_528,
+        paper_rank: 7,
+        kind: EntityKind::Goldnet { group: 1 },
+    },
+    PlantedEntity {
+        name: "<n/a>",
+        onion_label: "qxc7mc24mj7m4e2o",
+        requests_2h: 4_941,
+        paper_rank: 8,
+        kind: EntityKind::Unknown,
+    },
+    PlantedEntity {
+        name: "BcMine",
+        onion_label: "mwjjmmahc4cjjlqp",
+        requests_2h: 3_746,
+        paper_rank: 9,
+        kind: EntityKind::BitcoinMiner,
+    },
+    PlantedEntity {
+        name: "Skynet",
+        onion_label: "mepogl2rljvj374e",
+        requests_2h: 3_678,
+        paper_rank: 10,
+        kind: EntityKind::SkynetCc,
+    },
+    PlantedEntity {
+        name: "Adult",
+        onion_label: "m3hjrfh4hlqc6aaa",
+        requests_2h: 2_573,
+        paper_rank: 11,
+        kind: EntityKind::Web(Topic::Adult),
+    },
+    PlantedEntity {
+        name: "Skynet",
+        onion_label: "ua4ttfm47jt32igm",
+        requests_2h: 1_950,
+        paper_rank: 12,
+        kind: EntityKind::SkynetCc,
+    },
+    PlantedEntity {
+        name: "Adult",
+        onion_label: "opva2pilsncvtaaa",
+        requests_2h: 1_863,
+        paper_rank: 13,
+        kind: EntityKind::Web(Topic::Adult),
+    },
+    PlantedEntity {
+        name: "Adult",
+        onion_label: "nbo32el47o5claaa",
+        requests_2h: 1_665,
+        paper_rank: 14,
+        kind: EntityKind::Web(Topic::Adult),
+    },
+    PlantedEntity {
+        name: "Adult",
+        onion_label: "firelol5skg6eaaa",
+        requests_2h: 1_631,
+        paper_rank: 15,
+        kind: EntityKind::Web(Topic::Adult),
+    },
+    PlantedEntity {
+        name: "Skynet",
+        onion_label: "niazgxzlrbpevgvq",
+        requests_2h: 1_481,
+        paper_rank: 16,
+        kind: EntityKind::SkynetCc,
+    },
+    PlantedEntity {
+        name: "Skynet",
+        onion_label: "owbm3sjqdnndmydf",
+        requests_2h: 1_326,
+        paper_rank: 17,
+        kind: EntityKind::SkynetCc,
+    },
+    PlantedEntity {
+        name: "SilkRoad",
+        onion_label: "silkroadvb5piz3r",
+        requests_2h: 1_175,
+        paper_rank: 18,
+        kind: EntityKind::Web(Topic::Drugs),
+    },
+    PlantedEntity {
+        name: "Adult",
+        onion_label: "candy4ci6id24aaa",
+        requests_2h: 1_094,
+        paper_rank: 19,
+        kind: EntityKind::Web(Topic::Adult),
+    },
+    PlantedEntity {
+        name: "Skynet",
+        onion_label: "x3wyzqg6cfbqrwht",
+        requests_2h: 1_021,
+        paper_rank: 20,
+        kind: EntityKind::SkynetCc,
+    },
+    PlantedEntity {
+        name: "Skynet",
+        onion_label: "4njzp3wzi6leo772",
+        requests_2h: 942,
+        paper_rank: 21,
+        kind: EntityKind::SkynetCc,
+    },
+    PlantedEntity {
+        name: "Skynet",
+        onion_label: "qdzjxwujdtxrjkrz",
+        requests_2h: 899,
+        paper_rank: 22,
+        kind: EntityKind::SkynetCc,
+    },
+    PlantedEntity {
+        name: "Skynet",
+        onion_label: "6tkpktox73usm5vq",
+        requests_2h: 898,
+        paper_rank: 23,
+        kind: EntityKind::SkynetCc,
+    },
+    PlantedEntity {
+        name: "Adult",
+        onion_label: "kk2wajy64oip2aaa",
+        requests_2h: 889,
+        paper_rank: 24,
+        kind: EntityKind::Web(Topic::Adult),
+    },
+    PlantedEntity {
+        name: "Skynet",
+        onion_label: "gpt2u5hhaqvmnwhr",
+        requests_2h: 781,
+        paper_rank: 25,
+        kind: EntityKind::SkynetCc,
+    },
+    PlantedEntity {
+        name: "<n/a>",
+        onion_label: "smouse2lbzrgeof4",
+        requests_2h: 746,
+        paper_rank: 26,
+        kind: EntityKind::Unknown,
+    },
+    PlantedEntity {
+        name: "FreedomHosting",
+        onion_label: "xqz3u5drneuzhaeo",
+        requests_2h: 694,
+        paper_rank: 27,
+        kind: EntityKind::Web(Topic::Anonymity),
+    },
+    PlantedEntity {
+        name: "Skynet",
+        onion_label: "f2ylgv2jochpzm4c",
+        requests_2h: 667,
+        paper_rank: 28,
+        kind: EntityKind::SkynetCc,
+    },
+    PlantedEntity {
+        name: "Adult",
+        onion_label: "kdq2y44aaas2aaaa",
+        requests_2h: 585,
+        paper_rank: 29,
+        kind: EntityKind::Web(Topic::Adult),
+    },
+    PlantedEntity {
+        name: "Adult",
+        onion_label: "4pms4sejqrrycaaa",
+        requests_2h: 542,
+        paper_rank: 30,
+        kind: EntityKind::Web(Topic::Adult),
+    },
+    PlantedEntity {
+        name: "SilkRoad(wiki)",
+        onion_label: "dkn255hz262ypmii",
+        requests_2h: 453,
+        paper_rank: 34,
+        kind: EntityKind::Web(Topic::Drugs),
+    },
+    PlantedEntity {
+        name: "TorDir",
+        onion_label: "dppmfxaacucguzpc",
+        requests_2h: 255,
+        paper_rank: 47,
+        kind: EntityKind::Web(Topic::Other),
+    },
+    PlantedEntity {
+        name: "BlckMrktReloaded",
+        onion_label: "5onwnspjvuk7cwvk",
+        requests_2h: 172,
+        paper_rank: 62,
+        kind: EntityKind::Web(Topic::Drugs),
+    },
+    PlantedEntity {
+        name: "DuckDuckGo",
+        onion_label: "3g2upl4pq6kufc4m",
+        requests_2h: 55,
+        paper_rank: 157,
+        kind: EntityKind::Web(Topic::Technology),
+    },
+    PlantedEntity {
+        name: "Onion Bookmarks",
+        onion_label: "x7yxqg5v4j6yzhti",
+        requests_2h: 30,
+        paper_rank: 250,
+        kind: EntityKind::Web(Topic::Other),
+    },
+    PlantedEntity {
+        name: "Tor Host",
+        onion_label: "torhostg5s7pa2sn",
+        requests_2h: 10,
+        paper_rank: 547,
+        kind: EntityKind::Web(Topic::Anonymity),
+    },
     // The three additional Goldnet front ends identified by identical
     // server-status characteristics (Sec. V), below the top-30 cutoff
     // (the paper found 4 more beyond the top five; one — rank 7 — is
     // already listed above).
-    PlantedEntity { name: "Goldnet", onion_label: "b5cgpkzjwwv7ywaa", requests_2h: 510, paper_rank: 31, kind: EntityKind::Goldnet { group: 0 } },
-    PlantedEntity { name: "Goldnet", onion_label: "c6dhqlakxwv2zwaa", requests_2h: 495, paper_rank: 32, kind: EntityKind::Goldnet { group: 1 } },
-    PlantedEntity { name: "Goldnet", onion_label: "d7eirmblyxv3axaa", requests_2h: 470, paper_rank: 33, kind: EntityKind::Goldnet { group: 0 } },
+    PlantedEntity {
+        name: "Goldnet",
+        onion_label: "b5cgpkzjwwv7ywaa",
+        requests_2h: 510,
+        paper_rank: 31,
+        kind: EntityKind::Goldnet { group: 0 },
+    },
+    PlantedEntity {
+        name: "Goldnet",
+        onion_label: "c6dhqlakxwv2zwaa",
+        requests_2h: 495,
+        paper_rank: 32,
+        kind: EntityKind::Goldnet { group: 1 },
+    },
+    PlantedEntity {
+        name: "Goldnet",
+        onion_label: "d7eirmblyxv3axaa",
+        requests_2h: 470,
+        paper_rank: 33,
+        kind: EntityKind::Goldnet { group: 0 },
+    },
 ];
 
 /// The Skynet bitcoin-pool entry also counts toward the Skynet cluster;
@@ -123,8 +357,14 @@ mod tests {
             assert!(parsed.is_ok(), "{} ({})", e.onion_label, e.name);
             assert_eq!(parsed.unwrap().label(), e.onion_label);
         }
-        assert!(PUBLIC_POOL_SLUSH.onion_label.parse::<OnionAddress>().is_ok());
-        assert!(PUBLIC_POOL_ELIGIUS.onion_label.parse::<OnionAddress>().is_ok());
+        assert!(PUBLIC_POOL_SLUSH
+            .onion_label
+            .parse::<OnionAddress>()
+            .is_ok());
+        assert!(PUBLIC_POOL_ELIGIUS
+            .onion_label
+            .parse::<OnionAddress>()
+            .is_ok());
     }
 
     #[test]

@@ -28,36 +28,216 @@ pub struct Country {
 
 /// 2013-plausible Tor client distribution (weights sum to 1000).
 pub const COUNTRIES: &[Country] = &[
-    Country { code: "US", name: "United States", weight: 175, lat: 39.8, lon: -98.5 },
-    Country { code: "DE", name: "Germany", weight: 105, lat: 51.2, lon: 10.4 },
-    Country { code: "RU", name: "Russia", weight: 85, lat: 61.5, lon: 105.3 },
-    Country { code: "FR", name: "France", weight: 65, lat: 46.2, lon: 2.2 },
-    Country { code: "IT", name: "Italy", weight: 60, lat: 41.9, lon: 12.6 },
-    Country { code: "GB", name: "United Kingdom", weight: 55, lat: 55.4, lon: -3.4 },
-    Country { code: "ES", name: "Spain", weight: 45, lat: 40.5, lon: -3.7 },
-    Country { code: "PL", name: "Poland", weight: 38, lat: 51.9, lon: 19.1 },
-    Country { code: "NL", name: "Netherlands", weight: 35, lat: 52.1, lon: 5.3 },
-    Country { code: "JP", name: "Japan", weight: 33, lat: 36.2, lon: 138.3 },
-    Country { code: "BR", name: "Brazil", weight: 32, lat: -14.2, lon: -51.9 },
-    Country { code: "CA", name: "Canada", weight: 30, lat: 56.1, lon: -106.3 },
-    Country { code: "SE", name: "Sweden", weight: 25, lat: 60.1, lon: 18.6 },
-    Country { code: "UA", name: "Ukraine", weight: 23, lat: 48.4, lon: 31.2 },
-    Country { code: "IR", name: "Iran", weight: 22, lat: 32.4, lon: 53.7 },
-    Country { code: "AU", name: "Australia", weight: 22, lat: -25.3, lon: 133.8 },
-    Country { code: "CZ", name: "Czech Republic", weight: 20, lat: 49.8, lon: 15.5 },
-    Country { code: "AT", name: "Austria", weight: 18, lat: 47.5, lon: 14.6 },
-    Country { code: "CH", name: "Switzerland", weight: 17, lat: 46.8, lon: 8.2 },
-    Country { code: "RO", name: "Romania", weight: 15, lat: 45.9, lon: 25.0 },
-    Country { code: "IN", name: "India", weight: 14, lat: 20.6, lon: 79.0 },
-    Country { code: "CN", name: "China", weight: 13, lat: 35.9, lon: 104.2 },
-    Country { code: "AR", name: "Argentina", weight: 12, lat: -38.4, lon: -63.6 },
-    Country { code: "MX", name: "Mexico", weight: 11, lat: 23.6, lon: -102.6 },
-    Country { code: "TR", name: "Turkey", weight: 10, lat: 39.0, lon: 35.2 },
-    Country { code: "KR", name: "South Korea", weight: 9, lat: 35.9, lon: 127.8 },
-    Country { code: "FI", name: "Finland", weight: 4, lat: 61.9, lon: 25.7 },
-    Country { code: "NO", name: "Norway", weight: 3, lat: 60.5, lon: 8.5 },
-    Country { code: "EG", name: "Egypt", weight: 2, lat: 26.8, lon: 30.8 },
-    Country { code: "ZA", name: "South Africa", weight: 2, lat: -30.6, lon: 22.9 },
+    Country {
+        code: "US",
+        name: "United States",
+        weight: 175,
+        lat: 39.8,
+        lon: -98.5,
+    },
+    Country {
+        code: "DE",
+        name: "Germany",
+        weight: 105,
+        lat: 51.2,
+        lon: 10.4,
+    },
+    Country {
+        code: "RU",
+        name: "Russia",
+        weight: 85,
+        lat: 61.5,
+        lon: 105.3,
+    },
+    Country {
+        code: "FR",
+        name: "France",
+        weight: 65,
+        lat: 46.2,
+        lon: 2.2,
+    },
+    Country {
+        code: "IT",
+        name: "Italy",
+        weight: 60,
+        lat: 41.9,
+        lon: 12.6,
+    },
+    Country {
+        code: "GB",
+        name: "United Kingdom",
+        weight: 55,
+        lat: 55.4,
+        lon: -3.4,
+    },
+    Country {
+        code: "ES",
+        name: "Spain",
+        weight: 45,
+        lat: 40.5,
+        lon: -3.7,
+    },
+    Country {
+        code: "PL",
+        name: "Poland",
+        weight: 38,
+        lat: 51.9,
+        lon: 19.1,
+    },
+    Country {
+        code: "NL",
+        name: "Netherlands",
+        weight: 35,
+        lat: 52.1,
+        lon: 5.3,
+    },
+    Country {
+        code: "JP",
+        name: "Japan",
+        weight: 33,
+        lat: 36.2,
+        lon: 138.3,
+    },
+    Country {
+        code: "BR",
+        name: "Brazil",
+        weight: 32,
+        lat: -14.2,
+        lon: -51.9,
+    },
+    Country {
+        code: "CA",
+        name: "Canada",
+        weight: 30,
+        lat: 56.1,
+        lon: -106.3,
+    },
+    Country {
+        code: "SE",
+        name: "Sweden",
+        weight: 25,
+        lat: 60.1,
+        lon: 18.6,
+    },
+    Country {
+        code: "UA",
+        name: "Ukraine",
+        weight: 23,
+        lat: 48.4,
+        lon: 31.2,
+    },
+    Country {
+        code: "IR",
+        name: "Iran",
+        weight: 22,
+        lat: 32.4,
+        lon: 53.7,
+    },
+    Country {
+        code: "AU",
+        name: "Australia",
+        weight: 22,
+        lat: -25.3,
+        lon: 133.8,
+    },
+    Country {
+        code: "CZ",
+        name: "Czech Republic",
+        weight: 20,
+        lat: 49.8,
+        lon: 15.5,
+    },
+    Country {
+        code: "AT",
+        name: "Austria",
+        weight: 18,
+        lat: 47.5,
+        lon: 14.6,
+    },
+    Country {
+        code: "CH",
+        name: "Switzerland",
+        weight: 17,
+        lat: 46.8,
+        lon: 8.2,
+    },
+    Country {
+        code: "RO",
+        name: "Romania",
+        weight: 15,
+        lat: 45.9,
+        lon: 25.0,
+    },
+    Country {
+        code: "IN",
+        name: "India",
+        weight: 14,
+        lat: 20.6,
+        lon: 79.0,
+    },
+    Country {
+        code: "CN",
+        name: "China",
+        weight: 13,
+        lat: 35.9,
+        lon: 104.2,
+    },
+    Country {
+        code: "AR",
+        name: "Argentina",
+        weight: 12,
+        lat: -38.4,
+        lon: -63.6,
+    },
+    Country {
+        code: "MX",
+        name: "Mexico",
+        weight: 11,
+        lat: 23.6,
+        lon: -102.6,
+    },
+    Country {
+        code: "TR",
+        name: "Turkey",
+        weight: 10,
+        lat: 39.0,
+        lon: 35.2,
+    },
+    Country {
+        code: "KR",
+        name: "South Korea",
+        weight: 9,
+        lat: 35.9,
+        lon: 127.8,
+    },
+    Country {
+        code: "FI",
+        name: "Finland",
+        weight: 4,
+        lat: 61.9,
+        lon: 25.7,
+    },
+    Country {
+        code: "NO",
+        name: "Norway",
+        weight: 3,
+        lat: 60.5,
+        lon: 8.5,
+    },
+    Country {
+        code: "EG",
+        name: "Egypt",
+        weight: 2,
+        lat: 26.8,
+        lon: 30.8,
+    },
+    Country {
+        code: "ZA",
+        name: "South Africa",
+        weight: 2,
+        lat: -30.6,
+        lon: 22.9,
+    },
 ];
 
 /// The synthetic geolocation database: first-octet blocks 1–223 are
@@ -177,7 +357,10 @@ mod tests {
             }
         }
         // US ≈ 17.5 %, ZA ≈ 0.2 %.
-        assert!((0.13..0.23).contains(&(us as f64 / n as f64)), "US share {us}");
+        assert!(
+            (0.13..0.23).contains(&(us as f64 / n as f64)),
+            "US share {us}"
+        );
         assert!(za < us / 10, "ZA must be rare");
     }
 

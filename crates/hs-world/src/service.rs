@@ -354,15 +354,14 @@ pub fn torhost_default_page() -> String {
 /// Samples `n` words: roughly 55 % topic keywords, 45 % language filler
 /// for English pages; non-English pages draw from the language lexicon
 /// with a sprinkle of (English) topic keywords, as real pages do.
-pub fn sample_words(
-    language: Language,
-    topic: Topic,
-    n: usize,
-    rng: &mut impl Rng,
-) -> Vec<String> {
+pub fn sample_words(language: Language, topic: Topic, n: usize, rng: &mut impl Rng) -> Vec<String> {
     let keywords = lexicon::topic_keywords(topic);
     let filler = lexicon::language_words(language);
-    let keyword_share = if language == Language::English { 0.55 } else { 0.15 };
+    let keyword_share = if language == Language::English {
+        0.55
+    } else {
+        0.15
+    };
     (0..n)
         .map(|_| {
             let pool = if rng.random::<f64>() < keyword_share {
@@ -413,7 +412,10 @@ mod tests {
 
     #[test]
     fn web_ports_follow_profile() {
-        let mut web = WebProfile { https: true, ..WebProfile::default() };
+        let mut web = WebProfile {
+            https: true,
+            ..WebProfile::default()
+        };
         assert_eq!(web_service(web).open_ports(), vec![80, 443]);
         web.https = false;
         assert_eq!(web_service(web).open_ports(), vec![80]);
@@ -423,7 +425,10 @@ mod tests {
 
     #[test]
     fn page_rendering_deterministic() {
-        let s = web_service(WebProfile { topic: Topic::Drugs, ..WebProfile::default() });
+        let s = web_service(WebProfile {
+            topic: Topic::Drugs,
+            ..WebProfile::default()
+        });
         let a = s.render_page(80).unwrap();
         let b = s.render_page(80).unwrap();
         assert_eq!(a.body, b.body);
@@ -438,18 +443,27 @@ mod tests {
             https_mirror: true,
             ..WebProfile::default()
         });
-        assert_eq!(s.render_page(80).unwrap().body, s.render_page(443).unwrap().body);
+        assert_eq!(
+            s.render_page(80).unwrap().body,
+            s.render_page(443).unwrap().body
+        );
     }
 
     #[test]
     fn short_page_under_20_words() {
-        let s = web_service(WebProfile { short_page: true, ..WebProfile::default() });
+        let s = web_service(WebProfile {
+            short_page: true,
+            ..WebProfile::default()
+        });
         assert!(s.render_page(80).unwrap().words < 20);
     }
 
     #[test]
     fn torhost_default_page_is_english_boilerplate() {
-        let s = web_service(WebProfile { torhost_default: true, ..WebProfile::default() });
+        let s = web_service(WebProfile {
+            torhost_default: true,
+            ..WebProfile::default()
+        });
         let p = s.render_page(80).unwrap();
         assert!(p.body.contains("TorHost"));
         assert!(p.words >= 20);
@@ -476,9 +490,13 @@ mod tests {
     #[test]
     fn certificates_by_kind() {
         let mk = |cert| {
-            web_service(WebProfile { https: true, cert, ..WebProfile::default() })
-                .certificate()
-                .unwrap()
+            web_service(WebProfile {
+                https: true,
+                cert,
+                ..WebProfile::default()
+            })
+            .certificate()
+            .unwrap()
         };
         let torhost = mk(CertKind::TorHostCn);
         assert_eq!(torhost.common_name, "esjqyk2khizsy43i.onion");

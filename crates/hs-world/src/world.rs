@@ -30,7 +30,10 @@ pub struct WorldConfig {
 
 impl Default for WorldConfig {
     fn default() -> Self {
-        WorldConfig { seed: 0x2013_0204, scale: 1.0 }
+        WorldConfig {
+            seed: 0x2013_0204,
+            scale: 1.0,
+        }
     }
 }
 
@@ -42,7 +45,10 @@ impl WorldConfig {
 
     /// A small world for tests (~2 % of paper scale).
     pub fn test_scale() -> Self {
-        WorldConfig { seed: 0x2013_0204, scale: 0.02 }
+        WorldConfig {
+            seed: 0x2013_0204,
+            scale: 0.02,
+        }
     }
 
     /// Sets the seed.
@@ -94,41 +100,46 @@ impl World {
         // --- 1. Planted Table II entities -------------------------------
         // Request rates scale with the world so measured counts are
         // `paper x scale` while ranks and ratios are preserved.
-        let plant =
-            |e: &PlantedEntity, services: &mut Vec<Service>, used: &mut HashMap<OnionAddress, ()>| {
-                let onion: OnionAddress = e
-                    .onion_label
-                    .parse()
-                    .expect("planted labels are valid base32");
-                used.insert(onion, ());
-                let (role, web) = match e.kind {
-                    EntityKind::Goldnet { group } => {
-                        (Role::GoldnetCc { group }, WebProfile::default())
-                    }
-                    EntityKind::SkynetCc | EntityKind::BitcoinMiner => {
-                        (Role::SkynetCc, WebProfile::default())
-                    }
-                    EntityKind::Unknown => (
-                        Role::Web,
-                        WebProfile { short_page: true, ..WebProfile::default() },
-                    ),
-                    EntityKind::Web(topic) => (
-                        Role::Web,
-                        WebProfile { topic, ..WebProfile::default() },
-                    ),
-                };
-                services.push(Service {
-                    index: services.len() as u32,
-                    onion,
-                    role,
-                    web,
-                    popularity: f64::from(e.requests_2h) * sc,
-                    planted: Some(e.name),
-                    daily_availability: 0.995,
-                    alive_at_crawl: true,
-                    connects_at_crawl: true,
-                });
+        let plant = |e: &PlantedEntity,
+                     services: &mut Vec<Service>,
+                     used: &mut HashMap<OnionAddress, ()>| {
+            let onion: OnionAddress = e
+                .onion_label
+                .parse()
+                .expect("planted labels are valid base32");
+            used.insert(onion, ());
+            let (role, web) = match e.kind {
+                EntityKind::Goldnet { group } => (Role::GoldnetCc { group }, WebProfile::default()),
+                EntityKind::SkynetCc | EntityKind::BitcoinMiner => {
+                    (Role::SkynetCc, WebProfile::default())
+                }
+                EntityKind::Unknown => (
+                    Role::Web,
+                    WebProfile {
+                        short_page: true,
+                        ..WebProfile::default()
+                    },
+                ),
+                EntityKind::Web(topic) => (
+                    Role::Web,
+                    WebProfile {
+                        topic,
+                        ..WebProfile::default()
+                    },
+                ),
             };
+            services.push(Service {
+                index: services.len() as u32,
+                onion,
+                role,
+                web,
+                popularity: f64::from(e.requests_2h) * sc,
+                planted: Some(e.name),
+                daily_availability: 0.995,
+                alive_at_crawl: true,
+                connects_at_crawl: true,
+            });
+        };
         for e in entities::PLANTED {
             plant(e, &mut services, &mut used);
         }
@@ -146,8 +157,7 @@ impl World {
 
         // --- 2. Population quotas ---------------------------------------
         let n_skynet = scaled(calib::SKYNET_BOTS, sc);
-        let n_web80 =
-            scaled(calib::PORT_80, sc).saturating_sub(planted_goldnet + planted_web);
+        let n_web80 = scaled(calib::PORT_80, sc).saturating_sub(planted_goldnet + planted_web);
         let n_https_only = scaled(calib::PORT_443 - calib::HTTPS_MIRRORS, sc);
         let n_ssh = scaled(calib::PORT_22, sc);
         let n_torchat = scaled(calib::PORT_TORCHAT, sc);
@@ -178,14 +188,18 @@ impl World {
         };
 
         let push = |role: Role,
-                        web: WebProfile,
-                        rng: &mut StdRng,
-                        used: &mut HashMap<OnionAddress, ()>,
-                        services: &mut Vec<Service>| {
+                    web: WebProfile,
+                    rng: &mut StdRng,
+                    used: &mut HashMap<OnionAddress, ()>,
+                    services: &mut Vec<Service>| {
             let onion = fresh_onion(rng, used);
             // Mixture tuned so the multi-day scan concludes ~87 % of its
             // port probes, the coverage the paper reports.
-            let avail = if rng.random::<f64>() < 0.80 { 0.97 } else { 0.60 };
+            let avail = if rng.random::<f64>() < 0.80 {
+                0.97
+            } else {
+                0.60
+            };
             services.push(Service {
                 index: services.len() as u32,
                 onion,
@@ -200,17 +214,32 @@ impl World {
         };
 
         for _ in 0..n_skynet {
-            push(Role::SkynetBot, WebProfile::default(), &mut rng, &mut used, &mut services);
+            push(
+                Role::SkynetBot,
+                WebProfile::default(),
+                &mut rng,
+                &mut used,
+                &mut services,
+            );
         }
         let web_start = services.len();
         for _ in 0..n_web80 {
-            push(Role::Web, WebProfile::default(), &mut rng, &mut used, &mut services);
+            push(
+                Role::Web,
+                WebProfile::default(),
+                &mut rng,
+                &mut used,
+                &mut services,
+            );
         }
         let https_only_start = services.len();
         for _ in 0..n_https_only {
             push(
                 Role::Web,
-                WebProfile { https_only: true, ..WebProfile::default() },
+                WebProfile {
+                    https_only: true,
+                    ..WebProfile::default()
+                },
                 &mut rng,
                 &mut used,
                 &mut services,
@@ -218,10 +247,22 @@ impl World {
         }
         let web_end = services.len();
         for _ in 0..n_ssh {
-            push(Role::SshHost, WebProfile::default(), &mut rng, &mut used, &mut services);
+            push(
+                Role::SshHost,
+                WebProfile::default(),
+                &mut rng,
+                &mut used,
+                &mut services,
+            );
         }
         for _ in 0..n_torchat {
-            push(Role::TorChat, WebProfile::default(), &mut rng, &mut used, &mut services);
+            push(
+                Role::TorChat,
+                WebProfile::default(),
+                &mut rng,
+                &mut used,
+                &mut services,
+            );
         }
         for _ in 0..n_4050 {
             push(
@@ -233,7 +274,13 @@ impl World {
             );
         }
         for _ in 0..n_irc {
-            push(Role::Irc, WebProfile::default(), &mut rng, &mut used, &mut services);
+            push(
+                Role::Irc,
+                WebProfile::default(),
+                &mut rng,
+                &mut used,
+                &mut services,
+            );
         }
         // The long tail of unusual ports: ~488 distinct port numbers so
         // the scan sees `UNIQUE_PORTS` unique ports in total.
@@ -246,13 +293,31 @@ impl World {
                 4050 | 6667 | 8080 | 11009 => port + 1,
                 _ => port,
             };
-            push(Role::CustomPort(port), WebProfile::default(), &mut rng, &mut used, &mut services);
+            push(
+                Role::CustomPort(port),
+                WebProfile::default(),
+                &mut rng,
+                &mut used,
+                &mut services,
+            );
         }
         for _ in 0..n_noports {
-            push(Role::NoOpenPorts, WebProfile::default(), &mut rng, &mut used, &mut services);
+            push(
+                Role::NoOpenPorts,
+                WebProfile::default(),
+                &mut rng,
+                &mut used,
+                &mut services,
+            );
         }
         for _ in 0..n_dark {
-            push(Role::Dark, WebProfile::default(), &mut rng, &mut used, &mut services);
+            push(
+                Role::Dark,
+                WebProfile::default(),
+                &mut rng,
+                &mut used,
+                &mut services,
+            );
         }
 
         // --- 3. Web attribute quotas ------------------------------------
@@ -270,11 +335,12 @@ impl World {
         // --- 5. Popularity tail & phantom pool --------------------------
         Self::assign_popularity(&mut services, sc, &mut rng);
 
-        let by_onion = services
-            .iter()
-            .map(|s| (s.onion, s.index))
-            .collect();
-        World { config, services, by_onion }
+        let by_onion = services.iter().map(|s| (s.onion, s.index)).collect();
+        World {
+            config,
+            services,
+            by_onion,
+        }
     }
 
     /// Assigns TorHost defaults, short/error pages, languages, topics,
@@ -318,8 +384,10 @@ impl World {
 
         // Mirrors can overlap with any attribute except 8080: assign on
         // a fresh shuffle of the web80 population.
-        let mut mirror_idx: Vec<usize> =
-            web80.clone().filter(|&i| !services[i].web.on_8080).collect();
+        let mut mirror_idx: Vec<usize> = web80
+            .clone()
+            .filter(|&i| !services[i].web.on_8080)
+            .collect();
         mirror_idx.shuffle(rng);
         for &i in mirror_idx.iter().take(q_mirror) {
             services[i].web.https = true;
@@ -343,8 +411,7 @@ impl World {
         // English boilerplate. The topical population therefore carries
         // proportionally more non-English pages.
         let non_en_permille = 1_000 - Language::English.paper_permille();
-        let non_en_target = (((topical.len() + q_torhost) as f64)
-            * f64::from(non_en_permille)
+        let non_en_target = (((topical.len() + q_torhost) as f64) * f64::from(non_en_permille)
             / 1_000.0)
             .round() as usize;
         let non_en_target = non_en_target.min(topical.len());
@@ -381,16 +448,25 @@ impl World {
             .collect();
         cert_idx.shuffle(rng);
         let q_torhost_cn = scaled(calib::CERT_TORHOST_CN, sc) as usize;
-        let q_mismatch =
-            scaled(calib::CERT_SELF_SIGNED_MISMATCH - calib::CERT_TORHOST_CN, sc) as usize;
-        let q_clearnet = scaled(calib::CERT_CLEARNET_DNS, sc) as usize;
+        let q_mismatch = scaled(
+            calib::CERT_SELF_SIGNED_MISMATCH - calib::CERT_TORHOST_CN,
+            sc,
+        ) as usize;
+        // At minuscule scales the clearnet-CN population would round
+        // down to a single service, whose one scheduled 443 probe can
+        // miss through churn; floor it so the cert survey measures a
+        // population rather than one Bernoulli trial. Assigned first in
+        // the shuffled order so the quota is never truncated when few
+        // services serve HTTPS (positions carry no meaning after the
+        // shuffle).
+        let q_clearnet = (scaled(calib::CERT_CLEARNET_DNS, sc) as usize).max(3);
         for (k, &i) in cert_idx.iter().enumerate() {
-            services[i].web.cert = if k < q_torhost_cn {
-                CertKind::TorHostCn
-            } else if k < q_torhost_cn + q_mismatch {
-                CertKind::SelfSignedMismatch
-            } else if k < q_torhost_cn + q_mismatch + q_clearnet {
+            services[i].web.cert = if k < q_clearnet {
                 CertKind::ClearnetDns
+            } else if k < q_clearnet + q_torhost_cn {
+                CertKind::TorHostCn
+            } else if k < q_clearnet + q_torhost_cn + q_mismatch {
+                CertKind::SelfSignedMismatch
             } else {
                 CertKind::MatchingOnion
             };
@@ -482,7 +558,26 @@ impl World {
 
     /// Looks up a service by onion address.
     pub fn get(&self, onion: OnionAddress) -> Option<&Service> {
-        self.by_onion.get(&onion).map(|&i| &self.services[i as usize])
+        self.by_onion
+            .get(&onion)
+            .map(|&i| &self.services[i as usize])
+    }
+
+    /// The most popular Goldnet command-and-control front end — the
+    /// paper's Sec. VI client-deanonymisation target. Resolved from the
+    /// generated world rather than hard-coded so an attack stage can
+    /// never silently target a service this world does not contain.
+    pub fn primary_goldnet_frontend(&self) -> Option<&Service> {
+        self.services
+            .iter()
+            .filter(|s| matches!(s.role, Role::GoldnetCc { .. }))
+            .max_by(|a, b| {
+                a.popularity
+                    .partial_cmp(&b.popularity)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    // Deterministic tie-break on the stable index.
+                    .then(b.index.cmp(&a.index))
+            })
     }
 
     /// Registers every descriptor-publishing service with the network.
@@ -583,7 +678,10 @@ mod tests {
     use super::*;
 
     fn small_world() -> World {
-        World::generate(WorldConfig { seed: 99, scale: 0.05 })
+        World::generate(WorldConfig {
+            seed: 99,
+            scale: 0.05,
+        })
     }
 
     #[test]
@@ -623,8 +721,14 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = World::generate(WorldConfig { seed: 7, scale: 0.02 });
-        let b = World::generate(WorldConfig { seed: 7, scale: 0.02 });
+        let a = World::generate(WorldConfig {
+            seed: 7,
+            scale: 0.02,
+        });
+        let b = World::generate(WorldConfig {
+            seed: 7,
+            scale: 0.02,
+        });
         assert_eq!(a.services().len(), b.services().len());
         for (x, y) in a.services().iter().zip(b.services()) {
             assert_eq!(x.onion, y.onion);
@@ -635,7 +739,10 @@ mod tests {
 
     #[test]
     fn language_split_is_mostly_english() {
-        let w = World::generate(WorldConfig { seed: 7, scale: 0.2 });
+        let w = World::generate(WorldConfig {
+            seed: 7,
+            scale: 0.2,
+        });
         let topical: Vec<_> = w
             .services()
             .iter()
@@ -668,7 +775,10 @@ mod tests {
             .filter(|s| s.is_skynet_bot())
             .find(|s| w.connect(s.onion, SKYNET_PORT, now) == PortReply::AbnormalClose)
             .unwrap_or(bot);
-        assert_eq!(w.connect(bot.onion, SKYNET_PORT, now), PortReply::AbnormalClose);
+        assert_eq!(
+            w.connect(bot.onion, SKYNET_PORT, now),
+            PortReply::AbnormalClose
+        );
 
         let ghost = OnionAddress::from_pubkey(b"not in world");
         assert_eq!(w.connect(ghost, 80, now), PortReply::Timeout);

@@ -57,7 +57,12 @@ pub fn decode(s: &str) -> Result<Vec<u8>, DecodeError> {
             b'a'..=b'z' => ch - b'a',
             b'A'..=b'Z' => ch - b'A',
             b'2'..=b'7' => ch - b'2' + 26,
-            _ => return Err(DecodeError { position: pos, byte: ch }),
+            _ => {
+                return Err(DecodeError {
+                    position: pos,
+                    byte: ch,
+                })
+            }
         };
         acc = (acc << 5) | u64::from(val);
         bits += 5;

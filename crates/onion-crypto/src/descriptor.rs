@@ -19,8 +19,8 @@
 
 use core::fmt;
 
-use crate::sha1::{Digest, Sha1};
 use crate::onion::{OnionAddress, PermanentId};
+use crate::sha1::{Digest, Sha1};
 use crate::u160::U160;
 
 /// Seconds in a time period (24 hours).

@@ -256,7 +256,12 @@ mod tests {
         let intro: Vec<Fingerprint> = (0..3)
             .map(|_| SimIdentity::generate(&mut rng).fingerprint())
             .collect();
-        HsDescriptor::create(key.public_key().to_vec(), Replica::new(0), 1_359_936_000, intro)
+        HsDescriptor::create(
+            key.public_key().to_vec(),
+            Replica::new(0),
+            1_359_936_000,
+            intro,
+        )
     }
 
     #[test]
@@ -318,8 +323,18 @@ mod tests {
     fn replicas_give_different_ids() {
         let mut rng = StdRng::seed_from_u64(78);
         let key = SimIdentity::generate(&mut rng);
-        let a = HsDescriptor::create(key.public_key().to_vec(), Replica::new(0), 1_360_000_000, vec![]);
-        let b = HsDescriptor::create(key.public_key().to_vec(), Replica::new(1), 1_360_000_000, vec![]);
+        let a = HsDescriptor::create(
+            key.public_key().to_vec(),
+            Replica::new(0),
+            1_360_000_000,
+            vec![],
+        );
+        let b = HsDescriptor::create(
+            key.public_key().to_vec(),
+            Replica::new(1),
+            1_360_000_000,
+            vec![],
+        );
         assert_ne!(a.descriptor_id, b.descriptor_id);
         assert_eq!(a.onion_address(), b.onion_address());
     }

@@ -112,7 +112,10 @@ impl SimIdentity {
     /// Builds an identity from existing public-key bytes.
     pub fn from_pubkey(pubkey: Vec<u8>) -> Self {
         let fingerprint = Fingerprint::of_pubkey(&pubkey);
-        SimIdentity { pubkey, fingerprint }
+        SimIdentity {
+            pubkey,
+            fingerprint,
+        }
     }
 
     /// The public-key bytes.
@@ -141,11 +144,7 @@ impl SimIdentity {
     /// # Panics
     ///
     /// Panics if `max_gap` is zero.
-    pub fn brute_force_after(
-        target: U160,
-        max_gap: U160,
-        rng: &mut impl Rng,
-    ) -> (Self, u64) {
+    pub fn brute_force_after(target: U160, max_gap: U160, rng: &mut impl Rng) -> (Self, u64) {
         assert!(max_gap != U160::ZERO, "max_gap must be nonzero");
         let mut tries = 0u64;
         loop {
@@ -172,7 +171,10 @@ impl SimIdentity {
     /// work factor inside the simulation. The public-key bytes of a forged
     /// identity are empty, marking it as synthetic.
     pub fn forge(fp: Fingerprint) -> Self {
-        SimIdentity { pubkey: Vec::new(), fingerprint: fp }
+        SimIdentity {
+            pubkey: Vec::new(),
+            fingerprint: fp,
+        }
     }
 
     /// Whether this identity was created by [`SimIdentity::forge`].

@@ -320,10 +320,7 @@ mod tests {
             // stable and the hasher must not panic on any boundary.
             assert_eq!(Sha1::digest(&data), Sha1::digest(&data));
         }
-        assert_eq!(
-            hex(&[0u8; 64]),
-            "c8d7d0ef0eedfa82d2ea1aa592845b9a6d4b02b7"
-        );
+        assert_eq!(hex(&[0u8; 64]), "c8d7d0ef0eedfa82d2ea1aa592845b9a6d4b02b7");
     }
 
     #[test]

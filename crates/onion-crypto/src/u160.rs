@@ -37,7 +37,9 @@ impl U160 {
     pub const ZERO: U160 = U160 { limbs: [0; 5] };
 
     /// The all-ones value (2^160 − 1).
-    pub const MAX: U160 = U160 { limbs: [u32::MAX; 5] };
+    pub const MAX: U160 = U160 {
+        limbs: [u32::MAX; 5],
+    };
 
     /// Builds a value from big-endian digest bytes.
     pub fn from_bytes(bytes: &[u8; DIGEST_LEN]) -> Self {
@@ -121,9 +123,9 @@ impl U160 {
         assert!(divisor != 0, "division by zero");
         let mut out = [0u32; 5];
         let mut rem: u64 = 0;
-        for i in 0..5 {
-            let cur = (rem << 32) | u64::from(self.limbs[i]);
-            out[i] = (cur / divisor) as u32;
+        for (slot, &limb) in out.iter_mut().zip(self.limbs.iter()) {
+            let cur = (rem << 32) | u64::from(limb);
+            *slot = (cur / divisor) as u32;
             rem = cur % divisor;
         }
         U160 { limbs: out }
@@ -208,10 +210,7 @@ mod tests {
         let b = U160::from_u64(40);
         assert_eq!(b.distance_to(a), U160::from_u64(60));
         // Wrapping the other way: 2^160 - 60.
-        assert_eq!(
-            a.distance_to(b),
-            U160::MAX.wrapping_sub(U160::from_u64(59))
-        );
+        assert_eq!(a.distance_to(b), U160::MAX.wrapping_sub(U160::from_u64(59)));
         assert_eq!(a.distance_to(a), U160::ZERO);
     }
 

@@ -101,10 +101,7 @@ impl Authority {
     /// else about a relay (uptime, earned flags) is retained for future
     /// rounds because it is derived from the relay's own state.
     pub fn vote(&self, relays: &[Relay], now: SimTime) -> Consensus {
-        let eligible: Vec<&Relay> = relays
-            .iter()
-            .filter(|r| r.running && r.reachable)
-            .collect();
+        let eligible: Vec<&Relay> = relays.iter().filter(|r| r.running && r.reachable).collect();
 
         // Median bandwidth of eligible relays gates the Guard flag.
         let guard_bw_threshold = median_bandwidth(&eligible);
@@ -112,8 +109,7 @@ impl Authority {
         // Two-per-IP selection: sort each IP group by bandwidth
         // descending (fingerprint as deterministic tie-breaker) and keep
         // the head of the group.
-        let mut by_ip: std::collections::HashMap<_, Vec<&Relay>> =
-            std::collections::HashMap::new();
+        let mut by_ip: std::collections::HashMap<_, Vec<&Relay>> = std::collections::HashMap::new();
         for r in &eligible {
             by_ip.entry(r.ip).or_default().push(r);
         }
@@ -272,15 +268,7 @@ mod tests {
         let t0 = SimTime::from_ymd(2013, 1, 1);
         let mut rng = StdRng::seed_from_u64(6);
         let relays: Vec<Relay> = (0..20)
-            .map(|i| {
-                mk_relay(
-                    i,
-                    Ipv4::new(10, 0, (i / 2) as u8, 1),
-                    300,
-                    t0,
-                    &mut rng,
-                )
-            })
+            .map(|i| mk_relay(i, Ipv4::new(10, 0, (i / 2) as u8, 1), 300, t0, &mut rng))
             .collect();
         let a = auth.vote(&relays, t0 + 26 * HOUR);
         let b = auth.vote(&relays, t0 + 26 * HOUR);

@@ -79,7 +79,10 @@ impl TrafficSignature {
     /// the PADDING burst, then DESTROY.
     pub fn encode_response(&self, payload_cells: usize) -> Vec<Cell> {
         let mut cells = Vec::with_capacity(payload_cells + self.padding_run + 1);
-        cells.extend(std::iter::repeat_n(Cell::of(CellKind::Relay), payload_cells));
+        cells.extend(std::iter::repeat_n(
+            Cell::of(CellKind::Relay),
+            payload_cells,
+        ));
         cells.extend(std::iter::repeat_n(
             Cell::of(CellKind::Padding),
             self.padding_run,

@@ -65,7 +65,11 @@ impl Consensus {
             .filter(|(_, e)| e.flags.contains(RelayFlags::HSDIR))
             .map(|(i, _)| i)
             .collect();
-        Consensus { valid_after, entries, hsdir_ring }
+        Consensus {
+            valid_after,
+            entries,
+            hsdir_ring,
+        }
     }
 
     /// The time this consensus became valid.

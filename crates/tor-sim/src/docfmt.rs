@@ -66,7 +66,10 @@ impl fmt::Display for ParseDocError {
 impl std::error::Error for ParseDocError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseDocError {
-    ParseDocError { line, message: message.into() }
+    ParseDocError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses a document produced by [`encode`] back into a [`Consensus`].
@@ -86,9 +89,8 @@ pub fn decode(doc: &str) -> Result<Consensus, ParseDocError> {
     let valid_after = va_line
         .strip_prefix("valid-after ")
         .ok_or_else(|| err(n + 1, "expected valid-after"))?;
-    let valid_after = parse_timestamp(valid_after).ok_or_else(|| {
-        err(n + 1, format!("bad timestamp {valid_after:?}"))
-    })?;
+    let valid_after = parse_timestamp(valid_after)
+        .ok_or_else(|| err(n + 1, format!("bad timestamp {valid_after:?}")))?;
 
     let mut entries: Vec<ConsensusEntry> = Vec::new();
     let mut index = 0usize;
@@ -102,7 +104,9 @@ pub fn decode(doc: &str) -> Result<Consensus, ParseDocError> {
             .ok_or_else(|| err(n + 1, format!("expected r line, got {line:?}")))?;
         let mut parts = rest.split_whitespace();
         let nickname = parts.next().ok_or_else(|| err(n + 1, "missing nickname"))?;
-        let fp_hex = parts.next().ok_or_else(|| err(n + 1, "missing fingerprint"))?;
+        let fp_hex = parts
+            .next()
+            .ok_or_else(|| err(n + 1, "missing fingerprint"))?;
         let ip_str = parts.next().ok_or_else(|| err(n + 1, "missing ip"))?;
         let port_str = parts.next().ok_or_else(|| err(n + 1, "missing orport"))?;
         let fingerprint = Fingerprint::from_digest(
@@ -111,17 +115,13 @@ pub fn decode(doc: &str) -> Result<Consensus, ParseDocError> {
         let ip = parse_ipv4(ip_str).ok_or_else(|| err(n + 1, "bad ip"))?;
         let or_port: u16 = port_str.parse().map_err(|_| err(n + 1, "bad orport"))?;
 
-        let (sn, s_line) = lines
-            .next()
-            .ok_or_else(|| err(n + 2, "missing s line"))?;
+        let (sn, s_line) = lines.next().ok_or_else(|| err(n + 2, "missing s line"))?;
         let flags_str = s_line
             .strip_prefix("s ")
             .ok_or_else(|| err(sn + 1, "expected s line"))?;
         let flags = parse_flags(flags_str).ok_or_else(|| err(sn + 1, "unknown flag"))?;
 
-        let (wn, w_line) = lines
-            .next()
-            .ok_or_else(|| err(sn + 2, "missing w line"))?;
+        let (wn, w_line) = lines.next().ok_or_else(|| err(sn + 2, "missing w line"))?;
         let bandwidth: u64 = w_line
             .strip_prefix("w Bandwidth=")
             .and_then(|v| v.parse().ok())

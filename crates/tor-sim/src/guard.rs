@@ -86,8 +86,7 @@ impl GuardSet {
                 break; // network too small to supply more guards
             };
             let (relay, _) = candidates.swap_remove(idx);
-            let lifetime_days =
-                rng.random_range(GUARD_LIFETIME_MIN_DAYS..=GUARD_LIFETIME_MAX_DAYS);
+            let lifetime_days = rng.random_range(GUARD_LIFETIME_MIN_DAYS..=GUARD_LIFETIME_MAX_DAYS);
             self.guards.push(GuardEntry {
                 relay,
                 expires: now + lifetime_days * DAY,

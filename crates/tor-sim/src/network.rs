@@ -94,7 +94,7 @@ pub enum FetchOutcome {
 /// assert!(net.consensus().hsdir_count() > 0);
 /// net.advance_hours(2);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Network {
     time: SimTime,
     consensus_interval: u64,
@@ -207,8 +207,7 @@ impl Network {
     /// Registers a hidden service. `online` services publish descriptors
     /// at every consensus round.
     pub fn register_service(&mut self, onion: OnionAddress, online: bool) {
-        self.services
-            .insert(onion, ServiceRecord { onion, online });
+        self.services.insert(onion, ServiceRecord { onion, online });
     }
 
     /// Sets a service's liveness.
@@ -228,7 +227,10 @@ impl Network {
     /// populated lazily on first use.
     pub fn add_client(&mut self, ip: Ipv4) -> ClientId {
         let id = ClientId(self.clients.len());
-        self.clients.push(ClientState { ip, guards: GuardSet::new() });
+        self.clients.push(ClientState {
+            ip,
+            guards: GuardSet::new(),
+        });
         id
     }
 
@@ -336,12 +338,18 @@ impl Network {
     /// order until one returns the descriptor. Logging HSDirs record the
     /// request; if the response carries an armed traffic signature and
     /// the guard is attacker-operated, a [`GuardObservation`] is emitted.
-    pub fn client_fetch_desc_id(&mut self, client: ClientId, desc_id: DescriptorId) -> FetchOutcome {
+    pub fn client_fetch_desc_id(
+        &mut self,
+        client: ClientId,
+        desc_id: DescriptorId,
+    ) -> FetchOutcome {
         // Establish the entry guard.
         self.clients[client.0]
             .guards
             .maintain(&self.consensus, self.time, &mut self.rng);
-        let Some(guard) = self.clients[client.0].guards.pick(&self.consensus, &mut self.rng)
+        let Some(guard) = self.clients[client.0]
+            .guards
+            .pick(&self.consensus, &mut self.rng)
         else {
             return FetchOutcome::NoCircuit;
         };
@@ -379,9 +387,7 @@ impl Network {
                 if let Some((onion, sig)) = self.signature_for(desc_id) {
                     let cells = sig.encode_response(3);
                     // The guard inspects cells flowing toward the client.
-                    if self.relays[guard.0].operator != Operator::Honest
-                        && sig.matches(&cells)
-                    {
+                    if self.relays[guard.0].operator != Operator::Honest && sig.matches(&cells) {
                         self.guard_observations.push(GuardObservation {
                             time: self.time,
                             guard,
@@ -577,7 +583,7 @@ impl NetworkBuilder {
             guard_observations: Vec::new(),
             slot_hours: HashMap::new(),
             coverage_recorded_hour: None,
-            rng: StdRng::seed_from_u64(self.seed ^ 0xc11e_77_5eed),
+            rng: StdRng::seed_from_u64(self.seed ^ 0x00c1_1e77_5eed),
         }
     }
 }

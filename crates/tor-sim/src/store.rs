@@ -57,8 +57,7 @@ impl DescriptorStore {
 
     /// Drops descriptors published more than 24 h before `now`.
     pub fn expire(&mut self, now: SimTime) {
-        self.descriptors
-            .retain(|_, d| now.since(d.published) < DAY);
+        self.descriptors.retain(|_, d| now.since(d.published) < DAY);
     }
 
     /// Number of stored descriptors.
@@ -134,7 +133,11 @@ mod tests {
     fn desc(seed: &[u8], published: SimTime) -> StoredDescriptor {
         let onion = OnionAddress::from_pubkey(seed);
         let [id, _] = DescriptorId::pair_at(onion, published.unix());
-        StoredDescriptor { descriptor_id: id, onion, published }
+        StoredDescriptor {
+            descriptor_id: id,
+            onion,
+            published,
+        }
     }
 
     #[test]
@@ -182,8 +185,16 @@ mod tests {
         assert!(log.is_empty());
         let onion = OnionAddress::from_pubkey(b"q");
         let [id, _] = DescriptorId::pair_at(onion, t.unix());
-        log.record(RequestRecord { time: t, descriptor_id: id, found: false });
-        log.record(RequestRecord { time: t + 60, descriptor_id: id, found: true });
+        log.record(RequestRecord {
+            time: t,
+            descriptor_id: id,
+            found: false,
+        });
+        log.record(RequestRecord {
+            time: t + 60,
+            descriptor_id: id,
+            found: true,
+        });
         assert_eq!(log.len(), 2);
         assert!(!log.records()[0].found);
         let drained = log.take();

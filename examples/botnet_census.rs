@@ -12,7 +12,10 @@ use hs_landscape::tor_sim::clock::SimTime;
 use hs_landscape::tor_sim::network::NetworkBuilder;
 
 fn main() {
-    let world = World::generate(WorldConfig { seed: 0xb07, scale: 0.1 });
+    let world = World::generate(WorldConfig {
+        seed: 0xb07,
+        scale: 0.1,
+    });
     let mut net = NetworkBuilder::new()
         .relays(300)
         .seed(0xb07)
@@ -23,14 +26,21 @@ fn main() {
 
     // Scan everything, count the 55080 oracle hits.
     let targets: Vec<_> = world.services().iter().map(|s| s.onion).collect();
-    let report = Scanner::new(ScanConfig { days: 4, ..ScanConfig::default() })
-        .run(&mut net, &world, &targets);
+    let report = Scanner::new(ScanConfig {
+        days: 4,
+        ..ScanConfig::default()
+    })
+    .run(&mut net, &world, &targets);
 
     println!(
         "Skynet census: {} infected machines detected via the abnormal \
          port-55080 reply (ground truth: {}).",
         report.skynet_count,
-        world.services().iter().filter(|s| s.is_skynet_bot()).count()
+        world
+            .services()
+            .iter()
+            .filter(|s| s.is_skynet_bot())
+            .count()
     );
 
     // Goldnet: probe the C&C front ends and group them by the Apache

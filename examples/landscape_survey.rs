@@ -10,7 +10,10 @@ use hs_landscape::hs_world::{service::SKYNET_PORT, World, WorldConfig};
 use hs_landscape::onion_crypto::OnionAddress;
 
 fn main() {
-    let world = World::generate(WorldConfig { seed: 0x5c0, scale: 0.2 });
+    let world = World::generate(WorldConfig {
+        seed: 0x5c0,
+        scale: 0.2,
+    });
 
     // Perfect-coverage destination list (the scan's output at 100 %).
     let destinations: Vec<(OnionAddress, u16)> = world

@@ -35,10 +35,7 @@ fn main() {
             SimTime::from_ymd(start.0, start.1, start.2),
             SimTime::from_ymd(end.0, end.1, end.2),
         );
-        println!(
-            "\n{label}: mean ring size {:.0}",
-            analysis.mean_hsdirs,
-        );
+        println!("\n{label}: mean ring size {:.0}", analysis.mean_hsdirs,);
         let trackers = analysis.trackers();
         if trackers.is_empty() {
             println!("  no clear indication of tracking");

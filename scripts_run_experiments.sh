@@ -1,7 +1,18 @@
 #!/bin/sh
 # Regenerates every paper artifact at the given scale and stores the
 # outputs under results/ (used to fill EXPERIMENTS.md).
+#
+#   sh scripts_run_experiments.sh          regenerate results/*.txt
+#   sh scripts_run_experiments.sh verify   formatting + lint gate only
 set -e
+if [ "${1:-}" = "verify" ]; then
+  echo "== cargo fmt --check"
+  cargo fmt --check
+  echo "== cargo clippy --workspace -- -D warnings"
+  cargo clippy --workspace -- -D warnings
+  echo "verify ok"
+  exit 0
+fi
 SCALE="${HS_SCALE:-0.25}"
 export HS_SCALE="$SCALE"
 mkdir -p results

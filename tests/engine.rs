@@ -1,0 +1,171 @@
+//! Pipeline-engine contracts: determinism, selective-run equivalence,
+//! and parallel/sequential equality.
+//!
+//! Artifacts are compared through their `Debug` rendering — every
+//! artifact type derives `Debug` over plain data, so equal renderings
+//! mean equal values field for field. The few `HashMap`-valued fields
+//! are rendered through [`sorted_map`] first, because identical maps
+//! print in different iteration orders.
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+
+use hs_landscape::hs_harvest::HarvestOutcome;
+use hs_landscape::hs_popularity::ResolutionReport;
+use hs_landscape::pipeline::{ExecMode, Pipeline, StageId};
+use hs_landscape::{Study, StudyConfig, StudyReport};
+
+fn config() -> StudyConfig {
+    StudyConfig::test_scale()
+}
+
+/// Canonical (key-sorted) rendering of a hash map.
+fn sorted_map<K: Ord + Debug, V: Debug>(map: &HashMap<K, V>) -> String {
+    let mut entries: Vec<(&K, &V)> = map.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    format!("{entries:?}")
+}
+
+fn harvest_fingerprint(h: &HarvestOutcome) -> String {
+    format!(
+        "{:?}|{:?}|{}|{:?}|{}|{}",
+        h.onions,
+        h.requests,
+        sorted_map(&h.slot_hours),
+        h.fleet_relays,
+        h.waves,
+        h.hours
+    )
+}
+
+fn resolution_fingerprint(r: &ResolutionReport) -> String {
+    format!(
+        "{}|{}|{}|{}|{}|{}",
+        r.total_requests,
+        r.unique_desc_ids,
+        r.resolved_desc_ids,
+        r.resolved_onions,
+        sorted_map(&r.requests_per_onion),
+        r.unresolved_requests
+    )
+}
+
+/// Everything measured, minus the wall-clock timings (which are never
+/// equal across runs).
+fn fingerprint(r: &StudyReport) -> String {
+    format!(
+        "{}|{:?}|{:?}|{:?}|{}|{:?}|{}|{:?}|{:?}|{:?}",
+        harvest_fingerprint(&r.harvest),
+        r.scan,
+        r.certs,
+        r.crawl,
+        resolution_fingerprint(&r.resolution),
+        r.ranking,
+        sorted_map(&r.forensics.groups),
+        r.requested_published_share,
+        r.deanon,
+        r.tracking,
+    )
+}
+
+#[test]
+fn same_seed_same_artifacts() {
+    let a = Study::new(config()).run();
+    let b = Study::new(config()).run();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn parallel_equals_sequential() {
+    let par = Study::new(config()).run();
+    let seq = Study::new(config()).run_sequential();
+    assert_eq!(fingerprint(&par), fingerprint(&seq));
+    // Both executed the same stages.
+    let ran = |r: &StudyReport| -> Vec<StageId> {
+        let mut s: Vec<StageId> = r.stages.executed.iter().map(|t| t.stage).collect();
+        s.sort();
+        s
+    };
+    assert_eq!(ran(&par), ran(&seq));
+}
+
+#[test]
+fn run_until_matches_full_run() {
+    let study = Study::new(config());
+    let full = study.run();
+    // PortScan closure: setup → harvest → port_scan, nothing else.
+    let scan_only = study.run_until(StageId::PortScan);
+    assert_eq!(
+        format!("{:?}", scan_only.artifacts.scan()),
+        format!("{:?}", full.scan),
+        "selective scan differs from full-run scan"
+    );
+    assert_eq!(
+        harvest_fingerprint(scan_only.artifacts.harvest()),
+        harvest_fingerprint(&full.harvest),
+        "selective harvest differs from full-run harvest"
+    );
+    // Geomap closure takes the deanon-window branch instead.
+    let geomap_only = study.run_until(StageId::Geomap);
+    assert_eq!(
+        format!("{:?}", geomap_only.artifacts.deanon()),
+        format!("{:?}", full.deanon),
+        "selective deanon report differs from full-run report"
+    );
+}
+
+#[test]
+fn selective_run_skips_unneeded_stages() {
+    let run = Study::new(config()).run_until(StageId::PortScan);
+    let executed: Vec<StageId> = run.timings.executed.iter().map(|t| t.stage).collect();
+    assert_eq!(
+        executed,
+        vec![StageId::Setup, StageId::Harvest, StageId::PortScan]
+    );
+    for skipped in [
+        StageId::DeanonWindow,
+        StageId::Geomap,
+        StageId::Certs,
+        StageId::Crawl,
+        StageId::Popularity,
+        StageId::Tracking,
+    ] {
+        assert!(run.timings.skipped(skipped), "{skipped} should be skipped");
+    }
+}
+
+#[test]
+fn stage_counters_reflect_artifacts() {
+    let run = Study::new(config()).run_until(StageId::PortScan);
+    let harvest = run.timings.stage(StageId::Harvest).unwrap();
+    assert_eq!(
+        harvest.counter("descriptors"),
+        Some(run.artifacts.harvest().onion_count() as u64)
+    );
+    let scan = run.timings.stage(StageId::PortScan).unwrap();
+    assert_eq!(
+        scan.counter("open_ports"),
+        Some(u64::from(run.artifacts.scan().total_open()))
+    );
+}
+
+#[test]
+fn deanon_target_is_looked_up_from_world() {
+    // The hard-coded Goldnet label is gone: the engine asks the world
+    // for its top front end, which at any seed is a planted Goldnet
+    // C&C service.
+    let run = Pipeline::new(config()).run(&[StageId::DeanonWindow], ExecMode::Parallel);
+    let target = run.artifacts.deanon_window().target;
+    let service = run
+        .artifacts
+        .world()
+        .services()
+        .iter()
+        .find(|s| s.onion == target)
+        .expect("target exists in world");
+    assert!(
+        matches!(service.role, hs_landscape::hs_world::Role::GoldnetCc { .. }),
+        "target {target} is not a Goldnet front end: {:?}",
+        service.role
+    );
+}

@@ -145,7 +145,10 @@ fn e8_sec5_stats() {
     // Roughly two descriptor IDs (replicas) per resolved onion.
     let ids_per_onion =
         r.resolution.resolved_desc_ids as f64 / r.resolution.resolved_onions.max(1) as f64;
-    assert!((1.2..4.1).contains(&ids_per_onion), "ids/onion {ids_per_onion}");
+    assert!(
+        (1.2..4.1).contains(&ids_per_onion),
+        "ids/onion {ids_per_onion}"
+    );
 }
 
 /// E9/Table II — Goldnet tops the ranking; Skynet cluster in the upper
@@ -157,7 +160,10 @@ fn e9_table2_shape() {
     let goldnet_in_top5 = top5.iter().filter(|row| row.label == "Goldnet").count();
     assert!(goldnet_in_top5 >= 3, "goldnet rows in top5: {top5:?}");
 
-    let silkroad = r.ranking.rank_of_label("SilkRoad").expect("silkroad ranked");
+    let silkroad = r
+        .ranking
+        .rank_of_label("SilkRoad")
+        .expect("silkroad ranked");
     // At small scales DuckDuckGo's Poisson rate (55 × scale per 2 h) can
     // round to zero observed requests; when present it must rank far
     // below Silk Road, as in the paper (#157 vs #18).
@@ -213,7 +219,10 @@ fn e12_tracking_three_campaigns() {
     assert!(
         y1.trackers().is_empty(),
         "year-1 trackers: {:?}",
-        y1.trackers().iter().map(|t| &t.nicknames).collect::<Vec<_>>()
+        y1.trackers()
+            .iter()
+            .map(|t| &t.nicknames)
+            .collect::<Vec<_>>()
     );
 
     let y2 = det.analyse(

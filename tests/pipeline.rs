@@ -104,8 +104,16 @@ fn study_is_deterministic() {
 
 #[test]
 fn seed_changes_world() {
-    let a = Study::new(StudyConfig { seed: 1, ..StudyConfig::test_scale() }).run();
-    let b = Study::new(StudyConfig { seed: 2, ..StudyConfig::test_scale() }).run();
+    let a = Study::new(StudyConfig {
+        seed: 1,
+        ..StudyConfig::test_scale()
+    })
+    .run();
+    let b = Study::new(StudyConfig {
+        seed: 2,
+        ..StudyConfig::test_scale()
+    })
+    .run();
     // Planted entities are identical, but the bulk population differs.
     let onions_a: std::collections::BTreeSet<_> =
         a.world.services().iter().map(|s| s.onion).collect();

@@ -125,15 +125,39 @@ fn shadow_relay_flaw_end_to_end() {
     let mut rng = StdRng::seed_from_u64(123);
     let ip = Ipv4::new(198, 18, 9, 9);
     // Three relays, one IP, descending bandwidth.
-    let fast = net.add_relay("a", ip, 9001, SimIdentity::generate(&mut rng), 300, Operator::Harvester);
-    let mid = net.add_relay("b", ip, 9002, SimIdentity::generate(&mut rng), 200, Operator::Harvester);
-    let shadow = net.add_relay("c", ip, 9003, SimIdentity::generate(&mut rng), 100, Operator::Harvester);
+    let fast = net.add_relay(
+        "a",
+        ip,
+        9001,
+        SimIdentity::generate(&mut rng),
+        300,
+        Operator::Harvester,
+    );
+    let mid = net.add_relay(
+        "b",
+        ip,
+        9002,
+        SimIdentity::generate(&mut rng),
+        200,
+        Operator::Harvester,
+    );
+    let shadow = net.add_relay(
+        "c",
+        ip,
+        9003,
+        SimIdentity::generate(&mut rng),
+        100,
+        Operator::Harvester,
+    );
 
     net.advance_hours(26);
     let c = net.consensus();
     assert!(c.entry(net.relay(fast).fingerprint()).is_some());
     assert!(c.entry(net.relay(mid).fingerprint()).is_some());
-    assert!(c.entry(net.relay(shadow).fingerprint()).is_none(), "third relay shadowed");
+    assert!(
+        c.entry(net.relay(shadow).fingerprint()).is_none(),
+        "third relay shadowed"
+    );
 
     // Shadowing move: burn one active relay.
     net.relay_mut(fast).reachable = false;
@@ -158,7 +182,10 @@ fn shadow_relay_flaw_end_to_end() {
         Operator::Honest,
     );
     net.advance_hours(1);
-    let entry = net.consensus().entry(net.relay(fresh).fingerprint()).unwrap();
+    let entry = net
+        .consensus()
+        .entry(net.relay(fresh).fingerprint())
+        .unwrap();
     assert!(!entry.flags.contains(RelayFlags::HSDIR));
 }
 

@@ -1,0 +1,273 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of the criterion API the workspace's benches
+//! use (`Criterion`, groups, `Bencher::iter*`, the two macros) as a
+//! plain wall-clock harness: each benchmark is timed over a fixed
+//! number of batches and the per-iteration mean and best batch are
+//! printed. No statistics, plots, or baselines — just numbers stable
+//! enough to spot order-of-magnitude regressions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation (printed alongside the timing).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark identifier within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id naming only the parameter (`group/param`).
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{param}", function.into()),
+        }
+    }
+}
+
+/// Times closures handed to it by a benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, called repeatedly.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up and calibration: target ~20ms per sample batch.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let per_batch =
+            (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        self.iters_per_sample = per_batch;
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Times `routine`, rebuilding its input with `setup` outside the
+    /// timed section.
+    pub fn iter_with_setup<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+    ) {
+        self.iters_per_sample = 1;
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let iters = self.iters_per_sample.max(1);
+        let per_iter = |d: &Duration| d.as_nanos() as f64 / iters as f64;
+        let best = self
+            .samples
+            .iter()
+            .map(per_iter)
+            .fold(f64::INFINITY, f64::min);
+        let mean = self.samples.iter().map(per_iter).sum::<f64>() / self.samples.len() as f64;
+        let thr = match throughput {
+            Some(Throughput::Bytes(b)) => {
+                format!(
+                    "  {:>8.1} MiB/s",
+                    b as f64 / (best * 1e-9) / (1024.0 * 1024.0)
+                )
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>8.1} Melem/s", n as f64 / (best * 1e-9) / 1e6)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{name:<40} mean {:>12}  best {:>12}{thr}",
+            fmt_ns(mean),
+            fmt_ns(best)
+        );
+    }
+}
+
+const SAMPLES: usize = 10;
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; this
+    /// harness always runs a fixed number of batches).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{id}", self.name), self.throughput);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.id), self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; printing is immediate).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name, None);
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+/// Prevents the optimiser from deleting a value (re-exported for
+/// criterion API compatibility).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_addition(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+    }
+
+    #[test]
+    fn harness_runs_a_bench() {
+        let mut c = Criterion::default();
+        bench_addition(&mut c);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Bytes(64));
+        group.bench_with_input(BenchmarkId::from_parameter(64), &64u64, |b, &n| {
+            b.iter(|| black_box(n) * 2)
+        });
+        group.bench_function("setup", |b| {
+            b.iter_with_setup(|| vec![1u8; 16], |v| v.len())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,263 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of proptest the workspace's property tests
+//! use: the [`proptest!`] macro, [`prelude::any`], integer-range
+//! strategies, [`collection::vec`] / [`collection::hash_set`], and the
+//! `prop_assert*` macros. Each test runs a fixed number of
+//! deterministically seeded cases (no shrinking — a failing case
+//! prints its index and seed so it can be replayed).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Cases run per property.
+pub const CASES: u32 = 64;
+
+/// A generator of random values for one test case.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Uniform strategy over a half-open integer range (`0u64..1000`).
+impl<T: rand::SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.start..self.end)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Samples one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.random::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_prim!(u8, u16, u32, u64, usize, bool);
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let mut out = [0u8; N];
+        rng.fill(&mut out);
+        out
+    }
+}
+
+/// Strategy produced by [`prelude::any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec<T>` of `size`-many elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.random_range(self.size.start..self.size.end);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<T>` with a cardinality drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `HashSet<T>` of `size`-many distinct elements from `element`.
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let want = rng.random_range(self.size.start..self.size.end);
+            let mut out = HashSet::with_capacity(want);
+            // Bounded retry loop: for the sparse domains used in the
+            // tests (byte arrays, wide integers) collisions are rare.
+            let mut attempts = 0;
+            while out.len() < want && attempts < want * 100 + 100 {
+                out.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] expansion.
+pub mod test_runner {
+    use super::*;
+
+    /// Deterministic per-test RNG: seeded from the test's name so every
+    /// run (and every machine) exercises the same cases.
+    pub fn rng_for(test_name: &str, case: u32) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        StdRng::seed_from_u64(h ^ (u64::from(case) << 32))
+    }
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Any, Arbitrary, Strategy};
+
+    /// Strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` body
+/// runs [`CASES`] times over deterministically seeded inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for case in 0..$crate::CASES {
+                    let mut proptest_rng =
+                        $crate::test_runner::rng_for(stringify!($name), case);
+                    $(
+                        let $arg = $crate::Strategy::sample(&($strat), &mut proptest_rng);
+                    )*
+                    // Inputs are printed only on panic, via the case id.
+                    let result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest {}: failing case {case} (deterministic; rerun reproduces it)",
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn vec_lengths_respect_bounds(data in collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!((2..9).contains(&data.len()));
+        }
+
+        #[test]
+        fn hash_sets_reach_requested_cardinality(
+            s in collection::hash_set(any::<[u8; 20]>(), 3..10),
+        ) {
+            prop_assert!((3..10).contains(&s.len()));
+        }
+
+        #[test]
+        fn ranges_sample_in_bounds(n in 5usize..50, w in 0u64..1000) {
+            prop_assert!((5..50).contains(&n));
+            prop_assert!(w < 1000);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..5)
+            .map(|c| {
+                let mut rng = crate::test_runner::rng_for("x", c);
+                crate::Strategy::sample(&(0u64..1_000_000), &mut rng)
+            })
+            .collect();
+        let b: Vec<u64> = (0..5)
+            .map(|c| {
+                let mut rng = crate::test_runner::rng_for("x", c);
+                crate::Strategy::sample(&(0u64..1_000_000), &mut rng)
+            })
+            .collect();
+        assert_eq!(a, b);
+    }
+}

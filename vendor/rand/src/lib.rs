@@ -1,0 +1,307 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements exactly the subset of the `rand` API the workspace
+//! uses: [`Rng`]/[`RngExt`], [`SeedableRng`], [`rngs::StdRng`] and
+//! [`seq::SliceRandom`]. The generator is xoshiro256** seeded through
+//! SplitMix64 — deterministic, portable, and statistically strong
+//! enough for every calibration band in the test suite.
+//!
+//! It is *not* a cryptographic RNG and must never be used as one; the
+//! simulation only needs reproducible pseudo-randomness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Bound, RangeBounds};
+
+/// A source of random 64-bit words.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types producible uniformly at random from an RNG.
+pub trait Random: Sized {
+    /// Samples one uniformly distributed value.
+    fn random_from(rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl Random for f64 {
+    fn random_from(rng: &mut dyn FnMut() -> u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random_from(rng: &mut dyn FnMut() -> u64) -> Self {
+        (rng() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Random for bool {
+    fn random_from(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng() & 1 == 1
+    }
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random_from(rng: &mut dyn FnMut() -> u64) -> Self {
+                rng() as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types samplable uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[lo, hi]` (both inclusive).
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut dyn FnMut() -> u64) -> Self;
+    /// The value immediately below `hi`, for converting exclusive
+    /// upper bounds; panics on an empty range.
+    fn down_one(hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive(lo: Self, hi: Self, rng: &mut dyn FnMut() -> u64) -> Self {
+                debug_assert!(lo <= hi, "empty sample range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full 64-bit (or wider) span: every word is valid.
+                    return rng() as $t;
+                }
+                // Widening multiply maps the 64-bit word onto the span
+                // without the low-bit bias of a bare modulo.
+                let hi64 = ((rng() as u128 * span) >> 64) as u64;
+                lo.wrapping_add(hi64 as $t)
+            }
+            fn down_one(hi: Self) -> Self {
+                hi.checked_sub(1).expect("empty sample range")
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Convenience sampling methods, blanket-implemented for every
+/// [`Rng`]. Kept separate from the core trait so call sites can import
+/// either name (mirroring the upstream `Rng`/`RngExt` split).
+pub trait RngExt: Rng {
+    /// Samples a uniformly distributed value of `T`.
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        let mut f = || self.next_u64();
+        T::random_from(&mut f)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn random_range<T: SampleUniform, R: RangeBounds<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        let lo = match range.start_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(_) | Bound::Unbounded => {
+                panic!("random_range requires an included lower bound")
+            }
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => T::down_one(v),
+            Bound::Unbounded => panic!("random_range requires a bounded range"),
+        };
+        assert!(lo <= hi, "random_range called with an empty range");
+        let mut f = || self.next_u64();
+        T::sample_inclusive(lo, hi, &mut f)
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Construction of seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** with a
+    /// SplitMix64-expanded seed.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{Rng, RngExt};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+        /// Returns one uniformly chosen element, or `None` when empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<f64>().to_bits(), b.random::<f64>().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random::<u64>()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random::<u64>()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_centered() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        for _ in 0..100 {
+            let v = rng.random_range(3..=5u8);
+            assert!((3..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        rng.fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "shuffle left the slice untouched");
+    }
+}
