@@ -45,6 +45,27 @@ fn bench_publish_round(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_publish_round_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rounds");
+    group.sample_size(20);
+    // A persistent network, so after the first round every service's
+    // descriptor-ID pair is answered from the per-period cache — the
+    // steady state the harvest/scan stages actually run in.
+    let mut net = NetworkBuilder::new()
+        .relays(300)
+        .seed(8)
+        .start(SimTime::from_ymd(2013, 2, 1))
+        .build();
+    for i in 0..500u32 {
+        net.register_service(OnionAddress::from_pubkey(&i.to_be_bytes()), true);
+    }
+    net.advance_hours(1);
+    group.bench_function("hourly_round_500svc_warm", |b| {
+        b.iter(|| net.advance_hours(1));
+    });
+    group.finish();
+}
+
 fn bench_client_fetch(c: &mut Criterion) {
     let mut net = NetworkBuilder::new()
         .relays(300)
@@ -60,5 +81,11 @@ fn bench_client_fetch(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_vote, bench_publish_round, bench_client_fetch);
+criterion_group!(
+    benches,
+    bench_vote,
+    bench_publish_round,
+    bench_publish_round_warm,
+    bench_client_fetch
+);
 criterion_main!(benches);

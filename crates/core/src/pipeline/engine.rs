@@ -23,7 +23,7 @@ use std::time::Instant;
 
 use onion_crypto::onion::OnionAddress;
 use tor_sim::clock::SimTime;
-use tor_sim::network::NetworkBuilder;
+use tor_sim::network::{HotPathCounters, NetworkBuilder};
 
 use hs_content::{CertSurvey, Crawler};
 use hs_deanon::{DeanonAttack, GeoMap};
@@ -73,6 +73,16 @@ pub struct Pipeline {
 }
 
 type Counters = Vec<(&'static str, u64)>;
+
+/// Appends the network hot-path work done during a sim stage, so cache
+/// behaviour (and any determinism drift in it) is visible per stage in
+/// `bench_stages.json`.
+fn push_hot(counters: &mut Counters, hot: HotPathCounters) {
+    counters.push(("sha1_digests", hot.sha1_digests));
+    counters.push(("desc_cache_hits", hot.desc_cache_hits));
+    counters.push(("desc_cache_misses", hot.desc_cache_misses));
+    counters.push(("fetches", hot.fetches));
+}
 
 /// The value an analysis stage hands back to the joiner.
 enum AnalysisOut {
@@ -195,11 +205,12 @@ impl Pipeline {
                 seed: stage_seed(cfg.seed, SeedDomain::Traffic),
             },
         );
-        let counters = vec![
+        let mut counters = vec![
             ("relays", cfg.relays as u64),
             ("services", world.services().len() as u64),
             ("traffic_clients", traffic.clients().len() as u64),
         ];
+        push_hot(&mut counters, net.hot_counters());
         store.world = Some(world);
         store.geo = Some(geo);
         store.attacker_guards = Some(attacker_guards);
@@ -212,16 +223,18 @@ impl Pipeline {
     fn sim_harvest(&self, store: &mut ArtifactStore) -> Counters {
         let mut net = store.net_setup().clone();
         let mut traffic = store.traffic_setup().clone();
+        let hot0 = net.hot_counters();
         let harvester = Harvester::new(self.cfg.harvest.clone());
         let harvest = harvester.run(&mut net, |net| {
             traffic.tick_hour(net);
         });
-        let counters = vec![
+        let mut counters = vec![
             ("descriptors", harvest.onion_count() as u64),
             ("requests_logged", harvest.requests.len() as u64),
             ("waves", u64::from(harvest.waves)),
             ("hours", harvest.hours),
         ];
+        push_hot(&mut counters, net.hot_counters().since(hot0));
         store.harvest = Some(harvest);
         store.net_harvest = Some(net);
         store.traffic_harvest = Some(traffic);
@@ -236,6 +249,7 @@ impl Pipeline {
         let cfg = &self.cfg;
         let mut net = store.net_harvest().clone();
         let mut traffic = store.traffic_harvest().clone();
+        let hot0 = net.hot_counters();
         // The paper attacked one of the Goldnet front ends; ask the
         // generated world which service that is instead of hard-coding
         // an address.
@@ -257,10 +271,11 @@ impl Pipeline {
         }
         let observations = net.take_guard_observations();
         let expected_rate = attack.expected_catch_rate(&net);
-        let counters = vec![
+        let mut counters = vec![
             ("hours", cfg.deanon_hours),
             ("observations", observations.len() as u64),
         ];
+        push_hot(&mut counters, net.hot_counters().since(hot0));
         store.deanon_window = Some(DeanonWindowOut {
             target,
             observations,
@@ -273,16 +288,18 @@ impl Pipeline {
     /// network.
     fn sim_port_scan(&self, store: &mut ArtifactStore) -> Counters {
         let mut net = store.net_harvest().clone();
+        let hot0 = net.hot_counters();
         let scanner = Scanner::new(ScanConfig {
             days: self.cfg.scan_days,
             ..ScanConfig::default()
         });
         let scan = scanner.run(&mut net, store.world(), &store.harvest().onions);
-        let counters = vec![
+        let mut counters = vec![
             ("targets", scan.targets as u64),
             ("probes_scheduled", scan.probes_scheduled),
             ("open_ports", u64::from(scan.total_open())),
         ];
+        push_hot(&mut counters, net.hot_counters().since(hot0));
         store.scan = Some(scan);
         counters
     }

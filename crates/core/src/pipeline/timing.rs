@@ -58,6 +58,12 @@ impl PipelineTimings {
         self.executed.iter().map(|t| t.wall).sum()
     }
 
+    /// Sums a counter across every executed stage that reports it
+    /// (e.g. `"sha1_digests"` over the sim stages).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.executed.iter().filter_map(|t| t.counter(name)).sum()
+    }
+
     /// Machine-readable JSON (hand-rolled; the workspace carries no
     /// serde). Stage names and counter names are static identifiers, so
     /// no escaping is required.
@@ -128,6 +134,8 @@ mod tests {
         assert!(t.skipped(StageId::Tracking));
         assert!(!t.skipped(StageId::Harvest));
         assert_eq!(t.total_wall(), Duration::from_micros(21_500));
+        assert_eq!(t.counter_total("services"), 400);
+        assert_eq!(t.counter_total("absent"), 0);
     }
 
     #[test]

@@ -257,6 +257,17 @@ pub fn render_stage_timings(timings: &PipelineTimings) -> String {
     for s in &timings.skipped {
         let _ = writeln!(out, "{:<14}    skipped", s.name());
     }
+    let sha1 = timings.counter_total("sha1_digests");
+    let hits = timings.counter_total("desc_cache_hits");
+    let misses = timings.counter_total("desc_cache_misses");
+    let fetches = timings.counter_total("fetches");
+    if hits + misses > 0 {
+        let _ = writeln!(
+            out,
+            "hot path: {sha1} SHA-1 digests, desc cache {hits} hits / {misses} misses ({:.1}% hit rate), {fetches} fetches",
+            100.0 * hits as f64 / (hits + misses) as f64
+        );
+    }
     out
 }
 
@@ -281,5 +292,6 @@ mod tests {
         let stages = render_stage_timings(&report.stages);
         assert!(stages.contains("harvest"), "{stages}");
         assert!(stages.contains("skipped"), "{stages}");
+        assert!(stages.contains("hot path:"), "{stages}");
     }
 }

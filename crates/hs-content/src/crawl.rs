@@ -78,14 +78,16 @@ impl CrawlReport {
         rows
     }
 
-    /// Language histogram over classified pages, descending.
+    /// Language histogram over classified pages, descending (ties in
+    /// declaration order, so same-seed runs render identically — the
+    /// counts come out of a `HashMap` whose iteration order is not).
     pub fn language_histogram(&self) -> Vec<(Language, u32)> {
         let mut counts: HashMap<Language, u32> = HashMap::new();
         for p in &self.classified {
             *counts.entry(p.language).or_insert(0) += 1;
         }
         let mut rows: Vec<_> = counts.into_iter().collect();
-        rows.sort_by_key(|row| std::cmp::Reverse(row.1));
+        rows.sort_by_key(|&(lang, count)| (std::cmp::Reverse(count), lang));
         rows
     }
 

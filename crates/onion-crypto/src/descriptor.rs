@@ -75,8 +75,13 @@ impl TimePeriod {
     }
 
     /// The Unix timestamp at which this service's period began.
+    ///
+    /// Period 0 of a service with a nonzero `byte0` offset nominally
+    /// begins *before* the Unix epoch; the subtraction saturates to 0
+    /// instead of underflowing (`TimePeriod::at(0, id)` is period 0 for
+    /// every service, so the clamped start stays consistent with `at`).
     pub fn start_unix(self, id: PermanentId) -> u64 {
-        self.0 * TIME_PERIOD_SECS - u64::from(id.byte0()) * TIME_PERIOD_SECS / 256
+        (self.0 * TIME_PERIOD_SECS).saturating_sub(u64::from(id.byte0()) * TIME_PERIOD_SECS / 256)
     }
 
     /// The next period.
@@ -197,6 +202,22 @@ mod tests {
         assert_eq!(TimePeriod::at(start, id), p);
         assert_eq!(TimePeriod::at(start + TIME_PERIOD_SECS - 1, id), p);
         assert_eq!(TimePeriod::at(start + TIME_PERIOD_SECS, id).0, p.0 + 1);
+    }
+
+    #[test]
+    fn start_unix_saturates_at_epoch_boundary() {
+        // Period 0 of a service with a nonzero byte0 nominally starts
+        // before the epoch; the subtraction must clamp, not underflow.
+        let id_hi = PermanentId::from_bytes([0xff, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(TimePeriod::at(0, id_hi), TimePeriod(0));
+        assert_eq!(TimePeriod(0).start_unix(id_hi), 0);
+        // Later periods are unaffected by the clamp.
+        let start1 = TimePeriod(1).start_unix(id_hi);
+        assert_eq!(
+            start1,
+            TIME_PERIOD_SECS - u64::from(0xffu8) * TIME_PERIOD_SECS / 256
+        );
+        assert_eq!(TimePeriod::at(start1, id_hi), TimePeriod(1));
     }
 
     #[test]

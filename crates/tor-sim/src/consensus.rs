@@ -119,6 +119,32 @@ impl Consensus {
         self.hsdirs_after(desc_id.to_u160(), HSDIRS_PER_REPLICA)
     }
 
+    /// Allocation-free variant of [`Consensus::responsible_hsdirs`] for
+    /// the consensus-round and fetch hot paths: writes the responsible
+    /// relay handles into `out` and returns how many were filled
+    /// (fewer than `HSDIRS_PER_REPLICA` only on tiny rings, zero on an
+    /// empty ring). The filled prefix matches the `Vec` variant
+    /// entry-for-entry.
+    pub fn responsible_hsdirs_into(
+        &self,
+        desc_id: DescriptorId,
+        out: &mut [RelayId; HSDIRS_PER_REPLICA],
+    ) -> usize {
+        let n = self.hsdir_ring.len();
+        if n == 0 {
+            return 0;
+        }
+        let pos = desc_id.to_u160();
+        let start = self
+            .hsdir_ring
+            .partition_point(|&i| self.entries[i].fingerprint.to_u160() <= pos);
+        let count = HSDIRS_PER_REPLICA.min(n);
+        for (k, slot) in out.iter_mut().take(count).enumerate() {
+            *slot = self.entries[self.hsdir_ring[(start + k) % n]].relay;
+        }
+        count
+    }
+
     /// The first `count` HSDirs strictly after ring position `pos`.
     pub fn hsdirs_after(&self, pos: U160, count: usize) -> Vec<&ConsensusEntry> {
         let n = self.hsdir_ring.len();
@@ -218,6 +244,29 @@ mod tests {
             .collect();
         resp_dists.sort();
         assert_eq!(resp_dists, dists[..3].to_vec());
+    }
+
+    #[test]
+    fn responsible_into_matches_vec_variant() {
+        for ring in [1usize, 2, 10, 30] {
+            let c = tiny_consensus(ring);
+            for seed in 0..20u32 {
+                let desc = DescriptorId::from_digest(Sha1::digest(seed.to_be_bytes()));
+                let via_vec: Vec<RelayId> =
+                    c.responsible_hsdirs(desc).iter().map(|e| e.relay).collect();
+                let mut buf = [RelayId(usize::MAX); HSDIRS_PER_REPLICA];
+                let n = c.responsible_hsdirs_into(desc, &mut buf);
+                assert_eq!(&buf[..n], &via_vec[..], "ring {ring} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn responsible_into_empty_ring_fills_nothing() {
+        let c = Consensus::new(SimTime::EPOCH, Vec::new());
+        let desc = DescriptorId::from_digest(Sha1::digest(b"x"));
+        let mut buf = [RelayId(usize::MAX); HSDIRS_PER_REPLICA];
+        assert_eq!(c.responsible_hsdirs_into(desc, &mut buf), 0);
     }
 
     #[test]

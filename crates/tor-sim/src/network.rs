@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
 
-use onion_crypto::descriptor::{DescriptorId, Replica, TimePeriod};
+use onion_crypto::descriptor::{DescriptorId, Replica, TimePeriod, HSDIRS_PER_REPLICA, REPLICAS};
 use onion_crypto::identity::SimIdentity;
 use onion_crypto::onion::OnionAddress;
 
@@ -78,6 +78,37 @@ pub enum FetchOutcome {
     NoHsdirs,
 }
 
+/// Cumulative hot-path work counters, cheap enough to keep always-on.
+///
+/// The pipeline snapshots these around every stage and reports the
+/// deltas in `bench_stages.json`, so determinism drift in the hot path
+/// (cache misbehaviour, extra fetches) shows up as a counter diff even
+/// when wall-clock noise hides it.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct HotPathCounters {
+    /// SHA-1 finalisations performed for descriptor-ID computation
+    /// (each `DescriptorId::compute` costs two).
+    pub sha1_digests: u64,
+    /// Descriptor-ID pair lookups answered from the per-period cache.
+    pub desc_cache_hits: u64,
+    /// Lookups that had to recompute (first sight or period rotation).
+    pub desc_cache_misses: u64,
+    /// Client descriptor fetches attempted (per descriptor ID).
+    pub fetches: u64,
+}
+
+impl HotPathCounters {
+    /// Component-wise `self - earlier`: the work done since a snapshot.
+    pub fn since(self, earlier: HotPathCounters) -> HotPathCounters {
+        HotPathCounters {
+            sha1_digests: self.sha1_digests - earlier.sha1_digests,
+            desc_cache_hits: self.desc_cache_hits - earlier.desc_cache_hits,
+            desc_cache_misses: self.desc_cache_misses - earlier.desc_cache_misses,
+            fetches: self.fetches - earlier.fetches,
+        }
+    }
+}
+
 /// The simulated Tor network.
 ///
 /// # Examples
@@ -115,6 +146,20 @@ pub struct Network {
     /// into per-2 h rates.
     slot_hours: HashMap<OnionAddress, u64>,
     coverage_recorded_hour: Option<u64>,
+    /// Per-service descriptor-ID pair for the period it was computed in.
+    /// rend-spec-v2 IDs rotate once per (service-staggered) 24 h time
+    /// period, so a consensus round only needs fresh SHA-1 work for
+    /// services whose period just rolled over.
+    desc_cache: HashMap<OnionAddress, (TimePeriod, [DescriptorId; REPLICAS as usize])>,
+    /// Reverse index over armed signature targets: current descriptor
+    /// ID → onion, rebuilt lazily per target when its period rotates.
+    sig_index: HashMap<DescriptorId, OnionAddress>,
+    /// The period each armed target's `sig_index` entries were built for.
+    sig_periods: HashMap<OnionAddress, TimePeriod>,
+    hot: HotPathCounters,
+    /// Test hook: `false` forces the uncached reference path so the
+    /// cache can be validated against first-principles recomputation.
+    desc_cache_enabled: bool,
     rng: StdRng,
 }
 
@@ -221,6 +266,7 @@ impl Network {
     /// descriptor responses for that service will carry the signature.
     pub fn arm_signature(&mut self, onion: OnionAddress, signature: TrafficSignature) {
         self.signature_targets.insert(onion, signature);
+        self.index_signature_target(onion);
     }
 
     /// Registers a client at `ip` and returns its handle. Guard sets are
@@ -250,10 +296,15 @@ impl Network {
 
     /// Advances time by `hours`, running a consensus round, descriptor
     /// expiry and descriptor publication at every consensus interval.
+    ///
+    /// The final step is clamped to the requested target, so a
+    /// `consensus_interval` that does not divide the span never makes
+    /// `time` overshoot (and the error never compounds across calls).
     pub fn advance_hours(&mut self, hours: u64) {
         let target = self.time + hours * HOUR;
         while self.time < target {
-            self.time += self.consensus_interval;
+            let remaining = target.since(self.time);
+            self.time += self.consensus_interval.min(remaining);
             self.step();
         }
     }
@@ -270,51 +321,127 @@ impl Network {
             store.expire(self.time);
         }
         self.publish_descriptors();
+        self.refresh_signature_index();
     }
 
     /// Publishes both descriptor replicas of every online service to the
     /// currently responsible HSDirs, and records slot-hour coverage (at
     /// most once per hour) for logging relays.
+    ///
+    /// Descriptor IDs come from the per-period cache: only services
+    /// whose staggered 24 h period rolled over since the previous round
+    /// pay for fresh SHA-1 work.
     fn publish_descriptors(&mut self) {
         let now = self.time.unix();
+        let time = self.time;
         let hour = self.time.hours();
         let record_coverage = self.coverage_recorded_hour != Some(hour);
-        let mut uploads: Vec<(RelayId, StoredDescriptor)> = Vec::new();
-        let mut covered: Vec<(OnionAddress, u64)> = Vec::new();
-        for service in self.services.values() {
+        let Network {
+            services,
+            stores,
+            relays,
+            consensus,
+            slot_hours,
+            desc_cache,
+            hot,
+            desc_cache_enabled,
+            ..
+        } = &mut *self;
+        let mut responsible = [RelayId(usize::MAX); HSDIRS_PER_REPLICA];
+        for service in services.values() {
             if !service.online {
                 continue;
             }
-            let perm = service.onion.permanent_id();
-            let period = TimePeriod::at(now, perm);
+            let ids = pair_for(desc_cache, hot, *desc_cache_enabled, service.onion, now);
             let mut logging_slots = 0u64;
-            for replica in Replica::ALL {
-                let desc_id = DescriptorId::compute(perm, period, replica);
-                for entry in self.consensus.responsible_hsdirs(desc_id) {
-                    if self.relays[entry.relay.0].logging {
+            for desc_id in ids {
+                let n = consensus.responsible_hsdirs_into(desc_id, &mut responsible);
+                for &relay in &responsible[..n] {
+                    if relays[relay.0].logging {
                         logging_slots += 1;
                     }
-                    uploads.push((
-                        entry.relay,
-                        StoredDescriptor {
-                            descriptor_id: desc_id,
-                            onion: service.onion,
-                            published: self.time,
-                        },
-                    ));
+                    stores[relay.0].publish(StoredDescriptor {
+                        descriptor_id: desc_id,
+                        onion: service.onion,
+                        published: time,
+                    });
                 }
             }
             if record_coverage && logging_slots > 0 {
-                covered.push((service.onion, logging_slots));
+                *slot_hours.entry(service.onion).or_insert(0) += logging_slots;
             }
-        }
-        for (relay, desc) in uploads {
-            self.stores[relay.0].publish(desc);
         }
         if record_coverage {
             self.coverage_recorded_hour = Some(hour);
-            for (onion, slots) in covered {
-                *self.slot_hours.entry(onion).or_insert(0) += slots;
+        }
+    }
+
+    /// Re-indexes armed signature targets whose descriptor IDs rotated
+    /// since the last round; a no-op in the (usual) hours where no armed
+    /// target crosses a period boundary.
+    fn refresh_signature_index(&mut self) {
+        if !self.desc_cache_enabled {
+            return;
+        }
+        let now = self.time.unix();
+        let rotated: Vec<OnionAddress> = self
+            .signature_targets
+            .keys()
+            .copied()
+            .filter(|onion| {
+                self.sig_periods.get(onion) != Some(&TimePeriod::at(now, onion.permanent_id()))
+            })
+            .collect();
+        for onion in rotated {
+            self.index_signature_target(onion);
+        }
+    }
+
+    /// (Re)builds the reverse `DescriptorId → OnionAddress` entries for
+    /// one armed target at the current time.
+    fn index_signature_target(&mut self, onion: OnionAddress) {
+        if !self.desc_cache_enabled {
+            return;
+        }
+        self.sig_index.retain(|_, o| *o != onion);
+        for id in self.cached_pair(onion) {
+            self.sig_index.insert(id, onion);
+        }
+        let period = TimePeriod::at(self.time.unix(), onion.permanent_id());
+        self.sig_periods.insert(onion, period);
+    }
+
+    /// The service's current descriptor-ID pair, answered from the
+    /// per-period cache and recomputed only when the service's staggered
+    /// 24 h period rotates.
+    pub fn cached_pair(&mut self, onion: OnionAddress) -> [DescriptorId; REPLICAS as usize] {
+        pair_for(
+            &mut self.desc_cache,
+            &mut self.hot,
+            self.desc_cache_enabled,
+            onion,
+            self.time.unix(),
+        )
+    }
+
+    /// Cumulative hot-path work counters.
+    pub fn hot_counters(&self) -> HotPathCounters {
+        self.hot
+    }
+
+    /// Disables (or re-enables) the descriptor-ID cache, forcing the
+    /// uncached reference path: `pair_at` recomputation per lookup and a
+    /// linear scan in `signature_for`. Exists so tests can check the
+    /// cached fast path against first-principles recomputation.
+    pub fn set_desc_cache_enabled(&mut self, enabled: bool) {
+        self.desc_cache_enabled = enabled;
+        self.desc_cache.clear();
+        self.sig_index.clear();
+        self.sig_periods.clear();
+        if enabled {
+            let targets: Vec<OnionAddress> = self.signature_targets.keys().copied().collect();
+            for onion in targets {
+                self.index_signature_target(onion);
             }
         }
     }
@@ -343,6 +470,7 @@ impl Network {
         client: ClientId,
         desc_id: DescriptorId,
     ) -> FetchOutcome {
+        self.hot.fetches += 1;
         // Establish the entry guard.
         self.clients[client.0]
             .guards
@@ -354,21 +482,17 @@ impl Network {
             return FetchOutcome::NoCircuit;
         };
 
-        let responsible: Vec<RelayId> = self
-            .consensus
-            .responsible_hsdirs(desc_id)
-            .iter()
-            .map(|e| e.relay)
-            .collect();
-        if responsible.is_empty() {
+        let mut order = [RelayId(usize::MAX); HSDIRS_PER_REPLICA];
+        let n = self.consensus.responsible_hsdirs_into(desc_id, &mut order);
+        if n == 0 {
             return FetchOutcome::NoHsdirs;
         }
-
-        let mut order = responsible;
-        order.shuffle(&mut self.rng);
+        // Shuffling the filled prefix draws from the RNG exactly like
+        // shuffling the old `Vec` of the same length did.
+        order[..n].shuffle(&mut self.rng);
 
         let mut outcome = FetchOutcome::NotFound;
-        for hsdir in order {
+        for &hsdir in &order[..n] {
             let found = self.stores[hsdir.0].contains(desc_id);
             if self.relays[hsdir.0].logging {
                 self.logs[hsdir.0].record(RequestRecord {
@@ -405,7 +529,7 @@ impl Network {
     /// A client fetches the descriptor of a service by onion address:
     /// picks a replica at random, falls back to the other.
     pub fn client_fetch(&mut self, client: ClientId, onion: OnionAddress) -> FetchOutcome {
-        let mut ids = DescriptorId::pair_at(onion, self.time.unix());
+        let mut ids = self.cached_pair(onion);
         if self.rng.random::<bool>() {
             ids.swap(0, 1);
         }
@@ -451,7 +575,16 @@ impl Network {
         }
     }
 
+    /// Which armed target (if any) a served descriptor ID belongs to.
+    ///
+    /// The cached fast path is a single reverse-index lookup; with the
+    /// cache disabled this falls back to the original linear scan that
+    /// recomputes `pair_at` per armed target.
     fn signature_for(&self, desc_id: DescriptorId) -> Option<(OnionAddress, TrafficSignature)> {
+        if self.desc_cache_enabled {
+            let onion = *self.sig_index.get(&desc_id)?;
+            return Some((onion, self.signature_targets.get(&onion)?.clone()));
+        }
         let now = self.time.unix();
         for (&onion, sig) in &self.signature_targets {
             if DescriptorId::pair_at(onion, now).contains(&desc_id) {
@@ -460,6 +593,37 @@ impl Network {
         }
         None
     }
+}
+
+/// Descriptor-ID pair lookup against the per-period cache, free of
+/// `&mut self` so `publish_descriptors` can call it under a split
+/// borrow. With the cache disabled it recomputes every time (the test
+/// reference path) while still counting the SHA-1 work.
+fn pair_for(
+    desc_cache: &mut HashMap<OnionAddress, (TimePeriod, [DescriptorId; REPLICAS as usize])>,
+    hot: &mut HotPathCounters,
+    cache_enabled: bool,
+    onion: OnionAddress,
+    now_unix: u64,
+) -> [DescriptorId; REPLICAS as usize] {
+    let perm = onion.permanent_id();
+    let period = TimePeriod::at(now_unix, perm);
+    if cache_enabled {
+        if let Some(&(cached_period, ids)) = desc_cache.get(&onion) {
+            if cached_period == period {
+                hot.desc_cache_hits += 1;
+                return ids;
+            }
+        }
+        hot.desc_cache_misses += 1;
+    }
+    // Each DescriptorId::compute finalises two SHA-1s.
+    hot.sha1_digests += 2 * u64::from(REPLICAS);
+    let ids = Replica::ALL.map(|r| DescriptorId::compute(perm, period, r));
+    if cache_enabled {
+        desc_cache.insert(onion, (period, ids));
+    }
+    ids
 }
 
 /// Builder for [`Network`], seeding an initial honest relay population.
@@ -531,23 +695,41 @@ impl NetworkBuilder {
         self
     }
 
+    /// Sets the honest-relay bandwidth range in kB/s (heavy-tailed
+    /// between `min` and `max`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is zero or exceeds `max`.
+    pub fn bandwidth_range(mut self, min: u64, max: u64) -> Self {
+        assert!(
+            min >= 1 && min <= max,
+            "bandwidth range must satisfy 1 <= min <= max"
+        );
+        self.min_bandwidth = min;
+        self.max_bandwidth = max;
+        self
+    }
+
     /// Builds the network and votes the initial consensus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth range is invalid or the relay count
+    /// exceeds the honest IP space.
     pub fn build(self) -> Network {
+        assert!(
+            self.min_bandwidth >= 1 && self.min_bandwidth <= self.max_bandwidth,
+            "bandwidth range must satisfy 1 <= min <= max"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut relays = Vec::with_capacity(self.relays);
         for i in 0..self.relays {
             // Distinct public IPs for honest volunteers.
-            let ip = Ipv4::new(
-                51 + (i / (253 * 253)) as u8,
-                1 + ((i / 253) % 253) as u8,
-                1 + (i % 253) as u8,
-                1,
-            );
+            let ip = honest_relay_ip(i);
             // Heavy-tailed bandwidth: a few fast relays, many slow ones.
             let u: f64 = rng.random::<f64>();
-            let bw = (self.min_bandwidth as f64
-                * ((self.max_bandwidth / self.min_bandwidth.max(1)) as f64).powf(u * u))
-                as u64;
+            let bw = heavy_tail_bandwidth(self.min_bandwidth, self.max_bandwidth, u);
             let established = rng.random::<f64>() < self.established_fraction;
             let age_secs = if established {
                 rng.random_range(9 * DAY..120 * DAY)
@@ -561,7 +743,7 @@ impl NetworkBuilder {
                 ip,
                 9001,
                 identity,
-                bw.max(self.min_bandwidth),
+                bw,
                 self.start - age_secs,
             ));
         }
@@ -583,9 +765,37 @@ impl NetworkBuilder {
             guard_observations: Vec::new(),
             slot_hours: HashMap::new(),
             coverage_recorded_hour: None,
+            desc_cache: HashMap::new(),
+            sig_index: HashMap::new(),
+            sig_periods: HashMap::new(),
+            hot: HotPathCounters::default(),
+            desc_cache_enabled: true,
             rng: StdRng::seed_from_u64(self.seed ^ 0x00c1_1e77_5eed),
         }
     }
+}
+
+/// Deterministic distinct public IP for the `i`-th honest seed relay.
+///
+/// Walks 51.b.c.1 … 255.b.c.1 and then rolls the final octet, so the
+/// space holds ~3.3 billion relays; conversion is checked, so
+/// exhausting it panics instead of silently wrapping the first octet
+/// into colliding addresses (which would corrupt the 2-per-IP
+/// consensus rule).
+fn honest_relay_ip(i: usize) -> Ipv4 {
+    let block = i / (253 * 253);
+    let a = u8::try_from(51 + block % 205).expect("first octet stays within 51..=255");
+    let d = u8::try_from(1 + block / 205)
+        .unwrap_or_else(|_| panic!("relay index {i} exceeds the honest IP space"));
+    Ipv4::new(a, 1 + ((i / 253) % 253) as u8, 1 + (i % 253) as u8, d)
+}
+
+/// Heavy-tailed bandwidth draw in kB/s: `min * (max/min)^(u²)`, with
+/// the ratio taken in f64 so non-divisible ranges keep their tail
+/// (integer division used to truncate `max/min` before `powf`).
+fn heavy_tail_bandwidth(min: u64, max: u64, u: f64) -> u64 {
+    let ratio = max as f64 / min as f64;
+    ((min as f64 * ratio.powf(u * u)) as u64).max(min)
 }
 
 #[cfg(test)]
@@ -669,6 +879,7 @@ mod tests {
         let onion = OnionAddress::from_pubkey(b"rotating service");
         net.register_service(onion, true);
         net.advance_hours(1);
+        let pair_before = net.cached_pair(onion);
         let before: Vec<RelayId> = net
             .consensus()
             .responsible_for_service(onion, net.time().unix())
@@ -676,6 +887,7 @@ mod tests {
             .map(|e| e.relay)
             .collect();
         net.advance_hours(25);
+        let pair_after = net.cached_pair(onion);
         let after: Vec<RelayId> = net
             .consensus()
             .responsible_for_service(onion, net.time().unix())
@@ -683,9 +895,180 @@ mod tests {
             .map(|e| e.relay)
             .collect();
         assert_ne!(before, after, "responsible set rotates with the period");
+        assert_ne!(pair_before, pair_after, "cache invalidated on rotation");
+        // The cache must have re-filled at least once (rotation) on top
+        // of the initial miss, and answered the other rounds for free.
+        let hot = net.hot_counters();
+        assert!(hot.desc_cache_misses >= 2, "{hot:?}");
+        assert!(hot.desc_cache_hits > hot.desc_cache_misses, "{hot:?}");
+        assert_eq!(hot.sha1_digests, 4 * hot.desc_cache_misses, "{hot:?}");
         // And the descriptor is still fetchable after rotation.
         let client = net.add_client(Ipv4::new(9, 9, 9, 9));
         assert_eq!(net.client_fetch(client, onion), FetchOutcome::Found);
+    }
+
+    #[test]
+    fn advance_hours_clamps_to_target() {
+        let mut net = NetworkBuilder::new()
+            .relays(30)
+            .seed(3)
+            .start(SimTime::from_ymd(2013, 2, 1))
+            .consensus_interval(2 * HOUR)
+            .build();
+        let start = net.time();
+        // 2 h interval does not divide 5 h: the last step must clamp.
+        net.advance_hours(5);
+        assert_eq!(net.time().since(start), 5 * HOUR);
+        // And the error must not compound across calls.
+        net.advance_hours(5);
+        assert_eq!(net.time().since(start), 10 * HOUR);
+        net.advance_hours(1);
+        assert_eq!(net.time().since(start), 11 * HOUR);
+    }
+
+    #[test]
+    fn publish_round_caches_descriptor_ids() {
+        let mut net = small_net();
+        let onions: Vec<OnionAddress> = (0..10u8)
+            .map(|k| OnionAddress::from_pubkey(&[k, 1, 2]))
+            .collect();
+        for &o in &onions {
+            net.register_service(o, true);
+        }
+        net.advance_hours(1);
+        let h1 = net.hot_counters();
+        assert_eq!(h1.desc_cache_misses, 10, "{h1:?}");
+        assert_eq!(h1.desc_cache_hits, 0, "{h1:?}");
+        assert_eq!(h1.sha1_digests, 40, "two SHA-1s x two replicas x ten");
+        let t1 = net.time().unix();
+        net.advance_hours(1);
+        let t2 = net.time().unix();
+        // Only services whose staggered period rolled over may miss.
+        let rotated = onions
+            .iter()
+            .filter(|o| {
+                TimePeriod::at(t1, o.permanent_id()) != TimePeriod::at(t2, o.permanent_id())
+            })
+            .count() as u64;
+        let h2 = net.hot_counters().since(h1);
+        assert_eq!(h2.desc_cache_misses, rotated, "{h2:?}");
+        assert_eq!(h2.desc_cache_hits, 10 - rotated, "{h2:?}");
+        assert_eq!(h2.sha1_digests, 4 * rotated, "{h2:?}");
+    }
+
+    #[test]
+    fn cache_and_reference_paths_agree() {
+        let run = |cached: bool| {
+            let mut net = small_net();
+            net.set_desc_cache_enabled(cached);
+            let onion = OnionAddress::from_pubkey(b"equivalence svc");
+            net.register_service(onion, true);
+            net.arm_signature(onion, TrafficSignature::default());
+            for i in 0..net.relays().len() {
+                let r = net.relay_mut(RelayId(i));
+                r.operator = Operator::Harvester;
+                r.logging = true;
+            }
+            // Crosses a descriptor rotation, so the cache is exercised
+            // through an invalidation, not just warm hits.
+            net.advance_hours(30);
+            let client = net.add_client(Ipv4::new(9, 8, 7, 6));
+            let outcome = net.client_fetch(client, onion);
+            let log_lens: Vec<usize> = (0..net.relays().len())
+                .map(|i| net.request_log(RelayId(i)).len())
+                .collect();
+            (
+                outcome,
+                log_lens,
+                net.guard_observations().len(),
+                net.slot_hours(onion),
+                net.cached_pair(onion),
+            )
+        };
+        let fast = run(true);
+        let reference = run(false);
+        assert_eq!(fast, reference);
+        assert_eq!(fast.0, FetchOutcome::Found);
+        assert_eq!(fast.2, 1, "one observation through either path");
+    }
+
+    #[test]
+    fn revote_does_not_double_count_slot_hours() {
+        let mut net = small_net();
+        let onion = OnionAddress::from_pubkey(b"coverage svc");
+        net.register_service(onion, true);
+        for i in 0..net.relays().len() {
+            net.relay_mut(RelayId(i)).logging = true;
+        }
+        net.advance_hours(1);
+        let after_hour = net.slot_hours(onion);
+        assert_eq!(after_hour, 6, "all six responsible slots log");
+        // Extra votes within the already-recorded hour add nothing.
+        net.revote();
+        net.revote();
+        assert_eq!(net.slot_hours(onion), after_hour);
+        net.advance_hours(1);
+        assert_eq!(net.slot_hours(onion), after_hour + 6);
+    }
+
+    #[test]
+    fn signature_index_tracks_rotation() {
+        let mut net = small_net();
+        let onion = OnionAddress::from_pubkey(b"tracked svc");
+        net.register_service(onion, true);
+        for i in 0..net.relays().len() {
+            let r = net.relay_mut(RelayId(i));
+            r.operator = Operator::Harvester;
+            r.logging = true;
+        }
+        net.advance_hours(1);
+        // Arming after the round must index immediately (no step between
+        // arming and the first fetch).
+        net.arm_signature(onion, TrafficSignature::default());
+        let client = net.add_client(Ipv4::new(203, 0, 113, 9));
+        assert_eq!(net.client_fetch(client, onion), FetchOutcome::Found);
+        assert_eq!(net.guard_observations().len(), 1);
+        // After the target's descriptor rotation the re-indexed entries
+        // must still resolve the (new) served IDs.
+        net.advance_hours(25);
+        assert_eq!(net.client_fetch(client, onion), FetchOutcome::Found);
+        assert_eq!(net.guard_observations().len(), 2);
+    }
+
+    #[test]
+    fn honest_ips_unique_at_scale() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        // Sample across block boundaries, including where the old
+        // unchecked cast wrapped the first octet (i = 253·253·205).
+        let boundary = 253 * 253 * 205;
+        for i in (0..2_000)
+            .chain((253 * 253 - 100)..(253 * 253 + 100))
+            .chain((boundary - 100)..(boundary + 100))
+        {
+            assert!(seen.insert(honest_relay_ip(i)), "duplicate IP at {i}");
+        }
+    }
+
+    #[test]
+    fn heavy_tail_ratio_not_truncated() {
+        // 10/3 truncated to 3 under integer division, capping the tail
+        // at 9 instead of 10.
+        assert_eq!(heavy_tail_bandwidth(3, 10, 1.0), 10);
+        assert_eq!(heavy_tail_bandwidth(3, 10, 0.0), 3);
+        assert_eq!(heavy_tail_bandwidth(20, 10_000, 1.0), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth range")]
+    fn bandwidth_range_rejects_inverted() {
+        let _ = NetworkBuilder::new().bandwidth_range(100, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth range")]
+    fn bandwidth_range_rejects_zero_min() {
+        let _ = NetworkBuilder::new().bandwidth_range(0, 10);
     }
 
     #[test]

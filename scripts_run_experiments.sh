@@ -4,6 +4,7 @@
 #
 #   sh scripts_run_experiments.sh          regenerate results/*.txt
 #   sh scripts_run_experiments.sh verify   formatting + lint gate only
+#   sh scripts_run_experiments.sh bench    stage-timing run + baseline diff
 set -e
 if [ "${1:-}" = "verify" ]; then
   echo "== cargo fmt --check"
@@ -11,6 +12,49 @@ if [ "${1:-}" = "verify" ]; then
   echo "== cargo clippy --workspace -- -D warnings"
   cargo clippy --workspace -- -D warnings
   echo "verify ok"
+  exit 0
+fi
+if [ "${1:-}" = "bench" ]; then
+  # Regenerate results/bench_stages.json at the benchmark config and
+  # compare against the committed baseline: counters must match exactly
+  # (any drift means the sim hot path lost determinism), wall-clock of
+  # the three heavy sim stages only warns past a 20 % regression.
+  BASELINE=results/bench_stages_baseline.json
+  CURRENT=results/bench_stages.json
+  [ -f "$BASELINE" ] || { echo "missing $BASELINE"; exit 1; }
+  echo "== landscape study --scale 0.03 --seed 7"
+  cargo run --release -q -p hs-landscape --bin landscape -- study --scale 0.03 --seed 7 \
+    > results/bench_study.txt 2> results/bench_study.log
+  # Strip the wall_ms field, leaving one canonical line per stage.
+  strip_wall() {
+    sed 's/"wall_ms": [0-9.]*, //' "$1" | grep '"stage"'
+  }
+  strip_wall "$BASELINE" > /tmp/bench_baseline_counters.$$
+  strip_wall "$CURRENT" > /tmp/bench_current_counters.$$
+  if ! diff -u /tmp/bench_baseline_counters.$$ /tmp/bench_current_counters.$$; then
+    rm -f /tmp/bench_baseline_counters.$$ /tmp/bench_current_counters.$$
+    echo "FAIL: stage counters drifted from $BASELINE (determinism regression)"
+    exit 1
+  fi
+  rm -f /tmp/bench_baseline_counters.$$ /tmp/bench_current_counters.$$
+  echo "counters match baseline"
+  # Hot-stage wall-clock: warn (not fail — timings are machine-relative)
+  # when harvest+deanon_window+port_scan exceed 1.2x the baseline sum.
+  hot_wall() {
+    awk '/"stage": "(harvest|deanon_window|port_scan)"/ {
+           if (match($0, /"wall_ms": [0-9.]+/))
+             sum += substr($0, RSTART + 11, RLENGTH - 11)
+         }
+         END { printf "%.3f", sum }' "$1"
+  }
+  BASE_MS=$(hot_wall "$BASELINE")
+  CUR_MS=$(hot_wall "$CURRENT")
+  echo "hot-stage wall: current ${CUR_MS}ms, baseline ${BASE_MS}ms"
+  awk -v c="$CUR_MS" -v b="$BASE_MS" 'BEGIN {
+    if (c > 1.2 * b)
+      printf "WARN: hot stages regressed >20%% (%.0fms vs %.0fms baseline)\n", c, b
+  }'
+  echo "bench ok"
   exit 0
 fi
 SCALE="${HS_SCALE:-0.25}"

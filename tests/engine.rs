@@ -150,6 +150,60 @@ fn stage_counters_reflect_artifacts() {
 }
 
 #[test]
+fn hot_path_counters_consistent() {
+    let a = Study::new(config()).run();
+    // Every sim stage reports the hot-path quartet.
+    for stage in [
+        StageId::Setup,
+        StageId::Harvest,
+        StageId::DeanonWindow,
+        StageId::PortScan,
+    ] {
+        let t = a.stages.stage(stage).unwrap();
+        for name in [
+            "sha1_digests",
+            "desc_cache_hits",
+            "desc_cache_misses",
+            "fetches",
+        ] {
+            assert!(t.counter(name).is_some(), "{stage} missing {name}");
+        }
+    }
+    // The cache earns its keep on the long stages: descriptor IDs only
+    // rotate daily, so hits dominate misses during the harvest.
+    let harvest = a.stages.stage(StageId::Harvest).unwrap();
+    assert!(
+        harvest.counter("desc_cache_hits") > harvest.counter("desc_cache_misses"),
+        "harvest counters: {:?}",
+        harvest.counters
+    );
+    assert!(a.stages.counter_total("fetches") > 0);
+    // SHA-1 work is exactly four digests per cache refill (2 replicas ×
+    // 2 finalizes), stage by stage.
+    for t in &a.stages.executed {
+        if let (Some(sha1), Some(misses)) =
+            (t.counter("sha1_digests"), t.counter("desc_cache_misses"))
+        {
+            assert_eq!(sha1, 4 * misses, "{}: {:?}", t.stage, t.counters);
+        }
+    }
+    // And the whole quartet is deterministic across same-seed runs.
+    let b = Study::new(config()).run();
+    let hot = |r: &StudyReport| -> Vec<u64> {
+        [
+            "sha1_digests",
+            "desc_cache_hits",
+            "desc_cache_misses",
+            "fetches",
+        ]
+        .iter()
+        .map(|n| r.stages.counter_total(n))
+        .collect()
+    };
+    assert_eq!(hot(&a), hot(&b));
+}
+
+#[test]
 fn deanon_target_is_looked_up_from_world() {
     // The hard-coded Goldnet label is gone: the engine asks the world
     // for its top front end, which at any seed is a planted Goldnet
