@@ -55,7 +55,9 @@ fn bench_harvest_sweep(c: &mut Criterion) {
                     warmup_hours: 26,
                     rotation_hours: 1,
                 };
-                Harvester::new(config).run(&mut net, |_| {})
+                Harvester::new(config)
+                    .run(&mut net, |_| {})
+                    .expect("bench fleet config is valid")
             },
         );
     });

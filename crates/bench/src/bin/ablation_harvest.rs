@@ -33,7 +33,9 @@ fn run_once(ips: u32, relays_per_ip: u32, services: usize) -> f64 {
         warmup_hours: 26,
         rotation_hours: 2,
     };
-    let outcome = Harvester::new(config).run(&mut net, |_| {});
+    let outcome = Harvester::new(config)
+        .run(&mut net, |_| {})
+        .expect("ablation fleet config is valid");
     outcome.coverage_of(services)
 }
 

@@ -29,6 +29,7 @@ struct Args {
     command: String,
     scale: f64,
     seed: u64,
+    faults: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
     let command = args.next().ok_or_else(usage)?;
     let mut scale = 0.1f64;
     let mut seed = 0x2013_0204u64;
+    let mut faults = "none".to_owned();
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -49,6 +51,9 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("--seed needs a value".to_owned())?;
                 seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
             }
+            "--faults" => {
+                faults = args.next().ok_or("--faults needs a profile".to_owned())?;
+            }
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
@@ -56,17 +61,18 @@ fn parse_args() -> Result<Args, String> {
         command,
         scale,
         seed,
+        faults,
     })
 }
 
 fn usage() -> String {
     "usage: landscape <study|fig1|table1|fig2|table2|fig3|certs|sec5|tracking|stages> \
-     [--scale S] [--seed N]"
+     [--scale S] [--seed N] [--faults none|adversarial]"
         .to_owned()
 }
 
-fn study_config(args: &Args) -> StudyConfig {
-    StudyConfig {
+fn study_config(args: &Args) -> Result<StudyConfig, String> {
+    let mut cfg = StudyConfig {
         seed: args.seed,
         scale: args.scale,
         relays: ((1_400.0 * args.scale) as usize).clamp(150, 1_400),
@@ -83,7 +89,9 @@ fn study_config(args: &Args) -> StudyConfig {
         traffic_clients: ((500.0 * args.scale) as usize).max(60),
         run_tracking: false,
         ..StudyConfig::default()
-    }
+    };
+    cfg.apply_fault_profile(&args.faults)?;
+    Ok(cfg)
 }
 
 /// The stages each command needs; `None` means the full study.
@@ -111,10 +119,11 @@ fn command_stages(command: &str) -> Option<Vec<StageId>> {
 fn write_stage_json(args: &Args, timings: &PipelineTimings) {
     let path = Path::new("results").join("bench_stages.json");
     let body = format!(
-        "{{\n\"command\": \"{}\", \"scale\": {}, \"seed\": {},\n\"timings\": {}}}\n",
+        "{{\n\"command\": \"{}\", \"scale\": {}, \"seed\": {}, \"faults\": \"{}\",\n\"timings\": {}}}\n",
         args.command,
         args.scale,
         args.seed,
+        args.faults,
         timings.to_json().trim_end()
     );
     let written = std::fs::create_dir_all("results")
@@ -143,21 +152,43 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let study = Study::new(study_config(&args));
+    let study = match study_config(&args) {
+        Ok(cfg) => Study::new(cfg),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let Some(targets) = command_stages(&args.command) else {
-        // The full study: every stage, parallel analyses.
+        // The full study: every stage, parallel analyses. A degraded
+        // stage leaves its sections out of the report; the run itself
+        // still succeeds with whatever completed.
         let results = study.run();
-        println!("{}", report::render_fig1(&results.scan));
-        println!("{}", report::render_certs(&results.certs));
-        println!("{}", report::render_table1(&results.crawl));
-        println!("{}", report::render_funnel_and_languages(&results.crawl));
-        println!("{}", report::render_fig2(&results.crawl));
-        println!("{}", report::render_table2(&results.ranking, 30));
-        println!(
-            "{}",
-            report::render_sec5(&results.resolution, results.requested_published_share)
-        );
-        println!("{}", report::render_fig3(&results.deanon));
+        if let Some(scan) = &results.scan {
+            println!("{}", report::render_fig1(scan));
+        }
+        if let Some(certs) = &results.certs {
+            println!("{}", report::render_certs(certs));
+        }
+        if let Some(crawl) = &results.crawl {
+            println!("{}", report::render_table1(crawl));
+            println!("{}", report::render_funnel_and_languages(crawl));
+            println!("{}", report::render_fig2(crawl));
+        }
+        if let Some(ranking) = &results.ranking {
+            println!("{}", report::render_table2(ranking, 30));
+        }
+        if let (Some(resolution), Some(share)) =
+            (&results.resolution, results.requested_published_share)
+        {
+            println!("{}", report::render_sec5(resolution, share));
+        }
+        if let Some(deanon) = &results.deanon {
+            println!("{}", report::render_fig3(deanon));
+        }
+        if !results.is_complete() {
+            println!("{}", report::render_degraded(&results.stages));
+        }
         eprintln!("{}", report::render_stage_timings(&results.stages));
         write_stage_json(&args, &results.stages);
         return ExitCode::SUCCESS;

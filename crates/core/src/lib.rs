@@ -27,12 +27,17 @@
 //!
 //! let study = Study::new(StudyConfig::test_scale());
 //! let results = study.run();
-//! println!("{}", report::render_fig1(&results.scan));
-//! println!("{}", report::render_table2(&results.ranking, 30));
+//! if let Some(scan) = &results.scan {
+//!     println!("{}", report::render_fig1(scan));
+//! }
+//! if let Some(ranking) = &results.ranking {
+//!     println!("{}", report::render_table2(ranking, 30));
+//! }
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod pipeline;
 pub mod report;

@@ -98,7 +98,7 @@ pub struct ArtifactStore {
 }
 
 macro_rules! accessor {
-    ($(#[$doc:meta])* $name:ident: $ty:ty, $stage:literal) => {
+    ($(#[$doc:meta])* $name:ident / $try_name:ident: $ty:ty, $stage:literal) => {
         $(#[$doc])*
         ///
         /// # Panics
@@ -112,56 +112,71 @@ macro_rules! accessor {
                     "` requested but stage `", $stage, "` has not run"
                 )))
         }
+
+        $(#[$doc])*
+        ///
+        /// Fallible variant for degradation-aware callers: a missing
+        /// artifact (producing stage degraded out of the run) is an
+        /// `Err` naming the producer, never a panic.
+        pub fn $try_name(&self) -> Result<&$ty, String> {
+            self.$name.as_ref().ok_or_else(|| {
+                concat!(
+                    "artifact `", stringify!($name),
+                    "` unavailable: stage `", $stage, "` did not complete"
+                )
+                .to_owned()
+            })
+        }
     };
 }
 
 impl ArtifactStore {
     accessor!(
         /// The generated ground-truth world.
-        world: World, "setup");
+        world / try_world: World, "setup");
     accessor!(
         /// The IP-geography database.
-        geo: GeoDb, "setup");
+        geo / try_geo: GeoDb, "setup");
     accessor!(
         /// The attacker's prepositioned guard relays.
-        attacker_guards: Vec<RelayId>, "setup");
+        attacker_guards / try_attacker_guards: Vec<RelayId>, "setup");
     accessor!(
         /// Network snapshot after setup (world registered, guards
         /// prepositioned, first consensus voted).
-        net_setup: Network, "setup");
+        net_setup / try_net_setup: Network, "setup");
     accessor!(
         /// Traffic driver as constructed at setup time.
-        traffic_setup: TrafficDriver, "setup");
+        traffic_setup / try_traffic_setup: TrafficDriver, "setup");
     accessor!(
         /// Sec. II harvesting outcome.
-        harvest: HarvestOutcome, "harvest");
+        harvest / try_harvest: HarvestOutcome, "harvest");
     accessor!(
         /// Network snapshot after the harvest window.
-        net_harvest: Network, "harvest");
+        net_harvest / try_net_harvest: Network, "harvest");
     accessor!(
         /// Traffic driver state after the harvest window.
-        traffic_harvest: TrafficDriver, "harvest");
+        traffic_harvest / try_traffic_harvest: TrafficDriver, "harvest");
     accessor!(
         /// Raw Sec. VI window output.
-        deanon_window: DeanonWindowOut, "deanon_window");
+        deanon_window / try_deanon_window: DeanonWindowOut, "deanon_window");
     accessor!(
         /// Sec. III port-scan report (Fig. 1).
-        scan: ScanReport, "port_scan");
+        scan / try_scan: ScanReport, "port_scan");
     accessor!(
         /// Sec. VI deanonymisation report (Fig. 3).
-        deanon: DeanonReport, "geomap");
+        deanon / try_deanon: DeanonReport, "geomap");
     accessor!(
         /// Sec. III certificate survey.
-        certs: CertSurvey, "certs");
+        certs / try_certs: CertSurvey, "certs");
     accessor!(
         /// Sec. IV crawl funnel, Table I, languages, Fig. 2.
-        crawl: CrawlReport, "crawl");
+        crawl / try_crawl: CrawlReport, "crawl");
     accessor!(
         /// Sec. V resolution, ranking, forensics.
-        popularity: PopularityOut, "popularity");
+        popularity / try_popularity: PopularityOut, "popularity");
     accessor!(
         /// Sec. VII tracking detection.
-        tracking: TrackingReport, "tracking");
+        tracking / try_tracking: TrackingReport, "tracking");
 }
 
 #[cfg(test)]
@@ -178,5 +193,15 @@ mod tests {
         let msg = err.downcast_ref::<&str>().unwrap();
         assert!(msg.contains("`scan`"), "{msg}");
         assert!(msg.contains("`port_scan`"), "{msg}");
+    }
+
+    #[test]
+    fn try_accessor_errors_instead_of_panicking() {
+        let store = ArtifactStore::default();
+        let err = store.try_scan().unwrap_err();
+        assert!(err.contains("`scan`"), "{err}");
+        assert!(err.contains("`port_scan`"), "{err}");
+        let err = store.try_harvest().unwrap_err();
+        assert!(err.contains("`harvest`"), "{err}");
     }
 }

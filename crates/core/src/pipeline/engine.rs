@@ -18,14 +18,24 @@
 //! * Randomness comes only from seeds derived in
 //!   [`super::seeds::stage_seed`]; wall-clock time is never consulted
 //!   except for instrumentation.
+//! * **No stage failure aborts the run.** A stage body returns
+//!   `Result` (and panics are caught), failures consume a bounded
+//!   retry budget, and a stage that still fails is *degraded*: it is
+//!   recorded in [`PipelineTimings::degraded`] together with every
+//!   downstream stage that needed its artifact, and the run carries on
+//!   with whatever remains. Sequential and parallel execution must —
+//!   and are tested to — produce the identical degraded list.
 
+use std::collections::BTreeSet;
+use std::panic::{self, AssertUnwindSafe};
 use std::time::Instant;
 
 use onion_crypto::onion::OnionAddress;
 use tor_sim::clock::SimTime;
+use tor_sim::fault::FaultCounters;
 use tor_sim::network::{HotPathCounters, NetworkBuilder};
 
-use hs_content::{CertSurvey, Crawler};
+use hs_content::{CertSurvey, CrawlConfig, Crawler};
 use hs_deanon::{DeanonAttack, GeoMap};
 use hs_harvest::Harvester;
 use hs_popularity::{
@@ -41,7 +51,7 @@ use super::artifacts::{
 };
 use super::seeds::{stage_seed, SeedDomain};
 use super::stage::{StageId, StageKind};
-use super::timing::{PipelineTimings, StageTiming};
+use super::timing::{DegradedStage, PipelineTimings, StageTiming};
 use crate::study::StudyConfig;
 
 /// How analysis stages execute.
@@ -84,6 +94,55 @@ fn push_hot(counters: &mut Counters, hot: HotPathCounters) {
     counters.push(("fetches", hot.fetches));
 }
 
+/// Appends the fault-injection work done during a sim stage. Only
+/// called when the study runs with an active [`tor_sim::FaultPlan`],
+/// so fault-free runs keep the historical counter layout
+/// byte-for-byte (the bench baseline diff depends on it).
+fn push_faults(counters: &mut Counters, faults: FaultCounters) {
+    counters.push(("relay_crashes", faults.relay_crashes));
+    counters.push(("relay_restarts", faults.relay_restarts));
+    counters.push(("fetch_drops", faults.fetch_drops));
+    counters.push(("overload_drops", faults.overload_drops));
+    counters.push(("publish_drops", faults.publish_drops));
+    counters.push(("service_flaps", faults.service_flaps));
+}
+
+/// Extracts a readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("stage panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("stage panicked: {s}")
+    } else {
+        "stage panicked with a non-string payload".to_owned()
+    }
+}
+
+/// How many attempts a stage gets before it degrades. Analysis stages
+/// are pure functions of the store, so a transient failure is worth
+/// one retry; sim stages are deterministic in their inputs — an
+/// identical rerun would fail identically — so they get one shot.
+fn retry_budget(stage: StageId) -> u32 {
+    match stage.kind() {
+        StageKind::Sim => 1,
+        StageKind::Analysis => 2,
+    }
+}
+
+/// Chaos hook: the configured failure for `stage` at `attempt`, if
+/// any. `fail_stages` fail every attempt (a permanently broken stage);
+/// `flaky_stages` fail the first attempt only (a transient fault the
+/// retry budget should absorb).
+fn injected_failure(cfg: &StudyConfig, stage: StageId, attempt: u32) -> Option<String> {
+    if cfg.fail_stages.contains(&stage) {
+        return Some(format!("injected permanent failure in `{stage}`"));
+    }
+    if attempt == 1 && cfg.flaky_stages.contains(&stage) {
+        return Some(format!("injected transient failure in `{stage}`"));
+    }
+    None
+}
+
 /// The value an analysis stage hands back to the joiner.
 enum AnalysisOut {
     Geomap(DeanonReport),
@@ -100,7 +159,8 @@ impl Pipeline {
     }
 
     /// Runs the dependency closure of `targets`, skipping every stage
-    /// the targets do not need.
+    /// the targets do not need. Stage failures degrade (recorded in
+    /// [`PipelineTimings::degraded`]) instead of aborting the run.
     pub fn run(&self, targets: &[StageId], mode: ExecMode) -> PipelineRun {
         let plan = StageId::closure(targets);
         let mut store = ArtifactStore::default();
@@ -111,33 +171,82 @@ impl Pipeline {
                 .copied()
                 .filter(|s| !plan.contains(s))
                 .collect(),
+            degraded: Vec::new(),
         };
+        let mut failed: BTreeSet<StageId> = BTreeSet::new();
 
         // Sim prefix: strictly sequential, canonical order.
         for &stage in plan.iter().filter(|s| s.kind() == StageKind::Sim) {
+            if let Some(&dep) = stage.deps().iter().find(|d| failed.contains(d)) {
+                timings.degraded.push(DegradedStage {
+                    stage,
+                    error: format!("dependency `{dep}` degraded"),
+                    attempts: 0,
+                });
+                failed.insert(stage);
+                continue;
+            }
             let started = Instant::now();
-            let counters = match stage {
-                StageId::Setup => self.sim_setup(&mut store),
-                StageId::Harvest => self.sim_harvest(&mut store),
-                StageId::DeanonWindow => self.sim_deanon_window(&mut store),
-                StageId::PortScan => self.sim_port_scan(&mut store),
-                _ => unreachable!("analysis stage in sim prefix"),
+            let budget = retry_budget(stage);
+            let mut attempts = 0u32;
+            let outcome = loop {
+                attempts += 1;
+                let result = match injected_failure(&self.cfg, stage, attempts) {
+                    Some(err) => Err(err),
+                    None => panic::catch_unwind(AssertUnwindSafe(|| match stage {
+                        StageId::Setup => self.sim_setup(&mut store),
+                        StageId::Harvest => self.sim_harvest(&mut store),
+                        StageId::DeanonWindow => self.sim_deanon_window(&mut store),
+                        StageId::PortScan => self.sim_port_scan(&mut store),
+                        _ => unreachable!("analysis stage in sim prefix"),
+                    }))
+                    .unwrap_or_else(|payload| Err(panic_message(payload))),
+                };
+                match result {
+                    Ok(counters) => break Ok(counters),
+                    Err(_) if attempts < budget => continue,
+                    Err(err) => break Err(err),
+                }
             };
-            timings.executed.push(StageTiming {
-                stage,
-                wall: started.elapsed(),
-                counters,
-            });
+            match outcome {
+                Ok(mut counters) => {
+                    if attempts > 1 {
+                        counters.push(("retries", u64::from(attempts - 1)));
+                    }
+                    timings.executed.push(StageTiming {
+                        stage,
+                        wall: started.elapsed(),
+                        counters,
+                    });
+                }
+                Err(error) => {
+                    timings.degraded.push(DegradedStage {
+                        stage,
+                        error,
+                        attempts,
+                    });
+                    failed.insert(stage);
+                }
+            }
         }
 
-        // Analysis wave: pure functions of the sim artifacts.
-        let analyses: Vec<StageId> = plan
-            .iter()
-            .copied()
-            .filter(|s| s.kind() == StageKind::Analysis)
-            .collect();
-        let mut results: Vec<(StageId, StageTiming, AnalysisOut)> = match mode {
-            ExecMode::Sequential => analyses
+        // Analysis wave: pure functions of the sim artifacts. Stages
+        // whose dependency already degraded never launch.
+        let mut runnable: Vec<StageId> = Vec::new();
+        for &stage in plan.iter().filter(|s| s.kind() == StageKind::Analysis) {
+            if let Some(&dep) = stage.deps().iter().find(|d| failed.contains(d)) {
+                timings.degraded.push(DegradedStage {
+                    stage,
+                    error: format!("dependency `{dep}` degraded"),
+                    attempts: 0,
+                });
+                failed.insert(stage);
+            } else {
+                runnable.push(stage);
+            }
+        }
+        let mut results: Vec<AnalysisResult> = match mode {
+            ExecMode::Sequential => runnable
                 .iter()
                 .map(|&stage| run_analysis(stage, &self.cfg, &store))
                 .collect(),
@@ -145,30 +254,54 @@ impl Pipeline {
                 let cfg = &self.cfg;
                 let shared = &store;
                 crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = analyses
+                    let handles: Vec<(StageId, _)> = runnable
                         .iter()
-                        .map(|&stage| scope.spawn(move |_| run_analysis(stage, cfg, shared)))
+                        .map(|&stage| {
+                            (
+                                stage,
+                                scope.spawn(move |_| run_analysis(stage, cfg, shared)),
+                            )
+                        })
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("analysis stage panicked"))
+                        .map(|(stage, h)| {
+                            h.join().unwrap_or_else(|payload| AnalysisResult {
+                                stage,
+                                outcome: Err((panic_message(payload), 1)),
+                            })
+                        })
                         .collect()
                 })
                 .expect("analysis scope panicked")
             }
         };
-        // Join in canonical order regardless of completion order.
-        results.sort_by_key(|(stage, _, _)| *stage);
-        for (_, timing, out) in results {
-            match out {
-                AnalysisOut::Geomap(v) => store.deanon = Some(v),
-                AnalysisOut::Certs(v) => store.certs = Some(v),
-                AnalysisOut::Crawl(v) => store.crawl = Some(*v),
-                AnalysisOut::Popularity(v) => store.popularity = Some(*v),
-                AnalysisOut::Tracking(v) => store.tracking = Some(v),
+        // Join in canonical order regardless of completion order; this
+        // is also what makes the degraded list identical between
+        // sequential and parallel execution.
+        results.sort_by_key(|r| r.stage);
+        for r in results {
+            match r.outcome {
+                Ok((timing, out)) => {
+                    match out {
+                        AnalysisOut::Geomap(v) => store.deanon = Some(v),
+                        AnalysisOut::Certs(v) => store.certs = Some(v),
+                        AnalysisOut::Crawl(v) => store.crawl = Some(*v),
+                        AnalysisOut::Popularity(v) => store.popularity = Some(*v),
+                        AnalysisOut::Tracking(v) => store.tracking = Some(v),
+                    }
+                    timings.executed.push(timing);
+                }
+                Err((error, attempts)) => {
+                    timings.degraded.push(DegradedStage {
+                        stage: r.stage,
+                        error,
+                        attempts,
+                    });
+                }
             }
-            timings.executed.push(timing);
         }
+        timings.degraded.sort_by_key(|d| d.stage);
 
         PipelineRun {
             artifacts: store,
@@ -176,9 +309,15 @@ impl Pipeline {
         }
     }
 
+    /// Whether this run injects protocol-level faults (and therefore
+    /// reports fault counters).
+    fn faults_active(&self) -> bool {
+        !self.cfg.faults.is_inert()
+    }
+
     /// World generation, network build, guard prepositioning, traffic
     /// driver construction.
-    fn sim_setup(&self, store: &mut ArtifactStore) -> Counters {
+    fn sim_setup(&self, store: &mut ArtifactStore) -> Result<Counters, String> {
         let cfg = &self.cfg;
         let world = World::generate(
             WorldConfig::default()
@@ -186,10 +325,16 @@ impl Pipeline {
                 .with_scale(cfg.scale),
         );
         let geo = GeoDb::new();
+        // The fault plan always flows into the builder: an inert plan
+        // is the identity (proved by test), and an active one draws
+        // its decisions from the dedicated `Faults` seed domain.
+        let mut fault_plan = cfg.faults.clone();
+        fault_plan.seed = stage_seed(cfg.seed, SeedDomain::Faults);
         let mut net = NetworkBuilder::new()
             .relays(cfg.relays)
             .seed(stage_seed(cfg.seed, SeedDomain::Network))
             .start(SimTime::from_ymd(2013, 2, 1))
+            .faults(fault_plan)
             .build();
         world.register_all(&mut net);
         // The attacker's guard relays run long before the measurement:
@@ -211,23 +356,29 @@ impl Pipeline {
             ("traffic_clients", traffic.clients().len() as u64),
         ];
         push_hot(&mut counters, net.hot_counters());
+        if self.faults_active() {
+            push_faults(&mut counters, net.fault_counters());
+        }
         store.world = Some(world);
         store.geo = Some(geo);
         store.attacker_guards = Some(attacker_guards);
         store.net_setup = Some(net);
         store.traffic_setup = Some(traffic);
-        counters
+        Ok(counters)
     }
 
     /// The Sec. II trawling attack with live Sec. V traffic.
-    fn sim_harvest(&self, store: &mut ArtifactStore) -> Counters {
-        let mut net = store.net_setup().clone();
-        let mut traffic = store.traffic_setup().clone();
+    fn sim_harvest(&self, store: &mut ArtifactStore) -> Result<Counters, String> {
+        let mut net = store.try_net_setup()?.clone();
+        let mut traffic = store.try_traffic_setup()?.clone();
         let hot0 = net.hot_counters();
+        let faults0 = net.fault_counters();
         let harvester = Harvester::new(self.cfg.harvest.clone());
-        let harvest = harvester.run(&mut net, |net| {
-            traffic.tick_hour(net);
-        });
+        let harvest = harvester
+            .run(&mut net, |net| {
+                traffic.tick_hour(net);
+            })
+            .map_err(|e| e.to_string())?;
         let mut counters = vec![
             ("descriptors", harvest.onion_count() as u64),
             ("requests_logged", harvest.requests.len() as u64),
@@ -235,34 +386,39 @@ impl Pipeline {
             ("hours", harvest.hours),
         ];
         push_hot(&mut counters, net.hot_counters().since(hot0));
+        if self.faults_active() {
+            push_faults(&mut counters, net.fault_counters().since(faults0));
+            counters.push(("fleet_restarts", harvest.fleet_restarts));
+        }
         store.harvest = Some(harvest);
         store.net_harvest = Some(net);
         store.traffic_harvest = Some(traffic);
-        counters
+        Ok(counters)
     }
 
     /// The dedicated Sec. VI deanonymisation window: 48 h of signature
     /// logging against the Goldnet front end, branched off the
     /// post-harvest network so the Sec. V popularity logs stay
     /// unbiased and the port scan is unaffected.
-    fn sim_deanon_window(&self, store: &mut ArtifactStore) -> Counters {
+    fn sim_deanon_window(&self, store: &mut ArtifactStore) -> Result<Counters, String> {
         let cfg = &self.cfg;
-        let mut net = store.net_harvest().clone();
-        let mut traffic = store.traffic_harvest().clone();
+        let mut net = store.try_net_harvest()?.clone();
+        let mut traffic = store.try_traffic_harvest()?.clone();
         let hot0 = net.hot_counters();
+        let faults0 = net.fault_counters();
         // The paper attacked one of the Goldnet front ends; ask the
         // generated world which service that is instead of hard-coding
         // an address.
         let target: OnionAddress = store
-            .world()
+            .try_world()?
             .primary_goldnet_frontend()
-            .expect("world plants Goldnet front ends at every scale")
+            .ok_or_else(|| "world generated no Goldnet front end to attack".to_owned())?
             .onion;
         let mut attack = DeanonAttack::deploy_with_guards(
             &mut net,
             target,
             &cfg.deanon,
-            store.attacker_guards().clone(),
+            store.try_attacker_guards()?.clone(),
         );
         for _ in 0..cfg.deanon_hours {
             attack.reposition(&mut net);
@@ -276,62 +432,113 @@ impl Pipeline {
             ("observations", observations.len() as u64),
         ];
         push_hot(&mut counters, net.hot_counters().since(hot0));
+        if self.faults_active() {
+            push_faults(&mut counters, net.fault_counters().since(faults0));
+        }
         store.deanon_window = Some(DeanonWindowOut {
             target,
             observations,
             expected_rate,
         });
-        counters
+        Ok(counters)
     }
 
     /// The Sec. III multi-day port scan, branched off the post-harvest
     /// network.
-    fn sim_port_scan(&self, store: &mut ArtifactStore) -> Counters {
-        let mut net = store.net_harvest().clone();
+    fn sim_port_scan(&self, store: &mut ArtifactStore) -> Result<Counters, String> {
+        let mut net = store.try_net_harvest()?.clone();
         let hot0 = net.hot_counters();
+        let faults0 = net.fault_counters();
         let scanner = Scanner::new(ScanConfig {
             days: self.cfg.scan_days,
             ..ScanConfig::default()
         });
-        let scan = scanner.run(&mut net, store.world(), &store.harvest().onions);
+        let scan = scanner.run(&mut net, store.try_world()?, &store.try_harvest()?.onions);
         let mut counters = vec![
             ("targets", scan.targets as u64),
             ("probes_scheduled", scan.probes_scheduled),
             ("open_ports", u64::from(scan.total_open())),
         ];
         push_hot(&mut counters, net.hot_counters().since(hot0));
+        if self.faults_active() {
+            push_faults(&mut counters, net.fault_counters().since(faults0));
+            counters.push(("fetch_retries", scan.fetch_retries));
+            counters.push(("fetch_recovered", scan.fetch_recovered));
+            counters.push(("fetch_gave_ups", scan.fetch_gave_ups));
+            counters.push(("fetch_gone", scan.fetch_gone));
+            counters.push(("retry_backoff_secs", scan.retry_backoff_secs));
+        }
         store.scan = Some(scan);
-        counters
+        Ok(counters)
     }
 }
 
-/// Executes one analysis stage against the (read-only) store.
-fn run_analysis(
+/// One analysis stage's outcome: an instrumented artifact, or the
+/// error (with attempt count) that degraded it.
+struct AnalysisResult {
+    stage: StageId,
+    outcome: Result<(StageTiming, AnalysisOut), (String, u32)>,
+}
+
+/// Executes one analysis stage against the (read-only) store, with
+/// panic containment, chaos injection, and the stage retry budget.
+fn run_analysis(stage: StageId, cfg: &StudyConfig, store: &ArtifactStore) -> AnalysisResult {
+    let started = Instant::now();
+    let budget = retry_budget(stage);
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let result = match injected_failure(cfg, stage, attempts) {
+            Some(err) => Err(err),
+            None => panic::catch_unwind(AssertUnwindSafe(|| analysis_body(stage, cfg, store)))
+                .unwrap_or_else(|payload| Err(panic_message(payload))),
+        };
+        match result {
+            Ok((mut counters, out)) => {
+                if attempts > 1 {
+                    counters.push(("retries", u64::from(attempts - 1)));
+                }
+                let timing = StageTiming {
+                    stage,
+                    wall: started.elapsed(),
+                    counters,
+                };
+                return AnalysisResult {
+                    stage,
+                    outcome: Ok((timing, out)),
+                };
+            }
+            Err(_) if attempts < budget => continue,
+            Err(err) => {
+                return AnalysisResult {
+                    stage,
+                    outcome: Err((err, attempts)),
+                }
+            }
+        }
+    }
+}
+
+/// The un-instrumented analysis stage body.
+fn analysis_body(
     stage: StageId,
     cfg: &StudyConfig,
     store: &ArtifactStore,
-) -> (StageId, StageTiming, AnalysisOut) {
-    let started = Instant::now();
-    let (counters, out) = match stage {
+) -> Result<(Counters, AnalysisOut), String> {
+    match stage {
         StageId::Geomap => analysis_geomap(store),
         StageId::Certs => analysis_certs(store),
-        StageId::Crawl => analysis_crawl(store),
-        StageId::Popularity => analysis_popularity(store),
+        StageId::Crawl => analysis_crawl(cfg, store),
+        StageId::Popularity => analysis_popularity(cfg, store),
         StageId::Tracking => analysis_tracking(cfg),
         _ => unreachable!("sim stage in analysis wave"),
-    };
-    let timing = StageTiming {
-        stage,
-        wall: started.elapsed(),
-        counters,
-    };
-    (stage, timing, out)
+    }
 }
 
 /// Fig. 3: geographic mapping of the deanonymised clients.
-fn analysis_geomap(store: &ArtifactStore) -> (Counters, AnalysisOut) {
-    let window = store.deanon_window();
-    let geomap = GeoMap::build(store.geo(), &window.observations);
+fn analysis_geomap(store: &ArtifactStore) -> Result<(Counters, AnalysisOut), String> {
+    let window = store.try_deanon_window()?;
+    let geomap = GeoMap::build(store.try_geo()?, &window.observations);
     let report = DeanonReport {
         target: window.target,
         unique_clients: geomap.total_clients(),
@@ -342,40 +549,59 @@ fn analysis_geomap(store: &ArtifactStore) -> (Counters, AnalysisOut) {
         ("unique_clients", u64::from(report.unique_clients)),
         ("countries", report.geomap.country_count() as u64),
     ];
-    (counters, AnalysisOut::Geomap(report))
+    Ok((counters, AnalysisOut::Geomap(report)))
 }
 
 /// Sec. III: the HTTPS certificate survey over everything the scan saw
 /// answering on 443.
-fn analysis_certs(store: &ArtifactStore) -> (Counters, AnalysisOut) {
+fn analysis_certs(store: &ArtifactStore) -> Result<(Counters, AnalysisOut), String> {
     let https_onions: Vec<OnionAddress> = store
-        .scan()
+        .try_scan()?
         .open_by_onion
         .iter()
         .filter(|(_, ports)| ports.contains(&443))
         .map(|(&onion, _)| onion)
         .collect();
-    let certs = CertSurvey::run(store.world(), https_onions);
+    let certs = CertSurvey::run(store.try_world()?, https_onions);
     let counters = vec![("https_destinations", u64::from(certs.https_destinations))];
-    (counters, AnalysisOut::Certs(certs))
+    Ok((counters, AnalysisOut::Certs(certs)))
 }
 
 /// Sec. IV: crawl funnel, Table I, languages, Fig. 2.
-fn analysis_crawl(store: &ArtifactStore) -> (Counters, AnalysisOut) {
-    let destinations = store.scan().crawl_destinations();
-    let crawl = Crawler::new().run(store.world(), &destinations);
-    let counters = vec![
+fn analysis_crawl(
+    cfg: &StudyConfig,
+    store: &ArtifactStore,
+) -> Result<(Counters, AnalysisOut), String> {
+    let destinations = store.try_scan()?.crawl_destinations();
+    // A zero transient rate makes `with_config` the identity of
+    // `Crawler::new()` (proved by test), so fault-free crawls are
+    // untouched.
+    let crawler = Crawler::with_config(CrawlConfig {
+        transient_failure_rate: cfg.faults.crawl_transient_rate,
+        seed: stage_seed(cfg.seed, SeedDomain::Faults),
+        retry_attempts: 3,
+    });
+    let crawl = crawler.run(store.try_world()?, &destinations);
+    let mut counters = vec![
         ("destinations", destinations.len() as u64),
         ("pages_classified", crawl.classified.len() as u64),
     ];
-    (counters, AnalysisOut::Crawl(Box::new(crawl)))
+    if cfg.faults.crawl_transient_rate > 0.0 {
+        counters.push(("transient_failures", crawl.transient_failures));
+        counters.push(("connect_retries", crawl.retries));
+        counters.push(("gave_ups", crawl.gave_ups));
+    }
+    Ok((counters, AnalysisOut::Crawl(Box::new(crawl))))
 }
 
 /// Sec. V: descriptor-ID resolution, Table II ranking, Goldnet
 /// forensics, request share.
-fn analysis_popularity(store: &ArtifactStore) -> (Counters, AnalysisOut) {
-    let harvest = store.harvest();
-    let world = store.world();
+fn analysis_popularity(
+    cfg: &StudyConfig,
+    store: &ArtifactStore,
+) -> Result<(Counters, AnalysisOut), String> {
+    let harvest = store.try_harvest()?;
+    let world = store.try_world()?;
     let resolver = Resolver::build(
         &harvest.onions,
         SimTime::from_ymd(2013, 1, 28),
@@ -386,11 +612,14 @@ fn analysis_popularity(store: &ArtifactStore) -> (Counters, AnalysisOut) {
     let top_onions: Vec<OnionAddress> = ranking.top(40).iter().map(|r| r.onion).collect();
     let forensics = BotnetForensics::probe(world, top_onions);
     let requested_published_share = requested_published_share(&resolution, world);
-    let counters = vec![
+    let mut counters = vec![
         ("requests_resolved", resolution.total_requests),
         ("ranked", ranking.rows().len() as u64),
     ];
-    (
+    if !cfg.faults.is_inert() {
+        counters.push(("unnormalized", ranking.unnormalized() as u64));
+    }
+    Ok((
         counters,
         AnalysisOut::Popularity(Box::new(PopularityOut {
             resolution,
@@ -398,12 +627,12 @@ fn analysis_popularity(store: &ArtifactStore) -> (Counters, AnalysisOut) {
             forensics,
             requested_published_share,
         })),
-    )
+    ))
 }
 
 /// Sec. VII: consensus-archive tracking detection. Independent of the
 /// simulated 2013 network — it generates its own 3-year archive.
-fn analysis_tracking(cfg: &StudyConfig) -> (Counters, AnalysisOut) {
+fn analysis_tracking(cfg: &StudyConfig) -> Result<(Counters, AnalysisOut), String> {
     let mut archive = ConsensusArchive::generate(&HistoryConfig {
         seed: stage_seed(cfg.seed, SeedDomain::Tracking),
         ..HistoryConfig::default()
@@ -429,5 +658,5 @@ fn analysis_tracking(cfg: &StudyConfig) -> (Counters, AnalysisOut) {
     })
     .collect();
     let counters = vec![("consensuses", archive.len() as u64), ("windows", 3)];
-    (counters, AnalysisOut::Tracking(TrackingReport { years }))
+    Ok((counters, AnalysisOut::Tracking(TrackingReport { years })))
 }

@@ -37,4 +37,4 @@ pub use artifacts::{ArtifactStore, DeanonReport, DeanonWindowOut, PopularityOut,
 pub use engine::{ExecMode, Pipeline, PipelineRun};
 pub use seeds::{stage_seed, SeedDomain};
 pub use stage::{StageId, StageKind};
-pub use timing::{PipelineTimings, StageTiming};
+pub use timing::{DegradedStage, PipelineTimings, StageTiming};

@@ -28,6 +28,9 @@ pub enum SeedDomain {
     /// The 3-year consensus archive behind tracking detection
     /// (Sec. VII).
     Tracking,
+    /// Deterministic fault injection (relay crashes, HSDir drops,
+    /// service flaps, crawl flakes).
+    Faults,
 }
 
 impl SeedDomain {
@@ -39,6 +42,7 @@ impl SeedDomain {
             SeedDomain::Network => 0,
             SeedDomain::Traffic => 0x7aff,
             SeedDomain::Tracking => 0x7ac,
+            SeedDomain::Faults => 0xfa17,
         }
     }
 }
@@ -63,6 +67,7 @@ mod tests {
         assert_eq!(stage_seed(root, SeedDomain::Network), root);
         assert_eq!(stage_seed(root, SeedDomain::Traffic), root ^ 0x7aff);
         assert_eq!(stage_seed(root, SeedDomain::Tracking), root ^ 0x7ac);
+        assert_eq!(stage_seed(root, SeedDomain::Faults), root ^ 0xfa17);
     }
 
     #[test]
@@ -71,6 +76,7 @@ mod tests {
         let seeds = [
             stage_seed(root, SeedDomain::Traffic),
             stage_seed(root, SeedDomain::Tracking),
+            stage_seed(root, SeedDomain::Faults),
             stage_seed(root, SeedDomain::World),
         ];
         for (i, a) in seeds.iter().enumerate() {

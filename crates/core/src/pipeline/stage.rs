@@ -126,8 +126,8 @@ impl StageId {
         }
         StageId::ALL
             .iter()
-            .copied()
-            .filter(|&s| needed[StageId::ALL.iter().position(|&x| x == s).unwrap()])
+            .zip(needed)
+            .filter_map(|(&s, n)| n.then_some(s))
             .collect()
     }
 }

@@ -32,6 +32,20 @@ impl StageTiming {
     }
 }
 
+/// A stage that failed (after exhausting its retry budget) and was
+/// degraded out of the run instead of aborting the study.
+#[derive(Clone, Debug)]
+pub struct DegradedStage {
+    /// Which stage failed.
+    pub stage: StageId,
+    /// The error (or extracted panic message) of the final attempt,
+    /// or a note that an upstream dependency degraded first.
+    pub error: String,
+    /// How many attempts ran. Zero when the stage never ran because a
+    /// dependency had already degraded.
+    pub attempts: u32,
+}
+
 /// The full instrumentation record of one pipeline run.
 #[derive(Clone, Debug, Default)]
 pub struct PipelineTimings {
@@ -39,6 +53,8 @@ pub struct PipelineTimings {
     pub executed: Vec<StageTiming>,
     /// Stages the plan skipped, in canonical order.
     pub skipped: Vec<StageId>,
+    /// Stages that failed and degraded, in canonical [`StageId`] order.
+    pub degraded: Vec<DegradedStage>,
 }
 
 impl PipelineTimings {
@@ -50,6 +66,11 @@ impl PipelineTimings {
     /// Whether the plan skipped `stage`.
     pub fn skipped(&self, stage: StageId) -> bool {
         self.skipped.contains(&stage)
+    }
+
+    /// The degradation record for `stage`, if it failed.
+    pub fn degraded(&self, stage: StageId) -> Option<&DegradedStage> {
+        self.degraded.iter().find(|d| d.stage == stage)
     }
 
     /// Total wall-clock time across executed stages. Parallel analysis
@@ -95,9 +116,51 @@ impl PipelineTimings {
                 out.push_str(", ");
             }
         }
-        out.push_str("]\n}\n");
+        out.push(']');
+        // The degraded section only appears when a stage actually
+        // failed, so fault-free runs keep the exact historical layout
+        // (the bench baseline diff depends on it).
+        if !self.degraded.is_empty() {
+            out.push_str(",\n  \"degraded\": [\n");
+            for (i, d) in self.degraded.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "    {{\"stage\": \"{}\", \"attempts\": {}, \"error\": \"{}\"}}",
+                    d.stage,
+                    d.attempts,
+                    escape_json(&d.error)
+                );
+                if i + 1 < self.degraded.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str("  ]");
+        }
+        out.push_str("\n}\n");
         out
     }
+}
+
+/// Escapes a string for embedding in a JSON string literal. Error
+/// messages are the only non-static strings in the file, and panic
+/// payloads can contain anything.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -119,6 +182,7 @@ mod tests {
                 },
             ],
             skipped: vec![StageId::DeanonWindow, StageId::Tracking],
+            degraded: Vec::new(),
         }
     }
 
@@ -147,5 +211,33 @@ mod tests {
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // No degraded stages → no degraded section, preserving the
+        // historical layout byte-for-byte.
+        assert!(!json.contains("degraded"));
+    }
+
+    #[test]
+    fn degraded_section_appears_and_escapes() {
+        let mut t = sample();
+        t.degraded = vec![
+            DegradedStage {
+                stage: StageId::Certs,
+                error: "injected \"quote\"\nand newline".to_owned(),
+                attempts: 2,
+            },
+            DegradedStage {
+                stage: StageId::Crawl,
+                error: "dependency `certs` degraded".to_owned(),
+                attempts: 0,
+            },
+        ];
+        let json = t.to_json();
+        assert!(json.contains("\"degraded\": ["));
+        assert!(json.contains("{\"stage\": \"certs\", \"attempts\": 2, \"error\": \"injected \\\"quote\\\"\\nand newline\"}"));
+        assert!(json.contains("{\"stage\": \"crawl\", \"attempts\": 0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(t.degraded(StageId::Certs).is_some());
+        assert!(t.degraded(StageId::Setup).is_none());
     }
 }

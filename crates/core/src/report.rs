@@ -257,6 +257,15 @@ pub fn render_stage_timings(timings: &PipelineTimings) -> String {
     for s in &timings.skipped {
         let _ = writeln!(out, "{:<14}    skipped", s.name());
     }
+    for d in &timings.degraded {
+        let _ = writeln!(
+            out,
+            "{:<14}    DEGRADED after {} attempt(s): {}",
+            d.stage.name(),
+            d.attempts,
+            d.error
+        );
+    }
     let sha1 = timings.counter_total("sha1_digests");
     let hits = timings.counter_total("desc_cache_hits");
     let misses = timings.counter_total("desc_cache_misses");
@@ -266,6 +275,52 @@ pub fn render_stage_timings(timings: &PipelineTimings) -> String {
             out,
             "hot path: {sha1} SHA-1 digests, desc cache {hits} hits / {misses} misses ({:.1}% hit rate), {fetches} fetches",
             100.0 * hits as f64 / (hits + misses) as f64
+        );
+    }
+    // Fault-injection summary. The counters only exist when the study
+    // ran with an active fault plan, so fault-free output is unchanged.
+    let faults_reported = timings
+        .executed
+        .iter()
+        .any(|t| t.counter("relay_crashes").is_some());
+    if faults_reported {
+        let _ = writeln!(
+            out,
+            "faults: {} relay crashes ({} restarts), {} fetch drops ({} overload), {} publish drops, {} service flaps",
+            timings.counter_total("relay_crashes"),
+            timings.counter_total("relay_restarts"),
+            timings.counter_total("fetch_drops"),
+            timings.counter_total("overload_drops"),
+            timings.counter_total("publish_drops"),
+            timings.counter_total("service_flaps"),
+        );
+    }
+    let stage_retries = timings.counter_total("retries");
+    if stage_retries > 0 {
+        let _ = writeln!(out, "stage retries absorbed: {stage_retries}");
+    }
+    out
+}
+
+/// Renders the degraded-stage section of a partial report. Empty when
+/// every planned stage completed.
+pub fn render_degraded(timings: &PipelineTimings) -> String {
+    if timings.degraded.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "PARTIAL REPORT — {} stage(s) degraded:",
+        timings.degraded.len()
+    );
+    for d in &timings.degraded {
+        let _ = writeln!(
+            out,
+            "  {:<14} after {} attempt(s): {}",
+            d.stage.name(),
+            d.attempts,
+            d.error
         );
     }
     out
@@ -279,19 +334,25 @@ mod tests {
     #[test]
     fn all_renderers_produce_output() {
         let report = Study::new(StudyConfig::test_scale()).run();
-        assert!(render_fig1(&report.scan).contains("Fig. 1"));
-        assert!(render_table1(&report.crawl).contains("Table I"));
-        assert!(render_funnel_and_languages(&report.crawl).contains("Languages"));
-        assert!(render_fig2(&report.crawl).contains("Fig. 2"));
-        assert!(render_table2(&report.ranking, 30).contains("Table II"));
-        assert!(
-            render_sec5(&report.resolution, report.requested_published_share).contains("phantom")
-        );
-        assert!(render_certs(&report.certs).contains("HTTPS"));
-        assert!(render_fig3(&report.deanon).contains("Fig. 3"));
+        assert!(report.is_complete(), "{:?}", report.degraded_stages());
+        assert!(render_fig1(report.scan.as_ref().unwrap()).contains("Fig. 1"));
+        assert!(render_table1(report.crawl.as_ref().unwrap()).contains("Table I"));
+        assert!(render_funnel_and_languages(report.crawl.as_ref().unwrap()).contains("Languages"));
+        assert!(render_fig2(report.crawl.as_ref().unwrap()).contains("Fig. 2"));
+        assert!(render_table2(report.ranking.as_ref().unwrap(), 30).contains("Table II"));
+        assert!(render_sec5(
+            report.resolution.as_ref().unwrap(),
+            report.requested_published_share.unwrap()
+        )
+        .contains("phantom"));
+        assert!(render_certs(report.certs.as_ref().unwrap()).contains("HTTPS"));
+        assert!(render_fig3(report.deanon.as_ref().unwrap()).contains("Fig. 3"));
         let stages = render_stage_timings(&report.stages);
         assert!(stages.contains("harvest"), "{stages}");
         assert!(stages.contains("skipped"), "{stages}");
         assert!(stages.contains("hot path:"), "{stages}");
+        // Fault-free run: no fault summary, no degraded section.
+        assert!(!stages.contains("faults:"), "{stages}");
+        assert!(render_degraded(&report.stages).is_empty());
     }
 }

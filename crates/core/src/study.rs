@@ -14,7 +14,9 @@ use hs_harvest::{HarvestConfig, HarvestOutcome};
 use hs_popularity::{BotnetForensics, Ranking, ResolutionReport};
 use hs_portscan::ScanReport;
 use hs_world::World;
+use tor_sim::FaultPlan;
 
+use crate::pipeline::timing::DegradedStage;
 use crate::pipeline::{ExecMode, Pipeline, PipelineRun, PipelineTimings, StageId};
 
 pub use crate::pipeline::artifacts::{DeanonReport, TrackingReport};
@@ -42,6 +44,18 @@ pub struct StudyConfig {
     pub deanon_hours: u64,
     /// Run the (expensive) 3-year tracking analysis.
     pub run_tracking: bool,
+    /// Deterministic protocol-level fault injection (relay crashes,
+    /// HSDir drops, publish failures, service flaps, crawl flakes).
+    /// The default inert plan is the identity: it changes no artifact
+    /// byte. The plan's own seed is ignored — the engine derives it
+    /// from [`StudyConfig::seed`] via the `Faults` seed domain.
+    pub faults: FaultPlan,
+    /// Chaos hook: stages that fail every attempt (exercises graceful
+    /// degradation end-to-end). Empty by default.
+    pub fail_stages: Vec<StageId>,
+    /// Chaos hook: stages that fail their first attempt only (the
+    /// stage retry budget must absorb them). Empty by default.
+    pub flaky_stages: Vec<StageId>,
 }
 
 impl Default for StudyConfig {
@@ -56,6 +70,9 @@ impl Default for StudyConfig {
             deanon: DeanonConfig::default(),
             deanon_hours: 48,
             run_tracking: true,
+            faults: FaultPlan::none(),
+            fail_stages: Vec::new(),
+            flaky_stages: Vec::new(),
         }
     }
 }
@@ -82,35 +99,86 @@ impl StudyConfig {
             ..StudyConfig::default()
         }
     }
+
+    /// Applies a named fault profile.
+    ///
+    /// * `"none"` — the inert plan and no chaos (the default);
+    /// * `"adversarial"` — the committed adversarial profile: the
+    ///   [`FaultPlan::adversarial`] protocol faults, a permanently
+    ///   failing `certs` stage (the report must degrade, not abort)
+    ///   and a flaky `geomap` stage (the retry budget must absorb it).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown profile name.
+    pub fn apply_fault_profile(&mut self, profile: &str) -> Result<(), String> {
+        match profile {
+            "none" => {
+                self.faults = FaultPlan::none();
+                self.fail_stages.clear();
+                self.flaky_stages.clear();
+                Ok(())
+            }
+            "adversarial" => {
+                self.faults = FaultPlan::adversarial(self.seed);
+                self.fail_stages = vec![StageId::Certs];
+                self.flaky_stages = vec![StageId::Geomap];
+                Ok(())
+            }
+            other => Err(format!(
+                "unknown fault profile `{other}` (expected `none` or `adversarial`)"
+            )),
+        }
+    }
 }
 
 /// Everything the study measured.
+///
+/// Every section is an `Option`: a stage that degraded (see
+/// [`PipelineTimings::degraded`]) leaves its sections `None` and the
+/// study still returns the rest — a partial report, never an abort.
+/// On a fault-free run with no chaos injected, every section the plan
+/// produced is `Some` and [`StudyReport::is_complete`] holds.
 #[derive(Debug)]
 pub struct StudyReport {
     /// The generated ground-truth world.
-    pub world: World,
+    pub world: Option<World>,
     /// Sec. II: harvesting outcome.
-    pub harvest: HarvestOutcome,
+    pub harvest: Option<HarvestOutcome>,
     /// Sec. III: the port scan (Fig. 1).
-    pub scan: ScanReport,
+    pub scan: Option<ScanReport>,
     /// Sec. III: the certificate survey.
-    pub certs: CertSurvey,
+    pub certs: Option<CertSurvey>,
     /// Sec. IV: crawl funnel, Table I, languages, Fig. 2.
-    pub crawl: CrawlReport,
+    pub crawl: Option<CrawlReport>,
     /// Sec. V: descriptor-request resolution.
-    pub resolution: ResolutionReport,
+    pub resolution: Option<ResolutionReport>,
     /// Sec. V: Table II.
-    pub ranking: Ranking,
+    pub ranking: Option<Ranking>,
     /// Sec. V: Goldnet server-status forensics.
-    pub forensics: BotnetForensics,
+    pub forensics: Option<BotnetForensics>,
     /// Sec. V: share of published services ever requested.
-    pub requested_published_share: f64,
+    pub requested_published_share: Option<f64>,
     /// Sec. VI: client deanonymisation.
-    pub deanon: DeanonReport,
+    pub deanon: Option<DeanonReport>,
     /// Sec. VII: tracking detection (when enabled).
     pub tracking: Option<TrackingReport>,
-    /// Per-stage wall-clock timings and domain counters.
+    /// Per-stage wall-clock timings, domain counters, and the
+    /// degraded-stage record.
     pub stages: PipelineTimings,
+}
+
+impl StudyReport {
+    /// Whether every planned stage completed (no degradations).
+    pub fn is_complete(&self) -> bool {
+        self.stages.degraded.is_empty()
+    }
+
+    /// The stages that failed and were degraded out of the run, in
+    /// canonical order.
+    pub fn degraded_stages(&self) -> &[DegradedStage] {
+        &self.stages.degraded
+    }
 }
 
 /// The study driver.
@@ -121,7 +189,8 @@ pub struct StudyReport {
 /// use hs_landscape::{Study, StudyConfig};
 ///
 /// let report = Study::new(StudyConfig::test_scale()).run();
-/// assert!(report.harvest.onion_count() > 0);
+/// assert!(report.is_complete());
+/// assert!(report.harvest.as_ref().unwrap().onion_count() > 0);
 /// ```
 ///
 /// Selective runs return the raw artifact store instead of a report:
@@ -185,18 +254,27 @@ impl Study {
         }
         let run = Pipeline::new(self.config.clone()).run(&targets, mode);
         let mut artifacts = run.artifacts;
-        let popularity = artifacts.popularity.take().expect("popularity stage ran");
+        let (resolution, ranking, forensics, requested_published_share) =
+            match artifacts.popularity.take() {
+                Some(p) => (
+                    Some(p.resolution),
+                    Some(p.ranking),
+                    Some(p.forensics),
+                    Some(p.requested_published_share),
+                ),
+                None => (None, None, None, None),
+            };
         StudyReport {
-            world: artifacts.world.take().expect("setup stage ran"),
-            harvest: artifacts.harvest.take().expect("harvest stage ran"),
-            scan: artifacts.scan.take().expect("port_scan stage ran"),
-            certs: artifacts.certs.take().expect("certs stage ran"),
-            crawl: artifacts.crawl.take().expect("crawl stage ran"),
-            resolution: popularity.resolution,
-            ranking: popularity.ranking,
-            forensics: popularity.forensics,
-            requested_published_share: popularity.requested_published_share,
-            deanon: artifacts.deanon.take().expect("geomap stage ran"),
+            world: artifacts.world.take(),
+            harvest: artifacts.harvest.take(),
+            scan: artifacts.scan.take(),
+            certs: artifacts.certs.take(),
+            crawl: artifacts.crawl.take(),
+            resolution,
+            ranking,
+            forensics,
+            requested_published_share,
+            deanon: artifacts.deanon.take(),
             tracking: artifacts.tracking.take(),
             stages: run.timings,
         }
@@ -210,16 +288,39 @@ mod tests {
     #[test]
     fn test_scale_study_runs_end_to_end() {
         let report = Study::new(StudyConfig::test_scale()).run();
-        assert!(report.harvest.onion_count() > 50, "harvest crop");
-        assert!(report.scan.total_open() > 0, "scan found ports");
-        assert!(!report.crawl.classified.is_empty(), "pages classified");
-        assert!(report.resolution.total_requests > 0, "requests logged");
-        assert!(!report.ranking.rows().is_empty(), "ranking built");
+        assert!(report.is_complete(), "{:?}", report.degraded_stages());
+        let harvest = report.harvest.as_ref().unwrap();
+        assert!(harvest.onion_count() > 50, "harvest crop");
+        assert!(report.scan.as_ref().unwrap().total_open() > 0, "open ports");
+        assert!(
+            !report.crawl.as_ref().unwrap().classified.is_empty(),
+            "pages classified"
+        );
+        assert!(
+            report.resolution.as_ref().unwrap().total_requests > 0,
+            "requests logged"
+        );
+        assert!(
+            !report.ranking.as_ref().unwrap().rows().is_empty(),
+            "ranking built"
+        );
         assert!(report.tracking.is_none(), "tracking disabled at test scale");
         assert!(
             report.stages.skipped(StageId::Tracking),
             "tracking stage skipped"
         );
         assert_eq!(report.stages.executed.len(), 8, "eight stages ran");
+    }
+
+    #[test]
+    fn unknown_fault_profile_is_rejected() {
+        let mut cfg = StudyConfig::test_scale();
+        assert!(cfg.apply_fault_profile("nope").is_err());
+        cfg.apply_fault_profile("adversarial").unwrap();
+        assert!(!cfg.faults.is_inert());
+        assert_eq!(cfg.fail_stages, vec![StageId::Certs]);
+        cfg.apply_fault_profile("none").unwrap();
+        assert!(cfg.faults.is_inert());
+        assert!(cfg.fail_stages.is_empty() && cfg.flaky_stages.is_empty());
     }
 }

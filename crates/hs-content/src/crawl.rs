@@ -19,6 +19,59 @@ use crate::html::{strip_tags, word_count};
 use crate::langdetect::LanguageDetector;
 use crate::topics::TopicClassifier;
 
+/// Crawl adversity model: transient connection failures with a bounded
+/// retry budget. The default injects nothing.
+///
+/// Failures are pure hashes of `(seed, destination, attempt)` — fully
+/// deterministic, and a zero-rate config is byte-identical to not
+/// modelling failures at all (mirroring `tor_sim::fault`, without
+/// coupling the content crates to the simulator).
+#[derive(Clone, Debug)]
+pub struct CrawlConfig {
+    /// Per-attempt probability that a destination's connection fails
+    /// transiently (circuit collapse, intro-point churn).
+    pub transient_failure_rate: f64,
+    /// Seed for the failure hashes.
+    pub seed: u64,
+    /// Connection attempts per destination (including the first).
+    /// Values below 1 behave as 1.
+    pub retry_attempts: u32,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig {
+            transient_failure_rate: 0.0,
+            seed: 0,
+            retry_attempts: 3,
+        }
+    }
+}
+
+/// SplitMix64 finalizer over `(seed, onion, port, attempt)` compared
+/// against the failure rate.
+fn connection_flakes(config: &CrawlConfig, onion: OnionAddress, port: u16, attempt: u32) -> bool {
+    if config.transient_failure_rate <= 0.0 {
+        return false;
+    }
+    let onion_bits = {
+        let perm = onion.permanent_id();
+        let bytes = perm.as_bytes();
+        let mut k = [0u8; 8];
+        k[..bytes.len().min(8)].copy_from_slice(&bytes[..bytes.len().min(8)]);
+        u64::from_be_bytes(k)
+    };
+    let mut x =
+        config.seed ^ 0x0c_4a_37 ^ onion_bits ^ (u64::from(port) << 32) ^ u64::from(attempt);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    let unit = (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    unit < config.transient_failure_rate
+}
+
 /// One page that survived the funnel and was classified.
 #[derive(Clone, Debug)]
 pub struct ClassifiedPage {
@@ -57,6 +110,13 @@ pub struct CrawlReport {
     pub excluded_mirrors: usize,
     /// Pages that survived and were classified (paper: 3,050).
     pub classified: Vec<ClassifiedPage>,
+    /// Connection attempts that failed transiently. Zero under the
+    /// default (fault-free) [`CrawlConfig`].
+    pub transient_failures: u64,
+    /// Re-attempts made after a transient failure.
+    pub retries: u64,
+    /// Destinations abandoned after exhausting the retry budget.
+    pub gave_ups: u64,
 }
 
 impl CrawlReport {
@@ -141,12 +201,22 @@ impl CrawlReport {
 pub struct Crawler {
     detector: LanguageDetector,
     classifier: TopicClassifier,
+    config: CrawlConfig,
 }
 
 impl Crawler {
-    /// Creates a crawler with freshly trained classifiers.
+    /// Creates a crawler with freshly trained classifiers and the
+    /// fault-free default config.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a crawler with an explicit adversity config.
+    pub fn with_config(config: CrawlConfig) -> Self {
+        Crawler {
+            config,
+            ..Crawler::default()
+        }
     }
 
     /// Runs the crawl over the scan's destinations.
@@ -173,6 +243,26 @@ impl Crawler {
             }
             report.still_open += 1;
             if !service.connects_at_crawl {
+                continue;
+            }
+            // Transient connection failures: retry up to the budget,
+            // then abandon the destination (the paper's crawl simply
+            // lost such pages).
+            let budget = self.config.retry_attempts.max(1);
+            let mut attempt = 0u32;
+            let connected = loop {
+                attempt += 1;
+                if !connection_flakes(&self.config, onion, port, attempt) {
+                    break true;
+                }
+                report.transient_failures += 1;
+                if attempt >= budget {
+                    break false;
+                }
+                report.retries += 1;
+            };
+            if !connected {
+                report.gave_ups += 1;
                 continue;
             }
             let Some(page) = service.render_page(port) else {
@@ -382,5 +472,87 @@ mod tests {
         let (lang_acc, topic_acc) = crawler.evaluate_against_truth(&world, &r);
         assert!(lang_acc > 0.85, "language accuracy {lang_acc}");
         assert!(topic_acc > 0.75, "topic accuracy {topic_acc}");
+    }
+
+    fn destinations_of(world: &World) -> Vec<(OnionAddress, u16)> {
+        world
+            .services()
+            .iter()
+            .flat_map(|s| s.open_ports().into_iter().map(move |p| (s.onion, p)))
+            .filter(|&(_, p)| p != hs_world::service::SKYNET_PORT)
+            .collect()
+    }
+
+    #[test]
+    fn zero_rate_config_is_byte_identical() {
+        let world = World::generate(WorldConfig {
+            seed: 11,
+            scale: 0.05,
+        });
+        let destinations = destinations_of(&world);
+        let plain = Crawler::new().run(&world, &destinations);
+        let zero = Crawler::with_config(CrawlConfig {
+            transient_failure_rate: 0.0,
+            seed: 0xfeed,
+            retry_attempts: 5,
+        })
+        .run(&world, &destinations);
+        assert_eq!(format!("{plain:?}"), format!("{zero:?}"));
+        assert_eq!(plain.transient_failures, 0);
+        assert_eq!(plain.gave_ups, 0);
+    }
+
+    #[test]
+    fn total_flake_rate_abandons_every_destination() {
+        let world = World::generate(WorldConfig {
+            seed: 11,
+            scale: 0.05,
+        });
+        let destinations = destinations_of(&world);
+        let r = Crawler::with_config(CrawlConfig {
+            transient_failure_rate: 1.0,
+            seed: 3,
+            retry_attempts: 3,
+        })
+        .run(&world, &destinations);
+        assert_eq!(r.connected, 0);
+        assert!(r.gave_ups > 0);
+        assert_eq!(r.transient_failures, r.gave_ups * 3);
+        assert_eq!(r.retries, r.gave_ups * 2);
+        assert!(r.classified.is_empty());
+    }
+
+    #[test]
+    fn moderate_flake_rate_recovers_and_accounts() {
+        let world = World::generate(WorldConfig {
+            seed: 11,
+            scale: 0.05,
+        });
+        let destinations = destinations_of(&world);
+        let r = Crawler::with_config(CrawlConfig {
+            transient_failure_rate: 0.2,
+            seed: 3,
+            retry_attempts: 3,
+        })
+        .run(&world, &destinations);
+        assert!(r.transient_failures > 0);
+        assert!(r.retries > 0, "first-attempt failures must be retried");
+        assert!(
+            !r.classified.is_empty(),
+            "the crawl still classifies through 20% flake"
+        );
+        // Funnel accounting still exact: gave-ups never reach connect.
+        assert_eq!(
+            r.connected,
+            r.excluded_errors + r.excluded_short + r.excluded_mirrors + r.classified.len()
+        );
+        // Determinism: same config, same report.
+        let again = Crawler::with_config(CrawlConfig {
+            transient_failure_rate: 0.2,
+            seed: 3,
+            retry_attempts: 3,
+        })
+        .run(&world, &destinations);
+        assert_eq!(format!("{r:?}"), format!("{again:?}"));
     }
 }

@@ -26,6 +26,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod certs;
 pub mod crawl;
@@ -34,6 +35,6 @@ pub mod langdetect;
 pub mod topics;
 
 pub use certs::CertSurvey;
-pub use crawl::{ClassifiedPage, CrawlReport, Crawler};
+pub use crawl::{ClassifiedPage, CrawlConfig, CrawlReport, Crawler};
 pub use langdetect::LanguageDetector;
 pub use topics::TopicClassifier;

@@ -11,7 +11,7 @@ use tor_sim::network::Network;
 use tor_sim::relay::RelayId;
 use tor_sim::store::RequestRecord;
 
-use crate::fleet::{Fleet, FleetConfig};
+use crate::fleet::{Fleet, FleetConfig, FleetError};
 
 /// Harvest timing parameters.
 #[derive(Clone, Debug)]
@@ -65,6 +65,10 @@ pub struct HarvestOutcome {
     pub waves: u32,
     /// Total wall-clock hours spent (warm-up + sweep).
     pub hours: u64,
+    /// Crashed fleet relays the operator re-registered mid-run. Zero
+    /// on a fault-free network; each restart resets the relay's uptime
+    /// clock, costing it the HSDir flag for the next 25 h.
+    pub fleet_restarts: u64,
 }
 
 impl HarvestOutcome {
@@ -97,26 +101,43 @@ impl Harvester {
     /// Runs the full attack against the network. `drive` is invoked
     /// after every simulated hour so the caller can generate client
     /// traffic (the popularity measurement) while the harvest runs.
-    pub fn run(&self, net: &mut Network, mut drive: impl FnMut(&mut Network)) -> HarvestOutcome {
-        let fleet = Fleet::deploy(net, self.config.fleet.clone());
+    ///
+    /// The attacker watches their own fleet: any relay the network's
+    /// fault layer crashes is re-registered (restarted) within the
+    /// hour, though the restart resets its uptime and it must re-earn
+    /// the HSDir flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError`] when the configured fleet shape cannot
+    /// be deployed.
+    pub fn run(
+        &self,
+        net: &mut Network,
+        mut drive: impl FnMut(&mut Network),
+    ) -> Result<HarvestOutcome, FleetError> {
+        let fleet = Fleet::deploy(net, self.config.fleet.clone())?;
         let mut hours = 0u64;
+        let mut fleet_restarts = 0u64;
 
         // Warm-up: all n×m relays run reachable; wave 0's pairs enter
         // the consensus, everything else accrues uptime as shadows.
         for _ in 0..self.config.warmup_hours {
             net.advance_hours(1);
             hours += 1;
+            fleet_restarts += reregister_crashed(net, &fleet, None)?;
             drive(net);
         }
 
         // Sweep: burn through activation waves.
         let waves = fleet.wave_count();
         for k in 0..waves {
-            fleet.activate_wave(net, k);
+            fleet.activate_wave(net, k)?;
             net.revote();
             for _ in 0..self.config.rotation_hours {
                 net.advance_hours(1);
                 hours += 1;
+                fleet_restarts += reregister_crashed(net, &fleet, Some(k))?;
                 drive(net);
             }
         }
@@ -134,15 +155,42 @@ impl Harvester {
             }
         }
 
-        HarvestOutcome {
+        Ok(HarvestOutcome {
             onions: onions.into_iter().collect(),
             requests,
             slot_hours: net.slot_hours_map().clone(),
             fleet_relays: fleet.all_relays().collect(),
             waves,
             hours,
+            fleet_restarts,
+        })
+    }
+}
+
+/// Restarts any fleet relay the fault layer crashed — the operator's
+/// re-registration loop. Returns how many were restarted. When a wave
+/// pattern is active it is re-applied afterwards, because a restart
+/// marks the relay reachable and a burned-wave relay must not
+/// resurface.
+fn reregister_crashed(
+    net: &mut Network,
+    fleet: &Fleet,
+    active_wave: Option<u32>,
+) -> Result<u64, FleetError> {
+    let now = net.time();
+    let mut restarted = 0u64;
+    for relay in fleet.all_relays() {
+        if !net.relay(relay).running {
+            net.relay_mut(relay).start(now);
+            restarted += 1;
         }
     }
+    if restarted > 0 {
+        if let Some(k) = active_wave {
+            fleet.activate_wave(net, k)?;
+        }
+    }
+    Ok(restarted)
 }
 
 #[cfg(test)]
@@ -171,7 +219,9 @@ mod tests {
             warmup_hours: 26,
             rotation_hours: 2,
         };
-        let outcome = Harvester::new(config).run(&mut net, |_| {});
+        let outcome = Harvester::new(config)
+            .run(&mut net, |_| {})
+            .expect("fleet config is valid");
         (outcome, n_services)
     }
 
@@ -205,6 +255,52 @@ mod tests {
     }
 
     #[test]
+    fn crashed_fleet_relays_are_reregistered() {
+        use tor_sim::FaultPlan;
+        // Long fault-layer downtime: every restart observed must come
+        // from the harvester's own re-registration loop.
+        let plan = FaultPlan {
+            seed: 13,
+            relay_crash_rate: 0.01,
+            restart_after_hours: 999,
+            ..FaultPlan::none()
+        };
+        let mut net = NetworkBuilder::new()
+            .relays(60)
+            .seed(21)
+            .start(SimTime::from_ymd(2013, 2, 1))
+            .faults(plan)
+            .build();
+        for i in 0..40 {
+            let onion = OnionAddress::from_pubkey(format!("service {i}").as_bytes());
+            net.register_service(onion, true);
+        }
+        net.advance_hours(1);
+        let config = HarvestConfig {
+            fleet: FleetConfig {
+                ips: 6,
+                relays_per_ip: 8,
+                bandwidth: 300,
+            },
+            warmup_hours: 26,
+            rotation_hours: 2,
+        };
+        let outcome = Harvester::new(config)
+            .run(&mut net, |_| {})
+            .expect("fleet config is valid");
+        assert!(
+            outcome.fleet_restarts > 0,
+            "1%/h crash rate over 48 relays × 34 h must hit the fleet"
+        );
+        // Every fleet relay was brought back up within the hour.
+        for &relay in &outcome.fleet_relays {
+            assert!(net.relay(relay).running, "{relay:?} left down");
+        }
+        // The harvest still collected services despite the churn.
+        assert!(outcome.onion_count() > 0);
+    }
+
+    #[test]
     fn drive_callback_runs_every_hour() {
         let mut net = NetworkBuilder::new()
             .relays(40)
@@ -222,7 +318,9 @@ mod tests {
             rotation_hours: 1,
         };
         let mut ticks = 0u64;
-        let outcome = Harvester::new(config).run(&mut net, |_| ticks += 1);
+        let outcome = Harvester::new(config)
+            .run(&mut net, |_| ticks += 1)
+            .expect("fleet config is valid");
         assert_eq!(ticks, outcome.hours);
     }
 }

@@ -29,6 +29,45 @@ impl Default for FleetConfig {
     }
 }
 
+/// Errors from fleet deployment and wave scheduling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FleetError {
+    /// The configuration cannot be deployed as specified.
+    InvalidConfig {
+        /// Which constraint the configuration violates.
+        reason: &'static str,
+    },
+    /// An activation wave index at or beyond [`Fleet::wave_count`].
+    WaveOutOfRange {
+        /// The requested wave.
+        wave: u32,
+        /// Number of waves the fleet actually has.
+        waves: u32,
+    },
+}
+
+impl core::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FleetError::InvalidConfig { reason } => {
+                write!(f, "invalid fleet configuration: {reason}")
+            }
+            FleetError::WaveOutOfRange { wave, waves } => {
+                write!(
+                    f,
+                    "activation wave {wave} out of range: fleet has {waves} waves"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// The IP scheme packs rented addresses into 198.18.b.c with
+/// `b = idx/250 + 1`, so the third octet caps the fleet size.
+const MAX_IPS: u32 = 250 * 250;
+
 /// A deployed fleet.
 #[derive(Clone, Debug)]
 pub struct Fleet {
@@ -47,7 +86,29 @@ impl Fleet {
     /// would compute. Within one IP, earlier slots advertise slightly
     /// higher bandwidth, which fixes the activation order under the
     /// consensus two-per-IP rule.
-    pub fn deploy(net: &mut Network, config: FleetConfig) -> Fleet {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] when the shape cannot be
+    /// deployed: no IPs, fewer than two relays per IP (no complete
+    /// activation wave), or more IPs than the rented address block
+    /// holds.
+    pub fn deploy(net: &mut Network, config: FleetConfig) -> Result<Fleet, FleetError> {
+        if config.ips == 0 {
+            return Err(FleetError::InvalidConfig {
+                reason: "ips must be at least 1",
+            });
+        }
+        if config.relays_per_ip < 2 {
+            return Err(FleetError::InvalidConfig {
+                reason: "relays_per_ip must be at least 2 (one consensus pair)",
+            });
+        }
+        if config.ips > MAX_IPS {
+            return Err(FleetError::InvalidConfig {
+                reason: "ips exceeds the rented 198.18.0.0/16 block",
+            });
+        }
         let n = config.ips;
         let m = config.relays_per_ip;
         let total = u64::from(n) * u64::from(m);
@@ -76,7 +137,7 @@ impl Fleet {
             }
             relays.push(per_ip);
         }
-        Fleet { config, relays }
+        Ok(Fleet { config, relays })
     }
 
     /// The fleet configuration.
@@ -119,8 +180,18 @@ impl Fleet {
     /// Makes exactly wave `k` reachable-active: earlier waves are
     /// rendered unreachable to the authorities (the shadowing move),
     /// later waves stay reachable shadows.
-    pub fn activate_wave(&self, net: &mut Network, k: u32) {
-        for wave_idx in 0..self.wave_count() {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::WaveOutOfRange`] when `k` is at or beyond
+    /// [`Fleet::wave_count`] (which would silently burn every wave and
+    /// activate nothing).
+    pub fn activate_wave(&self, net: &mut Network, k: u32) -> Result<(), FleetError> {
+        let waves = self.wave_count();
+        if k >= waves {
+            return Err(FleetError::WaveOutOfRange { wave: k, waves });
+        }
+        for wave_idx in 0..waves {
             for relay in self.wave(wave_idx) {
                 let r = net.relay_mut(relay);
                 // Waves before `k` have been burned: unreachable.
@@ -129,6 +200,7 @@ impl Fleet {
                 r.reachable = wave_idx >= k;
             }
         }
+        Ok(())
     }
 }
 
@@ -172,7 +244,8 @@ mod tests {
                 relays_per_ip: 6,
                 bandwidth: 100,
             },
-        );
+        )
+        .expect("valid fleet config");
         assert_eq!(fleet.relay_count(), 24);
         assert_eq!(fleet.wave_count(), 3);
         assert_eq!(fleet.wave(0).len(), 8);
@@ -188,7 +261,8 @@ mod tests {
                 relays_per_ip: 8,
                 bandwidth: 100,
             },
-        );
+        )
+        .expect("valid fleet config");
         net.advance_hours(1);
         let listed = fleet
             .all_relays()
@@ -211,9 +285,10 @@ mod tests {
                 relays_per_ip: 6,
                 bandwidth: 100,
             },
-        );
+        )
+        .expect("valid fleet config");
         net.advance_hours(26); // accrue HSDir uptime
-        fleet.activate_wave(&mut net, 1);
+        fleet.activate_wave(&mut net, 1).expect("wave 1 exists");
         net.advance_hours(1);
         for r in fleet.wave(0) {
             assert!(net.consensus().entry(net.relay(r).fingerprint()).is_none());
@@ -238,7 +313,8 @@ mod tests {
                 relays_per_ip: 4,
                 bandwidth: 100,
             },
-        );
+        )
+        .expect("valid fleet config");
         let mut positions: Vec<U160> = fleet
             .all_relays()
             .map(|r| net.relay(r).fingerprint().to_u160())
@@ -260,5 +336,49 @@ mod tests {
         let gap = U160::from_u64(1000);
         assert_eq!(position_for(0, gap), U160::ZERO);
         assert_eq!(position_for(7, gap), U160::from_u64(7000));
+    }
+
+    #[test]
+    fn activate_wave_rejects_out_of_range() {
+        let mut net = net();
+        let fleet = Fleet::deploy(
+            &mut net,
+            FleetConfig {
+                ips: 2,
+                relays_per_ip: 6,
+                bandwidth: 100,
+            },
+        )
+        .expect("valid fleet config");
+        assert_eq!(fleet.wave_count(), 3);
+        assert_eq!(
+            fleet.activate_wave(&mut net, 3),
+            Err(FleetError::WaveOutOfRange { wave: 3, waves: 3 })
+        );
+        // The failed call must not have burned any wave.
+        assert!(fleet.all_relays().all(|r| net.relay(r).reachable));
+        assert_eq!(fleet.activate_wave(&mut net, 2), Ok(()));
+    }
+
+    #[test]
+    fn deploy_rejects_undeployable_configs() {
+        for (ips, relays_per_ip) in [(0, 6), (3, 0), (3, 1), (MAX_IPS + 1, 4)] {
+            let mut net = net();
+            let err = Fleet::deploy(
+                &mut net,
+                FleetConfig {
+                    ips,
+                    relays_per_ip,
+                    bandwidth: 100,
+                },
+            )
+            .expect_err("config must be rejected");
+            assert!(
+                matches!(err, FleetError::InvalidConfig { .. }),
+                "{ips}x{relays_per_ip}: {err}"
+            );
+            // Nothing was added to the network by the failed deploy.
+            assert_eq!(net.relays().len(), 50);
+        }
     }
 }

@@ -19,10 +19,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod attack;
 pub mod coverage;
 pub mod fleet;
 
 pub use attack::{HarvestConfig, HarvestOutcome, Harvester, LoggedRequest};
-pub use fleet::{Fleet, FleetConfig};
+pub use fleet::{Fleet, FleetConfig, FleetError};

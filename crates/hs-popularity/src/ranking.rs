@@ -28,6 +28,7 @@ pub struct RankedService {
 #[derive(Clone, Debug, Default)]
 pub struct Ranking {
     rows: Vec<RankedService>,
+    unnormalized: usize,
 }
 
 impl Ranking {
@@ -57,13 +58,25 @@ impl Ranking {
         world: &World,
         slot_hours: Option<&std::collections::HashMap<OnionAddress, u64>>,
     ) -> Self {
+        let mut unnormalized = 0usize;
         let mut rows: Vec<RankedService> = report
             .requests_per_onion
             .iter()
             .map(|(&onion, &observed)| {
-                let requests = match slot_hours.and_then(|m| m.get(&onion)) {
-                    Some(&s) if s > 0 => ((observed as f64) * 12.0 / (s as f64)).round() as u64,
-                    _ => observed,
+                let requests = match slot_hours.map(|m| m.get(&onion)) {
+                    Some(Some(&s)) if s > 0 => {
+                        ((observed as f64) * 12.0 / (s as f64)).round() as u64
+                    }
+                    Some(_) => {
+                        // Normalisation was requested but the attacker
+                        // has no slot-hour window for this service
+                        // (e.g. its HSDirs were down whenever the fleet
+                        // manned its slots) — tolerate the gap and fall
+                        // back to the raw observed count.
+                        unnormalized += 1;
+                        observed
+                    }
+                    None => observed,
                 };
                 RankedService {
                     rank: 0,
@@ -77,7 +90,7 @@ impl Ranking {
         for (i, row) in rows.iter_mut().enumerate() {
             row.rank = (i + 1) as u32;
         }
-        Ranking { rows }
+        Ranking { rows, unnormalized }
     }
 
     /// All rows, most popular first.
@@ -98,6 +111,14 @@ impl Ranking {
     /// The rank of a specific onion address.
     pub fn rank_of(&self, onion: OnionAddress) -> Option<u32> {
         self.rows.iter().find(|r| r.onion == onion).map(|r| r.rank)
+    }
+
+    /// Rows that requested normalisation but had no slot-hour coverage
+    /// window and fell back to raw counts. Always zero for
+    /// [`Ranking::build`]; nonzero under fault injection when relay
+    /// churn holes the attacker's coverage record.
+    pub fn unnormalized(&self) -> usize {
+        self.unnormalized
     }
 }
 
@@ -276,6 +297,31 @@ mod tests {
             .collect();
         let forensics = BotnetForensics::probe(&world, web);
         assert_eq!(forensics.frontends(), 0);
+    }
+
+    #[test]
+    fn missing_slot_hour_windows_fall_back_to_raw_counts() {
+        let world = World::generate(WorldConfig {
+            seed: 2,
+            scale: 0.02,
+        });
+        let report = fake_report(&world);
+        // Slot-hour coverage for only half the resolved onions; one
+        // entry present but zero (relay crashed before manning any
+        // slot) must also fall back.
+        let mut slot_hours = HashMap::new();
+        let onions: Vec<OnionAddress> = report.requests_per_onion.keys().copied().collect();
+        for (i, &onion) in onions.iter().enumerate() {
+            if i % 2 == 0 {
+                slot_hours.insert(onion, if i == 0 { 0 } else { 6 });
+            }
+        }
+        let ranking = Ranking::build_normalized(&report, &world, &slot_hours);
+        let covered = onions.len().div_ceil(2).saturating_sub(1);
+        assert_eq!(ranking.unnormalized(), onions.len() - covered);
+        assert_eq!(ranking.rows().len(), onions.len());
+        // Fault-free path stays at zero.
+        assert_eq!(Ranking::build(&report, &world).unnormalized(), 0);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 
 use onion_crypto::onion::OnionAddress;
 use tor_sim::clock::{SimTime, DAY};
+use tor_sim::fault::RetryPolicy;
 use tor_sim::network::{FetchOutcome, Network};
 use tor_sim::relay::Ipv4;
 use tor_sim::service::{PortReply, ServiceBackend};
@@ -24,6 +25,10 @@ pub struct ScanConfig {
     /// Extra never-open decoy ports probed alongside the candidate set,
     /// to exercise closed/timeout paths like a real sweep.
     pub decoy_ports: Vec<u16>,
+    /// Retry budget for descriptor fetches that time out. On a
+    /// fault-free network no fetch ever times out, so the policy is
+    /// never consulted.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ScanConfig {
@@ -32,6 +37,7 @@ impl Default for ScanConfig {
             start: SimTime::from_ymd(2013, 2, 14),
             days: 7,
             decoy_ports: vec![21, 23, 25, 110, 143, 993, 3306, 5900, 8443],
+            retry: RetryPolicy::standard(),
         }
     }
 }
@@ -67,6 +73,20 @@ pub struct ScanReport {
     pub probes_concluded: u64,
     /// Number of 55080 abnormal-close replies (the Skynet census).
     pub skynet_count: u32,
+    /// Extra descriptor-fetch attempts beyond the first (retries after
+    /// a timeout). Zero on a fault-free network.
+    pub fetch_retries: u64,
+    /// Fetches that succeeded only after at least one retry.
+    pub fetch_recovered: u64,
+    /// Fetches still timing out after the whole retry budget — their
+    /// scheduled probes are lost for the day.
+    pub fetch_gave_ups: u64,
+    /// Targets whose descriptor vanished after being fetchable on an
+    /// earlier scan day (the service is gone, not merely lossy).
+    pub fetch_gone: u64,
+    /// Total capped-exponential backoff charged across retries, in
+    /// (accounted, never slept) seconds.
+    pub retry_backoff_secs: u64,
 }
 
 impl ScanReport {
@@ -186,9 +206,25 @@ impl Scanner {
             let ports = schedule.ports_on(day).to_vec();
             for (ti, &onion) in targets.iter().enumerate() {
                 report.probes_scheduled += ports.len() as u64;
-                let fetched = net.client_fetch(scanner_client, onion);
-                if fetched != FetchOutcome::Found {
-                    continue;
+                let fetched =
+                    net.client_fetch_with_retry(scanner_client, onion, &self.config.retry);
+                report.fetch_retries += u64::from(fetched.attempts - 1);
+                report.retry_backoff_secs += fetched.backoff_secs;
+                match fetched.outcome {
+                    FetchOutcome::Found => {
+                        if fetched.attempts > 1 {
+                            report.fetch_recovered += 1;
+                        }
+                    }
+                    FetchOutcome::Timeout => {
+                        report.fetch_gave_ups += 1;
+                        continue;
+                    }
+                    FetchOutcome::NotFound if had_descriptor[ti] => {
+                        report.fetch_gone += 1;
+                        continue;
+                    }
+                    _ => continue,
                 }
                 had_descriptor[ti] = true;
                 for &port in &ports {
@@ -299,5 +335,79 @@ mod tests {
             sorted.dedup();
             assert_eq!(&sorted, ports);
         }
+    }
+
+    #[test]
+    fn fault_free_scan_never_retries() {
+        let (report, _) = scan_small();
+        assert_eq!(report.fetch_retries, 0);
+        assert_eq!(report.fetch_recovered, 0);
+        assert_eq!(report.fetch_gave_ups, 0);
+        assert_eq!(report.retry_backoff_secs, 0);
+    }
+
+    fn scan_with_faults(plan: tor_sim::FaultPlan) -> ScanReport {
+        let world = World::generate(WorldConfig {
+            seed: 5,
+            scale: 0.01,
+        });
+        let mut net = NetworkBuilder::new()
+            .relays(120)
+            .seed(5)
+            .start(SimTime::from_ymd(2013, 2, 13))
+            .faults(plan)
+            .build();
+        world.register_all(&mut net);
+        net.advance_hours(1);
+        let targets: Vec<OnionAddress> = world.services().iter().map(|s| s.onion).collect();
+        let config = ScanConfig {
+            days: 2,
+            ..ScanConfig::default()
+        };
+        Scanner::new(config).run(&mut net, &world, &targets)
+    }
+
+    #[test]
+    fn total_drop_rate_exhausts_every_retry_budget() {
+        let plan = tor_sim::FaultPlan {
+            seed: 17,
+            hsdir_drop_rate: 1.0,
+            ..tor_sim::FaultPlan::none()
+        };
+        let report = scan_with_faults(plan);
+        // Every target-day fetch burned its whole budget and gave up:
+        // nothing was scanned, but the scanner itself survived.
+        assert_eq!(report.fetch_gave_ups, 2 * report.targets as u64);
+        assert_eq!(
+            report.fetch_retries,
+            report.fetch_gave_ups * u64::from(RetryPolicy::standard().max_attempts - 1)
+        );
+        assert!(report.retry_backoff_secs > 0);
+        assert_eq!(report.with_descriptors, 0);
+        assert_eq!(report.total_open(), 0);
+        assert_eq!(report.coverage(), 0.0);
+    }
+
+    #[test]
+    fn moderate_drop_rate_recovers_via_retry() {
+        // High enough that a published descriptor sometimes times out
+        // outright (all six responsible HSDirs must drop: ~3 % per
+        // fetch at 0.55), low enough that a retry almost always
+        // recovers.
+        let plan = tor_sim::FaultPlan {
+            seed: 17,
+            hsdir_drop_rate: 0.55,
+            ..tor_sim::FaultPlan::none()
+        };
+        let report = scan_with_faults(plan);
+        assert!(report.fetch_retries > 0, "drops must trigger retries");
+        assert!(
+            report.fetch_recovered > 0,
+            "some fetches must recover on a later attempt"
+        );
+        assert!(
+            report.with_descriptors > 0,
+            "the scan still finds descriptors through the loss"
+        );
     }
 }

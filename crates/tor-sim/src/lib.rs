@@ -12,6 +12,9 @@
 //!   relay* loophole enabled the paper's harvesting attack;
 //! - [`consensus`] — the hourly consensus and the responsible-HSDir ring
 //!   lookup;
+//! - [`fault`] — deterministic fault injection (relay crashes, HSDir
+//!   overload/drops, upload failures, service flaps) with the property
+//!   that a zero-rate plan is byte-identical to no plan at all;
 //! - [`store`] — per-relay descriptor stores with 24 h expiry and the
 //!   request logs attacker HSDirs keep;
 //! - [`guard`] — client entry-guard sets (3 guards, 30–60 day rotation);
@@ -45,12 +48,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod authority;
 pub mod cells;
 pub mod clock;
 pub mod consensus;
 pub mod docfmt;
+pub mod fault;
 pub mod flags;
 pub mod guard;
 pub mod network;
@@ -68,6 +73,7 @@ pub use authority::{Authority, AuthorityPolicy};
 pub use cells::TrafficSignature;
 pub use clock::SimTime;
 pub use consensus::{Consensus, ConsensusEntry};
+pub use fault::{FaultCounters, FaultPlan, RetryPolicy};
 pub use flags::RelayFlags;
 pub use guard::GuardSet;
 pub use network::{ClientId, FetchOutcome, Network, NetworkBuilder};

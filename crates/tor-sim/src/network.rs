@@ -22,6 +22,7 @@ use crate::authority::Authority;
 use crate::cells::TrafficSignature;
 use crate::clock::{SimTime, DAY, HOUR};
 use crate::consensus::Consensus;
+use crate::fault::{FaultCounters, FaultPlan, FaultState, RetryPolicy};
 
 use crate::guard::GuardSet;
 use crate::relay::{Ipv4, Operator, Relay, RelayId};
@@ -76,6 +77,23 @@ pub enum FetchOutcome {
     NoCircuit,
     /// The consensus currently lists no HSDirs.
     NoHsdirs,
+    /// At least one responsible HSDir dropped the query (fault
+    /// injection) and none served the descriptor — the client cannot
+    /// tell absence from loss. Only reachable when a non-inert
+    /// [`FaultPlan`] is installed; transient, so worth retrying.
+    Timeout,
+}
+
+/// Result of [`Network::client_fetch_with_retry`]: the final outcome
+/// plus how hard the client had to work for it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FetchAttempts {
+    /// Outcome of the last attempt.
+    pub outcome: FetchOutcome,
+    /// Fetch attempts made (≥ 1).
+    pub attempts: u32,
+    /// Total backoff charged between attempts, in (virtual) seconds.
+    pub backoff_secs: u64,
 }
 
 /// Cumulative hot-path work counters, cheap enough to keep always-on.
@@ -160,6 +178,8 @@ pub struct Network {
     /// Test hook: `false` forces the uncached reference path so the
     /// cache can be validated against first-principles recomputation.
     desc_cache_enabled: bool,
+    /// Deterministic fault injection (inert by default).
+    faults: FaultState,
     rng: StdRng,
 }
 
@@ -316,6 +336,11 @@ impl Network {
     }
 
     fn step(&mut self) {
+        if !self.faults.is_inert() {
+            // Relay-level faults apply before the vote so the consensus
+            // reflects this round's crashes and restarts.
+            self.faults.on_round(&mut self.relays, self.time);
+        }
         self.consensus = self.authority.vote(&self.relays, self.time);
         for store in &mut self.stores {
             store.expire(self.time);
@@ -345,8 +370,10 @@ impl Network {
             desc_cache,
             hot,
             desc_cache_enabled,
+            faults,
             ..
         } = &mut *self;
+        let faults_active = !faults.is_inert();
         let mut responsible = [RelayId(usize::MAX); HSDIRS_PER_REPLICA];
         for service in services.values() {
             if !service.online {
@@ -357,8 +384,15 @@ impl Network {
             for desc_id in ids {
                 let n = consensus.responsible_hsdirs_into(desc_id, &mut responsible);
                 for &relay in &responsible[..n] {
+                    // Slot coverage is derived from public consensuses
+                    // (responsibility), so a dropped upload still
+                    // counts the slot — matching what the attacker's
+                    // normalisation could actually observe.
                     if relays[relay.0].logging {
                         logging_slots += 1;
+                    }
+                    if faults_active && faults.drops_publish(relay, desc_id, time) {
+                        continue;
                     }
                     stores[relay.0].publish(StoredDescriptor {
                         descriptor_id: desc_id,
@@ -429,6 +463,22 @@ impl Network {
         self.hot
     }
 
+    /// Replaces the fault plan (and resets all fault state: schedules,
+    /// load counters, and fault counters).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = FaultState::new(plan);
+    }
+
+    /// The active fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults.plan
+    }
+
+    /// Cumulative injected-fault counters.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults.counters
+    }
+
     /// Disables (or re-enables) the descriptor-ID cache, forcing the
     /// uncached reference path: `pair_at` recomputation per lookup and a
     /// linear scan in `signature_for`. Exists so tests can check the
@@ -491,8 +541,16 @@ impl Network {
         // shuffling the old `Vec` of the same length did.
         order[..n].shuffle(&mut self.rng);
 
+        let faults_active = !self.faults.is_inert();
         let mut outcome = FetchOutcome::NotFound;
         for &hsdir in &order[..n] {
+            // An overloaded or lossy HSDir neither serves nor logs the
+            // query; the client sees a timeout on that circuit and
+            // moves to the next responsible directory.
+            if faults_active && self.faults.drops_query(hsdir, desc_id) {
+                outcome = FetchOutcome::Timeout;
+                continue;
+            }
             let found = self.stores[hsdir.0].contains(desc_id);
             if self.relays[hsdir.0].logging {
                 self.logs[hsdir.0].record(RequestRecord {
@@ -536,7 +594,46 @@ impl Network {
         let first = self.client_fetch_desc_id(client, ids[0]);
         match first {
             FetchOutcome::Found | FetchOutcome::NoCircuit | FetchOutcome::NoHsdirs => first,
-            FetchOutcome::NotFound => self.client_fetch_desc_id(client, ids[1]),
+            FetchOutcome::NotFound | FetchOutcome::Timeout => {
+                let second = self.client_fetch_desc_id(client, ids[1]);
+                match second {
+                    // A timeout on either replica makes the whole fetch
+                    // a timeout: the descriptor may exist behind the
+                    // dropped query, so the result is transient.
+                    FetchOutcome::Found => FetchOutcome::Found,
+                    _ if first == FetchOutcome::Timeout => FetchOutcome::Timeout,
+                    other => other,
+                }
+            }
+        }
+    }
+
+    /// [`Network::client_fetch`] with capped exponential backoff over
+    /// the replica set: transient [`FetchOutcome::Timeout`] results are
+    /// retried up to the policy's attempt budget. Backoff is accounted
+    /// in the result, never slept — simulation time does not advance,
+    /// and a zero-fault network (which never times out) performs
+    /// exactly one attempt with identical RNG consumption.
+    pub fn client_fetch_with_retry(
+        &mut self,
+        client: ClientId,
+        onion: OnionAddress,
+        policy: &RetryPolicy,
+    ) -> FetchAttempts {
+        let budget = policy.max_attempts.max(1);
+        let mut attempts = 0u32;
+        let mut backoff_secs = 0u64;
+        loop {
+            attempts += 1;
+            let outcome = self.client_fetch(client, onion);
+            if outcome != FetchOutcome::Timeout || attempts >= budget {
+                return FetchAttempts {
+                    outcome,
+                    attempts,
+                    backoff_secs,
+                };
+            }
+            backoff_secs += policy.backoff_after(attempts);
         }
     }
 
@@ -552,6 +649,13 @@ impl Network {
         match self.client_fetch(client, onion) {
             FetchOutcome::Found => {}
             _ => return ConnectOutcome::NoDescriptor,
+        }
+        // Transient unreachability: the descriptor resolved but the
+        // service itself is flapping this hour (host churn, overloaded
+        // introduction points). Indistinguishable from a dead backend
+        // to the client, which is exactly the paper's scan ambiguity.
+        if !self.faults.is_inert() && self.faults.service_flapping(onion, self.time) {
+            return ConnectOutcome::ServiceUnreachable;
         }
         if !backend.is_online(onion, self.time) {
             return ConnectOutcome::ServiceUnreachable;
@@ -637,6 +741,8 @@ pub struct NetworkBuilder {
     max_bandwidth: u64,
     /// Fraction of relays started long enough ago to hold every flag.
     established_fraction: f64,
+    /// Fault plan the network starts under (inert by default).
+    faults: FaultPlan,
 }
 
 impl Default for NetworkBuilder {
@@ -649,6 +755,7 @@ impl Default for NetworkBuilder {
             min_bandwidth: 20,
             max_bandwidth: 10_000,
             established_fraction: 0.8,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -692,6 +799,14 @@ impl NetworkBuilder {
     /// at start.
     pub fn established_fraction(mut self, f: f64) -> Self {
         self.established_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the fault plan the network starts under. The default
+    /// ([`FaultPlan::none`]) injects nothing and is byte-identical to
+    /// omitting the call.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 
@@ -770,6 +885,7 @@ impl NetworkBuilder {
             sig_periods: HashMap::new(),
             hot: HotPathCounters::default(),
             desc_cache_enabled: true,
+            faults: FaultState::new(self.faults),
             rng: StdRng::seed_from_u64(self.seed ^ 0x00c1_1e77_5eed),
         }
     }
@@ -1145,5 +1261,220 @@ mod tests {
         net.advance_hours(25);
         let e = net.consensus().entry(net.relay(id).fingerprint()).unwrap();
         assert!(e.flags.contains(RelayFlags::HSDIR));
+    }
+
+    /// A run under an explicit zero-rate plan with a nonzero fault seed
+    /// is indistinguishable from a run with no plan at all.
+    #[test]
+    fn zero_rate_plan_is_byte_identical() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut b = NetworkBuilder::new()
+                .relays(80)
+                .seed(11)
+                .start(SimTime::from_ymd(2013, 2, 1));
+            if let Some(plan) = plan {
+                b = b.faults(plan);
+            }
+            let mut net = b.build();
+            let onion = OnionAddress::from_pubkey(b"identity service");
+            net.register_service(onion, true);
+            net.advance_hours(30);
+            let client = net.add_client(Ipv4::new(93, 184, 216, 34));
+            let outcomes: Vec<FetchOutcome> =
+                (0..20).map(|_| net.client_fetch(client, onion)).collect();
+            (outcomes, net.hot_counters(), net.slot_hours(onion))
+        };
+        let zero = FaultPlan {
+            seed: 0xdead_beef,
+            ..FaultPlan::none()
+        };
+        assert!(zero.is_inert());
+        assert_eq!(run(None), run(Some(zero)));
+    }
+
+    #[test]
+    fn crashed_relays_leave_consensus_and_restart_later() {
+        let plan = FaultPlan {
+            seed: 3,
+            relay_crash_rate: 0.05,
+            restart_after_hours: 2,
+            ..FaultPlan::none()
+        };
+        let mut net = NetworkBuilder::new()
+            .relays(80)
+            .seed(11)
+            .start(SimTime::from_ymd(2013, 2, 1))
+            .faults(plan)
+            .build();
+        net.advance_hours(12);
+        let c = net.fault_counters();
+        assert!(c.relay_crashes > 0, "{c:?}");
+        assert!(
+            c.relay_restarts > 0,
+            "2 h downtime within 12 h must restart some relays: {c:?}"
+        );
+        // Down relays are not listed; a consensus still forms.
+        let down = net.relays().iter().filter(|r| !r.running).count();
+        assert!(net.consensus().len() <= net.relays().len() - down);
+        assert!(net.consensus().hsdir_count() > 0);
+        // Determinism: the same plan replays the same faults.
+        let mut twin = NetworkBuilder::new()
+            .relays(80)
+            .seed(11)
+            .start(SimTime::from_ymd(2013, 2, 1))
+            .faults(net.fault_plan().clone())
+            .build();
+        twin.advance_hours(12);
+        assert_eq!(net.fault_counters(), twin.fault_counters());
+    }
+
+    #[test]
+    fn total_drop_rate_times_out_and_retry_exhausts() {
+        let plan = FaultPlan {
+            seed: 9,
+            hsdir_drop_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut net = NetworkBuilder::new()
+            .relays(80)
+            .seed(11)
+            .start(SimTime::from_ymd(2013, 2, 1))
+            .faults(plan)
+            .build();
+        let onion = OnionAddress::from_pubkey(b"unreachable service");
+        net.register_service(onion, true);
+        net.advance_hours(1);
+        let client = net.add_client(Ipv4::new(93, 184, 216, 34));
+        assert_eq!(net.client_fetch(client, onion), FetchOutcome::Timeout);
+
+        let policy = RetryPolicy::standard();
+        let res = net.client_fetch_with_retry(client, onion, &policy);
+        assert_eq!(res.outcome, FetchOutcome::Timeout);
+        assert_eq!(res.attempts, policy.max_attempts);
+        // 2 s + 4 s of accounted (never slept) backoff.
+        assert_eq!(res.backoff_secs, 6);
+        assert!(net.fault_counters().fetch_drops >= 6 * 3);
+    }
+
+    #[test]
+    fn partial_drop_rate_recovers_with_retry() {
+        let plan = FaultPlan {
+            seed: 5,
+            hsdir_drop_rate: 0.6,
+            ..FaultPlan::none()
+        };
+        let mut net = NetworkBuilder::new()
+            .relays(80)
+            .seed(11)
+            .start(SimTime::from_ymd(2013, 2, 1))
+            .faults(plan)
+            .build();
+        let onion = OnionAddress::from_pubkey(b"flaky but present");
+        net.register_service(onion, true);
+        net.advance_hours(1);
+        let client = net.add_client(Ipv4::new(93, 184, 216, 34));
+        let generous = RetryPolicy {
+            max_attempts: 12,
+            ..RetryPolicy::standard()
+        };
+        // At 0.6 per-HSDir drop over 6 responsible HSDirs per attempt,
+        // twelve attempts find the descriptor with near certainty.
+        let res = net.client_fetch_with_retry(client, onion, &generous);
+        assert_eq!(res.outcome, FetchOutcome::Found);
+        assert!(res.attempts >= 1);
+    }
+
+    #[test]
+    fn zero_fault_fetch_never_retries() {
+        let mut net = small_net();
+        let onion = OnionAddress::from_pubkey(b"steady service");
+        net.register_service(onion, true);
+        net.advance_hours(1);
+        let client = net.add_client(Ipv4::new(93, 184, 216, 34));
+        let res = net.client_fetch_with_retry(client, onion, &RetryPolicy::standard());
+        assert_eq!(res.outcome, FetchOutcome::Found);
+        assert_eq!(res.attempts, 1);
+        assert_eq!(res.backoff_secs, 0);
+        assert_eq!(net.fault_counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn publish_drops_reduce_store_coverage_but_not_slot_hours() {
+        let plan = FaultPlan {
+            seed: 21,
+            publish_drop_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut net = NetworkBuilder::new()
+            .relays(80)
+            .seed(11)
+            .start(SimTime::from_ymd(2013, 2, 1))
+            .faults(plan)
+            .build();
+        let onion = OnionAddress::from_pubkey(b"never uploads");
+        net.register_service(onion, true);
+        net.advance_hours(1);
+        assert!(net.fault_counters().publish_drops > 0);
+        let client = net.add_client(Ipv4::new(93, 184, 216, 34));
+        assert_eq!(
+            net.client_fetch(client, onion),
+            FetchOutcome::NotFound,
+            "every upload dropped, nothing to serve"
+        );
+    }
+
+    #[test]
+    fn flapping_service_unreachable_despite_descriptor() {
+        let plan = FaultPlan {
+            seed: 2,
+            service_flap_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut net = NetworkBuilder::new()
+            .relays(80)
+            .seed(11)
+            .start(SimTime::from_ymd(2013, 2, 1))
+            .faults(plan)
+            .build();
+        let onion = OnionAddress::from_pubkey(b"flapping service");
+        net.register_service(onion, true);
+        net.advance_hours(1);
+        let client = net.add_client(Ipv4::new(93, 184, 216, 34));
+        assert_eq!(net.client_fetch(client, onion), FetchOutcome::Found);
+        assert_eq!(
+            net.connect_port(client, onion, 80, &AlwaysOpen),
+            ConnectOutcome::ServiceUnreachable
+        );
+        assert!(net.fault_counters().service_flaps > 0);
+    }
+
+    #[test]
+    fn overload_threshold_drops_excess_queries() {
+        let plan = FaultPlan {
+            seed: 4,
+            overload_threshold: 2,
+            ..FaultPlan::none()
+        };
+        let mut net = NetworkBuilder::new()
+            .relays(80)
+            .seed(11)
+            .start(SimTime::from_ymd(2013, 2, 1))
+            .faults(plan)
+            .build();
+        let onion = OnionAddress::from_pubkey(b"popular service");
+        net.register_service(onion, true);
+        net.advance_hours(1);
+        let client = net.add_client(Ipv4::new(93, 184, 216, 34));
+        // Hammer the same descriptor: responsible HSDirs hit their
+        // 2-query round budget and start shedding load.
+        for _ in 0..20 {
+            let _ = net.client_fetch(client, onion);
+        }
+        assert!(net.fault_counters().overload_drops > 0);
+        // A new consensus round resets the load counters.
+        let before = net.fault_counters().overload_drops;
+        net.advance_hours(1);
+        assert_eq!(net.client_fetch(client, onion), FetchOutcome::Found);
+        assert_eq!(net.fault_counters().overload_drops, before);
     }
 }

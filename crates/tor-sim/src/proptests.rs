@@ -127,6 +127,50 @@ proptest! {
         prop_assert!(!sig.matches(&plain_response(payload)));
     }
 
+    /// Consensuses voted under arbitrary fault plans still satisfy the
+    /// authority invariants: at most two relays per IP, every listed
+    /// relay running and reachable, and the HSDir flag only on relays
+    /// with ≥ 25 h of uptime.
+    #[test]
+    fn faulted_consensus_preserves_invariants(
+        fault_seed in any::<u64>(),
+        crash_permille in 0u64..300,
+        restart_after in 1u64..6,
+        hours in 1u64..30,
+    ) {
+        use crate::fault::FaultPlan;
+        use crate::network::NetworkBuilder;
+        use std::collections::HashMap;
+
+        let plan = FaultPlan {
+            seed: fault_seed,
+            relay_crash_rate: crash_permille as f64 / 1000.0,
+            restart_after_hours: restart_after,
+            ..FaultPlan::none()
+        };
+        let mut net = NetworkBuilder::new()
+            .relays(60)
+            .seed(11)
+            .start(SimTime::from_ymd(2013, 2, 1))
+            .faults(plan)
+            .build();
+        net.advance_hours(hours);
+
+        let now = net.consensus().valid_after();
+        let mut per_ip: HashMap<Ipv4, usize> = HashMap::new();
+        for entry in net.consensus().entries() {
+            *per_ip.entry(entry.ip).or_insert(0) += 1;
+            let relay = net.relay(entry.relay);
+            prop_assert!(relay.running && relay.reachable,
+                "listed relay {} is down", entry.nickname);
+            if entry.flags.contains(RelayFlags::HSDIR) {
+                prop_assert!(relay.uptime(now) >= 25 * crate::clock::HOUR,
+                    "HSDir {} has only {}s uptime", entry.nickname, relay.uptime(now));
+            }
+        }
+        prop_assert!(per_ip.values().all(|&n| n <= 2), "2-per-IP rule violated");
+    }
+
     /// SHA-1-derived ring positions are uniform enough that the
     /// average-gap estimate is within an order of magnitude of every
     /// observed gap for moderate rings — sanity for the ratio statistic.

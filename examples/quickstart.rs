@@ -30,18 +30,29 @@ fn main() {
     println!("Running the study at scale {} …\n", config.scale);
     let results = Study::new(config).run();
 
+    // A fault-free run completes every stage; each report section is
+    // an Option only so that fault-injected runs can degrade instead
+    // of aborting (see `landscape study --faults adversarial`).
+    assert!(results.is_complete(), "{:?}", results.degraded_stages());
+    let harvest = results.harvest.as_ref().unwrap();
     println!(
         "Harvested {} onion addresses with {} relay instances over {} hours.\n",
-        results.harvest.onion_count(),
-        results.harvest.fleet_relays.len(),
-        results.harvest.hours
+        harvest.onion_count(),
+        harvest.fleet_relays.len(),
+        harvest.hours
     );
-    println!("{}", report::render_fig1(&results.scan));
-    println!("{}", report::render_table1(&results.crawl));
-    println!("{}", report::render_fig2(&results.crawl));
-    println!("{}", report::render_table2(&results.ranking, 15));
+    println!("{}", report::render_fig1(results.scan.as_ref().unwrap()));
+    println!("{}", report::render_table1(results.crawl.as_ref().unwrap()));
+    println!("{}", report::render_fig2(results.crawl.as_ref().unwrap()));
     println!(
         "{}",
-        report::render_sec5(&results.resolution, results.requested_published_share)
+        report::render_table2(results.ranking.as_ref().unwrap(), 15)
+    );
+    println!(
+        "{}",
+        report::render_sec5(
+            results.resolution.as_ref().unwrap(),
+            results.requested_published_share.unwrap()
+        )
     );
 }

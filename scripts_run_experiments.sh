@@ -5,6 +5,7 @@
 #   sh scripts_run_experiments.sh          regenerate results/*.txt
 #   sh scripts_run_experiments.sh verify   formatting + lint gate only
 #   sh scripts_run_experiments.sh bench    stage-timing run + baseline diff
+#   sh scripts_run_experiments.sh faults   adversarial fault-injection run
 set -e
 if [ "${1:-}" = "verify" ]; then
   echo "== cargo fmt --check"
@@ -55,6 +56,45 @@ if [ "${1:-}" = "bench" ]; then
       printf "WARN: hot stages regressed >20%% (%.0fms vs %.0fms baseline)\n", c, b
   }'
   echo "bench ok"
+  exit 0
+fi
+if [ "${1:-}" = "faults" ]; then
+  # Run the committed adversarial fault profile end to end. The run
+  # must complete (exit 0) with a *partial* report — the injected certs
+  # failure degrades that stage, the flaky geomap stage recovers on
+  # retry — and the stage counters (faults fired, retries absorbed,
+  # stages degraded) must match the committed baseline exactly: fault
+  # injection is deterministic, so any drift is a regression.
+  BASELINE=results/bench_stages_faults_baseline.json
+  CURRENT=results/bench_stages.json
+  [ -f "$BASELINE" ] || { echo "missing $BASELINE"; exit 1; }
+  echo "== landscape study --scale 0.03 --seed 7 --faults adversarial"
+  cargo run --release -q -p hs-landscape --bin landscape -- \
+    study --scale 0.03 --seed 7 --faults adversarial \
+    > results/faults_study.txt 2> results/faults_study.log
+  grep -q "PARTIAL REPORT" results/faults_study.txt \
+    || { echo "FAIL: adversarial run did not degrade into a partial report"; exit 1; }
+  grep -q "^faults: " results/faults_study.log \
+    || { echo "FAIL: no fault counter summary in the stage timings"; exit 1; }
+  grep -q '"degraded": \[' "$CURRENT" \
+    || { echo "FAIL: no degraded section in $CURRENT"; exit 1; }
+  grep -Eq '"fetch_drops": [1-9]' "$CURRENT" \
+    || { echo "FAIL: adversarial plan injected no fetch drops"; exit 1; }
+  grep -Eq '"relay_crashes": [1-9]' "$CURRENT" \
+    || { echo "FAIL: adversarial plan crashed no relays"; exit 1; }
+  strip_wall() {
+    sed 's/"wall_ms": [0-9.]*, //' "$1" | grep '"stage"'
+  }
+  strip_wall "$BASELINE" > /tmp/faults_baseline_counters.$$
+  strip_wall "$CURRENT" > /tmp/faults_current_counters.$$
+  if ! diff -u /tmp/faults_baseline_counters.$$ /tmp/faults_current_counters.$$; then
+    rm -f /tmp/faults_baseline_counters.$$ /tmp/faults_current_counters.$$
+    echo "FAIL: fault counters drifted from $BASELINE (determinism regression)"
+    exit 1
+  fi
+  rm -f /tmp/faults_baseline_counters.$$ /tmp/faults_current_counters.$$
+  echo "fault counters match baseline"
+  echo "faults ok"
   exit 0
 fi
 SCALE="${HS_SCALE:-0.25}"

@@ -51,17 +51,20 @@ fn resolution_fingerprint(r: &ResolutionReport) -> String {
 }
 
 /// Everything measured, minus the wall-clock timings (which are never
-/// equal across runs).
+/// equal across runs). Report sections are `Option`s (a degraded
+/// stage leaves its section `None`); fingerprinting a complete run
+/// unwraps them, so an unexpected degradation fails the test loudly.
 fn fingerprint(r: &StudyReport) -> String {
+    assert!(r.is_complete(), "degraded: {:?}", r.degraded_stages());
     format!(
         "{}|{:?}|{:?}|{:?}|{}|{:?}|{}|{:?}|{:?}|{:?}",
-        harvest_fingerprint(&r.harvest),
+        harvest_fingerprint(r.harvest.as_ref().unwrap()),
         r.scan,
         r.certs,
         r.crawl,
-        resolution_fingerprint(&r.resolution),
+        resolution_fingerprint(r.resolution.as_ref().unwrap()),
         r.ranking,
-        sorted_map(&r.forensics.groups),
+        sorted_map(&r.forensics.as_ref().unwrap().groups),
         r.requested_published_share,
         r.deanon,
         r.tracking,
@@ -96,20 +99,20 @@ fn run_until_matches_full_run() {
     // PortScan closure: setup → harvest → port_scan, nothing else.
     let scan_only = study.run_until(StageId::PortScan);
     assert_eq!(
-        format!("{:?}", scan_only.artifacts.scan()),
-        format!("{:?}", full.scan),
+        format!("{:?}", Some(scan_only.artifacts.scan())),
+        format!("{:?}", full.scan.as_ref()),
         "selective scan differs from full-run scan"
     );
     assert_eq!(
         harvest_fingerprint(scan_only.artifacts.harvest()),
-        harvest_fingerprint(&full.harvest),
+        harvest_fingerprint(full.harvest.as_ref().unwrap()),
         "selective harvest differs from full-run harvest"
     );
     // Geomap closure takes the deanon-window branch instead.
     let geomap_only = study.run_until(StageId::Geomap);
     assert_eq!(
-        format!("{:?}", geomap_only.artifacts.deanon()),
-        format!("{:?}", full.deanon),
+        format!("{:?}", Some(geomap_only.artifacts.deanon())),
+        format!("{:?}", full.deanon.as_ref()),
         "selective deanon report differs from full-run report"
     );
 }

@@ -11,95 +11,111 @@ fn run_study() -> &'static StudyReport {
 #[test]
 fn harvest_feeds_scan_feeds_crawl() {
     let r = run_study();
+    assert!(r.is_complete(), "degraded: {:?}", r.degraded_stages());
+    let (world, harvest) = (r.world.as_ref().unwrap(), r.harvest.as_ref().unwrap());
+    let (scan, crawl) = (r.scan.as_ref().unwrap(), r.crawl.as_ref().unwrap());
 
     // Harvest found a large share of the publishing services.
-    let publishing = r
-        .world
+    let publishing = world
         .services()
         .iter()
         .filter(|s| s.publishes_descriptors())
         .count();
-    let coverage = r.harvest.coverage_of(publishing);
+    let coverage = harvest.coverage_of(publishing);
     assert!(coverage > 0.5, "harvest coverage {coverage}");
 
     // Everything the scan probed came from the harvest crop.
-    assert_eq!(r.scan.targets, r.harvest.onion_count());
-    for onion in r.scan.open_by_onion.keys() {
-        assert!(r.harvest.onions.contains(onion), "{onion} not harvested");
+    assert_eq!(scan.targets, harvest.onion_count());
+    for onion in scan.open_by_onion.keys() {
+        assert!(harvest.onions.contains(onion), "{onion} not harvested");
     }
 
     // Crawl attempted exactly the scan's non-55080 destinations.
-    assert_eq!(r.crawl.attempted, r.scan.crawl_destinations().len());
+    assert_eq!(crawl.attempted, scan.crawl_destinations().len());
 }
 
 #[test]
 fn funnel_accounting_holds() {
-    let r = run_study();
+    let crawl = run_study().crawl.as_ref().unwrap();
     assert_eq!(
-        r.crawl.connected,
-        r.crawl.excluded_errors
-            + r.crawl.excluded_short
-            + r.crawl.excluded_mirrors
-            + r.crawl.classified.len()
+        crawl.connected,
+        crawl.excluded_errors
+            + crawl.excluded_short
+            + crawl.excluded_mirrors
+            + crawl.classified.len()
     );
 }
 
 #[test]
 fn popularity_resolution_subset_of_harvest() {
     let r = run_study();
-    assert!(r.resolution.total_requests > 0);
-    for onion in r.resolution.requests_per_onion.keys() {
+    let resolution = r.resolution.as_ref().unwrap();
+    let harvest = r.harvest.as_ref().unwrap();
+    assert!(resolution.total_requests > 0);
+    for onion in resolution.requests_per_onion.keys() {
         assert!(
-            r.harvest.onions.contains(onion),
+            harvest.onions.contains(onion),
             "resolved onion {onion} must come from the harvested list"
         );
     }
     // Phantom requests exist (dark services are polled).
-    assert!(r.resolution.unresolved_requests > 0);
+    assert!(resolution.unresolved_requests > 0);
 }
 
 #[test]
 fn ranking_is_consistent_with_resolution() {
     let r = run_study();
+    let (ranking, resolution) = (r.ranking.as_ref().unwrap(), r.resolution.as_ref().unwrap());
     // The study ranking is coverage-normalised, so counts differ from the
     // raw log, but every resolved onion gets exactly one row.
-    assert_eq!(r.ranking.rows().len(), r.resolution.resolved_onions);
+    assert_eq!(ranking.rows().len(), resolution.resolved_onions);
 
     // The *raw* ranking preserves the logged totals exactly.
-    let raw = hs_landscape::hs_popularity::Ranking::build(&r.resolution, &r.world);
+    let raw = hs_landscape::hs_popularity::Ranking::build(resolution, r.world.as_ref().unwrap());
     let total_ranked: u64 = raw.rows().iter().map(|row| row.requests).sum();
-    let total_resolved: u64 = r.resolution.requests_per_onion.values().sum();
+    let total_resolved: u64 = resolution.requests_per_onion.values().sum();
     assert_eq!(total_ranked, total_resolved);
 
     // Normalisation never invents onions and keeps counts positive.
-    for row in r.ranking.rows() {
-        assert!(r.resolution.requests_per_onion.contains_key(&row.onion));
-        assert!(row.requests > 0 || r.resolution.requests_per_onion[&row.onion] > 0);
+    for row in ranking.rows() {
+        assert!(resolution.requests_per_onion.contains_key(&row.onion));
+        assert!(row.requests > 0 || resolution.requests_per_onion[&row.onion] > 0);
     }
 }
 
 #[test]
 fn deanon_observations_reference_real_clients() {
-    let r = run_study();
+    let deanon = run_study().deanon.as_ref().unwrap();
     // The expected catch rate is positive once attacker guards are in
     // the consensus.
-    assert!(r.deanon.expected_rate > 0.0);
+    assert!(deanon.expected_rate > 0.0);
     // All caught clients map into the geo database.
-    let sum: u32 = r.deanon.geomap.rows().iter().map(|x| x.2).sum();
-    assert_eq!(sum, r.deanon.unique_clients);
+    let sum: u32 = deanon.geomap.rows().iter().map(|x| x.2).sum();
+    assert_eq!(sum, deanon.unique_clients);
 }
 
 #[test]
 fn study_is_deterministic() {
     let a = Study::new(StudyConfig::test_scale()).run();
     let b = Study::new(StudyConfig::test_scale()).run();
-    assert_eq!(a.harvest.onion_count(), b.harvest.onion_count());
-    assert_eq!(a.scan.total_open(), b.scan.total_open());
-    assert_eq!(a.crawl.classified.len(), b.crawl.classified.len());
-    assert_eq!(a.resolution.total_requests, b.resolution.total_requests);
-    let ra: Vec<_> = a.ranking.top(10).iter().map(|r| r.onion).collect();
-    let rb: Vec<_> = b.ranking.top(10).iter().map(|r| r.onion).collect();
-    assert_eq!(ra, rb);
+    let count = |r: &StudyReport| r.harvest.as_ref().unwrap().onion_count();
+    assert_eq!(count(&a), count(&b));
+    let open = |r: &StudyReport| r.scan.as_ref().unwrap().total_open();
+    assert_eq!(open(&a), open(&b));
+    let pages = |r: &StudyReport| r.crawl.as_ref().unwrap().classified.len();
+    assert_eq!(pages(&a), pages(&b));
+    let requests = |r: &StudyReport| r.resolution.as_ref().unwrap().total_requests;
+    assert_eq!(requests(&a), requests(&b));
+    let top = |r: &StudyReport| -> Vec<_> {
+        r.ranking
+            .as_ref()
+            .unwrap()
+            .top(10)
+            .iter()
+            .map(|row| row.onion)
+            .collect()
+    };
+    assert_eq!(top(&a), top(&b));
 }
 
 #[test]
@@ -115,9 +131,21 @@ fn seed_changes_world() {
     })
     .run();
     // Planted entities are identical, but the bulk population differs.
-    let onions_a: std::collections::BTreeSet<_> =
-        a.world.services().iter().map(|s| s.onion).collect();
-    let onions_b: std::collections::BTreeSet<_> =
-        b.world.services().iter().map(|s| s.onion).collect();
+    let onions_a: std::collections::BTreeSet<_> = a
+        .world
+        .as_ref()
+        .unwrap()
+        .services()
+        .iter()
+        .map(|s| s.onion)
+        .collect();
+    let onions_b: std::collections::BTreeSet<_> = b
+        .world
+        .as_ref()
+        .unwrap()
+        .services()
+        .iter()
+        .map(|s| s.onion)
+        .collect();
     assert_ne!(onions_a, onions_b);
 }
