@@ -18,18 +18,30 @@
 //! landscape tracking [--seed N]              Silk Road tracking detection (Sec. VII)
 //! landscape stages  [--scale S] [--seed N]   print the stage plan and timings only
 //! ```
+//!
+//! Observability flags (any command):
+//!
+//! ```text
+//! --trace FILE    write a deterministic sim-clock Chrome trace_event
+//!                 JSON (open in chrome://tracing or ui.perfetto.dev)
+//! --log LEVEL     stderr event stream: off (default), progress, debug
+//! --quiet         alias for --log off
+//! ```
 
 use std::path::Path;
 use std::process::ExitCode;
 
+use hs_landscape::obs;
 use hs_landscape::pipeline::{PipelineTimings, StageId};
-use hs_landscape::{report, Study, StudyConfig};
+use hs_landscape::{report, RunOptions, Study, StudyConfig};
 
 struct Args {
     command: String,
     scale: f64,
     seed: u64,
     faults: String,
+    trace: Option<String>,
+    log: obs::LogLevel,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +50,8 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = 0.1f64;
     let mut seed = 0x2013_0204u64;
     let mut faults = "none".to_owned();
+    let mut trace = None;
+    let mut log = obs::LogLevel::Off;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -54,6 +68,15 @@ fn parse_args() -> Result<Args, String> {
             "--faults" => {
                 faults = args.next().ok_or("--faults needs a profile".to_owned())?;
             }
+            "--trace" => {
+                trace = Some(args.next().ok_or("--trace needs a file path".to_owned())?);
+            }
+            "--log" => {
+                let v = args.next().ok_or("--log needs a level".to_owned())?;
+                log = obs::LogLevel::parse(&v)
+                    .ok_or_else(|| format!("bad log level {v:?} (off|progress|debug)"))?;
+            }
+            "--quiet" => log = obs::LogLevel::Off,
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
@@ -62,12 +85,15 @@ fn parse_args() -> Result<Args, String> {
         scale,
         seed,
         faults,
+        trace,
+        log,
     })
 }
 
 fn usage() -> String {
     "usage: landscape <study|fig1|table1|fig2|table2|fig3|certs|sec5|tracking|stages> \
-     [--scale S] [--seed N] [--faults none|adversarial]"
+     [--scale S] [--seed N] [--faults none|adversarial] [--trace FILE] \
+     [--log off|progress|debug] [--quiet]"
         .to_owned()
 }
 
@@ -136,6 +162,19 @@ fn write_stage_json(args: &Args, timings: &PipelineTimings) {
     }
 }
 
+/// Exports the run's trace as deterministic sim-clock Chrome
+/// `trace_event` JSON, validating the emitted bytes first.
+fn write_trace(path: &str, trace: &obs::Trace) -> Result<(), String> {
+    let json = trace.to_chrome_json(obs::TraceClock::Sim);
+    obs::trace::validate_json(&json).map_err(|e| format!("internal: trace JSON invalid: {e}"))?;
+    std::fs::write(path, json).map_err(|e| format!("could not write {path}: {e}"))?;
+    eprintln!(
+        "[landscape] sim-clock trace written to {path} \
+         (open in chrome://tracing or https://ui.perfetto.dev)"
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -143,6 +182,10 @@ fn main() -> ExitCode {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
+    };
+    let opts = RunOptions {
+        trace: args.trace.is_some(),
+        log: obs::Logger::new(args.log),
     };
     const COMMANDS: &[&str] = &[
         "study", "fig1", "table1", "fig2", "table2", "fig3", "certs", "sec5", "tracking", "stages",
@@ -163,7 +206,7 @@ fn main() -> ExitCode {
         // The full study: every stage, parallel analyses. A degraded
         // stage leaves its sections out of the report; the run itself
         // still succeeds with whatever completed.
-        let results = study.run();
+        let results = study.run_with(opts);
         if let Some(scan) = &results.scan {
             println!("{}", report::render_fig1(scan));
         }
@@ -191,10 +234,16 @@ fn main() -> ExitCode {
         }
         eprintln!("{}", report::render_stage_timings(&results.stages));
         write_stage_json(&args, &results.stages);
+        if let (Some(path), Some(trace)) = (&args.trace, &results.trace) {
+            if let Err(e) = write_trace(path, trace) {
+                eprintln!("[landscape] {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         return ExitCode::SUCCESS;
     };
 
-    let run = study.run_stages(&targets);
+    let run = study.run_stages_with(&targets, opts);
     let artifacts = &run.artifacts;
     match args.command.as_str() {
         "fig1" => println!("{}", report::render_fig1(artifacts.scan())),
@@ -222,5 +271,11 @@ fn main() -> ExitCode {
     }
     eprintln!("{}", report::render_stage_timings(&run.timings));
     write_stage_json(&args, &run.timings);
+    if let (Some(path), Some(trace)) = (&args.trace, &run.trace) {
+        if let Err(e) = write_trace(path, trace) {
+            eprintln!("[landscape] {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }

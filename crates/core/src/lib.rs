@@ -37,13 +37,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
-#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod pipeline;
 pub mod report;
 pub mod study;
 
-pub use pipeline::{ExecMode, PipelineRun, PipelineTimings, StageId, StageTiming};
+pub use pipeline::{ExecMode, PipelineRun, PipelineTimings, RunOptions, StageId, StageTiming};
 pub use study::{DeanonReport, Study, StudyConfig, StudyReport, TrackingReport};
 
 // Re-export the subsystem crates under one roof.
@@ -54,5 +54,6 @@ pub use hs_popularity;
 pub use hs_portscan;
 pub use hs_tracking;
 pub use hs_world;
+pub use obs;
 pub use onion_crypto;
 pub use tor_sim;

@@ -25,15 +25,31 @@
 //!   downstream stage that needed its artifact, and the run carries on
 //!   with whatever remains. Sequential and parallel execution must —
 //!   and are tested to — produce the identical degraded list.
+//!
+//! ## Observability
+//!
+//! Every stage body fills an [`obs::Registry`] (counters in the
+//! historical `bench_stages.json` order, plus the newer dotted-name
+//! gauges and histograms). With [`RunOptions::trace`] set, the engine
+//! additionally collects a span trace: one lane per stage (plus lane 0
+//! for the run), with per-stage spans, per-attempt spans, per-consensus
+//! -round spans from [`Network::take_round_trace`], coarse client-op
+//! spans (traffic ticks, scan days), and typed instant events (retry,
+//! fault, degraded, cache). Sim-clock timestamps in the trace are a
+//! pure function of the seed and the plan, so the `Sim` export is
+//! byte-identical across same-seed runs; wall intervals ride along for
+//! the `Wall` view only. Tracing is observational: it never changes an
+//! artifact byte (the round recorder itself is proven inert in
+//! `tor-sim`).
 
 use std::collections::BTreeSet;
 use std::panic::{self, AssertUnwindSafe};
 use std::time::Instant;
 
+use obs::{EventKind, Span, SpanRecorder, Trace, TraceEvent};
 use onion_crypto::onion::OnionAddress;
-use tor_sim::clock::SimTime;
-use tor_sim::fault::FaultCounters;
-use tor_sim::network::{HotPathCounters, NetworkBuilder};
+use tor_sim::clock::{SimTime, HOUR};
+use tor_sim::network::{Network, RoundTrace};
 
 use hs_content::{CertSurvey, CrawlConfig, Crawler};
 use hs_deanon::{DeanonAttack, GeoMap};
@@ -65,6 +81,15 @@ pub enum ExecMode {
     Sequential,
 }
 
+/// Per-run observability switches.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunOptions {
+    /// Collect a span trace ([`PipelineRun::trace`] becomes `Some`).
+    pub trace: bool,
+    /// Human-readable event stream on stderr (off by default).
+    pub log: obs::Logger,
+}
+
 /// The result of one pipeline run: the filled artifact slots plus the
 /// per-stage instrumentation.
 #[derive(Debug)]
@@ -73,6 +98,8 @@ pub struct PipelineRun {
     pub artifacts: ArtifactStore,
     /// What ran, how long it took, and what was skipped.
     pub timings: PipelineTimings,
+    /// The span trace, when [`RunOptions::trace`] was set.
+    pub trace: Option<Trace>,
 }
 
 /// The engine. Owns nothing but the configuration; every run starts
@@ -80,31 +107,6 @@ pub struct PipelineRun {
 #[derive(Clone, Debug)]
 pub struct Pipeline {
     cfg: StudyConfig,
-}
-
-type Counters = Vec<(&'static str, u64)>;
-
-/// Appends the network hot-path work done during a sim stage, so cache
-/// behaviour (and any determinism drift in it) is visible per stage in
-/// `bench_stages.json`.
-fn push_hot(counters: &mut Counters, hot: HotPathCounters) {
-    counters.push(("sha1_digests", hot.sha1_digests));
-    counters.push(("desc_cache_hits", hot.desc_cache_hits));
-    counters.push(("desc_cache_misses", hot.desc_cache_misses));
-    counters.push(("fetches", hot.fetches));
-}
-
-/// Appends the fault-injection work done during a sim stage. Only
-/// called when the study runs with an active [`tor_sim::FaultPlan`],
-/// so fault-free runs keep the historical counter layout
-/// byte-for-byte (the bench baseline diff depends on it).
-fn push_faults(counters: &mut Counters, faults: FaultCounters) {
-    counters.push(("relay_crashes", faults.relay_crashes));
-    counters.push(("relay_restarts", faults.relay_restarts));
-    counters.push(("fetch_drops", faults.fetch_drops));
-    counters.push(("overload_drops", faults.overload_drops));
-    counters.push(("publish_drops", faults.publish_drops));
-    counters.push(("service_flaps", faults.service_flaps));
 }
 
 /// Extracts a readable message from a caught panic payload.
@@ -143,6 +145,59 @@ fn injected_failure(cfg: &StudyConfig, stage: StageId, attempt: u32) -> Option<S
     None
 }
 
+/// A coarse client-operation interval recorded inside a sim stage
+/// (a driven traffic tick, one scan day) — rendered as an `ops` span.
+struct OpSpan {
+    name: &'static str,
+    start: u64,
+    end: u64,
+    args: Vec<(&'static str, u64)>,
+}
+
+/// What one sim-stage attempt collected: its metric registry plus —
+/// when tracing — the sim interval it covered, the consensus rounds it
+/// drove, and its client-op intervals.
+struct StageObs {
+    reg: obs::Registry,
+    tracing: bool,
+    sim: Option<(u64, u64)>,
+    rounds: Vec<RoundTrace>,
+    ops: Vec<OpSpan>,
+}
+
+impl StageObs {
+    fn new(tracing: bool) -> Self {
+        StageObs {
+            reg: obs::Registry::new(),
+            tracing,
+            sim: None,
+            rounds: Vec::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Arms (or re-arms) the network round recorder for this stage and
+    /// notes the stage's sim start. Re-arming resets the recorder's
+    /// marks, so a stage never inherits deltas from the snapshot it
+    /// cloned.
+    fn begin(&mut self, net: &mut Network) {
+        if self.tracing {
+            net.set_round_tracing(true);
+        }
+        self.sim = Some((net.time().unix(), net.time().unix()));
+    }
+
+    /// Closes the stage's sim interval and drains its rounds.
+    fn end(&mut self, net: &mut Network) {
+        if let Some((start, _)) = self.sim {
+            self.sim = Some((start, net.time().unix()));
+        }
+        if self.tracing {
+            self.rounds = net.take_round_trace();
+        }
+    }
+}
+
 /// The value an analysis stage hands back to the joiner.
 enum AnalysisOut {
     Geomap(DeanonReport),
@@ -152,17 +207,41 @@ enum AnalysisOut {
     Tracking(TrackingReport),
 }
 
+/// Trace-side metadata for one completed analysis stage.
+struct AnalysisMeta {
+    /// Synthetic sim-span weight: the number of items the stage
+    /// processed (analysis stages have no sim clock of their own).
+    weight: u64,
+    /// Wall interval in µs since the run epoch.
+    wall: (u64, u64),
+    /// Attempts consumed (for retry events).
+    attempts: u32,
+}
+
 impl Pipeline {
     /// Creates an engine for `cfg`.
     pub fn new(cfg: StudyConfig) -> Self {
         Pipeline { cfg }
     }
 
+    /// Runs the dependency closure of `targets` with default options
+    /// (no trace, no log). See [`Pipeline::run_with`].
+    pub fn run(&self, targets: &[StageId], mode: ExecMode) -> PipelineRun {
+        self.run_with(targets, mode, RunOptions::default())
+    }
+
     /// Runs the dependency closure of `targets`, skipping every stage
     /// the targets do not need. Stage failures degrade (recorded in
     /// [`PipelineTimings::degraded`]) instead of aborting the run.
-    pub fn run(&self, targets: &[StageId], mode: ExecMode) -> PipelineRun {
+    /// `opts` controls span tracing and the stderr event stream.
+    pub fn run_with(&self, targets: &[StageId], mode: ExecMode, opts: RunOptions) -> PipelineRun {
+        let epoch = Instant::now();
+        let log = opts.log;
         let plan = StageId::closure(targets);
+        log.progress(format_args!(
+            "pipeline: {} stage(s) planned ({mode:?})",
+            plan.len()
+        ));
         let mut store = ArtifactStore::default();
         let mut timings = PipelineTimings {
             executed: Vec::with_capacity(plan.len()),
@@ -172,83 +251,144 @@ impl Pipeline {
                 .filter(|s| !plan.contains(s))
                 .collect(),
             degraded: Vec::new(),
+            elapsed: Default::default(),
         };
         let mut failed: BTreeSet<StageId> = BTreeSet::new();
+        // Per-stage trace lanes, filled only when tracing.
+        let mut recorders: Vec<(StageId, SpanRecorder)> = Vec::new();
+        // The sim frontier: where the sim prefix's clock ended, which
+        // is where analysis stages' synthetic spans start.
+        let mut sim_lo = u64::MAX;
+        let mut sim_hi = 0u64;
 
         // Sim prefix: strictly sequential, canonical order.
         for &stage in plan.iter().filter(|s| s.kind() == StageKind::Sim) {
             if let Some(&dep) = stage.deps().iter().find(|d| failed.contains(d)) {
+                log.progress(format_args!(
+                    "stage {stage}: skipped, dependency `{dep}` degraded"
+                ));
                 timings.degraded.push(DegradedStage {
                     stage,
                     error: format!("dependency `{dep}` degraded"),
                     attempts: 0,
                 });
                 failed.insert(stage);
+                if opts.trace {
+                    recorders.push((stage, degraded_recorder(sim_hi, 0)));
+                }
                 continue;
             }
+            log.debug(format_args!("stage {stage}: starting"));
             let started = Instant::now();
+            let wall_start = epoch.elapsed().as_micros() as u64;
             let budget = retry_budget(stage);
             let mut attempts = 0u32;
             let outcome = loop {
                 attempts += 1;
+                let mut sobs = StageObs::new(opts.trace);
                 let result = match injected_failure(&self.cfg, stage, attempts) {
                     Some(err) => Err(err),
                     None => panic::catch_unwind(AssertUnwindSafe(|| match stage {
-                        StageId::Setup => self.sim_setup(&mut store),
-                        StageId::Harvest => self.sim_harvest(&mut store),
-                        StageId::DeanonWindow => self.sim_deanon_window(&mut store),
-                        StageId::PortScan => self.sim_port_scan(&mut store),
+                        StageId::Setup => self.sim_setup(&mut store, &mut sobs),
+                        StageId::Harvest => self.sim_harvest(&mut store, &mut sobs),
+                        StageId::DeanonWindow => self.sim_deanon_window(&mut store, &mut sobs),
+                        StageId::PortScan => self.sim_port_scan(&mut store, &mut sobs),
                         _ => unreachable!("analysis stage in sim prefix"),
                     }))
                     .unwrap_or_else(|payload| Err(panic_message(payload))),
                 };
                 match result {
-                    Ok(counters) => break Ok(counters),
-                    Err(_) if attempts < budget => continue,
+                    Ok(()) => break Ok(sobs),
+                    Err(err) if attempts < budget => {
+                        log.debug(format_args!(
+                            "stage {stage}: attempt {attempts} failed ({err}); retrying"
+                        ));
+                        continue;
+                    }
                     Err(err) => break Err(err),
                 }
             };
             match outcome {
-                Ok(mut counters) => {
+                Ok(mut sobs) => {
                     if attempts > 1 {
-                        counters.push(("retries", u64::from(attempts - 1)));
+                        sobs.reg.inc("retries", u64::from(attempts - 1));
                     }
-                    timings.executed.push(StageTiming {
-                        stage,
-                        wall: started.elapsed(),
-                        counters,
-                    });
+                    let wall_end = epoch.elapsed().as_micros() as u64;
+                    let timing = StageTiming::from_registry(stage, started.elapsed(), sobs.reg);
+                    log.progress(format_args!(
+                        "stage {stage}: done in {:.1} ms",
+                        timing.wall.as_secs_f64() * 1e3
+                    ));
+                    if opts.trace {
+                        let sim = sobs.sim.unwrap_or((sim_hi, sim_hi));
+                        sim_lo = sim_lo.min(sim.0);
+                        sim_hi = sim_hi.max(sim.1);
+                        recorders.push((
+                            stage,
+                            sim_stage_recorder(
+                                stage,
+                                sim,
+                                (wall_start, wall_end),
+                                attempts,
+                                &timing,
+                                &sobs.rounds,
+                                &sobs.ops,
+                            ),
+                        ));
+                    }
+                    timings.executed.push(timing);
                 }
                 Err(error) => {
+                    log.progress(format_args!(
+                        "stage {stage}: DEGRADED after {attempts} attempt(s): {error}"
+                    ));
                     timings.degraded.push(DegradedStage {
                         stage,
                         error,
                         attempts,
                     });
                     failed.insert(stage);
+                    if opts.trace {
+                        recorders.push((stage, degraded_recorder(sim_hi, attempts)));
+                    }
                 }
             }
         }
+        // Where the sim clock ended: analysis stages' synthetic spans
+        // start here (zero when the plan had no sim stage at all).
+        let frontier = sim_hi;
 
         // Analysis wave: pure functions of the sim artifacts. Stages
         // whose dependency already degraded never launch.
         let mut runnable: Vec<StageId> = Vec::new();
         for &stage in plan.iter().filter(|s| s.kind() == StageKind::Analysis) {
             if let Some(&dep) = stage.deps().iter().find(|d| failed.contains(d)) {
+                log.progress(format_args!(
+                    "stage {stage}: skipped, dependency `{dep}` degraded"
+                ));
                 timings.degraded.push(DegradedStage {
                     stage,
                     error: format!("dependency `{dep}` degraded"),
                     attempts: 0,
                 });
                 failed.insert(stage);
+                if opts.trace {
+                    recorders.push((stage, degraded_recorder(frontier, 0)));
+                }
             } else {
                 runnable.push(stage);
             }
         }
+        if !runnable.is_empty() {
+            log.progress(format_args!(
+                "analysis wave: {} stage(s) ({mode:?})",
+                runnable.len()
+            ));
+        }
         let mut results: Vec<AnalysisResult> = match mode {
             ExecMode::Sequential => runnable
                 .iter()
-                .map(|&stage| run_analysis(stage, &self.cfg, &store))
+                .map(|&stage| run_analysis(stage, &self.cfg, &store, epoch, log))
                 .collect(),
             ExecMode::Parallel => {
                 let cfg = &self.cfg;
@@ -259,7 +399,7 @@ impl Pipeline {
                         .map(|&stage| {
                             (
                                 stage,
-                                scope.spawn(move |_| run_analysis(stage, cfg, shared)),
+                                scope.spawn(move |_| run_analysis(stage, cfg, shared, epoch, log)),
                             )
                         })
                         .collect();
@@ -282,7 +422,7 @@ impl Pipeline {
         results.sort_by_key(|r| r.stage);
         for r in results {
             match r.outcome {
-                Ok((timing, out)) => {
+                Ok((timing, out, meta)) => {
                     match out {
                         AnalysisOut::Geomap(v) => store.deanon = Some(v),
                         AnalysisOut::Certs(v) => store.certs = Some(v),
@@ -290,9 +430,25 @@ impl Pipeline {
                         AnalysisOut::Popularity(v) => store.popularity = Some(*v),
                         AnalysisOut::Tracking(v) => store.tracking = Some(v),
                     }
+                    if opts.trace {
+                        let sim = (frontier, frontier + meta.weight);
+                        sim_lo = sim_lo.min(sim.0);
+                        sim_hi = sim_hi.max(sim.1);
+                        recorders.push((
+                            r.stage,
+                            analysis_stage_recorder(r.stage, sim, &timing, &meta),
+                        ));
+                    }
                     timings.executed.push(timing);
                 }
                 Err((error, attempts)) => {
+                    log.progress(format_args!(
+                        "stage {}: DEGRADED after {attempts} attempt(s): {error}",
+                        r.stage
+                    ));
+                    if opts.trace {
+                        recorders.push((r.stage, degraded_recorder(frontier, attempts)));
+                    }
                     timings.degraded.push(DegradedStage {
                         stage: r.stage,
                         error,
@@ -302,10 +458,29 @@ impl Pipeline {
             }
         }
         timings.degraded.sort_by_key(|d| d.stage);
+        timings.elapsed = epoch.elapsed();
+        log.progress(format_args!(
+            "pipeline: {} executed, {} degraded, {:.1} ms elapsed",
+            timings.executed.len(),
+            timings.degraded.len(),
+            timings.elapsed.as_secs_f64() * 1e3
+        ));
+
+        let trace = opts.trace.then(|| {
+            assemble_trace(
+                recorders,
+                if sim_lo == u64::MAX { 0 } else { sim_lo },
+                sim_hi,
+                timings.elapsed.as_micros() as u64,
+                timings.executed.len() as u64,
+                timings.degraded.len() as u64,
+            )
+        });
 
         PipelineRun {
             artifacts: store,
             timings,
+            trace,
         }
     }
 
@@ -317,7 +492,7 @@ impl Pipeline {
 
     /// World generation, network build, guard prepositioning, traffic
     /// driver construction.
-    fn sim_setup(&self, store: &mut ArtifactStore) -> Result<Counters, String> {
+    fn sim_setup(&self, store: &mut ArtifactStore, sobs: &mut StageObs) -> Result<(), String> {
         let cfg = &self.cfg;
         let world = World::generate(
             WorldConfig::default()
@@ -330,12 +505,13 @@ impl Pipeline {
         // its decisions from the dedicated `Faults` seed domain.
         let mut fault_plan = cfg.faults.clone();
         fault_plan.seed = stage_seed(cfg.seed, SeedDomain::Faults);
-        let mut net = NetworkBuilder::new()
+        let mut net = tor_sim::network::NetworkBuilder::new()
             .relays(cfg.relays)
             .seed(stage_seed(cfg.seed, SeedDomain::Network))
             .start(SimTime::from_ymd(2013, 2, 1))
             .faults(fault_plan)
             .build();
+        sobs.begin(&mut net);
         world.register_all(&mut net);
         // The attacker's guard relays run long before the measurement:
         // victims' guard sets must have had the chance to include them.
@@ -350,60 +526,96 @@ impl Pipeline {
                 seed: stage_seed(cfg.seed, SeedDomain::Traffic),
             },
         );
-        let mut counters = vec![
-            ("relays", cfg.relays as u64),
-            ("services", world.services().len() as u64),
-            ("traffic_clients", traffic.clients().len() as u64),
-        ];
-        push_hot(&mut counters, net.hot_counters());
+        sobs.reg.inc("relays", cfg.relays as u64);
+        sobs.reg.inc("services", world.services().len() as u64);
+        sobs.reg
+            .inc("traffic_clients", traffic.clients().len() as u64);
+        net.hot_counters().record_into(&mut sobs.reg);
         if self.faults_active() {
-            push_faults(&mut counters, net.fault_counters());
+            net.fault_counters().record_into(&mut sobs.reg);
         }
+        sobs.end(&mut net);
         store.world = Some(world);
         store.geo = Some(geo);
         store.attacker_guards = Some(attacker_guards);
         store.net_setup = Some(net);
         store.traffic_setup = Some(traffic);
-        Ok(counters)
+        Ok(())
     }
 
     /// The Sec. II trawling attack with live Sec. V traffic.
-    fn sim_harvest(&self, store: &mut ArtifactStore) -> Result<Counters, String> {
+    fn sim_harvest(&self, store: &mut ArtifactStore, sobs: &mut StageObs) -> Result<(), String> {
         let mut net = store.try_net_setup()?.clone();
         let mut traffic = store.try_traffic_setup()?.clone();
+        sobs.begin(&mut net);
         let hot0 = net.hot_counters();
         let faults0 = net.fault_counters();
         let harvester = Harvester::new(self.cfg.harvest.clone());
+        let tracing = sobs.tracing;
+        let mut tick_ops: Vec<OpSpan> = Vec::new();
         let harvest = harvester
             .run(&mut net, |net| {
-                traffic.tick_hour(net);
+                if tracing {
+                    let at = net.time().unix();
+                    let before = net.hot_counters();
+                    traffic.tick_hour(net);
+                    let work = net.hot_counters().since(before);
+                    tick_ops.push(OpSpan {
+                        name: "traffic_tick",
+                        start: at.saturating_sub(HOUR),
+                        end: at,
+                        args: vec![("fetches", work.fetches)],
+                    });
+                } else {
+                    traffic.tick_hour(net);
+                }
             })
             .map_err(|e| e.to_string())?;
-        let mut counters = vec![
-            ("descriptors", harvest.onion_count() as u64),
-            ("requests_logged", harvest.requests.len() as u64),
-            ("waves", u64::from(harvest.waves)),
-            ("hours", harvest.hours),
-        ];
-        push_hot(&mut counters, net.hot_counters().since(hot0));
+        sobs.ops = tick_ops;
+        sobs.reg.inc("descriptors", harvest.onion_count() as u64);
+        sobs.reg
+            .inc("requests_logged", harvest.requests.len() as u64);
+        sobs.reg.inc("waves", u64::from(harvest.waves));
+        sobs.reg.inc("hours", harvest.hours);
+        net.hot_counters().since(hot0).record_into(&mut sobs.reg);
         if self.faults_active() {
-            push_faults(&mut counters, net.fault_counters().since(faults0));
-            counters.push(("fleet_restarts", harvest.fleet_restarts));
+            net.fault_counters()
+                .since(faults0)
+                .record_into(&mut sobs.reg);
+            sobs.reg.inc("fleet_restarts", harvest.fleet_restarts);
         }
+        let publishing = store
+            .try_world()?
+            .services()
+            .iter()
+            .filter(|s| s.publishes_descriptors())
+            .count();
+        sobs.reg
+            .gauge("harvest.coverage", harvest.coverage_of(publishing));
+        sobs.reg.merge_hist(
+            "harvest.descriptors_per_relay",
+            &harvest.descriptors_per_relay,
+        );
+        sobs.end(&mut net);
         store.harvest = Some(harvest);
         store.net_harvest = Some(net);
         store.traffic_harvest = Some(traffic);
-        Ok(counters)
+        Ok(())
     }
 
     /// The dedicated Sec. VI deanonymisation window: 48 h of signature
     /// logging against the Goldnet front end, branched off the
     /// post-harvest network so the Sec. V popularity logs stay
     /// unbiased and the port scan is unaffected.
-    fn sim_deanon_window(&self, store: &mut ArtifactStore) -> Result<Counters, String> {
+    fn sim_deanon_window(
+        &self,
+        store: &mut ArtifactStore,
+        sobs: &mut StageObs,
+    ) -> Result<(), String> {
         let cfg = &self.cfg;
         let mut net = store.try_net_harvest()?.clone();
         let mut traffic = store.try_traffic_harvest()?.clone();
+        sobs.begin(&mut net);
         let hot0 = net.hot_counters();
         let faults0 = net.fault_counters();
         // The paper attacked one of the Goldnet front ends; ask the
@@ -423,30 +635,45 @@ impl Pipeline {
         for _ in 0..cfg.deanon_hours {
             attack.reposition(&mut net);
             net.advance_hours(1);
-            traffic.tick_hour(&mut net);
+            if sobs.tracing {
+                let at = net.time().unix();
+                let before = net.hot_counters();
+                traffic.tick_hour(&mut net);
+                let work = net.hot_counters().since(before);
+                sobs.ops.push(OpSpan {
+                    name: "traffic_tick",
+                    start: at.saturating_sub(HOUR),
+                    end: at,
+                    args: vec![("fetches", work.fetches)],
+                });
+            } else {
+                traffic.tick_hour(&mut net);
+            }
         }
         let observations = net.take_guard_observations();
         let expected_rate = attack.expected_catch_rate(&net);
-        let mut counters = vec![
-            ("hours", cfg.deanon_hours),
-            ("observations", observations.len() as u64),
-        ];
-        push_hot(&mut counters, net.hot_counters().since(hot0));
+        sobs.reg.inc("hours", cfg.deanon_hours);
+        sobs.reg.inc("observations", observations.len() as u64);
+        net.hot_counters().since(hot0).record_into(&mut sobs.reg);
         if self.faults_active() {
-            push_faults(&mut counters, net.fault_counters().since(faults0));
+            net.fault_counters()
+                .since(faults0)
+                .record_into(&mut sobs.reg);
         }
+        sobs.end(&mut net);
         store.deanon_window = Some(DeanonWindowOut {
             target,
             observations,
             expected_rate,
         });
-        Ok(counters)
+        Ok(())
     }
 
     /// The Sec. III multi-day port scan, branched off the post-harvest
     /// network.
-    fn sim_port_scan(&self, store: &mut ArtifactStore) -> Result<Counters, String> {
+    fn sim_port_scan(&self, store: &mut ArtifactStore, sobs: &mut StageObs) -> Result<(), String> {
         let mut net = store.try_net_harvest()?.clone();
+        sobs.begin(&mut net);
         let hot0 = net.hot_counters();
         let faults0 = net.fault_counters();
         let scanner = Scanner::new(ScanConfig {
@@ -454,36 +681,237 @@ impl Pipeline {
             ..ScanConfig::default()
         });
         let scan = scanner.run(&mut net, store.try_world()?, &store.try_harvest()?.onions);
-        let mut counters = vec![
-            ("targets", scan.targets as u64),
-            ("probes_scheduled", scan.probes_scheduled),
-            ("open_ports", u64::from(scan.total_open())),
-        ];
-        push_hot(&mut counters, net.hot_counters().since(hot0));
+        sobs.reg.inc("targets", scan.targets as u64);
+        sobs.reg.inc("probes_scheduled", scan.probes_scheduled);
+        sobs.reg.inc("open_ports", u64::from(scan.total_open()));
+        net.hot_counters().since(hot0).record_into(&mut sobs.reg);
         if self.faults_active() {
-            push_faults(&mut counters, net.fault_counters().since(faults0));
-            counters.push(("fetch_retries", scan.fetch_retries));
-            counters.push(("fetch_recovered", scan.fetch_recovered));
-            counters.push(("fetch_gave_ups", scan.fetch_gave_ups));
-            counters.push(("fetch_gone", scan.fetch_gone));
-            counters.push(("retry_backoff_secs", scan.retry_backoff_secs));
+            net.fault_counters()
+                .since(faults0)
+                .record_into(&mut sobs.reg);
+            sobs.reg.inc("fetch_retries", scan.fetch_retries);
+            sobs.reg.inc("fetch_recovered", scan.fetch_recovered);
+            sobs.reg.inc("fetch_gave_ups", scan.fetch_gave_ups);
+            sobs.reg.inc("fetch_gone", scan.fetch_gone);
+            sobs.reg.inc("retry_backoff_secs", scan.retry_backoff_secs);
         }
+        if scan.probes_scheduled > 0 {
+            sobs.reg.gauge(
+                "scan.coverage",
+                scan.probes_concluded as f64 / scan.probes_scheduled as f64,
+            );
+        }
+        sobs.reg
+            .merge_hist("scan.fetch_attempts", &scan.fetch_attempts);
+        sobs.reg
+            .merge_hist("scan.retry_backoff", &scan.retry_backoff);
+        if sobs.tracing {
+            for day in &scan.days_trace {
+                sobs.ops.push(OpSpan {
+                    name: "scan_day",
+                    start: day.day.unix(),
+                    end: day.day.unix() + 24 * HOUR,
+                    args: vec![
+                        ("scheduled", day.scheduled),
+                        ("concluded", day.concluded),
+                        ("gave_ups", day.gave_ups),
+                    ],
+                });
+            }
+        }
+        sobs.end(&mut net);
         store.scan = Some(scan);
-        Ok(counters)
+        Ok(())
     }
 }
 
-/// One analysis stage's outcome: an instrumented artifact, or the
-/// error (with attempt count) that degraded it.
+/// Builds the trace lane for a completed sim stage: the stage span,
+/// one span per attempt, per-round sim spans, client-op spans, and the
+/// typed instant events (retry per failed attempt, fault per faulty
+/// round, one cache summary).
+#[allow(clippy::too_many_arguments)]
+fn sim_stage_recorder(
+    stage: StageId,
+    sim: (u64, u64),
+    wall: (u64, u64),
+    attempts: u32,
+    timing: &StageTiming,
+    rounds: &[RoundTrace],
+    ops: &[OpSpan],
+) -> SpanRecorder {
+    let mut rec = SpanRecorder::new();
+    rec.span(Span {
+        name: format!("stage:{stage}"),
+        cat: "stage",
+        sim_start: sim.0,
+        sim_end: sim.1,
+        wall_us: Some(wall),
+        args: timing.counters.clone(),
+    });
+    push_attempts(&mut rec, sim, Some(wall), attempts);
+    for r in rounds {
+        rec.span(Span {
+            name: "round".to_owned(),
+            cat: "sim",
+            sim_start: r.start.unix(),
+            sim_end: r.end.unix(),
+            wall_us: None,
+            args: vec![
+                ("sha1_digests", r.hot.sha1_digests),
+                ("cache_hits", r.hot.desc_cache_hits),
+                ("cache_misses", r.hot.desc_cache_misses),
+                ("fetches", r.hot.fetches),
+            ],
+        });
+        if r.faults.total() > 0 {
+            rec.event(TraceEvent {
+                kind: EventKind::Fault,
+                sim_at: r.end.unix(),
+                wall_us: None,
+                args: vec![("faults", r.faults.total())],
+            });
+        }
+    }
+    for op in ops {
+        rec.span(Span {
+            name: op.name.to_owned(),
+            cat: "ops",
+            sim_start: op.start,
+            sim_end: op.end,
+            wall_us: None,
+            args: op.args.clone(),
+        });
+    }
+    // One cache summary per stage, from the historical counters.
+    let hits = timing.counter("desc_cache_hits").unwrap_or(0);
+    let misses = timing.counter("desc_cache_misses").unwrap_or(0);
+    if hits + misses > 0 {
+        rec.event(TraceEvent {
+            kind: EventKind::Cache,
+            sim_at: sim.1,
+            wall_us: Some(wall.1),
+            args: vec![("hits", hits), ("misses", misses)],
+        });
+    }
+    rec
+}
+
+/// Builds the trace lane for a completed analysis stage. Analysis
+/// stages have no sim clock; their synthetic sim span starts at the
+/// sim frontier with a duration equal to the items processed, so the
+/// deterministic view still shows relative workloads.
+fn analysis_stage_recorder(
+    stage: StageId,
+    sim: (u64, u64),
+    timing: &StageTiming,
+    meta: &AnalysisMeta,
+) -> SpanRecorder {
+    let mut rec = SpanRecorder::new();
+    rec.span(Span {
+        name: format!("stage:{stage}"),
+        cat: "stage",
+        sim_start: sim.0,
+        sim_end: sim.1,
+        wall_us: Some(meta.wall),
+        args: timing.counters.clone(),
+    });
+    push_attempts(&mut rec, sim, Some(meta.wall), meta.attempts);
+    rec
+}
+
+/// Appends one span per attempt plus a retry event per failed attempt.
+/// Failed attempts render as zero-width spans at the stage's sim start
+/// (their work was discarded); the final attempt spans the full stage.
+fn push_attempts(rec: &mut SpanRecorder, sim: (u64, u64), wall: Option<(u64, u64)>, attempts: u32) {
+    for a in 1..attempts {
+        rec.span(Span {
+            name: format!("attempt {a}"),
+            cat: "attempt",
+            sim_start: sim.0,
+            sim_end: sim.0,
+            wall_us: None,
+            args: Vec::new(),
+        });
+        rec.event(TraceEvent {
+            kind: EventKind::Retry,
+            sim_at: sim.0,
+            wall_us: None,
+            args: vec![("failed_attempt", u64::from(a))],
+        });
+    }
+    rec.span(Span {
+        name: format!("attempt {attempts}"),
+        cat: "attempt",
+        sim_start: sim.0,
+        sim_end: sim.1,
+        wall_us: wall,
+        args: Vec::new(),
+    });
+}
+
+/// The trace lane for a stage that degraded (or never ran because a
+/// dependency degraded, in which case `attempts` is zero).
+fn degraded_recorder(sim_at: u64, attempts: u32) -> SpanRecorder {
+    let mut rec = SpanRecorder::new();
+    rec.event(TraceEvent {
+        kind: EventKind::Degraded,
+        sim_at,
+        wall_us: None,
+        args: vec![("attempts", u64::from(attempts))],
+    });
+    rec
+}
+
+/// Merges per-stage recorders into the final [`Trace`]: lane 0 is the
+/// run itself, then one lane per stage in canonical [`StageId::ALL`]
+/// order (tid = index + 1), which keeps the export deterministic no
+/// matter how the parallel wave interleaved.
+fn assemble_trace(
+    mut recorders: Vec<(StageId, SpanRecorder)>,
+    sim_lo: u64,
+    sim_hi: u64,
+    elapsed_us: u64,
+    executed: u64,
+    degraded: u64,
+) -> Trace {
+    let mut trace = Trace::new();
+    let mut pipeline_rec = SpanRecorder::new();
+    pipeline_rec.span(Span {
+        name: "pipeline".to_owned(),
+        cat: "pipeline",
+        sim_start: sim_lo,
+        sim_end: sim_hi.max(sim_lo),
+        wall_us: Some((0, elapsed_us)),
+        args: vec![("executed", executed), ("degraded", degraded)],
+    });
+    trace.push_lane(0, "pipeline", pipeline_rec);
+    for (idx, &stage) in StageId::ALL.iter().enumerate() {
+        if let Some(pos) = recorders.iter().position(|(s, _)| *s == stage) {
+            let (_, rec) = recorders.remove(pos);
+            trace.push_lane(idx as u32 + 1, &format!("stage {stage}"), rec);
+        }
+    }
+    trace
+}
+
+/// One analysis stage's outcome: an instrumented artifact (plus trace
+/// metadata), or the error (with attempt count) that degraded it.
 struct AnalysisResult {
     stage: StageId,
-    outcome: Result<(StageTiming, AnalysisOut), (String, u32)>,
+    outcome: Result<(StageTiming, AnalysisOut, AnalysisMeta), (String, u32)>,
 }
 
 /// Executes one analysis stage against the (read-only) store, with
 /// panic containment, chaos injection, and the stage retry budget.
-fn run_analysis(stage: StageId, cfg: &StudyConfig, store: &ArtifactStore) -> AnalysisResult {
+fn run_analysis(
+    stage: StageId,
+    cfg: &StudyConfig,
+    store: &ArtifactStore,
+    epoch: Instant,
+    log: obs::Logger,
+) -> AnalysisResult {
     let started = Instant::now();
+    let wall_start = epoch.elapsed().as_micros() as u64;
     let budget = retry_budget(stage);
     let mut attempts = 0u32;
     loop {
@@ -494,21 +922,31 @@ fn run_analysis(stage: StageId, cfg: &StudyConfig, store: &ArtifactStore) -> Ana
                 .unwrap_or_else(|payload| Err(panic_message(payload))),
         };
         match result {
-            Ok((mut counters, out)) => {
+            Ok((mut reg, out, weight)) => {
                 if attempts > 1 {
-                    counters.push(("retries", u64::from(attempts - 1)));
+                    reg.inc("retries", u64::from(attempts - 1));
                 }
-                let timing = StageTiming {
-                    stage,
-                    wall: started.elapsed(),
-                    counters,
+                let timing = StageTiming::from_registry(stage, started.elapsed(), reg);
+                log.progress(format_args!(
+                    "stage {stage}: done in {:.1} ms",
+                    timing.wall.as_secs_f64() * 1e3
+                ));
+                let meta = AnalysisMeta {
+                    weight,
+                    wall: (wall_start, epoch.elapsed().as_micros() as u64),
+                    attempts,
                 };
                 return AnalysisResult {
                     stage,
-                    outcome: Ok((timing, out)),
+                    outcome: Ok((timing, out, meta)),
                 };
             }
-            Err(_) if attempts < budget => continue,
+            Err(err) if attempts < budget => {
+                log.debug(format_args!(
+                    "stage {stage}: attempt {attempts} failed ({err}); retrying"
+                ));
+                continue;
+            }
             Err(err) => {
                 return AnalysisResult {
                     stage,
@@ -519,12 +957,14 @@ fn run_analysis(stage: StageId, cfg: &StudyConfig, store: &ArtifactStore) -> Ana
     }
 }
 
-/// The un-instrumented analysis stage body.
+/// The un-instrumented analysis stage body. Returns the stage's metric
+/// registry, its artifact, and the item count its synthetic trace span
+/// uses as duration.
 fn analysis_body(
     stage: StageId,
     cfg: &StudyConfig,
     store: &ArtifactStore,
-) -> Result<(Counters, AnalysisOut), String> {
+) -> Result<(obs::Registry, AnalysisOut, u64), String> {
     match stage {
         StageId::Geomap => analysis_geomap(store),
         StageId::Certs => analysis_certs(store),
@@ -536,7 +976,7 @@ fn analysis_body(
 }
 
 /// Fig. 3: geographic mapping of the deanonymised clients.
-fn analysis_geomap(store: &ArtifactStore) -> Result<(Counters, AnalysisOut), String> {
+fn analysis_geomap(store: &ArtifactStore) -> Result<(obs::Registry, AnalysisOut, u64), String> {
     let window = store.try_deanon_window()?;
     let geomap = GeoMap::build(store.try_geo()?, &window.observations);
     let report = DeanonReport {
@@ -545,16 +985,16 @@ fn analysis_geomap(store: &ArtifactStore) -> Result<(Counters, AnalysisOut), Str
         expected_rate: window.expected_rate,
         geomap,
     };
-    let counters = vec![
-        ("unique_clients", u64::from(report.unique_clients)),
-        ("countries", report.geomap.country_count() as u64),
-    ];
-    Ok((counters, AnalysisOut::Geomap(report)))
+    let weight = window.observations.len() as u64;
+    let mut reg = obs::Registry::new();
+    reg.inc("unique_clients", u64::from(report.unique_clients));
+    reg.inc("countries", report.geomap.country_count() as u64);
+    Ok((reg, AnalysisOut::Geomap(report), weight))
 }
 
 /// Sec. III: the HTTPS certificate survey over everything the scan saw
 /// answering on 443.
-fn analysis_certs(store: &ArtifactStore) -> Result<(Counters, AnalysisOut), String> {
+fn analysis_certs(store: &ArtifactStore) -> Result<(obs::Registry, AnalysisOut, u64), String> {
     let https_onions: Vec<OnionAddress> = store
         .try_scan()?
         .open_by_onion
@@ -563,15 +1003,17 @@ fn analysis_certs(store: &ArtifactStore) -> Result<(Counters, AnalysisOut), Stri
         .map(|(&onion, _)| onion)
         .collect();
     let certs = CertSurvey::run(store.try_world()?, https_onions);
-    let counters = vec![("https_destinations", u64::from(certs.https_destinations))];
-    Ok((counters, AnalysisOut::Certs(certs)))
+    let mut reg = obs::Registry::new();
+    reg.inc("https_destinations", u64::from(certs.https_destinations));
+    let weight = u64::from(certs.https_destinations);
+    Ok((reg, AnalysisOut::Certs(certs), weight))
 }
 
 /// Sec. IV: crawl funnel, Table I, languages, Fig. 2.
 fn analysis_crawl(
     cfg: &StudyConfig,
     store: &ArtifactStore,
-) -> Result<(Counters, AnalysisOut), String> {
+) -> Result<(obs::Registry, AnalysisOut, u64), String> {
     let destinations = store.try_scan()?.crawl_destinations();
     // A zero transient rate makes `with_config` the identity of
     // `Crawler::new()` (proved by test), so fault-free crawls are
@@ -582,16 +1024,18 @@ fn analysis_crawl(
         retry_attempts: 3,
     });
     let crawl = crawler.run(store.try_world()?, &destinations);
-    let mut counters = vec![
-        ("destinations", destinations.len() as u64),
-        ("pages_classified", crawl.classified.len() as u64),
-    ];
+    let mut reg = obs::Registry::new();
+    reg.inc("destinations", destinations.len() as u64);
+    reg.inc("pages_classified", crawl.classified.len() as u64);
     if cfg.faults.crawl_transient_rate > 0.0 {
-        counters.push(("transient_failures", crawl.transient_failures));
-        counters.push(("connect_retries", crawl.retries));
-        counters.push(("gave_ups", crawl.gave_ups));
+        reg.inc("transient_failures", crawl.transient_failures);
+        reg.inc("connect_retries", crawl.retries);
+        reg.inc("gave_ups", crawl.gave_ups);
     }
-    Ok((counters, AnalysisOut::Crawl(Box::new(crawl))))
+    reg.merge_hist("crawl.connect_attempts", &crawl.connect_attempts);
+    reg.merge_hist("crawl.words_per_page", &crawl.words_per_page);
+    let weight = destinations.len() as u64;
+    Ok((reg, AnalysisOut::Crawl(Box::new(crawl)), weight))
 }
 
 /// Sec. V: descriptor-ID resolution, Table II ranking, Goldnet
@@ -599,7 +1043,7 @@ fn analysis_crawl(
 fn analysis_popularity(
     cfg: &StudyConfig,
     store: &ArtifactStore,
-) -> Result<(Counters, AnalysisOut), String> {
+) -> Result<(obs::Registry, AnalysisOut, u64), String> {
     let harvest = store.try_harvest()?;
     let world = store.try_world()?;
     let resolver = Resolver::build(
@@ -612,27 +1056,33 @@ fn analysis_popularity(
     let top_onions: Vec<OnionAddress> = ranking.top(40).iter().map(|r| r.onion).collect();
     let forensics = BotnetForensics::probe(world, top_onions);
     let requested_published_share = requested_published_share(&resolution, world);
-    let mut counters = vec![
-        ("requests_resolved", resolution.total_requests),
-        ("ranked", ranking.rows().len() as u64),
-    ];
+    let mut reg = obs::Registry::new();
+    reg.inc("requests_resolved", resolution.total_requests);
+    reg.inc("ranked", ranking.rows().len() as u64);
     if !cfg.faults.is_inert() {
-        counters.push(("unnormalized", ranking.unnormalized() as u64));
+        reg.inc("unnormalized", ranking.unnormalized() as u64);
     }
+    reg.gauge("popularity.phantom_share", resolution.phantom_share());
+    reg.merge_hist(
+        "popularity.requests_per_onion",
+        &resolution.requests_histogram(),
+    );
+    let weight = resolution.total_requests;
     Ok((
-        counters,
+        reg,
         AnalysisOut::Popularity(Box::new(PopularityOut {
             resolution,
             ranking,
             forensics,
             requested_published_share,
         })),
+        weight,
     ))
 }
 
 /// Sec. VII: consensus-archive tracking detection. Independent of the
 /// simulated 2013 network — it generates its own 3-year archive.
-fn analysis_tracking(cfg: &StudyConfig) -> Result<(Counters, AnalysisOut), String> {
+fn analysis_tracking(cfg: &StudyConfig) -> Result<(obs::Registry, AnalysisOut, u64), String> {
     let mut archive = ConsensusArchive::generate(&HistoryConfig {
         seed: stage_seed(cfg.seed, SeedDomain::Tracking),
         ..HistoryConfig::default()
@@ -657,6 +1107,9 @@ fn analysis_tracking(cfg: &StudyConfig) -> Result<(Counters, AnalysisOut), Strin
         )
     })
     .collect();
-    let counters = vec![("consensuses", archive.len() as u64), ("windows", 3)];
-    Ok((counters, AnalysisOut::Tracking(TrackingReport { years })))
+    let weight = archive.len() as u64;
+    let mut reg = obs::Registry::new();
+    reg.inc("consensuses", archive.len() as u64);
+    reg.inc("windows", 3);
+    Ok((reg, AnalysisOut::Tracking(TrackingReport { years }), weight))
 }

@@ -34,7 +34,7 @@ pub mod stage;
 pub mod timing;
 
 pub use artifacts::{ArtifactStore, DeanonReport, DeanonWindowOut, PopularityOut, TrackingReport};
-pub use engine::{ExecMode, Pipeline, PipelineRun};
+pub use engine::{ExecMode, Pipeline, PipelineRun, RunOptions};
 pub use seeds::{stage_seed, SeedDomain};
 pub use stage::{StageId, StageKind};
 pub use timing::{DegradedStage, PipelineTimings, StageTiming};

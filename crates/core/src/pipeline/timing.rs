@@ -1,13 +1,31 @@
-//! Per-stage instrumentation: wall-clock timings plus domain counters.
+//! Per-stage instrumentation: wall-clock timings plus the stage's
+//! metric registry output (counters, gauges, log2 histograms).
 //!
-//! Every stage execution records how long it ran and a handful of
+//! Every stage execution records how long it ran, a handful of
 //! domain-meaningful counters (descriptors harvested, pages crawled,
-//! consensuses scanned, …). A [`PipelineTimings`] also remembers which
-//! stages the plan *skipped*, so selective runs can prove they did not
-//! pay for work they did not need.
+//! consensuses scanned, …), and — since the observability layer —
+//! gauges and distribution histograms. A [`PipelineTimings`] also
+//! remembers which stages the plan *skipped*, so selective runs can
+//! prove they did not pay for work they did not need.
+//!
+//! ## Wall-clock semantics
+//!
+//! Two different "total wall" numbers exist and they measure different
+//! things:
+//!
+//! * [`PipelineTimings::total_wall`] — the **sum** of per-stage body
+//!   durations. The analysis wave runs stages in parallel, so this is
+//!   CPU-ish busy time and can exceed real time.
+//! * [`PipelineTimings::elapsed`] — the run's true **elapsed** wall
+//!   time, measured once around the whole pipeline. This is what a
+//!   stopwatch would show.
+//!
+//! `to_json` exposes both as `summed_wall_ms` and `elapsed_wall_ms`.
 
 use std::fmt::Write as _;
 use std::time::Duration;
+
+use obs::Histogram;
 
 use super::stage::StageId;
 
@@ -16,19 +34,51 @@ use super::stage::StageId;
 pub struct StageTiming {
     /// Which stage ran.
     pub stage: StageId,
-    /// Wall-clock duration of the stage body.
+    /// Wall-clock duration of the stage body (final attempt included;
+    /// failed attempts are folded in).
     pub wall: Duration,
-    /// Domain counters, e.g. `("descriptors", 1234)`.
+    /// Domain counters, e.g. `("descriptors", 1234)`, in the stage's
+    /// historical emission order.
     pub counters: Vec<(&'static str, u64)>,
+    /// Gauges (point-in-time ratios and levels), e.g.
+    /// `("scan.coverage", 0.87)`.
+    pub gauges: Vec<(&'static str, f64)>,
+    /// Distribution histograms, e.g. `("scan.fetch_attempts", …)`.
+    pub hists: Vec<(&'static str, Histogram)>,
 }
 
 impl StageTiming {
+    /// Builds a record from a stage's metric registry.
+    pub fn from_registry(stage: StageId, wall: Duration, registry: obs::Registry) -> Self {
+        let (counters, gauges, hists) = registry.into_parts();
+        StageTiming {
+            stage,
+            wall,
+            counters,
+            gauges,
+            hists,
+        }
+    }
+
     /// Looks up a counter by name.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters
             .iter()
             .find(|(n, _)| *n == name)
             .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| *n == name).map(|(_, h)| h)
     }
 }
 
@@ -55,6 +105,11 @@ pub struct PipelineTimings {
     pub skipped: Vec<StageId>,
     /// Stages that failed and degraded, in canonical [`StageId`] order.
     pub degraded: Vec<DegradedStage>,
+    /// True elapsed wall time of the whole run, measured once around
+    /// the pipeline. Distinct from [`PipelineTimings::total_wall`],
+    /// which sums per-stage durations and over-counts the parallel
+    /// analysis wave.
+    pub elapsed: Duration,
 }
 
 impl PipelineTimings {
@@ -73,8 +128,10 @@ impl PipelineTimings {
         self.degraded.iter().find(|d| d.stage == stage)
     }
 
-    /// Total wall-clock time across executed stages. Parallel analysis
-    /// stages overlap, so this is CPU-ish time, not elapsed time.
+    /// **Summed** wall-clock time across executed stage bodies.
+    /// Parallel analysis stages overlap in real time, so this is
+    /// CPU-ish busy time, not elapsed time — see
+    /// [`PipelineTimings::elapsed`] for the stopwatch number.
     pub fn total_wall(&self) -> Duration {
         self.executed.iter().map(|t| t.wall).sum()
     }
@@ -85,9 +142,38 @@ impl PipelineTimings {
         self.executed.iter().filter_map(|t| t.counter(name)).sum()
     }
 
+    /// Every histogram recorded by any executed stage, as
+    /// `(owner stage, metric name, histogram)` in execution order.
+    pub fn histograms(&self) -> Vec<(StageId, &'static str, &Histogram)> {
+        self.executed
+            .iter()
+            .flat_map(|t| t.hists.iter().map(move |(n, h)| (t.stage, *n, h)))
+            .collect()
+    }
+
+    /// Merges every same-named histogram across stages into one.
+    pub fn hist_total(&self, name: &str) -> Histogram {
+        let mut total = Histogram::new();
+        for t in &self.executed {
+            if let Some(h) = t.hist(name) {
+                total.merge(h);
+            }
+        }
+        total
+    }
+
     /// Machine-readable JSON (hand-rolled; the workspace carries no
-    /// serde). Stage names and counter names are static identifiers, so
-    /// no escaping is required.
+    /// serde). Stage names and metric names are static identifiers, so
+    /// no escaping is required outside error strings.
+    ///
+    /// Layout compatibility: the per-stage `"stage"` lines and the
+    /// `"skipped"` line are byte-identical to the historical format —
+    /// the committed bench/faults baselines grep exactly those lines.
+    /// The observability extensions (`summed_wall_ms`,
+    /// `elapsed_wall_ms`, `gauges`, `histograms`) use `"metric"` /
+    /// `"owner"` field names precisely so they can never collide with
+    /// that grep. The `degraded` section still only appears when a
+    /// stage actually failed.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"stages\": [\n");
         for (i, t) in self.executed.iter().enumerate() {
@@ -117,6 +203,42 @@ impl PipelineTimings {
             }
         }
         out.push(']');
+        // Both wall-clock notions, explicitly named (see module docs).
+        let _ = write!(
+            out,
+            ",\n  \"summed_wall_ms\": {:.3},\n  \"elapsed_wall_ms\": {:.3}",
+            self.total_wall().as_secs_f64() * 1e3,
+            self.elapsed.as_secs_f64() * 1e3
+        );
+        out.push_str(",\n  \"gauges\": [");
+        let gauges: Vec<String> = self
+            .executed
+            .iter()
+            .flat_map(|t| {
+                t.gauges.iter().map(move |(name, value)| {
+                    format!(
+                        "\n    {{\"metric\": \"{}\", \"owner\": \"{}\", \"value\": {value}}}",
+                        name, t.stage
+                    )
+                })
+            })
+            .collect();
+        out.push_str(&gauges.join(","));
+        if !gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push(']');
+        out.push_str(",\n  \"histograms\": [");
+        let hists: Vec<String> = self
+            .histograms()
+            .iter()
+            .map(|(owner, name, h)| format!("\n    {}", h.to_json(name, &owner.to_string())))
+            .collect();
+        out.push_str(&hists.join(","));
+        if !hists.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push(']');
         // The degraded section only appears when a stage actually
         // failed, so fault-free runs keep the exact historical layout
         // (the bench baseline diff depends on it).
@@ -128,7 +250,7 @@ impl PipelineTimings {
                     "    {{\"stage\": \"{}\", \"attempts\": {}, \"error\": \"{}\"}}",
                     d.stage,
                     d.attempts,
-                    escape_json(&d.error)
+                    obs::escape_json(&d.error)
                 );
                 if i + 1 < self.degraded.len() {
                     out.push(',');
@@ -142,47 +264,34 @@ impl PipelineTimings {
     }
 }
 
-/// Escapes a string for embedding in a JSON string literal. Error
-/// messages are the only non-static strings in the file, and panic
-/// payloads can contain anything.
-fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn sample() -> PipelineTimings {
+        let mut scan_hist = Histogram::new();
+        scan_hist.record(1);
+        scan_hist.record(3);
         PipelineTimings {
             executed: vec![
                 StageTiming {
                     stage: StageId::Setup,
                     wall: Duration::from_micros(1500),
                     counters: vec![("relays", 120), ("services", 400)],
+                    gauges: Vec::new(),
+                    hists: Vec::new(),
                 },
                 StageTiming {
                     stage: StageId::Harvest,
                     wall: Duration::from_millis(20),
                     counters: vec![("descriptors", 390)],
+                    gauges: vec![("harvest.coverage", 0.875)],
+                    hists: vec![("harvest.descriptors_per_relay", scan_hist)],
                 },
             ],
             skipped: vec![StageId::DeanonWindow, StageId::Tracking],
             degraded: Vec::new(),
+            elapsed: Duration::from_millis(15),
         }
     }
 
@@ -200,6 +309,30 @@ mod tests {
         assert_eq!(t.total_wall(), Duration::from_micros(21_500));
         assert_eq!(t.counter_total("services"), 400);
         assert_eq!(t.counter_total("absent"), 0);
+        // The elapsed clock is independent of the per-stage sum.
+        assert_eq!(t.elapsed, Duration::from_millis(15));
+        let hists = t.histograms();
+        assert_eq!(hists.len(), 1);
+        assert_eq!(hists[0].0, StageId::Harvest);
+        assert_eq!(t.hist_total("harvest.descriptors_per_relay").count(), 2);
+        assert_eq!(t.hist_total("absent").count(), 0);
+        assert_eq!(
+            t.stage(StageId::Harvest).unwrap().gauge("harvest.coverage"),
+            Some(0.875)
+        );
+    }
+
+    #[test]
+    fn from_registry_preserves_order() {
+        let mut reg = obs::Registry::new();
+        reg.inc("beta", 2);
+        reg.inc("alpha", 1);
+        reg.gauge("ratio", 0.25);
+        reg.record("depth", 7);
+        let t = StageTiming::from_registry(StageId::Crawl, Duration::from_millis(1), reg);
+        assert_eq!(t.counters, vec![("beta", 2), ("alpha", 1)]);
+        assert_eq!(t.gauge("ratio"), Some(0.25));
+        assert_eq!(t.hist("depth").map(|h| h.count()), Some(1));
     }
 
     #[test]
@@ -208,12 +341,45 @@ mod tests {
         assert!(json.contains("\"stage\": \"setup\""));
         assert!(json.contains("\"relays\": 120"));
         assert!(json.contains("\"skipped\": [\"deanon_window\", \"tracking\"]"));
+        // Both wall-clock notions are exposed.
+        assert!(json.contains("\"summed_wall_ms\": 21.500"));
+        assert!(json.contains("\"elapsed_wall_ms\": 15.000"));
+        // Observability sections use metric/owner keys, never "stage",
+        // so the committed baseline greps cannot match them.
+        assert!(json.contains("\"metric\": \"harvest.descriptors_per_relay\""));
+        assert!(json.contains("\"owner\": \"harvest\""));
+        assert!(json.contains("\"p50\": "));
+        assert!(json.contains(
+            "\"metric\": \"harvest.coverage\", \"owner\": \"harvest\", \"value\": 0.875"
+        ));
+        for line in json.lines() {
+            if line.contains("\"metric\"") {
+                assert!(
+                    !line.contains("\"stage\""),
+                    "metric line matches baseline grep: {line}"
+                );
+            }
+        }
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+        obs::trace::validate_json(&json).expect("timings JSON parses");
         // No degraded stages → no degraded section, preserving the
         // historical layout byte-for-byte.
         assert!(!json.contains("degraded"));
+    }
+
+    #[test]
+    fn empty_metric_sections_stay_compact() {
+        let mut t = sample();
+        for s in &mut t.executed {
+            s.gauges.clear();
+            s.hists.clear();
+        }
+        let json = t.to_json();
+        assert!(json.contains("\"gauges\": []"));
+        assert!(json.contains("\"histograms\": []"));
+        obs::trace::validate_json(&json).expect("empty sections parse");
     }
 
     #[test]
@@ -237,6 +403,7 @@ mod tests {
         assert!(json.contains("{\"stage\": \"crawl\", \"attempts\": 0"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+        obs::trace::validate_json(&json).expect("degraded JSON parses");
         assert!(t.degraded(StageId::Certs).is_some());
         assert!(t.degraded(StageId::Setup).is_none());
     }

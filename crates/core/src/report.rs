@@ -299,6 +299,29 @@ pub fn render_stage_timings(timings: &PipelineTimings) -> String {
     if stage_retries > 0 {
         let _ = writeln!(out, "stage retries absorbed: {stage_retries}");
     }
+    // Both wall-clock notions: the per-stage sum over-counts the
+    // parallel analysis wave; elapsed is the stopwatch number.
+    let _ = writeln!(
+        out,
+        "wall: {:.1} ms summed across stage bodies, {:.1} ms elapsed",
+        timings.total_wall().as_secs_f64() * 1e3,
+        timings.elapsed.as_secs_f64() * 1e3
+    );
+    let hists = timings.histograms();
+    if !hists.is_empty() {
+        let _ = writeln!(out, "distributions (n, p50/p90/p99, max):");
+        for (_, name, h) in hists {
+            let _ = writeln!(
+                out,
+                "  {name:<32} n={:<8} {}/{}/{}  max {}",
+                h.count(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max()
+            );
+        }
+    }
     out
 }
 

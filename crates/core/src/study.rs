@@ -17,7 +17,7 @@ use hs_world::World;
 use tor_sim::FaultPlan;
 
 use crate::pipeline::timing::DegradedStage;
-use crate::pipeline::{ExecMode, Pipeline, PipelineRun, PipelineTimings, StageId};
+use crate::pipeline::{ExecMode, Pipeline, PipelineRun, PipelineTimings, RunOptions, StageId};
 
 pub use crate::pipeline::artifacts::{DeanonReport, TrackingReport};
 
@@ -163,9 +163,12 @@ pub struct StudyReport {
     pub deanon: Option<DeanonReport>,
     /// Sec. VII: tracking detection (when enabled).
     pub tracking: Option<TrackingReport>,
-    /// Per-stage wall-clock timings, domain counters, and the
-    /// degraded-stage record.
+    /// Per-stage wall-clock timings, domain counters, gauges,
+    /// histograms, and the degraded-stage record.
     pub stages: PipelineTimings,
+    /// The span trace, when the run was started with
+    /// [`crate::RunOptions::trace`] set (see [`Study::run_with`]).
+    pub trace: Option<obs::Trace>,
 }
 
 impl StudyReport {
@@ -221,13 +224,19 @@ impl Study {
 
     /// Runs the full pipeline with the analysis stages in parallel.
     pub fn run(&self) -> StudyReport {
-        self.run_full(ExecMode::Parallel)
+        self.run_full(ExecMode::Parallel, RunOptions::default())
+    }
+
+    /// Runs the full pipeline with explicit observability options
+    /// (span tracing, stderr event stream).
+    pub fn run_with(&self, opts: RunOptions) -> StudyReport {
+        self.run_full(ExecMode::Parallel, opts)
     }
 
     /// Runs the full pipeline with every stage on the calling thread —
     /// the reference order [`Study::run`] is tested against.
     pub fn run_sequential(&self) -> StudyReport {
-        self.run_full(ExecMode::Sequential)
+        self.run_full(ExecMode::Sequential, RunOptions::default())
     }
 
     /// Runs the dependency closure of a single stage and returns the
@@ -242,7 +251,13 @@ impl Study {
         Pipeline::new(self.config.clone()).run(targets, ExecMode::Parallel)
     }
 
-    fn run_full(&self, mode: ExecMode) -> StudyReport {
+    /// Runs the dependency closure of `targets` with explicit
+    /// observability options.
+    pub fn run_stages_with(&self, targets: &[StageId], opts: RunOptions) -> PipelineRun {
+        Pipeline::new(self.config.clone()).run_with(targets, ExecMode::Parallel, opts)
+    }
+
+    fn run_full(&self, mode: ExecMode, opts: RunOptions) -> StudyReport {
         let mut targets = vec![
             StageId::Geomap,
             StageId::Certs,
@@ -252,7 +267,7 @@ impl Study {
         if self.config.run_tracking {
             targets.push(StageId::Tracking);
         }
-        let run = Pipeline::new(self.config.clone()).run(&targets, mode);
+        let run = Pipeline::new(self.config.clone()).run_with(&targets, mode, opts);
         let mut artifacts = run.artifacts;
         let (resolution, ranking, forensics, requested_published_share) =
             match artifacts.popularity.take() {
@@ -277,6 +292,7 @@ impl Study {
             deanon: artifacts.deanon.take(),
             tracking: artifacts.tracking.take(),
             stages: run.timings,
+            trace: run.trace,
         }
     }
 }

@@ -117,6 +117,12 @@ pub struct CrawlReport {
     pub retries: u64,
     /// Destinations abandoned after exhausting the retry budget.
     pub gave_ups: u64,
+    /// Distribution of connection attempts per connecting destination
+    /// (1 everywhere under the fault-free default config).
+    pub connect_attempts: obs::Histogram,
+    /// Distribution of stripped-text word counts over non-error pages
+    /// (the funnel's "fewer than 20 words" cut, as a distribution).
+    pub words_per_page: obs::Histogram,
 }
 
 impl CrawlReport {
@@ -265,6 +271,7 @@ impl Crawler {
                 report.gave_ups += 1;
                 continue;
             }
+            report.connect_attempts.record(u64::from(attempt));
             let Some(page) = service.render_page(port) else {
                 continue;
             };
@@ -296,6 +303,7 @@ impl Crawler {
             }
             // 2. Fewer than 20 words (SSH banners fall in here).
             let words = word_count(&text);
+            report.words_per_page.record(words as u64);
             if words < 20 {
                 report.excluded_short += 1;
                 if f.body.starts_with("SSH-") {

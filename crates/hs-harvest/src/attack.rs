@@ -69,6 +69,10 @@ pub struct HarvestOutcome {
     /// on a fault-free network; each restart resets the relay's uptime
     /// clock, costing it the HSDir flag for the next 25 h.
     pub fleet_restarts: u64,
+    /// Distribution of descriptors held per fleet HSDir at collection
+    /// time (one sample per fleet relay) — the paper's "how evenly does
+    /// the ring load the fleet" question, now as a histogram.
+    pub descriptors_per_relay: obs::Histogram,
 }
 
 impl HarvestOutcome {
@@ -146,10 +150,14 @@ impl Harvester {
         // logs from every fleet relay.
         let mut onions: BTreeSet<OnionAddress> = BTreeSet::new();
         let mut requests = Vec::new();
+        let mut descriptors_per_relay = obs::Histogram::new();
         for relay in fleet.all_relays() {
+            let mut held = 0u64;
             for desc in net.store(relay).iter() {
                 onions.insert(desc.onion);
+                held += 1;
             }
+            descriptors_per_relay.record(held);
             for record in net.take_request_log(relay) {
                 requests.push(LoggedRequest { relay, record });
             }
@@ -163,6 +171,7 @@ impl Harvester {
             waves,
             hours,
             fleet_restarts,
+            descriptors_per_relay,
         })
     }
 }
@@ -233,6 +242,11 @@ mod tests {
         // high after a full sweep.
         assert!(coverage > 0.8, "coverage {coverage}");
         assert!(outcome.onion_count() <= published);
+        // The load histogram samples every fleet relay exactly once and
+        // cannot exceed the total descriptors the ring could assign.
+        let hist = &outcome.descriptors_per_relay;
+        assert_eq!(hist.count(), outcome.fleet_relays.len() as u64);
+        assert!(hist.max() >= 1, "at least one relay held a descriptor");
     }
 
     #[test]

@@ -40,6 +40,18 @@ impl ResolutionReport {
         }
         self.unresolved_requests as f64 / self.total_requests as f64
     }
+
+    /// The popularity distribution itself: requests per resolved onion
+    /// as a log2 histogram. Built on demand from the per-onion map;
+    /// histogram contents are insensitive to map iteration order, so
+    /// the result is deterministic.
+    pub fn requests_histogram(&self) -> obs::Histogram {
+        let mut h = obs::Histogram::new();
+        for &n in self.requests_per_onion.values() {
+            h.record(n);
+        }
+        h
+    }
 }
 
 /// The resolver: a precomputed desc-ID → onion table over a date

@@ -40,10 +40,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
-#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod scanner;
 pub mod schedule;
 
-pub use scanner::{port_label, ProbeResult, ScanConfig, ScanReport, Scanner};
+pub use scanner::{port_label, DayTrace, ProbeResult, ScanConfig, ScanReport, Scanner};
 pub use schedule::ScanSchedule;

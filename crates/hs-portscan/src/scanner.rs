@@ -87,6 +87,29 @@ pub struct ScanReport {
     /// Total capped-exponential backoff charged across retries, in
     /// (accounted, never slept) seconds.
     pub retry_backoff_secs: u64,
+    /// Distribution of descriptor-fetch attempts per target-day (1 on
+    /// a fault-free network; the retry tail under loss).
+    pub fetch_attempts: obs::Histogram,
+    /// Distribution of accounted backoff seconds per retried fetch
+    /// (fetches that needed no retry are not sampled).
+    pub retry_backoff: obs::Histogram,
+    /// One record per scan day, for the pipeline's trace exporter.
+    pub days_trace: Vec<DayTrace>,
+}
+
+/// Per-day scan accounting: how much work the day scheduled and
+/// concluded, and where in simulated time it ran. The pipeline turns
+/// each record into one client-ops span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DayTrace {
+    /// The scan day's start in simulated time.
+    pub day: SimTime,
+    /// Probes scheduled on this day.
+    pub scheduled: u64,
+    /// Probes concluded on this day.
+    pub concluded: u64,
+    /// Descriptor fetches that exhausted the retry budget on this day.
+    pub gave_ups: u64,
 }
 
 impl ScanReport {
@@ -204,12 +227,21 @@ impl Scanner {
             net.revote();
 
             let ports = schedule.ports_on(day).to_vec();
+            let (day_scheduled0, day_concluded0, day_gave_ups0) = (
+                report.probes_scheduled,
+                report.probes_concluded,
+                report.fetch_gave_ups,
+            );
             for (ti, &onion) in targets.iter().enumerate() {
                 report.probes_scheduled += ports.len() as u64;
                 let fetched =
                     net.client_fetch_with_retry(scanner_client, onion, &self.config.retry);
                 report.fetch_retries += u64::from(fetched.attempts - 1);
                 report.retry_backoff_secs += fetched.backoff_secs;
+                report.fetch_attempts.record(u64::from(fetched.attempts));
+                if fetched.attempts > 1 {
+                    report.retry_backoff.record(fetched.backoff_secs);
+                }
                 match fetched.outcome {
                     FetchOutcome::Found => {
                         if fetched.attempts > 1 {
@@ -243,6 +275,12 @@ impl Scanner {
                     }
                 }
             }
+            report.days_trace.push(DayTrace {
+                day: day_time,
+                scheduled: report.probes_scheduled - day_scheduled0,
+                concluded: report.probes_concluded - day_concluded0,
+                gave_ups: report.fetch_gave_ups - day_gave_ups0,
+            });
         }
 
         report.with_descriptors = had_descriptor.iter().filter(|&&b| b).count();
@@ -344,6 +382,25 @@ mod tests {
         assert_eq!(report.fetch_recovered, 0);
         assert_eq!(report.fetch_gave_ups, 0);
         assert_eq!(report.retry_backoff_secs, 0);
+        // Histograms agree: one single-attempt sample per target-day,
+        // no backoff samples at all.
+        assert_eq!(report.fetch_attempts.count(), 3 * report.targets as u64);
+        assert_eq!(report.fetch_attempts.max(), 1);
+        assert_eq!(report.fetch_attempts.p99(), 1);
+        assert_eq!(report.retry_backoff.count(), 0);
+    }
+
+    #[test]
+    fn day_traces_partition_the_scan() {
+        let (report, _) = scan_small();
+        assert_eq!(report.days_trace.len(), 3);
+        let scheduled: u64 = report.days_trace.iter().map(|d| d.scheduled).sum();
+        let concluded: u64 = report.days_trace.iter().map(|d| d.concluded).sum();
+        assert_eq!(scheduled, report.probes_scheduled);
+        assert_eq!(concluded, report.probes_concluded);
+        for pair in report.days_trace.windows(2) {
+            assert!(pair[0].day < pair[1].day, "days are ordered");
+        }
     }
 
     fn scan_with_faults(plan: tor_sim::FaultPlan) -> ScanReport {
@@ -386,6 +443,13 @@ mod tests {
         assert_eq!(report.with_descriptors, 0);
         assert_eq!(report.total_open(), 0);
         assert_eq!(report.coverage(), 0.0);
+        // Every fetch burned the full budget: the attempts histogram is
+        // a spike at max_attempts, and every fetch left a backoff sample.
+        let budget = u64::from(RetryPolicy::standard().max_attempts);
+        assert_eq!(report.fetch_attempts.min(), budget);
+        assert_eq!(report.fetch_attempts.max(), budget);
+        assert_eq!(report.retry_backoff.count(), report.fetch_gave_ups);
+        assert!(report.retry_backoff.min() > 0);
     }
 
     #[test]

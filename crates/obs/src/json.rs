@@ -1,0 +1,45 @@
+//! Minimal hand-rolled JSON helpers shared by the exporters.
+//!
+//! The workspace has no serde; every JSON artifact (`bench_stages.json`,
+//! Chrome traces) is assembled with `format!` from deterministic values.
+//! These helpers keep escaping and float formatting consistent.
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a wall-clock duration in milliseconds with fixed precision
+/// (three decimals), matching the historical `bench_stages.json` style.
+pub fn fmt_ms(ms: f64) -> String {
+    format!("{ms:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_and_control_chars() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn fmt_ms_is_fixed_precision() {
+        assert_eq!(fmt_ms(1.5), "1.500");
+        assert_eq!(fmt_ms(0.0004), "0.000");
+    }
+}

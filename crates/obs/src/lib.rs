@@ -1,0 +1,37 @@
+//! Observability primitives for the hidden-service landscape study.
+//!
+//! The paper's results are measurements, and measurements need
+//! instruments. This crate provides the three instruments the rest of
+//! the workspace records into:
+//!
+//! * [`metrics`] — an insertion-ordered [`metrics::Registry`] of named
+//!   counters, gauges and log2-bucketed [`metrics::Histogram`]s with
+//!   deterministic p50/p90/p99 summaries;
+//! * [`trace`] — a span tracer ([`trace::SpanRecorder`] per execution
+//!   lane, merged into a [`trace::Trace`]) whose spans carry *both* a
+//!   deterministic sim-clock interval and a wall-clock interval, with a
+//!   Chrome `trace_event` JSON exporter for `chrome://tracing` and
+//!   Perfetto;
+//! * [`log`] — a leveled, human-readable progress stream on stderr
+//!   (off / progress / debug) for long interactive runs.
+//!
+//! Everything here follows the workspace's determinism discipline: the
+//! sim-clock view of a trace and every metric value are pure functions
+//! of the seed and the plan. Wall-clock data is carried separately so
+//! the deterministic view can be exported byte-identically across runs
+//! and machines ([`trace::TraceClock::Sim`]). JSON is hand-rolled (no
+//! serde anywhere in the workspace) and emitted in insertion order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod json;
+pub mod log;
+pub mod metrics;
+pub mod trace;
+
+pub use json::escape_json;
+pub use log::{LogLevel, Logger};
+pub use metrics::{Histogram, Registry};
+pub use trace::{EventKind, Span, SpanRecorder, Trace, TraceClock, TraceEvent};

@@ -140,6 +140,19 @@ impl FaultCounters {
         }
     }
 
+    /// Folds the counters into a metric registry under their
+    /// historical `bench_stages.json` names, in the historical order.
+    /// Callers gate this on an active plan so fault-free runs keep the
+    /// legacy counter layout byte-stable.
+    pub fn record_into(self, reg: &mut obs::Registry) {
+        reg.inc("relay_crashes", self.relay_crashes);
+        reg.inc("relay_restarts", self.relay_restarts);
+        reg.inc("fetch_drops", self.fetch_drops);
+        reg.inc("overload_drops", self.overload_drops);
+        reg.inc("publish_drops", self.publish_drops);
+        reg.inc("service_flaps", self.service_flaps);
+    }
+
     /// Total faults injected across all categories.
     pub fn total(self) -> u64 {
         self.relay_crashes

@@ -48,7 +48,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
-#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod authority;
 pub mod cells;
@@ -76,6 +76,6 @@ pub use consensus::{Consensus, ConsensusEntry};
 pub use fault::{FaultCounters, FaultPlan, RetryPolicy};
 pub use flags::RelayFlags;
 pub use guard::GuardSet;
-pub use network::{ClientId, FetchOutcome, Network, NetworkBuilder};
+pub use network::{ClientId, FetchOutcome, Network, NetworkBuilder, RoundTrace};
 pub use relay::{Ipv4, Operator, Relay, RelayId};
 pub use service::{ConnectOutcome, PortReply, ServiceBackend};

@@ -125,6 +125,46 @@ impl HotPathCounters {
             fetches: self.fetches - earlier.fetches,
         }
     }
+
+    /// Folds the counters into a metric registry under their historical
+    /// `bench_stages.json` names, in the historical order.
+    pub fn record_into(self, reg: &mut obs::Registry) {
+        reg.inc("sha1_digests", self.sha1_digests);
+        reg.inc("desc_cache_hits", self.desc_cache_hits);
+        reg.inc("desc_cache_misses", self.desc_cache_misses);
+        reg.inc("fetches", self.fetches);
+    }
+
+    /// Total work items across all categories (used for trace span
+    /// weights).
+    pub fn total(self) -> u64 {
+        self.sha1_digests + self.desc_cache_hits + self.desc_cache_misses + self.fetches
+    }
+}
+
+/// One consensus round as seen by the optional round recorder: the sim
+/// interval it covered and the hot-path / fault work performed since
+/// the previous recorded round (including client work driven between
+/// rounds, which is attributed to the round that follows it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundTrace {
+    /// Interval start (the previous round's end, or the enable time).
+    pub start: SimTime,
+    /// Interval end: the consensus time of this round.
+    pub end: SimTime,
+    /// Hot-path work since the previous recorded round.
+    pub hot: HotPathCounters,
+    /// Faults injected since the previous recorded round.
+    pub faults: FaultCounters,
+}
+
+/// Snapshot marks for the round recorder.
+#[derive(Clone, Debug)]
+struct RoundRecorder {
+    rounds: Vec<RoundTrace>,
+    mark_time: SimTime,
+    mark_hot: HotPathCounters,
+    mark_faults: FaultCounters,
 }
 
 /// The simulated Tor network.
@@ -180,6 +220,9 @@ pub struct Network {
     desc_cache_enabled: bool,
     /// Deterministic fault injection (inert by default).
     faults: FaultState,
+    /// Optional per-round trace recorder (disabled by default; purely
+    /// observational, never consulted by simulation logic).
+    round_trace: Option<RoundRecorder>,
     rng: StdRng,
 }
 
@@ -347,6 +390,25 @@ impl Network {
         }
         self.publish_descriptors();
         self.refresh_signature_index();
+        self.record_round();
+    }
+
+    /// Appends a [`RoundTrace`] covering everything since the previous
+    /// mark, when round tracing is enabled. Observation only: counters
+    /// are read, never written.
+    fn record_round(&mut self) {
+        let (now, hot, faults) = (self.time, self.hot, self.faults.counters);
+        if let Some(rec) = &mut self.round_trace {
+            rec.rounds.push(RoundTrace {
+                start: rec.mark_time,
+                end: now,
+                hot: hot.since(rec.mark_hot),
+                faults: faults.since(rec.mark_faults),
+            });
+            rec.mark_time = now;
+            rec.mark_hot = hot;
+            rec.mark_faults = faults;
+        }
     }
 
     /// Publishes both descriptor replicas of every online service to the
@@ -477,6 +539,41 @@ impl Network {
     /// Cumulative injected-fault counters.
     pub fn fault_counters(&self) -> FaultCounters {
         self.faults.counters
+    }
+
+    /// Enables (or disables) the per-round trace recorder. Enabling
+    /// resets the recording marks to *now*, so the first recorded round
+    /// starts at the current sim time; disabling discards any
+    /// unconsumed rounds. Recording is observational only — no
+    /// simulation behaviour changes either way.
+    pub fn set_round_tracing(&mut self, enabled: bool) {
+        self.round_trace = if enabled {
+            Some(RoundRecorder {
+                rounds: Vec::new(),
+                mark_time: self.time,
+                mark_hot: self.hot,
+                mark_faults: self.faults.counters,
+            })
+        } else {
+            None
+        };
+    }
+
+    /// Whether the round recorder is active.
+    pub fn round_tracing_enabled(&self) -> bool {
+        self.round_trace.is_some()
+    }
+
+    /// Drains the recorded rounds, leaving the recorder enabled with
+    /// its marks at the current position. A `Network` cloned *after* a
+    /// drain therefore starts with an empty round buffer, so pipeline
+    /// snapshots never duplicate rounds already attributed to an
+    /// earlier stage.
+    pub fn take_round_trace(&mut self) -> Vec<RoundTrace> {
+        match &mut self.round_trace {
+            Some(rec) => std::mem::take(&mut rec.rounds),
+            None => Vec::new(),
+        }
     }
 
     /// Disables (or re-enables) the descriptor-ID cache, forcing the
@@ -886,6 +983,7 @@ impl NetworkBuilder {
             hot: HotPathCounters::default(),
             desc_cache_enabled: true,
             faults: FaultState::new(self.faults),
+            round_trace: None,
             rng: StdRng::seed_from_u64(self.seed ^ 0x00c1_1e77_5eed),
         }
     }
@@ -1070,6 +1168,46 @@ mod tests {
         assert_eq!(h2.desc_cache_misses, rotated, "{h2:?}");
         assert_eq!(h2.desc_cache_hits, 10 - rotated, "{h2:?}");
         assert_eq!(h2.sha1_digests, 4 * rotated, "{h2:?}");
+    }
+
+    #[test]
+    fn round_tracing_records_contiguous_intervals_and_drains() {
+        let mut net = small_net();
+        let onion = OnionAddress::from_pubkey(b"traced svc");
+        net.register_service(onion, true);
+        net.advance_hours(1);
+        assert!(
+            net.take_round_trace().is_empty(),
+            "disabled recorder yields nothing"
+        );
+
+        net.set_round_tracing(true);
+        let enabled_at = net.time();
+        let hot_before = net.hot_counters();
+        net.advance_hours(3);
+        let rounds = net.take_round_trace();
+        assert_eq!(rounds.len(), 3, "one record per consensus round");
+        assert_eq!(rounds[0].start, enabled_at);
+        for pair in rounds.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start, "intervals are contiguous");
+        }
+        let delta = net.hot_counters().since(hot_before);
+        let summed: u64 = rounds.iter().map(|r| r.hot.total()).sum();
+        assert_eq!(summed, delta.total(), "round deltas partition the work");
+
+        // A snapshot cloned after a drain starts with an empty buffer.
+        let mut snapshot = net.clone();
+        assert!(snapshot.round_tracing_enabled());
+        assert!(snapshot.take_round_trace().is_empty());
+        snapshot.advance_hours(1);
+        assert_eq!(snapshot.take_round_trace().len(), 1);
+
+        // Tracing itself never perturbs the simulation.
+        let mut plain = small_net();
+        plain.register_service(onion, true);
+        plain.advance_hours(4);
+        assert_eq!(plain.hot_counters(), net.hot_counters());
+        assert_eq!(plain.time(), net.time());
     }
 
     #[test]

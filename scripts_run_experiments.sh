@@ -6,6 +6,7 @@
 #   sh scripts_run_experiments.sh verify   formatting + lint gate only
 #   sh scripts_run_experiments.sh bench    stage-timing run + baseline diff
 #   sh scripts_run_experiments.sh faults   adversarial fault-injection run
+#   sh scripts_run_experiments.sh trace    sim-clock trace run + baseline diff
 set -e
 if [ "${1:-}" = "verify" ]; then
   echo "== cargo fmt --check"
@@ -95,6 +96,39 @@ if [ "${1:-}" = "faults" ]; then
   rm -f /tmp/faults_baseline_counters.$$ /tmp/faults_current_counters.$$
   echo "fault counters match baseline"
   echo "faults ok"
+  exit 0
+fi
+if [ "${1:-}" = "trace" ]; then
+  # Run the study with span tracing and check the deterministic
+  # sim-clock Chrome trace export: the emitted JSON must be structurally
+  # valid (balanced containers — a cheap load check without a JSON
+  # tool dependency) and byte-identical to the committed baseline,
+  # because the sim clock is a pure function of the seed and the plan.
+  BASELINE=results/trace_baseline.json
+  CURRENT=results/trace_study.json
+  [ -f "$BASELINE" ] || { echo "missing $BASELINE"; exit 1; }
+  echo "== landscape study --scale 0.03 --seed 7 --trace $CURRENT"
+  cargo run --release -q -p hs-landscape --bin landscape -- \
+    study --scale 0.03 --seed 7 --trace "$CURRENT" \
+    > results/trace_study.txt 2> results/trace_study.log
+  grep -q "sim-clock trace written" results/trace_study.log \
+    || { echo "FAIL: trace export not reported"; exit 1; }
+  [ -s "$CURRENT" ] || { echo "FAIL: empty trace at $CURRENT"; exit 1; }
+  # Structural sanity: balanced braces/brackets, array-shaped file.
+  OPEN_B=$(tr -cd '{' < "$CURRENT" | wc -c)
+  CLOSE_B=$(tr -cd '}' < "$CURRENT" | wc -c)
+  OPEN_A=$(tr -cd '[' < "$CURRENT" | wc -c)
+  CLOSE_A=$(tr -cd ']' < "$CURRENT" | wc -c)
+  { [ "$OPEN_B" = "$CLOSE_B" ] && [ "$OPEN_A" = "$CLOSE_A" ]; } \
+    || { echo "FAIL: unbalanced JSON in $CURRENT"; exit 1; }
+  head -c 1 "$CURRENT" | grep -q '\[' \
+    || { echo "FAIL: $CURRENT is not a trace_event array"; exit 1; }
+  if ! diff -u "$BASELINE" "$CURRENT"; then
+    echo "FAIL: sim-clock trace drifted from $BASELINE (determinism regression)"
+    exit 1
+  fi
+  echo "trace matches baseline ($(grep -c '"ph"' "$CURRENT") events)"
+  echo "trace ok"
   exit 0
 fi
 SCALE="${HS_SCALE:-0.25}"

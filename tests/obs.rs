@@ -1,0 +1,202 @@
+//! Observability-layer contracts: deterministic sim-clock traces,
+//! trace structure, histogram exposure, and the dual wall-clock
+//! semantics of the extended `bench_stages.json`.
+//!
+//! The span trace carries two clocks. Wall-clock intervals differ
+//! between runs by nature; the **sim-clock** export must not — it is a
+//! pure function of the seed and the plan, and these tests pin that
+//! byte-for-byte, fault-free and adversarial alike.
+
+use hs_landscape::obs::{self, TraceClock};
+use hs_landscape::pipeline::{ExecMode, Pipeline, RunOptions, StageId};
+use hs_landscape::{Study, StudyConfig};
+
+fn config() -> StudyConfig {
+    StudyConfig::test_scale()
+}
+
+fn traced() -> RunOptions {
+    RunOptions {
+        trace: true,
+        log: obs::Logger::off(),
+    }
+}
+
+/// The deterministic sim-clock export of a full test-scale run.
+fn sim_trace_json(cfg: &StudyConfig) -> String {
+    let report = Study::new(cfg.clone()).run_with(traced());
+    report
+        .trace
+        .expect("traced run returns a trace")
+        .to_chrome_json(TraceClock::Sim)
+}
+
+#[test]
+fn sim_clock_trace_is_byte_identical_across_runs() {
+    let a = sim_trace_json(&config());
+    let b = sim_trace_json(&config());
+    assert_eq!(a, b, "same seed + plan must give byte-identical traces");
+    obs::trace::validate_json(&a).expect("trace export is valid JSON");
+}
+
+#[test]
+fn adversarial_sim_clock_trace_is_byte_identical_across_runs() {
+    let mut cfg = config();
+    cfg.apply_fault_profile("adversarial").unwrap();
+    let a = sim_trace_json(&cfg);
+    let b = sim_trace_json(&cfg);
+    assert_eq!(a, b, "fault injection is deterministic, so is its trace");
+    obs::trace::validate_json(&a).expect("adversarial trace is valid JSON");
+    // The adversarial profile degrades `certs` and retries `geomap`;
+    // both must be visible as typed events.
+    assert!(a.contains("\"name\": \"degraded\""), "{a}");
+    assert!(a.contains("\"name\": \"retry\""), "{a}");
+    assert!(a.contains("\"name\": \"fault\""), "{a}");
+}
+
+#[test]
+fn trace_covers_every_executed_stage_with_nested_spans() {
+    let report = Study::new(config()).run_with(traced());
+    let trace = report.trace.as_ref().expect("trace present");
+    let json = trace.to_chrome_json(TraceClock::Sim);
+
+    // Lane 0 is the run itself; every executed stage has its own lane.
+    assert_eq!(trace.lanes[0].name, "pipeline");
+    for t in &report.stages.executed {
+        assert!(
+            json.contains(&format!("\"name\": \"stage:{}\"", t.stage)),
+            "stage {} missing from trace",
+            t.stage
+        );
+        assert!(
+            json.contains(&format!("\"name\": \"stage {}\"", t.stage)),
+            "lane metadata for {} missing",
+            t.stage
+        );
+    }
+    // Nested sim rounds and client ops under the sim stages, attempt
+    // spans everywhere.
+    assert!(json.contains("\"name\": \"round\""), "{json}");
+    assert!(json.contains("\"name\": \"traffic_tick\""), "{json}");
+    assert!(json.contains("\"name\": \"scan_day\""), "{json}");
+    assert!(json.contains("\"name\": \"attempt 1\""), "{json}");
+    assert!(json.contains("\"name\": \"cache\""), "{json}");
+    // The sim view carries no wall-clock data: a second run renders
+    // the same bytes (checked above), and every lane has spans.
+    assert!(trace.span_count() > report.stages.executed.len() * 2);
+}
+
+#[test]
+fn untraced_runs_carry_no_trace() {
+    let report = Study::new(config()).run();
+    assert!(report.trace.is_none());
+    let run = Pipeline::new(config()).run(&[StageId::PortScan], ExecMode::Sequential);
+    assert!(run.trace.is_none());
+}
+
+#[test]
+fn tracing_changes_no_artifact_byte() {
+    let traced_report = Study::new(config()).run_with(traced());
+    let plain = Study::new(config()).run();
+    // Compare a broad artifact fingerprint: the harvest crop, the scan
+    // outcome, and the popularity resolution fully determine the rest.
+    let fp = |r: &hs_landscape::StudyReport| {
+        format!(
+            "{:?}|{:?}|{}|{}",
+            r.harvest.as_ref().unwrap().onions,
+            r.scan.as_ref().unwrap().open_by_port,
+            r.resolution.as_ref().unwrap().total_requests,
+            r.crawl.as_ref().unwrap().classified.len(),
+        )
+    };
+    assert_eq!(fp(&traced_report), fp(&plain));
+}
+
+#[test]
+fn pipeline_reports_at_least_four_histograms_with_quantiles() {
+    let report = Study::new(config()).run_with(traced());
+    let hists = report.stages.histograms();
+    assert!(
+        hists.len() >= 4,
+        "expected >= 4 histograms, got {:?}",
+        hists.iter().map(|(s, n, _)| (*s, *n)).collect::<Vec<_>>()
+    );
+    let names: Vec<&str> = hists.iter().map(|(_, n, _)| *n).collect();
+    for expected in [
+        "harvest.descriptors_per_relay",
+        "scan.fetch_attempts",
+        "crawl.connect_attempts",
+        "crawl.words_per_page",
+        "popularity.requests_per_onion",
+    ] {
+        assert!(names.contains(&expected), "missing {expected}: {names:?}");
+    }
+    // Every populated histogram serialises with its quantiles.
+    let json = report.stages.to_json();
+    obs::trace::validate_json(&json).expect("extended bench JSON parses");
+    for (owner, name, h) in &hists {
+        if h.count() > 0 {
+            assert!(h.p50() <= h.p90() && h.p90() <= h.p99());
+            assert!(h.p99() <= h.max());
+            assert!(
+                json.contains(&format!("\"metric\": \"{name}\", \"owner\": \"{owner}\"")),
+                "{name} missing from JSON"
+            );
+        }
+    }
+    assert!(json.contains("\"p50\": "));
+    assert!(json.contains("\"p90\": "));
+    assert!(json.contains("\"p99\": "));
+}
+
+#[test]
+fn legacy_bench_layout_keys_survive_the_extension() {
+    let report = Study::new(config()).run();
+    let json = report.stages.to_json();
+    // The historical keys the committed baselines grep.
+    for t in &report.stages.executed {
+        assert!(json.contains(&format!("{{\"stage\": \"{}\", \"wall_ms\": ", t.stage)));
+    }
+    assert!(json.contains("\"skipped\": ["));
+    // The fault-free run reports no fault counters and no degraded
+    // section — the legacy layout promise.
+    assert!(!json.contains("relay_crashes"));
+    assert!(!json.contains("\"degraded\""));
+    // And the new sections never collide with the baseline grep:
+    // metric lines must not contain a "stage" key.
+    for line in json.lines() {
+        if line.contains("\"metric\"") {
+            assert!(!line.contains("\"stage\""), "collides with grep: {line}");
+        }
+    }
+}
+
+#[test]
+fn summed_and_elapsed_wall_clocks_are_both_reported() {
+    let report = Study::new(config()).run();
+    let json = report.stages.to_json();
+    assert!(json.contains("\"summed_wall_ms\": "));
+    assert!(json.contains("\"elapsed_wall_ms\": "));
+    // Elapsed covers the whole run and is never zero; the summed
+    // number counts every stage body once.
+    assert!(report.stages.elapsed.as_nanos() > 0);
+    assert!(report.stages.total_wall().as_nanos() > 0);
+}
+
+#[test]
+fn degraded_stages_appear_as_degraded_events_not_stage_spans() {
+    let mut cfg = config();
+    cfg.apply_fault_profile("adversarial").unwrap();
+    let report = Study::new(cfg).run_with(traced());
+    let trace = report.trace.as_ref().expect("trace present");
+    let json = trace.to_chrome_json(TraceClock::Sim);
+    // `certs` degrades permanently: it gets a lane and a degraded
+    // event, but no completed stage span.
+    assert!(json.contains("\"name\": \"stage certs\""), "{json}");
+    assert!(!json.contains("\"name\": \"stage:certs\""), "{json}");
+    assert!(json.contains("\"name\": \"degraded\""), "{json}");
+    // `geomap` retried once and then completed: stage span plus a
+    // retry event.
+    assert!(json.contains("\"name\": \"stage:geomap\""), "{json}");
+    assert!(json.contains("\"name\": \"attempt 2\""), "{json}");
+}
