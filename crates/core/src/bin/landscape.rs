@@ -22,6 +22,8 @@
 //! Observability flags (any command):
 //!
 //! ```text
+//! --threads N     measurement-wave worker threads (default: available
+//!                 parallelism). Output is byte-identical at any N.
 //! --trace FILE    write a deterministic sim-clock Chrome trace_event
 //!                 JSON (open in chrome://tracing or ui.perfetto.dev)
 //! --log LEVEL     stderr event stream: off (default), progress, debug
@@ -32,7 +34,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use hs_landscape::obs;
-use hs_landscape::pipeline::{PipelineTimings, StageId};
+use hs_landscape::pipeline::{ExecMode, PipelineTimings, StageId};
 use hs_landscape::{report, RunOptions, Study, StudyConfig};
 
 struct Args {
@@ -40,8 +42,15 @@ struct Args {
     scale: f64,
     seed: u64,
     faults: String,
+    threads: usize,
     trace: Option<String>,
     log: obs::LogLevel,
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = 0.1f64;
     let mut seed = 0x2013_0204u64;
     let mut faults = "none".to_owned();
+    let mut threads = default_threads();
     let mut trace = None;
     let mut log = obs::LogLevel::Off;
     while let Some(flag) = args.next() {
@@ -68,6 +78,13 @@ fn parse_args() -> Result<Args, String> {
             "--faults" => {
                 faults = args.next().ok_or("--faults needs a profile".to_owned())?;
             }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value".to_owned())?;
+                threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".to_owned());
+                }
+            }
             "--trace" => {
                 trace = Some(args.next().ok_or("--trace needs a file path".to_owned())?);
             }
@@ -85,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
         scale,
         seed,
         faults,
+        threads,
         trace,
         log,
     })
@@ -92,7 +110,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: landscape <study|fig1|table1|fig2|table2|fig3|certs|sec5|tracking|stages> \
-     [--scale S] [--seed N] [--faults none|adversarial] [--trace FILE] \
+     [--scale S] [--seed N] [--faults none|adversarial] [--threads N] [--trace FILE] \
      [--log off|progress|debug] [--quiet]"
         .to_owned()
 }
@@ -206,7 +224,8 @@ fn main() -> ExitCode {
         // The full study: every stage, parallel analyses. A degraded
         // stage leaves its sections out of the report; the run itself
         // still succeeds with whatever completed.
-        let results = study.run_with(opts);
+        let mode = ExecMode::parallel().with_wave_threads(args.threads);
+        let results = study.run_mode(mode, opts);
         if let Some(scan) = &results.scan {
             println!("{}", report::render_fig1(scan));
         }
@@ -243,7 +262,8 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     };
 
-    let run = study.run_stages_with(&targets, opts);
+    let mode = ExecMode::parallel().with_wave_threads(args.threads);
+    let run = study.run_stages_mode(&targets, mode, opts);
     let artifacts = &run.artifacts;
     match args.command.as_str() {
         "fig1" => println!("{}", report::render_fig1(artifacts.scan())),

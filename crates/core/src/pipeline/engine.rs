@@ -50,6 +50,7 @@ use obs::{EventKind, Span, SpanRecorder, Trace, TraceEvent};
 use onion_crypto::onion::OnionAddress;
 use tor_sim::clock::{SimTime, HOUR};
 use tor_sim::network::{Network, RoundTrace};
+use wave::WaveStats;
 
 use hs_content::{CertSurvey, CrawlConfig, Crawler};
 use hs_deanon::{DeanonAttack, GeoMap};
@@ -70,15 +71,60 @@ use super::stage::{StageId, StageKind};
 use super::timing::{DegradedStage, PipelineTimings, StageTiming};
 use crate::study::StudyConfig;
 
-/// How analysis stages execute.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+/// How the pipeline uses threads: whether the analysis stages fan out
+/// across a thread pool, and how many workers the measurement waves
+/// inside the sim stages (scan days, traffic ticks, crawl phases) get.
+/// Wave output is byte-identical at any thread count (see the `wave`
+/// crate), so `wave_threads` is pure wall-clock policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ExecMode {
     /// One thread per analysis stage (the default).
-    #[default]
-    Parallel,
-    /// Everything inline on the calling thread — the reference order
+    Parallel {
+        /// Worker threads for in-stage measurement waves.
+        wave_threads: usize,
+    },
+    /// Every stage inline on the calling thread — the reference order
     /// the parallel mode is tested against.
-    Sequential,
+    Sequential {
+        /// Worker threads for in-stage measurement waves.
+        wave_threads: usize,
+    },
+}
+
+impl ExecMode {
+    /// Parallel analysis stages, single-threaded waves.
+    pub fn parallel() -> Self {
+        ExecMode::Parallel { wave_threads: 1 }
+    }
+
+    /// Inline analysis stages, single-threaded waves.
+    pub fn sequential() -> Self {
+        ExecMode::Sequential { wave_threads: 1 }
+    }
+
+    /// The same mode with `n` wave workers (zero behaves as one).
+    pub fn with_wave_threads(self, n: usize) -> Self {
+        let n = n.max(1);
+        match self {
+            ExecMode::Parallel { .. } => ExecMode::Parallel { wave_threads: n },
+            ExecMode::Sequential { .. } => ExecMode::Sequential { wave_threads: n },
+        }
+    }
+
+    /// The wave worker budget.
+    pub fn wave_threads(self) -> usize {
+        match self {
+            ExecMode::Parallel { wave_threads } | ExecMode::Sequential { wave_threads } => {
+                wave_threads
+            }
+        }
+    }
+}
+
+impl Default for ExecMode {
+    fn default() -> Self {
+        ExecMode::parallel()
+    }
 }
 
 /// Per-run observability switches.
@@ -145,6 +191,25 @@ fn injected_failure(cfg: &StudyConfig, stage: StageId, attempt: u32) -> Option<S
     None
 }
 
+/// Records the traffic sampler's numeric-guard trips accumulated by a
+/// stage (the delta over `before`) as counters. Both guards stay at
+/// zero under any sane popularity model, and zero-valued trips are
+/// *not* emitted — fault-free runs keep the historical counter layout.
+fn record_poisson_trips(
+    reg: &mut obs::Registry,
+    after: hs_popularity::PoissonStats,
+    before: hs_popularity::PoissonStats,
+) {
+    let valve = after.valve_trips - before.valve_trips;
+    let clamp = after.clamp_trips - before.clamp_trips;
+    if valve > 0 {
+        reg.inc("poisson_valve_trips", valve);
+    }
+    if clamp > 0 {
+        reg.inc("poisson_clamp_trips", clamp);
+    }
+}
+
 /// A coarse client-operation interval recorded inside a sim stage
 /// (a driven traffic tick, one scan day) — rendered as an `ops` span.
 struct OpSpan {
@@ -163,6 +228,7 @@ struct StageObs {
     sim: Option<(u64, u64)>,
     rounds: Vec<RoundTrace>,
     ops: Vec<OpSpan>,
+    waves: Vec<WaveStats>,
 }
 
 impl StageObs {
@@ -173,7 +239,26 @@ impl StageObs {
             sim: None,
             rounds: Vec::new(),
             ops: Vec::new(),
+            waves: Vec::new(),
         }
+    }
+
+    /// Records a batch of measurement-wave accounting: the wave worker
+    /// budget as a gauge, every shard's item count into the imbalance
+    /// histogram, and — when tracing — the raw stats for shard spans.
+    /// Gauges and histograms never enter stage-span args or the
+    /// committed baseline greps, so thread count stays invisible to
+    /// the deterministic outputs.
+    fn record_waves(&mut self, waves: Vec<WaveStats>) {
+        if let Some(w) = waves.first() {
+            self.reg.gauge("wave.threads", w.threads as f64);
+        }
+        for w in &waves {
+            for s in &w.shards {
+                self.reg.record("wave.shard_items", s.items as u64);
+            }
+        }
+        self.waves.extend(waves);
     }
 
     /// Arms (or re-arms) the network round recorder for this stage and
@@ -216,6 +301,8 @@ struct AnalysisMeta {
     wall: (u64, u64),
     /// Attempts consumed (for retry events).
     attempts: u32,
+    /// Measurement-wave accounting (crawl only, for shard spans).
+    waves: Vec<WaveStats>,
 }
 
 impl Pipeline {
@@ -286,13 +373,16 @@ impl Pipeline {
             let outcome = loop {
                 attempts += 1;
                 let mut sobs = StageObs::new(opts.trace);
+                let wave_threads = mode.wave_threads();
                 let result = match injected_failure(&self.cfg, stage, attempts) {
                     Some(err) => Err(err),
                     None => panic::catch_unwind(AssertUnwindSafe(|| match stage {
-                        StageId::Setup => self.sim_setup(&mut store, &mut sobs),
+                        StageId::Setup => self.sim_setup(&mut store, &mut sobs, wave_threads),
                         StageId::Harvest => self.sim_harvest(&mut store, &mut sobs),
                         StageId::DeanonWindow => self.sim_deanon_window(&mut store, &mut sobs),
-                        StageId::PortScan => self.sim_port_scan(&mut store, &mut sobs),
+                        StageId::PortScan => {
+                            self.sim_port_scan(&mut store, &mut sobs, wave_threads)
+                        }
                         _ => unreachable!("analysis stage in sim prefix"),
                     }))
                     .unwrap_or_else(|payload| Err(panic_message(payload))),
@@ -333,6 +423,8 @@ impl Pipeline {
                                 &timing,
                                 &sobs.rounds,
                                 &sobs.ops,
+                                &sobs.waves,
+                                epoch,
                             ),
                         ));
                     }
@@ -385,12 +477,13 @@ impl Pipeline {
                 runnable.len()
             ));
         }
+        let wave_threads = mode.wave_threads();
         let mut results: Vec<AnalysisResult> = match mode {
-            ExecMode::Sequential => runnable
+            ExecMode::Sequential { .. } => runnable
                 .iter()
-                .map(|&stage| run_analysis(stage, &self.cfg, &store, epoch, log))
+                .map(|&stage| run_analysis(stage, &self.cfg, &store, epoch, log, wave_threads))
                 .collect(),
-            ExecMode::Parallel => {
+            ExecMode::Parallel { .. } => {
                 let cfg = &self.cfg;
                 let shared = &store;
                 crossbeam::thread::scope(|scope| {
@@ -399,7 +492,9 @@ impl Pipeline {
                         .map(|&stage| {
                             (
                                 stage,
-                                scope.spawn(move |_| run_analysis(stage, cfg, shared, epoch, log)),
+                                scope.spawn(move |_| {
+                                    run_analysis(stage, cfg, shared, epoch, log, wave_threads)
+                                }),
                             )
                         })
                         .collect();
@@ -436,7 +531,7 @@ impl Pipeline {
                         sim_hi = sim_hi.max(sim.1);
                         recorders.push((
                             r.stage,
-                            analysis_stage_recorder(r.stage, sim, &timing, &meta),
+                            analysis_stage_recorder(r.stage, sim, &timing, &meta, epoch),
                         ));
                     }
                     timings.executed.push(timing);
@@ -492,7 +587,12 @@ impl Pipeline {
 
     /// World generation, network build, guard prepositioning, traffic
     /// driver construction.
-    fn sim_setup(&self, store: &mut ArtifactStore, sobs: &mut StageObs) -> Result<(), String> {
+    fn sim_setup(
+        &self,
+        store: &mut ArtifactStore,
+        sobs: &mut StageObs,
+        wave_threads: usize,
+    ) -> Result<(), String> {
         let cfg = &self.cfg;
         let world = World::generate(
             WorldConfig::default()
@@ -524,6 +624,7 @@ impl Pipeline {
             TrafficConfig {
                 clients: cfg.traffic_clients,
                 seed: stage_seed(cfg.seed, SeedDomain::Traffic),
+                threads: wave_threads,
             },
         );
         sobs.reg.inc("relays", cfg.relays as u64);
@@ -550,6 +651,7 @@ impl Pipeline {
         sobs.begin(&mut net);
         let hot0 = net.hot_counters();
         let faults0 = net.fault_counters();
+        let trips0 = traffic.poisson_stats();
         let harvester = Harvester::new(self.cfg.harvest.clone());
         let tracing = sobs.tracing;
         let mut tick_ops: Vec<OpSpan> = Vec::new();
@@ -572,6 +674,8 @@ impl Pipeline {
             })
             .map_err(|e| e.to_string())?;
         sobs.ops = tick_ops;
+        sobs.record_waves(traffic.take_wave_stats());
+        record_poisson_trips(&mut sobs.reg, traffic.poisson_stats(), trips0);
         sobs.reg.inc("descriptors", harvest.onion_count() as u64);
         sobs.reg
             .inc("requests_logged", harvest.requests.len() as u64);
@@ -618,6 +722,7 @@ impl Pipeline {
         sobs.begin(&mut net);
         let hot0 = net.hot_counters();
         let faults0 = net.fault_counters();
+        let trips0 = traffic.poisson_stats();
         // The paper attacked one of the Goldnet front ends; ask the
         // generated world which service that is instead of hard-coding
         // an address.
@@ -652,6 +757,8 @@ impl Pipeline {
         }
         let observations = net.take_guard_observations();
         let expected_rate = attack.expected_catch_rate(&net);
+        sobs.record_waves(traffic.take_wave_stats());
+        record_poisson_trips(&mut sobs.reg, traffic.poisson_stats(), trips0);
         sobs.reg.inc("hours", cfg.deanon_hours);
         sobs.reg.inc("observations", observations.len() as u64);
         net.hot_counters().since(hot0).record_into(&mut sobs.reg);
@@ -671,16 +778,25 @@ impl Pipeline {
 
     /// The Sec. III multi-day port scan, branched off the post-harvest
     /// network.
-    fn sim_port_scan(&self, store: &mut ArtifactStore, sobs: &mut StageObs) -> Result<(), String> {
+    fn sim_port_scan(
+        &self,
+        store: &mut ArtifactStore,
+        sobs: &mut StageObs,
+        wave_threads: usize,
+    ) -> Result<(), String> {
         let mut net = store.try_net_harvest()?.clone();
         sobs.begin(&mut net);
         let hot0 = net.hot_counters();
         let faults0 = net.fault_counters();
         let scanner = Scanner::new(ScanConfig {
             days: self.cfg.scan_days,
+            seed: stage_seed(self.cfg.seed, SeedDomain::Scan),
+            threads: wave_threads,
             ..ScanConfig::default()
         });
-        let scan = scanner.run(&mut net, store.try_world()?, &store.try_harvest()?.onions);
+        let (scan, waves) =
+            scanner.run_traced(&mut net, store.try_world()?, &store.try_harvest()?.onions);
+        sobs.record_waves(waves);
         sobs.reg.inc("targets", scan.targets as u64);
         sobs.reg.inc("probes_scheduled", scan.probes_scheduled);
         sobs.reg.inc("open_ports", u64::from(scan.total_open()));
@@ -738,6 +854,8 @@ fn sim_stage_recorder(
     timing: &StageTiming,
     rounds: &[RoundTrace],
     ops: &[OpSpan],
+    waves: &[WaveStats],
+    epoch: Instant,
 ) -> SpanRecorder {
     let mut rec = SpanRecorder::new();
     rec.span(Span {
@@ -782,6 +900,7 @@ fn sim_stage_recorder(
             args: op.args.clone(),
         });
     }
+    push_shard_spans(&mut rec, sim.1, waves, epoch);
     // One cache summary per stage, from the historical counters.
     let hits = timing.counter("desc_cache_hits").unwrap_or(0);
     let misses = timing.counter("desc_cache_misses").unwrap_or(0);
@@ -805,6 +924,7 @@ fn analysis_stage_recorder(
     sim: (u64, u64),
     timing: &StageTiming,
     meta: &AnalysisMeta,
+    epoch: Instant,
 ) -> SpanRecorder {
     let mut rec = SpanRecorder::new();
     rec.span(Span {
@@ -816,6 +936,7 @@ fn analysis_stage_recorder(
         args: timing.counters.clone(),
     });
     push_attempts(&mut rec, sim, Some(meta.wall), meta.attempts);
+    push_shard_spans(&mut rec, sim.1, &meta.waves, epoch);
     rec
 }
 
@@ -847,6 +968,28 @@ fn push_attempts(rec: &mut SpanRecorder, sim: (u64, u64), wall: Option<(u64, u64
         wall_us: wall,
         args: Vec::new(),
     });
+}
+
+/// Appends one wall-clock span per measurement-wave shard. Shard spans
+/// are pinned at the stage's sim end with zero sim duration — the wave
+/// is instantaneous on the sim clock — and the Sim-clock export drops
+/// the `shard` category entirely, since shard count varies with the
+/// thread budget while the deterministic view must not.
+fn push_shard_spans(rec: &mut SpanRecorder, sim_end: u64, waves: &[WaveStats], epoch: Instant) {
+    for w in waves {
+        for s in &w.shards {
+            let start_us = s.start.saturating_duration_since(epoch).as_micros() as u64;
+            let end_us = s.end.saturating_duration_since(epoch).as_micros() as u64;
+            rec.span(Span {
+                name: format!("shard {}", s.shard),
+                cat: "shard",
+                sim_start: sim_end,
+                sim_end,
+                wall_us: Some((start_us, end_us)),
+                args: vec![("items", s.items as u64), ("threads", w.threads as u64)],
+            });
+        }
+    }
 }
 
 /// The trace lane for a stage that degraded (or never ran because a
@@ -909,6 +1052,7 @@ fn run_analysis(
     store: &ArtifactStore,
     epoch: Instant,
     log: obs::Logger,
+    wave_threads: usize,
 ) -> AnalysisResult {
     let started = Instant::now();
     let wall_start = epoch.elapsed().as_micros() as u64;
@@ -918,13 +1062,23 @@ fn run_analysis(
         attempts += 1;
         let result = match injected_failure(cfg, stage, attempts) {
             Some(err) => Err(err),
-            None => panic::catch_unwind(AssertUnwindSafe(|| analysis_body(stage, cfg, store)))
-                .unwrap_or_else(|payload| Err(panic_message(payload))),
+            None => panic::catch_unwind(AssertUnwindSafe(|| {
+                analysis_body(stage, cfg, store, wave_threads)
+            }))
+            .unwrap_or_else(|payload| Err(panic_message(payload))),
         };
         match result {
-            Ok((mut reg, out, weight)) => {
+            Ok((mut reg, out, weight, waves)) => {
                 if attempts > 1 {
                     reg.inc("retries", u64::from(attempts - 1));
+                }
+                if let Some(w) = waves.first() {
+                    reg.gauge("wave.threads", w.threads as f64);
+                }
+                for w in &waves {
+                    for s in &w.shards {
+                        reg.record("wave.shard_items", s.items as u64);
+                    }
                 }
                 let timing = StageTiming::from_registry(stage, started.elapsed(), reg);
                 log.progress(format_args!(
@@ -935,6 +1089,7 @@ fn run_analysis(
                     weight,
                     wall: (wall_start, epoch.elapsed().as_micros() as u64),
                     attempts,
+                    waves,
                 };
                 return AnalysisResult {
                     stage,
@@ -964,19 +1119,24 @@ fn analysis_body(
     stage: StageId,
     cfg: &StudyConfig,
     store: &ArtifactStore,
-) -> Result<(obs::Registry, AnalysisOut, u64), String> {
+    wave_threads: usize,
+) -> Result<AnalysisBodyOut, String> {
     match stage {
         StageId::Geomap => analysis_geomap(store),
         StageId::Certs => analysis_certs(store),
-        StageId::Crawl => analysis_crawl(cfg, store),
+        StageId::Crawl => analysis_crawl(cfg, store, wave_threads),
         StageId::Popularity => analysis_popularity(cfg, store),
         StageId::Tracking => analysis_tracking(cfg),
         _ => unreachable!("sim stage in analysis wave"),
     }
 }
 
+/// What an analysis stage body yields: its metric registry, artifact,
+/// synthetic-span weight, and any measurement-wave shard stats.
+type AnalysisBodyOut = (obs::Registry, AnalysisOut, u64, Vec<WaveStats>);
+
 /// Fig. 3: geographic mapping of the deanonymised clients.
-fn analysis_geomap(store: &ArtifactStore) -> Result<(obs::Registry, AnalysisOut, u64), String> {
+fn analysis_geomap(store: &ArtifactStore) -> Result<AnalysisBodyOut, String> {
     let window = store.try_deanon_window()?;
     let geomap = GeoMap::build(store.try_geo()?, &window.observations);
     let report = DeanonReport {
@@ -989,12 +1149,12 @@ fn analysis_geomap(store: &ArtifactStore) -> Result<(obs::Registry, AnalysisOut,
     let mut reg = obs::Registry::new();
     reg.inc("unique_clients", u64::from(report.unique_clients));
     reg.inc("countries", report.geomap.country_count() as u64);
-    Ok((reg, AnalysisOut::Geomap(report), weight))
+    Ok((reg, AnalysisOut::Geomap(report), weight, Vec::new()))
 }
 
 /// Sec. III: the HTTPS certificate survey over everything the scan saw
 /// answering on 443.
-fn analysis_certs(store: &ArtifactStore) -> Result<(obs::Registry, AnalysisOut, u64), String> {
+fn analysis_certs(store: &ArtifactStore) -> Result<AnalysisBodyOut, String> {
     let https_onions: Vec<OnionAddress> = store
         .try_scan()?
         .open_by_onion
@@ -1004,16 +1164,17 @@ fn analysis_certs(store: &ArtifactStore) -> Result<(obs::Registry, AnalysisOut, 
         .collect();
     let certs = CertSurvey::run(store.try_world()?, https_onions);
     let mut reg = obs::Registry::new();
-    reg.inc("https_destinations", u64::from(certs.https_destinations));
-    let weight = u64::from(certs.https_destinations);
-    Ok((reg, AnalysisOut::Certs(certs), weight))
+    reg.inc("https_destinations", certs.https_destinations);
+    let weight = certs.https_destinations;
+    Ok((reg, AnalysisOut::Certs(certs), weight, Vec::new()))
 }
 
 /// Sec. IV: crawl funnel, Table I, languages, Fig. 2.
 fn analysis_crawl(
     cfg: &StudyConfig,
     store: &ArtifactStore,
-) -> Result<(obs::Registry, AnalysisOut, u64), String> {
+    wave_threads: usize,
+) -> Result<AnalysisBodyOut, String> {
     let destinations = store.try_scan()?.crawl_destinations();
     // A zero transient rate makes `with_config` the identity of
     // `Crawler::new()` (proved by test), so fault-free crawls are
@@ -1022,8 +1183,9 @@ fn analysis_crawl(
         transient_failure_rate: cfg.faults.crawl_transient_rate,
         seed: stage_seed(cfg.seed, SeedDomain::Faults),
         retry_attempts: 3,
+        threads: wave_threads,
     });
-    let crawl = crawler.run(store.try_world()?, &destinations);
+    let (crawl, waves) = crawler.run_traced(store.try_world()?, &destinations);
     let mut reg = obs::Registry::new();
     reg.inc("destinations", destinations.len() as u64);
     reg.inc("pages_classified", crawl.classified.len() as u64);
@@ -1035,7 +1197,7 @@ fn analysis_crawl(
     reg.merge_hist("crawl.connect_attempts", &crawl.connect_attempts);
     reg.merge_hist("crawl.words_per_page", &crawl.words_per_page);
     let weight = destinations.len() as u64;
-    Ok((reg, AnalysisOut::Crawl(Box::new(crawl)), weight))
+    Ok((reg, AnalysisOut::Crawl(Box::new(crawl)), weight, waves))
 }
 
 /// Sec. V: descriptor-ID resolution, Table II ranking, Goldnet
@@ -1043,7 +1205,7 @@ fn analysis_crawl(
 fn analysis_popularity(
     cfg: &StudyConfig,
     store: &ArtifactStore,
-) -> Result<(obs::Registry, AnalysisOut, u64), String> {
+) -> Result<AnalysisBodyOut, String> {
     let harvest = store.try_harvest()?;
     let world = store.try_world()?;
     let resolver = Resolver::build(
@@ -1077,12 +1239,13 @@ fn analysis_popularity(
             requested_published_share,
         })),
         weight,
+        Vec::new(),
     ))
 }
 
 /// Sec. VII: consensus-archive tracking detection. Independent of the
 /// simulated 2013 network — it generates its own 3-year archive.
-fn analysis_tracking(cfg: &StudyConfig) -> Result<(obs::Registry, AnalysisOut, u64), String> {
+fn analysis_tracking(cfg: &StudyConfig) -> Result<AnalysisBodyOut, String> {
     let mut archive = ConsensusArchive::generate(&HistoryConfig {
         seed: stage_seed(cfg.seed, SeedDomain::Tracking),
         ..HistoryConfig::default()
@@ -1111,5 +1274,10 @@ fn analysis_tracking(cfg: &StudyConfig) -> Result<(obs::Registry, AnalysisOut, u
     let mut reg = obs::Registry::new();
     reg.inc("consensuses", archive.len() as u64);
     reg.inc("windows", 3);
-    Ok((reg, AnalysisOut::Tracking(TrackingReport { years }), weight))
+    Ok((
+        reg,
+        AnalysisOut::Tracking(TrackingReport { years }),
+        weight,
+        Vec::new(),
+    ))
 }

@@ -31,6 +31,8 @@ pub enum SeedDomain {
     /// Deterministic fault injection (relay crashes, HSDir drops,
     /// service flaps, crawl flakes).
     Faults,
+    /// Port-scan measurement waves (Sec. IV probe randomness).
+    Scan,
 }
 
 impl SeedDomain {
@@ -43,6 +45,7 @@ impl SeedDomain {
             SeedDomain::Traffic => 0x7aff,
             SeedDomain::Tracking => 0x7ac,
             SeedDomain::Faults => 0xfa17,
+            SeedDomain::Scan => 0x5ca7,
         }
     }
 }
@@ -68,6 +71,7 @@ mod tests {
         assert_eq!(stage_seed(root, SeedDomain::Traffic), root ^ 0x7aff);
         assert_eq!(stage_seed(root, SeedDomain::Tracking), root ^ 0x7ac);
         assert_eq!(stage_seed(root, SeedDomain::Faults), root ^ 0xfa17);
+        assert_eq!(stage_seed(root, SeedDomain::Scan), root ^ 0x5ca7);
     }
 
     #[test]
@@ -77,6 +81,7 @@ mod tests {
             stage_seed(root, SeedDomain::Traffic),
             stage_seed(root, SeedDomain::Tracking),
             stage_seed(root, SeedDomain::Faults),
+            stage_seed(root, SeedDomain::Scan),
             stage_seed(root, SeedDomain::World),
         ];
         for (i, a) in seeds.iter().enumerate() {

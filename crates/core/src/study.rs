@@ -224,19 +224,27 @@ impl Study {
 
     /// Runs the full pipeline with the analysis stages in parallel.
     pub fn run(&self) -> StudyReport {
-        self.run_full(ExecMode::Parallel, RunOptions::default())
+        self.run_full(ExecMode::parallel(), RunOptions::default())
     }
 
     /// Runs the full pipeline with explicit observability options
     /// (span tracing, stderr event stream).
     pub fn run_with(&self, opts: RunOptions) -> StudyReport {
-        self.run_full(ExecMode::Parallel, opts)
+        self.run_full(ExecMode::parallel(), opts)
+    }
+
+    /// Runs the full pipeline under an explicit execution mode —
+    /// including the measurement-wave thread budget, e.g.
+    /// `ExecMode::parallel().with_wave_threads(8)`. Artifacts are
+    /// byte-identical at every thread count.
+    pub fn run_mode(&self, mode: ExecMode, opts: RunOptions) -> StudyReport {
+        self.run_full(mode, opts)
     }
 
     /// Runs the full pipeline with every stage on the calling thread —
     /// the reference order [`Study::run`] is tested against.
     pub fn run_sequential(&self) -> StudyReport {
-        self.run_full(ExecMode::Sequential, RunOptions::default())
+        self.run_full(ExecMode::sequential(), RunOptions::default())
     }
 
     /// Runs the dependency closure of a single stage and returns the
@@ -248,13 +256,24 @@ impl Study {
     /// Runs the dependency closure of `targets` (analysis stages in
     /// parallel where the plan allows).
     pub fn run_stages(&self, targets: &[StageId]) -> PipelineRun {
-        Pipeline::new(self.config.clone()).run(targets, ExecMode::Parallel)
+        Pipeline::new(self.config.clone()).run(targets, ExecMode::parallel())
     }
 
     /// Runs the dependency closure of `targets` with explicit
     /// observability options.
     pub fn run_stages_with(&self, targets: &[StageId], opts: RunOptions) -> PipelineRun {
-        Pipeline::new(self.config.clone()).run_with(targets, ExecMode::Parallel, opts)
+        Pipeline::new(self.config.clone()).run_with(targets, ExecMode::parallel(), opts)
+    }
+
+    /// Runs the dependency closure of `targets` under an explicit
+    /// execution mode (see [`Study::run_mode`]).
+    pub fn run_stages_mode(
+        &self,
+        targets: &[StageId],
+        mode: ExecMode,
+        opts: RunOptions,
+    ) -> PipelineRun {
+        Pipeline::new(self.config.clone()).run_with(targets, mode, opts)
     }
 
     fn run_full(&self, mode: ExecMode, opts: RunOptions) -> StudyReport {

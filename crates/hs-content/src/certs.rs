@@ -14,15 +14,15 @@ use hs_world::{CertKind, Certificate, World};
 #[derive(Clone, Debug, Default)]
 pub struct CertSurvey {
     /// Destinations that presented a certificate.
-    pub https_destinations: u32,
+    pub https_destinations: u64,
     /// Self-signed with mismatching common name (includes TorHost).
-    pub self_signed_mismatch: u32,
+    pub self_signed_mismatch: u64,
     /// The TorHost shared certificate.
-    pub torhost_cn: u32,
+    pub torhost_cn: u64,
     /// Certificates carrying a clearnet DNS name (deanonymising).
-    pub clearnet_dns: u32,
+    pub clearnet_dns: u64,
     /// Common name matches the onion address.
-    pub matching_onion: u32,
+    pub matching_onion: u64,
     /// The deanonymised services and the DNS names that expose them.
     pub deanonymised: Vec<(OnionAddress, String)>,
 }
@@ -74,7 +74,7 @@ mod tests {
     use super::*;
     use hs_world::{Role, WorldConfig};
 
-    fn survey_at(scale: f64) -> (CertSurvey, u32) {
+    fn survey_at(scale: f64) -> (CertSurvey, u64) {
         let world = World::generate(WorldConfig { seed: 3, scale });
         let https: Vec<OnionAddress> = world
             .services()
@@ -82,7 +82,7 @@ mod tests {
             .filter(|s| matches!(s.role, Role::Web) && (s.web.https || s.web.https_only))
             .map(|s| s.onion)
             .collect();
-        let n = https.len() as u32;
+        let n = https.len() as u64;
         (CertSurvey::run(&world, https), n)
     }
 
@@ -111,7 +111,7 @@ mod tests {
         // Deanonymising certs are rare but present.
         assert!(s.clearnet_dns > 0);
         assert!(s.clearnet_dns < s.https_destinations / 10);
-        assert_eq!(s.deanonymised.len() as u32, s.clearnet_dns);
+        assert_eq!(s.deanonymised.len() as u64, s.clearnet_dns);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use onion_crypto::onion::OnionAddress;
+use wave::{WavePool, WaveStats};
 
 use hs_world::taxonomy::{Language, Topic};
 use hs_world::World;
@@ -36,6 +37,8 @@ pub struct CrawlConfig {
     /// Connection attempts per destination (including the first).
     /// Values below 1 behave as 1.
     pub retry_attempts: u32,
+    /// Worker threads for the fetch and classify waves (1 = inline).
+    pub threads: usize,
 }
 
 impl Default for CrawlConfig {
@@ -44,6 +47,7 @@ impl Default for CrawlConfig {
             transient_failure_rate: 0.0,
             seed: 0,
             retry_attempts: 3,
+            threads: 1,
         }
     }
 }
@@ -227,29 +231,53 @@ impl Crawler {
 
     /// Runs the crawl over the scan's destinations.
     pub fn run(&self, world: &World, destinations: &[(OnionAddress, u16)]) -> CrawlReport {
+        self.run_traced(world, destinations).0
+    }
+
+    /// Runs the crawl and additionally returns wave accounting (one
+    /// [`WaveStats`] each for the fetch and classify waves).
+    ///
+    /// The crawl has no RNG — flakes are pure hashes of the
+    /// destination — so both phases parallelise as plain read-only
+    /// waves over [`CrawlConfig::threads`] workers: fetch every
+    /// destination, sequentially index port-80/8080 bodies (the mirror
+    /// check needs the full fetch set), then funnel and classify every
+    /// page. Results merge in destination order, so the report is
+    /// byte-identical at any thread count.
+    pub fn run_traced(
+        &self,
+        world: &World,
+        destinations: &[(OnionAddress, u16)],
+    ) -> (CrawlReport, Vec<WaveStats>) {
         let mut report = CrawlReport {
             attempted: destinations.len(),
             ..CrawlReport::default()
         };
+        let pool = WavePool::new(self.config.threads);
 
-        // Fetch phase: which destinations are still open and connect.
+        // Fetch wave: which destinations are still open and connect.
         struct Fetched {
             onion: OnionAddress,
             port: u16,
             status: u16,
             body: String,
         }
-        let mut fetched: Vec<Fetched> = Vec::new();
-        for &(onion, port) in destinations {
+        enum FetchUnit {
+            Unreachable,
+            OpenOnly,
+            GaveUp { failures: u32 },
+            NoPage { attempt: u32 },
+            Page { attempt: u32, page: Fetched },
+        }
+        let (units, fetch_stats) = pool.map(destinations, |_, &(onion, port)| {
             let Some(service) = world.get(onion) else {
-                continue;
+                return FetchUnit::Unreachable;
             };
             if !service.alive_at_crawl {
-                continue;
+                return FetchUnit::Unreachable;
             }
-            report.still_open += 1;
             if !service.connects_at_crawl {
-                continue;
+                return FetchUnit::OpenOnly;
             }
             // Transient connection failures: retry up to the budget,
             // then abandon the destination (the paper's crawl simply
@@ -261,31 +289,59 @@ impl Crawler {
                 if !connection_flakes(&self.config, onion, port, attempt) {
                     break true;
                 }
-                report.transient_failures += 1;
                 if attempt >= budget {
                     break false;
                 }
-                report.retries += 1;
             };
             if !connected {
-                report.gave_ups += 1;
-                continue;
+                return FetchUnit::GaveUp { failures: budget };
             }
-            report.connect_attempts.record(u64::from(attempt));
-            let Some(page) = service.render_page(port) else {
-                continue;
-            };
-            report.connected += 1;
-            *report.connected_by_port.entry(port).or_insert(0) += 1;
-            fetched.push(Fetched {
-                onion,
-                port,
-                status: page.status,
-                body: page.body,
-            });
+            match service.render_page(port) {
+                Some(page) => FetchUnit::Page {
+                    attempt,
+                    page: Fetched {
+                        onion,
+                        port,
+                        status: page.status,
+                        body: page.body,
+                    },
+                },
+                None => FetchUnit::NoPage { attempt },
+            }
+        });
+
+        // Merge in destination order.
+        let mut fetched: Vec<Fetched> = Vec::new();
+        for unit in units {
+            match unit {
+                FetchUnit::Unreachable => {}
+                FetchUnit::OpenOnly => report.still_open += 1,
+                FetchUnit::GaveUp { failures } => {
+                    report.still_open += 1;
+                    report.transient_failures += u64::from(failures);
+                    report.retries += u64::from(failures - 1);
+                    report.gave_ups += 1;
+                }
+                FetchUnit::NoPage { attempt } => {
+                    report.still_open += 1;
+                    report.transient_failures += u64::from(attempt - 1);
+                    report.retries += u64::from(attempt - 1);
+                    report.connect_attempts.record(u64::from(attempt));
+                }
+                FetchUnit::Page { attempt, page } => {
+                    report.still_open += 1;
+                    report.transient_failures += u64::from(attempt - 1);
+                    report.retries += u64::from(attempt - 1);
+                    report.connect_attempts.record(u64::from(attempt));
+                    report.connected += 1;
+                    *report.connected_by_port.entry(page.port).or_insert(0) += 1;
+                    fetched.push(page);
+                }
+            }
         }
 
-        // Index port-80/8080 bodies to detect 443 mirrors.
+        // Index port-80/8080 bodies to detect 443 mirrors — needs the
+        // full fetch set, so this stays sequential between the waves.
         let mut http_bodies: HashMap<OnionAddress, &str> = HashMap::new();
         for f in &fetched {
             if f.port == 80 || f.port == 8080 {
@@ -293,30 +349,33 @@ impl Crawler {
             }
         }
 
-        // Funnel + classification.
-        for f in &fetched {
+        // Funnel + classification wave.
+        enum Funnel {
+            Error,
+            Short { words: usize, ssh: bool },
+            Mirror { words: usize },
+            Classified { words: usize, page: ClassifiedPage },
+        }
+        let http_bodies = &http_bodies;
+        let (units, classify_stats) = pool.map(&fetched, |_, f| {
             let text = strip_tags(&f.body);
             // 1. HTML-wrapped error messages (and HTTP error statuses).
             if (f.status != 200 && f.status != 0) || text.starts_with("Error") {
-                report.excluded_errors += 1;
-                continue;
+                return Funnel::Error;
             }
             // 2. Fewer than 20 words (SSH banners fall in here).
             let words = word_count(&text);
-            report.words_per_page.record(words as u64);
             if words < 20 {
-                report.excluded_short += 1;
-                if f.body.starts_with("SSH-") {
-                    report.ssh_banners += 1;
-                }
-                continue;
+                return Funnel::Short {
+                    words,
+                    ssh: f.body.starts_with("SSH-"),
+                };
             }
             // 3. Port-443 copies of port-80 content.
             if f.port == 443 {
                 if let Some(http_body) = http_bodies.get(&f.onion) {
                     if *http_body == f.body {
-                        report.excluded_mirrors += 1;
-                        continue;
+                        return Funnel::Mirror { words };
                     }
                 }
             }
@@ -325,16 +384,39 @@ impl Crawler {
             let torhost_default = f.body.contains("TorHost free anonymous hosting");
             let topic = (language == Language::English && !torhost_default)
                 .then(|| self.classifier.classify(&text));
-            report.classified.push(ClassifiedPage {
-                onion: f.onion,
-                port: f.port,
-                language,
-                topic,
-                torhost_default,
+            Funnel::Classified {
                 words,
-            });
+                page: ClassifiedPage {
+                    onion: f.onion,
+                    port: f.port,
+                    language,
+                    topic,
+                    torhost_default,
+                    words,
+                },
+            }
+        });
+
+        // Merge in fetch order.
+        for unit in units {
+            match unit {
+                Funnel::Error => report.excluded_errors += 1,
+                Funnel::Short { words, ssh } => {
+                    report.words_per_page.record(words as u64);
+                    report.excluded_short += 1;
+                    report.ssh_banners += usize::from(ssh);
+                }
+                Funnel::Mirror { words } => {
+                    report.words_per_page.record(words as u64);
+                    report.excluded_mirrors += 1;
+                }
+                Funnel::Classified { words, page } => {
+                    report.words_per_page.record(words as u64);
+                    report.classified.push(page);
+                }
+            }
         }
-        report
+        (report, vec![fetch_stats, classify_stats])
     }
 
     /// Classification accuracy against the world's ground truth —
@@ -503,6 +585,7 @@ mod tests {
             transient_failure_rate: 0.0,
             seed: 0xfeed,
             retry_attempts: 5,
+            threads: 1,
         })
         .run(&world, &destinations);
         assert_eq!(format!("{plain:?}"), format!("{zero:?}"));
@@ -521,6 +604,7 @@ mod tests {
             transient_failure_rate: 1.0,
             seed: 3,
             retry_attempts: 3,
+            threads: 1,
         })
         .run(&world, &destinations);
         assert_eq!(r.connected, 0);
@@ -541,6 +625,7 @@ mod tests {
             transient_failure_rate: 0.2,
             seed: 3,
             retry_attempts: 3,
+            threads: 1,
         })
         .run(&world, &destinations);
         assert!(r.transient_failures > 0);
@@ -559,8 +644,35 @@ mod tests {
             transient_failure_rate: 0.2,
             seed: 3,
             retry_attempts: 3,
+            threads: 1,
         })
         .run(&world, &destinations);
         assert_eq!(format!("{r:?}"), format!("{again:?}"));
+    }
+
+    #[test]
+    fn crawl_is_thread_invariant() {
+        // Reports (including the flaky-retry accounting) must be
+        // byte-identical at any wave width.
+        let world = World::generate(WorldConfig {
+            seed: 11,
+            scale: 0.05,
+        });
+        let destinations = destinations_of(&world);
+        let at = |threads: usize| {
+            let (report, waves) = Crawler::with_config(CrawlConfig {
+                transient_failure_rate: 0.2,
+                seed: 3,
+                retry_attempts: 3,
+                threads,
+            })
+            .run_traced(&world, &destinations);
+            assert_eq!(waves.len(), 2, "fetch + classify waves");
+            assert_eq!(waves[0].items(), destinations.len());
+            format!("{report:?}")
+        };
+        let one = at(1);
+        assert_eq!(one, at(2));
+        assert_eq!(one, at(8));
     }
 }

@@ -24,4 +24,4 @@ pub mod traffic;
 
 pub use ranking::{BotnetForensics, RankedService, Ranking};
 pub use resolver::{ResolutionReport, Resolver};
-pub use traffic::{poisson, TrafficConfig, TrafficDriver};
+pub use traffic::{poisson, poisson_traced, PoissonStats, TrafficConfig, TrafficDriver};

@@ -13,7 +13,7 @@ use crate::resolver::ResolutionReport;
 #[derive(Clone, Debug)]
 pub struct RankedService {
     /// Rank by measured request count (1 = most popular).
-    pub rank: u32,
+    pub rank: u64,
     /// The onion address.
     pub onion: OnionAddress,
     /// Requests per 2-hour window (normalised estimate when built via
@@ -88,7 +88,7 @@ impl Ranking {
             .collect();
         rows.sort_by(|a, b| b.requests.cmp(&a.requests).then(a.onion.cmp(&b.onion)));
         for (i, row) in rows.iter_mut().enumerate() {
-            row.rank = (i + 1) as u32;
+            row.rank = i as u64 + 1;
         }
         Ranking { rows, unnormalized }
     }
@@ -104,12 +104,12 @@ impl Ranking {
     }
 
     /// The rank of a given label's best entry, if present.
-    pub fn rank_of_label(&self, label: &str) -> Option<u32> {
+    pub fn rank_of_label(&self, label: &str) -> Option<u64> {
         self.rows.iter().find(|r| r.label == label).map(|r| r.rank)
     }
 
     /// The rank of a specific onion address.
-    pub fn rank_of(&self, onion: OnionAddress) -> Option<u32> {
+    pub fn rank_of(&self, onion: OnionAddress) -> Option<u64> {
         self.rows.iter().find(|r| r.onion == onion).map(|r| r.rank)
     }
 
@@ -258,7 +258,7 @@ mod tests {
         });
         let ranking = Ranking::build(&fake_report(&world), &world);
         for (i, row) in ranking.rows().iter().enumerate() {
-            assert_eq!(row.rank, (i + 1) as u32);
+            assert_eq!(row.rank, i as u64 + 1);
         }
         for pair in ranking.rows().windows(2) {
             assert!(pair[0].requests >= pair[1].requests);

@@ -4,11 +4,14 @@
 use std::collections::BTreeMap;
 
 use onion_crypto::onion::OnionAddress;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use tor_sim::clock::{SimTime, DAY};
 use tor_sim::fault::RetryPolicy;
-use tor_sim::network::{FetchOutcome, Network};
+use tor_sim::network::{onion_unit_key, FetchOutcome, Network, WaveEffects};
 use tor_sim::relay::Ipv4;
 use tor_sim::service::{PortReply, ServiceBackend};
+use wave::{mix2, WavePool, WaveStats};
 
 use hs_world::service::SKYNET_PORT;
 use hs_world::World;
@@ -29,6 +32,14 @@ pub struct ScanConfig {
     /// fault-free network no fetch ever times out, so the policy is
     /// never consulted.
     pub retry: RetryPolicy,
+    /// Seed for the per-target probe RNG streams. Each (day, target)
+    /// unit derives its stream from this seed plus stable unit keys,
+    /// never from shard or thread identity.
+    pub seed: u64,
+    /// Worker threads for each day's measurement wave. `1` (the
+    /// default) runs the wave inline; any value produces byte-identical
+    /// reports.
+    pub threads: usize,
 }
 
 impl Default for ScanConfig {
@@ -38,6 +49,8 @@ impl Default for ScanConfig {
             days: 7,
             decoy_ports: vec![21, 23, 25, 110, 143, 993, 3306, 5900, 8443],
             retry: RetryPolicy::standard(),
+            seed: 0x5ca7,
+            threads: 1,
         }
     }
 }
@@ -193,11 +206,28 @@ impl Scanner {
 
     /// Runs the scan of `targets` against the world, through the
     /// network.
-    ///
-    /// For every target and scan day: fetch the descriptor once, then
-    /// probe the ports scheduled for that day. Unreachable services
-    /// leave their scheduled probes unconcluded — the coverage gap.
     pub fn run(&self, net: &mut Network, world: &World, targets: &[OnionAddress]) -> ScanReport {
+        self.run_traced(net, world, targets).0
+    }
+
+    /// Runs the scan and additionally returns per-day wave accounting
+    /// (one [`WaveStats`] per scan day) for the pipeline's shard spans.
+    ///
+    /// Each scan day is a sequential *mutate* phase — advance simulated
+    /// time, apply churn, revote, maintain guard sets — followed by a
+    /// read-only *measurement wave*: one work unit per target, sharded
+    /// across [`ScanConfig::threads`] workers. A unit fetches the
+    /// target's descriptor (unit-keyed RNG stream) and, on success,
+    /// probes the day's scheduled ports; its side effects and probe
+    /// replies are merged back in target order, so the report is
+    /// byte-identical at any thread count. Unreachable services leave
+    /// their scheduled probes unconcluded — the coverage gap.
+    pub fn run_traced(
+        &self,
+        net: &mut Network,
+        world: &World,
+        targets: &[OnionAddress],
+    ) -> (ScanReport, Vec<WaveStats>) {
         // Candidate ports: everything any service listens on, plus the
         // Skynet oracle port and the decoys.
         let mut candidates: Vec<u16> = world
@@ -215,16 +245,19 @@ impl Scanner {
             ..ScanReport::default()
         };
         let mut had_descriptor = vec![false; targets.len()];
+        let pool = WavePool::new(self.config.threads);
+        let mut waves = Vec::with_capacity(self.config.days);
 
         for day in 0..self.config.days {
-            // Synchronise simulated time to the scan day and let churn
-            // take services up/down.
+            // Mutate phase: synchronise simulated time to the scan day,
+            // let churn take services up/down, and refresh guard sets.
             let day_time = self.config.start + (day as u64) * DAY;
             while net.time() < day_time {
                 net.advance_hours(1);
             }
             world.apply_churn(net, net.time());
             net.revote();
+            net.prepare_wave();
 
             let ports = schedule.ports_on(day).to_vec();
             let (day_scheduled0, day_concluded0, day_gave_ups0) = (
@@ -232,10 +265,40 @@ impl Scanner {
                 report.probes_concluded,
                 report.fetch_gave_ups,
             );
-            for (ti, &onion) in targets.iter().enumerate() {
+
+            // Measurement wave: one read-only unit per target.
+            let day_seed = mix2(self.config.seed, day as u64);
+            let now = net.time();
+            let retry = &self.config.retry;
+            let ports_ref = &ports;
+            let net_ref: &Network = net;
+            let (units, stats) = pool.map(targets, |_, &onion| {
+                let unit_key = mix2(day_seed, onion_unit_key(onion));
+                let mut rng = StdRng::seed_from_u64(unit_key);
+                let mut fx = WaveEffects::new(unit_key);
+                let fetched = net_ref.client_fetch_with_retry_readonly(
+                    scanner_client,
+                    onion,
+                    retry,
+                    &mut rng,
+                    &mut fx,
+                );
+                let replies: Vec<PortReply> = if fetched.outcome == FetchOutcome::Found {
+                    ports_ref
+                        .iter()
+                        .map(|&port| world.connect(onion, port, now))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                (fetched, replies, fx)
+            });
+            waves.push(stats);
+
+            // Merge in canonical target order.
+            for ((ti, &onion), (fetched, replies, fx)) in targets.iter().enumerate().zip(units) {
+                net.apply_wave_effects(fx);
                 report.probes_scheduled += ports.len() as u64;
-                let fetched =
-                    net.client_fetch_with_retry(scanner_client, onion, &self.config.retry);
                 report.fetch_retries += u64::from(fetched.attempts - 1);
                 report.retry_backoff_secs += fetched.backoff_secs;
                 report.fetch_attempts.record(u64::from(fetched.attempts));
@@ -259,8 +322,7 @@ impl Scanner {
                     _ => continue,
                 }
                 had_descriptor[ti] = true;
-                for &port in &ports {
-                    let reply = world.connect(onion, port, net.time());
+                for (&port, &reply) in ports.iter().zip(&replies) {
                     match reply {
                         PortReply::Timeout => {}
                         PortReply::Closed => report.probes_concluded += 1,
@@ -288,7 +350,7 @@ impl Scanner {
             ports.sort_unstable();
             ports.dedup();
         }
-        report
+        (report, waves)
     }
 }
 

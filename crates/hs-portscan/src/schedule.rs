@@ -15,8 +15,13 @@ pub struct ScanSchedule {
 }
 
 impl ScanSchedule {
-    /// Splits `ports` into `days` contiguous ranges of (nearly) equal
-    /// size, mirroring the paper's per-day port ranges.
+    /// Splits `ports` into `days` contiguous ranges whose sizes differ
+    /// by at most one, mirroring the paper's per-day port ranges.
+    ///
+    /// The first `len % days` days carry one extra port. (The previous
+    /// `div_ceil` packing front-loaded full days and could leave
+    /// trailing days empty — 9 ports over 4 days came out 3/3/3/0, and
+    /// the scanner still simulated the idle day.)
     ///
     /// # Panics
     ///
@@ -28,10 +33,13 @@ impl ScanSchedule {
             .collect::<BTreeSet<_>>()
             .into_iter()
             .collect();
+        let base = sorted.len() / days;
+        let extra = sorted.len() % days;
         let mut out = vec![Vec::new(); days];
-        let per_day = sorted.len().div_ceil(days).max(1);
-        for (i, port) in sorted.into_iter().enumerate() {
-            out[(i / per_day).min(days - 1)].push(port);
+        let mut ports = sorted.into_iter();
+        for (d, day) in out.iter_mut().enumerate() {
+            let size = base + usize::from(d < extra);
+            day.extend(ports.by_ref().take(size));
         }
         ScanSchedule { days: out }
     }
@@ -89,6 +97,58 @@ mod tests {
         let sched = ScanSchedule::split([80u16, 443], 7);
         assert_eq!(sched.port_count(), 2);
         assert_eq!(sched.day_count(), 7);
+    }
+
+    #[test]
+    fn day_sizes_differ_by_at_most_one() {
+        // The old div_ceil packing yielded 3/3/3/0 here.
+        let sched = ScanSchedule::split(1u16..=9, 4);
+        let sizes: Vec<usize> = (0..4).map(|d| sched.ports_on(d).len()).collect();
+        assert_eq!(sizes, vec![3, 2, 2, 2]);
+        for days in 1..12usize {
+            for n in 0..40u16 {
+                let sched = ScanSchedule::split(1..=n, days);
+                let sizes: Vec<usize> = (0..days).map(|d| sched.ports_on(d).len()).collect();
+                let min = sizes.iter().min().copied().unwrap_or(0);
+                let max = sizes.iter().max().copied().unwrap_or(0);
+                assert!(max - min <= 1, "n={n} days={days}: {sizes:?}");
+                assert_eq!(sizes.iter().sum::<usize>(), usize::from(n));
+            }
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Every scheduled port appears exactly once, in sorted
+            /// contiguous day ranges whose sizes differ by at most one.
+            #[test]
+            fn split_is_a_balanced_sorted_partition(
+                ports in collection::hash_set(any::<u16>(), 0..200),
+                days in 1usize..15,
+            ) {
+                let sched = ScanSchedule::split(ports.iter().copied(), days);
+                prop_assert_eq!(sched.day_count(), days);
+
+                let flat: Vec<u16> = (0..days)
+                    .flat_map(|d| sched.ports_on(d).to_vec())
+                    .collect();
+                let mut expected: Vec<u16> = ports.iter().copied().collect();
+                expected.sort_unstable();
+                // Concatenating the days in order reproduces the sorted
+                // dedup'd input: full coverage, no duplicates, and the
+                // day ranges are contiguous in port order.
+                prop_assert_eq!(flat, expected);
+
+                let sizes: Vec<usize> =
+                    (0..days).map(|d| sched.ports_on(d).len()).collect();
+                let min = sizes.iter().min().copied().unwrap_or(0);
+                let max = sizes.iter().max().copied().unwrap_or(0);
+                prop_assert!(max - min <= 1, "unbalanced days: {:?}", sizes);
+            }
+        }
     }
 
     #[test]

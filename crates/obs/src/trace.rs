@@ -31,7 +31,11 @@ use crate::json::escape_json;
 pub struct Span {
     /// Display name (e.g. `stage:harvest`, `round`, `attempt 2`).
     pub name: String,
-    /// Chrome category: `pipeline`, `stage`, `attempt`, `sim`, `ops`.
+    /// Chrome category: `pipeline`, `stage`, `attempt`, `sim`, `ops`,
+    /// `shard`. The `shard` category is wall-clock-only profiling data
+    /// (one span per measurement-wave shard): the number of shards
+    /// varies with the run's thread budget, so the deterministic
+    /// sim-clock export drops the category entirely.
     pub cat: &'static str,
     /// Sim-clock start, in simulated Unix seconds.
     pub sim_start: u64,
@@ -214,6 +218,12 @@ impl Trace {
         }
         for lane in &self.lanes {
             for span in &lane.spans {
+                // Shard spans are profiling-only: their count depends
+                // on the thread budget, which must not leak into the
+                // byte-stable sim view.
+                if clock == TraceClock::Sim && span.cat == "shard" {
+                    continue;
+                }
                 let (ts, dur) = match clock {
                     TraceClock::Sim => (span.sim_start - origin, span.sim_end - span.sim_start),
                     TraceClock::Wall => match span.wall_us {
@@ -503,6 +513,36 @@ mod tests {
         assert!(json.contains("\"ts\": 5, \"dur\": 100"), "{json}");
         assert!(!json.contains("\"name\": \"round\""), "{json}");
         validate_json(&json).expect("wall export is valid JSON");
+    }
+
+    #[test]
+    fn shard_spans_export_wall_only() {
+        let mut rec = SpanRecorder::new();
+        rec.span(Span {
+            name: "stage:port_scan".to_string(),
+            cat: "stage",
+            sim_start: 1000,
+            sim_end: 2000,
+            wall_us: Some((0, 90)),
+            args: Vec::new(),
+        });
+        rec.span(Span {
+            name: "shard 0".to_string(),
+            cat: "shard",
+            sim_start: 2000,
+            sim_end: 2000,
+            wall_us: Some((10, 40)),
+            args: vec![("items", 17), ("threads", 4)],
+        });
+        let mut trace = Trace::new();
+        trace.push_lane(1, "stage port_scan", rec);
+        let sim = trace.to_chrome_json(TraceClock::Sim);
+        assert!(!sim.contains("shard"), "shard leaked into sim view: {sim}");
+        validate_json(&sim).expect("sim export is valid JSON");
+        let wall = trace.to_chrome_json(TraceClock::Wall);
+        assert!(wall.contains("\"name\": \"shard 0\""), "{wall}");
+        assert!(wall.contains("\"ts\": 10, \"dur\": 30"), "{wall}");
+        validate_json(&wall).expect("wall export is valid JSON");
     }
 
     #[test]

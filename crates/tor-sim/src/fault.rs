@@ -206,7 +206,7 @@ impl Default for RetryPolicy {
 
 /// SplitMix64 finalizer: the avalanche stage used to turn structured
 /// keys into uniform bits.
-fn mix(mut x: u64) -> u64 {
+pub(crate) fn mix(mut x: u64) -> u64 {
     x ^= x >> 30;
     x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x ^= x >> 27;
@@ -227,12 +227,12 @@ pub fn roll(seed: u64, kind: u64, a: u64, b: u64) -> f64 {
 }
 
 const KIND_CRASH: u64 = 0x000c_7a5e;
-const KIND_QUERY: u64 = 0x0009_d70f;
+pub(crate) const KIND_QUERY: u64 = 0x0009_d70f;
 const KIND_PUBLISH: u64 = 0x000b_ab11;
 const KIND_FLAP: u64 = 0x000f_1ab5;
 
 /// First eight bytes of a descriptor ID as a hash operand.
-fn desc_key(id: DescriptorId) -> u64 {
+pub(crate) fn desc_key(id: DescriptorId) -> u64 {
     let digest = id.digest();
     let bytes = digest.as_bytes();
     let mut k = [0u8; 8];
@@ -241,7 +241,7 @@ fn desc_key(id: DescriptorId) -> u64 {
 }
 
 /// The onion's permanent identifier as a hash operand.
-fn onion_key(onion: OnionAddress) -> u64 {
+pub(crate) fn onion_key(onion: OnionAddress) -> u64 {
     let perm = onion.permanent_id();
     let bytes = perm.as_bytes();
     let mut k = [0u8; 8];
@@ -351,6 +351,31 @@ impl FaultState {
             return true;
         }
         false
+    }
+
+    /// A relay's accumulated descriptor-query load this consensus
+    /// round, as seen by a read-only measurement wave (the snapshot
+    /// the wave's overload decisions add their local load to).
+    pub(crate) fn round_load(&self, relay: RelayId) -> u32 {
+        self.load.get(relay.0).copied().unwrap_or(0)
+    }
+
+    /// Folds a wave unit's per-relay load increments back into the
+    /// global round-load table. Addition is commutative, so the merge
+    /// order across units does not matter.
+    pub(crate) fn add_load(&mut self, increments: &[(usize, u32)]) {
+        for &(idx, load) in increments {
+            self.ensure_len(idx + 1);
+            self.load[idx] += load;
+        }
+    }
+
+    /// The drop roll a read-only wave uses in place of the sequential
+    /// path's `query_serial`: the serial operand is derived from the
+    /// unit's stable key instead of global fetch order, so the decision
+    /// is identical at any thread count.
+    pub(crate) fn wave_drop_roll(&self, desc_id: DescriptorId, serial: u64) -> bool {
+        roll(self.plan.seed, KIND_QUERY, desc_key(desc_id), serial) < self.plan.hsdir_drop_rate
     }
 
     /// Whether a descriptor upload to one HSDir fails. Keyed on

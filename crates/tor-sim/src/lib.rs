@@ -76,6 +76,8 @@ pub use consensus::{Consensus, ConsensusEntry};
 pub use fault::{FaultCounters, FaultPlan, RetryPolicy};
 pub use flags::RelayFlags;
 pub use guard::GuardSet;
-pub use network::{ClientId, FetchOutcome, Network, NetworkBuilder, RoundTrace};
+pub use network::{
+    onion_unit_key, ClientId, FetchOutcome, Network, NetworkBuilder, RoundTrace, WaveEffects,
+};
 pub use relay::{Ipv4, Operator, Relay, RelayId};
 pub use service::{ConnectOutcome, PortReply, ServiceBackend};

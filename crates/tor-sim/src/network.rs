@@ -96,6 +96,66 @@ pub struct FetchAttempts {
     pub backoff_secs: u64,
 }
 
+/// Side effects accumulated by one read-only measurement work unit.
+///
+/// Measurement waves share `&Network` across worker threads; everything
+/// a unit would have written through `&mut self` on the sequential path
+/// — hot-path counters, fault counters, per-relay query load, request
+/// logs, guard observations — lands here instead and is folded back in
+/// canonical input order by [`Network::apply_wave_effects`]. Log and
+/// observation order is preserved within a unit, so the merged feeds
+/// are identical to running the units one after another.
+#[derive(Clone, Debug, Default)]
+pub struct WaveEffects {
+    /// Stable per-unit key: fault drop rolls derive their serial
+    /// operand from it, never from shard or thread identity.
+    unit_key: u64,
+    /// Hot-path work the unit performed.
+    hot: HotPathCounters,
+    /// Queries dropped by the per-query drop rate.
+    fetch_drops: u64,
+    /// Queries dropped as overload against the wave-start snapshot.
+    overload_drops: u64,
+    /// Per-relay descriptor-query load the unit generated.
+    load: Vec<(usize, u32)>,
+    /// Request-log records in issue order.
+    logs: Vec<(RelayId, RequestRecord)>,
+    /// Guard observations in issue order.
+    observations: Vec<GuardObservation>,
+    /// Monotonic within-unit query counter feeding the drop rolls.
+    query_serial: u64,
+}
+
+impl WaveEffects {
+    /// An empty effect set for the unit identified by `unit_key`.
+    pub fn new(unit_key: u64) -> Self {
+        WaveEffects {
+            unit_key,
+            ..WaveEffects::default()
+        }
+    }
+
+    /// Increments the unit-local load on `relay` and returns the new
+    /// local total.
+    fn bump_load(&mut self, relay: usize) -> u32 {
+        for entry in &mut self.load {
+            if entry.0 == relay {
+                entry.1 += 1;
+                return entry.1;
+            }
+        }
+        self.load.push((relay, 1));
+        1
+    }
+}
+
+/// Stable unit key material for an onion address: the first eight bytes
+/// of its permanent identifier. Measurement crates combine this with
+/// day/hour indices to seed per-unit RNG streams.
+pub fn onion_unit_key(onion: OnionAddress) -> u64 {
+    crate::fault::onion_key(onion)
+}
+
 /// Cumulative hot-path work counters, cheap enough to keep always-on.
 ///
 /// The pipeline snapshots these around every stage and reports the
@@ -734,6 +794,210 @@ impl Network {
         }
     }
 
+    /// Sequential prepare phase for a measurement wave: maintains every
+    /// client's guard set against the current consensus, in client
+    /// index order, using the network RNG. Run once per wave (after the
+    /// mutate phase) so the read-only units can [`GuardSet::pick`]
+    /// without touching shared state.
+    pub fn prepare_wave(&mut self) {
+        let now = self.time;
+        let Network {
+            clients,
+            consensus,
+            rng,
+            ..
+        } = &mut *self;
+        for client in clients.iter_mut() {
+            client.guards.maintain(consensus, now, rng);
+        }
+    }
+
+    /// Read-only variant of [`Network::client_fetch_desc_id`] for
+    /// measurement waves: circuit and HSDir-order randomness comes from
+    /// the unit's own `rng`, and every side effect is recorded in `fx`
+    /// instead of written through. The client's guard set must have
+    /// been maintained by [`Network::prepare_wave`].
+    pub fn client_fetch_desc_id_readonly(
+        &self,
+        client: ClientId,
+        desc_id: DescriptorId,
+        rng: &mut StdRng,
+        fx: &mut WaveEffects,
+    ) -> FetchOutcome {
+        fx.hot.fetches += 1;
+        let Some(guard) = self.clients[client.0].guards.pick(&self.consensus, rng) else {
+            return FetchOutcome::NoCircuit;
+        };
+
+        let mut order = [RelayId(usize::MAX); HSDIRS_PER_REPLICA];
+        let n = self.consensus.responsible_hsdirs_into(desc_id, &mut order);
+        if n == 0 {
+            return FetchOutcome::NoHsdirs;
+        }
+        order[..n].shuffle(rng);
+
+        let faults_active = !self.faults.is_inert();
+        let mut outcome = FetchOutcome::NotFound;
+        for &hsdir in &order[..n] {
+            if faults_active && self.wave_drops_query(hsdir, desc_id, fx) {
+                outcome = FetchOutcome::Timeout;
+                continue;
+            }
+            let found = self.stores[hsdir.0].contains(desc_id);
+            if self.relays[hsdir.0].logging {
+                fx.logs.push((
+                    hsdir,
+                    RequestRecord {
+                        time: self.time,
+                        descriptor_id: desc_id,
+                        found,
+                    },
+                ));
+            }
+            if !found {
+                continue;
+            }
+            outcome = FetchOutcome::Found;
+            if self.relays[hsdir.0].operator != Operator::Honest {
+                if let Some((onion, sig)) = self.signature_for(desc_id) {
+                    let cells = sig.encode_response(3);
+                    if self.relays[guard.0].operator != Operator::Honest && sig.matches(&cells) {
+                        fx.observations.push(GuardObservation {
+                            time: self.time,
+                            guard,
+                            client_ip: self.clients[client.0].ip,
+                            onion,
+                        });
+                    }
+                }
+            }
+            break;
+        }
+        outcome
+    }
+
+    /// The wave counterpart of `FaultState::drops_query`: overload is
+    /// decided against the wave-start load snapshot plus the unit's own
+    /// local contribution, and the drop roll's serial operand derives
+    /// from the unit key — both thread-count-invariant.
+    fn wave_drops_query(
+        &self,
+        hsdir: RelayId,
+        desc_id: DescriptorId,
+        fx: &mut WaveEffects,
+    ) -> bool {
+        let local = fx.bump_load(hsdir.0);
+        let threshold = self.faults.plan.overload_threshold;
+        if threshold > 0 && self.faults.round_load(hsdir) + local > threshold {
+            fx.overload_drops += 1;
+            return true;
+        }
+        fx.query_serial += 1;
+        let serial = crate::fault::mix(crate::fault::mix(fx.unit_key) ^ fx.query_serial);
+        if self.faults.wave_drop_roll(desc_id, serial) {
+            fx.fetch_drops += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Read-only variant of [`Network::client_fetch`]: the replica swap
+    /// draws from the unit `rng`, and a descriptor-ID pair not answered
+    /// by the cache is recomputed locally without populating it (the
+    /// SHA-1 work and the miss are still counted in `fx`).
+    pub fn client_fetch_readonly(
+        &self,
+        client: ClientId,
+        onion: OnionAddress,
+        rng: &mut StdRng,
+        fx: &mut WaveEffects,
+    ) -> FetchOutcome {
+        let mut ids = self.pair_readonly(onion, fx);
+        if rng.random::<bool>() {
+            ids.swap(0, 1);
+        }
+        let first = self.client_fetch_desc_id_readonly(client, ids[0], rng, fx);
+        match first {
+            FetchOutcome::Found | FetchOutcome::NoCircuit | FetchOutcome::NoHsdirs => first,
+            FetchOutcome::NotFound | FetchOutcome::Timeout => {
+                let second = self.client_fetch_desc_id_readonly(client, ids[1], rng, fx);
+                match second {
+                    FetchOutcome::Found => FetchOutcome::Found,
+                    _ if first == FetchOutcome::Timeout => FetchOutcome::Timeout,
+                    other => other,
+                }
+            }
+        }
+    }
+
+    /// Read-only variant of [`Network::client_fetch_with_retry`].
+    pub fn client_fetch_with_retry_readonly(
+        &self,
+        client: ClientId,
+        onion: OnionAddress,
+        policy: &RetryPolicy,
+        rng: &mut StdRng,
+        fx: &mut WaveEffects,
+    ) -> FetchAttempts {
+        let budget = policy.max_attempts.max(1);
+        let mut attempts = 0u32;
+        let mut backoff_secs = 0u64;
+        loop {
+            attempts += 1;
+            let outcome = self.client_fetch_readonly(client, onion, rng, fx);
+            if outcome != FetchOutcome::Timeout || attempts >= budget {
+                return FetchAttempts {
+                    outcome,
+                    attempts,
+                    backoff_secs,
+                };
+            }
+            backoff_secs += policy.backoff_after(attempts);
+        }
+    }
+
+    /// Read-only descriptor-ID pair lookup: cache hits are served and
+    /// counted; misses recompute locally *without* inserting (dead and
+    /// phantom services would otherwise mutate the cache mid-wave), so
+    /// the miss accounting matches the sequential publish-warmed path.
+    fn pair_readonly(
+        &self,
+        onion: OnionAddress,
+        fx: &mut WaveEffects,
+    ) -> [DescriptorId; REPLICAS as usize] {
+        let perm = onion.permanent_id();
+        let period = TimePeriod::at(self.time.unix(), perm);
+        if self.desc_cache_enabled {
+            if let Some(&(cached_period, ids)) = self.desc_cache.get(&onion) {
+                if cached_period == period {
+                    fx.hot.desc_cache_hits += 1;
+                    return ids;
+                }
+            }
+            fx.hot.desc_cache_misses += 1;
+        }
+        fx.hot.sha1_digests += 2 * u64::from(REPLICAS);
+        Replica::ALL.map(|r| DescriptorId::compute(perm, period, r))
+    }
+
+    /// Folds one wave unit's accumulated side effects back into the
+    /// network. Call once per unit, in canonical input order, after the
+    /// wave completes — the result is then identical to having run the
+    /// units sequentially.
+    pub fn apply_wave_effects(&mut self, fx: WaveEffects) {
+        self.hot.sha1_digests += fx.hot.sha1_digests;
+        self.hot.desc_cache_hits += fx.hot.desc_cache_hits;
+        self.hot.desc_cache_misses += fx.hot.desc_cache_misses;
+        self.hot.fetches += fx.hot.fetches;
+        self.faults.counters.fetch_drops += fx.fetch_drops;
+        self.faults.counters.overload_drops += fx.overload_drops;
+        self.faults.add_load(&fx.load);
+        for (relay, record) in fx.logs {
+            self.logs[relay.0].record(record);
+        }
+        self.guard_observations.extend(fx.observations);
+    }
+
     /// Full application connection: descriptor fetch, rendezvous, then
     /// the backend's port reply.
     pub fn connect_port(
@@ -826,6 +1090,16 @@ fn pair_for(
     }
     ids
 }
+
+// Measurement waves share `&Network` across scoped worker threads, so
+// every queried surface must stay `Sync`. `Network` has no interior
+// mutability; this assertion turns any future regression (a `Cell`, an
+// `Rc`) into a compile error rather than a lost `Sync` bound downstream.
+const _: fn() = || {
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<Network>();
+    assert_sync::<WaveEffects>();
+};
 
 /// Builder for [`Network`], seeding an initial honest relay population.
 #[derive(Clone, Debug)]
@@ -1584,6 +1858,86 @@ mod tests {
             ConnectOutcome::ServiceUnreachable
         );
         assert!(net.fault_counters().service_flaps > 0);
+    }
+
+    #[test]
+    fn readonly_fetch_counts_effects_and_logs_on_apply() {
+        let mut net = small_net();
+        let onion = OnionAddress::from_pubkey(b"wave service");
+        net.register_service(onion, true);
+        net.advance_hours(1);
+        for i in 0..net.relays().len() {
+            net.relay_mut(RelayId(i)).logging = true;
+        }
+        let client = net.add_client(Ipv4::new(10, 0, 0, 1));
+        net.prepare_wave();
+        let hot0 = net.hot_counters();
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut fx = WaveEffects::new(0x11);
+        assert_eq!(
+            net.client_fetch_readonly(client, onion, &mut rng, &mut fx),
+            FetchOutcome::Found
+        );
+        let phantom = OnionAddress::from_pubkey(b"wave phantom");
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let mut fx2 = WaveEffects::new(0x22);
+        assert_eq!(
+            net.client_fetch_readonly(client, phantom, &mut rng2, &mut fx2),
+            FetchOutcome::NotFound
+        );
+        assert_eq!(
+            net.hot_counters(),
+            hot0,
+            "read-only fetches defer all counting"
+        );
+
+        net.apply_wave_effects(fx);
+        net.apply_wave_effects(fx2);
+        let d = net.hot_counters().since(hot0);
+        assert_eq!(d.desc_cache_hits, 1, "published pair answered by cache");
+        assert_eq!(d.desc_cache_misses, 1, "phantom pair computed locally");
+        assert_eq!(d.sha1_digests, 4, "only the phantom pays SHA-1 work");
+        // The phantom alone probes both replicas' three slots; every
+        // relay logs, so at least those six records land on apply.
+        let logged: usize = (0..net.relays().len())
+            .map(|i| net.request_log(RelayId(i)).len())
+            .sum();
+        assert!(logged >= 6, "logged {logged}");
+    }
+
+    #[test]
+    fn readonly_fetch_deterministic_under_faults() {
+        let run = || {
+            let plan = FaultPlan {
+                seed: 9,
+                hsdir_drop_rate: 0.5,
+                overload_threshold: 3,
+                ..FaultPlan::none()
+            };
+            let mut net = NetworkBuilder::new()
+                .relays(80)
+                .seed(11)
+                .start(SimTime::from_ymd(2013, 2, 1))
+                .faults(plan)
+                .build();
+            let onion = OnionAddress::from_pubkey(b"faulty wave svc");
+            net.register_service(onion, true);
+            net.advance_hours(1);
+            let client = net.add_client(Ipv4::new(10, 0, 0, 2));
+            net.prepare_wave();
+            let mut rng = StdRng::seed_from_u64(77);
+            let mut fx = WaveEffects::new(0xabc);
+            let out = net.client_fetch_with_retry_readonly(
+                client,
+                onion,
+                &RetryPolicy::standard(),
+                &mut rng,
+                &mut fx,
+            );
+            (out, format!("{fx:?}"))
+        };
+        assert_eq!(run(), run(), "unit-keyed rolls replay identically");
     }
 
     #[test]

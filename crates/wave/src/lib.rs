@@ -1,0 +1,251 @@
+//! Deterministic sharded measurement waves.
+//!
+//! The measurement-heavy simulation stages split each simulated day
+//! into a sequential *mutate* phase (consensus rounds, fault
+//! application) and a read-only *measurement wave* over that day's work
+//! units. This crate provides the wave half: a [`WavePool`] that shards
+//! a slice of work units into balanced contiguous ranges, runs each
+//! shard on a scoped worker thread, and concatenates the per-shard
+//! results back **in input order**.
+//!
+//! Determinism contract: the worker closure receives the *global* item
+//! index, never the shard index, so nothing a unit computes can depend
+//! on how the work was sharded. Per-unit randomness must be derived
+//! from stable unit keys (onion identifiers, simulated hours) — helpers
+//! [`mix`] and [`mix2`] fold such keys into seed material. Under that
+//! discipline, `map` output is byte-identical at any thread count,
+//! including the inline `threads == 1` path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+
+use std::time::Instant;
+
+/// Splits `len` items into at most `shards` balanced contiguous ranges:
+/// every shard gets `len / shards` items and the first `len % shards`
+/// shards get one extra, so shard sizes differ by at most one and no
+/// shard is empty.
+pub fn shard_ranges(len: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    let shards = shards.max(1).min(len.max(1));
+    if len == 0 {
+        return Vec::new();
+    }
+    let base = len / shards;
+    let extra = len % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Wall-clock accounting for one shard of a wave.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardStat {
+    /// Shard index within the wave.
+    pub shard: usize,
+    /// Work units the shard processed.
+    pub items: usize,
+    /// When the shard started executing.
+    pub start: Instant,
+    /// When the shard finished.
+    pub end: Instant,
+}
+
+/// Accounting for one wave: how it was sharded and how long each shard
+/// ran. Purely observability — nothing here may feed back into results.
+#[derive(Clone, Debug)]
+pub struct WaveStats {
+    /// Thread budget the wave ran under (as configured, not clamped).
+    pub threads: usize,
+    /// Per-shard timings, in shard order.
+    pub shards: Vec<ShardStat>,
+}
+
+impl WaveStats {
+    /// Total items processed across all shards.
+    pub fn items(&self) -> usize {
+        self.shards.iter().map(|s| s.items).sum()
+    }
+}
+
+/// A fixed-width pool that runs measurement waves. Threads are scoped
+/// per wave (the vendored crossbeam scope), so the pool itself is just
+/// the configured width.
+#[derive(Clone, Copy, Debug)]
+pub struct WavePool {
+    threads: usize,
+}
+
+impl WavePool {
+    /// A pool that runs waves on up to `threads` workers. Zero behaves
+    /// as one.
+    pub fn new(threads: usize) -> Self {
+        WavePool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items`, sharded across the pool, returning the
+    /// results in input order plus the wave's shard accounting. `f`
+    /// receives the global item index; it must derive any randomness
+    /// from stable per-unit keys so output is shard-free. Waves of at
+    /// most one item — or a pool of width one — run inline on the
+    /// caller's thread.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> (Vec<R>, WaveStats)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            let start = Instant::now();
+            let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let end = Instant::now();
+            let stats = WaveStats {
+                threads: self.threads,
+                shards: vec![ShardStat {
+                    shard: 0,
+                    items: items.len(),
+                    start,
+                    end,
+                }],
+            };
+            return (out, stats);
+        }
+        let ranges = shard_ranges(items.len(), self.threads);
+        let f = &f;
+        let run = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .cloned()
+                .map(|range| {
+                    scope.spawn(move |_| {
+                        let start = Instant::now();
+                        let out: Vec<R> = items[range.clone()]
+                            .iter()
+                            .enumerate()
+                            .map(|(off, t)| f(range.start + off, t))
+                            .collect();
+                        (out, start, Instant::now())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(part) => part,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect::<Vec<_>>()
+        });
+        let parts = match run {
+            Ok(parts) => parts,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        let mut out = Vec::with_capacity(items.len());
+        let mut shards = Vec::with_capacity(parts.len());
+        for (shard, (part, start, end)) in parts.into_iter().enumerate() {
+            shards.push(ShardStat {
+                shard,
+                items: part.len(),
+                start,
+                end,
+            });
+            out.extend(part);
+        }
+        (
+            out,
+            WaveStats {
+                threads: self.threads,
+                shards,
+            },
+        )
+    }
+}
+
+/// SplitMix64 finalizer: avalanches structured key material into
+/// uniform seed bits.
+pub fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Folds two keys into one seed: `mix(mix(a) ^ b)`. Order-sensitive by
+/// design — `mix2(a, b) != mix2(b, a)` in general.
+pub fn mix2(a: u64, b: u64) -> u64 {
+    mix(mix(a) ^ b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_are_balanced_and_contiguous() {
+        for len in 0..40usize {
+            for shards in 1..10usize {
+                let ranges = shard_ranges(len, shards);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, len);
+                if len > 0 {
+                    assert_eq!(ranges[0].start, 0);
+                    assert_eq!(ranges[ranges.len() - 1].end, len);
+                    for w in ranges.windows(2) {
+                        assert_eq!(w[0].end, w[1].start, "contiguous");
+                    }
+                    let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                    let min = sizes.iter().min().copied().unwrap_or(0);
+                    let max = sizes.iter().max().copied().unwrap_or(0);
+                    assert!(max - min <= 1, "balanced: {sizes:?}");
+                    assert!(min >= 1, "no empty shard: {sizes:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_matches_sequential_at_any_width() {
+        let items: Vec<u64> = (0..101).collect();
+        let (seq, seq_stats) = WavePool::new(1).map(&items, |i, v| mix2(i as u64, *v));
+        assert_eq!(seq_stats.shards.len(), 1);
+        assert_eq!(seq_stats.items(), items.len());
+        for threads in [2, 3, 8, 64] {
+            let (par, stats) = WavePool::new(threads).map(&items, |i, v| mix2(i as u64, *v));
+            assert_eq!(par, seq, "threads={threads}");
+            assert_eq!(stats.items(), items.len());
+            assert!(stats.shards.len() <= threads);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_waves_run_inline() {
+        let none: Vec<u32> = Vec::new();
+        let (out, stats) = WavePool::new(8).map(&none, |_, v| *v);
+        assert!(out.is_empty());
+        assert_eq!(stats.shards.len(), 1);
+        let one = [42u32];
+        let (out, stats) = WavePool::new(8).map(&one, |i, v| (i, *v));
+        assert_eq!(out, vec![(0, 42)]);
+        assert_eq!(stats.shards[0].items, 1);
+    }
+
+    #[test]
+    fn mix_helpers_are_stable() {
+        assert_eq!(mix(0x5ca7), mix(0x5ca7));
+        assert_ne!(mix2(1, 2), mix2(2, 1));
+    }
+}

@@ -3,17 +3,63 @@
 # outputs under results/ (used to fill EXPERIMENTS.md).
 #
 #   sh scripts_run_experiments.sh          regenerate results/*.txt
-#   sh scripts_run_experiments.sh verify   formatting + lint gate only
+#   sh scripts_run_experiments.sh verify   formatting + lint gate + par check
 #   sh scripts_run_experiments.sh bench    stage-timing run + baseline diff
 #   sh scripts_run_experiments.sh faults   adversarial fault-injection run
 #   sh scripts_run_experiments.sh trace    sim-clock trace run + baseline diff
+#   sh scripts_run_experiments.sh par      1-vs-N-thread byte-identity + speedup
 set -e
 if [ "${1:-}" = "verify" ]; then
   echo "== cargo fmt --check"
   cargo fmt --check
   echo "== cargo clippy --workspace -- -D warnings"
   cargo clippy --workspace -- -D warnings
+  sh "$0" par
   echo "verify ok"
+  exit 0
+fi
+if [ "${1:-}" = "par" ]; then
+  # Prove the measurement-wave parallelism changes no output byte: the
+  # full study report at 1 worker thread must equal both the committed
+  # baseline and a >=4-thread rerun, while the per-stage wall clocks
+  # show the threads actually bought time on the wave-heavy stages.
+  BASELINE=results/par_study_baseline.txt
+  [ -f "$BASELINE" ] || { echo "missing $BASELINE"; exit 1; }
+  PAR_THREADS="${HS_PAR_THREADS:-4}"
+  echo "== landscape study --scale 0.03 --seed 7 --threads 1"
+  cargo run --release -q -p hs-landscape --bin landscape -- \
+    study --scale 0.03 --seed 7 --threads 1 \
+    > results/par_study_t1.txt 2> results/par_study_t1.log
+  cp results/bench_stages.json results/par_stages_t1.json
+  if ! diff -u "$BASELINE" results/par_study_t1.txt; then
+    echo "FAIL: 1-thread report drifted from $BASELINE (determinism regression)"
+    exit 1
+  fi
+  echo "== landscape study --scale 0.03 --seed 7 --threads $PAR_THREADS"
+  cargo run --release -q -p hs-landscape --bin landscape -- \
+    study --scale 0.03 --seed 7 --threads "$PAR_THREADS" \
+    > results/par_study_tn.txt 2> results/par_study_tn.log
+  cp results/bench_stages.json results/par_stages_tn.json
+  if ! diff -u "$BASELINE" results/par_study_tn.txt; then
+    echo "FAIL: $PAR_THREADS-thread report differs from the 1-thread baseline"
+    exit 1
+  fi
+  echo "reports byte-identical at 1 and $PAR_THREADS threads"
+  # Wave-heavy wall-clock: harvest (traffic ticks) + port_scan (probe
+  # wave). Informational — timings are machine-relative.
+  wave_wall() {
+    awk '/"stage": "(harvest|port_scan)"/ {
+           if (match($0, /"wall_ms": [0-9.]+/))
+             sum += substr($0, RSTART + 11, RLENGTH - 11)
+         }
+         END { printf "%.3f", sum }' "$1"
+  }
+  T1_MS=$(wave_wall results/par_stages_t1.json)
+  TN_MS=$(wave_wall results/par_stages_tn.json)
+  awk -v a="$T1_MS" -v b="$TN_MS" -v n="$PAR_THREADS" 'BEGIN {
+    if (b > 0) printf "wave stages (harvest+port_scan): %.0fms @1 thread, %.0fms @%d threads (%.2fx)\n", a, b, n, a / b
+  }'
+  echo "par ok"
   exit 0
 fi
 if [ "${1:-}" = "bench" ]; then
@@ -25,7 +71,7 @@ if [ "${1:-}" = "bench" ]; then
   CURRENT=results/bench_stages.json
   [ -f "$BASELINE" ] || { echo "missing $BASELINE"; exit 1; }
   echo "== landscape study --scale 0.03 --seed 7"
-  cargo run --release -q -p hs-landscape --bin landscape -- study --scale 0.03 --seed 7 \
+  cargo run --release -q -p hs-landscape --bin landscape -- study --scale 0.03 --seed 7 --threads 2 \
     > results/bench_study.txt 2> results/bench_study.log
   # Strip the wall_ms field, leaving one canonical line per stage.
   strip_wall() {
@@ -71,7 +117,7 @@ if [ "${1:-}" = "faults" ]; then
   [ -f "$BASELINE" ] || { echo "missing $BASELINE"; exit 1; }
   echo "== landscape study --scale 0.03 --seed 7 --faults adversarial"
   cargo run --release -q -p hs-landscape --bin landscape -- \
-    study --scale 0.03 --seed 7 --faults adversarial \
+    study --scale 0.03 --seed 7 --threads 2 --faults adversarial \
     > results/faults_study.txt 2> results/faults_study.log
   grep -q "PARTIAL REPORT" results/faults_study.txt \
     || { echo "FAIL: adversarial run did not degrade into a partial report"; exit 1; }
@@ -109,7 +155,7 @@ if [ "${1:-}" = "trace" ]; then
   [ -f "$BASELINE" ] || { echo "missing $BASELINE"; exit 1; }
   echo "== landscape study --scale 0.03 --seed 7 --trace $CURRENT"
   cargo run --release -q -p hs-landscape --bin landscape -- \
-    study --scale 0.03 --seed 7 --trace "$CURRENT" \
+    study --scale 0.03 --seed 7 --threads 2 --trace "$CURRENT" \
     > results/trace_study.txt 2> results/trace_study.log
   grep -q "sim-clock trace written" results/trace_study.log \
     || { echo "FAIL: trace export not reported"; exit 1; }

@@ -12,7 +12,8 @@ use std::fmt::Debug;
 
 use hs_landscape::hs_harvest::HarvestOutcome;
 use hs_landscape::hs_popularity::ResolutionReport;
-use hs_landscape::pipeline::{ExecMode, Pipeline, StageId};
+use hs_landscape::obs::{self, TraceClock};
+use hs_landscape::pipeline::{ExecMode, Pipeline, RunOptions, StageId};
 use hs_landscape::{Study, StudyConfig, StudyReport};
 
 fn config() -> StudyConfig {
@@ -69,6 +70,82 @@ fn fingerprint(r: &StudyReport) -> String {
         r.deanon,
         r.tracking,
     )
+}
+
+/// Like [`fingerprint`] but tolerant of degraded stages: sections a
+/// faulted run left out render as `None` instead of panicking, so an
+/// adversarial run can still be compared value for value.
+fn fingerprint_partial(r: &StudyReport) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        r.harvest.as_ref().map(harvest_fingerprint),
+        r.scan,
+        r.certs,
+        r.crawl,
+        r.resolution.as_ref().map(resolution_fingerprint),
+        r.ranking,
+        r.forensics.as_ref().map(|f| sorted_map(&f.groups)),
+        r.requested_published_share,
+        r.deanon,
+        r.tracking,
+    )
+}
+
+/// Runs the full study at one measurement-wave thread count, returning
+/// the artifact fingerprint and the deterministic sim-clock trace.
+fn run_at_threads(cfg: &StudyConfig, threads: usize) -> (String, String) {
+    let opts = RunOptions {
+        trace: true,
+        log: obs::Logger::off(),
+    };
+    let mode = ExecMode::parallel().with_wave_threads(threads);
+    let report = Study::new(cfg.clone()).run_mode(mode, opts);
+    let trace = report
+        .trace
+        .as_ref()
+        .expect("traced run returns a trace")
+        .to_chrome_json(TraceClock::Sim);
+    (fingerprint_partial(&report), trace)
+}
+
+#[test]
+fn wave_threads_change_no_artifact_byte() {
+    let cfg = config();
+    let (fp1, trace1) = run_at_threads(&cfg, 1);
+    for threads in [2, 8] {
+        let (fp, trace) = run_at_threads(&cfg, threads);
+        assert_eq!(fp1, fp, "artifacts diverged at {threads} threads");
+        assert_eq!(trace1, trace, "sim trace diverged at {threads} threads");
+    }
+    // Fault-free runs complete, so the strict fingerprint applies too.
+    let report = Study::new(cfg).run_mode(
+        ExecMode::parallel().with_wave_threads(8),
+        RunOptions::default(),
+    );
+    assert_eq!(
+        fingerprint_partial(&report),
+        fp1,
+        "untraced run diverged from traced run"
+    );
+    fingerprint(&report);
+}
+
+#[test]
+fn wave_threads_change_no_artifact_byte_under_faults() {
+    let mut cfg = config();
+    cfg.apply_fault_profile("adversarial").unwrap();
+    let (fp1, trace1) = run_at_threads(&cfg, 1);
+    for threads in [2, 8] {
+        let (fp, trace) = run_at_threads(&cfg, threads);
+        assert_eq!(
+            fp1, fp,
+            "adversarial artifacts diverged at {threads} threads"
+        );
+        assert_eq!(
+            trace1, trace,
+            "adversarial trace diverged at {threads} threads"
+        );
+    }
 }
 
 #[test]
@@ -211,7 +288,7 @@ fn deanon_target_is_looked_up_from_world() {
     // The hard-coded Goldnet label is gone: the engine asks the world
     // for its top front end, which at any seed is a planted Goldnet
     // C&C service.
-    let run = Pipeline::new(config()).run(&[StageId::DeanonWindow], ExecMode::Parallel);
+    let run = Pipeline::new(config()).run(&[StageId::DeanonWindow], ExecMode::parallel());
     let target = run.artifacts.deanon_window().target;
     let service = run
         .artifacts

@@ -177,7 +177,7 @@ fn adversarial_parallel_equals_sequential() {
 fn failed_sim_stage_cascades_to_dependents() {
     let mut cfg = config();
     cfg.fail_stages = vec![StageId::Harvest];
-    let run = Pipeline::new(cfg).run(&[StageId::Certs], ExecMode::Parallel);
+    let run = Pipeline::new(cfg).run(&[StageId::Certs], ExecMode::parallel());
     let degraded: Vec<(StageId, u32)> = run
         .timings
         .degraded
@@ -231,7 +231,7 @@ fn flaky_stage_is_absorbed_by_retry() {
     cfg.flaky_stages = vec![StageId::Tracking, StageId::Popularity];
     let run = Pipeline::new(cfg).run(
         &[StageId::Tracking, StageId::Popularity],
-        ExecMode::Parallel,
+        ExecMode::parallel(),
     );
     assert!(
         run.timings.degraded.is_empty(),

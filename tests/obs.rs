@@ -90,7 +90,7 @@ fn trace_covers_every_executed_stage_with_nested_spans() {
 fn untraced_runs_carry_no_trace() {
     let report = Study::new(config()).run();
     assert!(report.trace.is_none());
-    let run = Pipeline::new(config()).run(&[StageId::PortScan], ExecMode::Sequential);
+    let run = Pipeline::new(config()).run(&[StageId::PortScan], ExecMode::sequential());
     assert!(run.trace.is_none());
 }
 
