@@ -57,3 +57,4 @@ pub use hs_world;
 pub use obs;
 pub use onion_crypto;
 pub use tor_sim;
+pub use wave;

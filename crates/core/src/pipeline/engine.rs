@@ -261,6 +261,23 @@ impl StageObs {
         self.waves.extend(waves);
     }
 
+    /// Records the network's mutate-phase wave accounting (churn/fault
+    /// rolls, authority voting, descriptor publish, store merges).
+    /// Wall-only observability: gauges and histograms never enter the
+    /// deterministic outputs, and — unlike measurement waves — mutate
+    /// waves are deliberately kept out of `self.waves` so the trace's
+    /// shard-span lanes stay reserved for the measurement side.
+    fn record_mutate_waves(&mut self, waves: Vec<WaveStats>) {
+        if let Some(w) = waves.first() {
+            self.reg.gauge("mutate_wave.threads", w.threads as f64);
+        }
+        for w in &waves {
+            for s in &w.shards {
+                self.reg.record("mutate_wave.shard_items", s.items as u64);
+            }
+        }
+    }
+
     /// Arms (or re-arms) the network round recorder for this stage and
     /// notes the stage's sim start. Re-arming resets the recorder's
     /// marks, so a stage never inherits deltas from the snapshot it
@@ -611,6 +628,10 @@ impl Pipeline {
             .start(SimTime::from_ymd(2013, 2, 1))
             .faults(fault_plan)
             .build();
+        // Mutate-phase waves (churn, voting, publish, store merges)
+        // share the measurement-wave worker budget. Snapshots cloned
+        // off this network inherit the setting.
+        net.set_mutate_threads(wave_threads);
         sobs.begin(&mut net);
         world.register_all(&mut net);
         // The attacker's guard relays run long before the measurement:
@@ -635,6 +656,7 @@ impl Pipeline {
         if self.faults_active() {
             net.fault_counters().record_into(&mut sobs.reg);
         }
+        sobs.record_mutate_waves(net.take_mutate_wave_stats());
         sobs.end(&mut net);
         store.world = Some(world);
         store.geo = Some(geo);
@@ -700,6 +722,7 @@ impl Pipeline {
             "harvest.descriptors_per_relay",
             &harvest.descriptors_per_relay,
         );
+        sobs.record_mutate_waves(net.take_mutate_wave_stats());
         sobs.end(&mut net);
         store.harvest = Some(harvest);
         store.net_harvest = Some(net);
@@ -767,6 +790,7 @@ impl Pipeline {
                 .since(faults0)
                 .record_into(&mut sobs.reg);
         }
+        sobs.record_mutate_waves(net.take_mutate_wave_stats());
         sobs.end(&mut net);
         store.deanon_window = Some(DeanonWindowOut {
             target,
@@ -835,6 +859,7 @@ impl Pipeline {
                 });
             }
         }
+        sobs.record_mutate_waves(net.take_mutate_wave_stats());
         sobs.end(&mut net);
         store.scan = Some(scan);
         Ok(())

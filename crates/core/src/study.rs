@@ -100,6 +100,33 @@ impl StudyConfig {
         }
     }
 
+    /// The full paper-scale preset: the 2013 network at scale 1.0
+    /// (~39,824 addresses, 1,400 honest relays) attacked with the
+    /// paper's actual fleet — 58 IPs × 24 relay instances. This is the
+    /// configuration the scale-1.0 benchmarks run (and the committed
+    /// `results/bench_scale1_baseline.json` budget covers); the
+    /// 3-year tracking analysis stays off so the preset measures the
+    /// simulation hot paths, not the tracking extrapolation.
+    pub fn scale_one() -> Self {
+        StudyConfig {
+            scale: 1.0,
+            relays: 1_400,
+            harvest: HarvestConfig {
+                fleet: hs_harvest::FleetConfig {
+                    ips: 58,
+                    relays_per_ip: 24,
+                    bandwidth: 400,
+                },
+                warmup_hours: 26,
+                rotation_hours: 2,
+            },
+            scan_days: 7,
+            traffic_clients: 500,
+            run_tracking: false,
+            ..StudyConfig::default()
+        }
+    }
+
     /// Applies a named fault profile.
     ///
     /// * `"none"` — the inert plan and no chaos (the default);

@@ -3,7 +3,7 @@
 //! gradually become responsible HSDirs for (nearly) every hidden
 //! service within one descriptor rotation.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use onion_crypto::onion::OnionAddress;
 
@@ -57,8 +57,8 @@ pub struct HarvestOutcome {
     /// many of the six responsible slots) the fleet manned each
     /// service's descriptor positions. Derivable by the attacker from
     /// the public consensus archive; used to normalise request counts
-    /// into per-2 h rates.
-    pub slot_hours: HashMap<OnionAddress, u64>,
+    /// into per-2 h rates. Sorted by onion address (nonzero rows only).
+    pub slot_hours: Vec<(OnionAddress, u64)>,
     /// The deployed fleet's relays.
     pub fleet_relays: Vec<RelayId>,
     /// Activation waves executed.
@@ -166,7 +166,7 @@ impl Harvester {
         Ok(HarvestOutcome {
             onions: onions.into_iter().collect(),
             requests,
-            slot_hours: net.slot_hours_map().clone(),
+            slot_hours: net.slot_hours_sorted(),
             fleet_relays: fleet.all_relays().collect(),
             waves,
             hours,

@@ -45,10 +45,14 @@ impl Ranking {
     /// the six responsible dirs uniformly, so a service whose slots
     /// were manned for `s` slot-hours yields `rate × s / 12` logged
     /// requests — invert that).
+    ///
+    /// `slot_hours` is the sorted-by-onion table the harvest produces
+    /// ([`tor_sim`]'s `slot_hours_sorted` view); lookups binary-search
+    /// it.
     pub fn build_normalized(
         report: &ResolutionReport,
         world: &World,
-        slot_hours: &std::collections::HashMap<OnionAddress, u64>,
+        slot_hours: &[(OnionAddress, u64)],
     ) -> Self {
         Self::build_inner(report, world, Some(slot_hours))
     }
@@ -56,15 +60,21 @@ impl Ranking {
     fn build_inner(
         report: &ResolutionReport,
         world: &World,
-        slot_hours: Option<&std::collections::HashMap<OnionAddress, u64>>,
+        slot_hours: Option<&[(OnionAddress, u64)]>,
     ) -> Self {
         let mut unnormalized = 0usize;
         let mut rows: Vec<RankedService> = report
             .requests_per_onion
             .iter()
             .map(|(&onion, &observed)| {
-                let requests = match slot_hours.map(|m| m.get(&onion)) {
-                    Some(Some(&s)) if s > 0 => {
+                let looked_up = slot_hours.map(|table| {
+                    table
+                        .binary_search_by_key(&onion, |&(o, _)| o)
+                        .ok()
+                        .map(|i| table[i].1)
+                });
+                let requests = match looked_up {
+                    Some(Some(s)) if s > 0 => {
                         ((observed as f64) * 12.0 / (s as f64)).round() as u64
                     }
                     Some(_) => {
@@ -309,13 +319,14 @@ mod tests {
         // Slot-hour coverage for only half the resolved onions; one
         // entry present but zero (relay crashed before manning any
         // slot) must also fall back.
-        let mut slot_hours = HashMap::new();
+        let mut slot_hours: Vec<(OnionAddress, u64)> = Vec::new();
         let onions: Vec<OnionAddress> = report.requests_per_onion.keys().copied().collect();
         for (i, &onion) in onions.iter().enumerate() {
             if i % 2 == 0 {
-                slot_hours.insert(onion, if i == 0 { 0 } else { 6 });
+                slot_hours.push((onion, if i == 0 { 0 } else { 6 }));
             }
         }
+        slot_hours.sort_unstable_by_key(|&(o, _)| o);
         let ranking = Ranking::build_normalized(&report, &world, &slot_hours);
         let covered = onions.len().div_ceil(2).saturating_sub(1);
         assert_eq!(ranking.unnormalized(), onions.len() - covered);

@@ -17,6 +17,8 @@
 //!   that a zero-rate plan is byte-identical to no plan at all;
 //! - [`store`] — per-relay descriptor stores with 24 h expiry and the
 //!   request logs attacker HSDirs keep;
+//! - [`intern`] — the `ServiceId` intern table and struct-of-arrays
+//!   service-state columns the hot paths index into;
 //! - [`guard`] — client entry-guard sets (3 guards, 30–60 day rotation);
 //! - [`cells`] — circuit cells and the traffic signature used for
 //!   opportunistic client deanonymisation;
@@ -58,6 +60,7 @@ pub mod docfmt;
 pub mod fault;
 pub mod flags;
 pub mod guard;
+pub mod intern;
 pub mod network;
 pub mod relay;
 pub mod service;
@@ -76,6 +79,7 @@ pub use consensus::{Consensus, ConsensusEntry};
 pub use fault::{FaultCounters, FaultPlan, RetryPolicy};
 pub use flags::RelayFlags;
 pub use guard::GuardSet;
+pub use intern::{ServiceId, ServiceInterner, ServiceTable};
 pub use network::{
     onion_unit_key, ClientId, FetchOutcome, Network, NetworkBuilder, RoundTrace, WaveEffects,
 };

@@ -8,8 +8,6 @@
 //! popularity pipeline replays client request streams, and the
 //! deanonymisation attack reads the guard-observation feed.
 
-use std::collections::HashMap;
-
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
@@ -23,6 +21,7 @@ use crate::cells::TrafficSignature;
 use crate::clock::{SimTime, DAY, HOUR};
 use crate::consensus::Consensus;
 use crate::fault::{FaultCounters, FaultPlan, FaultState, RetryPolicy};
+use crate::intern::{ServiceId, ServiceTable};
 
 use crate::guard::GuardSet;
 use crate::relay::{Ipv4, Operator, Relay, RelayId};
@@ -250,30 +249,21 @@ pub struct Network {
     authority: Authority,
     relays: Vec<Relay>,
     consensus: Consensus,
-    services: HashMap<OnionAddress, ServiceRecord>,
+    /// All per-service hot state — liveness, slot-hour coverage, the
+    /// per-period descriptor-ID cache, armed traffic signatures and
+    /// their reverse index — as dense [`ServiceId`]-indexed columns.
+    /// rend-spec-v2 IDs rotate once per (service-staggered) 24 h time
+    /// period, so a consensus round only needs fresh SHA-1 work for
+    /// services whose period just rolled over; the slot-hours column
+    /// counts, per hour, how many of the six responsible HSDir slots
+    /// were held by logging relays (derivable by the attacker from
+    /// public consensuses plus its own relay list).
+    svc: ServiceTable,
     stores: Vec<DescriptorStore>,
     logs: Vec<RequestLog>,
     clients: Vec<ClientState>,
-    /// Services for which attacker HSDirs arm the traffic signature.
-    signature_targets: HashMap<OnionAddress, TrafficSignature>,
     guard_observations: Vec<GuardObservation>,
-    /// Per-service logging-slot-hours: for every hour, how many of the
-    /// six responsible HSDir slots were held by logging relays.
-    /// An attacker can derive the same table from public consensuses
-    /// plus its own relay list; it normalises observed request counts
-    /// into per-2 h rates.
-    slot_hours: HashMap<OnionAddress, u64>,
     coverage_recorded_hour: Option<u64>,
-    /// Per-service descriptor-ID pair for the period it was computed in.
-    /// rend-spec-v2 IDs rotate once per (service-staggered) 24 h time
-    /// period, so a consensus round only needs fresh SHA-1 work for
-    /// services whose period just rolled over.
-    desc_cache: HashMap<OnionAddress, (TimePeriod, [DescriptorId; REPLICAS as usize])>,
-    /// Reverse index over armed signature targets: current descriptor
-    /// ID → onion, rebuilt lazily per target when its period rotates.
-    sig_index: HashMap<DescriptorId, OnionAddress>,
-    /// The period each armed target's `sig_index` entries were built for.
-    sig_periods: HashMap<OnionAddress, TimePeriod>,
     hot: HotPathCounters,
     /// Test hook: `false` forces the uncached reference path so the
     /// cache can be validated against first-principles recomputation.
@@ -283,6 +273,15 @@ pub struct Network {
     /// Optional per-round trace recorder (disabled by default; purely
     /// observational, never consulted by simulation logic).
     round_trace: Option<RoundRecorder>,
+    /// Worker threads for the mutate-phase waves inside [`Network::step`]
+    /// (1 = inline). Any value produces byte-identical artifacts.
+    mutate_threads: usize,
+    /// Wave statistics from the mutate phases, drained by
+    /// [`Network::take_mutate_wave_stats`]. Observational only.
+    mutate_waves: Vec<wave::WaveStats>,
+    /// Per-relay publish-wave batches, reused round to round so the
+    /// publish path stays allocation-free at steady state.
+    publish_batches: Vec<Vec<StoredDescriptor>>,
     rng: StdRng,
 }
 
@@ -346,9 +345,9 @@ impl Network {
         std::mem::take(&mut self.guard_observations)
     }
 
-    /// Registered services.
-    pub fn services(&self) -> impl Iterator<Item = &ServiceRecord> + '_ {
-        self.services.values()
+    /// Registered services, in stable registration ([`ServiceId`]) order.
+    pub fn services(&self) -> impl Iterator<Item = ServiceRecord> + '_ {
+        self.svc.records()
     }
 
     /// Adds a relay and returns its handle. The relay participates from
@@ -375,21 +374,20 @@ impl Network {
     /// Registers a hidden service. `online` services publish descriptors
     /// at every consensus round.
     pub fn register_service(&mut self, onion: OnionAddress, online: bool) {
-        self.services.insert(onion, ServiceRecord { onion, online });
+        self.svc.register(onion, online);
     }
 
     /// Sets a service's liveness.
     pub fn set_service_online(&mut self, onion: OnionAddress, online: bool) {
-        if let Some(s) = self.services.get_mut(&onion) {
-            s.online = online;
-        }
+        self.svc.set_online(onion, online);
     }
 
     /// Arms the traffic signature on all attacker HSDirs for `onion`:
     /// descriptor responses for that service will carry the signature.
     pub fn arm_signature(&mut self, onion: OnionAddress, signature: TrafficSignature) {
-        self.signature_targets.insert(onion, signature);
-        self.index_signature_target(onion);
+        let sid = self.svc.intern(onion);
+        self.svc.arm(sid, signature);
+        self.index_signature_target(sid);
     }
 
     /// Registers a client at `ip` and returns its handle. Guard sets are
@@ -438,17 +436,52 @@ impl Network {
         self.step();
     }
 
+    /// Sets the mutate-phase worker-thread count (1 = inline). Purely a
+    /// performance knob: every artifact is byte-identical at any value.
+    pub fn set_mutate_threads(&mut self, threads: usize) {
+        self.mutate_threads = threads.max(1);
+    }
+
+    /// Drains the accumulated mutate-wave statistics (one entry per
+    /// sharded phase per consensus round). Observational only.
+    pub fn take_mutate_wave_stats(&mut self) -> Vec<wave::WaveStats> {
+        std::mem::take(&mut self.mutate_waves)
+    }
+
+    /// One consensus round: churn/fault rolls, the authority vote,
+    /// descriptor publication and store maintenance — each phase a
+    /// deterministic partition-by-`RelayId`/`ServiceId` wave whose
+    /// shard results merge in canonical input order, so the round is
+    /// byte-identical at any [`Network::set_mutate_threads`] value.
     fn step(&mut self) {
+        let pool = wave::WavePool::new(self.mutate_threads);
+        self.svc.flush();
         if !self.faults.is_inert() {
             // Relay-level faults apply before the vote so the consensus
             // reflects this round's crashes and restarts.
-            self.faults.on_round(&mut self.relays, self.time);
+            let stats = self.faults.on_round(&mut self.relays, self.time, &pool);
+            self.mutate_waves.push(stats);
         }
-        self.consensus = self.authority.vote(&self.relays, self.time);
-        for store in &mut self.stores {
-            store.expire(self.time);
-        }
-        self.publish_descriptors();
+        let (consensus, vote_stats) = self.authority.vote_pooled(&self.relays, self.time, &pool);
+        self.consensus = consensus;
+        self.mutate_waves.push(vote_stats);
+        let publish_stats = self.publish_descriptors(&pool);
+        self.mutate_waves.push(publish_stats);
+        // Store maintenance runs after the publish merge: expiry only
+        // drops >24 h-old descriptors (never this round's uploads) and
+        // publication never reads stores, so the order swap versus the
+        // old sequential expire-then-publish is observationally
+        // identical while letting each store apply its batch locally.
+        let batches = std::mem::take(&mut self.publish_batches);
+        let time = self.time;
+        let (_, store_stats) = pool.map_mut(&mut self.stores, |i, store| {
+            store.expire(time);
+            if let Some(batch) = batches.get(i) {
+                store.apply_batch(batch);
+            }
+        });
+        self.publish_batches = batches;
+        self.mutate_waves.push(store_stats);
         self.refresh_signature_index();
         self.record_round();
     }
@@ -475,61 +508,78 @@ impl Network {
     /// currently responsible HSDirs, and records slot-hour coverage (at
     /// most once per hour) for logging relays.
     ///
+    /// Runs as a wave: each online service is one read-only work unit
+    /// (descriptor IDs, responsible slots, drop rolls — all pure hashes,
+    /// no RNG), and the resulting [`PublishEffect`]s merge sequentially
+    /// in canonical `ServiceId` order into the cache, the hot counters
+    /// and the per-relay upload batches that the store wave then applies.
+    ///
     /// Descriptor IDs come from the per-period cache: only services
     /// whose staggered 24 h period rolled over since the previous round
     /// pay for fresh SHA-1 work.
-    fn publish_descriptors(&mut self) {
-        let now = self.time.unix();
+    fn publish_descriptors(&mut self, pool: &wave::WavePool) -> wave::WaveStats {
         let time = self.time;
         let hour = self.time.hours();
         let record_coverage = self.coverage_recorded_hour != Some(hour);
+        let faults_active = !self.faults.is_inert();
+        let cache_enabled = self.desc_cache_enabled;
+        let online: Vec<ServiceId> = self.svc.online_ids().collect();
+
+        let (effects, stats) = {
+            let (svc, consensus) = (&self.svc, &self.consensus);
+            let (relays, faults) = (&self.relays, &self.faults);
+            pool.map(&online, |_, &sid| {
+                publish_unit(
+                    svc,
+                    consensus,
+                    relays,
+                    faults,
+                    faults_active,
+                    cache_enabled,
+                    sid,
+                    time,
+                )
+            })
+        };
+
         let Network {
-            services,
-            stores,
-            relays,
-            consensus,
-            slot_hours,
-            desc_cache,
+            svc,
             hot,
-            desc_cache_enabled,
             faults,
+            publish_batches,
+            relays,
             ..
         } = &mut *self;
-        let faults_active = !faults.is_inert();
-        let mut responsible = [RelayId(usize::MAX); HSDIRS_PER_REPLICA];
-        for service in services.values() {
-            if !service.online {
-                continue;
+        if publish_batches.len() < relays.len() {
+            publish_batches.resize_with(relays.len(), Vec::new);
+        }
+        for batch in publish_batches.iter_mut() {
+            batch.clear();
+        }
+        for (&sid, fx) in online.iter().zip(&effects) {
+            if let Some(pair) = fx.cache {
+                svc.set_cache(sid, pair);
             }
-            let ids = pair_for(desc_cache, hot, *desc_cache_enabled, service.onion, now);
-            let mut logging_slots = 0u64;
-            for desc_id in ids {
-                let n = consensus.responsible_hsdirs_into(desc_id, &mut responsible);
-                for &relay in &responsible[..n] {
-                    // Slot coverage is derived from public consensuses
-                    // (responsibility), so a dropped upload still
-                    // counts the slot — matching what the attacker's
-                    // normalisation could actually observe.
-                    if relays[relay.0].logging {
-                        logging_slots += 1;
-                    }
-                    if faults_active && faults.drops_publish(relay, desc_id, time) {
-                        continue;
-                    }
-                    stores[relay.0].publish(StoredDescriptor {
-                        descriptor_id: desc_id,
-                        onion: service.onion,
-                        published: time,
-                    });
-                }
+            hot.desc_cache_hits += u64::from(fx.hits);
+            hot.desc_cache_misses += u64::from(fx.misses);
+            hot.sha1_digests += u64::from(fx.sha1);
+            faults.counters.publish_drops += u64::from(fx.drops);
+            if record_coverage && fx.logging_slots > 0 {
+                svc.add_slot_hours(sid, u64::from(fx.logging_slots));
             }
-            if record_coverage && logging_slots > 0 {
-                *slot_hours.entry(service.onion).or_insert(0) += logging_slots;
+            let onion = svc.onion(sid);
+            for &(relay, desc_id) in &fx.uploads[..usize::from(fx.n_uploads)] {
+                publish_batches[relay.0].push(StoredDescriptor {
+                    descriptor_id: desc_id,
+                    onion,
+                    published: time,
+                });
             }
         }
         if record_coverage {
             self.coverage_recorded_hour = Some(hour);
         }
+        stats
     }
 
     /// Re-indexes armed signature targets whose descriptor IDs rotated
@@ -540,42 +590,41 @@ impl Network {
             return;
         }
         let now = self.time.unix();
-        let rotated: Vec<OnionAddress> = self
-            .signature_targets
-            .keys()
-            .copied()
-            .filter(|onion| {
-                self.sig_periods.get(onion) != Some(&TimePeriod::at(now, onion.permanent_id()))
+        let rotated: Vec<ServiceId> = self
+            .svc
+            .armed_ids()
+            .filter(|&sid| {
+                let period = TimePeriod::at(now, self.svc.onion(sid).permanent_id());
+                self.svc.sig_period(sid) != Some(period)
             })
             .collect();
-        for onion in rotated {
-            self.index_signature_target(onion);
+        for sid in rotated {
+            self.index_signature_target(sid);
         }
     }
 
-    /// (Re)builds the reverse `DescriptorId → OnionAddress` entries for
+    /// (Re)builds the reverse `DescriptorId → ServiceId` entries for
     /// one armed target at the current time.
-    fn index_signature_target(&mut self, onion: OnionAddress) {
+    fn index_signature_target(&mut self, sid: ServiceId) {
         if !self.desc_cache_enabled {
             return;
         }
-        self.sig_index.retain(|_, o| *o != onion);
-        for id in self.cached_pair(onion) {
-            self.sig_index.insert(id, onion);
-        }
+        let onion = self.svc.onion(sid);
+        let ids = self.cached_pair(onion);
         let period = TimePeriod::at(self.time.unix(), onion.permanent_id());
-        self.sig_periods.insert(onion, period);
+        self.svc.reindex_signature(sid, &ids, period);
     }
 
     /// The service's current descriptor-ID pair, answered from the
     /// per-period cache and recomputed only when the service's staggered
     /// 24 h period rotates.
     pub fn cached_pair(&mut self, onion: OnionAddress) -> [DescriptorId; REPLICAS as usize] {
+        let sid = self.svc.intern(onion);
         pair_for(
-            &mut self.desc_cache,
+            &mut self.svc,
             &mut self.hot,
             self.desc_cache_enabled,
-            onion,
+            sid,
             self.time.unix(),
         )
     }
@@ -642,25 +691,27 @@ impl Network {
     /// cached fast path against first-principles recomputation.
     pub fn set_desc_cache_enabled(&mut self, enabled: bool) {
         self.desc_cache_enabled = enabled;
-        self.desc_cache.clear();
-        self.sig_index.clear();
-        self.sig_periods.clear();
+        self.svc.clear_runtime_caches();
         if enabled {
-            let targets: Vec<OnionAddress> = self.signature_targets.keys().copied().collect();
-            for onion in targets {
-                self.index_signature_target(onion);
+            let targets: Vec<ServiceId> = self.svc.armed_ids().collect();
+            for sid in targets {
+                self.index_signature_target(sid);
             }
         }
     }
 
     /// Slot-hours of logging-relay coverage accumulated for a service.
     pub fn slot_hours(&self, onion: OnionAddress) -> u64 {
-        self.slot_hours.get(&onion).copied().unwrap_or(0)
+        self.svc
+            .get(onion)
+            .map_or(0, |sid| self.svc.slot_hours(sid))
     }
 
-    /// The full slot-hour coverage table.
-    pub fn slot_hours_map(&self) -> &HashMap<OnionAddress, u64> {
-        &self.slot_hours
+    /// The full nonzero slot-hour coverage table, sorted by onion
+    /// address — a deterministic owned view (the old `&HashMap` borrow
+    /// leaked iteration-order nondeterminism to every caller).
+    pub fn slot_hours_sorted(&self) -> Vec<(OnionAddress, u64)> {
+        self.svc.slot_hours_sorted()
     }
 
     /// A client fetches a descriptor by ID (phantom requests — fetches
@@ -800,6 +851,9 @@ impl Network {
     /// mutate phase) so the read-only units can [`GuardSet::pick`]
     /// without touching shared state.
     pub fn prepare_wave(&mut self) {
+        // Merge the interner's pending tail so read-only units resolve
+        // addresses in `O(log n)` against the sorted index alone.
+        self.svc.flush();
         let now = self.time;
         let Network {
             clients,
@@ -968,7 +1022,9 @@ impl Network {
         let perm = onion.permanent_id();
         let period = TimePeriod::at(self.time.unix(), perm);
         if self.desc_cache_enabled {
-            if let Some(&(cached_period, ids)) = self.desc_cache.get(&onion) {
+            if let Some((cached_period, ids)) =
+                self.svc.get(onion).and_then(|sid| self.svc.cache(sid))
+            {
                 if cached_period == period {
                     fx.hot.desc_cache_hits += 1;
                     return ids;
@@ -1047,34 +1103,35 @@ impl Network {
     /// recomputes `pair_at` per armed target.
     fn signature_for(&self, desc_id: DescriptorId) -> Option<(OnionAddress, TrafficSignature)> {
         if self.desc_cache_enabled {
-            let onion = *self.sig_index.get(&desc_id)?;
-            return Some((onion, self.signature_targets.get(&onion)?.clone()));
+            let sid = self.svc.sig_lookup(desc_id)?;
+            return Some((self.svc.onion(sid), self.svc.signature(sid)?.clone()));
         }
         let now = self.time.unix();
-        for (&onion, sig) in &self.signature_targets {
+        for sid in self.svc.armed_ids() {
+            let onion = self.svc.onion(sid);
             if DescriptorId::pair_at(onion, now).contains(&desc_id) {
-                return Some((onion, sig.clone()));
+                return Some((onion, self.svc.signature(sid)?.clone()));
             }
         }
         None
     }
 }
 
-/// Descriptor-ID pair lookup against the per-period cache, free of
-/// `&mut self` so `publish_descriptors` can call it under a split
-/// borrow. With the cache disabled it recomputes every time (the test
-/// reference path) while still counting the SHA-1 work.
+/// Descriptor-ID pair lookup against the per-period cache column, free
+/// of `&mut Network` so callers can run it under a split borrow. With
+/// the cache disabled it recomputes every time (the test reference
+/// path) while still counting the SHA-1 work.
 fn pair_for(
-    desc_cache: &mut HashMap<OnionAddress, (TimePeriod, [DescriptorId; REPLICAS as usize])>,
+    svc: &mut ServiceTable,
     hot: &mut HotPathCounters,
     cache_enabled: bool,
-    onion: OnionAddress,
+    sid: ServiceId,
     now_unix: u64,
 ) -> [DescriptorId; REPLICAS as usize] {
-    let perm = onion.permanent_id();
+    let perm = svc.onion(sid).permanent_id();
     let period = TimePeriod::at(now_unix, perm);
     if cache_enabled {
-        if let Some(&(cached_period, ids)) = desc_cache.get(&onion) {
+        if let Some((cached_period, ids)) = svc.cache(sid) {
             if cached_period == period {
                 hot.desc_cache_hits += 1;
                 return ids;
@@ -1086,9 +1143,97 @@ fn pair_for(
     hot.sha1_digests += 2 * u64::from(REPLICAS);
     let ids = Replica::ALL.map(|r| DescriptorId::compute(perm, period, r));
     if cache_enabled {
-        desc_cache.insert(onion, (period, ids));
+        svc.set_cache(sid, (period, ids));
     }
     ids
+}
+
+/// Upload slots one service can fill per round: both replicas times the
+/// responsible HSDirs per replica.
+const UPLOAD_SLOTS: usize = REPLICAS as usize * HSDIRS_PER_REPLICA;
+
+/// Everything one service's publish work unit decided, recorded
+/// allocation-free for the sequential `ServiceId`-order merge.
+#[derive(Clone, Copy, Debug)]
+struct PublishEffect {
+    /// Fresh cache entry to install (`None` on a cache hit or with the
+    /// cache disabled).
+    cache: Option<(TimePeriod, [DescriptorId; REPLICAS as usize])>,
+    /// Descriptor-ID cache hits (0 or 1).
+    hits: u8,
+    /// Descriptor-ID cache misses (0 or 1).
+    misses: u8,
+    /// SHA-1 finalisations performed.
+    sha1: u8,
+    /// Responsible slots held by logging relays this round.
+    logging_slots: u8,
+    /// Uploads dropped by fault injection.
+    drops: u8,
+    /// Successful uploads, in replica-then-ring order.
+    uploads: [(RelayId, DescriptorId); UPLOAD_SLOTS],
+    /// How many `uploads` entries are filled.
+    n_uploads: u8,
+}
+
+/// The publish-wave work unit for one online service: pure hash work
+/// (descriptor IDs, ring responsibility, keyed drop rolls — no RNG, no
+/// shared mutation), so units can run on any thread in any order.
+#[allow(clippy::too_many_arguments)]
+fn publish_unit(
+    svc: &ServiceTable,
+    consensus: &Consensus,
+    relays: &[Relay],
+    faults: &FaultState,
+    faults_active: bool,
+    cache_enabled: bool,
+    sid: ServiceId,
+    time: SimTime,
+) -> PublishEffect {
+    let onion = svc.onion(sid);
+    let perm = onion.permanent_id();
+    let period = TimePeriod::at(time.unix(), perm);
+    let (ids, cache, hits, misses, sha1) = match svc.cache(sid) {
+        Some((cached_period, ids)) if cache_enabled && cached_period == period => {
+            (ids, None, 1, 0, 0)
+        }
+        _ => {
+            let ids = Replica::ALL.map(|r| DescriptorId::compute(perm, period, r));
+            let cache = cache_enabled.then_some((period, ids));
+            // With the cache disabled only the SHA-1 work is counted,
+            // exactly like the sequential `pair_for` reference path.
+            (ids, cache, 0, u8::from(cache_enabled), 2 * REPLICAS)
+        }
+    };
+    let mut fx = PublishEffect {
+        cache,
+        hits,
+        misses,
+        sha1,
+        logging_slots: 0,
+        drops: 0,
+        uploads: [(RelayId(usize::MAX), ids[0]); UPLOAD_SLOTS],
+        n_uploads: 0,
+    };
+    let mut responsible = [RelayId(usize::MAX); HSDIRS_PER_REPLICA];
+    for desc_id in ids {
+        let n = consensus.responsible_hsdirs_into(desc_id, &mut responsible);
+        for &relay in &responsible[..n] {
+            // Slot coverage is derived from public consensuses
+            // (responsibility), so a dropped upload still counts the
+            // slot — matching what the attacker's normalisation could
+            // actually observe.
+            if relays[relay.0].logging {
+                fx.logging_slots += 1;
+            }
+            if faults_active && faults.publish_drop_roll(relay, desc_id, time) {
+                fx.drops += 1;
+                continue;
+            }
+            fx.uploads[usize::from(fx.n_uploads)] = (relay, desc_id);
+            fx.n_uploads += 1;
+        }
+    }
+    fx
 }
 
 // Measurement waves share `&Network` across scoped worker threads, so
@@ -1243,21 +1388,19 @@ impl NetworkBuilder {
             authority,
             relays,
             consensus,
-            services: HashMap::new(),
+            svc: ServiceTable::default(),
             stores: vec![DescriptorStore::new(); n],
             logs: vec![RequestLog::new(); n],
             clients: Vec::new(),
-            signature_targets: HashMap::new(),
             guard_observations: Vec::new(),
-            slot_hours: HashMap::new(),
             coverage_recorded_hour: None,
-            desc_cache: HashMap::new(),
-            sig_index: HashMap::new(),
-            sig_periods: HashMap::new(),
             hot: HotPathCounters::default(),
             desc_cache_enabled: true,
             faults: FaultState::new(self.faults),
             round_trace: None,
+            mutate_threads: 1,
+            mutate_waves: Vec::new(),
+            publish_batches: Vec::new(),
             rng: StdRng::seed_from_u64(self.seed ^ 0x00c1_1e77_5eed),
         }
     }

@@ -171,6 +171,152 @@ proptest! {
         prop_assert!(per_ip.values().all(|&n| n <= 2), "2-per-IP rule violated");
     }
 
+    /// Differential test: the sorted-vec descriptor store agrees with
+    /// a naive `HashMap` reference model on every observable — length,
+    /// membership, fetched payloads, iteration contents — across
+    /// arbitrary interleavings of single publishes, canonical batch
+    /// merges, and expiry sweeps.
+    #[test]
+    fn store_matches_naive_hashmap_model(
+        rounds in proptest::collection::vec(
+            (
+                proptest::collection::vec((any::<u8>(), 0u64..40), 0..12),
+                1u64..6,
+            ),
+            1..16,
+        ),
+    ) {
+        use std::collections::HashMap;
+        use crate::store::{DescriptorStore, StoredDescriptor};
+        use onion_crypto::OnionAddress;
+
+        let base = SimTime::from_ymd(2013, 2, 1);
+        let mut now = base + 48 * crate::clock::HOUR;
+        let mut store = DescriptorStore::default();
+        let mut model: HashMap<DescriptorId, StoredDescriptor> = HashMap::new();
+
+        for (entries, advance) in rounds {
+            let descs: Vec<StoredDescriptor> = entries
+                .iter()
+                .map(|&(key, age_hours)| StoredDescriptor {
+                    descriptor_id: DescriptorId::from_digest(
+                        Sha1::digest(&[key, 0x5d]),
+                    ),
+                    onion: OnionAddress::from_pubkey(&[key]),
+                    published: base + (48 + age_hours) * crate::clock::HOUR,
+                })
+                .collect();
+            // Even-indexed entries take the single-publish path, the
+            // rest go through one canonical batch merge — applied
+            // after the singles, exactly as `step()` orders them.
+            let mut batch = Vec::new();
+            for (i, d) in descs.iter().enumerate() {
+                if i % 2 == 0 {
+                    store.publish(*d);
+                    model.insert(d.descriptor_id, *d);
+                } else {
+                    batch.push(*d);
+                }
+            }
+            store.apply_batch(&batch);
+            for d in &batch {
+                model.insert(d.descriptor_id, *d);
+            }
+            store.expire(now);
+            model.retain(|_, d| now.since(d.published) < crate::clock::DAY);
+
+            prop_assert_eq!(store.len(), model.len());
+            let mut expected: Vec<&StoredDescriptor> = model.values().collect();
+            expected.sort_by_key(|d| d.descriptor_id);
+            for (got, want) in store.iter().zip(expected) {
+                prop_assert_eq!(got.descriptor_id, want.descriptor_id);
+                prop_assert_eq!(got.onion, want.onion);
+                prop_assert_eq!(got.published, want.published);
+            }
+            for d in &descs {
+                let id = d.descriptor_id;
+                prop_assert_eq!(store.contains(id), model.contains_key(&id));
+                prop_assert_eq!(
+                    store.fetch(id).map(|s| s.published),
+                    model.get(&id).map(|s| s.published)
+                );
+            }
+            let absent = DescriptorId::from_digest(Sha1::digest(b"never published"));
+            prop_assert!(store.fetch(absent).is_none());
+            now += advance * crate::clock::HOUR;
+        }
+    }
+
+    /// The mutate-phase worker budget is invisible to simulation
+    /// state: a network advanced at 1 mutate thread and one advanced
+    /// at k threads agree on every observable — consensus, descriptor
+    /// stores, slot-hours, hot-path and fault counters — fault-free
+    /// and under protocol faults alike.
+    #[test]
+    fn mutate_thread_count_never_changes_state(
+        threads in 2usize..9,
+        hours in 1u64..14,
+        seed in any::<u64>(),
+        adversarial in any::<bool>(),
+    ) {
+        use crate::fault::FaultPlan;
+        use crate::network::NetworkBuilder;
+        use onion_crypto::OnionAddress;
+
+        let plan = if adversarial {
+            FaultPlan::adversarial(seed)
+        } else {
+            FaultPlan::none()
+        };
+        let build = || {
+            NetworkBuilder::new()
+                .relays(40)
+                .seed(seed)
+                .start(SimTime::from_ymd(2013, 2, 1))
+                .faults(plan.clone())
+                .build()
+        };
+        let mut reference = build();
+        let mut sharded = build();
+        sharded.set_mutate_threads(threads);
+        for i in 0..16u8 {
+            let onion = OnionAddress::from_pubkey(&[i, 0xab]);
+            reference.register_service(onion, i % 3 != 0);
+            sharded.register_service(onion, i % 3 != 0);
+        }
+        reference.advance_hours(hours);
+        sharded.advance_hours(hours);
+
+        prop_assert_eq!(
+            format!("{:?}", reference.consensus().entries()),
+            format!("{:?}", sharded.consensus().entries())
+        );
+        prop_assert_eq!(reference.slot_hours_sorted(), sharded.slot_hours_sorted());
+        prop_assert_eq!(
+            format!("{:?}", reference.hot_counters()),
+            format!("{:?}", sharded.hot_counters())
+        );
+        prop_assert_eq!(
+            format!("{:?}", reference.fault_counters()),
+            format!("{:?}", sharded.fault_counters())
+        );
+        for r in 0..40 {
+            let relay = RelayId(r);
+            let a: Vec<_> = reference.store(relay).iter().copied().collect();
+            let b: Vec<_> = sharded.store(relay).iter().copied().collect();
+            prop_assert_eq!(a.len(), b.len(), "store {} length", r);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert_eq!(x.descriptor_id, y.descriptor_id);
+                prop_assert_eq!(x.onion, y.onion);
+                prop_assert_eq!(x.published, y.published);
+            }
+        }
+        // The sharded run actually used the requested budget.
+        let stats = sharded.take_mutate_wave_stats();
+        prop_assert!(!stats.is_empty());
+        prop_assert!(stats.iter().all(|w| w.threads == threads));
+    }
+
     /// SHA-1-derived ring positions are uniform enough that the
     /// average-gap estimate is within an order of magnitude of every
     /// observed gap for moderate rings — sanity for the ratio statistic.

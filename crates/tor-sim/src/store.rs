@@ -7,8 +7,6 @@
 //! client request it sees — which is all the popularity measurement of
 //! Sec. V consists of.
 
-use std::collections::HashMap;
-
 use onion_crypto::descriptor::DescriptorId;
 use onion_crypto::onion::OnionAddress;
 
@@ -16,7 +14,7 @@ use crate::clock::{SimTime, DAY};
 
 /// A stored v2 descriptor (contents abstracted to what the measurement
 /// pipelines consume).
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct StoredDescriptor {
     /// The ID the descriptor is filed under.
     pub descriptor_id: DescriptorId,
@@ -29,9 +27,15 @@ pub struct StoredDescriptor {
 }
 
 /// One descriptor store, held by one HSDir relay.
+///
+/// Stored as a single `Vec` sorted by descriptor ID (unique keys, the
+/// latest publication wins), so lookup is a binary search, expiry is a
+/// linear retain, and the publish wave lands one canonical
+/// [`apply_batch`](Self::apply_batch) merge per store per round —
+/// no hashing anywhere on the consensus/publish/fetch paths.
 #[derive(Clone, Debug, Default)]
 pub struct DescriptorStore {
-    descriptors: HashMap<DescriptorId, StoredDescriptor>,
+    descriptors: Vec<StoredDescriptor>,
 }
 
 impl DescriptorStore {
@@ -42,22 +46,68 @@ impl DescriptorStore {
 
     /// Stores (or refreshes) a descriptor.
     pub fn publish(&mut self, desc: StoredDescriptor) {
-        self.descriptors.insert(desc.descriptor_id, desc);
+        match self
+            .descriptors
+            .binary_search_by_key(&desc.descriptor_id, |d| d.descriptor_id)
+        {
+            Ok(i) => self.descriptors[i] = desc,
+            Err(i) => self.descriptors.insert(i, desc),
+        }
+    }
+
+    /// Stores a whole round's publications in one sorted merge.
+    ///
+    /// Equivalent to calling [`publish`](Self::publish) for each batch
+    /// entry in order: within the batch the **last** entry per ID wins
+    /// (the sort is stable over batch order), and batch entries
+    /// overwrite already-stored descriptors with the same ID.
+    pub fn apply_batch(&mut self, batch: &[StoredDescriptor]) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut incoming = batch.to_vec();
+        incoming.sort_by_key(|d| d.descriptor_id);
+        let mut deduped: Vec<StoredDescriptor> = Vec::with_capacity(incoming.len());
+        for d in incoming {
+            match deduped.last_mut() {
+                Some(prev) if prev.descriptor_id == d.descriptor_id => *prev = d,
+                _ => deduped.push(d),
+            }
+        }
+        let old = std::mem::take(&mut self.descriptors);
+        self.descriptors = Vec::with_capacity(old.len() + deduped.len());
+        let mut fresh = deduped.into_iter().peekable();
+        for entry in old {
+            while let Some(d) = fresh.next_if(|d| d.descriptor_id < entry.descriptor_id) {
+                self.descriptors.push(d);
+            }
+            // A batch entry with the stored ID refreshes it.
+            match fresh.next_if(|d| d.descriptor_id == entry.descriptor_id) {
+                Some(d) => self.descriptors.push(d),
+                None => self.descriptors.push(entry),
+            }
+        }
+        self.descriptors.extend(fresh);
     }
 
     /// Looks up a descriptor by ID.
     pub fn fetch(&self, id: DescriptorId) -> Option<&StoredDescriptor> {
-        self.descriptors.get(&id)
+        self.descriptors
+            .binary_search_by_key(&id, |d| d.descriptor_id)
+            .ok()
+            .map(|i| &self.descriptors[i])
     }
 
     /// Whether a descriptor with this ID is stored.
     pub fn contains(&self, id: DescriptorId) -> bool {
-        self.descriptors.contains_key(&id)
+        self.descriptors
+            .binary_search_by_key(&id, |d| d.descriptor_id)
+            .is_ok()
     }
 
     /// Drops descriptors published more than 24 h before `now`.
     pub fn expire(&mut self, now: SimTime) {
-        self.descriptors.retain(|_, d| now.since(d.published) < DAY);
+        self.descriptors.retain(|d| now.since(d.published) < DAY);
     }
 
     /// Number of stored descriptors.
@@ -70,9 +120,10 @@ impl DescriptorStore {
         self.descriptors.is_empty()
     }
 
-    /// Iterates over stored descriptors (the harvester's crop).
+    /// Iterates over stored descriptors in descriptor-ID order (the
+    /// harvester's crop).
     pub fn iter(&self) -> impl Iterator<Item = &StoredDescriptor> + '_ {
-        self.descriptors.values()
+        self.descriptors.iter()
     }
 }
 
@@ -176,6 +227,60 @@ mod tests {
         store.publish(d);
         store.expire(t + 30 * HOUR);
         assert!(store.contains(id));
+    }
+
+    #[test]
+    fn apply_batch_equals_individual_publishes() {
+        let t = SimTime::from_ymd(2013, 2, 4);
+        let batch: Vec<StoredDescriptor> = (0..20u8)
+            .map(|k| desc(&[k, k / 3], t + u64::from(k) * HOUR))
+            .collect();
+        let mut seq = DescriptorStore::new();
+        seq.publish(desc(b"pre-existing", t));
+        let mut merged = seq.clone();
+        for d in &batch {
+            seq.publish(d.clone());
+        }
+        merged.apply_batch(&batch);
+        let render = |s: &DescriptorStore| {
+            s.iter()
+                .map(|d| format!("{:?}|{:?}|{:?}", d.descriptor_id, d.onion, d.published))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(render(&seq), render(&merged));
+        assert_eq!(seq.len(), merged.len());
+    }
+
+    #[test]
+    fn apply_batch_last_entry_per_id_wins() {
+        let t = SimTime::from_ymd(2013, 2, 4);
+        let mut early = desc(b"svc", t);
+        let mut late = early.clone();
+        late.published = t + 5 * HOUR;
+        early.published = t;
+        let id = early.descriptor_id;
+        let mut store = DescriptorStore::new();
+        store.apply_batch(&[early, late]);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.fetch(id).unwrap().published, t + 5 * HOUR);
+        // And a batch refresh overwrites a stored descriptor too.
+        let mut refresh = desc(b"svc", t);
+        refresh.published = t + 9 * HOUR;
+        store.apply_batch(&[refresh]);
+        assert_eq!(store.fetch(id).unwrap().published, t + 9 * HOUR);
+    }
+
+    #[test]
+    fn iter_is_descriptor_id_sorted() {
+        let t = SimTime::from_ymd(2013, 2, 4);
+        let mut store = DescriptorStore::new();
+        for k in 0..12u8 {
+            store.publish(desc(&[k, 200], t));
+        }
+        let ids: Vec<DescriptorId> = store.iter().map(|d| d.descriptor_id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
     }
 
     #[test]

@@ -43,6 +43,38 @@ pub fn shard_ranges(len: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
     out
 }
 
+/// Splits `len` items into at most `shards` contiguous ranges whose cut
+/// points are snapped forward to *key boundaries*: `boundary(i)` must
+/// report whether item `i` starts a new key group (with `boundary(0)`
+/// conventionally true). No range ever splits a group, so per-group
+/// work stays shard-local and the concatenated output is byte-identical
+/// at any shard count. Ranges start balanced and only grow toward the
+/// next boundary, so skew is bounded by the largest group.
+pub fn keyed_ranges(
+    len: usize,
+    shards: usize,
+    boundary: impl Fn(usize) -> bool,
+) -> Vec<std::ops::Range<usize>> {
+    let mut cuts: Vec<usize> = shard_ranges(len, shards)
+        .into_iter()
+        .map(|r| r.start)
+        .collect();
+    for cut in cuts.iter_mut().skip(1) {
+        while *cut < len && !boundary(*cut) {
+            *cut += 1;
+        }
+    }
+    cuts.dedup();
+    let mut out = Vec::with_capacity(cuts.len());
+    for (i, &start) in cuts.iter().enumerate() {
+        let end = cuts.get(i + 1).copied().unwrap_or(len);
+        if start < end {
+            out.push(start..end);
+        }
+    }
+    out
+}
+
 /// Wall-clock accounting for one shard of a wave.
 #[derive(Clone, Copy, Debug)]
 pub struct ShardStat {
@@ -171,6 +203,171 @@ impl WavePool {
             },
         )
     }
+
+    /// Runs `f` once per pre-cut range (one task per range, ranges
+    /// assigned to workers in order), returning the per-range results
+    /// in range order. Pair with [`keyed_ranges`] so no range splits a
+    /// key group: each result then depends only on that range's items,
+    /// and the concatenation is identical at any thread count. `f`
+    /// receives the range's global start index and its subslice.
+    pub fn map_slices<T, R, F>(
+        &self,
+        items: &[T],
+        ranges: &[std::ops::Range<usize>],
+        f: F,
+    ) -> (Vec<R>, WaveStats)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        if self.threads == 1 || ranges.len() <= 1 {
+            let start = Instant::now();
+            let out: Vec<R> = ranges
+                .iter()
+                .map(|r| f(r.start, &items[r.clone()]))
+                .collect();
+            let end = Instant::now();
+            let stats = WaveStats {
+                threads: self.threads,
+                shards: vec![ShardStat {
+                    shard: 0,
+                    items: ranges.iter().map(|r| r.len()).sum(),
+                    start,
+                    end,
+                }],
+            };
+            return (out, stats);
+        }
+        let f = &f;
+        let run = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .cloned()
+                .map(|range| {
+                    scope.spawn(move |_| {
+                        let start = Instant::now();
+                        let out = f(range.start, &items[range.clone()]);
+                        (out, range.len(), start, Instant::now())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(part) => part,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect::<Vec<_>>()
+        });
+        let parts = match run {
+            Ok(parts) => parts,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        let mut out = Vec::with_capacity(parts.len());
+        let mut shards = Vec::with_capacity(parts.len());
+        for (shard, (part, items, start, end)) in parts.into_iter().enumerate() {
+            shards.push(ShardStat {
+                shard,
+                items,
+                start,
+                end,
+            });
+            out.push(part);
+        }
+        (
+            out,
+            WaveStats {
+                threads: self.threads,
+                shards,
+            },
+        )
+    }
+
+    /// Maps `f` over *mutable* items, sharded into balanced contiguous
+    /// chunks carved with `split_at_mut` — each worker owns a disjoint
+    /// chunk, so no locking and no unsafe. `f` receives the global item
+    /// index; per-item results come back in input order. Used by the
+    /// mutate-phase waves (store expiry/flush, per-relay fault
+    /// application) where every unit mutates only its own element.
+    pub fn map_mut<T, R, F>(&self, items: &mut [T], f: F) -> (Vec<R>, WaveStats)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            let start = Instant::now();
+            let len = items.len();
+            let out: Vec<R> = items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+            let end = Instant::now();
+            let stats = WaveStats {
+                threads: self.threads,
+                shards: vec![ShardStat {
+                    shard: 0,
+                    items: len,
+                    start,
+                    end,
+                }],
+            };
+            return (out, stats);
+        }
+        let ranges = shard_ranges(items.len(), self.threads);
+        // Carve the slice into per-shard disjoint chunks up front.
+        let mut chunks: Vec<(usize, &mut [T])> = Vec::with_capacity(ranges.len());
+        let mut rest = items;
+        for range in &ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            chunks.push((range.start, chunk));
+            rest = tail;
+        }
+        let f = &f;
+        let run = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|(offset, chunk)| {
+                    scope.spawn(move |_| {
+                        let start = Instant::now();
+                        let out: Vec<R> = chunk
+                            .iter_mut()
+                            .enumerate()
+                            .map(|(off, t)| f(offset + off, t))
+                            .collect();
+                        (out, start, Instant::now())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(part) => part,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect::<Vec<_>>()
+        });
+        let parts = match run {
+            Ok(parts) => parts,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        let mut out = Vec::new();
+        let mut shards = Vec::with_capacity(parts.len());
+        for (shard, (part, start, end)) in parts.into_iter().enumerate() {
+            shards.push(ShardStat {
+                shard,
+                items: part.len(),
+                start,
+                end,
+            });
+            out.extend(part);
+        }
+        (
+            out,
+            WaveStats {
+                threads: self.threads,
+                shards,
+            },
+        )
+    }
 }
 
 /// SplitMix64 finalizer: avalanches structured key material into
@@ -247,5 +444,78 @@ mod tests {
     fn mix_helpers_are_stable() {
         assert_eq!(mix(0x5ca7), mix(0x5ca7));
         assert_ne!(mix2(1, 2), mix2(2, 1));
+    }
+
+    #[test]
+    fn keyed_ranges_never_split_groups() {
+        // Keys: 30 items in uneven groups of 1..=4.
+        let keys: Vec<u32> = (0..30u32).map(|i| i / 3).collect();
+        for shards in 1..12usize {
+            let ranges = keyed_ranges(keys.len(), shards, |i| i == 0 || keys[i] != keys[i - 1]);
+            let total: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(total, keys.len());
+            assert_eq!(ranges[0].start, 0);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous");
+            }
+            for r in &ranges {
+                assert!(
+                    r.start == 0 || keys[r.start] != keys[r.start - 1],
+                    "range {r:?} splits key group {}",
+                    keys[r.start]
+                );
+            }
+        }
+        assert!(keyed_ranges(0, 4, |_| true).is_empty());
+        // One giant group collapses to a single range at any width.
+        let one = keyed_ranges(17, 8, |i| i == 0);
+        assert_eq!(one, vec![0..17]);
+    }
+
+    #[test]
+    fn map_slices_concat_matches_sequential_at_any_width() {
+        let items: Vec<u64> = (0..97).collect();
+        let keys: Vec<u64> = items.iter().map(|v| v / 5).collect();
+        let per_group = |start: usize, part: &[u64]| -> Vec<u64> {
+            part.iter()
+                .enumerate()
+                .map(|(off, v)| mix2((start + off) as u64, *v))
+                .collect()
+        };
+        let seq_ranges = keyed_ranges(items.len(), 1, |i| i == 0 || keys[i] != keys[i - 1]);
+        let (seq, _) = WavePool::new(1).map_slices(&items, &seq_ranges, per_group);
+        let seq: Vec<u64> = seq.into_iter().flatten().collect();
+        for threads in [2, 3, 8] {
+            let ranges = keyed_ranges(items.len(), threads, |i| i == 0 || keys[i] != keys[i - 1]);
+            let (par, stats) = WavePool::new(threads).map_slices(&items, &ranges, per_group);
+            let par: Vec<u64> = par.into_iter().flatten().collect();
+            assert_eq!(par, seq, "threads={threads}");
+            assert_eq!(stats.items(), items.len());
+        }
+    }
+
+    #[test]
+    fn map_mut_matches_sequential_at_any_width() {
+        let seed: Vec<u64> = (0..83).collect();
+        let mut seq = seed.clone();
+        let (seq_out, _) = WavePool::new(1).map_mut(&mut seq, |i, v| {
+            *v = mix2(i as u64, *v);
+            *v & 1
+        });
+        for threads in [2, 3, 8, 64] {
+            let mut par = seed.clone();
+            let (par_out, stats) = WavePool::new(threads).map_mut(&mut par, |i, v| {
+                *v = mix2(i as u64, *v);
+                *v & 1
+            });
+            assert_eq!(par, seq, "threads={threads}");
+            assert_eq!(par_out, seq_out, "threads={threads}");
+            assert_eq!(stats.items(), seed.len());
+            assert!(stats.shards.len() <= threads);
+        }
+        let mut empty: Vec<u64> = Vec::new();
+        let (out, stats) = WavePool::new(8).map_mut(&mut empty, |_, v| *v);
+        assert!(out.is_empty());
+        assert_eq!(stats.shards.len(), 1);
     }
 }

@@ -3,8 +3,9 @@
 # outputs under results/ (used to fill EXPERIMENTS.md).
 #
 #   sh scripts_run_experiments.sh          regenerate results/*.txt
-#   sh scripts_run_experiments.sh verify   formatting + lint gate + par check
+#   sh scripts_run_experiments.sh verify   formatting + lint gate + par + scale1
 #   sh scripts_run_experiments.sh bench    stage-timing run + baseline diff
+#   sh scripts_run_experiments.sh scale1   paper-scale setup+harvest gate
 #   sh scripts_run_experiments.sh faults   adversarial fault-injection run
 #   sh scripts_run_experiments.sh trace    sim-clock trace run + baseline diff
 #   sh scripts_run_experiments.sh par      1-vs-N-thread byte-identity + speedup
@@ -15,7 +16,40 @@ if [ "${1:-}" = "verify" ]; then
   echo "== cargo clippy --workspace -- -D warnings"
   cargo clippy --workspace -- -D warnings
   sh "$0" par
+  sh "$0" scale1
   echo "verify ok"
+  exit 0
+fi
+if [ "${1:-}" = "scale1" ]; then
+  # The paper-scale gate: run setup+harvest at scale 1.0 at 1 and N
+  # wave threads (the binary itself asserts cross-thread counter
+  # identity), then diff the deterministic counters against the
+  # committed baseline and enforce its wall-clock budget.
+  BASELINE=results/bench_scale1_baseline.json
+  CURRENT=results/bench_scale1.json
+  [ -f "$BASELINE" ] || { echo "missing $BASELINE"; exit 1; }
+  echo "== bench_scale1 (paper-scale setup+harvest)"
+  cargo run --release -q -p hs-bench --bin bench_scale1 \
+    > results/bench_scale1.txt 2> results/bench_scale1.log
+  strip_volatile() {
+    grep -v 'wall_ms\|threads_n\|speedup\|budget_ms' "$1"
+  }
+  strip_volatile "$BASELINE" > /tmp/scale1_baseline.$$
+  strip_volatile "$CURRENT" > /tmp/scale1_current.$$
+  if ! diff -u /tmp/scale1_baseline.$$ /tmp/scale1_current.$$; then
+    rm -f /tmp/scale1_baseline.$$ /tmp/scale1_current.$$
+    echo "FAIL: scale-1.0 counters drifted from $BASELINE (determinism regression)"
+    exit 1
+  fi
+  rm -f /tmp/scale1_baseline.$$ /tmp/scale1_current.$$
+  echo "scale-1.0 counters match baseline"
+  BUDGET_MS=$(awk -F': ' '/"budget_ms"/ { gsub(/[,}]/, "", $2); print $2 }' "$BASELINE")
+  CUR_MS=$(awk -F': ' '/"wall_ms_tn"/ { gsub(/[,}]/, "", $2); print $2 }' "$CURRENT")
+  echo "threaded wall: ${CUR_MS}ms (budget ${BUDGET_MS}ms)"
+  awk -v c="$CUR_MS" -v b="$BUDGET_MS" 'BEGIN { exit !(c > b) }' \
+    && { echo "FAIL: scale-1.0 wall ${CUR_MS}ms exceeds committed budget ${BUDGET_MS}ms"; exit 1; }
+  cat results/bench_scale1.txt
+  echo "scale1 ok"
   exit 0
 fi
 if [ "${1:-}" = "par" ]; then

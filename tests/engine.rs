@@ -28,14 +28,11 @@ fn sorted_map<K: Ord + Debug, V: Debug>(map: &HashMap<K, V>) -> String {
 }
 
 fn harvest_fingerprint(h: &HarvestOutcome) -> String {
+    // `slot_hours` is already a deterministic sorted view — no
+    // canonicalisation needed.
     format!(
-        "{:?}|{:?}|{}|{:?}|{}|{}",
-        h.onions,
-        h.requests,
-        sorted_map(&h.slot_hours),
-        h.fleet_relays,
-        h.waves,
-        h.hours
+        "{:?}|{:?}|{:?}|{:?}|{}|{}",
+        h.onions, h.requests, h.slot_hours, h.fleet_relays, h.waves, h.hours
     )
 }
 

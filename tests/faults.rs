@@ -41,10 +41,10 @@ fn complete_fingerprint(r: &StudyReport) -> String {
     let harvest = r.harvest.as_ref().unwrap();
     let resolution = r.resolution.as_ref().unwrap();
     format!(
-        "{:?}|{:?}|{}|{:?}|{:?}|{:?}|{}|{}|{:?}|{:?}|{:?}|{:?}",
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{}|{:?}|{:?}|{:?}|{:?}",
         harvest.onions,
         harvest.requests,
-        sorted_map(&harvest.slot_hours),
+        harvest.slot_hours,
         r.scan,
         r.certs,
         r.crawl,
@@ -85,14 +85,9 @@ fn partial_fingerprint(r: &StudyReport) -> String {
     .collect();
     format!(
         "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
-        r.harvest.as_ref().map(|h| {
-            format!(
-                "{:?}|{:?}|{}",
-                h.onions,
-                h.requests,
-                sorted_map(&h.slot_hours)
-            )
-        }),
+        r.harvest
+            .as_ref()
+            .map(|h| { format!("{:?}|{:?}|{:?}", h.onions, h.requests, h.slot_hours) }),
         r.scan,
         r.certs,
         r.crawl,

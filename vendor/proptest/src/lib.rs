@@ -2,8 +2,8 @@
 //!
 //! The build environment has no access to crates.io, so this crate
 //! implements the subset of proptest the workspace's property tests
-//! use: the [`proptest!`] macro, [`prelude::any`], integer-range
-//! strategies, [`collection::vec`] / [`collection::hash_set`], and the
+//! use: the [`proptest!`] macro, [`prelude::any`], integer-range and
+//! tuple strategies, [`collection::vec`] / [`collection::hash_set`], and the
 //! `prop_assert*` macros. Each test runs a fixed number of
 //! deterministically seeded cases (no shrinking — a failing case
 //! prints its index and seed so it can be replayed).
@@ -63,6 +63,21 @@ impl<const N: usize> Arbitrary for [u8; N] {
         out
     }
 }
+
+macro_rules! impl_strategy_tuple {
+    ($($s:ident / $idx:tt),*) => {
+        impl<$($s: Strategy),*> Strategy for ($($s,)*) {
+            type Value = ($($s::Value,)*);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)*)
+            }
+        }
+    };
+}
+impl_strategy_tuple!(A / 0, B / 1);
+impl_strategy_tuple!(A / 0, B / 1, C / 2);
+impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3);
 
 /// Strategy produced by [`prelude::any`].
 #[derive(Clone, Copy, Debug)]
@@ -241,6 +256,14 @@ mod tests {
         fn ranges_sample_in_bounds(n in 5usize..50, w in 0u64..1000) {
             prop_assert!((5..50).contains(&n));
             prop_assert!(w < 1000);
+        }
+
+        #[test]
+        fn tuple_strategies_compose_with_collections(
+            rows in collection::vec((any::<u8>(), 1u64..5), 1..8),
+        ) {
+            prop_assert!((1..8).contains(&rows.len()));
+            prop_assert!(rows.iter().all(|&(_, w)| (1..5).contains(&w)));
         }
     }
 
