@@ -1,0 +1,89 @@
+//! Streaming-sketch micro-benchmarks: per-event ingest cost of each
+//! sketch alone and of the combined trio the popularity path pays,
+//! plus the canonical merge.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sketch::{mix2, CountMinSketch, HyperLogLog, SketchConfig, SpaceSaving};
+
+/// A deterministic heavy-tailed key schedule (rank = min of two
+/// uniform draws), matching the shape `bench_sketch` gates on.
+fn keys(n: u64) -> Vec<u64> {
+    (0..n)
+        .map(|i| {
+            let a = mix2(7, i) % 10_000;
+            let b = mix2(11, i) % 10_000;
+            mix2(13, a.min(b))
+        })
+        .collect()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let cfg = SketchConfig::default();
+    let stream = keys(20_000);
+    c.bench_function("cms_add_20k", |b| {
+        b.iter(|| {
+            let mut cms = CountMinSketch::new(cfg.cms_width, cfg.cms_depth, 7);
+            for &k in &stream {
+                cms.add(black_box(k), 1);
+            }
+            cms
+        });
+    });
+    c.bench_function("topk_offer_20k", |b| {
+        b.iter(|| {
+            let mut topk: SpaceSaving<u64> = SpaceSaving::new(cfg.topk_capacity);
+            for &k in &stream {
+                topk.offer(black_box(k), 1);
+            }
+            topk
+        });
+    });
+    c.bench_function("hll_insert_20k", |b| {
+        b.iter(|| {
+            let mut hll = HyperLogLog::new(cfg.hll_precision, 7);
+            for &k in &stream {
+                hll.insert(black_box(k));
+            }
+            hll
+        });
+    });
+    c.bench_function("sketch_trio_20k", |b| {
+        b.iter(|| {
+            let mut cms = CountMinSketch::new(cfg.cms_width, cfg.cms_depth, 7);
+            let mut topk: SpaceSaving<u64> = SpaceSaving::new(cfg.topk_capacity);
+            let mut hll = HyperLogLog::new(cfg.hll_precision, 7);
+            for &k in &stream {
+                cms.add(black_box(k), 1);
+                topk.offer(k, 1);
+                hll.insert(k);
+            }
+            (cms, topk, hll)
+        });
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let cfg = SketchConfig::default();
+    let stream = keys(20_000);
+    let mut a = CountMinSketch::new(cfg.cms_width, cfg.cms_depth, 7);
+    let mut b_ = CountMinSketch::new(cfg.cms_width, cfg.cms_depth, 7);
+    for (i, &k) in stream.iter().enumerate() {
+        if i % 2 == 0 {
+            a.add(k, 1);
+        } else {
+            b_.add(k, 1);
+        }
+    }
+    c.bench_function("cms_merge_16384x4", |b| {
+        b.iter(|| {
+            let mut m = a.clone();
+            m.merge(black_box(&b_));
+            m
+        });
+    });
+}
+
+criterion_group!(benches, bench_ingest, bench_merge);
+criterion_main!(benches);

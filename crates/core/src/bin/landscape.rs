@@ -24,6 +24,9 @@
 //! ```text
 //! --threads N     measurement-wave worker threads (default: available
 //!                 parallelism). Output is byte-identical at any N.
+//! --streaming     aggregate the Sec. V request stream into bounded-
+//!                 memory sketches (count-min + top-k + HLL) instead of
+//!                 materializing the per-request event vector
 //! --trace FILE    write a deterministic sim-clock Chrome trace_event
 //!                 JSON (open in chrome://tracing or ui.perfetto.dev)
 //! --log LEVEL     stderr event stream: off (default), progress, debug
@@ -43,6 +46,7 @@ struct Args {
     seed: u64,
     faults: String,
     threads: usize,
+    streaming: bool,
     trace: Option<String>,
     log: obs::LogLevel,
 }
@@ -60,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 0x2013_0204u64;
     let mut faults = "none".to_owned();
     let mut threads = default_threads();
+    let mut streaming = false;
     let mut trace = None;
     let mut log = obs::LogLevel::Off;
     while let Some(flag) = args.next() {
@@ -85,6 +90,7 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--threads must be at least 1".to_owned());
                 }
             }
+            "--streaming" => streaming = true,
             "--trace" => {
                 trace = Some(args.next().ok_or("--trace needs a file path".to_owned())?);
             }
@@ -103,6 +109,7 @@ fn parse_args() -> Result<Args, String> {
         seed,
         faults,
         threads,
+        streaming,
         trace,
         log,
     })
@@ -110,8 +117,8 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: landscape <study|fig1|table1|fig2|table2|fig3|certs|sec5|tracking|stages> \
-     [--scale S] [--seed N] [--faults none|adversarial] [--threads N] [--trace FILE] \
-     [--log off|progress|debug] [--quiet]"
+     [--scale S] [--seed N] [--faults none|adversarial] [--threads N] [--streaming] \
+     [--trace FILE] [--log off|progress|debug] [--quiet]"
         .to_owned()
 }
 
@@ -132,6 +139,9 @@ fn study_config(args: &Args) -> Result<StudyConfig, String> {
         scan_days: 7,
         traffic_clients: ((500.0 * args.scale) as usize).max(60),
         run_tracking: false,
+        streaming: args
+            .streaming
+            .then(hs_landscape::hs_popularity::SketchConfig::default),
         ..StudyConfig::default()
     };
     cfg.apply_fault_profile(&args.faults)?;
@@ -245,6 +255,9 @@ fn main() -> ExitCode {
         {
             println!("{}", report::render_sec5(resolution, share));
         }
+        if let Some(sketch) = &results.sketch {
+            println!("{}", report::render_sketch(sketch));
+        }
         if let Some(deanon) = &results.deanon {
             println!("{}", report::render_fig3(deanon));
         }
@@ -284,6 +297,9 @@ fn main() -> ExitCode {
                 "{}",
                 report::render_sec5(&pop.resolution, pop.requested_published_share)
             );
+            if let Some(sketch) = &pop.sketch {
+                println!("{}", report::render_sketch(sketch));
+            }
         }
         "tracking" => println!("{}", report::render_tracking(artifacts.tracking())),
         "stages" => {}

@@ -21,7 +21,9 @@ use tor_sim::relay::RelayId;
 use hs_content::{CertSurvey, CrawlReport};
 use hs_deanon::GeoMap;
 use hs_harvest::HarvestOutcome;
-use hs_popularity::{BotnetForensics, Ranking, ResolutionReport, TrafficDriver};
+use hs_popularity::{
+    BotnetForensics, Ranking, ResolutionReport, SketchSummary, StreamingPopularity, TrafficDriver,
+};
 use hs_portscan::ScanReport;
 use hs_tracking::TrackingAnalysis;
 use hs_world::{GeoDb, World};
@@ -69,6 +71,9 @@ pub struct PopularityOut {
     pub forensics: BotnetForensics,
     /// Share of published services ever requested.
     pub requested_published_share: f64,
+    /// Sketch-state snapshot when the run used streaming aggregation;
+    /// `None` on the exact path.
+    pub sketch: Option<SketchSummary>,
 }
 
 /// Every artifact a pipeline run can produce. Slots start empty and
@@ -85,6 +90,10 @@ pub struct ArtifactStore {
     pub(crate) harvest: Option<HarvestOutcome>,
     pub(crate) net_harvest: Option<Network>,
     pub(crate) traffic_harvest: Option<TrafficDriver>,
+    /// Streaming sketch aggregator filled by the harvest when the
+    /// study runs with `StudyConfig::streaming`; consumed by the
+    /// popularity analysis in place of the materialized request log.
+    pub(crate) streaming: Option<StreamingPopularity>,
     // --- DeanonWindow -----------------------------------------------
     pub(crate) deanon_window: Option<DeanonWindowOut>,
     // --- PortScan ---------------------------------------------------

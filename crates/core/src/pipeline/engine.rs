@@ -56,8 +56,8 @@ use hs_content::{CertSurvey, CrawlConfig, Crawler};
 use hs_deanon::{DeanonAttack, GeoMap};
 use hs_harvest::Harvester;
 use hs_popularity::{
-    ranking::requested_published_share, BotnetForensics, Ranking, Resolver, TrafficConfig,
-    TrafficDriver,
+    ranking::requested_published_share, BotnetForensics, Ranking, Resolver, StreamingPopularity,
+    TrafficConfig, TrafficDriver,
 };
 use hs_portscan::{ScanConfig, Scanner};
 use hs_tracking::{scenario, ConsensusArchive, DetectorConfig, HistoryConfig, TrackingDetector};
@@ -395,7 +395,7 @@ impl Pipeline {
                     Some(err) => Err(err),
                     None => panic::catch_unwind(AssertUnwindSafe(|| match stage {
                         StageId::Setup => self.sim_setup(&mut store, &mut sobs, wave_threads),
-                        StageId::Harvest => self.sim_harvest(&mut store, &mut sobs),
+                        StageId::Harvest => self.sim_harvest(&mut store, &mut sobs, wave_threads),
                         StageId::DeanonWindow => self.sim_deanon_window(&mut store, &mut sobs),
                         StageId::PortScan => {
                             self.sim_port_scan(&mut store, &mut sobs, wave_threads)
@@ -666,8 +666,16 @@ impl Pipeline {
         Ok(())
     }
 
-    /// The Sec. II trawling attack with live Sec. V traffic.
-    fn sim_harvest(&self, store: &mut ArtifactStore, sobs: &mut StageObs) -> Result<(), String> {
+    /// The Sec. II trawling attack with live Sec. V traffic. With
+    /// [`StudyConfig::streaming`] set, the harvester drains its request
+    /// log hourly into the sketch aggregator instead of materializing
+    /// the per-request event vector.
+    fn sim_harvest(
+        &self,
+        store: &mut ArtifactStore,
+        sobs: &mut StageObs,
+        wave_threads: usize,
+    ) -> Result<(), String> {
         let mut net = store.try_net_setup()?.clone();
         let mut traffic = store.try_traffic_setup()?.clone();
         sobs.begin(&mut net);
@@ -675,32 +683,53 @@ impl Pipeline {
         let faults0 = net.fault_counters();
         let trips0 = traffic.poisson_stats();
         let harvester = Harvester::new(self.cfg.harvest.clone());
+        let mut streaming = self.cfg.streaming.map(|scfg| {
+            StreamingPopularity::new(
+                scfg,
+                stage_seed(self.cfg.seed, SeedDomain::Sketch),
+                wave_threads,
+            )
+        });
         let tracing = sobs.tracing;
         let mut tick_ops: Vec<OpSpan> = Vec::new();
-        let harvest = harvester
-            .run(&mut net, |net| {
-                if tracing {
-                    let at = net.time().unix();
-                    let before = net.hot_counters();
-                    traffic.tick_hour(net);
-                    let work = net.hot_counters().since(before);
-                    tick_ops.push(OpSpan {
-                        name: "traffic_tick",
-                        start: at.saturating_sub(HOUR),
-                        end: at,
-                        args: vec![("fetches", work.fetches)],
-                    });
-                } else {
-                    traffic.tick_hour(net);
-                }
-            })
-            .map_err(|e| e.to_string())?;
+        let drive = |net: &mut Network| {
+            if tracing {
+                let at = net.time().unix();
+                let before = net.hot_counters();
+                traffic.tick_hour(net);
+                let work = net.hot_counters().since(before);
+                tick_ops.push(OpSpan {
+                    name: "traffic_tick",
+                    start: at.saturating_sub(HOUR),
+                    end: at,
+                    args: vec![("fetches", work.fetches)],
+                });
+            } else {
+                traffic.tick_hour(net);
+            }
+        };
+        let harvest = match streaming.as_mut() {
+            Some(agg) => {
+                harvester.run_streamed(&mut net, drive, &mut |batches| agg.absorb(batches))
+            }
+            None => harvester.run(&mut net, drive),
+        }
+        .map_err(|e| e.to_string())?;
         sobs.ops = tick_ops;
         sobs.record_waves(traffic.take_wave_stats());
+        if let Some(agg) = streaming.as_mut() {
+            sobs.record_waves(agg.take_wave_stats());
+        }
         record_poisson_trips(&mut sobs.reg, traffic.poisson_stats(), trips0);
         sobs.reg.inc("descriptors", harvest.onion_count() as u64);
-        sobs.reg
-            .inc("requests_logged", harvest.requests.len() as u64);
+        // On the streaming path the request vector is intentionally
+        // empty; the absorbed total is the equivalent figure.
+        let requests_logged = streaming
+            .as_ref()
+            .map_or(harvest.requests.len() as u64, |agg| {
+                agg.summary().total_requests
+            });
+        sobs.reg.inc("requests_logged", requests_logged);
         sobs.reg.inc("waves", u64::from(harvest.waves));
         sobs.reg.inc("hours", harvest.hours);
         net.hot_counters().since(hot0).record_into(&mut sobs.reg);
@@ -722,11 +751,19 @@ impl Pipeline {
             "harvest.descriptors_per_relay",
             &harvest.descriptors_per_relay,
         );
+        // Sketch metrics exist only on the streaming path, so the
+        // committed streaming-off baselines stay byte-stable.
+        if let Some(agg) = &streaming {
+            let s = agg.summary();
+            sobs.reg.inc("sketch_batches", s.batches);
+            sobs.reg.gauge("sketch.memory_bytes", s.memory_bytes as f64);
+        }
         sobs.record_mutate_waves(net.take_mutate_wave_stats());
         sobs.end(&mut net);
         store.harvest = Some(harvest);
         store.net_harvest = Some(net);
         store.traffic_harvest = Some(traffic);
+        store.streaming = streaming;
         Ok(())
     }
 
@@ -1226,7 +1263,9 @@ fn analysis_crawl(
 }
 
 /// Sec. V: descriptor-ID resolution, Table II ranking, Goldnet
-/// forensics, request share.
+/// forensics, request share. On the streaming path the resolution is
+/// reconstituted from the harvest's sketch aggregator instead of the
+/// materialized request log; the ranking code downstream is shared.
 fn analysis_popularity(
     cfg: &StudyConfig,
     store: &ArtifactStore,
@@ -1238,7 +1277,10 @@ fn analysis_popularity(
         SimTime::from_ymd(2013, 1, 28),
         SimTime::from_ymd(2013, 2, 8),
     );
-    let resolution = resolver.resolve_log(&harvest.requests);
+    let (resolution, sketch) = match &store.streaming {
+        Some(agg) => (agg.finalize(&resolver), Some(agg.summary())),
+        None => (resolver.resolve_log(&harvest.requests), None),
+    };
     let ranking = Ranking::build_normalized(&resolution, world, &harvest.slot_hours);
     let top_onions: Vec<OnionAddress> = ranking.top(40).iter().map(|r| r.onion).collect();
     let forensics = BotnetForensics::probe(world, top_onions);
@@ -1248,6 +1290,17 @@ fn analysis_popularity(
     reg.inc("ranked", ranking.rows().len() as u64);
     if !cfg.faults.is_inert() {
         reg.inc("unnormalized", ranking.unnormalized() as u64);
+    }
+    // Sketch metrics exist only on the streaming path so that the
+    // committed exact-path baselines stay byte-stable.
+    if let Some(s) = &sketch {
+        reg.inc("sketch_topk_tracked", s.topk_tracked as u64);
+        reg.inc("sketch_topk_churn", s.topk_churn);
+        reg.gauge("sketch.cms_width", s.cms_width as f64);
+        reg.gauge("sketch.cms_depth", s.cms_depth as f64);
+        reg.gauge("sketch.topk_capacity", s.topk_capacity as f64);
+        reg.gauge("sketch.memory_bytes", s.memory_bytes as f64);
+        reg.gauge("sketch.hll_estimate", s.hll_estimate);
     }
     reg.gauge("popularity.phantom_share", resolution.phantom_share());
     reg.merge_hist(
@@ -1262,6 +1315,7 @@ fn analysis_popularity(
             ranking,
             forensics,
             requested_published_share,
+            sketch,
         })),
         weight,
         Vec::new(),

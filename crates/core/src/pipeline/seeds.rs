@@ -33,6 +33,8 @@ pub enum SeedDomain {
     Faults,
     /// Port-scan measurement waves (Sec. IV probe randomness).
     Scan,
+    /// Streaming popularity sketch hashing (count-min / top-k / HLL).
+    Sketch,
 }
 
 impl SeedDomain {
@@ -46,6 +48,7 @@ impl SeedDomain {
             SeedDomain::Tracking => 0x7ac,
             SeedDomain::Faults => 0xfa17,
             SeedDomain::Scan => 0x5ca7,
+            SeedDomain::Sketch => 0x6be7,
         }
     }
 }
@@ -72,6 +75,7 @@ mod tests {
         assert_eq!(stage_seed(root, SeedDomain::Tracking), root ^ 0x7ac);
         assert_eq!(stage_seed(root, SeedDomain::Faults), root ^ 0xfa17);
         assert_eq!(stage_seed(root, SeedDomain::Scan), root ^ 0x5ca7);
+        assert_eq!(stage_seed(root, SeedDomain::Sketch), root ^ 0x6be7);
     }
 
     #[test]
@@ -82,6 +86,7 @@ mod tests {
             stage_seed(root, SeedDomain::Tracking),
             stage_seed(root, SeedDomain::Faults),
             stage_seed(root, SeedDomain::Scan),
+            stage_seed(root, SeedDomain::Sketch),
             stage_seed(root, SeedDomain::World),
         ];
         for (i, a) in seeds.iter().enumerate() {

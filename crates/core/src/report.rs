@@ -4,7 +4,7 @@
 use std::fmt::Write as _;
 
 use hs_content::{CertSurvey, CrawlReport};
-use hs_popularity::{Ranking, ResolutionReport};
+use hs_popularity::{Ranking, ResolutionReport, SketchSummary};
 use hs_portscan::ScanReport;
 
 use crate::pipeline::PipelineTimings;
@@ -144,6 +144,28 @@ pub fn render_sec5(resolution: &ResolutionReport, requested_share: f64) -> Strin
         out,
         "  published services ever requested {:>5.1}%",
         requested_share * 100.0
+    );
+    out
+}
+
+/// Renders the streaming-sketch state line printed under Sec. V when
+/// the study ran with [`crate::StudyConfig::streaming`] set.
+pub fn render_sketch(sketch: &SketchSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  streaming sketches: cms {}x{}, top-k {}/{} tracked ({} evictions), \
+         hll p={} ≈{:.0} ids, {} KiB, {} requests in {} batches",
+        sketch.cms_width,
+        sketch.cms_depth,
+        sketch.topk_tracked,
+        sketch.topk_capacity,
+        sketch.topk_churn,
+        sketch.hll_precision,
+        sketch.hll_estimate,
+        sketch.memory_bytes / 1024,
+        sketch.total_requests,
+        sketch.batches
     );
     out
 }
@@ -377,5 +399,26 @@ mod tests {
         // Fault-free run: no fault summary, no degraded section.
         assert!(!stages.contains("faults:"), "{stages}");
         assert!(render_degraded(&report.stages).is_empty());
+        // Exact path: no sketch section to render.
+        assert!(report.sketch.is_none());
+    }
+
+    #[test]
+    fn sketch_renderer_reports_the_exactness_signals() {
+        let line = render_sketch(&SketchSummary {
+            cms_width: 16_384,
+            cms_depth: 4,
+            topk_capacity: 8_192,
+            topk_tracked: 775,
+            topk_churn: 0,
+            hll_precision: 12,
+            hll_estimate: 777.0,
+            memory_bytes: 823_296,
+            total_requests: 14_748,
+            batches: 401,
+        });
+        assert!(line.contains("cms 16384x4"), "{line}");
+        assert!(line.contains("775/8192 tracked (0 evictions)"), "{line}");
+        assert!(line.contains("14748 requests in 401 batches"), "{line}");
     }
 }

@@ -11,7 +11,7 @@
 use hs_content::{CertSurvey, CrawlReport};
 use hs_deanon::DeanonConfig;
 use hs_harvest::{HarvestConfig, HarvestOutcome};
-use hs_popularity::{BotnetForensics, Ranking, ResolutionReport};
+use hs_popularity::{BotnetForensics, Ranking, ResolutionReport, SketchConfig, SketchSummary};
 use hs_portscan::ScanReport;
 use hs_world::World;
 use tor_sim::FaultPlan;
@@ -56,6 +56,13 @@ pub struct StudyConfig {
     /// Chaos hook: stages that fail their first attempt only (the
     /// stage retry budget must absorb them). Empty by default.
     pub flaky_stages: Vec<StageId>,
+    /// Streaming popularity aggregation: when set, the harvest feeds
+    /// hourly request-log drains into bounded-memory sketches
+    /// (count-min, space-saving top-k, HyperLogLog) instead of
+    /// materializing the per-request event vector, and the popularity
+    /// analysis ranks from the sketch state. `None` (the default)
+    /// keeps the exact path and every committed baseline byte-stable.
+    pub streaming: Option<SketchConfig>,
 }
 
 impl Default for StudyConfig {
@@ -73,6 +80,7 @@ impl Default for StudyConfig {
             faults: FaultPlan::none(),
             fail_stages: Vec::new(),
             flaky_stages: Vec::new(),
+            streaming: None,
         }
     }
 }
@@ -186,6 +194,9 @@ pub struct StudyReport {
     pub forensics: Option<BotnetForensics>,
     /// Sec. V: share of published services ever requested.
     pub requested_published_share: Option<f64>,
+    /// Sec. V: sketch-state snapshot when the study ran with
+    /// [`StudyConfig::streaming`]; `None` on the exact path.
+    pub sketch: Option<SketchSummary>,
     /// Sec. VI: client deanonymisation.
     pub deanon: Option<DeanonReport>,
     /// Sec. VII: tracking detection (when enabled).
@@ -315,15 +326,16 @@ impl Study {
         }
         let run = Pipeline::new(self.config.clone()).run_with(&targets, mode, opts);
         let mut artifacts = run.artifacts;
-        let (resolution, ranking, forensics, requested_published_share) =
+        let (resolution, ranking, forensics, requested_published_share, sketch) =
             match artifacts.popularity.take() {
                 Some(p) => (
                     Some(p.resolution),
                     Some(p.ranking),
                     Some(p.forensics),
                     Some(p.requested_published_share),
+                    p.sketch,
                 ),
-                None => (None, None, None, None),
+                None => (None, None, None, None, None),
             };
         StudyReport {
             world: artifacts.world.take(),
@@ -335,6 +347,7 @@ impl Study {
             ranking,
             forensics,
             requested_published_share,
+            sketch,
             deanon: artifacts.deanon.take(),
             tracking: artifacts.tracking.take(),
             stages: run.timings,

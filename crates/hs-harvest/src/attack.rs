@@ -96,6 +96,10 @@ pub struct Harvester {
     config: HarvestConfig,
 }
 
+/// An hourly request-log sink for [`Harvester::run_streamed`]: receives
+/// each hour's non-empty per-relay batches in canonical fleet order.
+pub type RequestSink<'a> = dyn FnMut(&[(RelayId, Vec<RequestRecord>)]) + 'a;
+
 impl Harvester {
     /// Creates a harvester with the paper's parameters (58 IPs).
     pub fn new(config: HarvestConfig) -> Self {
@@ -118,7 +122,38 @@ impl Harvester {
     pub fn run(
         &self,
         net: &mut Network,
+        drive: impl FnMut(&mut Network),
+    ) -> Result<HarvestOutcome, FleetError> {
+        self.run_inner(net, drive, None)
+    }
+
+    /// Like [`Harvester::run`], but drains every fleet relay's request
+    /// log into `sink` after each simulated hour instead of
+    /// materializing the full log: the returned
+    /// [`HarvestOutcome::requests`] stays empty and peak resident
+    /// event storage is one hour of traffic, not the whole run. Batches
+    /// are delivered in canonical fleet-relay order (empty logs
+    /// skipped), so a deterministic consumer sees the same stream at
+    /// any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError`] when the configured fleet shape cannot
+    /// be deployed.
+    pub fn run_streamed(
+        &self,
+        net: &mut Network,
+        drive: impl FnMut(&mut Network),
+        sink: &mut RequestSink<'_>,
+    ) -> Result<HarvestOutcome, FleetError> {
+        self.run_inner(net, drive, Some(sink))
+    }
+
+    fn run_inner(
+        &self,
+        net: &mut Network,
         mut drive: impl FnMut(&mut Network),
+        mut sink: Option<&mut RequestSink<'_>>,
     ) -> Result<HarvestOutcome, FleetError> {
         let fleet = Fleet::deploy(net, self.config.fleet.clone())?;
         let mut hours = 0u64;
@@ -131,6 +166,7 @@ impl Harvester {
             hours += 1;
             fleet_restarts += reregister_crashed(net, &fleet, None)?;
             drive(net);
+            drain_hour(net, &fleet, &mut sink);
         }
 
         // Sweep: burn through activation waves.
@@ -143,6 +179,7 @@ impl Harvester {
                 hours += 1;
                 fleet_restarts += reregister_crashed(net, &fleet, Some(k))?;
                 drive(net);
+                drain_hour(net, &fleet, &mut sink);
             }
         }
 
@@ -158,10 +195,14 @@ impl Harvester {
                 held += 1;
             }
             descriptors_per_relay.record(held);
-            for record in net.take_request_log(relay) {
-                requests.push(LoggedRequest { relay, record });
+            if sink.is_none() {
+                for record in net.take_request_log(relay) {
+                    requests.push(LoggedRequest { relay, record });
+                }
             }
         }
+        // Streaming: flush whatever the last hour left behind.
+        drain_hour(net, &fleet, &mut sink);
 
         Ok(HarvestOutcome {
             onions: onions.into_iter().collect(),
@@ -173,6 +214,25 @@ impl Harvester {
             fleet_restarts,
             descriptors_per_relay,
         })
+    }
+}
+
+/// Streaming-mode hourly drain: empties every fleet relay's request
+/// log (in canonical fleet order) and hands the non-empty batches to
+/// the sink. A no-op in materializing mode.
+fn drain_hour(net: &mut Network, fleet: &Fleet, sink: &mut Option<&mut RequestSink<'_>>) {
+    let Some(sink) = sink.as_mut() else {
+        return;
+    };
+    let mut batches: Vec<(RelayId, Vec<RequestRecord>)> = Vec::new();
+    for relay in fleet.all_relays() {
+        let records = net.take_request_log(relay);
+        if !records.is_empty() {
+            batches.push((relay, records));
+        }
+    }
+    if !batches.is_empty() {
+        sink(&batches);
     }
 }
 
@@ -336,5 +396,79 @@ mod tests {
             .run(&mut net, |_| ticks += 1)
             .expect("fleet config is valid");
         assert_eq!(ticks, outcome.hours);
+    }
+
+    #[test]
+    fn streamed_run_delivers_the_same_records_without_materializing() {
+        use onion_crypto::descriptor::DescriptorId;
+        use std::collections::BTreeMap;
+        use tor_sim::relay::Ipv4;
+
+        let build = || {
+            let mut net = NetworkBuilder::new()
+                .relays(80)
+                .seed(21)
+                .start(SimTime::from_ymd(2013, 2, 1))
+                .build();
+            for i in 0..60 {
+                let onion = OnionAddress::from_pubkey(format!("service {i}").as_bytes());
+                net.register_service(onion, true);
+            }
+            net.advance_hours(1);
+            net.add_client(Ipv4::new(198, 18, 0, 9));
+            net
+        };
+        let config = HarvestConfig {
+            fleet: FleetConfig {
+                ips: 6,
+                relays_per_ip: 8,
+                bandwidth: 300,
+            },
+            warmup_hours: 26,
+            rotation_hours: 2,
+        };
+        // Drive synthesizes client fetches so the logs are non-trivial.
+        let drive = |net: &mut Network| {
+            let client = tor_sim::network::ClientId(0);
+            for i in 0..20u64 {
+                let onion = OnionAddress::from_pubkey(format!("service {i}").as_bytes());
+                let t = net.time();
+                let [id, _] = DescriptorId::pair_at(onion, t.unix());
+                net.client_fetch_desc_id(client, id);
+            }
+        };
+
+        let mut exact_net = build();
+        let exact = Harvester::new(config.clone())
+            .run(&mut exact_net, drive)
+            .expect("fleet config is valid");
+
+        let mut streamed_net = build();
+        let mut streamed_counts: BTreeMap<DescriptorId, u64> = BTreeMap::new();
+        let mut streamed_total = 0u64;
+        let streamed = Harvester::new(config)
+            .run_streamed(&mut streamed_net, drive, &mut |batches| {
+                for (_, records) in batches {
+                    for r in records {
+                        streamed_total += 1;
+                        *streamed_counts.entry(r.descriptor_id).or_insert(0) += 1;
+                    }
+                }
+            })
+            .expect("fleet config is valid");
+
+        assert!(
+            streamed.requests.is_empty(),
+            "streamed run must not materialize"
+        );
+        assert!(!exact.requests.is_empty(), "exact run must log requests");
+        assert_eq!(streamed_total, exact.requests.len() as u64);
+        let mut exact_counts: BTreeMap<DescriptorId, u64> = BTreeMap::new();
+        for req in &exact.requests {
+            *exact_counts.entry(req.record.descriptor_id).or_insert(0) += 1;
+        }
+        assert_eq!(streamed_counts, exact_counts);
+        assert_eq!(streamed.onions, exact.onions);
+        assert_eq!(streamed.slot_hours, exact.slot_hours);
     }
 }

@@ -12,7 +12,10 @@
 //! - [`resolver`] — descriptor-ID → onion resolution over a date
 //!   window;
 //! - [`ranking`] — Table II, the Goldnet `server-status` forensics and
-//!   the requested-vs-published share.
+//!   the requested-vs-published share;
+//! - [`streaming`] — bounded-memory sketch aggregation of the request
+//!   stream (count-min + space-saving top-k + HyperLogLog) feeding the
+//!   same ranking without materializing the event vector.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
@@ -20,8 +23,11 @@
 
 pub mod ranking;
 pub mod resolver;
+pub mod streaming;
 pub mod traffic;
 
 pub use ranking::{BotnetForensics, RankedService, Ranking};
 pub use resolver::{ResolutionReport, Resolver};
+pub use sketch::SketchConfig;
+pub use streaming::{SketchSummary, StreamingPopularity};
 pub use traffic::{poisson, poisson_traced, PoissonStats, TrafficConfig, TrafficDriver};

@@ -336,6 +336,105 @@ mod tests {
     }
 
     #[test]
+    fn zero_slot_hours_fall_back_instead_of_catapulting_to_rank_one() {
+        // Regression pin for the s == 0 normalisation guard: a
+        // division by zero here would produce inf, and the `as u64`
+        // cast would saturate to u64::MAX — silently catapulting an
+        // unmanned-slot service to rank 1. The guard must fall back to
+        // the raw observed count and bump `unnormalized`.
+        let world = World::generate(WorldConfig {
+            seed: 2,
+            scale: 0.02,
+        });
+        let mut report = ResolutionReport::default();
+        let mut iter = world
+            .services()
+            .iter()
+            .filter(|s| s.publishes_descriptors());
+        let quiet = iter.next().expect("world has services").onion;
+        let busy = iter.next().expect("world has two services").onion;
+        report.requests_per_onion.insert(quiet, 3);
+        report.requests_per_onion.insert(busy, 500);
+        report.total_requests = 503;
+
+        let mut slot_hours = vec![(quiet, 0u64), (busy, 12u64)];
+        slot_hours.sort_unstable_by_key(|&(o, _)| o);
+        let ranking = Ranking::build_normalized(&report, &world, &slot_hours);
+
+        assert_eq!(ranking.unnormalized(), 1);
+        let quiet_row = ranking
+            .rows()
+            .iter()
+            .find(|r| r.onion == quiet)
+            .expect("quiet service ranked");
+        assert_eq!(quiet_row.requests, 3, "raw fallback, not inf-saturated");
+        assert_eq!(ranking.rank_of(busy), Some(1), "busy service stays on top");
+        assert_eq!(ranking.rank_of(quiet), Some(2));
+    }
+
+    #[test]
+    fn requested_share_returns_zero_when_nothing_is_published() {
+        // Regression pin for the published == 0 guard: an empty world
+        // (every-publish-dropped degenerate of the adversarial fault
+        // profile) must yield 0.0, not NaN — NaN would poison report
+        // formatting and sort order downstream.
+        let world = World::empty();
+        let report = ResolutionReport {
+            total_requests: 17,
+            unresolved_requests: 17,
+            ..ResolutionReport::default()
+        };
+        let share = requested_published_share(&report, &world);
+        assert_eq!(share, 0.0);
+        assert!(share.is_finite());
+    }
+
+    #[test]
+    fn coverage_split_boundary_semantics_at_tiny_lengths() {
+        // Pins the small-`len` boundary semantics of the coverage
+        // split used by `missing_slot_hour_windows_fall_back_to_raw_
+        // counts` (covered = ceil(len/2) − 1: even indices get a
+        // window, index 0 gets a zero window that must also fall
+        // back). At len == 1 and len == 2 nothing is covered.
+        let world = World::generate(WorldConfig {
+            seed: 2,
+            scale: 0.02,
+        });
+        let onions: Vec<OnionAddress> = world
+            .services()
+            .iter()
+            .filter(|s| s.publishes_descriptors())
+            .take(3)
+            .map(|s| s.onion)
+            .collect();
+        for len in 1..=3usize {
+            let mut report = ResolutionReport::default();
+            for &onion in &onions[..len] {
+                report.requests_per_onion.insert(onion, 24);
+                report.total_requests += 24;
+            }
+            let mut slot_hours: Vec<(OnionAddress, u64)> = Vec::new();
+            for (i, &onion) in onions[..len].iter().enumerate() {
+                if i % 2 == 0 {
+                    slot_hours.push((onion, if i == 0 { 0 } else { 6 }));
+                }
+            }
+            slot_hours.sort_unstable_by_key(|&(o, _)| o);
+            let ranking = Ranking::build_normalized(&report, &world, &slot_hours);
+            let covered = len.div_ceil(2).saturating_sub(1);
+            assert_eq!(
+                ranking.unnormalized(),
+                len - covered,
+                "len {len}: expected {} unnormalized rows",
+                len - covered
+            );
+            // len 1 → 1 unnormalized, len 2 → 2, len 3 → 2: only
+            // index 2 onward ever gets a usable window.
+            assert_eq!(ranking.rows().len(), len);
+        }
+    }
+
+    #[test]
     fn server_status_parser() {
         assert_eq!(
             parse_server_status_uptime("... Apache uptime 3777777 seconds ..."),

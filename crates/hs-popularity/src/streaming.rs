@@ -1,0 +1,309 @@
+//! Streaming popularity aggregation (bounded-memory Sec. V).
+//!
+//! The exact popularity path materializes every logged request —
+//! O(requests) memory, over a million events per window at paper
+//! scale. This module replaces the event vector with three sketches
+//! (count-min, space-saving top-k, HyperLogLog from the `sketch`
+//! crate): the harvester's hourly request-log drain feeds
+//! [`StreamingPopularity::absorb`], and [`StreamingPopularity::finalize`]
+//! reconstitutes a [`ResolutionReport`] for the unchanged
+//! `Ranking::build_normalized` — peak resident event storage becomes
+//! one hour of traffic plus O(sketch size).
+//!
+//! # Determinism
+//!
+//! Per-relay batches are pre-aggregated into sorted per-batch deltas
+//! on a measurement wave (any thread count), then folded into the
+//! single global sketch set **in canonical batch order**. Conservative
+//! count-min updates and space-saving evictions are order-sensitive,
+//! so the fold order — not the shard boundaries — defines the state;
+//! under this discipline the aggregate is byte-identical at 1, 2 or 8
+//! threads, matching the workspace-wide wave contract.
+//!
+//! # Exactness window
+//!
+//! While distinct descriptor IDs fit in the space-saving capacity (no
+//! evictions), tracked counts are exact and the derived Table II ranks
+//! equal the exact path's — the differential suite pins this at scale
+//! 0.03. Past that window the classic guarantees take over: counts
+//! never underestimate and any ID with true count above the eviction
+//! floor stays tracked.
+
+use std::collections::BTreeMap;
+
+use onion_crypto::descriptor::DescriptorId;
+use onion_crypto::u160::U160;
+use tor_sim::relay::RelayId;
+use tor_sim::store::RequestRecord;
+use wave::{WavePool, WaveStats};
+
+use sketch::{CountMinSketch, HyperLogLog, SketchConfig, SpaceSaving};
+
+use crate::resolver::{ResolutionReport, Resolver};
+
+/// Folds a descriptor ID's 160 SHA-1 bits into the sketches' 64-bit
+/// key domain.
+fn desc_key64(id: DescriptorId) -> u64 {
+    let bytes = U160::from(id).to_bytes();
+    let mut k = 0u64;
+    for chunk in bytes.chunks(4) {
+        let mut limb = [0u8; 4];
+        limb.copy_from_slice(chunk);
+        k = sketch::mix2(k, u64::from(u32::from_be_bytes(limb)));
+    }
+    k
+}
+
+/// Flat snapshot of the sketch state for metrics and reporting.
+#[derive(Clone, Debug)]
+pub struct SketchSummary {
+    /// Count-min width (power of two).
+    pub cms_width: usize,
+    /// Count-min depth.
+    pub cms_depth: usize,
+    /// Space-saving capacity.
+    pub topk_capacity: usize,
+    /// Keys currently tracked by the space-saving summary.
+    pub topk_tracked: usize,
+    /// Space-saving evictions (top-k churn). Zero means every tracked
+    /// count is exact.
+    pub topk_churn: u64,
+    /// HyperLogLog precision.
+    pub hll_precision: u8,
+    /// HyperLogLog distinct-descriptor-ID estimate.
+    pub hll_estimate: f64,
+    /// Bytes held by the three sketches.
+    pub memory_bytes: usize,
+    /// Total requests absorbed.
+    pub total_requests: u64,
+    /// Hourly batches absorbed.
+    pub batches: u64,
+}
+
+/// The streaming aggregator: the three sketches plus the wave pool
+/// that pre-aggregates each hour's relay batches.
+#[derive(Clone, Debug)]
+pub struct StreamingPopularity {
+    pool: WavePool,
+    seed: u64,
+    cms: CountMinSketch,
+    topk: SpaceSaving<DescriptorId>,
+    hll: HyperLogLog,
+    total_requests: u64,
+    batches: u64,
+    wave_stats: Vec<WaveStats>,
+}
+
+impl StreamingPopularity {
+    /// An empty aggregator hashing with `seed`, pre-aggregating on up
+    /// to `threads` workers.
+    pub fn new(cfg: SketchConfig, seed: u64, threads: usize) -> Self {
+        StreamingPopularity {
+            pool: WavePool::new(threads),
+            seed,
+            cms: CountMinSketch::new(cfg.cms_width, cfg.cms_depth, seed),
+            topk: SpaceSaving::new(cfg.topk_capacity),
+            hll: HyperLogLog::new(cfg.hll_precision, seed),
+            total_requests: 0,
+            batches: 0,
+            wave_stats: Vec::new(),
+        }
+    }
+
+    /// Absorbs one hour of per-relay request-log batches: a wave maps
+    /// each batch to a sorted per-descriptor delta, then the deltas
+    /// fold into the global sketches in canonical batch order.
+    pub fn absorb(&mut self, batches: &[(RelayId, Vec<RequestRecord>)]) {
+        if batches.is_empty() {
+            return;
+        }
+        let (deltas, stats) = self.pool.map(batches, |_, (_, records)| {
+            let mut delta: BTreeMap<DescriptorId, u64> = BTreeMap::new();
+            for r in records {
+                *delta.entry(r.descriptor_id).or_insert(0) += 1;
+            }
+            (records.len() as u64, delta)
+        });
+        self.wave_stats.push(stats);
+        for (n, delta) in deltas {
+            self.total_requests += n;
+            self.batches += 1;
+            for (id, count) in delta {
+                let key = desc_key64(id);
+                self.cms.add(key, count);
+                self.hll.insert(key);
+                self.topk.offer(id, count);
+            }
+        }
+    }
+
+    /// Reconstitutes a [`ResolutionReport`] from the sketches: tracked
+    /// descriptor IDs are resolved through the same forward table the
+    /// exact path uses, per-onion counts summed in canonical top-k
+    /// order, distinct IDs estimated by the HLL. While the top-k has
+    /// seen no evictions the per-onion counts — and therefore the
+    /// Table II ranks — are exact.
+    pub fn finalize(&self, resolver: &Resolver) -> ResolutionReport {
+        let mut report = ResolutionReport {
+            total_requests: self.total_requests,
+            unique_desc_ids: self.hll.estimate().round() as usize,
+            ..ResolutionReport::default()
+        };
+        let mut resolved_requests = 0u64;
+        for entry in self.topk.entries() {
+            if let Some(onion) = resolver.resolve(entry.key) {
+                report.resolved_desc_ids += 1;
+                *report.requests_per_onion.entry(onion).or_insert(0) += entry.count;
+                resolved_requests += entry.count;
+            }
+        }
+        report.resolved_onions = report.requests_per_onion.len();
+        report.unresolved_requests = self.total_requests.saturating_sub(resolved_requests);
+        report
+    }
+
+    /// Current sketch state snapshot for metrics.
+    pub fn summary(&self) -> SketchSummary {
+        SketchSummary {
+            cms_width: self.cms.width(),
+            cms_depth: self.cms.depth(),
+            topk_capacity: self.topk.capacity(),
+            topk_tracked: self.topk.len(),
+            topk_churn: self.topk.evictions(),
+            hll_precision: self.hll.precision(),
+            hll_estimate: self.hll.estimate(),
+            memory_bytes: self.cms.memory_bytes()
+                + self.topk.memory_bytes()
+                + self.hll.memory_bytes(),
+            total_requests: self.total_requests,
+            batches: self.batches,
+        }
+    }
+
+    /// The hashing seed this aggregator was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Drains the accumulated per-hour wave accounting.
+    pub fn take_wave_stats(&mut self) -> Vec<WaveStats> {
+        std::mem::take(&mut self.wave_stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_crypto::onion::OnionAddress;
+    use tor_sim::clock::SimTime;
+
+    fn record(id: DescriptorId, t: SimTime) -> RequestRecord {
+        RequestRecord {
+            time: t,
+            descriptor_id: id,
+            found: true,
+        }
+    }
+
+    /// Hourly waves of per-relay request batches, as the harvester
+    /// hands them to the streaming sink.
+    type Waves = Vec<Vec<(RelayId, Vec<RequestRecord>)>>;
+
+    /// A synthetic skewed stream over `n` onions plus a phantom tail,
+    /// chunked into per-relay hourly batches.
+    fn stream(n: u64, t: SimTime) -> (Vec<OnionAddress>, Waves) {
+        let onions: Vec<OnionAddress> = (0..n)
+            .map(|i| OnionAddress::from_pubkey(format!("svc {i}").as_bytes()))
+            .collect();
+        let mut hours = Vec::new();
+        for hour in 0..6u64 {
+            let mut batches = Vec::new();
+            for relay in 0..4u64 {
+                let mut records = Vec::new();
+                for (rank, &onion) in onions.iter().enumerate() {
+                    let [id, _] = DescriptorId::pair_at(onion, t.unix());
+                    let reps = (n as usize) / (rank + 1);
+                    for _ in 0..reps {
+                        records.push(record(id, t));
+                    }
+                }
+                // Phantom stream: unresolvable IDs.
+                let phantom = OnionAddress::from_pubkey(format!("ghost {hour} {relay}").as_bytes());
+                let [pid, _] = DescriptorId::pair_at(phantom, t.unix());
+                records.push(record(pid, t));
+                batches.push((RelayId(relay as usize), records));
+            }
+            hours.push(batches);
+        }
+        (onions, hours)
+    }
+
+    #[test]
+    fn streaming_report_matches_exact_resolution_without_evictions() {
+        let t = SimTime::from_ymd(2013, 2, 4);
+        let (onions, hours) = stream(12, t);
+        let resolver = Resolver::build(&onions, t, t);
+
+        let mut agg = StreamingPopularity::new(SketchConfig::default(), 7, 1);
+        let mut exact_log = Vec::new();
+        for batches in &hours {
+            agg.absorb(batches);
+            for (relay, records) in batches {
+                for &r in records {
+                    exact_log.push(hs_harvest::LoggedRequest {
+                        relay: *relay,
+                        record: r,
+                    });
+                }
+            }
+        }
+        let exact = resolver.resolve_log(&exact_log);
+        let streamed = agg.finalize(&resolver);
+
+        assert_eq!(streamed.total_requests, exact.total_requests);
+        assert_eq!(streamed.resolved_desc_ids, exact.resolved_desc_ids);
+        assert_eq!(streamed.resolved_onions, exact.resolved_onions);
+        assert_eq!(streamed.requests_per_onion, exact.requests_per_onion);
+        assert_eq!(streamed.unresolved_requests, exact.unresolved_requests);
+        // HLL is an estimate; at these cardinalities it is near-exact.
+        let diff = streamed.unique_desc_ids.abs_diff(exact.unique_desc_ids);
+        assert!(diff <= exact.unique_desc_ids / 20 + 2, "hll off by {diff}");
+        assert_eq!(agg.summary().topk_churn, 0);
+    }
+
+    #[test]
+    fn absorb_is_thread_invariant() {
+        let t = SimTime::from_ymd(2013, 2, 4);
+        let (_, hours) = stream(20, t);
+        let run = |threads: usize| {
+            let mut agg = StreamingPopularity::new(SketchConfig::default(), 3, threads);
+            for batches in &hours {
+                agg.absorb(batches);
+            }
+            agg.take_wave_stats();
+            agg
+        };
+        let one = run(1);
+        for threads in [2usize, 8] {
+            let many = run(threads);
+            assert_eq!(many.cms, one.cms, "cms diverged at {threads} threads");
+            assert_eq!(many.topk, one.topk, "topk diverged at {threads} threads");
+            assert_eq!(many.hll, one.hll, "hll diverged at {threads} threads");
+            assert_eq!(many.total_requests, one.total_requests);
+        }
+    }
+
+    #[test]
+    fn summary_reports_bounded_memory() {
+        let cfg = SketchConfig::default();
+        let agg = StreamingPopularity::new(cfg, 1, 1);
+        let s = agg.summary();
+        assert_eq!(s.cms_width, 16_384);
+        assert_eq!(s.cms_depth, 4);
+        assert_eq!(s.topk_capacity, 8_192);
+        assert_eq!(s.hll_precision, 12);
+        // O(sketch size), independent of how many events get absorbed.
+        assert!(s.memory_bytes < 2 << 20, "{}", s.memory_bytes);
+        assert_eq!(s.total_requests, 0);
+    }
+}

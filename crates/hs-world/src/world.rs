@@ -90,6 +90,21 @@ pub struct World {
 }
 
 impl World {
+    /// A world with no services at all. `generate` floors every
+    /// population at one, so this is the only way to express the
+    /// degenerate every-publish-gone scenario — used to pin
+    /// divide-by-zero guards in downstream statistics.
+    pub fn empty() -> Self {
+        World {
+            config: WorldConfig {
+                seed: 0,
+                scale: 1.0,
+            },
+            services: Vec::new(),
+            by_onion: HashMap::new(),
+        }
+    }
+
     /// Generates a world from `config`.
     pub fn generate(config: WorldConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);

@@ -1,0 +1,41 @@
+//! Seeded SplitMix64 hashing.
+//!
+//! Local copies of the `wave` crate's `mix`/`mix2` finalizer so this
+//! crate stays dependency-free. The constants are the canonical
+//! SplitMix64 ones; the pair must stay bit-identical to `wave::mix` /
+//! `wave::mix2` — the wave-merge invariance tests pin that.
+
+/// The SplitMix64 finalizer: a cheap, high-quality 64-bit mixer.
+pub fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Folds two keys into one seed: `mix(mix(a) ^ b)`. Order-sensitive by
+/// design — `mix2(a, b) != mix2(b, a)` in general.
+pub fn mix2(a: u64, b: u64) -> u64 {
+    mix(mix(a) ^ b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_a_bijection_probe() {
+        // Distinct inputs keep distinct outputs over a sample.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(mix(i)));
+        }
+    }
+
+    #[test]
+    fn mix2_is_order_sensitive() {
+        assert_ne!(mix2(1, 2), mix2(2, 1));
+    }
+}

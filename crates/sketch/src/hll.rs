@@ -1,0 +1,147 @@
+//! HyperLogLog distinct counting (Flajolet et al.).
+//!
+//! `2^precision` one-byte registers; each key hashes once, the top
+//! `precision` bits pick a register and the remaining bits' leading
+//! zero run (plus one) is max'd into it. The standard estimator with
+//! the small-range linear-counting correction gives ~1.04/√m relative
+//! error. Registers max-merge, so per-shard instances combine exactly.
+
+use crate::hash::mix2;
+
+/// The sketch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HyperLogLog {
+    precision: u8,
+    seed: u64,
+    registers: Vec<u8>,
+}
+
+impl HyperLogLog {
+    /// A sketch with `2^precision` registers hashing with `seed`.
+    /// Precision is clamped to `4..=18`.
+    pub fn new(precision: u8, seed: u64) -> Self {
+        let precision = precision.clamp(4, 18);
+        HyperLogLog {
+            precision,
+            seed,
+            registers: vec![0; 1 << precision],
+        }
+    }
+
+    /// Observes `key`.
+    pub fn insert(&mut self, key: u64) {
+        let h = mix2(self.seed, key);
+        let idx = (h >> (64 - self.precision)) as usize;
+        let rest = h << self.precision;
+        let rho = if rest == 0 {
+            65 - self.precision
+        } else {
+            rest.leading_zeros() as u8 + 1
+        };
+        if self.registers[idx] < rho {
+            self.registers[idx] = rho;
+        }
+    }
+
+    /// The cardinality estimate.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m),
+        };
+        let sum: f64 = self
+            .registers
+            .iter()
+            .map(|&r| 1.0 / f64::from(1u32 << u32::from(r.min(31))))
+            .sum();
+        let raw = alpha * m * m / sum;
+        let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+        if raw <= 2.5 * m && zeros > 0 {
+            m * (m / zeros as f64).ln()
+        } else {
+            raw
+        }
+    }
+
+    /// Configured precision p (the sketch holds 2^p registers).
+    pub fn precision(&self) -> u8 {
+        self.precision
+    }
+
+    /// Bytes held by the register array.
+    pub fn memory_bytes(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Canonical merge: element-wise register maximum. Exact — the
+    /// merged sketch equals the sketch of the concatenated streams.
+    /// Panics on a precision or seed mismatch.
+    pub fn merge(&mut self, other: &HyperLogLog) {
+        assert_eq!(
+            (self.precision, self.seed),
+            (other.precision, other.seed),
+            "hyperloglog merge requires identical precision and seed"
+        );
+        for (mine, &theirs) in self.registers.iter_mut().zip(&other.registers) {
+            if *mine < theirs {
+                *mine = theirs;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimates_zero() {
+        let hll = HyperLogLog::new(12, 3);
+        assert_eq!(hll.estimate(), 0.0);
+    }
+
+    #[test]
+    fn small_cardinalities_are_near_exact() {
+        let mut hll = HyperLogLog::new(12, 3);
+        for k in 0..100u64 {
+            hll.insert(k);
+            hll.insert(k); // duplicates must not inflate
+        }
+        let est = hll.estimate();
+        assert!((est - 100.0).abs() < 5.0, "estimate {est}");
+    }
+
+    #[test]
+    fn merge_equals_union_stream() {
+        let mut a = HyperLogLog::new(10, 9);
+        let mut b = HyperLogLog::new(10, 9);
+        let mut whole = HyperLogLog::new(10, 9);
+        for k in 0..5_000u64 {
+            if k % 2 == 0 {
+                a.insert(k);
+            } else {
+                b.insert(k);
+            }
+            whole.insert(k);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn relative_error_under_five_percent_at_paper_cardinality() {
+        // Paper Sec. V: 29,123 unique descriptor IDs. p=12 gives a
+        // theoretical 1.04/64 ≈ 1.6 % standard error.
+        let mut hll = HyperLogLog::new(12, 7);
+        let n = 29_123u64;
+        for k in 0..n {
+            hll.insert(k.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
+        let est = hll.estimate();
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 0.05, "estimate {est}, relative error {rel}");
+    }
+}

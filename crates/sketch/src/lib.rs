@@ -1,0 +1,97 @@
+//! Bounded-memory streaming sketches for popularity counting.
+//!
+//! The paper's popularity measurement (Sec. V) counts descriptor
+//! requests — over a million per two-hour window at 2013 scale. This
+//! crate provides the three classic sketches that turn that stream
+//! into O(sketch size) state instead of O(requests) event storage:
+//!
+//! - [`CountMinSketch`] — per-key frequency estimates with the
+//!   *conservative update* rule: estimates never underestimate and the
+//!   additive error is bounded by ε·N (ε = e / width) with probability
+//!   1 − e^−depth per query;
+//! - [`SpaceSaving`] — Metwally-style top-k heavy hitters with the
+//!   guaranteed-top-k property: any key whose true count exceeds the
+//!   summary's eviction floor is present, and `count − error` is a
+//!   lower bound on its true count;
+//! - [`HyperLogLog`] — distinct-count estimation (unique descriptor
+//!   IDs) in `2^precision` bytes with ~1.04/√m relative error.
+//!
+//! # Determinism and merging
+//!
+//! All hashing is seeded SplitMix64 ([`mix`]/[`mix2`], the same
+//! finalizer the `wave` crate uses for per-unit RNG keys) — no
+//! `RandomState`, no per-process salt. Two sketches built with the
+//! same dimensions and seed hash identically, so the canonical
+//! [`CountMinSketch::merge`], [`SpaceSaving::merge`] and
+//! [`HyperLogLog::merge`] operations are well-defined and
+//! deterministic: per-shard sketches produced by a measurement wave
+//! combine to byte-identical state at any thread count, provided the
+//! merge order follows the wave's canonical input order (the same
+//! discipline every `WaveEffect` merge in this workspace follows).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod cms;
+pub mod hash;
+pub mod hll;
+pub mod topk;
+
+pub use cms::CountMinSketch;
+pub use hash::{mix, mix2};
+pub use hll::HyperLogLog;
+pub use topk::{SpaceSaving, TopEntry};
+
+/// Dimensioning for the full sketch set used by the streaming
+/// popularity mode. The defaults are sized for scale-1.0 runs of the
+/// reproduction (≈40k services, a few hundred thousand distinct
+/// descriptor IDs per window) while staying under a megabyte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SketchConfig {
+    /// Count-min width (columns per row; rounded up to a power of
+    /// two). ε = e / width.
+    pub cms_width: usize,
+    /// Count-min depth (independent rows). δ = e^−depth.
+    pub cms_depth: usize,
+    /// Space-saving capacity (tracked heavy hitters). While the
+    /// distinct-key count stays at or below this, counts are exact.
+    pub topk_capacity: usize,
+    /// HyperLogLog precision p: 2^p registers, ~1.04/√(2^p) relative
+    /// error. Must be in `4..=18`.
+    pub hll_precision: u8,
+}
+
+impl Default for SketchConfig {
+    fn default() -> Self {
+        SketchConfig {
+            cms_width: 16_384,
+            cms_depth: 4,
+            topk_capacity: 8_192,
+            hll_precision: 12,
+        }
+    }
+}
+
+impl SketchConfig {
+    /// Total bytes the three sketches occupy at these dimensions
+    /// (counter arrays and registers; excludes per-entry map overhead
+    /// in the space-saving index).
+    pub fn memory_bytes(&self) -> usize {
+        let cms = self.cms_width.next_power_of_two() * self.cms_depth * 8;
+        let topk = self.topk_capacity * (8 + 8); // count + error per slot
+        let hll = 1usize << self.hll_precision;
+        cms + topk + hll
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sub_megabyte() {
+        let cfg = SketchConfig::default();
+        assert!(cfg.memory_bytes() < 1 << 20, "{}", cfg.memory_bytes());
+    }
+}

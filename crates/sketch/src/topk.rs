@@ -1,0 +1,289 @@
+//! Space-saving top-k heavy hitters (Metwally et al.).
+//!
+//! Tracks at most `capacity` keys with a `(count, error)` pair each.
+//! While distinct keys fit in the capacity, counts are exact and
+//! errors zero. Once full, offering a new key evicts the minimum
+//! tracked entry — ties broken by key order so eviction is
+//! deterministic — and the newcomer inherits the evicted count as its
+//! `error` (the classic overestimate). The structure guarantees:
+//!
+//! - **Guaranteed top-k:** any key whose true count exceeds the
+//!   eviction floor ([`SpaceSaving::min_count`]) is present.
+//! - **Bounds:** for a tracked key, `count − error ≤ true ≤ count`.
+//!
+//! Exports and merges are canonical — sorted by `(count desc, key
+//! asc)` — so downstream consumers see the same order regardless of
+//! hash-map iteration order or how shards were cut.
+
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hash;
+
+/// One exported heavy-hitter entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TopEntry<K> {
+    /// The tracked key.
+    pub key: K,
+    /// Estimated count (upper bound on the true count).
+    pub count: u64,
+    /// Maximum overestimate: `count − error` lower-bounds the true
+    /// count. Zero while the structure has never evicted this slot.
+    pub error: u64,
+}
+
+/// The summary. `K` must be `Copy + Ord` so eviction ties and exports
+/// are deterministic without consulting hash order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpaceSaving<K: Eq + Hash> {
+    capacity: usize,
+    counts: HashMap<K, (u64, u64)>,
+    order: BTreeSet<(u64, K)>,
+    evictions: u64,
+}
+
+impl<K: Copy + Ord + Hash> SpaceSaving<K> {
+    /// A summary tracking at most `capacity` keys. Zero behaves as
+    /// one.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SpaceSaving {
+            capacity,
+            counts: HashMap::with_capacity(capacity),
+            order: BTreeSet::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Offers `by` occurrences of `key`.
+    pub fn offer(&mut self, key: K, by: u64) {
+        if by == 0 {
+            return;
+        }
+        if let Some(entry) = self.counts.get_mut(&key) {
+            self.order.remove(&(entry.0, key));
+            entry.0 = entry.0.saturating_add(by);
+            self.order.insert((entry.0, key));
+        } else if self.counts.len() < self.capacity {
+            self.counts.insert(key, (by, 0));
+            self.order.insert((by, key));
+        } else if let Some(&(min_count, min_key)) = self.order.iter().next() {
+            self.order.remove(&(min_count, min_key));
+            self.counts.remove(&min_key);
+            let count = min_count.saturating_add(by);
+            self.counts.insert(key, (count, min_count));
+            self.order.insert((count, key));
+            self.evictions += 1;
+        }
+    }
+
+    /// The tracked entry for `key`, if present.
+    pub fn query(&self, key: K) -> Option<TopEntry<K>> {
+        self.counts
+            .get(&key)
+            .map(|&(count, error)| TopEntry { key, count, error })
+    }
+
+    /// The eviction floor: every key with a true count above this is
+    /// guaranteed tracked. Zero while the summary is not yet full.
+    pub fn min_count(&self) -> u64 {
+        if self.counts.len() < self.capacity {
+            return 0;
+        }
+        self.order.iter().next().map_or(0, |&(c, _)| c)
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether nothing is tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many evictions have happened (top-k churn). Zero means
+    /// every tracked count is exact.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Bytes held by the counter slots (excludes map/set node
+    /// overhead).
+    pub fn memory_bytes(&self) -> usize {
+        self.capacity * (std::mem::size_of::<K>() + 16)
+    }
+
+    /// Canonical export: entries sorted by `(count desc, key asc)`.
+    pub fn entries(&self) -> Vec<TopEntry<K>> {
+        let mut out: Vec<TopEntry<K>> = self
+            .counts
+            .iter()
+            .map(|(&key, &(count, error))| TopEntry { key, count, error })
+            .collect();
+        out.sort_by(|a, b| b.count.cmp(&a.count).then(a.key.cmp(&b.key)));
+        out
+    }
+
+    /// Canonical merge (Agarwal et al., *Mergeable Summaries*): keys
+    /// missing from one side are charged that side's eviction floor as
+    /// both count and error, per-key counts and errors add, and the
+    /// top `capacity` entries by `(count desc, key asc)` survive.
+    /// Panics on a capacity mismatch.
+    pub fn merge(&mut self, other: &SpaceSaving<K>) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "space-saving merge requires identical capacity"
+        );
+        let floor_a = self.min_count();
+        let floor_b = other.min_count();
+        let mut merged: HashMap<K, (u64, u64)> = HashMap::new();
+        for (&key, &(count, error)) in &self.counts {
+            let (bc, be) = other
+                .counts
+                .get(&key)
+                .copied()
+                .unwrap_or((floor_b, floor_b));
+            merged.insert(key, (count.saturating_add(bc), error.saturating_add(be)));
+        }
+        for (&key, &(count, error)) in &other.counts {
+            merged
+                .entry(key)
+                .or_insert((count.saturating_add(floor_a), error.saturating_add(floor_a)));
+        }
+        let mut all: Vec<(K, (u64, u64))> = merged.into_iter().collect();
+        all.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(&b.0)));
+        let dropped = all.len().saturating_sub(self.capacity) as u64;
+        all.truncate(self.capacity);
+        self.counts.clear();
+        self.order.clear();
+        for (key, (count, error)) in all {
+            self.counts.insert(key, (count, error));
+            self.order.insert((count, key));
+        }
+        self.evictions = self
+            .evictions
+            .saturating_add(other.evictions)
+            .saturating_add(dropped);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut ss = SpaceSaving::new(8);
+        for (k, n) in [(1u64, 5u64), (2, 3), (3, 9)] {
+            ss.offer(k, n);
+        }
+        assert_eq!(ss.len(), 3);
+        assert_eq!(ss.evictions(), 0);
+        assert_eq!(ss.min_count(), 0);
+        let top = ss.entries();
+        assert_eq!(
+            top[0],
+            TopEntry {
+                key: 3,
+                count: 9,
+                error: 0
+            }
+        );
+        assert_eq!(
+            top[1],
+            TopEntry {
+                key: 1,
+                count: 5,
+                error: 0
+            }
+        );
+        assert_eq!(
+            top[2],
+            TopEntry {
+                key: 2,
+                count: 3,
+                error: 0
+            }
+        );
+    }
+
+    #[test]
+    fn eviction_charges_floor_as_error() {
+        let mut ss = SpaceSaving::new(2);
+        ss.offer(1, 10);
+        ss.offer(2, 4);
+        ss.offer(3, 1); // evicts key 2 (count 4): 3 enters at 5, error 4
+        assert_eq!(ss.evictions(), 1);
+        assert_eq!(ss.query(2), None);
+        assert_eq!(
+            ss.query(3),
+            Some(TopEntry {
+                key: 3,
+                count: 5,
+                error: 4
+            })
+        );
+        // Bounds: count − error = 1 = true count; count = 5 ≥ true.
+    }
+
+    #[test]
+    fn eviction_ties_break_by_key_order() {
+        let mut ss = SpaceSaving::new(2);
+        ss.offer(7, 3);
+        ss.offer(4, 3);
+        ss.offer(9, 1); // tie at count 3 → key 4 (smaller) is evicted
+        assert_eq!(ss.query(4), None);
+        assert!(ss.query(7).is_some());
+    }
+
+    #[test]
+    fn merge_of_disjoint_exact_halves_is_exact() {
+        let mut a = SpaceSaving::new(8);
+        let mut b = SpaceSaving::new(8);
+        a.offer(1u64, 7);
+        a.offer(2, 2);
+        b.offer(3, 5);
+        b.offer(4, 1);
+        a.merge(&b);
+        // Neither side was full, so floors are 0 and counts stay exact.
+        assert_eq!(
+            a.query(1),
+            Some(TopEntry {
+                key: 1,
+                count: 7,
+                error: 0
+            })
+        );
+        assert_eq!(
+            a.query(3),
+            Some(TopEntry {
+                key: 3,
+                count: 5,
+                error: 0
+            })
+        );
+        assert_eq!(a.evictions(), 0);
+    }
+
+    #[test]
+    fn merge_truncates_to_capacity_deterministically() {
+        let mut a = SpaceSaving::new(2);
+        let mut b = SpaceSaving::new(2);
+        a.offer(1u64, 9);
+        a.offer(2, 8);
+        b.offer(3, 7);
+        b.offer(4, 6);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        let keys: Vec<u64> = a.entries().iter().map(|e| e.key).collect();
+        // Both sides full: floors are 8 and 6. Merged counts:
+        // 1→9+6=15, 2→8+6=14, 3→7+8=15, 4→6+8=14; ties by key asc.
+        assert_eq!(keys, vec![1, 3]);
+        assert_eq!(a.evictions(), 2);
+    }
+}

@@ -1,0 +1,184 @@
+//! Exact-vs-sketch differential properties.
+//!
+//! Every property compares a sketch against an exact `HashMap` /
+//! `HashSet` computation over the same stream: the count-min
+//! overestimate-only invariant and ε·N bound, space-saving's
+//! guaranteed-top-k property at the paper's skew, and the HyperLogLog
+//! relative-error bound at Sec. V cardinalities. Cases are
+//! deterministic (the vendored proptest seeds by test name), so these
+//! are exact regression pins, not flaky statistical tests.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use sketch::{CountMinSketch, HyperLogLog, SpaceSaving};
+
+/// Exact frequency table for a weighted stream.
+fn exact_counts(stream: &[(u64, u64)]) -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    for &(k, w) in stream {
+        *m.entry(k).or_insert(0) += w;
+    }
+    m
+}
+
+proptest! {
+    #[test]
+    fn cms_never_underestimates(
+        stream in collection::vec((0u64..256, 1u64..8), 1..500),
+        seed in any::<u64>(),
+    ) {
+        let mut cms = CountMinSketch::new(2048, 6, seed);
+        for &(k, w) in &stream {
+            cms.add(k, w);
+        }
+        for (&k, &t) in &exact_counts(&stream) {
+            prop_assert!(cms.estimate(k) >= t, "key {k}: {} < {t}", cms.estimate(k));
+        }
+    }
+
+    #[test]
+    fn cms_error_within_epsilon_n(
+        stream in collection::vec((0u64..256, 1u64..8), 1..500),
+        seed in any::<u64>(),
+    ) {
+        let mut cms = CountMinSketch::new(2048, 6, seed);
+        for &(k, w) in &stream {
+            cms.add(k, w);
+        }
+        let bound = cms.epsilon() * cms.weight() as f64;
+        for (&k, &t) in &exact_counts(&stream) {
+            let err = cms.estimate(k) - t;
+            prop_assert!(
+                err as f64 <= bound.max(1.0),
+                "key {k}: error {err} above ε·N = {bound:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn cms_merge_preserves_overestimate(
+        left in collection::vec((0u64..128, 1u64..8), 1..250),
+        right in collection::vec((0u64..128, 1u64..8), 1..250),
+        seed in any::<u64>(),
+    ) {
+        let mut a = CountMinSketch::new(1024, 4, seed);
+        let mut b = CountMinSketch::new(1024, 4, seed);
+        for &(k, w) in &left {
+            a.add(k, w);
+        }
+        for &(k, w) in &right {
+            b.add(k, w);
+        }
+        a.merge(&b);
+        let mut whole = left.clone();
+        whole.extend_from_slice(&right);
+        for (&k, &t) in &exact_counts(&whole) {
+            prop_assert!(a.estimate(k) >= t);
+        }
+        prop_assert_eq!(
+            a.weight(),
+            whole.iter().map(|&(_, w)| w).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn space_saving_guarantees_heavy_hitters(
+        stream in collection::vec((0u64..48, 1u64..20), 1..400),
+        capacity in 4usize..20,
+    ) {
+        let mut ss = SpaceSaving::new(capacity);
+        for &(k, w) in &stream {
+            ss.offer(k, w);
+        }
+        let truth = exact_counts(&stream);
+        let floor = ss.min_count();
+        for (&k, &t) in &truth {
+            // Guaranteed top-k: true count above the eviction floor
+            // means the key is tracked.
+            if t > floor {
+                prop_assert!(ss.query(k).is_some(), "missing key {k} with count {t} > floor {floor}");
+            }
+            // Bounds for whatever is tracked.
+            if let Some(e) = ss.query(k) {
+                prop_assert!(e.count >= t, "count {} < true {t}", e.count);
+                prop_assert!(e.count - e.error <= t, "lower bound {} > true {t}", e.count - e.error);
+            }
+        }
+        // Canonical export is sorted by (count desc, key asc).
+        let entries = ss.entries();
+        for pair in entries.windows(2) {
+            prop_assert!(
+                (pair[1].count, pair[0].key) < (pair[0].count, pair[1].key)
+                    || pair[0].count > pair[1].count
+            );
+        }
+    }
+
+    #[test]
+    fn space_saving_exact_at_paper_skew_within_capacity(
+        seed in any::<u64>(),
+        services in 8usize..64,
+    ) {
+        // The paper's popularity is heavily skewed (Table II: rank 1
+        // has ~10x rank 20). Model it as a 1/rank zipf over the
+        // service set; with capacity ≥ distinct keys the summary is
+        // exact and ranks match the exact table.
+        let mut ss = SpaceSaving::new(64);
+        let mut truth: Vec<(u64, u64)> = (0..services as u64)
+            .map(|r| (sketch::mix2(seed, r), 1000 / (r + 1) + 1))
+            .collect();
+        for &(k, w) in &truth {
+            ss.offer(k, w);
+        }
+        prop_assert_eq!(ss.evictions(), 0);
+        truth.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let got: Vec<(u64, u64)> = ss.entries().iter().map(|e| (e.key, e.count)).collect();
+        prop_assert_eq!(got, truth);
+    }
+
+    #[test]
+    fn space_saving_merge_keeps_guarantees(
+        left in collection::vec((0u64..32, 1u64..16), 1..200),
+        right in collection::vec((0u64..32, 1u64..16), 1..200),
+        capacity in 4usize..16,
+    ) {
+        let mut a = SpaceSaving::new(capacity);
+        let mut b = SpaceSaving::new(capacity);
+        for &(k, w) in &left {
+            a.offer(k, w);
+        }
+        for &(k, w) in &right {
+            b.offer(k, w);
+        }
+        a.merge(&b);
+        let mut whole = left.clone();
+        whole.extend_from_slice(&right);
+        let truth = exact_counts(&whole);
+        let floor = a.min_count();
+        for (&k, &t) in &truth {
+            if t > floor {
+                prop_assert!(a.query(k).is_some(), "missing {k} with {t} > floor {floor}");
+            }
+            if let Some(e) = a.query(k) {
+                prop_assert!(e.count >= t);
+            }
+        }
+    }
+
+    #[test]
+    fn hll_relative_error_under_five_percent(
+        cardinality in 1_000u64..40_000,
+        seed in any::<u64>(),
+    ) {
+        // Sec. V saw 29,123 unique descriptor IDs; sweep the bracket
+        // around that at p = 12 (theoretical σ ≈ 1.6 %).
+        let mut hll = HyperLogLog::new(12, seed);
+        for i in 0..cardinality {
+            hll.insert(sketch::mix2(seed ^ 0xdead_beef, i));
+        }
+        let est = hll.estimate();
+        let rel = (est - cardinality as f64).abs() / cardinality as f64;
+        prop_assert!(rel < 0.05, "n {cardinality}: estimate {est:.0}, error {rel:.4}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Wave-merge invariance: sketches built shard-locally under a
+//! `WavePool` at 1, 2 and 8 threads and merged in canonical input
+//! order end up in identical state — the same determinism contract the
+//! measurement waves rely on for every other artifact.
+
+use sketch::{CountMinSketch, HyperLogLog, SketchConfig, SpaceSaving};
+use wave::WavePool;
+
+/// A deterministic skewed stream chunked into per-unit batches (the
+/// analogue of per-relay request-log batches).
+fn batches(seed: u64) -> Vec<Vec<(u64, u64)>> {
+    (0..16u64)
+        .map(|unit| {
+            (0..200u64)
+                .map(|i| {
+                    let r = sketch::mix2(seed, unit * 1_000 + i);
+                    (r % 97, r % 5 + 1)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Builds the three sketches by mapping each batch to shard-local
+/// sketches on `threads` workers, then merging in input order.
+fn build_at(
+    threads: usize,
+    stream: &[Vec<(u64, u64)>],
+    cfg: SketchConfig,
+    seed: u64,
+) -> (CountMinSketch, SpaceSaving<u64>, HyperLogLog) {
+    let pool = WavePool::new(threads);
+    let (locals, _stats) = pool.map(stream, |_, batch| {
+        let mut cms = CountMinSketch::new(cfg.cms_width, cfg.cms_depth, seed);
+        let mut topk = SpaceSaving::new(cfg.topk_capacity);
+        let mut hll = HyperLogLog::new(cfg.hll_precision, seed);
+        for &(k, w) in batch {
+            cms.add(k, w);
+            topk.offer(k, w);
+            hll.insert(k);
+        }
+        (cms, topk, hll)
+    });
+    let mut cms = CountMinSketch::new(cfg.cms_width, cfg.cms_depth, seed);
+    let mut topk = SpaceSaving::new(cfg.topk_capacity);
+    let mut hll = HyperLogLog::new(cfg.hll_precision, seed);
+    for (c, t, h) in &locals {
+        cms.merge(c);
+        topk.merge(t);
+        hll.merge(h);
+    }
+    (cms, topk, hll)
+}
+
+#[test]
+fn sketches_merge_identically_at_1_2_8_threads() {
+    let cfg = SketchConfig {
+        cms_width: 512,
+        cms_depth: 4,
+        topk_capacity: 32,
+        hll_precision: 10,
+    };
+    let stream = batches(0x7a11);
+    let baseline = build_at(1, &stream, cfg, 99);
+    for threads in [2usize, 8] {
+        let run = build_at(threads, &stream, cfg, 99);
+        assert_eq!(run.0, baseline.0, "count-min diverged at {threads} threads");
+        assert_eq!(
+            run.1, baseline.1,
+            "space-saving diverged at {threads} threads"
+        );
+        assert_eq!(
+            run.2, baseline.2,
+            "hyperloglog diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn hash_constants_match_wave() {
+    // The sketch crate carries local copies of wave's SplitMix64
+    // mix/mix2 so it stays dependency-free; they must never drift.
+    for x in [0u64, 1, 42, u64::MAX, 0x9e37_79b9_7f4a_7c15] {
+        assert_eq!(sketch::mix(x), wave::mix(x));
+        assert_eq!(sketch::mix2(x, x ^ 0xabcd), wave::mix2(x, x ^ 0xabcd));
+    }
+}

@@ -3,9 +3,10 @@
 # outputs under results/ (used to fill EXPERIMENTS.md).
 #
 #   sh scripts_run_experiments.sh          regenerate results/*.txt
-#   sh scripts_run_experiments.sh verify   formatting + lint gate + par + scale1
+#   sh scripts_run_experiments.sh verify   formatting + lint gate + par + scale1 + sketch
 #   sh scripts_run_experiments.sh bench    stage-timing run + baseline diff
 #   sh scripts_run_experiments.sh scale1   paper-scale setup+harvest gate
+#   sh scripts_run_experiments.sh sketch   exact-vs-streaming sketch differential gate
 #   sh scripts_run_experiments.sh faults   adversarial fault-injection run
 #   sh scripts_run_experiments.sh trace    sim-clock trace run + baseline diff
 #   sh scripts_run_experiments.sh par      1-vs-N-thread byte-identity + speedup
@@ -17,7 +18,50 @@ if [ "${1:-}" = "verify" ]; then
   cargo clippy --workspace -- -D warnings
   sh "$0" par
   sh "$0" scale1
+  sh "$0" sketch
   echo "verify ok"
+  exit 0
+fi
+if [ "${1:-}" = "sketch" ]; then
+  # The streaming-sketch gate: the bench binary asserts the streaming
+  # popularity path reproduces the exact Table II top-20 at scale 0.03
+  # and measures synthetic sketch ingest; this wrapper then diffs the
+  # deterministic fields against the committed baseline and enforces
+  # its error and throughput budgets.
+  BASELINE=results/bench_sketch_baseline.json
+  CURRENT=results/bench_sketch.json
+  [ -f "$BASELINE" ] || { echo "missing $BASELINE"; exit 1; }
+  echo "== bench_sketch (exact-vs-streaming differential)"
+  cargo run --release -q -p hs-bench --bin bench_sketch \
+    > results/bench_sketch.txt 2> results/bench_sketch.log
+  strip_volatile() {
+    grep -v 'events_per_sec\|budget' "$1"
+  }
+  strip_volatile "$BASELINE" > /tmp/sketch_baseline.$$
+  strip_volatile "$CURRENT" > /tmp/sketch_current.$$
+  if ! diff -u /tmp/sketch_baseline.$$ /tmp/sketch_current.$$; then
+    rm -f /tmp/sketch_baseline.$$ /tmp/sketch_current.$$
+    echo "FAIL: sketch differential drifted from $BASELINE (determinism regression)"
+    exit 1
+  fi
+  rm -f /tmp/sketch_baseline.$$ /tmp/sketch_current.$$
+  echo "sketch differential matches baseline"
+  grep -q '"top20_rank_match": 1' "$CURRENT" \
+    || { echo "FAIL: streaming top-20 diverged from the exact ranking"; exit 1; }
+  grep -q '"cms_overestimate_ok": 1' "$CURRENT" \
+    || { echo "FAIL: count-min sketch underestimated a true count"; exit 1; }
+  ERR_PCT=$(awk -F': ' '/"hll_error_pct"/ { gsub(/[,}]/, "", $2); print $2 }' "$CURRENT")
+  ERR_BUDGET=$(awk -F': ' '/"hll_error_budget_pct"/ { gsub(/[,}]/, "", $2); print $2 }' "$BASELINE")
+  echo "hll error: ${ERR_PCT}% (budget ${ERR_BUDGET}%)"
+  awk -v c="$ERR_PCT" -v b="$ERR_BUDGET" 'BEGIN { exit !(c > b) }' \
+    && { echo "FAIL: hll error ${ERR_PCT}% exceeds committed budget ${ERR_BUDGET}%"; exit 1; }
+  EPS=$(awk -F': ' '/"events_per_sec"/ { gsub(/[,}]/, "", $2); print $2 }' "$CURRENT")
+  MIN_EPS=$(awk -F': ' '/"min_events_per_sec"/ { gsub(/[,}]/, "", $2); print $2 }' "$BASELINE")
+  echo "ingest throughput: ${EPS} events/s (floor ${MIN_EPS})"
+  awk -v c="$EPS" -v b="$MIN_EPS" 'BEGIN { exit !(c < b) }' \
+    && { echo "FAIL: ingest ${EPS} events/s below committed floor ${MIN_EPS}"; exit 1; }
+  cat results/bench_sketch.txt
+  echo "sketch ok"
   exit 0
 fi
 if [ "${1:-}" = "scale1" ]; then

@@ -1,0 +1,95 @@
+//! Exact-vs-streaming differential: the bounded-memory sketch path
+//! must reproduce the exact popularity pipeline's Table II ranks while
+//! holding only O(sketch size) event state.
+//!
+//! The guarantee pinned here is the "exactness window" documented in
+//! `hs_popularity::streaming`: while the distinct requested descriptor
+//! IDs fit in the space-saving capacity (no evictions), the tracked
+//! counts — and therefore the derived ranks — are exact, not merely
+//! approximate.
+
+use hs_landscape::hs_popularity::SketchConfig;
+use hs_landscape::{Study, StudyConfig, StudyReport};
+
+fn config(streaming: bool) -> StudyConfig {
+    StudyConfig {
+        seed: 7,
+        scale: 0.03,
+        streaming: streaming.then(SketchConfig::default),
+        ..StudyConfig::test_scale()
+    }
+}
+
+fn exact() -> &'static StudyReport {
+    static RUN: std::sync::OnceLock<StudyReport> = std::sync::OnceLock::new();
+    RUN.get_or_init(|| Study::new(config(false)).run())
+}
+
+fn streamed() -> &'static StudyReport {
+    static RUN: std::sync::OnceLock<StudyReport> = std::sync::OnceLock::new();
+    RUN.get_or_init(|| Study::new(config(true)).run())
+}
+
+#[test]
+fn streaming_reproduces_exact_table2_ranks() {
+    let (a, b) = (exact(), streamed());
+    assert!(a.is_complete(), "{:?}", a.degraded_stages());
+    assert!(b.is_complete(), "{:?}", b.degraded_stages());
+    let (exact_rank, stream_rank) = (a.ranking.as_ref().unwrap(), b.ranking.as_ref().unwrap());
+    let (top_a, top_b) = (exact_rank.top(20), stream_rank.top(20));
+    assert_eq!(top_a.len(), top_b.len());
+    assert!(!top_a.is_empty(), "scale 0.03 must rank services");
+    for (x, y) in top_a.iter().zip(top_b.iter()) {
+        assert_eq!(x.rank, y.rank);
+        assert_eq!(x.onion, y.onion, "rank {} onion diverged", x.rank);
+        assert_eq!(x.requests, y.requests, "rank {} count diverged", x.rank);
+        assert_eq!(x.label, y.label, "rank {} label diverged", x.rank);
+    }
+    // The whole ranking, not just the head, comes out identical.
+    assert_eq!(exact_rank.rows().len(), stream_rank.rows().len());
+}
+
+#[test]
+fn streaming_resolution_matches_exact_counts() {
+    let (a, b) = (
+        exact().resolution.as_ref().unwrap(),
+        streamed().resolution.as_ref().unwrap(),
+    );
+    assert_eq!(a.total_requests, b.total_requests);
+    assert_eq!(a.resolved_desc_ids, b.resolved_desc_ids);
+    assert_eq!(a.resolved_onions, b.resolved_onions);
+    assert_eq!(a.requests_per_onion, b.requests_per_onion);
+    assert_eq!(a.unresolved_requests, b.unresolved_requests);
+    // Distinct IDs come from the HyperLogLog on the streaming path:
+    // an estimate, pinned to the paper's <5 % error envelope.
+    let err = b.unique_desc_ids.abs_diff(a.unique_desc_ids) as f64;
+    assert!(
+        err <= a.unique_desc_ids as f64 * 0.05,
+        "hll {} vs exact {}",
+        b.unique_desc_ids,
+        a.unique_desc_ids
+    );
+}
+
+#[test]
+fn streaming_holds_sketch_state_not_events() {
+    let (a, b) = (exact(), streamed());
+    // Exact path materializes the request log; streaming must not.
+    assert!(!a.harvest.as_ref().unwrap().requests.is_empty());
+    assert!(
+        b.harvest.as_ref().unwrap().requests.is_empty(),
+        "streaming run materialized the event vector"
+    );
+    assert!(a.sketch.is_none(), "exact run grew a sketch summary");
+    let s = b.sketch.as_ref().expect("streaming run reports sketches");
+    // Within the exactness window: every tracked count is exact.
+    assert_eq!(s.topk_churn, 0, "evictions at scale 0.03");
+    assert_eq!(
+        s.total_requests,
+        a.resolution.as_ref().unwrap().total_requests
+    );
+    assert!(s.batches > 0);
+    // O(sketch size): bounded by the configuration, not the stream.
+    assert!(s.memory_bytes >= SketchConfig::default().memory_bytes());
+    assert!(s.memory_bytes < 2 << 20, "{}", s.memory_bytes);
+}
