@@ -43,7 +43,10 @@ pub mod pipeline;
 pub mod report;
 pub mod study;
 
-pub use pipeline::{ExecMode, PipelineRun, PipelineTimings, RunOptions, StageId, StageTiming};
+pub use pipeline::{
+    CacheCounters, CancelToken, ExecMode, Halt, MemoryCache, PipelineRun, PipelineTimings,
+    RunControl, RunOptions, StageCache, StageId, StagePayload, StageTiming,
+};
 pub use study::{DeanonReport, Study, StudyConfig, StudyReport, TrackingReport};
 
 // Re-export the subsystem crates under one roof.

@@ -14,6 +14,8 @@
 //! own deterministic timeline, so a selective run reproduces a full
 //! run's artifacts byte for byte.
 
+use std::sync::Arc;
+
 use onion_crypto::onion::OnionAddress;
 use tor_sim::network::{GuardObservation, Network};
 use tor_sim::relay::RelayId;
@@ -27,6 +29,9 @@ use hs_popularity::{
 use hs_portscan::ScanReport;
 use hs_tracking::TrackingAnalysis;
 use hs_world::{GeoDb, World};
+
+use super::cache::{HarvestBundle, SetupBundle, StagePayload};
+use super::stage::StageId;
 
 /// Sec. VI results (assembled by the `Geomap` analysis stage).
 #[derive(Clone, Debug)]
@@ -186,6 +191,62 @@ impl ArtifactStore {
     accessor!(
         /// Sec. VII tracking detection.
         tracking / try_tracking: TrackingReport, "tracking");
+
+    /// Bundles `stage`'s deposited slots into a cacheable payload, or
+    /// `None` if any of them is missing (stage degraded or not run).
+    pub fn extract(&self, stage: StageId) -> Option<StagePayload> {
+        Some(match stage {
+            StageId::Setup => StagePayload::Setup(Arc::new(SetupBundle {
+                world: self.world.clone()?,
+                geo: self.geo.clone()?,
+                attacker_guards: self.attacker_guards.clone()?,
+                net: self.net_setup.clone()?,
+                traffic: self.traffic_setup.clone()?,
+            })),
+            StageId::Harvest => StagePayload::Harvest(Arc::new(HarvestBundle {
+                harvest: self.harvest.clone()?,
+                net: self.net_harvest.clone()?,
+                traffic: self.traffic_harvest.clone()?,
+                streaming: self.streaming.clone(),
+            })),
+            StageId::DeanonWindow => {
+                StagePayload::DeanonWindow(Arc::new(self.deanon_window.clone()?))
+            }
+            StageId::PortScan => StagePayload::PortScan(Arc::new(self.scan.clone()?)),
+            StageId::Geomap => StagePayload::Geomap(Arc::new(self.deanon.clone()?)),
+            StageId::Certs => StagePayload::Certs(Arc::new(self.certs.clone()?)),
+            StageId::Crawl => StagePayload::Crawl(Arc::new(self.crawl.clone()?)),
+            StageId::Popularity => StagePayload::Popularity(Arc::new(self.popularity.clone()?)),
+            StageId::Tracking => StagePayload::Tracking(Arc::new(self.tracking.clone()?)),
+        })
+    }
+
+    /// Deposits a cached payload into the slots its stage would have
+    /// filled, exactly as if the stage had just run.
+    pub fn install(&mut self, payload: &StagePayload) {
+        match payload {
+            StagePayload::Setup(b) => {
+                self.world = Some(b.world.clone());
+                self.geo = Some(b.geo.clone());
+                self.attacker_guards = Some(b.attacker_guards.clone());
+                self.net_setup = Some(b.net.clone());
+                self.traffic_setup = Some(b.traffic.clone());
+            }
+            StagePayload::Harvest(b) => {
+                self.harvest = Some(b.harvest.clone());
+                self.net_harvest = Some(b.net.clone());
+                self.traffic_harvest = Some(b.traffic.clone());
+                self.streaming = b.streaming.clone();
+            }
+            StagePayload::DeanonWindow(v) => self.deanon_window = Some((**v).clone()),
+            StagePayload::PortScan(v) => self.scan = Some((**v).clone()),
+            StagePayload::Geomap(v) => self.deanon = Some((**v).clone()),
+            StagePayload::Certs(v) => self.certs = Some((**v).clone()),
+            StagePayload::Crawl(v) => self.crawl = Some((**v).clone()),
+            StagePayload::Popularity(v) => self.popularity = Some((**v).clone()),
+            StagePayload::Tracking(v) => self.tracking = Some((**v).clone()),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,409 @@
+//! Content-addressed stage cache for incremental recompute.
+//!
+//! Every stage's output is addressed by a [`CacheKey`] derived from
+//! the stage's identity, the study's root seed, a fingerprint of the
+//! full [`StudyConfig`], and — transitively — the keys of every
+//! upstream stage, with the resident daemon's epoch salt folded into
+//! the `Setup` key. The chaining gives the incremental-recompute
+//! property for free: change any input (seed, scale, fault profile,
+//! world epoch) and the `Setup` key changes, which changes every
+//! downstream key, so stale artifacts can never be served; leave the
+//! inputs alone and a repeated query resolves every stage from cache
+//! without touching the simulator.
+//!
+//! Keys are 128 bits built from two independent SplitMix64 lanes
+//! ([`wave::mix2`] with different initial tags), which makes an
+//! accidental collision across the handful of keys a daemon ever
+//! holds astronomically unlikely.
+//!
+//! [`StudyConfig`]: crate::StudyConfig
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hs_content::{CertSurvey, CrawlReport};
+use hs_harvest::HarvestOutcome;
+use hs_popularity::{StreamingPopularity, TrafficDriver};
+use hs_portscan::ScanReport;
+use hs_world::{GeoDb, World};
+use tor_sim::network::Network;
+use tor_sim::relay::RelayId;
+
+use super::artifacts::{DeanonReport, DeanonWindowOut, PopularityOut, TrackingReport};
+use super::stage::StageId;
+
+/// A 128-bit content address for one stage's output.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    /// High lane.
+    pub hi: u64,
+    /// Low lane.
+    pub lo: u64,
+}
+
+impl CacheKey {
+    fn fold(self, v: u64) -> CacheKey {
+        CacheKey {
+            hi: wave::mix2(self.hi, v),
+            lo: wave::mix2(self.lo, v ^ 0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    fn fold_key(self, other: CacheKey) -> CacheKey {
+        self.fold(other.hi).fold(other.lo)
+    }
+
+    fn fold_bytes(self, bytes: &[u8]) -> CacheKey {
+        let mut k = self.fold(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut b = [0u8; 8];
+            b[..chunk.len()].copy_from_slice(chunk);
+            k = k.fold(u64::from_le_bytes(b));
+        }
+        k
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Derives the per-stage key chain for one (seed, config, epoch)
+/// triple, indexed by `StageId as usize`.
+///
+/// Each stage folds its name, the root seed, and the config
+/// fingerprint, then the full key of every dependency (in `deps()`
+/// order). `epoch_salt` enters only the `Setup` key; the chaining
+/// propagates it to every stage that (transitively) reads the sim
+/// world — `Tracking` has no dependencies and is deliberately left
+/// epoch-invariant, so its expensive 3-year archive analysis survives
+/// world ticks.
+pub fn derive_keys(seed: u64, config_fingerprint: u64, epoch_salt: u64) -> [CacheKey; 9] {
+    let mut keys = [CacheKey { hi: 0, lo: 0 }; 9];
+    for stage in StageId::ALL {
+        let mut k = CacheKey {
+            hi: 0x6873_6361_6368_6500, // "hscache"
+            lo: 0x6b65_7963_6861_696e, // "keychain"
+        }
+        .fold_bytes(stage.name().as_bytes())
+        .fold(seed)
+        .fold(config_fingerprint);
+        if stage == StageId::Setup {
+            k = k.fold(epoch_salt);
+        }
+        for dep in stage.deps() {
+            k = k.fold_key(keys[*dep as usize]);
+        }
+        keys[stage as usize] = k;
+    }
+    keys
+}
+
+/// Everything the `Setup` stage deposits, bundled for caching.
+#[derive(Clone, Debug)]
+pub struct SetupBundle {
+    /// Ground-truth world.
+    pub world: World,
+    /// IP-geography database.
+    pub geo: GeoDb,
+    /// Attacker guard relays.
+    pub attacker_guards: Vec<RelayId>,
+    /// Network snapshot after setup.
+    pub net: Network,
+    /// Traffic driver as constructed at setup.
+    pub traffic: TrafficDriver,
+}
+
+/// Everything the `Harvest` stage deposits, bundled for caching.
+#[derive(Clone, Debug)]
+pub struct HarvestBundle {
+    /// Harvest outcome.
+    pub harvest: HarvestOutcome,
+    /// Network snapshot after the harvest window.
+    pub net: Network,
+    /// Traffic driver state after the harvest window.
+    pub traffic: TrafficDriver,
+    /// Streaming aggregator, when the run used sketches.
+    pub streaming: Option<StreamingPopularity>,
+}
+
+/// One stage's complete output, shareable across queries without
+/// copying: payloads hold [`Arc`]s, so a cache hit is a pointer clone
+/// and the artifacts inside are immutable by construction.
+#[derive(Clone, Debug)]
+pub enum StagePayload {
+    /// `Setup` output.
+    Setup(Arc<SetupBundle>),
+    /// `Harvest` output.
+    Harvest(Arc<HarvestBundle>),
+    /// `DeanonWindow` output.
+    DeanonWindow(Arc<DeanonWindowOut>),
+    /// `PortScan` output.
+    PortScan(Arc<ScanReport>),
+    /// `Geomap` output.
+    Geomap(Arc<DeanonReport>),
+    /// `Certs` output.
+    Certs(Arc<CertSurvey>),
+    /// `Crawl` output.
+    Crawl(Arc<CrawlReport>),
+    /// `Popularity` output.
+    Popularity(Arc<PopularityOut>),
+    /// `Tracking` output.
+    Tracking(Arc<TrackingReport>),
+}
+
+impl StagePayload {
+    /// The stage this payload belongs to.
+    pub fn stage(&self) -> StageId {
+        match self {
+            StagePayload::Setup(_) => StageId::Setup,
+            StagePayload::Harvest(_) => StageId::Harvest,
+            StagePayload::DeanonWindow(_) => StageId::DeanonWindow,
+            StagePayload::PortScan(_) => StageId::PortScan,
+            StagePayload::Geomap(_) => StageId::Geomap,
+            StagePayload::Certs(_) => StageId::Certs,
+            StagePayload::Crawl(_) => StageId::Crawl,
+            StagePayload::Popularity(_) => StageId::Popularity,
+            StagePayload::Tracking(_) => StageId::Tracking,
+        }
+    }
+}
+
+/// Point-in-time cache statistics.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct CacheCounters {
+    /// Lookups that returned a payload.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Payloads inserted.
+    pub insertions: u64,
+    /// Payloads evicted by the capacity bound.
+    pub evictions: u64,
+    /// Payloads currently resident.
+    pub entries: u64,
+}
+
+/// A content-addressed stage cache shared between the daemon and the
+/// engine. Implementations must be safe for concurrent queries.
+pub trait StageCache: Send + Sync {
+    /// Fetches the payload for `key`, counting a hit or miss.
+    fn lookup(&self, key: CacheKey) -> Option<StagePayload>;
+    /// Whether `key` is resident, *without* touching the hit/miss
+    /// counters — used by `GET` probes that must not skew metrics.
+    fn peek(&self, key: CacheKey) -> bool;
+    /// Fetches the payload for `key` without touching the hit/miss
+    /// counters. The daemon's `GET` path uses this so read-only
+    /// artifact queries never skew the recompute-cache statistics.
+    fn fetch_uncounted(&self, key: CacheKey) -> Option<StagePayload>;
+    /// Stores the payload for `key`.
+    fn insert(&self, key: CacheKey, payload: StagePayload);
+    /// Current statistics.
+    fn counters(&self) -> CacheCounters;
+}
+
+/// In-memory [`StageCache`] with a bounded entry count and
+/// insertion-order eviction.
+///
+/// Insertion order (not LRU) keeps eviction deterministic under
+/// concurrent readers: lookups never reorder anything, so the eviction
+/// sequence depends only on the sequence of inserts.
+pub struct MemoryCache {
+    capacity: usize,
+    inner: Mutex<MemoryCacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+#[derive(Default)]
+struct MemoryCacheInner {
+    map: HashMap<CacheKey, StagePayload>,
+    order: VecDeque<CacheKey>,
+}
+
+impl MemoryCache {
+    /// A cache holding at most `capacity` payloads (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        MemoryCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(MemoryCacheInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, MemoryCacheInner> {
+        // A poisoned cache mutex means a panic while holding the lock;
+        // payload inserts/removes cannot leave the map inconsistent,
+        // so recover the guard rather than poisoning every query.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl fmt::Debug for MemoryCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.counters();
+        f.debug_struct("MemoryCache")
+            .field("capacity", &self.capacity)
+            .field("counters", &c)
+            .finish()
+    }
+}
+
+impl StageCache for MemoryCache {
+    fn lookup(&self, key: CacheKey) -> Option<StagePayload> {
+        let found = self.locked().map.get(&key).cloned();
+        match found {
+            Some(p) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(p)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn peek(&self, key: CacheKey) -> bool {
+        self.locked().map.contains_key(&key)
+    }
+
+    fn fetch_uncounted(&self, key: CacheKey) -> Option<StagePayload> {
+        self.locked().map.get(&key).cloned()
+    }
+
+    fn insert(&self, key: CacheKey, payload: StagePayload) {
+        let mut inner = self.locked();
+        if inner.map.insert(key, payload).is_none() {
+            inner.order.push_back(key);
+            while inner.map.len() > self.capacity {
+                if let Some(old) = inner.order.pop_front() {
+                    if inner.map.remove(&old).is_some() {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.locked().map.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(stage_tag: u64) -> StagePayload {
+        if stage_tag % 2 == 0 {
+            StagePayload::Certs(Arc::new(CertSurvey::default()))
+        } else {
+            StagePayload::PortScan(Arc::new(ScanReport::default()))
+        }
+    }
+
+    #[test]
+    fn keys_are_pairwise_distinct() {
+        let keys = derive_keys(7, 42, 0);
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_salt_changes_every_key_except_tracking() {
+        let a = derive_keys(7, 42, 0);
+        let b = derive_keys(7, 42, 1);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            if StageId::ALL[i] == StageId::Tracking {
+                // Tracking reads no sim artifact (its dependency list
+                // is empty), so a world-epoch change must NOT
+                // invalidate its cached analysis.
+                assert_eq!(x, y);
+            } else {
+                assert_ne!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn seed_and_config_change_every_key() {
+        let base = derive_keys(7, 42, 0);
+        for other in [derive_keys(8, 42, 0), derive_keys(7, 43, 0)] {
+            for (x, y) in base.iter().zip(&other) {
+                assert_ne!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn derivation_is_stable() {
+        assert_eq!(derive_keys(7, 42, 0), derive_keys(7, 42, 0));
+    }
+
+    #[test]
+    fn memory_cache_counts_and_evicts_in_insert_order() {
+        let cache = MemoryCache::new(2);
+        let keys = derive_keys(1, 2, 3);
+        assert!(cache.lookup(keys[0]).is_none());
+        cache.insert(keys[0], dummy(0));
+        cache.insert(keys[1], dummy(1));
+        assert!(cache.lookup(keys[0]).is_some());
+        cache.insert(keys[2], dummy(2)); // evicts keys[0]
+        assert!(!cache.peek(keys[0]));
+        assert!(cache.peek(keys[1]) && cache.peek(keys[2]));
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses), (1, 1));
+        assert_eq!(c.insertions, 3);
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.entries, 2);
+    }
+
+    #[test]
+    fn peek_does_not_touch_counters() {
+        let cache = MemoryCache::new(2);
+        let keys = derive_keys(1, 2, 3);
+        assert!(!cache.peek(keys[0]));
+        cache.insert(keys[0], dummy(0));
+        assert!(cache.peek(keys[0]));
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses), (0, 0));
+    }
+
+    #[test]
+    fn reinsert_same_key_does_not_grow_order() {
+        let cache = MemoryCache::new(2);
+        let keys = derive_keys(1, 2, 3);
+        cache.insert(keys[0], dummy(0));
+        cache.insert(keys[0], dummy(0));
+        cache.insert(keys[1], dummy(1));
+        assert!(cache.peek(keys[0]) && cache.peek(keys[1]));
+        assert_eq!(cache.counters().entries, 2);
+        assert_eq!(cache.counters().evictions, 0);
+    }
+}

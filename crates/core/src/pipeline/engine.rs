@@ -44,7 +44,7 @@
 
 use std::collections::BTreeSet;
 use std::panic::{self, AssertUnwindSafe};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use obs::{EventKind, Span, SpanRecorder, Trace, TraceEvent};
 use onion_crypto::onion::OnionAddress;
@@ -66,6 +66,8 @@ use hs_world::{GeoDb, World, WorldConfig};
 use super::artifacts::{
     ArtifactStore, DeanonReport, DeanonWindowOut, PopularityOut, TrackingReport,
 };
+use super::cache::{derive_keys, CacheKey};
+use super::control::{Halt, RunControl};
 use super::seeds::{stage_seed, SeedDomain};
 use super::stage::{StageId, StageKind};
 use super::timing::{DegradedStage, PipelineTimings, StageTiming};
@@ -144,6 +146,10 @@ pub struct PipelineRun {
     pub artifacts: ArtifactStore,
     /// What ran, how long it took, and what was skipped.
     pub timings: PipelineTimings,
+    /// Why a controlled run stopped early, if it did. Always `None`
+    /// for uncontrolled (batch) runs; the abandoned stages are in
+    /// [`PipelineTimings::halted`].
+    pub halt: Option<Halt>,
     /// The span trace, when [`RunOptions::trace`] was set.
     pub trace: Option<Trace>,
 }
@@ -175,6 +181,29 @@ fn retry_budget(stage: StageId) -> u32 {
         StageKind::Sim => 1,
         StageKind::Analysis => 2,
     }
+}
+
+/// Sim-clock seconds to back off after `attempt` of `stage` failed:
+/// exponential base (30 s doubled per failed attempt, capped) with a
+/// deterministic ±50 % jitter drawn from the dedicated `Backoff` seed
+/// domain. A pure function of `(seed, stage, attempt)`, so same-seed
+/// runs record byte-identical backoff schedules regardless of wall
+/// time, thread count, or which attempt actually recovered.
+fn backoff_secs(seed: u64, stage: StageId, attempt: u32) -> u64 {
+    let base = 30u64 << (attempt - 1).min(6);
+    let roll = wave::mix2(
+        stage_seed(seed, SeedDomain::Backoff),
+        wave::mix2(stage as u64, u64::from(attempt)),
+    );
+    base / 2 + roll % base
+}
+
+/// The wall-clock pause that accompanies a sim-clock backoff. The sim
+/// schedule is the deterministic record; the wall pause only yields
+/// the CPU briefly so a transiently overloaded host can recover, and
+/// is capped so retries never stall a test run.
+fn backoff_pause(secs: u64) {
+    std::thread::sleep(Duration::from_millis(secs.min(20)));
 }
 
 /// Chaos hook: the configured failure for `stage` at `attempt`, if
@@ -318,6 +347,8 @@ struct AnalysisMeta {
     wall: (u64, u64),
     /// Attempts consumed (for retry events).
     attempts: u32,
+    /// Sim-clock backoff that followed each failed attempt.
+    backoffs: Vec<u64>,
     /// Measurement-wave accounting (crawl only, for shard spans).
     waves: Vec<WaveStats>,
 }
@@ -339,9 +370,37 @@ impl Pipeline {
     /// [`PipelineTimings::degraded`]) instead of aborting the run.
     /// `opts` controls span tracing and the stderr event stream.
     pub fn run_with(&self, targets: &[StageId], mode: ExecMode, opts: RunOptions) -> PipelineRun {
+        self.run_controlled(targets, mode, opts, &RunControl::default())
+    }
+
+    /// [`Pipeline::run_with`] under a query's [`RunControl`]: the
+    /// cancellation token and deadline budgets are consulted at every
+    /// stage-attempt boundary (before each stage, before each retry,
+    /// before the analysis dispatch), and — when the control carries a
+    /// cache — every stage first probes the content-addressed cache
+    /// and deposits its output there on completion. Stages abandoned
+    /// by an exhausted budget land in [`PipelineTimings::halted`] and
+    /// the returned run's `halt` names the reason; everything that
+    /// completed before the halt keeps its artifacts.
+    pub fn run_controlled(
+        &self,
+        targets: &[StageId],
+        mode: ExecMode,
+        opts: RunOptions,
+        ctl: &RunControl,
+    ) -> PipelineRun {
         let epoch = Instant::now();
         let log = opts.log;
         let plan = StageId::closure(targets);
+        // Cache keys are fixed for the whole run: stage identity, root
+        // seed, the full config fingerprint, upstream keys, and the
+        // caller's epoch salt (folded into `Setup`, chained onward).
+        let keys: Option<[CacheKey; 9]> = ctl
+            .cache
+            .as_ref()
+            .map(|_| derive_keys(self.cfg.seed, self.cfg.fingerprint(), ctl.epoch_salt));
+        let mut sim_hours_used: u64 = 0;
+        let mut halt: Option<Halt> = None;
         log.progress(format_args!(
             "pipeline: {} stage(s) planned ({mode:?})",
             plan.len()
@@ -355,6 +414,7 @@ impl Pipeline {
                 .filter(|s| !plan.contains(s))
                 .collect(),
             degraded: Vec::new(),
+            halted: Vec::new(),
             elapsed: Default::default(),
         };
         let mut failed: BTreeSet<StageId> = BTreeSet::new();
@@ -367,6 +427,40 @@ impl Pipeline {
 
         // Sim prefix: strictly sequential, canonical order.
         for &stage in plan.iter().filter(|s| s.kind() == StageKind::Sim) {
+            // Stage boundary: once any budget trips, the halt latches
+            // and the rest of the plan is abandoned (never degraded —
+            // the stages did not fail, the query ran out of budget).
+            if halt.is_none() {
+                halt = ctl.check(sim_hours_used);
+                if let Some(h) = halt {
+                    log.progress(format_args!("pipeline: halting before {stage} ({h})"));
+                }
+            }
+            if halt.is_some() {
+                timings.halted.push(stage);
+                continue;
+            }
+            // Content-addressed cache probe: a hit installs the cached
+            // payload exactly as if the stage had run, advancing zero
+            // sim hours and consuming no randomness.
+            if let (Some(cache), Some(keys)) = (ctl.cache.as_deref(), keys.as_ref()) {
+                if let Some(payload) = cache.lookup(keys[stage as usize]) {
+                    let started = Instant::now();
+                    store.install(&payload);
+                    let mut reg = obs::Registry::new();
+                    reg.inc("stage_cache_hit", 1);
+                    log.progress(format_args!("stage {stage}: served from cache"));
+                    if opts.trace {
+                        recorders.push((stage, cache_hit_recorder(sim_hi)));
+                    }
+                    timings.executed.push(StageTiming::from_registry(
+                        stage,
+                        started.elapsed(),
+                        reg,
+                    ));
+                    continue;
+                }
+            }
             if let Some(&dep) = stage.deps().iter().find(|d| failed.contains(d)) {
                 log.progress(format_args!(
                     "stage {stage}: skipped, dependency `{dep}` degraded"
@@ -387,6 +481,7 @@ impl Pipeline {
             let wall_start = epoch.elapsed().as_micros() as u64;
             let budget = retry_budget(stage);
             let mut attempts = 0u32;
+            let mut backoffs: Vec<u64> = Vec::new();
             let outcome = loop {
                 attempts += 1;
                 let mut sobs = StageObs::new(opts.trace);
@@ -407,9 +502,23 @@ impl Pipeline {
                 match result {
                     Ok(()) => break Ok(sobs),
                     Err(err) if attempts < budget => {
+                        // Retry boundary: an exhausted budget stops
+                        // the retry here — the stage degrades with its
+                        // error, and the next stage boundary halts the
+                        // remainder of the plan.
+                        if halt.is_none() {
+                            halt = ctl.check(sim_hours_used);
+                        }
+                        if halt.is_some() {
+                            break Err(err);
+                        }
+                        let wait = backoff_secs(self.cfg.seed, stage, attempts);
                         log.debug(format_args!(
-                            "stage {stage}: attempt {attempts} failed ({err}); retrying"
+                            "stage {stage}: attempt {attempts} failed ({err}); \
+                             retrying after {wait} s sim-clock backoff"
                         ));
+                        backoffs.push(wait);
+                        backoff_pause(wait);
                         continue;
                     }
                     Err(err) => break Err(err),
@@ -419,6 +528,13 @@ impl Pipeline {
                 Ok(mut sobs) => {
                     if attempts > 1 {
                         sobs.reg.inc("retries", u64::from(attempts - 1));
+                        sobs.reg
+                            .inc("stage_backoff_secs", backoffs.iter().sum::<u64>());
+                    }
+                    // Budget accounting: the simulated hours this
+                    // stage actually advanced its timeline.
+                    if let Some((s, e)) = sobs.sim {
+                        sim_hours_used += e.saturating_sub(s) / HOUR;
                     }
                     let wall_end = epoch.elapsed().as_micros() as u64;
                     let timing = StageTiming::from_registry(stage, started.elapsed(), sobs.reg);
@@ -437,6 +553,7 @@ impl Pipeline {
                                 sim,
                                 (wall_start, wall_end),
                                 attempts,
+                                &backoffs,
                                 &timing,
                                 &sobs.rounds,
                                 &sobs.ops,
@@ -446,6 +563,11 @@ impl Pipeline {
                         ));
                     }
                     timings.executed.push(timing);
+                    if let (Some(cache), Some(keys)) = (ctl.cache.as_deref(), keys.as_ref()) {
+                        if let Some(payload) = store.extract(stage) {
+                            cache.insert(keys[stage as usize], payload);
+                        }
+                    }
                 }
                 Err(error) => {
                     log.progress(format_args!(
@@ -468,9 +590,39 @@ impl Pipeline {
         let frontier = sim_hi;
 
         // Analysis wave: pure functions of the sim artifacts. Stages
-        // whose dependency already degraded never launch.
+        // whose dependency already degraded never launch; a halted
+        // budget abandons the remainder before dispatch (the analysis
+        // dispatch is itself a stage-attempt boundary).
         let mut runnable: Vec<StageId> = Vec::new();
         for &stage in plan.iter().filter(|s| s.kind() == StageKind::Analysis) {
+            if halt.is_none() {
+                halt = ctl.check(sim_hours_used);
+                if let Some(h) = halt {
+                    log.progress(format_args!("pipeline: halting before {stage} ({h})"));
+                }
+            }
+            if halt.is_some() {
+                timings.halted.push(stage);
+                continue;
+            }
+            if let (Some(cache), Some(keys)) = (ctl.cache.as_deref(), keys.as_ref()) {
+                if let Some(payload) = cache.lookup(keys[stage as usize]) {
+                    let started = Instant::now();
+                    store.install(&payload);
+                    let mut reg = obs::Registry::new();
+                    reg.inc("stage_cache_hit", 1);
+                    log.progress(format_args!("stage {stage}: served from cache"));
+                    if opts.trace {
+                        recorders.push((stage, cache_hit_recorder(sim_hi)));
+                    }
+                    timings.executed.push(StageTiming::from_registry(
+                        stage,
+                        started.elapsed(),
+                        reg,
+                    ));
+                    continue;
+                }
+            }
             if let Some(&dep) = stage.deps().iter().find(|d| failed.contains(d)) {
                 log.progress(format_args!(
                     "stage {stage}: skipped, dependency `{dep}` degraded"
@@ -498,7 +650,7 @@ impl Pipeline {
         let mut results: Vec<AnalysisResult> = match mode {
             ExecMode::Sequential { .. } => runnable
                 .iter()
-                .map(|&stage| run_analysis(stage, &self.cfg, &store, epoch, log, wave_threads))
+                .map(|&stage| run_analysis(stage, &self.cfg, &store, epoch, log, wave_threads, ctl))
                 .collect(),
             ExecMode::Parallel { .. } => {
                 let cfg = &self.cfg;
@@ -510,7 +662,7 @@ impl Pipeline {
                             (
                                 stage,
                                 scope.spawn(move |_| {
-                                    run_analysis(stage, cfg, shared, epoch, log, wave_threads)
+                                    run_analysis(stage, cfg, shared, epoch, log, wave_threads, ctl)
                                 }),
                             )
                         })
@@ -542,6 +694,11 @@ impl Pipeline {
                         AnalysisOut::Popularity(v) => store.popularity = Some(*v),
                         AnalysisOut::Tracking(v) => store.tracking = Some(v),
                     }
+                    if let (Some(cache), Some(keys)) = (ctl.cache.as_deref(), keys.as_ref()) {
+                        if let Some(payload) = store.extract(r.stage) {
+                            cache.insert(keys[r.stage as usize], payload);
+                        }
+                    }
                     if opts.trace {
                         let sim = (frontier, frontier + meta.weight);
                         sim_lo = sim_lo.min(sim.0);
@@ -570,6 +727,7 @@ impl Pipeline {
             }
         }
         timings.degraded.sort_by_key(|d| d.stage);
+        timings.halted.sort();
         timings.elapsed = epoch.elapsed();
         log.progress(format_args!(
             "pipeline: {} executed, {} degraded, {:.1} ms elapsed",
@@ -592,6 +750,7 @@ impl Pipeline {
         PipelineRun {
             artifacts: store,
             timings,
+            halt,
             trace,
         }
     }
@@ -913,6 +1072,7 @@ fn sim_stage_recorder(
     sim: (u64, u64),
     wall: (u64, u64),
     attempts: u32,
+    backoffs: &[u64],
     timing: &StageTiming,
     rounds: &[RoundTrace],
     ops: &[OpSpan],
@@ -928,7 +1088,7 @@ fn sim_stage_recorder(
         wall_us: Some(wall),
         args: timing.counters.clone(),
     });
-    push_attempts(&mut rec, sim, Some(wall), attempts);
+    push_attempts(&mut rec, sim, Some(wall), attempts, backoffs);
     for r in rounds {
         rec.span(Span {
             name: "round".to_owned(),
@@ -997,15 +1157,28 @@ fn analysis_stage_recorder(
         wall_us: Some(meta.wall),
         args: timing.counters.clone(),
     });
-    push_attempts(&mut rec, sim, Some(meta.wall), meta.attempts);
+    push_attempts(
+        &mut rec,
+        sim,
+        Some(meta.wall),
+        meta.attempts,
+        &meta.backoffs,
+    );
     push_shard_spans(&mut rec, sim.1, &meta.waves, epoch);
     rec
 }
 
-/// Appends one span per attempt plus a retry event per failed attempt.
-/// Failed attempts render as zero-width spans at the stage's sim start
-/// (their work was discarded); the final attempt spans the full stage.
-fn push_attempts(rec: &mut SpanRecorder, sim: (u64, u64), wall: Option<(u64, u64)>, attempts: u32) {
+/// Appends one span per attempt plus a retry event per failed attempt
+/// (carrying the sim-clock backoff that followed it). Failed attempts
+/// render as zero-width spans at the stage's sim start (their work was
+/// discarded); the final attempt spans the full stage.
+fn push_attempts(
+    rec: &mut SpanRecorder,
+    sim: (u64, u64),
+    wall: Option<(u64, u64)>,
+    attempts: u32,
+    backoffs: &[u64],
+) {
     for a in 1..attempts {
         rec.span(Span {
             name: format!("attempt {a}"),
@@ -1015,11 +1188,15 @@ fn push_attempts(rec: &mut SpanRecorder, sim: (u64, u64), wall: Option<(u64, u64
             wall_us: None,
             args: Vec::new(),
         });
+        let mut args = vec![("failed_attempt", u64::from(a))];
+        if let Some(&wait) = backoffs.get(a as usize - 1) {
+            args.push(("backoff_secs", wait));
+        }
         rec.event(TraceEvent {
             kind: EventKind::Retry,
             sim_at: sim.0,
             wall_us: None,
-            args: vec![("failed_attempt", u64::from(a))],
+            args,
         });
     }
     rec.span(Span {
@@ -1052,6 +1229,19 @@ fn push_shard_spans(rec: &mut SpanRecorder, sim_end: u64, waves: &[WaveStats], e
             });
         }
     }
+}
+
+/// The trace lane for a stage served from the content-addressed cache:
+/// a single cache event, since the stage body never ran.
+fn cache_hit_recorder(sim_at: u64) -> SpanRecorder {
+    let mut rec = SpanRecorder::new();
+    rec.event(TraceEvent {
+        kind: EventKind::Cache,
+        sim_at,
+        wall_us: None,
+        args: vec![("stage_cache_hit", 1)],
+    });
+    rec
 }
 
 /// The trace lane for a stage that degraded (or never ran because a
@@ -1108,6 +1298,10 @@ struct AnalysisResult {
 
 /// Executes one analysis stage against the (read-only) store, with
 /// panic containment, chaos injection, and the stage retry budget.
+/// The query's [`RunControl`] is consulted at each retry boundary: an
+/// exhausted budget stops the retry and degrades the stage with its
+/// last error.
+#[allow(clippy::too_many_arguments)]
 fn run_analysis(
     stage: StageId,
     cfg: &StudyConfig,
@@ -1115,11 +1309,13 @@ fn run_analysis(
     epoch: Instant,
     log: obs::Logger,
     wave_threads: usize,
+    ctl: &RunControl,
 ) -> AnalysisResult {
     let started = Instant::now();
     let wall_start = epoch.elapsed().as_micros() as u64;
     let budget = retry_budget(stage);
     let mut attempts = 0u32;
+    let mut backoffs: Vec<u64> = Vec::new();
     loop {
         attempts += 1;
         let result = match injected_failure(cfg, stage, attempts) {
@@ -1133,6 +1329,7 @@ fn run_analysis(
             Ok((mut reg, out, weight, waves)) => {
                 if attempts > 1 {
                     reg.inc("retries", u64::from(attempts - 1));
+                    reg.inc("stage_backoff_secs", backoffs.iter().sum::<u64>());
                 }
                 if let Some(w) = waves.first() {
                     reg.gauge("wave.threads", w.threads as f64);
@@ -1151,6 +1348,7 @@ fn run_analysis(
                     weight,
                     wall: (wall_start, epoch.elapsed().as_micros() as u64),
                     attempts,
+                    backoffs,
                     waves,
                 };
                 return AnalysisResult {
@@ -1159,9 +1357,22 @@ fn run_analysis(
                 };
             }
             Err(err) if attempts < budget => {
+                // Retry boundary: give up on an exhausted budget
+                // (analysis stages advance zero sim hours, so only
+                // cancellation and the wall deadline can trip here).
+                if ctl.check(0).is_some() {
+                    return AnalysisResult {
+                        stage,
+                        outcome: Err((err, attempts)),
+                    };
+                }
+                let wait = backoff_secs(cfg.seed, stage, attempts);
                 log.debug(format_args!(
-                    "stage {stage}: attempt {attempts} failed ({err}); retrying"
+                    "stage {stage}: attempt {attempts} failed ({err}); \
+                     retrying after {wait} s sim-clock backoff"
                 ));
+                backoffs.push(wait);
+                backoff_pause(wait);
                 continue;
             }
             Err(err) => {

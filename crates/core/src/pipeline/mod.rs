@@ -28,12 +28,19 @@
 //! shared timeline.
 
 pub mod artifacts;
+pub mod cache;
+pub mod control;
 pub mod engine;
 pub mod seeds;
 pub mod stage;
 pub mod timing;
 
 pub use artifacts::{ArtifactStore, DeanonReport, DeanonWindowOut, PopularityOut, TrackingReport};
+pub use cache::{
+    derive_keys, CacheCounters, CacheKey, HarvestBundle, MemoryCache, SetupBundle, StageCache,
+    StagePayload,
+};
+pub use control::{CancelToken, Halt, RunControl};
 pub use engine::{ExecMode, Pipeline, PipelineRun, RunOptions};
 pub use seeds::{stage_seed, SeedDomain};
 pub use stage::{StageId, StageKind};

@@ -35,6 +35,8 @@ pub enum SeedDomain {
     Scan,
     /// Streaming popularity sketch hashing (count-min / top-k / HLL).
     Sketch,
+    /// Jittered retry backoff between stage attempts.
+    Backoff,
 }
 
 impl SeedDomain {
@@ -49,6 +51,7 @@ impl SeedDomain {
             SeedDomain::Faults => 0xfa17,
             SeedDomain::Scan => 0x5ca7,
             SeedDomain::Sketch => 0x6be7,
+            SeedDomain::Backoff => 0xb0ff,
         }
     }
 }
@@ -76,6 +79,7 @@ mod tests {
         assert_eq!(stage_seed(root, SeedDomain::Faults), root ^ 0xfa17);
         assert_eq!(stage_seed(root, SeedDomain::Scan), root ^ 0x5ca7);
         assert_eq!(stage_seed(root, SeedDomain::Sketch), root ^ 0x6be7);
+        assert_eq!(stage_seed(root, SeedDomain::Backoff), root ^ 0xb0ff);
     }
 
     #[test]
@@ -87,6 +91,7 @@ mod tests {
             stage_seed(root, SeedDomain::Faults),
             stage_seed(root, SeedDomain::Scan),
             stage_seed(root, SeedDomain::Sketch),
+            stage_seed(root, SeedDomain::Backoff),
             stage_seed(root, SeedDomain::World),
         ];
         for (i, a) in seeds.iter().enumerate() {

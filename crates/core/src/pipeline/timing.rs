@@ -105,6 +105,10 @@ pub struct PipelineTimings {
     pub skipped: Vec<StageId>,
     /// Stages that failed and degraded, in canonical [`StageId`] order.
     pub degraded: Vec<DegradedStage>,
+    /// Stages the plan wanted but a controlled run abandoned when its
+    /// budget expired (cancellation, wall deadline, sim budget), in
+    /// canonical order. Always empty for uncontrolled runs.
+    pub halted: Vec<StageId>,
     /// True elapsed wall time of the whole run, measured once around
     /// the pipeline. Distinct from [`PipelineTimings::total_wall`],
     /// which sums per-stage durations and over-counts the parallel
@@ -259,6 +263,19 @@ impl PipelineTimings {
             }
             out.push_str("  ]");
         }
+        // Same gating for the halted section: it only exists for
+        // controlled (daemon) runs that actually ran out of budget, so
+        // batch-mode JSON never changes shape.
+        if !self.halted.is_empty() {
+            out.push_str(",\n  \"halted\": [");
+            for (i, s) in self.halted.iter().enumerate() {
+                let _ = write!(out, "\"{s}\"");
+                if i + 1 < self.halted.len() {
+                    out.push_str(", ");
+                }
+            }
+            out.push(']');
+        }
         out.push_str("\n}\n");
         out
     }
@@ -291,6 +308,7 @@ mod tests {
             ],
             skipped: vec![StageId::DeanonWindow, StageId::Tracking],
             degraded: Vec::new(),
+            halted: Vec::new(),
             elapsed: Duration::from_millis(15),
         }
     }
@@ -367,6 +385,17 @@ mod tests {
         // No degraded stages → no degraded section, preserving the
         // historical layout byte-for-byte.
         assert!(!json.contains("degraded"));
+        // Same for the halted section.
+        assert!(!json.contains("halted"));
+    }
+
+    #[test]
+    fn halted_section_appears_only_when_nonempty() {
+        let mut t = sample();
+        t.halted = vec![StageId::PortScan, StageId::Certs];
+        let json = t.to_json();
+        assert!(json.contains("\"halted\": [\"port_scan\", \"certs\"]"));
+        obs::trace::validate_json(&json).expect("halted JSON parses");
     }
 
     #[test]

@@ -135,6 +135,61 @@ impl StudyConfig {
         }
     }
 
+    /// A deterministic 64-bit fingerprint of every field that can
+    /// change an artifact byte. The content-addressed stage cache
+    /// folds it into every cache key, so two queries share cached
+    /// artifacts only when their *entire* configuration matches — any
+    /// tweak (scale, fault rates, chaos hooks, sketch parameters)
+    /// yields a disjoint key space. The root seed is deliberately
+    /// included even though keys also fold it separately: the
+    /// fingerprint must stand alone as a config identity for `STATUS`
+    /// output.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0x5374_7564_7943_6667; // "StudyCfg"
+        let mut fold = |v: u64| h = wave::mix2(h, v);
+        fold(self.seed);
+        fold(self.scale.to_bits());
+        fold(self.relays as u64);
+        fold(self.harvest.fleet.ips as u64);
+        fold(self.harvest.fleet.relays_per_ip as u64);
+        fold(self.harvest.fleet.bandwidth);
+        fold(self.harvest.warmup_hours);
+        fold(self.harvest.rotation_hours);
+        fold(self.scan_days as u64);
+        fold(self.traffic_clients as u64);
+        fold(u64::from(self.deanon.guards));
+        fold(self.deanon.guard_bandwidth);
+        fold(self.deanon.signature.padding_run as u64);
+        fold(self.deanon_hours);
+        fold(u64::from(self.run_tracking));
+        fold(self.faults.relay_crash_rate.to_bits());
+        fold(self.faults.restart_after_hours);
+        fold(self.faults.hsdir_drop_rate.to_bits());
+        fold(self.faults.publish_drop_rate.to_bits());
+        fold(self.faults.service_flap_rate.to_bits());
+        fold(u64::from(self.faults.overload_threshold));
+        fold(self.faults.crawl_transient_rate.to_bits());
+        fold(self.fail_stages.len() as u64);
+        for &s in &self.fail_stages {
+            fold(s as u64);
+        }
+        fold(self.flaky_stages.len() as u64);
+        for &s in &self.flaky_stages {
+            fold(s as u64);
+        }
+        match &self.streaming {
+            None => fold(0),
+            Some(s) => {
+                fold(1);
+                fold(s.cms_width as u64);
+                fold(s.cms_depth as u64);
+                fold(s.topk_capacity as u64);
+                fold(u64::from(s.hll_precision));
+            }
+        }
+        h
+    }
+
     /// Applies a named fault profile.
     ///
     /// * `"none"` — the inert plan and no chaos (the default);

@@ -1,0 +1,92 @@
+//! A small blocking client for the `landscaped` protocol.
+//!
+//! Knows the reply shapes: single-line commands, multi-line replies
+//! terminated by a lone `.`, and `RUN_UNTIL`'s two-phase
+//! `RUNNING id=<n>` + terminal line.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// One protocol connection.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects once.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Connects with retries, for racing a daemon that is still
+    /// binding its socket.
+    pub fn connect_retry<A: ToSocketAddrs + Copy>(addr: A, budget: Duration) -> io::Result<Self> {
+        let deadline = Instant::now() + budget;
+        loop {
+            match Self::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+
+    /// Sends one raw request line (no newline).
+    pub fn send(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads one reply line, newline stripped.
+    pub fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Sends a request and collects its complete reply according to
+    /// the protocol's framing:
+    ///
+    /// * `OK STATUS` / `OK METRICS` / `OK GET …` — read until `.`
+    ///   (terminator included in the returned lines);
+    /// * `RUNNING id=<n>` — one more (terminal) line follows;
+    /// * anything else — single line.
+    pub fn request(&mut self, line: &str) -> io::Result<Vec<String>> {
+        self.send(line)?;
+        let first = self.read_line()?;
+        let mut reply = vec![first];
+        let head = reply[0].clone();
+        if head == "OK STATUS" || head == "OK METRICS" || head.starts_with("OK GET ") {
+            loop {
+                let line = self.read_line()?;
+                let done = line == ".";
+                reply.push(line);
+                if done {
+                    break;
+                }
+            }
+        } else if head.starts_with("RUNNING id=") {
+            reply.push(self.read_line()?);
+        }
+        Ok(reply)
+    }
+}

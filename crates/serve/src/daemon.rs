@@ -1,0 +1,615 @@
+//! The resident daemon: one simulated world, many concurrent queries.
+//!
+//! # Query lifecycle
+//!
+//! ```text
+//!            RUN_UNTIL line
+//!                 │
+//!         admission control ──────────────▶ BUSY (shed, typed)
+//!                 │ inflight < max
+//!            RUNNING id=<n>          (flushed before work starts)
+//!                 │
+//!        run_controlled(closure)     cancel / deadline checked at
+//!                 │                  every stage-attempt boundary
+//!     ┌───────────┼───────────────┐
+//!     ▼           ▼               ▼
+//!  OK RUN     PARTIAL RUN      PARTIAL RUN
+//!             halt=<reason>    degraded=<stages>
+//! ```
+//!
+//! Every terminal reply carries `world=<hex>`: the state-hash of the
+//! epoch's resident network, recomputed *after* the query. Because
+//! queries only read the world through immutable cached payloads, the
+//! hash is identical before and after any query — including one that
+//! was cancelled, shed, timed out, or whose stage panicked — and the
+//! test suite pins exactly that.
+//!
+//! # Epochs
+//!
+//! The resident world is the `Setup` payload in the recompute cache,
+//! keyed by an epoch salt. `TICK` clones the network, advances
+//! simulated time, and publishes the result under the *next* epoch's
+//! salt; in-flight queries admitted under the old epoch keep reading
+//! the old payload untouched (snapshot isolation by construction).
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hs_landscape::pipeline::{derive_keys, CacheKey};
+use hs_landscape::{
+    CancelToken, ExecMode, MemoryCache, PipelineRun, RunControl, RunOptions, StageCache, StageId,
+    StagePayload, StudyConfig,
+};
+use wave::mix2;
+
+use crate::protocol::{parse_request, LineReader, Request, Target};
+
+/// Seed-domain tag for epoch salts: `mix2(EPOCH_TAG, epoch_id)`.
+const EPOCH_TAG: u64 = 0x6570_6f63_6873_616c;
+
+/// How the daemon is provisioned.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Bind address; port 0 asks the OS for a free port.
+    pub addr: String,
+    /// The study every query runs against (seed, scale, faults).
+    pub study: StudyConfig,
+    /// Threads for each query's analysis wave.
+    pub wave_threads: usize,
+    /// Queries allowed to run concurrently before shedding `BUSY`.
+    pub max_inflight: usize,
+    /// Default wall-clock budget applied when a query names none.
+    pub default_wall_ms: Option<u64>,
+    /// Default sim-hours budget applied when a query names none.
+    pub default_sim_hours: Option<u64>,
+    /// Recompute-cache capacity, in payloads.
+    pub cache_capacity: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            study: StudyConfig::test_scale(),
+            wave_threads: 2,
+            max_inflight: 4,
+            default_wall_ms: None,
+            default_sim_hours: None,
+            cache_capacity: 32,
+        }
+    }
+}
+
+/// One published world version. Immutable once installed; `TICK`
+/// replaces the whole struct.
+#[derive(Clone, Copy, Debug)]
+struct Epoch {
+    id: u64,
+    salt: u64,
+    sim_time_unix: u64,
+    world_hash: u64,
+}
+
+/// Monotonic daemon counters, exported through `METRICS`.
+#[derive(Debug, Default)]
+struct Counters {
+    started: AtomicU64,
+    completed: AtomicU64,
+    partial: AtomicU64,
+    busy: AtomicU64,
+    cancelled: AtomicU64,
+    ticks: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// State shared by every connection thread.
+#[derive(Debug)]
+struct Shared {
+    cfg: DaemonConfig,
+    pipeline: hs_landscape::pipeline::Pipeline,
+    cache: Arc<MemoryCache>,
+    epoch: Mutex<Epoch>,
+    inflight: AtomicUsize,
+    next_id: AtomicU64,
+    queries: Mutex<HashMap<u64, CancelToken>>,
+    counters: Counters,
+    stop: AtomicBool,
+}
+
+/// A bound, bootstrapped daemon ready to serve.
+#[derive(Debug)]
+pub struct Daemon {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Handle to a daemon running on a background thread.
+#[derive(Debug)]
+pub struct DaemonHandle {
+    addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    join: Option<thread::JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The daemon's bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Asks the serve loop to stop and joins it.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Poison-tolerant lock: the daemon's shared maps stay usable even if
+/// a connection thread panicked while holding one.
+fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Daemon {
+    /// Binds the listener and bootstraps epoch 0: one controlled
+    /// `Setup` run deposits the resident world into the cache.
+    pub fn bind(cfg: DaemonConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let pipeline = hs_landscape::pipeline::Pipeline::new(cfg.study.clone());
+        let cache = Arc::new(MemoryCache::new(cfg.cache_capacity));
+        let salt = mix2(EPOCH_TAG, 0);
+        let ctl = RunControl {
+            cache: Some(cache.clone() as Arc<dyn StageCache>),
+            epoch_salt: salt,
+            ..RunControl::default()
+        };
+        let run = pipeline.run_controlled(
+            &[StageId::Setup],
+            ExecMode::sequential(),
+            RunOptions::default(),
+            &ctl,
+        );
+        let (sim_time_unix, world_hash) = match run.artifacts.extract(StageId::Setup) {
+            Some(StagePayload::Setup(bundle)) => {
+                (bundle.net.time().unix(), bundle.net.state_hash())
+            }
+            _ => {
+                return Err(io::Error::other(
+                    "bootstrap failed: setup produced no artifact",
+                ))
+            }
+        };
+        let shared = Arc::new(Shared {
+            pipeline,
+            cache,
+            epoch: Mutex::new(Epoch {
+                id: 0,
+                salt,
+                sim_time_unix,
+                world_hash,
+            }),
+            inflight: AtomicUsize::new(0),
+            next_id: AtomicU64::new(0),
+            queries: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+            stop: AtomicBool::new(false),
+            cfg,
+        });
+        Ok(Daemon { listener, shared })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until `SHUTDOWN` arrives. Each connection gets its own
+    /// thread; a connection thread that panics takes down only its
+    /// connection.
+    pub fn run(self) -> io::Result<()> {
+        let Daemon { listener, shared } = self;
+        loop {
+            if shared.stop.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = shared.clone();
+                    thread::spawn(move || serve_connection(stream, &shared));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Runs the serve loop on a background thread and returns a handle
+    /// that shuts it down on drop.
+    pub fn spawn(self) -> io::Result<DaemonHandle> {
+        let addr = self.local_addr()?;
+        let shared = self.shared.clone();
+        let join = thread::spawn(move || {
+            let _ = self.run();
+        });
+        Ok(DaemonHandle {
+            addr,
+            shared,
+            join: Some(join),
+        })
+    }
+}
+
+/// Drives one client connection to EOF or `SHUTDOWN`.
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = LineReader::new(BufReader::new(read_half));
+    let mut writer = stream;
+    loop {
+        let line = match reader.next_line() {
+            Ok(Some(Ok(line))) => line,
+            Ok(Some(Err(err))) => {
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                if writeln!(writer, "{}", err.reply()).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Ok(None) | Err(_) => return,
+        };
+        let request = match parse_request(&line) {
+            Ok(req) => req,
+            Err(err) => {
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                if writeln!(writer, "{}", err.reply()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let done = matches!(request, Request::Shutdown);
+        if handle_request(request, shared, &mut writer).is_err() {
+            return;
+        }
+        if done {
+            shared.stop.store(true, Ordering::Release);
+            return;
+        }
+    }
+}
+
+/// Executes one parsed request and writes its reply.
+fn handle_request(request: Request, shared: &Shared, w: &mut TcpStream) -> io::Result<()> {
+    match request {
+        Request::Ping => writeln!(w, "OK PONG"),
+        Request::Shutdown => writeln!(w, "OK BYE"),
+        Request::Status => reply_status(shared, w),
+        Request::Metrics => reply_metrics(shared, w),
+        Request::Get { stage } => reply_get(stage, shared, w),
+        Request::Cancel { id } => reply_cancel(id, shared, w),
+        Request::Tick { hours } => reply_tick(hours, shared, w),
+        Request::RunUntil {
+            target,
+            wall_ms,
+            sim_hours,
+        } => reply_run(target, wall_ms, sim_hours, shared, w),
+    }
+}
+
+fn reply_status(shared: &Shared, w: &mut TcpStream) -> io::Result<()> {
+    let epoch = *locked(&shared.epoch);
+    writeln!(w, "OK STATUS")?;
+    writeln!(w, "epoch={}", epoch.id)?;
+    writeln!(w, "world={:016x}", epoch.world_hash)?;
+    writeln!(w, "sim_time={}", epoch.sim_time_unix)?;
+    writeln!(w, "inflight={}", shared.inflight.load(Ordering::Acquire))?;
+    writeln!(w, "max_inflight={}", shared.cfg.max_inflight)?;
+    writeln!(w, "fingerprint={:016x}", shared.cfg.study.fingerprint())?;
+    writeln!(w, ".")
+}
+
+fn reply_metrics(shared: &Shared, w: &mut TcpStream) -> io::Result<()> {
+    let cache = shared.cache.counters();
+    let c = &shared.counters;
+    writeln!(w, "OK METRICS")?;
+    writeln!(w, "cache.hits={}", cache.hits)?;
+    writeln!(w, "cache.misses={}", cache.misses)?;
+    writeln!(w, "cache.insertions={}", cache.insertions)?;
+    writeln!(w, "cache.evictions={}", cache.evictions)?;
+    writeln!(w, "cache.entries={}", cache.entries)?;
+    writeln!(w, "queries.started={}", c.started.load(Ordering::Relaxed))?;
+    writeln!(
+        w,
+        "queries.completed={}",
+        c.completed.load(Ordering::Relaxed)
+    )?;
+    writeln!(w, "queries.partial={}", c.partial.load(Ordering::Relaxed))?;
+    writeln!(w, "queries.busy={}", c.busy.load(Ordering::Relaxed))?;
+    writeln!(
+        w,
+        "queries.cancelled={}",
+        c.cancelled.load(Ordering::Relaxed)
+    )?;
+    writeln!(w, "ticks={}", c.ticks.load(Ordering::Relaxed))?;
+    writeln!(
+        w,
+        "protocol.errors={}",
+        c.protocol_errors.load(Ordering::Relaxed)
+    )?;
+    writeln!(w, ".")
+}
+
+/// The current epoch's cache keys, one per stage.
+fn epoch_keys(shared: &Shared, salt: u64) -> [CacheKey; 9] {
+    derive_keys(shared.cfg.study.seed, shared.cfg.study.fingerprint(), salt)
+}
+
+fn reply_get(stage: StageId, shared: &Shared, w: &mut TcpStream) -> io::Result<()> {
+    let epoch = *locked(&shared.epoch);
+    let keys = epoch_keys(shared, epoch.salt);
+    // `fetch_uncounted`: a read-only artifact query must not skew the
+    // recompute cache's hit/miss statistics.
+    match shared.cache.fetch_uncounted(keys[stage as usize]) {
+        Some(payload) => {
+            writeln!(w, "OK GET {stage}")?;
+            for line in summarize(&payload) {
+                writeln!(w, "{line}")?;
+            }
+            writeln!(w, ".")
+        }
+        None => {
+            // Typed miss instead of an implicit (expensive) recompute:
+            // name the dependency chain the client would have to run.
+            let needs: Vec<&str> = StageId::closure(&[stage])
+                .into_iter()
+                .map(StageId::name)
+                .collect();
+            writeln!(w, "NOT_BUILT {stage} needs={}", needs.join(","))
+        }
+    }
+}
+
+/// Deterministic one-per-line key=value summary of a cached artifact.
+fn summarize(payload: &StagePayload) -> Vec<String> {
+    match payload {
+        StagePayload::Setup(b) => vec![
+            format!("services={}", b.world.services().len()),
+            format!("attacker_guards={}", b.attacker_guards.len()),
+            format!("world={:016x}", b.net.state_hash()),
+        ],
+        StagePayload::Harvest(b) => vec![
+            format!("onions={}", b.harvest.onions.len()),
+            format!("requests={}", b.harvest.requests.len()),
+            format!("waves={}", b.harvest.waves),
+        ],
+        StagePayload::DeanonWindow(o) => {
+            vec![format!("observations={}", o.observations.len())]
+        }
+        StagePayload::PortScan(r) => vec![
+            format!("targets={}", r.targets),
+            format!("with_descriptors={}", r.with_descriptors),
+            format!(
+                "open_ports={}",
+                r.open_by_port.values().map(|&n| u64::from(n)).sum::<u64>()
+            ),
+        ],
+        StagePayload::Geomap(r) => vec![
+            format!("unique_clients={}", r.unique_clients),
+            format!("countries={}", r.geomap.rows().len()),
+        ],
+        StagePayload::Certs(s) => vec![
+            format!("https={}", s.https_destinations),
+            format!("self_signed={}", s.self_signed_mismatch),
+            format!("clearnet_dns={}", s.clearnet_dns),
+        ],
+        StagePayload::Crawl(r) => vec![
+            format!("attempted={}", r.attempted),
+            format!("connected={}", r.connected),
+        ],
+        StagePayload::Popularity(p) => vec![
+            format!("resolved_onions={}", p.resolution.resolved_onions),
+            format!("ranked={}", p.ranking.rows().len()),
+        ],
+        StagePayload::Tracking(t) => vec![format!("years={}", t.years.len())],
+    }
+}
+
+fn reply_cancel(id: u64, shared: &Shared, w: &mut TcpStream) -> io::Result<()> {
+    let token = locked(&shared.queries).get(&id).cloned();
+    match token {
+        Some(token) => {
+            token.cancel();
+            writeln!(w, "OK CANCEL id={id}")
+        }
+        None => writeln!(w, "ERR unknown_query: id={id}"),
+    }
+}
+
+fn reply_tick(hours: u64, shared: &Shared, w: &mut TcpStream) -> io::Result<()> {
+    // Hold the epoch lock across the whole tick so concurrent ticks
+    // serialize; queries admitted meanwhile read the old epoch's
+    // immutable payload, which this never touches.
+    let mut epoch = locked(&shared.epoch);
+    let keys = epoch_keys(shared, epoch.salt);
+    let Some(StagePayload::Setup(bundle)) =
+        shared.cache.fetch_uncounted(keys[StageId::Setup as usize])
+    else {
+        return writeln!(
+            w,
+            "ERR epoch_evicted: epoch {} setup payload no longer cached",
+            epoch.id
+        );
+    };
+    let mut net = bundle.net.clone();
+    net.advance_hours(hours);
+    let next = Epoch {
+        id: epoch.id + 1,
+        salt: mix2(EPOCH_TAG, epoch.id + 1),
+        sim_time_unix: net.time().unix(),
+        world_hash: net.state_hash(),
+    };
+    let next_bundle = hs_landscape::pipeline::SetupBundle {
+        world: bundle.world.clone(),
+        geo: bundle.geo.clone(),
+        attacker_guards: bundle.attacker_guards.clone(),
+        traffic: bundle.traffic.clone(),
+        net,
+    };
+    let next_keys = epoch_keys(shared, next.salt);
+    shared.cache.insert(
+        next_keys[StageId::Setup as usize],
+        StagePayload::Setup(Arc::new(next_bundle)),
+    );
+    *epoch = next;
+    shared.counters.ticks.fetch_add(1, Ordering::Relaxed);
+    writeln!(
+        w,
+        "OK TICK hours={hours} epoch={} sim_time={} world={:016x}",
+        next.id, next.sim_time_unix, next.world_hash
+    )
+}
+
+/// Admission, execution, and the terminal reply for `RUN_UNTIL`.
+fn reply_run(
+    target: Target,
+    wall_ms: Option<u64>,
+    sim_hours: Option<u64>,
+    shared: &Shared,
+    w: &mut TcpStream,
+) -> io::Result<()> {
+    // Admission control: reserve a slot or shed immediately.
+    let mut inflight = shared.inflight.load(Ordering::Acquire);
+    loop {
+        if inflight >= shared.cfg.max_inflight {
+            shared.counters.busy.fetch_add(1, Ordering::Relaxed);
+            return writeln!(
+                w,
+                "BUSY inflight={inflight} max={}",
+                shared.cfg.max_inflight
+            );
+        }
+        match shared.inflight.compare_exchange_weak(
+            inflight,
+            inflight + 1,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => break,
+            Err(actual) => inflight = actual,
+        }
+    }
+
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let token = CancelToken::new();
+    locked(&shared.queries).insert(id, token.clone());
+    shared.counters.started.fetch_add(1, Ordering::Relaxed);
+
+    // Announce the id before doing any work, so a second connection
+    // can CANCEL this query while it runs.
+    let announced = writeln!(w, "RUNNING id={id}").and_then(|()| w.flush());
+
+    let epoch = *locked(&shared.epoch);
+    let wall = wall_ms.or(shared.cfg.default_wall_ms);
+    let ctl = RunControl {
+        cancel: token.clone(),
+        wall_deadline: wall.map(|ms| Instant::now() + Duration::from_millis(ms)),
+        sim_budget_hours: sim_hours.or(shared.cfg.default_sim_hours),
+        cache: Some(shared.cache.clone() as Arc<dyn StageCache>),
+        epoch_salt: epoch.salt,
+    };
+    let mode = ExecMode::sequential().with_wave_threads(shared.cfg.wave_threads);
+    let run = shared
+        .pipeline
+        .run_controlled(&target.stages(), mode, RunOptions::default(), &ctl);
+
+    locked(&shared.queries).remove(&id);
+    shared.inflight.fetch_sub(1, Ordering::AcqRel);
+    announced?;
+
+    // Containment proof: the epoch's resident world, re-hashed after
+    // the query. Immutable payloads make this equal to the pre-query
+    // hash no matter how the query ended.
+    let world_after = match shared
+        .cache
+        .fetch_uncounted(epoch_keys(shared, epoch.salt)[StageId::Setup as usize])
+    {
+        Some(StagePayload::Setup(bundle)) => bundle.net.state_hash(),
+        _ => epoch.world_hash,
+    };
+    write_run_reply(id, &epoch, world_after, &run, shared, w)
+}
+
+fn write_run_reply(
+    id: u64,
+    epoch: &Epoch,
+    world_after: u64,
+    run: &PipelineRun,
+    shared: &Shared,
+    w: &mut TcpStream,
+) -> io::Result<()> {
+    let ran = run.timings.executed.len();
+    let cached = run
+        .timings
+        .executed
+        .iter()
+        .filter(|t| t.counters.iter().any(|&(k, _)| k == "stage_cache_hit"))
+        .count();
+    let tail = format!(
+        "ran={ran} cached={cached} epoch={} world={world_after:016x}",
+        epoch.id
+    );
+    if let Some(halt) = &run.halt {
+        if matches!(halt, hs_landscape::Halt::Cancelled) {
+            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.counters.partial.fetch_add(1, Ordering::Relaxed);
+        return writeln!(
+            w,
+            "PARTIAL RUN id={id} halt={} halted={} {tail}",
+            halt.name(),
+            run.timings.halted.len()
+        );
+    }
+    if !run.timings.degraded.is_empty() {
+        let names: Vec<&str> = run
+            .timings
+            .degraded
+            .iter()
+            .map(|d| d.stage.name())
+            .collect();
+        shared.counters.partial.fetch_add(1, Ordering::Relaxed);
+        return writeln!(w, "PARTIAL RUN id={id} degraded={} {tail}", names.join(","));
+    }
+    shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+    writeln!(w, "OK RUN id={id} {tail}")
+}

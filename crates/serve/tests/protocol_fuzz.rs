@@ -1,0 +1,169 @@
+//! Property tests for the `landscaped` request parser and framing
+//! layer: arbitrary byte soup, truncated frames, oversized lines, and
+//! interleaved valid/malformed requests must never panic, must map to
+//! typed errors, and must leave the connection stream usable.
+
+use std::io::BufReader;
+
+use hs_serve::protocol::{parse_request, LineReader, ProtocolError, Request, MAX_LINE};
+use proptest::prelude::*;
+
+/// Renders a reply the way the daemon would and checks the contract
+/// every error shares: one sanitized `ERR <code>: …` line.
+fn assert_well_formed_error(err: &ProtocolError) {
+    let reply = err.reply();
+    assert!(reply.starts_with("ERR "), "reply {reply:?}");
+    assert!(
+        reply.starts_with(&format!("ERR {}", err.code())),
+        "code mismatch: {reply:?} vs {}",
+        err.code()
+    );
+    assert!(!reply.contains('\n'), "multi-line error reply: {reply:?}");
+    assert!(
+        reply.chars().all(|c| c == ' ' || c.is_ascii_graphic()),
+        "unsanitized error reply: {reply:?}"
+    );
+    assert!(reply.len() <= 200, "oversized error reply: {reply:?}");
+}
+
+/// A printable token soup built from a byte vector, to explore the
+/// parser's argument handling more densely than raw bytes would.
+fn token_soup(bytes: &[u8]) -> String {
+    const WORDS: [&str; 16] = [
+        "PING",
+        "RUN_UNTIL",
+        "GET",
+        "CANCEL",
+        "TICK",
+        "all",
+        "setup",
+        "harvest",
+        "port_scan",
+        "WALL_MS",
+        "SIM_HOURS",
+        "0",
+        "17",
+        "99999999999999999999",
+        "-3",
+        "\u{1b}[31m",
+    ];
+    bytes
+        .iter()
+        .map(|&b| WORDS[usize::from(b) % WORDS.len()])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_arbitrary_utf8(bytes in collection::vec(any::<u8>(), 0..200)) {
+        let line = String::from_utf8_lossy(&bytes);
+        match parse_request(&line) {
+            Ok(_) => {}
+            Err(err) => assert_well_formed_error(&err),
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_soup(bytes in collection::vec(any::<u8>(), 0..24)) {
+        let line = token_soup(&bytes);
+        match parse_request(&line) {
+            Ok(_) => {}
+            Err(err) => assert_well_formed_error(&err),
+        }
+    }
+
+    #[test]
+    fn framing_survives_arbitrary_streams(bytes in collection::vec(any::<u8>(), 0..4096)) {
+        let mut reader = LineReader::new(BufReader::new(&bytes[..]));
+        // Drain the whole stream: every frame is either a line or a
+        // typed framing error, and EOF always arrives.
+        let mut frames = 0usize;
+        loop {
+            match reader.next_line().expect("in-memory reads cannot fail") {
+                None => break,
+                Some(Ok(line)) => {
+                    prop_assert!(line.len() <= MAX_LINE);
+                    let _ = parse_request(&line);
+                }
+                Some(Err(err)) => assert_well_formed_error(&err),
+            }
+            frames += 1;
+            prop_assert!(frames <= bytes.len() + 1, "framing loop failed to make progress");
+        }
+    }
+
+    #[test]
+    fn stream_stays_usable_after_malformed_frames(
+        garbage in collection::vec(any::<u8>(), 0..300),
+        pad in 0usize..3000,
+    ) {
+        // malformed frame, oversized frame, then a valid request: the
+        // reader must resync and parse the PING.
+        let mut stream: Vec<u8> = garbage.iter().copied().filter(|&b| b != b'\n').collect();
+        stream.push(b'\n');
+        stream.extend(std::iter::repeat_n(b'x', MAX_LINE + 1 + pad));
+        stream.push(b'\n');
+        stream.extend_from_slice(b"PING\n");
+        let mut reader = LineReader::new(BufReader::new(&stream[..]));
+
+        match reader.next_line().expect("read") {
+            Some(Ok(line)) => {
+                if let Err(err) = parse_request(&line) {
+                    assert_well_formed_error(&err);
+                }
+            }
+            Some(Err(err)) => assert_well_formed_error(&err),
+            None => panic!("stream ended before the garbage frame"),
+        }
+        prop_assert_eq!(
+            reader.next_line().expect("read"),
+            Some(Err(ProtocolError::Oversized))
+        );
+        prop_assert_eq!(
+            reader.next_line().expect("read"),
+            Some(Ok("PING".to_owned()))
+        );
+        prop_assert_eq!(
+            parse_request("PING").expect("valid request"),
+            Request::Ping
+        );
+        prop_assert_eq!(reader.next_line().expect("read"), None);
+    }
+
+    #[test]
+    fn truncated_valid_requests_fail_closed(cut in 0usize..22) {
+        let full = "RUN_UNTIL port_scan WALL_MS 250";
+        let truncated: String = full.chars().take(cut).collect();
+        // Any strict prefix shorter than a complete verb+args either
+        // parses to a *different* valid request (e.g. bare RUN_UNTIL
+        // never does) or yields a typed error — never a panic.
+        if let Err(err) = parse_request(&truncated) {
+            assert_well_formed_error(&err);
+        }
+    }
+}
+
+#[test]
+fn interleaved_frames_parse_independently() {
+    let mut stream = Vec::new();
+    stream.extend_from_slice(b"PING\nBOGUS VERB\nGET setup\n");
+    stream.extend(std::iter::repeat_n(b'y', MAX_LINE * 2));
+    stream.extend_from_slice(b"\nMETRICS\nCANCEL not_a_number\nSTATUS\n");
+    let mut reader = LineReader::new(BufReader::new(&stream[..]));
+    let mut outcomes = Vec::new();
+    while let Some(frame) = reader.next_line().expect("read") {
+        outcomes.push(match frame {
+            Ok(line) => parse_request(&line).is_ok(),
+            Err(err) => {
+                assert_well_formed_error(&err);
+                false
+            }
+        });
+    }
+    assert_eq!(
+        outcomes,
+        vec![true, false, true, false, true, false, true],
+        "each frame must be judged on its own"
+    );
+}

@@ -634,6 +634,91 @@ impl Network {
         self.hot
     }
 
+    /// A deterministic 64-bit digest of the complete simulated world:
+    /// clock, relay population and liveness, the current consensus,
+    /// the service table (liveness, slot-hour coverage, armed
+    /// signatures), every HSDir's descriptor store, the attacker
+    /// request logs, the client pool, and pending guard observations.
+    /// Two networks that evolved through the same seeded history hash
+    /// identically; any protocol-visible divergence changes the
+    /// digest. The resident-daemon layer uses this to prove that a
+    /// cancelled, deadline-expired, or panicking query left the shared
+    /// world byte-identical, and to name world epochs in cache keys.
+    ///
+    /// Observability state (hot counters, round traces, wave stats)
+    /// and the RNG cursor are deliberately excluded: they never feed
+    /// back into protocol decisions, so including them would make the
+    /// digest flag divergences no client can observe.
+    pub fn state_hash(&self) -> u64 {
+        fn fold(h: u64, v: u64) -> u64 {
+            wave::mix2(h, v)
+        }
+        fn fold8(h: u64, bytes: &[u8]) -> u64 {
+            let mut b = [0u8; 8];
+            let n = bytes.len().min(8);
+            b[..n].copy_from_slice(&bytes[..n]);
+            fold(h, u64::from_le_bytes(b))
+        }
+        let mut h: u64 = 0x6c61_6e64_7363_6170; // "landscap"
+        h = fold(h, self.time.unix());
+        h = fold(h, self.consensus_interval);
+        h = fold(h, self.relays.len() as u64);
+        for r in &self.relays {
+            h = fold(h, r.id.0 as u64);
+            h = fold8(h, r.identity.fingerprint().digest().as_bytes());
+            h = fold(h, u64::from(r.ip.0));
+            h = fold(h, u64::from(r.or_port));
+            h = fold(h, r.bandwidth);
+            let bits =
+                u64::from(r.running) | u64::from(r.reachable) << 1 | u64::from(r.logging) << 2;
+            h = fold(h, bits);
+            h = fold(h, r.last_restart.unix());
+        }
+        h = fold(h, self.consensus.valid_after().unix());
+        h = fold(h, self.consensus.len() as u64);
+        for e in self.consensus.entries() {
+            h = fold(h, e.relay.0 as u64);
+            h = fold8(h, e.fingerprint.digest().as_bytes());
+            h = fold(h, e.bandwidth);
+        }
+        for (i, rec) in self.svc.records().enumerate() {
+            let sid = ServiceId(i as u32);
+            h = fold8(h, rec.onion.permanent_id().as_bytes());
+            h = fold(h, u64::from(rec.online));
+            h = fold(h, self.svc.slot_hours(sid));
+            h = fold(h, u64::from(self.svc.signature(sid).is_some()));
+        }
+        for store in &self.stores {
+            h = fold(h, store.len() as u64);
+            for d in store.iter() {
+                h = fold8(h, d.descriptor_id.digest().as_bytes());
+                h = fold8(h, d.onion.permanent_id().as_bytes());
+                h = fold(h, d.published.unix());
+            }
+        }
+        for log in &self.logs {
+            h = fold(h, log.len() as u64);
+            for rec in log.records() {
+                h = fold(h, rec.time.unix());
+                h = fold8(h, rec.descriptor_id.digest().as_bytes());
+                h = fold(h, u64::from(rec.found));
+            }
+        }
+        h = fold(h, self.clients.len() as u64);
+        for c in &self.clients {
+            h = fold(h, u64::from(c.ip.0));
+        }
+        h = fold(h, self.guard_observations.len() as u64);
+        for o in &self.guard_observations {
+            h = fold(h, o.time.unix());
+            h = fold(h, o.guard.0 as u64);
+            h = fold(h, u64::from(o.client_ip.0));
+            h = fold8(h, o.onion.permanent_id().as_bytes());
+        }
+        h = fold(h, self.coverage_recorded_hour.unwrap_or(u64::MAX));
+        h
+    }
+
     /// Replaces the fault plan (and resets all fault state: schedules,
     /// load counters, and fault counters).
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {

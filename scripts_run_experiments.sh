@@ -10,6 +10,7 @@
 #   sh scripts_run_experiments.sh faults   adversarial fault-injection run
 #   sh scripts_run_experiments.sh trace    sim-clock trace run + baseline diff
 #   sh scripts_run_experiments.sh par      1-vs-N-thread byte-identity + speedup
+#   sh scripts_run_experiments.sh daemon   resident landscaped session + baseline diff
 set -e
 if [ "${1:-}" = "verify" ]; then
   echo "== cargo fmt --check"
@@ -19,7 +20,55 @@ if [ "${1:-}" = "verify" ]; then
   sh "$0" par
   sh "$0" scale1
   sh "$0" sketch
+  sh "$0" daemon
   echo "verify ok"
+  exit 0
+fi
+if [ "${1:-}" = "daemon" ]; then
+  # The resident-daemon gate: boot landscaped on an OS-assigned port,
+  # drive the committed multi-command session through the scripting
+  # client, and diff the transcript byte-for-byte — every reply field
+  # (world hashes, epoch ids, cache counters, halt reasons) is a pure
+  # function of the seed, so any drift is a determinism regression in
+  # the daemon's query, epoch, or cache paths.
+  BASELINE=results/daemon_baseline.txt
+  SESSION=scripts_daemon_session.txt
+  [ -f "$BASELINE" ] || { echo "missing $BASELINE"; exit 1; }
+  [ -f "$SESSION" ] || { echo "missing $SESSION"; exit 1; }
+  echo "== landscaped serve --seed 7 (scripted session)"
+  cargo build --release -q -p hs-serve
+  PORT_FILE=$(mktemp)
+  : > "$PORT_FILE"
+  target/release/landscaped serve --addr 127.0.0.1:0 --seed 7 --threads 2 \
+    --port-file "$PORT_FILE" 2> results/daemon_serve.log &
+  DAEMON_PID=$!
+  i=0
+  while [ ! -s "$PORT_FILE" ] && [ "$i" -lt 200 ]; do
+    sleep 0.1
+    i=$((i + 1))
+  done
+  if [ ! -s "$PORT_FILE" ]; then
+    kill "$DAEMON_PID" 2>/dev/null || true
+    rm -f "$PORT_FILE"
+    echo "FAIL: daemon never reported its port (see results/daemon_serve.log)"
+    exit 1
+  fi
+  PORT=$(cat "$PORT_FILE")
+  rm -f "$PORT_FILE"
+  if ! target/release/landscaped script "127.0.0.1:$PORT" \
+      < "$SESSION" > results/daemon_session.txt; then
+    kill "$DAEMON_PID" 2>/dev/null || true
+    echo "FAIL: scripted session aborted (see results/daemon_session.txt)"
+    exit 1
+  fi
+  # The session ends with SHUTDOWN, so the daemon exits on its own.
+  wait "$DAEMON_PID" || true
+  if ! diff -u "$BASELINE" results/daemon_session.txt; then
+    echo "FAIL: daemon transcript drifted from $BASELINE (determinism regression)"
+    exit 1
+  fi
+  echo "daemon transcript matches baseline"
+  echo "daemon ok"
   exit 0
 fi
 if [ "${1:-}" = "sketch" ]; then
