@@ -31,6 +31,11 @@
 //!                 JSON (open in chrome://tracing or ui.perfetto.dev)
 //! --log LEVEL     stderr event stream: off (default), progress, debug
 //! --quiet         alias for --log off
+//! --metrics-format FORMAT
+//!                 json (default): results/bench_stages.json only;
+//!                 prom: additionally render the run's stage metrics as
+//!                 Prometheus text exposition to
+//!                 results/stage_metrics.prom
 //! ```
 
 use std::path::Path;
@@ -49,6 +54,7 @@ struct Args {
     streaming: bool,
     trace: Option<String>,
     log: obs::LogLevel,
+    prom_metrics: bool,
 }
 
 fn default_threads() -> usize {
@@ -67,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
     let mut streaming = false;
     let mut trace = None;
     let mut log = obs::LogLevel::Off;
+    let mut prom_metrics = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -100,6 +107,16 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or_else(|| format!("bad log level {v:?} (off|progress|debug)"))?;
             }
             "--quiet" => log = obs::LogLevel::Off,
+            "--metrics-format" => {
+                let v = args
+                    .next()
+                    .ok_or("--metrics-format needs a value".to_owned())?;
+                prom_metrics = match v.as_str() {
+                    "json" => false,
+                    "prom" => true,
+                    other => return Err(format!("bad metrics format {other:?} (json|prom)")),
+                };
+            }
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
@@ -112,13 +129,14 @@ fn parse_args() -> Result<Args, String> {
         streaming,
         trace,
         log,
+        prom_metrics,
     })
 }
 
 fn usage() -> String {
     "usage: landscape <study|fig1|table1|fig2|table2|fig3|certs|sec5|tracking|stages> \
      [--scale S] [--seed N] [--faults none|adversarial] [--threads N] [--streaming] \
-     [--trace FILE] [--log off|progress|debug] [--quiet]"
+     [--trace FILE] [--log off|progress|debug] [--quiet] [--metrics-format json|prom]"
         .to_owned()
 }
 
@@ -185,6 +203,25 @@ fn write_stage_json(args: &Args, timings: &PipelineTimings) {
         .is_ok();
     if written {
         eprintln!("[landscape] stage timings written to {}", path.display());
+    } else {
+        eprintln!("[landscape] warning: could not write {}", path.display());
+    }
+}
+
+/// Renders the run's stage metrics as Prometheus text exposition
+/// (`--metrics-format prom`). Wall-clock durations make this file
+/// run-dependent, so it is never diffed against a committed baseline —
+/// use `results/bench_stages.json` for the byte-stable record.
+fn write_prom_metrics(timings: &PipelineTimings) {
+    let path = Path::new("results").join("stage_metrics.prom");
+    let written = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write(&path, timings.to_prom()))
+        .is_ok();
+    if written {
+        eprintln!(
+            "[landscape] prometheus metrics written to {}",
+            path.display()
+        );
     } else {
         eprintln!("[landscape] warning: could not write {}", path.display());
     }
@@ -266,6 +303,9 @@ fn main() -> ExitCode {
         }
         eprintln!("{}", report::render_stage_timings(&results.stages));
         write_stage_json(&args, &results.stages);
+        if args.prom_metrics {
+            write_prom_metrics(&results.stages);
+        }
         if let (Some(path), Some(trace)) = (&args.trace, &results.trace) {
             if let Err(e) = write_trace(path, trace) {
                 eprintln!("[landscape] {e}");
@@ -307,6 +347,9 @@ fn main() -> ExitCode {
     }
     eprintln!("{}", report::render_stage_timings(&run.timings));
     write_stage_json(&args, &run.timings);
+    if args.prom_metrics {
+        write_prom_metrics(&run.timings);
+    }
     if let (Some(path), Some(trace)) = (&args.trace, &run.trace) {
         if let Err(e) = write_trace(path, trace) {
             eprintln!("[landscape] {e}");

@@ -172,6 +172,51 @@ impl StagePayload {
             StagePayload::Tracking(_) => StageId::Tracking,
         }
     }
+
+    /// Approximate resident size of this payload in bytes.
+    ///
+    /// The estimate is a deterministic function of element counts
+    /// (per-element constants sized from the dominant struct fields),
+    /// not of allocator behaviour — so byte-budget eviction decisions
+    /// are identical across runs and machines. Absolute accuracy
+    /// matters less than ordering: the sim bundles (world + network
+    /// snapshots) must dwarf the flat report payloads, which they do.
+    pub fn approx_bytes(&self) -> u64 {
+        const BASE: u64 = 256;
+        match self {
+            StagePayload::Setup(b) => {
+                BASE + 4096
+                    + 256 * b.net.relays().len() as u64
+                    + 192 * b.world.services().len() as u64
+                    + 64 * b.net.client_count() as u64
+                    + 8 * b.attacker_guards.len() as u64
+            }
+            StagePayload::Harvest(b) => {
+                BASE + 4096
+                    + 256 * b.net.relays().len() as u64
+                    + 64 * b.net.client_count() as u64
+                    + 24 * b.harvest.onions.len() as u64
+                    + 48 * b.harvest.requests.len() as u64
+                    + 32 * b.harvest.slot_hours.len() as u64
+                    + 8 * b.harvest.fleet_relays.len() as u64
+                    + if b.streaming.is_some() { 65_536 } else { 0 }
+            }
+            StagePayload::DeanonWindow(o) => BASE + 48 * o.observations.len() as u64,
+            StagePayload::PortScan(r) => {
+                BASE + 16 * r.open_by_port.len() as u64 + 40 * r.open_by_onion.len() as u64
+            }
+            StagePayload::Geomap(r) => BASE + 48 * r.geomap.country_count() as u64,
+            StagePayload::Certs(s) => BASE + 64 * s.deanonymised.len() as u64,
+            StagePayload::Crawl(r) => {
+                BASE + 64 * r.classified.len() as u64 + 16 * r.connected_by_port.len() as u64
+            }
+            StagePayload::Popularity(p) => {
+                BASE + 48 * p.resolution.requests_per_onion.len() as u64
+                    + 64 * p.ranking.rows().len() as u64
+            }
+            StagePayload::Tracking(t) => BASE + 128 * t.years.len() as u64,
+        }
+    }
 }
 
 /// Point-in-time cache statistics.
@@ -183,10 +228,15 @@ pub struct CacheCounters {
     pub misses: u64,
     /// Payloads inserted.
     pub insertions: u64,
-    /// Payloads evicted by the capacity bound.
+    /// Payloads evicted by the capacity or byte-budget bound.
     pub evictions: u64,
     /// Payloads currently resident.
     pub entries: u64,
+    /// Approximate bytes currently resident
+    /// ([`StagePayload::approx_bytes`] summed over entries).
+    pub resident_bytes: u64,
+    /// Approximate bytes freed by evictions over the cache's lifetime.
+    pub evicted_bytes: u64,
 }
 
 /// A content-addressed stage cache shared between the daemon and the
@@ -207,38 +257,56 @@ pub trait StageCache: Send + Sync {
     fn counters(&self) -> CacheCounters;
 }
 
-/// In-memory [`StageCache`] with a bounded entry count and
-/// insertion-order eviction.
+/// In-memory [`StageCache`] with a bounded entry count, an optional
+/// resident-byte budget, and insertion-order eviction.
 ///
 /// Insertion order (not LRU) keeps eviction deterministic under
 /// concurrent readers: lookups never reorder anything, so the eviction
-/// sequence depends only on the sequence of inserts.
+/// sequence depends only on the sequence of inserts. Byte weights come
+/// from [`StagePayload::approx_bytes`]; when a budget is set, inserts
+/// evict oldest-first until both the entry bound and the byte budget
+/// hold — always keeping the newest entry, even when it alone exceeds
+/// the budget (an empty cache would just thrash).
 pub struct MemoryCache {
     capacity: usize,
+    byte_budget: Option<u64>,
     inner: Mutex<MemoryCacheInner>,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    evicted_bytes: AtomicU64,
 }
 
 #[derive(Default)]
 struct MemoryCacheInner {
-    map: HashMap<CacheKey, StagePayload>,
+    map: HashMap<CacheKey, (StagePayload, u64)>,
     order: VecDeque<CacheKey>,
+    resident_bytes: u64,
 }
 
 impl MemoryCache {
-    /// A cache holding at most `capacity` payloads (minimum 1).
+    /// A cache holding at most `capacity` payloads (minimum 1), with
+    /// no byte budget.
     pub fn new(capacity: usize) -> Self {
         MemoryCache {
             capacity: capacity.max(1),
+            byte_budget: None,
             inner: Mutex::new(MemoryCacheInner::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
         }
+    }
+
+    /// A cache bounded by both entry count and an approximate
+    /// resident-byte budget.
+    pub fn with_byte_budget(capacity: usize, budget_bytes: u64) -> Self {
+        let mut cache = MemoryCache::new(capacity);
+        cache.byte_budget = Some(budget_bytes);
+        cache
     }
 
     fn locked(&self) -> std::sync::MutexGuard<'_, MemoryCacheInner> {
@@ -262,9 +330,32 @@ impl fmt::Debug for MemoryCache {
     }
 }
 
+impl MemoryCache {
+    /// Evicts oldest-first until the entry bound and byte budget both
+    /// hold, never dropping the last remaining entry.
+    fn enforce_bounds(&self, inner: &mut MemoryCacheInner) {
+        let over = |inner: &MemoryCacheInner| {
+            inner.map.len() > self.capacity
+                || self
+                    .byte_budget
+                    .is_some_and(|budget| inner.resident_bytes > budget)
+        };
+        while inner.map.len() > 1 && over(inner) {
+            let Some(old) = inner.order.pop_front() else {
+                break;
+            };
+            if let Some((_, weight)) = inner.map.remove(&old) {
+                inner.resident_bytes = inner.resident_bytes.saturating_sub(weight);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evicted_bytes.fetch_add(weight, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
 impl StageCache for MemoryCache {
     fn lookup(&self, key: CacheKey) -> Option<StagePayload> {
-        let found = self.locked().map.get(&key).cloned();
+        let found = self.locked().map.get(&key).map(|(p, _)| p.clone());
         match found {
             Some(p) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -282,33 +373,38 @@ impl StageCache for MemoryCache {
     }
 
     fn fetch_uncounted(&self, key: CacheKey) -> Option<StagePayload> {
-        self.locked().map.get(&key).cloned()
+        self.locked().map.get(&key).map(|(p, _)| p.clone())
     }
 
     fn insert(&self, key: CacheKey, payload: StagePayload) {
+        let weight = payload.approx_bytes();
         let mut inner = self.locked();
-        if inner.map.insert(key, payload).is_none() {
-            inner.order.push_back(key);
-            while inner.map.len() > self.capacity {
-                if let Some(old) = inner.order.pop_front() {
-                    if inner.map.remove(&old).is_some() {
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
-                    }
-                } else {
-                    break;
-                }
+        match inner.map.insert(key, (payload, weight)) {
+            None => {
+                inner.order.push_back(key);
+                inner.resident_bytes += weight;
+            }
+            Some((_, old_weight)) => {
+                inner.resident_bytes = inner.resident_bytes.saturating_sub(old_weight) + weight;
             }
         }
+        self.enforce_bounds(&mut inner);
         self.insertions.fetch_add(1, Ordering::Relaxed);
     }
 
     fn counters(&self) -> CacheCounters {
+        let (entries, resident_bytes) = {
+            let inner = self.locked();
+            (inner.map.len() as u64, inner.resident_bytes)
+        };
         CacheCounters {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.locked().map.len() as u64,
+            entries,
+            resident_bytes,
+            evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -393,6 +489,67 @@ mod tests {
         assert!(cache.peek(keys[0]));
         let c = cache.counters();
         assert_eq!((c.hits, c.misses), (0, 0));
+    }
+
+    #[test]
+    fn payload_weights_are_deterministic_and_ordered() {
+        let flat = dummy(0).approx_bytes();
+        assert_eq!(flat, dummy(0).approx_bytes());
+        assert!(flat >= 256);
+        let mut survey = CertSurvey::default();
+        survey.deanonymised.push((
+            onion_crypto::onion::OnionAddress::from_pubkey(&[1u8; 16]),
+            "host.example".to_string(),
+        ));
+        let heavier = StagePayload::Certs(Arc::new(survey)).approx_bytes();
+        assert!(heavier > flat);
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_and_tracks_bytes() {
+        let weight = dummy(0).approx_bytes();
+        // Budget fits exactly two flat payloads; capacity is generous.
+        let cache = MemoryCache::with_byte_budget(16, weight * 2);
+        let keys = derive_keys(1, 2, 3);
+        cache.insert(keys[0], dummy(0));
+        cache.insert(keys[1], dummy(0));
+        let c = cache.counters();
+        assert_eq!(c.entries, 2);
+        assert_eq!(c.resident_bytes, weight * 2);
+        assert_eq!((c.evictions, c.evicted_bytes), (0, 0));
+        cache.insert(keys[2], dummy(0)); // over budget: keys[0] goes
+        assert!(!cache.peek(keys[0]));
+        assert!(cache.peek(keys[1]) && cache.peek(keys[2]));
+        let c = cache.counters();
+        assert_eq!(c.entries, 2);
+        assert_eq!(c.resident_bytes, weight * 2);
+        assert_eq!((c.evictions, c.evicted_bytes), (1, weight));
+    }
+
+    #[test]
+    fn byte_budget_always_keeps_newest_entry() {
+        let cache = MemoryCache::with_byte_budget(16, 1);
+        let keys = derive_keys(1, 2, 3);
+        cache.insert(keys[0], dummy(0));
+        cache.insert(keys[1], dummy(1));
+        // Each payload alone exceeds the 1-byte budget, but the newest
+        // must survive.
+        assert!(!cache.peek(keys[0]));
+        assert!(cache.peek(keys[1]));
+        assert_eq!(cache.counters().entries, 1);
+    }
+
+    #[test]
+    fn reinsert_adjusts_resident_bytes_without_double_count() {
+        let cache = MemoryCache::new(4);
+        let keys = derive_keys(1, 2, 3);
+        cache.insert(keys[0], dummy(0));
+        let first = cache.counters().resident_bytes;
+        cache.insert(keys[0], dummy(1));
+        let second = cache.counters().resident_bytes;
+        assert_eq!(second, dummy(1).approx_bytes());
+        assert_ne!(first, 0);
+        assert_eq!(cache.counters().entries, 1);
     }
 
     #[test]

@@ -166,6 +166,61 @@ impl PipelineTimings {
         total
     }
 
+    /// Flattens the timings into a wall-style snapshot so the batch
+    /// pipeline can reuse the daemon's Prometheus renderer: per-stage
+    /// counters and histograms become `stage`-labelled series, stage
+    /// wall durations a `stage_wall_us` histogram sample each, and the
+    /// run totals plain gauges. Every value here is still a pure
+    /// function of the seed except the wall durations — which is
+    /// exactly why this export is opt-in (`--metrics-format prom`) and
+    /// never part of a committed byte-stable baseline.
+    pub fn to_prom_snapshot(&self) -> obs::WallSnapshot {
+        let reg = obs::WallRegistry::new();
+        let wall_hist = reg.histogram("stage_wall_us", &[]);
+        for t in &self.executed {
+            let stage = t.stage.to_string();
+            let labels: [(&str, &str); 1] = [("stage", &stage)];
+            wall_hist.observe(t.wall.as_micros() as u64);
+            for (name, value) in &t.counters {
+                reg.counter(name, &labels).add(*value);
+            }
+            for (name, value) in &t.gauges {
+                reg.gauge(name, &labels).set(*value);
+            }
+        }
+        reg.gauge("stages_executed", &[])
+            .set(self.executed.len() as f64);
+        reg.gauge("stages_skipped", &[])
+            .set(self.skipped.len() as f64);
+        reg.gauge("stages_degraded", &[])
+            .set(self.degraded.len() as f64);
+        reg.gauge("stages_halted", &[])
+            .set(self.halted.len() as f64);
+        reg.gauge("elapsed_wall_us", &[])
+            .set(self.elapsed.as_micros() as f64);
+        let mut snap = reg.snapshot();
+        // Stage histograms are spliced in directly: bucket contents
+        // are already final, and replaying samples through a handle
+        // would lose exact values to bucket resolution.
+        for t in &self.executed {
+            let stage = t.stage.to_string();
+            for (name, h) in &t.hists {
+                snap.hists.push((
+                    obs::wall::MetricId::new(name, &[("stage", &stage)]),
+                    h.clone(),
+                ));
+            }
+        }
+        snap.sort();
+        snap
+    }
+
+    /// Renders the timings as Prometheus text exposition under the
+    /// `landscape` namespace (see [`PipelineTimings::to_prom_snapshot`]).
+    pub fn to_prom(&self) -> String {
+        obs::prom::render(&self.to_prom_snapshot(), "landscape")
+    }
+
     /// Machine-readable JSON (hand-rolled; the workspace carries no
     /// serde). Stage names and metric names are static identifiers, so
     /// no escaping is required outside error strings.
@@ -387,6 +442,37 @@ mod tests {
         assert!(!json.contains("degraded"));
         // Same for the halted section.
         assert!(!json.contains("halted"));
+    }
+
+    #[test]
+    fn prom_export_parses_and_labels_stages() {
+        let text = sample().to_prom();
+        let parsed = obs::prom::parse_exposition(&text).expect("timings exposition parses");
+        assert_eq!(
+            parsed.value("landscape_relays_total", &[("stage", "setup")]),
+            Some(120.0)
+        );
+        assert_eq!(
+            parsed.value("landscape_descriptors_total", &[("stage", "harvest")]),
+            Some(390.0)
+        );
+        assert_eq!(
+            parsed.value("landscape_harvest_coverage", &[("stage", "harvest")]),
+            Some(0.875)
+        );
+        assert_eq!(parsed.value("landscape_stages_executed", &[]), Some(2.0));
+        // The stage histogram arrived bucket-for-bucket: two samples.
+        assert_eq!(
+            parsed.value(
+                "landscape_harvest_descriptors_per_relay_count",
+                &[("stage", "harvest")]
+            ),
+            Some(2.0)
+        );
+        assert_eq!(
+            parsed.value("landscape_stage_wall_us_count", &[]),
+            Some(2.0)
+        );
     }
 
     #[test]

@@ -13,7 +13,12 @@
 //!   Chrome `trace_event` JSON exporter for `chrome://tracing` and
 //!   Perfetto;
 //! * [`log`] — a leveled, human-readable progress stream on stderr
-//!   (off / progress / debug) for long interactive runs.
+//!   (off / progress / debug) for long interactive runs;
+//! * [`wall`] — a thread-safe **wall-clock** registry
+//!   ([`wall::WallRegistry`]) for resident services, strictly separate
+//!   from the deterministic [`metrics::Registry`];
+//! * [`prom`] — a Prometheus text-exposition renderer and strict
+//!   parser over [`wall::WallSnapshot`]s.
 //!
 //! Everything here follows the workspace's determinism discipline: the
 //! sim-clock view of a trace and every metric value are pure functions
@@ -29,9 +34,13 @@
 pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod prom;
 pub mod trace;
+pub mod wall;
 
 pub use json::escape_json;
 pub use log::{LogLevel, Logger};
 pub use metrics::{Histogram, Registry};
+pub use trace::{validate_json, Lane};
 pub use trace::{EventKind, Span, SpanRecorder, Trace, TraceClock, TraceEvent};
+pub use wall::{WallCounter, WallGauge, WallHistogram, WallRegistry, WallSnapshot};

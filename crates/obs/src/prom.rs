@@ -1,0 +1,765 @@
+//! Prometheus text exposition: a renderer for [`WallSnapshot`]s and a
+//! strict line parser used by tests and the torn-read audit.
+//!
+//! The renderer emits the classic text format: one `# TYPE` line per
+//! family followed by its sample lines, families sorted by name, label
+//! values escaped (`\\`, `\"`, `\n`). Counters get the conventional
+//! `_total` suffix; histograms expand into cumulative
+//! `_bucket{le="..."}` series plus `_sum` and `_count`.
+//!
+//! Histogram buckets are rendered on a **fixed `le` ladder** — the
+//! log2 bucket upper bounds at even exponents (0, 3, 15, 63, …,
+//! 2^40−1) plus `+Inf` — rather than the sparse nonzero buckets. A
+//! fixed ladder means the *set* of series is identical no matter what
+//! a run recorded, so the committed telemetry baseline only ever needs
+//! values normalised, never line sets. 2^40 µs ≈ 12.7 days, far above
+//! any latency this daemon can observe; slower samples still land in
+//! `+Inf` and `_sum`.
+//!
+//! Name sanitisation maps the workspace's dotted metric names onto the
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*` grammar. When two families collide after
+//! sanitisation (or a family would shadow a histogram's derived
+//! series), the first registered wins and the loser is skipped with a
+//! trailing comment — rendered output is always internally consistent.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::metrics::Histogram;
+use crate::wall::WallSnapshot;
+
+/// Even log2 exponents used for the fixed `le` ladder.
+const LADDER_EXPONENTS: std::ops::RangeInclusive<usize> = 0..=40;
+
+/// The fixed inclusive upper bounds rendered as `le` labels (before
+/// the implicit `+Inf`).
+pub fn ladder() -> Vec<u64> {
+    LADDER_EXPONENTS
+        .step_by(2)
+        .map(Histogram::bucket_upper)
+        .collect()
+}
+
+/// Sanitises a metric family name: dots and other illegal characters
+/// become underscores, a leading digit gains a `_` prefix, and a
+/// non-empty `namespace` is prepended with `_`.
+pub fn sanitize_metric_name(namespace: &str, raw: &str) -> String {
+    let mut out = String::new();
+    if !namespace.is_empty() {
+        out.push_str(namespace);
+        out.push('_');
+    }
+    for c in raw.chars() {
+        out.push(match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | ':' => c,
+            _ => '_',
+        });
+    }
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Sanitises a label name (`[a-zA-Z_][a-zA-Z0-9_]*` — no colon).
+fn sanitize_label_name(raw: &str) -> String {
+    let mut out = String::new();
+    for c in raw.chars() {
+        out.push(match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' => c,
+            _ => '_',
+        });
+    }
+    if out.is_empty() || out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format.
+fn escape_label_value(raw: &str) -> String {
+    let mut out = String::new();
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders sanitised label pairs as `{k="v",...}` (empty string when
+/// no labels). Duplicate sanitised label names keep the first value;
+/// on histogram series a user label `le` is renamed `le_` so it cannot
+/// corrupt bucket grammar.
+fn render_labels(
+    labels: &[(String, String)],
+    protect_le: bool,
+    extra: Option<(&str, &str)>,
+) -> String {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut parts: Vec<String> = Vec::new();
+    if let Some((k, v)) = extra {
+        seen.insert(k.to_owned());
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    for (k, v) in labels {
+        let mut name = sanitize_label_name(k);
+        if protect_le && name == "le" {
+            name = "le_".to_owned();
+        }
+        if !seen.insert(name.clone()) {
+            continue;
+        }
+        parts.push(format!("{name}=\"{}\"", escape_label_value(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Formats a gauge value; non-finite values render as `0` so the
+/// output is NaN-free by construction.
+fn format_gauge(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn word(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+struct FamilyBlock {
+    kind: Kind,
+    /// (label-rendering dedup key, sample lines) per series.
+    series: Vec<(String, Vec<String>)>,
+}
+
+/// Metrics of one kind grouped by rendered family name, each keeping
+/// its raw label set.
+type Grouped<'a, T> = BTreeMap<String, Vec<(&'a [(String, String)], T)>>;
+
+/// Renders a snapshot as Prometheus text exposition. `namespace` is
+/// prefixed to every family name (`landscaped_...`).
+pub fn render(snapshot: &WallSnapshot, namespace: &str) -> String {
+    // Group raw metrics into rendered families, preserving the
+    // snapshot's sorted order within each family.
+    let mut counters: Grouped<'_, u64> = BTreeMap::new();
+    for (id, v) in &snapshot.counters {
+        let fam = format!("{}_total", sanitize_metric_name(namespace, &id.name));
+        counters.entry(fam).or_default().push((&id.labels, *v));
+    }
+    let mut gauges: Grouped<'_, f64> = BTreeMap::new();
+    for (id, v) in &snapshot.gauges {
+        let fam = sanitize_metric_name(namespace, &id.name);
+        gauges.entry(fam).or_default().push((&id.labels, *v));
+    }
+    let mut hists: Grouped<'_, &Histogram> = BTreeMap::new();
+    for (id, h) in &snapshot.hists {
+        let fam = sanitize_metric_name(namespace, &id.name);
+        hists.entry(fam).or_default().push((&id.labels, h));
+    }
+
+    // Claim series names in kind order (counter, gauge, histogram);
+    // a family whose names are already taken is skipped with a
+    // comment rather than emitting conflicting duplicates.
+    let mut taken: BTreeSet<String> = BTreeSet::new();
+    let mut blocks: BTreeMap<String, FamilyBlock> = BTreeMap::new();
+    let mut skipped: Vec<String> = Vec::new();
+
+    for (fam, series) in &counters {
+        if !taken.insert(fam.clone()) {
+            skipped.push(fam.clone());
+            continue;
+        }
+        let mut block = FamilyBlock {
+            kind: Kind::Counter,
+            series: Vec::new(),
+        };
+        for (labels, v) in series {
+            let rendered = render_labels(labels, false, None);
+            if block.series.iter().any(|(key, _)| *key == rendered) {
+                continue;
+            }
+            block
+                .series
+                .push((rendered.clone(), vec![format!("{fam}{rendered} {v}")]));
+        }
+        blocks.insert(fam.clone(), block);
+    }
+    for (fam, series) in &gauges {
+        if !taken.insert(fam.clone()) {
+            skipped.push(fam.clone());
+            continue;
+        }
+        let mut block = FamilyBlock {
+            kind: Kind::Gauge,
+            series: Vec::new(),
+        };
+        for (labels, v) in series {
+            let rendered = render_labels(labels, false, None);
+            if block.series.iter().any(|(key, _)| *key == rendered) {
+                continue;
+            }
+            block.series.push((
+                rendered.clone(),
+                vec![format!("{fam}{rendered} {}", format_gauge(*v))],
+            ));
+        }
+        blocks.insert(fam.clone(), block);
+    }
+    for (fam, series) in &hists {
+        let derived = [
+            fam.clone(),
+            format!("{fam}_bucket"),
+            format!("{fam}_sum"),
+            format!("{fam}_count"),
+        ];
+        if derived.iter().any(|n| taken.contains(n)) {
+            skipped.push(fam.clone());
+            continue;
+        }
+        for n in &derived {
+            taken.insert(n.clone());
+        }
+        let mut block = FamilyBlock {
+            kind: Kind::Histogram,
+            series: Vec::new(),
+        };
+        for (labels, hist) in series {
+            let base_key = render_labels(labels, true, None);
+            if block.series.iter().any(|(key, _)| *key == base_key) {
+                continue;
+            }
+            let mut lines = Vec::new();
+            for upper in ladder() {
+                let cumulative: u64 = hist
+                    .nonzero_buckets()
+                    .iter()
+                    .filter(|&&(bucket_upper, _)| bucket_upper <= upper)
+                    .map(|&(_, c)| c)
+                    .sum();
+                let with_le = render_labels(labels, true, Some(("le", &upper.to_string())));
+                lines.push(format!("{fam}_bucket{with_le} {cumulative}"));
+            }
+            let inf = render_labels(labels, true, Some(("le", "+Inf")));
+            lines.push(format!("{fam}_bucket{inf} {}", hist.count()));
+            lines.push(format!("{fam}_sum{base_key} {}", hist.sum()));
+            lines.push(format!("{fam}_count{base_key} {}", hist.count()));
+            block.series.push((base_key, lines));
+        }
+        blocks.insert(fam.clone(), block);
+    }
+
+    let mut out = String::new();
+    for (fam, block) in &blocks {
+        out.push_str(&format!("# TYPE {fam} {}\n", block.kind.word()));
+        for (_, lines) in &block.series {
+            for line in lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+    skipped.sort();
+    for fam in skipped {
+        out.push_str(&format!(
+            "# telemetry: skipped colliding family \"{fam}\"\n"
+        ));
+    }
+    out
+}
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Full series name (`x_total`, `x_bucket`, ...).
+    pub name: String,
+    /// Unescaped label pairs in line order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// The kind declared by a `# TYPE` line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FamilyKind {
+    /// Monotonic counter.
+    Counter,
+    /// Point-in-time gauge.
+    Gauge,
+    /// Cumulative-bucket histogram.
+    Histogram,
+}
+
+/// One parsed metric family.
+#[derive(Clone, Debug)]
+pub struct Family {
+    /// Family name from the `# TYPE` line.
+    pub name: String,
+    /// Declared kind.
+    pub kind: FamilyKind,
+    /// Samples in line order.
+    pub samples: Vec<Sample>,
+}
+
+/// A fully parsed exposition.
+#[derive(Clone, Debug, Default)]
+pub struct Exposition {
+    /// Families in document order.
+    pub families: Vec<Family>,
+}
+
+impl Exposition {
+    /// Value of the series with this exact name and label set.
+    pub fn value(&self, series: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let want: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        self.families
+            .iter()
+            .flat_map(|f| f.samples.iter())
+            .find(|s| s.name == series && s.labels == want)
+            .map(|s| s.value)
+    }
+
+    /// All `(labels, value)` pairs for one series name.
+    pub fn series(&self, series: &str) -> Vec<(&[(String, String)], f64)> {
+        self.families
+            .iter()
+            .flat_map(|f| f.samples.iter())
+            .filter(|s| s.name == series)
+            .map(|s| (s.labels.as_slice(), s.value))
+            .collect()
+    }
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parsed labels plus the rest of the line after the closing `}`.
+type ParsedLabels<'a> = (Vec<(String, String)>, &'a str);
+
+/// Parses `k="v",...` starting after `{`; returns labels and the rest
+/// of the line after the closing `}`.
+fn parse_labels(s: &str, lineno: usize) -> Result<ParsedLabels<'_>, String> {
+    let mut labels = Vec::new();
+    let mut rest = s;
+    loop {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("line {lineno}: label without '='"))?;
+        let name = &rest[..eq];
+        if !valid_label_name(name) {
+            return Err(format!("line {lineno}: bad label name {name:?}"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err(format!("line {lineno}: label value not quoted"));
+        }
+        rest = &rest[1..];
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => {
+                        return Err(format!(
+                            "line {lineno}: bad escape {:?}",
+                            other.map(|(_, c)| c)
+                        ))
+                    }
+                },
+                _ => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| format!("line {lineno}: unterminated label value"))?;
+        labels.push((name.to_owned(), value));
+        rest = &rest[end + 1..];
+        if let Some(tail) = rest.strip_prefix(',') {
+            rest = tail;
+            continue;
+        }
+        if let Some(tail) = rest.strip_prefix('}') {
+            return Ok((labels, tail));
+        }
+        return Err(format!("line {lineno}: expected ',' or '}}' after label"));
+    }
+}
+
+/// Checks the cumulative-bucket invariants of one histogram family:
+/// per label set, `le` strictly ascending and ending in `+Inf`,
+/// cumulative counts non-decreasing, and `_count` matching the `+Inf`
+/// bucket, with `_sum` present.
+fn check_histogram(family: &Family) -> Result<(), String> {
+    let base = &family.name;
+    // Bucket groups keyed by the labels-without-le rendering.
+    let mut groups: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+    let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+    let group_key = |labels: &[(String, String)]| -> String {
+        labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .map(|(k, v)| format!("{k}={v:?}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    for s in &family.samples {
+        let key = group_key(&s.labels);
+        if s.name == format!("{base}_bucket") {
+            let le = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .ok_or_else(|| format!("histogram {base}: bucket without le"))?;
+            let le = if le.1 == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.1.parse::<f64>()
+                    .map_err(|_| format!("histogram {base}: bad le {:?}", le.1))?
+            };
+            groups.entry(key).or_default().push((le, s.value));
+        } else if s.name == format!("{base}_sum") {
+            sums.insert(key, s.value);
+        } else if s.name == format!("{base}_count") {
+            counts.insert(key, s.value);
+        } else {
+            return Err(format!("histogram {base}: unexpected series {:?}", s.name));
+        }
+    }
+    for (key, buckets) in &groups {
+        let mut last_le = f64::NEG_INFINITY;
+        let mut last_cum = -1.0;
+        for &(le, cum) in buckets {
+            if le <= last_le {
+                return Err(format!("histogram {base}: le not ascending ({key})"));
+            }
+            if cum < last_cum {
+                return Err(format!("histogram {base}: buckets not cumulative ({key})"));
+            }
+            last_le = le;
+            last_cum = cum;
+        }
+        if last_le != f64::INFINITY {
+            return Err(format!("histogram {base}: missing +Inf bucket ({key})"));
+        }
+        let total = counts
+            .get(key)
+            .ok_or_else(|| format!("histogram {base}: missing _count ({key})"))?;
+        if (*total - last_cum).abs() > f64::EPSILON {
+            return Err(format!(
+                "histogram {base}: _count {total} != +Inf bucket {last_cum} ({key})"
+            ));
+        }
+        if !sums.contains_key(key) {
+            return Err(format!("histogram {base}: missing _sum ({key})"));
+        }
+    }
+    Ok(())
+}
+
+/// Parses a full exposition document, enforcing the line grammar,
+/// NaN-free finite values, one `# TYPE` per family, samples grouped
+/// under their family, no duplicate series, and cumulative `le`-sorted
+/// histogram buckets.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut exposition = Exposition::default();
+    let mut current: Option<Family> = None;
+    let mut family_names: BTreeSet<String> = BTreeSet::new();
+    let mut series_seen: BTreeSet<String> = BTreeSet::new();
+
+    let close = |fam: Option<Family>, out: &mut Exposition| -> Result<(), String> {
+        if let Some(f) = fam {
+            if f.kind == FamilyKind::Histogram {
+                check_histogram(&f)?;
+            }
+            out.families.push(f);
+        }
+        Ok(())
+    };
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: TYPE without name"))?;
+                let kind = match parts.next() {
+                    Some("counter") => FamilyKind::Counter,
+                    Some("gauge") => FamilyKind::Gauge,
+                    Some("histogram") => FamilyKind::Histogram,
+                    other => return Err(format!("line {lineno}: bad TYPE kind {other:?}")),
+                };
+                if parts.next().is_some() {
+                    return Err(format!("line {lineno}: trailing TYPE tokens"));
+                }
+                if !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: bad family name {name:?}"));
+                }
+                if !family_names.insert(name.to_owned()) {
+                    return Err(format!("line {lineno}: duplicate TYPE for {name:?}"));
+                }
+                close(current.take(), &mut exposition)?;
+                current = Some(Family {
+                    name: name.to_owned(),
+                    kind,
+                    samples: Vec::new(),
+                });
+            }
+            // Other comments (HELP, renderer skip notes) are ignored.
+            continue;
+        }
+
+        // Sample line: name[{labels}] value
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| format!("line {lineno}: no value"))?;
+        let name = &line[..name_end];
+        if !valid_metric_name(name) {
+            return Err(format!("line {lineno}: bad metric name {name:?}"));
+        }
+        let (labels, rest) = if line[name_end..].starts_with('{') {
+            parse_labels(&line[name_end + 1..], lineno)?
+        } else {
+            (Vec::new(), &line[name_end..])
+        };
+        let value_str = rest.trim();
+        if value_str.is_empty() || value_str.split_whitespace().count() != 1 {
+            return Err(format!("line {lineno}: malformed value field"));
+        }
+        let value: f64 = value_str
+            .parse()
+            .map_err(|_| format!("line {lineno}: unparseable value {value_str:?}"))?;
+        if !value.is_finite() {
+            return Err(format!("line {lineno}: non-finite value {value_str:?}"));
+        }
+
+        let family = current
+            .as_mut()
+            .ok_or_else(|| format!("line {lineno}: sample before any TYPE"))?;
+        let belongs = match family.kind {
+            FamilyKind::Counter | FamilyKind::Gauge => name == family.name,
+            FamilyKind::Histogram => {
+                name == format!("{}_bucket", family.name)
+                    || name == format!("{}_sum", family.name)
+                    || name == format!("{}_count", family.name)
+            }
+        };
+        if !belongs {
+            return Err(format!(
+                "line {lineno}: sample {name:?} outside family {:?}",
+                family.name
+            ));
+        }
+        let series_key = format!("{name}|{labels:?}");
+        if !series_seen.insert(series_key) {
+            return Err(format!("line {lineno}: duplicate series {name:?}"));
+        }
+        family.samples.push(Sample {
+            name: name.to_owned(),
+            labels,
+            value,
+        });
+    }
+    close(current.take(), &mut exposition)?;
+    Ok(exposition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wall::WallRegistry;
+
+    fn sample_registry() -> WallRegistry {
+        let reg = WallRegistry::new();
+        reg.counter("queries.started", &[]).add(7);
+        reg.counter("query.outcome", &[("outcome", "ok")]).add(5);
+        reg.counter("query.outcome", &[("outcome", "partial")])
+            .add(2);
+        reg.gauge("inflight", &[]).set(3.0);
+        let h = reg.histogram("query.wall_us", &[]);
+        h.observe(0);
+        h.observe(10);
+        h.observe(900);
+        reg
+    }
+
+    #[test]
+    fn golden_exposition_shape_and_order() {
+        let text = render(&sample_registry().snapshot(), "landscaped");
+        let expected_prefix = "\
+# TYPE landscaped_inflight gauge
+landscaped_inflight 3
+# TYPE landscaped_queries_started_total counter
+landscaped_queries_started_total 7
+# TYPE landscaped_query_outcome_total counter
+landscaped_query_outcome_total{outcome=\"ok\"} 5
+landscaped_query_outcome_total{outcome=\"partial\"} 2
+# TYPE landscaped_query_wall_us histogram
+landscaped_query_wall_us_bucket{le=\"0\"} 1
+landscaped_query_wall_us_bucket{le=\"3\"} 1
+landscaped_query_wall_us_bucket{le=\"15\"} 2
+landscaped_query_wall_us_bucket{le=\"63\"} 2
+landscaped_query_wall_us_bucket{le=\"255\"} 2
+landscaped_query_wall_us_bucket{le=\"1023\"} 3
+";
+        assert!(
+            text.starts_with(expected_prefix),
+            "got:\n{text}\nwanted prefix:\n{expected_prefix}"
+        );
+        assert!(text.contains("landscaped_query_wall_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("landscaped_query_wall_us_sum 910\n"));
+        assert!(text.contains("landscaped_query_wall_us_count 3\n"));
+        // Rendering is deterministic.
+        assert_eq!(text, render(&sample_registry().snapshot(), "landscaped"));
+    }
+
+    #[test]
+    fn renders_fixed_ladder_even_when_empty() {
+        let reg = WallRegistry::new();
+        reg.histogram("empty_us", &[]);
+        let text = render(&reg.snapshot(), "t");
+        // 21 ladder buckets + +Inf, all zero; no NaN anywhere.
+        assert_eq!(text.matches("t_empty_us_bucket{le=").count(), 22);
+        assert!(text.contains("t_empty_us_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("t_empty_us_sum 0\n"));
+        assert!(text.contains("t_empty_us_count 0\n"));
+        assert!(!text.contains("NaN"));
+        parse_exposition(&text).expect("empty histogram parses");
+    }
+
+    #[test]
+    fn label_values_are_escaped_and_roundtrip() {
+        let reg = WallRegistry::new();
+        reg.counter("weird", &[("peer", "a\\b\"c\nd")]).add(1);
+        let text = render(&reg.snapshot(), "t");
+        assert!(text.contains("peer=\"a\\\\b\\\"c\\nd\""), "{text}");
+        let parsed = parse_exposition(&text).expect("escaped labels parse");
+        assert_eq!(
+            parsed.value("t_weird_total", &[("peer", "a\\b\"c\nd")]),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn nonfinite_gauges_render_as_zero() {
+        let reg = WallRegistry::new();
+        reg.gauge("bad", &[]).set(f64::NAN);
+        reg.gauge("worse", &[]).set(f64::INFINITY);
+        let text = render(&reg.snapshot(), "t");
+        assert!(text.contains("t_bad 0\n"));
+        assert!(text.contains("t_worse 0\n"));
+        parse_exposition(&text).expect("sanitised gauges parse");
+    }
+
+    #[test]
+    fn colliding_families_are_skipped_not_duplicated() {
+        let reg = WallRegistry::new();
+        reg.counter("x", &[]).add(1); // renders as t_x_total
+        reg.gauge("x.total", &[]).set(2.0); // sanitises to t_x_total too
+        reg.histogram("x.total", &[]); // base t_x_total also collides
+        let text = render(&reg.snapshot(), "t");
+        assert_eq!(text.matches("# TYPE t_x_total ").count(), 1);
+        assert!(text.contains("skipped colliding family"));
+        parse_exposition(&text).expect("collision output still parses");
+    }
+
+    #[test]
+    fn parser_rejects_bad_documents() {
+        for (doc, why) in [
+            ("t_x 1\n", "sample before TYPE"),
+            (
+                "# TYPE t_x counter\n# TYPE t_x counter\nt_x 1\n",
+                "dup TYPE",
+            ),
+            ("# TYPE t_x counter\nt_x 1\nt_x 1\n", "dup series"),
+            ("# TYPE t_x counter\nt_y 1\n", "foreign sample"),
+            ("# TYPE t_x gauge\nt_x NaN\n", "NaN"),
+            ("# TYPE t_x gauge\nt_x\n", "no value"),
+            ("# TYPE t_x gauge\nt_x{k=\"v} 1\n", "unterminated label"),
+            ("# TYPE 9x gauge\n9x 1\n", "bad name"),
+            (
+                "# TYPE t_h histogram\nt_h_bucket{le=\"1\"} 1\nt_h_sum 1\nt_h_count 1\n",
+                "no +Inf",
+            ),
+            (
+                "# TYPE t_h histogram\nt_h_bucket{le=\"1\"} 2\n\
+                 t_h_bucket{le=\"+Inf\"} 1\nt_h_sum 1\nt_h_count 1\n",
+                "not cumulative",
+            ),
+            (
+                "# TYPE t_h histogram\nt_h_bucket{le=\"+Inf\"} 1\nt_h_sum 1\n",
+                "missing count",
+            ),
+        ] {
+            assert!(parse_exposition(doc).is_err(), "accepted bad doc ({why})");
+        }
+    }
+
+    #[test]
+    fn parser_reads_series_back() {
+        let text = render(&sample_registry().snapshot(), "landscaped");
+        let parsed = parse_exposition(&text).expect("golden parses");
+        assert_eq!(
+            parsed.value("landscaped_queries_started_total", &[]),
+            Some(7.0)
+        );
+        assert_eq!(
+            parsed.value("landscaped_query_outcome_total", &[("outcome", "ok")]),
+            Some(5.0)
+        );
+        assert_eq!(parsed.series("landscaped_query_outcome_total").len(), 2);
+        assert_eq!(parsed.value("landscaped_inflight", &[]), Some(3.0));
+    }
+}

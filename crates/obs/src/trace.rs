@@ -60,6 +60,8 @@ pub enum EventKind {
     Degraded,
     /// Descriptor-cache activity summary for an interval.
     Cache,
+    /// A run stopped early (cancelled, wall deadline, sim budget).
+    Halt,
 }
 
 impl EventKind {
@@ -70,6 +72,7 @@ impl EventKind {
             EventKind::Fault => "fault",
             EventKind::Degraded => "degraded",
             EventKind::Cache => "cache",
+            EventKind::Halt => "halt",
         }
     }
 }

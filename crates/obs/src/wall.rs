@@ -1,0 +1,369 @@
+//! Thread-safe **wall-clock** metric registry for resident services.
+//!
+//! The deterministic [`crate::metrics::Registry`] is single-owner by
+//! design: one registry per stage attempt, folded into timings after
+//! the stage body returns, every value a pure function of the seed.
+//! A resident daemon needs the opposite instrument — one registry that
+//! lives as long as the process, is written concurrently by every
+//! connection thread, and records *real* time (admission waits, query
+//! latencies, epoch age). [`WallRegistry`] is that instrument:
+//!
+//! * **counters** and **gauges** are single atomics behind cloneable
+//!   handles — the hot path after registration is one
+//!   `fetch_add`/`store`, no lock;
+//! * **histograms** reuse the deterministic log2-bucketed
+//!   [`Histogram`], each behind its own mutex, with registration
+//!   sharded by name hash so concurrent lookups of different metrics
+//!   rarely contend;
+//! * [`WallRegistry::snapshot`] produces a [`WallSnapshot`] sorted by
+//!   metric identity, which is what the Prometheus renderer
+//!   ([`crate::prom`]) consumes.
+//!
+//! The separation rule the workspace lives by: values recorded here
+//! are wall-clock-dependent and MUST NEVER flow into a committed
+//! byte-stable artifact (reports, sim traces, bench counters). The
+//! deterministic registries never flow the other way either — the two
+//! planes share the [`Histogram`] type and nothing else.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::Histogram;
+
+/// Registration shards for histogram lookup.
+const SHARDS: usize = 8;
+
+/// A metric identity: family name plus an ordered label set.
+///
+/// Ordering is lexicographic on `(name, labels)`, which gives
+/// snapshots (and therefore rendered expositions) a stable order
+/// independent of registration order.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MetricId {
+    /// Family name (dots allowed; the renderer sanitizes).
+    pub name: String,
+    /// Label pairs in the order given at registration.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    /// Builds an id from borrowed parts.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        MetricId {
+            name: name.to_owned(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+        }
+    }
+}
+
+/// Cloneable handle to one monotonic counter.
+#[derive(Clone, Debug, Default)]
+pub struct WallCounter(Arc<AtomicU64>);
+
+impl WallCounter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `by`.
+    pub fn add(&self, by: u64) {
+        self.0.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value. Only for mirroring an *external*
+    /// monotonic source (e.g. cache counters owned by another
+    /// subsystem) at scrape time — never mix with [`WallCounter::add`]
+    /// on the same handle.
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Cloneable handle to one point-in-time gauge (f64, stored as bits).
+#[derive(Clone, Debug)]
+pub struct WallGauge(Arc<AtomicU64>);
+
+impl Default for WallGauge {
+    fn default() -> Self {
+        WallGauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl WallGauge {
+    /// Sets the gauge (last write wins).
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Cloneable handle to one mutex-protected log2 histogram.
+#[derive(Clone, Debug, Default)]
+pub struct WallHistogram(Arc<Mutex<Histogram>>);
+
+impl WallHistogram {
+    /// Records one sample.
+    pub fn observe(&self, v: u64) {
+        locked(&self.0).record(v);
+    }
+
+    /// A copy of the current distribution.
+    pub fn snapshot(&self) -> Histogram {
+        locked(&self.0).clone()
+    }
+}
+
+/// Poison-tolerant lock: a panicking scraper must not wedge the
+/// telemetry plane.
+fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A point-in-time copy of every registered metric, sorted by
+/// [`MetricId`]. Public fields so adapters (e.g. the batch pipeline's
+/// deterministic timings) can build one by hand and reuse the
+/// Prometheus renderer.
+#[derive(Clone, Debug, Default)]
+pub struct WallSnapshot {
+    /// Monotonic counters.
+    pub counters: Vec<(MetricId, u64)>,
+    /// Point-in-time gauges.
+    pub gauges: Vec<(MetricId, f64)>,
+    /// Distribution histograms.
+    pub hists: Vec<(MetricId, Histogram)>,
+}
+
+impl WallSnapshot {
+    /// Sorts every section by metric identity (renderer precondition).
+    pub fn sort(&mut self) {
+        self.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        self.hists.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    /// Looks up a counter by name and labels.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let id = MetricId::new(name, labels);
+        self.counters
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by name and labels.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let id = MetricId::new(name, labels);
+        self.gauges.iter().find(|(i, _)| *i == id).map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram by name and labels.
+    pub fn hist(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        let id = MetricId::new(name, labels);
+        self.hists.iter().find(|(i, _)| *i == id).map(|(_, h)| h)
+    }
+}
+
+/// The wall-clock registry: concurrent registration, lock-free
+/// recording through handles, sorted snapshots.
+#[derive(Debug, Default)]
+pub struct WallRegistry {
+    counters: Mutex<Vec<(MetricId, WallCounter)>>,
+    gauges: Mutex<Vec<(MetricId, WallGauge)>>,
+    hist_shards: [Mutex<Vec<(MetricId, WallHistogram)>>; SHARDS],
+}
+
+/// FNV-1a, for shard selection only.
+fn name_shard(name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) % SHARDS
+}
+
+impl WallRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        WallRegistry::default()
+    }
+
+    /// The counter handle for `(name, labels)`, registered on first
+    /// use. Subsequent calls return a handle to the same atomic.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> WallCounter {
+        let id = MetricId::new(name, labels);
+        let mut reg = locked(&self.counters);
+        if let Some((_, h)) = reg.iter().find(|(i, _)| *i == id) {
+            return h.clone();
+        }
+        let handle = WallCounter::default();
+        reg.push((id, handle.clone()));
+        handle
+    }
+
+    /// The gauge handle for `(name, labels)`, registered on first use.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> WallGauge {
+        let id = MetricId::new(name, labels);
+        let mut reg = locked(&self.gauges);
+        if let Some((_, h)) = reg.iter().find(|(i, _)| *i == id) {
+            return h.clone();
+        }
+        let handle = WallGauge::default();
+        reg.push((id, handle.clone()));
+        handle
+    }
+
+    /// The histogram handle for `(name, labels)`, registered on first
+    /// use. Registration is sharded by name hash; recording locks only
+    /// the one histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> WallHistogram {
+        let id = MetricId::new(name, labels);
+        let mut shard = locked(&self.hist_shards[name_shard(name)]);
+        if let Some((_, h)) = shard.iter().find(|(i, _)| *i == id) {
+            return h.clone();
+        }
+        let handle = WallHistogram::default();
+        shard.push((id, handle.clone()));
+        handle
+    }
+
+    /// Convenience: add `by` to a counter by name (registration lock
+    /// per call — cache the handle for hot paths).
+    pub fn inc(&self, name: &str, labels: &[(&str, &str)], by: u64) {
+        self.counter(name, labels).add(by);
+    }
+
+    /// Convenience: record one histogram sample by name.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], v: u64) {
+        self.histogram(name, labels).observe(v);
+    }
+
+    /// A sorted point-in-time copy of everything registered.
+    ///
+    /// Each value is read atomically per metric; the snapshot as a
+    /// whole is *not* a consistent cut across metrics (scrapes race
+    /// with writers by design). Per-series monotonicity of counters
+    /// still holds on every scrape, which is what the torn-read audit
+    /// pins.
+    pub fn snapshot(&self) -> WallSnapshot {
+        let mut snap = WallSnapshot {
+            counters: locked(&self.counters)
+                .iter()
+                .map(|(id, h)| (id.clone(), h.value()))
+                .collect(),
+            gauges: locked(&self.gauges)
+                .iter()
+                .map(|(id, h)| (id.clone(), h.value()))
+                .collect(),
+            hists: Vec::new(),
+        };
+        for shard in &self.hist_shards {
+            for (id, h) in locked(shard).iter() {
+                snap.hists.push((id.clone(), h.snapshot()));
+            }
+        }
+        snap.sort();
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_and_register_once() {
+        let reg = WallRegistry::new();
+        let a = reg.counter("queries", &[("outcome", "ok")]);
+        let b = reg.counter("queries", &[("outcome", "ok")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.value(), 3);
+        let other = reg.counter("queries", &[("outcome", "err")]);
+        other.inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.len(), 2);
+        assert_eq!(snap.counter("queries", &[("outcome", "ok")]), Some(3));
+        assert_eq!(snap.counter("queries", &[("outcome", "err")]), Some(1));
+        assert_eq!(snap.counter("queries", &[]), None);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let reg = WallRegistry::new();
+        let g = reg.gauge("inflight", &[]);
+        g.set(4.0);
+        g.set(2.5);
+        assert_eq!(reg.snapshot().gauge("inflight", &[]), Some(2.5));
+    }
+
+    #[test]
+    fn histograms_record_into_log2_buckets() {
+        let reg = WallRegistry::new();
+        let h = reg.histogram("latency_ms", &[]);
+        h.observe(3);
+        h.observe(70);
+        reg.observe("latency_ms", &[], 5);
+        let snap = reg.snapshot();
+        let hist = snap.hist("latency_ms", &[]).expect("registered");
+        assert_eq!(hist.count(), 3);
+        assert_eq!(hist.max(), 70);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_identity_not_registration_order() {
+        let reg = WallRegistry::new();
+        reg.counter("zeta", &[]).inc();
+        reg.counter("alpha", &[("b", "2")]).inc();
+        reg.counter("alpha", &[("b", "1")]).inc();
+        let names: Vec<String> = reg
+            .snapshot()
+            .counters
+            .iter()
+            .map(|(id, _)| format!("{}/{:?}", id.name, id.labels))
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn concurrent_increments_all_land() {
+        let reg = std::sync::Arc::new(WallRegistry::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    let c = reg.counter("hits", &[]);
+                    let h = reg.histogram("wait_us", &[]);
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe(i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("join");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("hits", &[]), Some(8000));
+        assert_eq!(snap.hist("wait_us", &[]).map(Histogram::count), Some(8000));
+    }
+}

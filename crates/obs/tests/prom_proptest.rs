@@ -1,0 +1,104 @@
+//! Property test: any wall snapshot renders as line-parseable
+//! Prometheus text exposition.
+//!
+//! Metric and label names are drawn from a deliberately hostile
+//! alphabet (dots, dashes, spaces, braces, quotes, backslashes,
+//! newlines, leading digits) so the test exercises the renderer's
+//! sanitisation, escaping and collision handling, not just the happy
+//! path. The strict parser enforces the full grammar plus histogram
+//! invariants (cumulative counts, `le`-sorted buckets ending in
+//! `+Inf`), so a single `parse_exposition` call checks everything the
+//! satellite asks for.
+
+use obs::prom::{parse_exposition, render};
+use obs::wall::{MetricId, WallSnapshot};
+use obs::Histogram;
+use proptest::prelude::*;
+
+/// 46-symbol alphabet mixing legal name characters with everything
+/// sanitisation and escaping must defuse.
+fn glyph(b: u8) -> char {
+    const EXTRAS: [char; 10] = ['.', '_', '-', ':', ' ', '"', '\\', '\n', '{', '9'];
+    match b {
+        0..=25 => (b'a' + b) as char,
+        26..=35 => (b'0' + (b - 26)) as char,
+        _ => EXTRAS[(b as usize - 36) % EXTRAS.len()],
+    }
+}
+
+fn word(bytes: &[u8]) -> String {
+    bytes.iter().map(|&b| glyph(b)).collect()
+}
+
+type RawMetric = (Vec<u8>, Vec<(Vec<u8>, Vec<u8>)>, Vec<u64>);
+
+fn build_snapshot(
+    counters: &[RawMetric],
+    gauges: &[RawMetric],
+    hists: &[RawMetric],
+) -> WallSnapshot {
+    let id = |name: &[u8], labels: &[(Vec<u8>, Vec<u8>)]| MetricId {
+        name: word(name),
+        labels: labels.iter().map(|(k, v)| (word(k), word(v))).collect(),
+    };
+    let mut snap = WallSnapshot {
+        counters: counters
+            .iter()
+            .map(|(n, l, vals)| (id(n, l), vals.iter().sum()))
+            .collect(),
+        gauges: gauges
+            .iter()
+            .map(|(n, l, vals)| {
+                // Fold samples into one (possibly extreme) float.
+                let v = vals.iter().map(|&x| x as f64).sum::<f64>() - 500_000.0;
+                (id(n, l), v)
+            })
+            .collect(),
+        hists: hists
+            .iter()
+            .map(|(n, l, vals)| {
+                let mut h = Histogram::new();
+                for &v in vals {
+                    h.record(v.saturating_mul(v));
+                }
+                (id(n, l), h)
+            })
+            .collect(),
+    };
+    snap.sort();
+    snap
+}
+
+proptest! {
+    #[test]
+    fn any_snapshot_renders_parseable_exposition(
+        counters in collection::vec(
+            (collection::vec(0u8..46, 1..8),
+             collection::vec((collection::vec(0u8..46, 1..5), collection::vec(0u8..46, 0..7)), 0..3),
+             collection::vec(0u64..1_000_000, 0..4)),
+            0..6),
+        gauges in collection::vec(
+            (collection::vec(0u8..46, 1..8),
+             collection::vec((collection::vec(0u8..46, 1..5), collection::vec(0u8..46, 0..7)), 0..3),
+             collection::vec(0u64..1_000_000, 0..4)),
+            0..6),
+        hists in collection::vec(
+            (collection::vec(0u8..46, 1..8),
+             collection::vec((collection::vec(0u8..46, 1..5), collection::vec(0u8..46, 0..7)), 0..3),
+             collection::vec(0u64..5_000_000, 0..12)),
+            0..4),
+    ) {
+        let snap = build_snapshot(&counters, &gauges, &hists);
+        let text = render(&snap, "prop");
+        prop_assert!(!text.contains("NaN"), "NaN leaked:\n{text}");
+        let parsed = match parse_exposition(&text) {
+            Ok(p) => p,
+            Err(e) => panic!("unparseable exposition: {e}\n--- rendered ---\n{text}"),
+        };
+        // Every non-skipped family re-parses with a declared kind, and
+        // every sample line belongs to a family (the parser enforces
+        // grouping); histogram invariants were checked during parsing.
+        let declared = text.matches("# TYPE ").count();
+        prop_assert_eq!(parsed.families.len(), declared);
+    }
+}

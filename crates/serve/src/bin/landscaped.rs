@@ -3,27 +3,34 @@
 //! ```text
 //! landscaped serve [--addr A] [--scale F] [--seed N] [--threads N]
 //!                  [--max-inflight N] [--wall-ms N] [--sim-hours N]
-//!                  [--cache-cap N] [--faults PROFILE] [--port-file P]
+//!                  [--cache-cap N] [--cache-bytes N] [--faults PROFILE]
+//!                  [--port-file P] [--log off|progress|debug]
 //! landscaped script <addr>       # drive a stdin transcript
+//! landscaped dump-trace <addr> <file>   # TRACE DUMP → Chrome JSON
 //! ```
 //!
 //! `serve` binds (port 0 supported; `--port-file` writes the resolved
 //! port for scripts), bootstraps the resident world, and serves until
 //! `SHUTDOWN`. `script` reads request lines from stdin, sends each,
 //! and echoes `> request` followed by the verbatim reply — the golden
-//! daemon transcript in `results/` is produced this way.
+//! daemon transcript in `results/` is produced this way. `dump-trace`
+//! fetches the flight recorder's `TRACE DUMP`, validates it as Chrome
+//! `trace_event` JSON, and writes it to a file for `chrome://tracing`
+//! or Perfetto.
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::time::Duration;
 
 use hs_serve::{Client, Daemon, DaemonConfig};
+use obs::{LogLevel, Logger};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("serve") => serve(&args[1..]),
         Some("script") => script(&args[1..]),
+        Some("dump-trace") => dump_trace(&args[1..]),
         _ => Err(USAGE.to_owned()),
     };
     match result {
@@ -36,8 +43,10 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:\n  landscaped serve [--addr A] [--scale F] [--seed N] [--threads N] \
-[--max-inflight N] [--wall-ms N] [--sim-hours N] [--cache-cap N] [--faults PROFILE] [--port-file P]\n  \
-landscaped script <addr>";
+[--max-inflight N] [--wall-ms N] [--sim-hours N] [--cache-cap N] [--cache-bytes N] \
+[--faults PROFILE] [--port-file P] [--log off|progress|debug]\n  \
+landscaped script <addr>\n  \
+landscaped dump-trace <addr> <file>";
 
 /// One `--flag value` pair.
 fn take_value<'a>(
@@ -67,8 +76,17 @@ fn serve(args: &[String]) -> Result<(), String> {
             "--wall-ms" => cfg.default_wall_ms = Some(parse(flag, take_value(flag, &mut it)?)?),
             "--sim-hours" => cfg.default_sim_hours = Some(parse(flag, take_value(flag, &mut it)?)?),
             "--cache-cap" => cfg.cache_capacity = parse(flag, take_value(flag, &mut it)?)?,
+            "--cache-bytes" => {
+                cfg.cache_budget_bytes = Some(parse(flag, take_value(flag, &mut it)?)?)
+            }
             "--faults" => cfg.study.apply_fault_profile(take_value(flag, &mut it)?)?,
             "--port-file" => port_file = Some(take_value(flag, &mut it)?.clone()),
+            "--log" => {
+                let value = take_value(flag, &mut it)?;
+                let level = LogLevel::parse(value)
+                    .ok_or_else(|| format!("bad value for --log: {value}"))?;
+                cfg.log = Logger::new(level);
+            }
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
@@ -112,5 +130,35 @@ fn script(args: &[String]) -> Result<(), String> {
             break;
         }
     }
+    Ok(())
+}
+
+/// Fetches `TRACE DUMP`, validates the Chrome `trace_event` JSON, and
+/// writes it to `file`. Exits nonzero when the daemon answers with an
+/// error or the document fails structural validation.
+fn dump_trace(args: &[String]) -> Result<(), String> {
+    let [addr, file] = args else {
+        return Err(USAGE.to_owned());
+    };
+    let mut client = Client::connect_retry(addr.as_str(), Duration::from_secs(10))
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let reply = client
+        .request("TRACE DUMP")
+        .map_err(|e| format!("TRACE DUMP failed: {e}"))?;
+    let Some(("OK TRACE", body)) = reply
+        .split_first()
+        .map(|(head, rest)| (head.as_str(), rest))
+    else {
+        return Err(format!("unexpected reply: {reply:?}"));
+    };
+    // Strip the trailing `.` frame terminator; the rest is the JSON.
+    let json: String = body
+        .iter()
+        .filter(|line| line.as_str() != ".")
+        .map(|line| format!("{line}\n"))
+        .collect();
+    obs::validate_json(&json).map_err(|e| format!("invalid trace JSON: {e}"))?;
+    std::fs::write(file, &json).map_err(|e| format!("cannot write {file}: {e}"))?;
+    eprintln!("wrote {} bytes of trace to {file}", json.len());
     Ok(())
 }

@@ -66,8 +66,8 @@ impl Client {
     /// Sends a request and collects its complete reply according to
     /// the protocol's framing:
     ///
-    /// * `OK STATUS` / `OK METRICS` / `OK GET …` — read until `.`
-    ///   (terminator included in the returned lines);
+    /// * `OK STATUS` / `OK METRICS` / `OK TRACE` / `OK GET …` — read
+    ///   until `.` (terminator included in the returned lines);
     /// * `RUNNING id=<n>` — one more (terminal) line follows;
     /// * anything else — single line.
     pub fn request(&mut self, line: &str) -> io::Result<Vec<String>> {
@@ -75,7 +75,11 @@ impl Client {
         let first = self.read_line()?;
         let mut reply = vec![first];
         let head = reply[0].clone();
-        if head == "OK STATUS" || head == "OK METRICS" || head.starts_with("OK GET ") {
+        if head == "OK STATUS"
+            || head == "OK METRICS"
+            || head == "OK TRACE"
+            || head.starts_with("OK GET ")
+        {
             loop {
                 let line = self.read_line()?;
                 let done = line == ".";

@@ -31,6 +31,20 @@
 //! simulated time, and publishes the result under the *next* epoch's
 //! salt; in-flight queries admitted under the old epoch keep reading
 //! the old payload untouched (snapshot isolation by construction).
+//!
+//! # Telemetry plane
+//!
+//! All daemon counters live in a wall-clock [`WallRegistry`]
+//! ([`Telemetry`]), strictly separate from the deterministic sim-clock
+//! metrics inside stage timings. Plain `METRICS` renders the frozen
+//! legacy `key=value` lines from the same handles (byte-identical to
+//! the pre-telemetry daemon); `METRICS PROM` renders the whole
+//! registry — including admission-wait / query-latency / per-stage
+//! histograms and scrape-time gauges — as Prometheus text exposition.
+//! Each `RUN_UNTIL` additionally records a wall-clock span tree
+//! (parse → admission → stage attempts → render) into the
+//! [`FlightRecorder`], queryable via `TRACE <id>` / `TRACE DUMP` /
+//! `TRACE ERRORS`.
 
 use std::collections::HashMap;
 use std::io::{self, BufReader, Write};
@@ -45,9 +59,12 @@ use hs_landscape::{
     CancelToken, ExecMode, MemoryCache, PipelineRun, RunControl, RunOptions, StageCache, StageId,
     StagePayload, StudyConfig,
 };
+use obs::trace::{EventKind, Span, TraceEvent};
+use obs::{Logger, WallCounter, WallGauge, WallHistogram, WallRegistry};
 use wave::mix2;
 
-use crate::protocol::{parse_request, LineReader, Request, Target};
+use crate::flight::{FlightRecorder, QueryOutcome, QueryRecord};
+use crate::protocol::{parse_request, LineReader, Request, Target, TraceQuery};
 
 /// Seed-domain tag for epoch salts: `mix2(EPOCH_TAG, epoch_id)`.
 const EPOCH_TAG: u64 = 0x6570_6f63_6873_616c;
@@ -69,6 +86,15 @@ pub struct DaemonConfig {
     pub default_sim_hours: Option<u64>,
     /// Recompute-cache capacity, in payloads.
     pub cache_capacity: usize,
+    /// Optional recompute-cache byte budget; evicts oldest payloads by
+    /// approximate weight once exceeded.
+    pub cache_budget_bytes: Option<u64>,
+    /// Flight-recorder main ring capacity (recent queries).
+    pub flight_capacity: usize,
+    /// Flight-recorder pinned-error ring capacity.
+    pub flight_errors: usize,
+    /// Stderr logger; `debug` adds one line per connection event.
+    pub log: Logger,
 }
 
 impl Default for DaemonConfig {
@@ -81,6 +107,10 @@ impl Default for DaemonConfig {
             default_wall_ms: None,
             default_sim_hours: None,
             cache_capacity: 32,
+            cache_budget_bytes: None,
+            flight_capacity: 64,
+            flight_errors: 16,
+            log: Logger::off(),
         }
     }
 }
@@ -93,18 +123,55 @@ struct Epoch {
     salt: u64,
     sim_time_unix: u64,
     world_hash: u64,
+    /// When this epoch was installed (wall clock, telemetry only).
+    opened_at: Instant,
 }
 
-/// Monotonic daemon counters, exported through `METRICS`.
-#[derive(Debug, Default)]
-struct Counters {
-    started: AtomicU64,
-    completed: AtomicU64,
-    partial: AtomicU64,
-    busy: AtomicU64,
-    cancelled: AtomicU64,
-    ticks: AtomicU64,
-    protocol_errors: AtomicU64,
+/// The daemon's wall-clock telemetry plane: one [`WallRegistry`] plus
+/// cached handles for the hot-path counters. The legacy `METRICS`
+/// reply and the `METRICS PROM` exposition read the *same* handles, so
+/// the two views can never disagree.
+///
+/// Nothing in here may feed a deterministic artifact or baseline —
+/// wall values are masked by the telemetry experiment script.
+#[derive(Debug)]
+struct Telemetry {
+    registry: WallRegistry,
+    started: WallCounter,
+    completed: WallCounter,
+    partial: WallCounter,
+    busy: WallCounter,
+    cancelled: WallCounter,
+    ticks: WallCounter,
+    protocol_errors: WallCounter,
+    inflight: WallGauge,
+    admission_wait_us: WallHistogram,
+    query_wall_us: WallHistogram,
+}
+
+impl Telemetry {
+    fn new() -> Self {
+        let registry = WallRegistry::new();
+        Telemetry {
+            started: registry.counter("queries.started", &[]),
+            completed: registry.counter("queries.completed", &[]),
+            partial: registry.counter("queries.partial", &[]),
+            busy: registry.counter("queries.busy", &[]),
+            cancelled: registry.counter("queries.cancelled", &[]),
+            ticks: registry.counter("ticks", &[]),
+            protocol_errors: registry.counter("protocol.errors", &[]),
+            inflight: registry.gauge("inflight", &[]),
+            admission_wait_us: registry.histogram("admission.wait_us", &[]),
+            query_wall_us: registry.histogram("query.wall_us", &[]),
+            registry,
+        }
+    }
+
+    /// Records one executed stage's wall latency under a `stage` label.
+    fn observe_stage(&self, stage: StageId, wall_us: u64) {
+        self.registry
+            .observe("stage.wall_us", &[("stage", stage.name())], wall_us);
+    }
 }
 
 /// State shared by every connection thread.
@@ -117,7 +184,9 @@ struct Shared {
     inflight: AtomicUsize,
     next_id: AtomicU64,
     queries: Mutex<HashMap<u64, CancelToken>>,
-    counters: Counters,
+    telemetry: Telemetry,
+    flight: FlightRecorder,
+    started_at: Instant,
     stop: AtomicBool,
 }
 
@@ -169,6 +238,11 @@ fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     }
 }
 
+/// Microseconds elapsed since `t`, saturated into `u64`.
+fn micros_since(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
 impl Daemon {
     /// Binds the listener and bootstraps epoch 0: one controlled
     /// `Setup` run deposits the resident world into the cache.
@@ -176,7 +250,10 @@ impl Daemon {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let pipeline = hs_landscape::pipeline::Pipeline::new(cfg.study.clone());
-        let cache = Arc::new(MemoryCache::new(cfg.cache_capacity));
+        let cache = Arc::new(match cfg.cache_budget_bytes {
+            Some(budget) => MemoryCache::with_byte_budget(cfg.cache_capacity, budget),
+            None => MemoryCache::new(cfg.cache_capacity),
+        });
         let salt = mix2(EPOCH_TAG, 0);
         let ctl = RunControl {
             cache: Some(cache.clone() as Arc<dyn StageCache>),
@@ -207,11 +284,14 @@ impl Daemon {
                 salt,
                 sim_time_unix,
                 world_hash,
+                opened_at: Instant::now(),
             }),
             inflight: AtomicUsize::new(0),
             next_id: AtomicU64::new(0),
             queries: Mutex::new(HashMap::new()),
-            counters: Counters::default(),
+            telemetry: Telemetry::new(),
+            flight: FlightRecorder::new(cfg.flight_capacity, cfg.flight_errors),
+            started_at: Instant::now(),
             stop: AtomicBool::new(false),
             cfg,
         });
@@ -264,6 +344,12 @@ impl Daemon {
 /// Drives one client connection to EOF or `SHUTDOWN`.
 fn serve_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".to_owned());
+    let log = shared.cfg.log;
+    log.debug(format_args!("conn {peer}: open"));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -273,48 +359,61 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
         let line = match reader.next_line() {
             Ok(Some(Ok(line))) => line,
             Ok(Some(Err(err))) => {
-                shared
-                    .counters
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.telemetry.protocol_errors.inc();
+                log.debug(format_args!("conn {peer}: framing error ({})", err.reply()));
                 if writeln!(writer, "{}", err.reply()).is_err() {
                     return;
                 }
                 continue;
             }
-            Ok(None) | Err(_) => return,
+            Ok(None) | Err(_) => {
+                log.debug(format_args!("conn {peer}: close"));
+                return;
+            }
         };
+        let parse_started = Instant::now();
         let request = match parse_request(&line) {
             Ok(req) => req,
             Err(err) => {
-                shared
-                    .counters
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.telemetry.protocol_errors.inc();
+                log.debug(format_args!("conn {peer}: parse error ({})", err.reply()));
                 if writeln!(writer, "{}", err.reply()).is_err() {
                     return;
                 }
                 continue;
             }
         };
+        let parse_us = micros_since(parse_started);
+        log.debug(format_args!("conn {peer}: {line}"));
         let done = matches!(request, Request::Shutdown);
-        if handle_request(request, shared, &mut writer).is_err() {
+        if handle_request(request, parse_us, &peer, shared, &mut writer).is_err() {
             return;
         }
         if done {
             shared.stop.store(true, Ordering::Release);
+            log.debug(format_args!("conn {peer}: shutdown"));
             return;
         }
     }
 }
 
-/// Executes one parsed request and writes its reply.
-fn handle_request(request: Request, shared: &Shared, w: &mut TcpStream) -> io::Result<()> {
+/// Executes one parsed request and writes its reply. `parse_us` is the
+/// wall time the protocol parser spent on this line; it seeds the
+/// flight-recorder span tree for `RUN_UNTIL` queries.
+fn handle_request(
+    request: Request,
+    parse_us: u64,
+    peer: &str,
+    shared: &Shared,
+    w: &mut TcpStream,
+) -> io::Result<()> {
     match request {
         Request::Ping => writeln!(w, "OK PONG"),
         Request::Shutdown => writeln!(w, "OK BYE"),
-        Request::Status => reply_status(shared, w),
-        Request::Metrics => reply_metrics(shared, w),
+        Request::Status { full } => reply_status(full, shared, w),
+        Request::Metrics { prom: false } => reply_metrics(shared, w),
+        Request::Metrics { prom: true } => reply_metrics_prom(shared, w),
+        Request::Trace(query) => reply_trace(query, shared, w),
         Request::Get { stage } => reply_get(stage, shared, w),
         Request::Cancel { id } => reply_cancel(id, shared, w),
         Request::Tick { hours } => reply_tick(hours, shared, w),
@@ -322,11 +421,11 @@ fn handle_request(request: Request, shared: &Shared, w: &mut TcpStream) -> io::R
             target,
             wall_ms,
             sim_hours,
-        } => reply_run(target, wall_ms, sim_hours, shared, w),
+        } => reply_run(target, wall_ms, sim_hours, parse_us, peer, shared, w),
     }
 }
 
-fn reply_status(shared: &Shared, w: &mut TcpStream) -> io::Result<()> {
+fn reply_status(full: bool, shared: &Shared, w: &mut TcpStream) -> io::Result<()> {
     let epoch = *locked(&shared.epoch);
     writeln!(w, "OK STATUS")?;
     writeln!(w, "epoch={}", epoch.id)?;
@@ -335,38 +434,119 @@ fn reply_status(shared: &Shared, w: &mut TcpStream) -> io::Result<()> {
     writeln!(w, "inflight={}", shared.inflight.load(Ordering::Acquire))?;
     writeln!(w, "max_inflight={}", shared.cfg.max_inflight)?;
     writeln!(w, "fingerprint={:016x}", shared.cfg.study.fingerprint())?;
+    if full {
+        // Telemetry extension: wall-clock ages and occupancy figures.
+        // Values with a `_ms` suffix are masked by the experiment
+        // script's normalizer; the line *set* is deterministic.
+        let cache = shared.cache.counters();
+        let (recent, errors) = shared.flight.occupancy();
+        writeln!(w, "epoch_age_ms={}", epoch.opened_at.elapsed().as_millis())?;
+        writeln!(w, "uptime_ms={}", shared.started_at.elapsed().as_millis())?;
+        writeln!(w, "cache.entries={}", cache.entries)?;
+        writeln!(w, "cache.resident_bytes={}", cache.resident_bytes)?;
+        writeln!(
+            w,
+            "cache.budget_bytes={}",
+            shared
+                .cfg
+                .cache_budget_bytes
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "none".to_owned())
+        )?;
+        writeln!(w, "flight.recent={recent}")?;
+        writeln!(w, "flight.errors={errors}")?;
+        writeln!(w, "wave_threads={}", shared.cfg.wave_threads)?;
+    }
     writeln!(w, ".")
 }
 
 fn reply_metrics(shared: &Shared, w: &mut TcpStream) -> io::Result<()> {
     let cache = shared.cache.counters();
-    let c = &shared.counters;
+    let t = &shared.telemetry;
     writeln!(w, "OK METRICS")?;
     writeln!(w, "cache.hits={}", cache.hits)?;
     writeln!(w, "cache.misses={}", cache.misses)?;
     writeln!(w, "cache.insertions={}", cache.insertions)?;
     writeln!(w, "cache.evictions={}", cache.evictions)?;
     writeln!(w, "cache.entries={}", cache.entries)?;
-    writeln!(w, "queries.started={}", c.started.load(Ordering::Relaxed))?;
-    writeln!(
-        w,
-        "queries.completed={}",
-        c.completed.load(Ordering::Relaxed)
-    )?;
-    writeln!(w, "queries.partial={}", c.partial.load(Ordering::Relaxed))?;
-    writeln!(w, "queries.busy={}", c.busy.load(Ordering::Relaxed))?;
-    writeln!(
-        w,
-        "queries.cancelled={}",
-        c.cancelled.load(Ordering::Relaxed)
-    )?;
-    writeln!(w, "ticks={}", c.ticks.load(Ordering::Relaxed))?;
-    writeln!(
-        w,
-        "protocol.errors={}",
-        c.protocol_errors.load(Ordering::Relaxed)
-    )?;
+    writeln!(w, "queries.started={}", t.started.value())?;
+    writeln!(w, "queries.completed={}", t.completed.value())?;
+    writeln!(w, "queries.partial={}", t.partial.value())?;
+    writeln!(w, "queries.busy={}", t.busy.value())?;
+    writeln!(w, "queries.cancelled={}", t.cancelled.value())?;
+    writeln!(w, "ticks={}", t.ticks.value())?;
+    writeln!(w, "protocol.errors={}", t.protocol_errors.value())?;
     writeln!(w, ".")
+}
+
+/// `METRICS PROM`: mirrors the scrape-time state (cache counters,
+/// inflight, epoch age, ring occupancy) into the registry, then
+/// renders the whole thing as Prometheus text exposition.
+fn reply_metrics_prom(shared: &Shared, w: &mut TcpStream) -> io::Result<()> {
+    let t = &shared.telemetry;
+    let reg = &t.registry;
+    let cache = shared.cache.counters();
+    // Cache counters are owned by the cache itself; `store` mirrors
+    // the monotonic values into the registry at scrape time so one
+    // snapshot covers every family.
+    reg.counter("cache.hits", &[]).store(cache.hits);
+    reg.counter("cache.misses", &[]).store(cache.misses);
+    reg.counter("cache.insertions", &[]).store(cache.insertions);
+    reg.counter("cache.evictions", &[]).store(cache.evictions);
+    reg.counter("cache.evicted_bytes", &[])
+        .store(cache.evicted_bytes);
+    reg.gauge("cache.entries", &[]).set(cache.entries as f64);
+    reg.gauge("cache.resident_bytes", &[])
+        .set(cache.resident_bytes as f64);
+    t.inflight
+        .set(shared.inflight.load(Ordering::Acquire) as f64);
+    reg.gauge("max_inflight", &[])
+        .set(shared.cfg.max_inflight as f64);
+    let epoch = *locked(&shared.epoch);
+    reg.gauge("epoch", &[]).set(epoch.id as f64);
+    reg.gauge("epoch.age_seconds", &[])
+        .set(epoch.opened_at.elapsed().as_secs_f64());
+    reg.gauge("uptime_seconds", &[])
+        .set(shared.started_at.elapsed().as_secs_f64());
+    let (recent, errors) = shared.flight.occupancy();
+    reg.gauge("flight.recent", &[]).set(recent as f64);
+    reg.gauge("flight.errors", &[]).set(errors as f64);
+    let body = obs::prom::render(&reg.snapshot(), "landscaped");
+    writeln!(w, "OK METRICS")?;
+    for line in body.lines() {
+        writeln!(w, "{line}")?;
+    }
+    writeln!(w, ".")
+}
+
+fn reply_trace(query: TraceQuery, shared: &Shared, w: &mut TcpStream) -> io::Result<()> {
+    match query {
+        TraceQuery::Query(id) => match shared.flight.get(id) {
+            Some(record) => {
+                writeln!(w, "OK TRACE")?;
+                for line in record.render_tree() {
+                    writeln!(w, "{line}")?;
+                }
+                writeln!(w, ".")
+            }
+            None => writeln!(w, "ERR unknown_trace: id={id}"),
+        },
+        TraceQuery::Dump => {
+            let json = shared.flight.dump();
+            writeln!(w, "OK TRACE")?;
+            for line in json.lines() {
+                writeln!(w, "{line}")?;
+            }
+            writeln!(w, ".")
+        }
+        TraceQuery::Errors => {
+            writeln!(w, "OK TRACE")?;
+            for (id, outcome, request) in shared.flight.error_summaries() {
+                writeln!(w, "id={id} outcome={outcome} request={request}")?;
+            }
+            writeln!(w, ".")
+        }
+    }
 }
 
 /// The current epoch's cache keys, one per stage.
@@ -477,6 +657,7 @@ fn reply_tick(hours: u64, shared: &Shared, w: &mut TcpStream) -> io::Result<()> 
         salt: mix2(EPOCH_TAG, epoch.id + 1),
         sim_time_unix: net.time().unix(),
         world_hash: net.state_hash(),
+        opened_at: Instant::now(),
     };
     let next_bundle = hs_landscape::pipeline::SetupBundle {
         world: bundle.world.clone(),
@@ -491,7 +672,7 @@ fn reply_tick(hours: u64, shared: &Shared, w: &mut TcpStream) -> io::Result<()> 
         StagePayload::Setup(Arc::new(next_bundle)),
     );
     *epoch = next;
-    shared.counters.ticks.fetch_add(1, Ordering::Relaxed);
+    shared.telemetry.ticks.inc();
     writeln!(
         w,
         "OK TICK hours={hours} epoch={} sim_time={} world={:016x}",
@@ -500,18 +681,26 @@ fn reply_tick(hours: u64, shared: &Shared, w: &mut TcpStream) -> io::Result<()> 
 }
 
 /// Admission, execution, and the terminal reply for `RUN_UNTIL`.
+/// Besides the reply, every admitted query leaves a wall-clock span
+/// tree (parse → admission → run → stage attempts → render) in the
+/// flight recorder.
 fn reply_run(
     target: Target,
     wall_ms: Option<u64>,
     sim_hours: Option<u64>,
+    parse_us: u64,
+    peer: &str,
     shared: &Shared,
     w: &mut TcpStream,
 ) -> io::Result<()> {
+    let t = &shared.telemetry;
+    let query_started = Instant::now();
     // Admission control: reserve a slot or shed immediately.
     let mut inflight = shared.inflight.load(Ordering::Acquire);
     loop {
         if inflight >= shared.cfg.max_inflight {
-            shared.counters.busy.fetch_add(1, Ordering::Relaxed);
+            t.busy.inc();
+            t.admission_wait_us.observe(micros_since(query_started));
             return writeln!(
                 w,
                 "BUSY inflight={inflight} max={}",
@@ -528,11 +717,18 @@ fn reply_run(
             Err(actual) => inflight = actual,
         }
     }
+    // All span offsets are micros since parse start; admission and
+    // everything after it happened `parse_us` into the query.
+    let admitted_at = parse_us + micros_since(query_started);
+    t.admission_wait_us.observe(admitted_at - parse_us);
 
     let id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
     let token = CancelToken::new();
     locked(&shared.queries).insert(id, token.clone());
-    shared.counters.started.fetch_add(1, Ordering::Relaxed);
+    t.started.inc();
+    shared.cfg.log.debug(format_args!(
+        "conn {peer}: query id={id} target={target} admitted"
+    ));
 
     // Announce the id before doing any work, so a second connection
     // can CANCEL this query while it runs.
@@ -548,12 +744,20 @@ fn reply_run(
         epoch_salt: epoch.salt,
     };
     let mode = ExecMode::sequential().with_wave_threads(shared.cfg.wave_threads);
+    let run_started_at = parse_us + micros_since(query_started);
     let run = shared
         .pipeline
         .run_controlled(&target.stages(), mode, RunOptions::default(), &ctl);
+    let run_ended_at = parse_us + micros_since(query_started);
 
     locked(&shared.queries).remove(&id);
     shared.inflight.fetch_sub(1, Ordering::AcqRel);
+    for timing in &run.timings.executed {
+        t.observe_stage(
+            timing.stage,
+            u64::try_from(timing.wall.as_micros()).unwrap_or(u64::MAX),
+        );
+    }
     announced?;
 
     // Containment proof: the epoch's resident world, re-hashed after
@@ -566,7 +770,129 @@ fn reply_run(
         Some(StagePayload::Setup(bundle)) => bundle.net.state_hash(),
         _ => epoch.world_hash,
     };
-    write_run_reply(id, &epoch, world_after, &run, shared, w)
+    let render_started_at = parse_us + micros_since(query_started);
+    let written = write_run_reply(id, &epoch, world_after, &run, shared, w);
+    let total_us = parse_us + micros_since(query_started);
+    let outcome = match &written {
+        Ok(outcome) => *outcome,
+        Err(_) => QueryOutcome::Err,
+    };
+    t.query_wall_us.observe(total_us);
+    shared.flight.record(flight_record(
+        id,
+        target,
+        outcome,
+        parse_us,
+        admitted_at,
+        run_started_at,
+        run_ended_at,
+        render_started_at,
+        total_us,
+        &run,
+    ));
+    shared.cfg.log.debug(format_args!(
+        "conn {peer}: query id={id} outcome={} wall_us={total_us}",
+        outcome.name()
+    ));
+    written.map(|_| ())
+}
+
+/// Assembles the wall-clock span tree for one completed query. Stage
+/// spans are laid out cumulatively inside the `run` span in execution
+/// order — an approximation when the analysis wave overlaps stages,
+/// exact under sequential execution.
+#[allow(clippy::too_many_arguments)]
+fn flight_record(
+    id: u64,
+    target: Target,
+    outcome: QueryOutcome,
+    parse_us: u64,
+    admitted_at: u64,
+    run_started_at: u64,
+    run_ended_at: u64,
+    render_started_at: u64,
+    total_us: u64,
+    run: &PipelineRun,
+) -> QueryRecord {
+    let mut spans = Vec::new();
+    let mut events = Vec::new();
+    let wall_span = |name: String, cat: &'static str, start: u64, end: u64| Span {
+        name,
+        cat,
+        sim_start: 0,
+        sim_end: 0,
+        wall_us: Some((start, end)),
+        args: Vec::new(),
+    };
+    let mut query_span = wall_span("query".to_owned(), "query", 0, total_us);
+    query_span.args.push(("id", id));
+    spans.push(query_span);
+    spans.push(wall_span("parse".to_owned(), "query", 0, parse_us));
+    spans.push(wall_span(
+        "admission".to_owned(),
+        "query",
+        parse_us,
+        admitted_at,
+    ));
+    let mut run_span = wall_span("run".to_owned(), "query", run_started_at, run_ended_at);
+    run_span
+        .args
+        .push(("ran", run.timings.executed.len() as u64));
+    spans.push(run_span);
+    let mut cursor = run_started_at;
+    for timing in &run.timings.executed {
+        let wall_us = u64::try_from(timing.wall.as_micros()).unwrap_or(u64::MAX);
+        let cached = timing.counter("stage_cache_hit").is_some();
+        let mut span = wall_span(
+            format!("stage:{}", timing.stage.name()),
+            "stage",
+            cursor,
+            cursor.saturating_add(wall_us),
+        );
+        if cached {
+            span.args.push(("cached", 1));
+            events.push(TraceEvent {
+                kind: EventKind::Cache,
+                sim_at: 0,
+                wall_us: Some(cursor),
+                args: vec![("stage", timing.stage as u64)],
+            });
+        }
+        spans.push(span);
+        cursor = cursor.saturating_add(wall_us);
+    }
+    for degraded in &run.timings.degraded {
+        events.push(TraceEvent {
+            kind: EventKind::Degraded,
+            sim_at: 0,
+            wall_us: Some(run_ended_at),
+            args: vec![
+                ("stage", degraded.stage as u64),
+                ("attempts", u64::from(degraded.attempts)),
+            ],
+        });
+    }
+    if run.halt.is_some() {
+        events.push(TraceEvent {
+            kind: EventKind::Halt,
+            sim_at: 0,
+            wall_us: Some(run_ended_at),
+            args: vec![("halted", run.timings.halted.len() as u64)],
+        });
+    }
+    spans.push(wall_span(
+        "render".to_owned(),
+        "query",
+        render_started_at,
+        total_us,
+    ));
+    QueryRecord {
+        id,
+        request: format!("RUN_UNTIL {target}"),
+        outcome,
+        spans,
+        events,
+    }
 }
 
 fn write_run_reply(
@@ -576,7 +902,8 @@ fn write_run_reply(
     run: &PipelineRun,
     shared: &Shared,
     w: &mut TcpStream,
-) -> io::Result<()> {
+) -> io::Result<QueryOutcome> {
+    let t = &shared.telemetry;
     let ran = run.timings.executed.len();
     let cached = run
         .timings
@@ -590,15 +917,16 @@ fn write_run_reply(
     );
     if let Some(halt) = &run.halt {
         if matches!(halt, hs_landscape::Halt::Cancelled) {
-            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            t.cancelled.inc();
         }
-        shared.counters.partial.fetch_add(1, Ordering::Relaxed);
+        t.partial.inc();
         return writeln!(
             w,
             "PARTIAL RUN id={id} halt={} halted={} {tail}",
             halt.name(),
             run.timings.halted.len()
-        );
+        )
+        .map(|()| QueryOutcome::Partial);
     }
     if !run.timings.degraded.is_empty() {
         let names: Vec<&str> = run
@@ -607,9 +935,10 @@ fn write_run_reply(
             .iter()
             .map(|d| d.stage.name())
             .collect();
-        shared.counters.partial.fetch_add(1, Ordering::Relaxed);
-        return writeln!(w, "PARTIAL RUN id={id} degraded={} {tail}", names.join(","));
+        t.partial.inc();
+        return writeln!(w, "PARTIAL RUN id={id} degraded={} {tail}", names.join(","))
+            .map(|()| QueryOutcome::Partial);
     }
-    shared.counters.completed.fetch_add(1, Ordering::Relaxed);
-    writeln!(w, "OK RUN id={id} {tail}")
+    t.completed.inc();
+    writeln!(w, "OK RUN id={id} {tail}").map(|()| QueryOutcome::Ok)
 }

@@ -25,6 +25,11 @@
 //! * **Snapshot isolation** — each query captures the epoch (world
 //!   salt) at admission; a concurrent `TICK` opens a *new* epoch and
 //!   never mutates the one in-flight readers see.
+//! * **Observability** — a wall-clock telemetry plane (`METRICS PROM`
+//!   Prometheus exposition, `STATUS FULL` extensions) and a
+//!   [`flight::FlightRecorder`] of per-query span trees (`TRACE <id>`,
+//!   `TRACE DUMP` Chrome-trace export, `TRACE ERRORS`), kept strictly
+//!   apart from the deterministic sim-clock metrics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
@@ -32,8 +37,10 @@
 
 pub mod client;
 pub mod daemon;
+pub mod flight;
 pub mod protocol;
 
 pub use client::Client;
 pub use daemon::{Daemon, DaemonConfig, DaemonHandle};
+pub use flight::{FlightRecorder, QueryOutcome, QueryRecord};
 pub use protocol::{parse_request, LineReader, ProtocolError, Request, Target, MAX_LINE};

@@ -4,8 +4,9 @@
 //!
 //! ```text
 //! PING
-//! STATUS
-//! METRICS
+//! STATUS [FULL]
+//! METRICS [PROM]
+//! TRACE <id>|DUMP|ERRORS
 //! RUN_UNTIL <stage|all> [WALL_MS <n>] [SIM_HOURS <n>]
 //! GET <stage>
 //! CANCEL <id>
@@ -13,11 +14,16 @@
 //! SHUTDOWN
 //! ```
 //!
-//! Replies are single lines except `STATUS`, `METRICS` and a `GET`
-//! hit, which send a status line, payload lines, and a lone `.`
+//! Replies are single lines except `STATUS`, `METRICS`, `TRACE` and a
+//! `GET` hit, which send a status line, payload lines, and a lone `.`
 //! terminator. `RUN_UNTIL` replies twice: `RUNNING id=<n>` immediately
 //! (so the client can `CANCEL` from another connection), then the
 //! final `OK`/`PARTIAL`/`ERROR` line when the query settles.
+//!
+//! The plain `STATUS` and `METRICS` replies are frozen (the committed
+//! daemon transcript pins them byte-for-byte); the telemetry plane
+//! extends the protocol only through the new `STATUS FULL`,
+//! `METRICS PROM` and `TRACE` forms.
 //!
 //! Malformed input never kills a connection: every parse failure maps
 //! to a typed [`ProtocolError`] the daemon renders as a single `ERR
@@ -65,15 +71,37 @@ impl fmt::Display for Target {
     }
 }
 
+/// What a `TRACE` request asks for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceQuery {
+    /// One query's span tree, by the id from its `RUNNING` reply.
+    Query(u64),
+    /// The whole flight-recorder ring as Chrome `trace_event` JSON.
+    Dump,
+    /// The ids pinned in the last-errors ring.
+    Errors,
+}
+
 /// A parsed request line.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Request {
     /// Liveness probe.
     Ping,
-    /// Epoch, world hash, sim clock, admission state.
-    Status,
-    /// Daemon and cache counters.
-    Metrics,
+    /// Epoch, world hash, sim clock, admission state. `FULL` adds the
+    /// telemetry extensions (epoch age, uptime, cache occupancy).
+    Status {
+        /// True for `STATUS FULL`.
+        full: bool,
+    },
+    /// Daemon and cache counters. `PROM` renders the wall-clock
+    /// telemetry registry as Prometheus text exposition instead of the
+    /// frozen legacy key=value lines.
+    Metrics {
+        /// True for `METRICS PROM`.
+        prom: bool,
+    },
+    /// Flight-recorder queries.
+    Trace(TraceQuery),
     /// Run a study query against the current epoch.
     RunUntil {
         /// What to run.
@@ -217,8 +245,24 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
     let verb = tokens.next().ok_or(ProtocolError::Empty)?;
     let req = match verb {
         "PING" => Request::Ping,
-        "STATUS" => Request::Status,
-        "METRICS" => Request::Metrics,
+        "STATUS" => match tokens.next() {
+            None => Request::Status { full: false },
+            Some("FULL") => Request::Status { full: true },
+            Some(other) => return Err(ProtocolError::UnexpectedArgument(other.to_owned())),
+        },
+        "METRICS" => match tokens.next() {
+            None => Request::Metrics { prom: false },
+            Some("PROM") => Request::Metrics { prom: true },
+            Some(other) => return Err(ProtocolError::UnexpectedArgument(other.to_owned())),
+        },
+        "TRACE" => {
+            let token = tokens.next().ok_or(ProtocolError::MissingArgument("id"))?;
+            Request::Trace(match token {
+                "DUMP" => TraceQuery::Dump,
+                "ERRORS" => TraceQuery::Errors,
+                other => TraceQuery::Query(parse_u64("id", other)?),
+            })
+        }
         "SHUTDOWN" => Request::Shutdown,
         "RUN_UNTIL" => {
             let token = tokens
@@ -357,8 +401,31 @@ mod tests {
     #[test]
     fn parses_every_verb() {
         assert_eq!(parse_request("PING"), Ok(Request::Ping));
-        assert_eq!(parse_request("STATUS"), Ok(Request::Status));
-        assert_eq!(parse_request("METRICS"), Ok(Request::Metrics));
+        assert_eq!(parse_request("STATUS"), Ok(Request::Status { full: false }));
+        assert_eq!(
+            parse_request("STATUS FULL"),
+            Ok(Request::Status { full: true })
+        );
+        assert_eq!(
+            parse_request("METRICS"),
+            Ok(Request::Metrics { prom: false })
+        );
+        assert_eq!(
+            parse_request("METRICS PROM"),
+            Ok(Request::Metrics { prom: true })
+        );
+        assert_eq!(
+            parse_request("TRACE 12"),
+            Ok(Request::Trace(TraceQuery::Query(12)))
+        );
+        assert_eq!(
+            parse_request("TRACE DUMP"),
+            Ok(Request::Trace(TraceQuery::Dump))
+        );
+        assert_eq!(
+            parse_request("TRACE ERRORS"),
+            Ok(Request::Trace(TraceQuery::Errors))
+        );
         assert_eq!(parse_request("SHUTDOWN"), Ok(Request::Shutdown));
         assert_eq!(
             parse_request("RUN_UNTIL port_scan"),
@@ -416,6 +483,26 @@ mod tests {
         ));
         assert!(matches!(
             parse_request("RUN_UNTIL all BOGUS 3"),
+            Err(ProtocolError::UnexpectedArgument(_))
+        ));
+        assert!(matches!(
+            parse_request("STATUS PARTIAL"),
+            Err(ProtocolError::UnexpectedArgument(_))
+        ));
+        assert!(matches!(
+            parse_request("METRICS JSON"),
+            Err(ProtocolError::UnexpectedArgument(_))
+        ));
+        assert_eq!(
+            parse_request("TRACE"),
+            Err(ProtocolError::MissingArgument("id"))
+        );
+        assert!(matches!(
+            parse_request("TRACE nope"),
+            Err(ProtocolError::BadArgument { arg: "id", .. })
+        ));
+        assert!(matches!(
+            parse_request("TRACE DUMP extra"),
             Err(ProtocolError::UnexpectedArgument(_))
         ));
     }

@@ -11,6 +11,7 @@
 #   sh scripts_run_experiments.sh trace    sim-clock trace run + baseline diff
 #   sh scripts_run_experiments.sh par      1-vs-N-thread byte-identity + speedup
 #   sh scripts_run_experiments.sh daemon   resident landscaped session + baseline diff
+#   sh scripts_run_experiments.sh telemetry  METRICS PROM / TRACE session + baseline diff
 set -e
 if [ "${1:-}" = "verify" ]; then
   echo "== cargo fmt --check"
@@ -21,7 +22,77 @@ if [ "${1:-}" = "verify" ]; then
   sh "$0" scale1
   sh "$0" sketch
   sh "$0" daemon
+  sh "$0" telemetry
   echo "verify ok"
+  exit 0
+fi
+if [ "${1:-}" = "telemetry" ]; then
+  # The telemetry-plane gate: boot landscaped with debug logging and a
+  # cache byte budget, drive the committed telemetry session (STATUS
+  # FULL, METRICS PROM, TRACE verbs), fetch the flight recorder's
+  # Chrome-trace dump through `landscaped dump-trace` (which validates
+  # the JSON), and diff the *normalized* transcript: wall-clock values
+  # are masked, so the diff pins the exposition's line set and every
+  # deterministic counter while letting latencies float.
+  BASELINE=results/telemetry_baseline.txt
+  SESSION=scripts_telemetry_session.txt
+  [ -f "$BASELINE" ] || { echo "missing $BASELINE"; exit 1; }
+  [ -f "$SESSION" ] || { echo "missing $SESSION"; exit 1; }
+  echo "== landscaped serve --seed 7 --log debug (telemetry session)"
+  cargo build --release -q -p hs-serve
+  PORT_FILE=$(mktemp)
+  : > "$PORT_FILE"
+  target/release/landscaped serve --addr 127.0.0.1:0 --seed 7 --threads 2 \
+    --cache-bytes 67108864 --log debug --port-file "$PORT_FILE" \
+    2> results/telemetry_serve.log &
+  DAEMON_PID=$!
+  i=0
+  while [ ! -s "$PORT_FILE" ] && [ "$i" -lt 200 ]; do
+    sleep 0.1
+    i=$((i + 1))
+  done
+  if [ ! -s "$PORT_FILE" ]; then
+    kill "$DAEMON_PID" 2>/dev/null || true
+    rm -f "$PORT_FILE"
+    echo "FAIL: daemon never reported its port (see results/telemetry_serve.log)"
+    exit 1
+  fi
+  PORT=$(cat "$PORT_FILE")
+  rm -f "$PORT_FILE"
+  if ! target/release/landscaped script "127.0.0.1:$PORT" \
+      < "$SESSION" > results/telemetry_session_raw.txt; then
+    kill "$DAEMON_PID" 2>/dev/null || true
+    echo "FAIL: telemetry session aborted (see results/telemetry_session_raw.txt)"
+    exit 1
+  fi
+  # dump-trace validates the Chrome trace_event JSON itself and exits
+  # nonzero on a malformed document.
+  if ! target/release/landscaped dump-trace "127.0.0.1:$PORT" results/telemetry_trace.json; then
+    kill "$DAEMON_PID" 2>/dev/null || true
+    echo "FAIL: TRACE DUMP invalid (see results/telemetry_trace.json)"
+    exit 1
+  fi
+  printf 'SHUTDOWN\n' | target/release/landscaped script "127.0.0.1:$PORT" > /dev/null
+  wait "$DAEMON_PID" || true
+  grep -q 'RUN_UNTIL' results/telemetry_trace.json \
+    || { echo "FAIL: flight-recorder dump holds no query lanes"; exit 1; }
+  # Normalize wall-clock values: STATUS FULL ages, Prometheus series
+  # whose name carries a wall unit (_us histograms, _seconds gauges),
+  # and the span-tree microsecond intervals. Everything else — the
+  # line set, counters, hashes, ids — must match byte-for-byte.
+  sed -E \
+    -e 's/^(epoch_age_ms|uptime_ms)=[0-9]+$/\1=MASKED/' \
+    -e '/^landscaped_[a-z_]*(_us|_seconds)/s/ [0-9eE.+-]+$/ MASKED/' \
+    -e 's/[0-9]+us/MASKEDus/g' \
+    results/telemetry_session_raw.txt > results/telemetry_session.txt
+  if ! diff -u "$BASELINE" results/telemetry_session.txt; then
+    echo "FAIL: telemetry transcript drifted from $BASELINE"
+    exit 1
+  fi
+  echo "telemetry transcript matches baseline"
+  grep -q 'query id=3 outcome=ok' results/telemetry_serve.log \
+    || { echo "FAIL: debug log missing per-query lines"; exit 1; }
+  echo "telemetry ok"
   exit 0
 fi
 if [ "${1:-}" = "daemon" ]; then
