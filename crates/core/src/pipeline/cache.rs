@@ -18,8 +18,8 @@
 //!
 //! [`StudyConfig`]: crate::StudyConfig
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -265,8 +265,9 @@ pub trait StageCache: Send + Sync {
 /// sequence depends only on the sequence of inserts. Byte weights come
 /// from [`StagePayload::approx_bytes`]; when a budget is set, inserts
 /// evict oldest-first until both the entry bound and the byte budget
-/// hold — always keeping the newest entry, even when it alone exceeds
-/// the budget (an empty cache would just thrash).
+/// hold — never dropping the last remaining entry, even when it alone
+/// exceeds the budget (an empty cache would just thrash). Keys pinned
+/// via [`MemoryCache::pin`] are skipped by eviction entirely.
 pub struct MemoryCache {
     capacity: usize,
     byte_budget: Option<u64>,
@@ -283,6 +284,9 @@ struct MemoryCacheInner {
     map: HashMap<CacheKey, (StagePayload, u64)>,
     order: VecDeque<CacheKey>,
     resident_bytes: u64,
+    /// Keys exempt from eviction (a resident daemon epoch's Setup
+    /// payload). Pinned keys still count toward `resident_bytes`.
+    pinned: HashSet<CacheKey>,
 }
 
 impl MemoryCache {
@@ -331,8 +335,31 @@ impl fmt::Debug for MemoryCache {
 }
 
 impl MemoryCache {
-    /// Evicts oldest-first until the entry bound and byte budget both
-    /// hold, never dropping the last remaining entry.
+    /// Exempts `key` from eviction until [`MemoryCache::unpin`]. The
+    /// key need not be resident yet: pinning before the insert closes
+    /// the window in which a concurrent insert could evict it. Pinned
+    /// payloads still count toward the byte budget; eviction simply
+    /// skips them. A resident daemon pins the live epoch's Setup
+    /// payload so a byte-budget squeeze can never evict the world out
+    /// from under `TICK`.
+    pub fn pin(&self, key: CacheKey) {
+        self.locked().pinned.insert(key);
+    }
+
+    /// Makes `key` evictable again (no-op if it was not pinned).
+    pub fn unpin(&self, key: CacheKey) {
+        self.locked().pinned.remove(&key);
+    }
+
+    /// Whether `key` is currently pinned.
+    pub fn is_pinned(&self, key: CacheKey) -> bool {
+        self.locked().pinned.contains(&key)
+    }
+
+    /// Evicts oldest-first — skipping pinned keys — until the entry
+    /// bound and byte budget both hold, never dropping the last
+    /// remaining entry. If only pinned entries remain, eviction stops
+    /// even while over budget.
     fn enforce_bounds(&self, inner: &mut MemoryCacheInner) {
         let over = |inner: &MemoryCacheInner| {
             inner.map.len() > self.capacity
@@ -341,7 +368,14 @@ impl MemoryCache {
                     .is_some_and(|budget| inner.resident_bytes > budget)
         };
         while inner.map.len() > 1 && over(inner) {
-            let Some(old) = inner.order.pop_front() else {
+            let Some(pos) = inner
+                .order
+                .iter()
+                .position(|key| !inner.pinned.contains(key))
+            else {
+                break;
+            };
+            let Some(old) = inner.order.remove(pos) else {
                 break;
             };
             if let Some((_, weight)) = inner.map.remove(&old) {
@@ -414,7 +448,7 @@ mod tests {
     use super::*;
 
     fn dummy(stage_tag: u64) -> StagePayload {
-        if stage_tag % 2 == 0 {
+        if stage_tag.is_multiple_of(2) {
             StagePayload::Certs(Arc::new(CertSurvey::default()))
         } else {
             StagePayload::PortScan(Arc::new(ScanReport::default()))
@@ -559,6 +593,67 @@ mod tests {
         cache.insert(keys[0], dummy(0));
         cache.insert(keys[0], dummy(0));
         cache.insert(keys[1], dummy(1));
+        assert!(cache.peek(keys[0]) && cache.peek(keys[1]));
+        assert_eq!(cache.counters().entries, 2);
+        assert_eq!(cache.counters().evictions, 0);
+    }
+
+    #[test]
+    fn pinned_key_survives_eviction_pressure() {
+        let cache = MemoryCache::new(2);
+        let keys = derive_keys(1, 2, 3);
+        cache.pin(keys[0]);
+        cache.insert(keys[0], dummy(0));
+        cache.insert(keys[1], dummy(1));
+        // Over capacity: eviction must skip the pinned oldest entry
+        // and drop the next-oldest unpinned one instead.
+        cache.insert(keys[2], dummy(2));
+        assert!(cache.peek(keys[0]), "pinned key evicted");
+        assert!(!cache.peek(keys[1]));
+        assert!(cache.peek(keys[2]));
+        assert_eq!(cache.counters().entries, 2);
+    }
+
+    #[test]
+    fn pinned_key_survives_byte_budget_squeeze() {
+        let cache = MemoryCache::with_byte_budget(16, 1);
+        let keys = derive_keys(1, 2, 3);
+        cache.pin(keys[0]);
+        cache.insert(keys[0], dummy(0));
+        for (i, key) in keys.iter().enumerate().skip(1).take(4) {
+            cache.insert(*key, dummy(i as u64));
+        }
+        // Every unpinned insert was squeezed out, the pin held.
+        assert!(cache.peek(keys[0]), "pinned key evicted by byte budget");
+        assert_eq!(cache.counters().entries, 1);
+    }
+
+    #[test]
+    fn unpin_restores_evictability() {
+        let cache = MemoryCache::new(2);
+        let keys = derive_keys(1, 2, 3);
+        cache.pin(keys[0]);
+        assert!(cache.is_pinned(keys[0]));
+        cache.insert(keys[0], dummy(0));
+        cache.insert(keys[1], dummy(1));
+        cache.unpin(keys[0]);
+        assert!(!cache.is_pinned(keys[0]));
+        cache.insert(keys[2], dummy(2));
+        // With the pin gone, plain insertion-order eviction resumes.
+        assert!(!cache.peek(keys[0]));
+        assert!(cache.peek(keys[1]) && cache.peek(keys[2]));
+    }
+
+    #[test]
+    fn all_pinned_entries_stop_eviction_without_spinning() {
+        let cache = MemoryCache::new(1);
+        let keys = derive_keys(1, 2, 3);
+        cache.pin(keys[0]);
+        cache.pin(keys[1]);
+        cache.insert(keys[0], dummy(0));
+        cache.insert(keys[1], dummy(1));
+        // Over capacity but everything is pinned: eviction gives up
+        // rather than loop or drop a pinned payload.
         assert!(cache.peek(keys[0]) && cache.peek(keys[1]));
         assert_eq!(cache.counters().entries, 2);
         assert_eq!(cache.counters().evictions, 0);

@@ -120,6 +120,13 @@ impl WallHistogram {
         locked(&self.0).record(v);
     }
 
+    /// Records the elapsed wall time since `start` in microseconds —
+    /// the common shape for queue-wait / latency families.
+    pub fn observe_since(&self, start: std::time::Instant) {
+        let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.observe(us);
+    }
+
     /// A copy of the current distribution.
     pub fn snapshot(&self) -> Histogram {
         locked(&self.0).clone()

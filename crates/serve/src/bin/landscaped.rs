@@ -4,6 +4,8 @@
 //! landscaped serve [--addr A] [--scale F] [--seed N] [--threads N]
 //!                  [--max-inflight N] [--wall-ms N] [--sim-hours N]
 //!                  [--cache-cap N] [--cache-bytes N] [--faults PROFILE]
+//!                  [--workers N] [--queue N] [--pool-metrics on|off]
+//!                  [--tick-every H/MS]
 //!                  [--port-file P] [--log off|progress|debug]
 //! landscaped script <addr>       # drive a stdin transcript
 //! landscaped dump-trace <addr> <file>   # TRACE DUMP → Chrome JSON
@@ -22,7 +24,7 @@ use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::time::Duration;
 
-use hs_serve::{Client, Daemon, DaemonConfig};
+use hs_serve::{Client, Daemon, DaemonConfig, TickEvery};
 use obs::{LogLevel, Logger};
 
 fn main() -> ExitCode {
@@ -44,9 +46,23 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:\n  landscaped serve [--addr A] [--scale F] [--seed N] [--threads N] \
 [--max-inflight N] [--wall-ms N] [--sim-hours N] [--cache-cap N] [--cache-bytes N] \
-[--faults PROFILE] [--port-file P] [--log off|progress|debug]\n  \
+[--faults PROFILE] [--workers N] [--queue N] [--pool-metrics on|off] \
+[--tick-every H/MS] [--port-file P] [--log off|progress|debug]\n  \
 landscaped script <addr>\n  \
 landscaped dump-trace <addr> <file>";
+
+/// Parses `--tick-every H/MS`: advance `H` sim-hours every `MS` wall
+/// milliseconds.
+fn parse_tick_every(value: &str) -> Result<TickEvery, String> {
+    let bad = || format!("bad value for --tick-every: {value} (expected <sim-hours>/<wall-ms>)");
+    let (hours, ms) = value.split_once('/').ok_or_else(bad)?;
+    let sim_hours: u64 = hours.parse().map_err(|_| bad())?;
+    let wall_ms: u64 = ms.parse().map_err(|_| bad())?;
+    if sim_hours == 0 || sim_hours > 24 * 365 || wall_ms == 0 {
+        return Err(bad());
+    }
+    Ok(TickEvery { sim_hours, wall_ms })
+}
 
 /// One `--flag value` pair.
 fn take_value<'a>(
@@ -80,6 +96,16 @@ fn serve(args: &[String]) -> Result<(), String> {
                 cfg.cache_budget_bytes = Some(parse(flag, take_value(flag, &mut it)?)?)
             }
             "--faults" => cfg.study.apply_fault_profile(take_value(flag, &mut it)?)?,
+            "--workers" => cfg.workers = parse(flag, take_value(flag, &mut it)?)?,
+            "--queue" => cfg.pool_queue = parse(flag, take_value(flag, &mut it)?)?,
+            "--pool-metrics" => {
+                cfg.pool_metrics = match take_value(flag, &mut it)?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("bad value for --pool-metrics: {other}")),
+                }
+            }
+            "--tick-every" => cfg.tick_every = Some(parse_tick_every(take_value(flag, &mut it)?)?),
             "--port-file" => port_file = Some(take_value(flag, &mut it)?.clone()),
             "--log" => {
                 let value = take_value(flag, &mut it)?;

@@ -2,7 +2,12 @@
 //!
 //! Knows the reply shapes: single-line commands, multi-line replies
 //! terminated by a lone `.`, and `RUN_UNTIL`'s two-phase
-//! `RUNNING id=<n>` + terminal line.
+//! `RUNNING id=<n>` + terminal line. `GET <stage> FULL` streams the
+//! batch CLI's Table/Fig renders under the same `OK GET <stage>` head,
+//! so the framing below covers it unchanged. A daemon whose worker
+//! pool is saturated answers a single connection-level
+//! `BUSY pool workers=<n> queue=<n>` line and closes; callers retry or
+//! back off.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};

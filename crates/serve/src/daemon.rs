@@ -48,7 +48,8 @@
 
 use std::collections::HashMap;
 use std::io::{self, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -63,11 +64,27 @@ use obs::trace::{EventKind, Span, TraceEvent};
 use obs::{Logger, WallCounter, WallGauge, WallHistogram, WallRegistry};
 use wave::mix2;
 
+use crate::executor::{Executor, PoolMetrics};
 use crate::flight::{FlightRecorder, QueryOutcome, QueryRecord};
 use crate::protocol::{parse_request, LineReader, Request, Target, TraceQuery};
 
 /// Seed-domain tag for epoch salts: `mix2(EPOCH_TAG, epoch_id)`.
 const EPOCH_TAG: u64 = 0x6570_6f63_6873_616c;
+
+/// How long an idle connection read blocks before the worker rechecks
+/// the stop flag — the upper bound on how long a parked connection can
+/// delay a graceful drain.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Background epoch-ticker cadence: advance the resident world by
+/// `sim_hours` every `wall_ms` of wall time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TickEvery {
+    /// Simulated hours each tick advances (same range as `TICK`).
+    pub sim_hours: u64,
+    /// Wall milliseconds between ticks.
+    pub wall_ms: u64,
+}
 
 /// How the daemon is provisioned.
 #[derive(Clone, Debug)]
@@ -93,6 +110,25 @@ pub struct DaemonConfig {
     pub flight_capacity: usize,
     /// Flight-recorder pinned-error ring capacity.
     pub flight_errors: usize,
+    /// Worker threads in the connection pool (minimum 1).
+    pub workers: usize,
+    /// Connections allowed to wait beyond the busy workers before the
+    /// accept loop sheds a connection-level `BUSY`.
+    pub pool_queue: usize,
+    /// Whether the pool's telemetry families are registered in the
+    /// wall registry (and therefore rendered by `METRICS PROM`).
+    /// Disable to reproduce a pre-pool exposition byte-for-byte.
+    pub pool_metrics: bool,
+    /// Optional background ticker publishing a new epoch on a cadence.
+    pub tick_every: Option<TickEvery>,
+    /// Test-only chaos hook: the first admitted `RUN_UNTIL` panics
+    /// after announcing `RUNNING`, exercising slot-release on unwind.
+    pub chaos_panic_once: bool,
+    /// Test-only chaos hook: every tick holds the epoch-build section
+    /// (serialized on the tick mutex, *outside* the epoch mutex) for
+    /// this many wall milliseconds, widening the window concurrency
+    /// tests probe.
+    pub chaos_tick_hold_ms: u64,
     /// Stderr logger; `debug` adds one line per connection event.
     pub log: Logger,
 }
@@ -110,6 +146,12 @@ impl Default for DaemonConfig {
             cache_budget_bytes: None,
             flight_capacity: 64,
             flight_errors: 16,
+            workers: 4,
+            pool_queue: 16,
+            pool_metrics: true,
+            tick_every: None,
+            chaos_panic_once: false,
+            chaos_tick_hold_ms: 0,
             log: Logger::off(),
         }
     }
@@ -174,13 +216,22 @@ impl Telemetry {
     }
 }
 
-/// State shared by every connection thread.
+/// State shared by every pool worker.
 #[derive(Debug)]
 struct Shared {
     cfg: DaemonConfig,
     pipeline: hs_landscape::pipeline::Pipeline,
     cache: Arc<MemoryCache>,
     epoch: Mutex<Epoch>,
+    /// Serializes epoch advances (manual `TICK` and the background
+    /// ticker) without ever blocking epoch *readers*: the expensive
+    /// next-epoch build happens under this mutex only, and the `epoch`
+    /// mutex above is taken just for the brief read and final swap.
+    tick: Mutex<()>,
+    pool: Arc<Executor>,
+    /// The bound address, used to self-connect and wake a blocking
+    /// `accept` when the stop flag flips.
+    addr: SocketAddr,
     inflight: AtomicUsize,
     next_id: AtomicU64,
     queries: Mutex<HashMap<u64, CancelToken>>,
@@ -188,6 +239,16 @@ struct Shared {
     flight: FlightRecorder,
     started_at: Instant,
     stop: AtomicBool,
+    /// Armed copy of [`DaemonConfig::chaos_panic_once`]; the first
+    /// admitted query consumes it.
+    chaos_panic_run: AtomicBool,
+}
+
+/// Unblocks a listener parked in `accept` by completing one throwaway
+/// connection to it. Best-effort: if the listener is already gone the
+/// connect simply fails.
+fn wake_accept(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
 }
 
 /// A bound, bootstrapped daemon ready to serve.
@@ -211,9 +272,11 @@ impl DaemonHandle {
         self.addr
     }
 
-    /// Asks the serve loop to stop and joins it.
+    /// Asks the serve loop to stop, wakes the blocking accept, and
+    /// joins the drained serve thread.
     pub fn shutdown(mut self) {
         self.shared.stop.store(true, Ordering::Release);
+        wake_accept(self.addr);
         if let Some(join) = self.join.take() {
             let _ = join.join();
         }
@@ -223,6 +286,7 @@ impl DaemonHandle {
 impl Drop for DaemonHandle {
     fn drop(&mut self) {
         self.shared.stop.store(true, Ordering::Release);
+        wake_accept(self.addr);
         if let Some(join) = self.join.take() {
             let _ = join.join();
         }
@@ -248,13 +312,18 @@ impl Daemon {
     /// `Setup` run deposits the resident world into the cache.
     pub fn bind(cfg: DaemonConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&cfg.addr)?;
-        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
         let pipeline = hs_landscape::pipeline::Pipeline::new(cfg.study.clone());
         let cache = Arc::new(match cfg.cache_budget_bytes {
             Some(budget) => MemoryCache::with_byte_budget(cfg.cache_capacity, budget),
             None => MemoryCache::new(cfg.cache_capacity),
         });
         let salt = mix2(EPOCH_TAG, 0);
+        // Pin epoch 0's Setup key before the bootstrap run deposits
+        // it: the resident world must never be byte-budget-evicted, or
+        // every later TICK would answer `ERR epoch_evicted`.
+        let keys = derive_keys(cfg.study.seed, cfg.study.fingerprint(), salt);
+        cache.pin(keys[StageId::Setup as usize]);
         let ctl = RunControl {
             cache: Some(cache.clone() as Arc<dyn StageCache>),
             epoch_salt: salt,
@@ -276,6 +345,13 @@ impl Daemon {
                 ))
             }
         };
+        let telemetry = Telemetry::new();
+        let pool_metrics = if cfg.pool_metrics {
+            PoolMetrics::registered(&telemetry.registry)
+        } else {
+            PoolMetrics::detached()
+        };
+        let pool = Arc::new(Executor::new(cfg.workers, cfg.pool_queue, pool_metrics));
         let shared = Arc::new(Shared {
             pipeline,
             cache,
@@ -286,13 +362,17 @@ impl Daemon {
                 world_hash,
                 opened_at: Instant::now(),
             }),
+            tick: Mutex::new(()),
+            pool,
+            addr,
             inflight: AtomicUsize::new(0),
             next_id: AtomicU64::new(0),
             queries: Mutex::new(HashMap::new()),
-            telemetry: Telemetry::new(),
+            telemetry,
             flight: FlightRecorder::new(cfg.flight_capacity, cfg.flight_errors),
             started_at: Instant::now(),
             stop: AtomicBool::new(false),
+            chaos_panic_run: AtomicBool::new(cfg.chaos_panic_once),
             cfg,
         });
         Ok(Daemon { listener, shared })
@@ -303,26 +383,49 @@ impl Daemon {
         self.listener.local_addr()
     }
 
-    /// Serves until `SHUTDOWN` arrives. Each connection gets its own
-    /// thread; a connection thread that panics takes down only its
-    /// connection.
+    /// Serves until `SHUTDOWN` arrives. Connections are dispatched to
+    /// the bounded worker pool; when both the pool and its queue are
+    /// full the accept loop answers a typed connection-level `BUSY`
+    /// and closes. A connection job that panics takes down only its
+    /// connection (the pool's `catch_unwind` wrapper isolates it).
+    ///
+    /// On stop the loop cancels in-flight queries, drains the pool
+    /// (every accepted connection finishes its current request), and
+    /// joins the background ticker, so returning means quiescent.
     pub fn run(self) -> io::Result<()> {
         let Daemon { listener, shared } = self;
-        loop {
-            if shared.stop.load(Ordering::Acquire) {
-                return Ok(());
-            }
+        let ticker = shared.cfg.tick_every.map(|every| {
+            let shared = shared.clone();
+            thread::spawn(move || ticker_loop(&shared, every))
+        });
+        let served = loop {
             match listener.accept() {
                 Ok((stream, _)) => {
-                    let shared = shared.clone();
-                    thread::spawn(move || serve_connection(stream, &shared));
+                    if shared.stop.load(Ordering::Acquire) {
+                        break Ok(());
+                    }
+                    dispatch_connection(stream, &shared);
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    thread::sleep(Duration::from_millis(10));
+                Err(e) => {
+                    if shared.stop.load(Ordering::Acquire) {
+                        break Ok(());
+                    }
+                    break Err(e);
                 }
-                Err(e) => return Err(e),
             }
+        };
+        drop(listener);
+        // Graceful drain: wake parked queries so workers can observe
+        // the stop flag at the next stage boundary, then let every
+        // already-accepted connection finish its current request.
+        for token in locked(&shared.queries).values() {
+            token.cancel();
         }
+        shared.pool.drain();
+        if let Some(join) = ticker {
+            let _ = join.join();
+        }
+        served
     }
 
     /// Runs the serve loop on a background thread and returns a handle
@@ -341,9 +444,78 @@ impl Daemon {
     }
 }
 
+/// Offers one accepted connection to the worker pool, shedding a typed
+/// connection-level `BUSY` (distinct from the query-level admission
+/// `BUSY`) when the pool and its queue are both full.
+fn dispatch_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    // Kept outside the job closure so a refusal can still answer.
+    let Ok(mut reject_handle) = stream.try_clone() else {
+        return;
+    };
+    let job_shared = shared.clone();
+    let accepted = shared.pool.submit(move || {
+        let opened = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| serve_connection(stream, &job_shared)));
+        if let Err(payload) = outcome {
+            // Leave evidence: the pool isolates the panic, but a
+            // silently vanished connection is undebuggable.
+            job_shared
+                .flight
+                .record_connection_panic(micros_since(opened));
+            job_shared
+                .cfg
+                .log
+                .debug(format_args!("conn: worker job panicked"));
+            // Re-raise so the pool's wrapper counts it in pool.panics.
+            resume_unwind(payload);
+        }
+    });
+    if !accepted {
+        let pool = &shared.pool;
+        let _ = writeln!(
+            reject_handle,
+            "BUSY pool workers={} queue={}",
+            pool.workers(),
+            pool.queue_cap()
+        );
+        shared.telemetry.busy.inc();
+        shared.cfg.log.debug(format_args!("conn: shed (pool full)"));
+    }
+}
+
+/// Background epoch ticker: advances the resident world by
+/// `every.sim_hours` each `every.wall_ms`, reusing the exact `TICK`
+/// path (same salts, same snapshot isolation) so manually ticked and
+/// ticker-driven daemons publish identical epoch sequences.
+fn ticker_loop(shared: &Shared, every: TickEvery) {
+    let period = Duration::from_millis(every.wall_ms.max(1));
+    let mut next = Instant::now() + period;
+    while !shared.stop.load(Ordering::Acquire) {
+        let now = Instant::now();
+        if now < next {
+            // Sleep in short slices so shutdown never waits a period.
+            thread::sleep((next - now).min(Duration::from_millis(20)));
+            continue;
+        }
+        match advance_epoch(shared, every.sim_hours) {
+            Ok(epoch) => shared.cfg.log.debug(format_args!(
+                "ticker: epoch {} sim_time={} world={:016x}",
+                epoch.id, epoch.sim_time_unix, epoch.world_hash
+            )),
+            Err(TickError::Evicted { epoch }) => shared.cfg.log.debug(format_args!(
+                "ticker: epoch {epoch} setup payload evicted, tick skipped"
+            )),
+        }
+        next = Instant::now() + period;
+    }
+}
+
 /// Drives one client connection to EOF or `SHUTDOWN`.
 fn serve_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
+    // Bounded reads so a parked worker can observe the stop flag and
+    // release itself during a drain.
+    let _ = stream.set_read_timeout(Some(READ_TICK));
     let peer = stream
         .peer_addr()
         .map(|a| a.to_string())
@@ -356,7 +528,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
     let mut reader = LineReader::new(BufReader::new(read_half));
     let mut writer = stream;
     loop {
-        let line = match reader.next_line() {
+        let line = match reader.next_line_until(&mut || shared.stop.load(Ordering::Acquire)) {
             Ok(Some(Ok(line))) => line,
             Ok(Some(Err(err))) => {
                 shared.telemetry.protocol_errors.inc();
@@ -391,7 +563,14 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
         }
         if done {
             shared.stop.store(true, Ordering::Release);
+            wake_accept(shared.addr);
             log.debug(format_args!("conn {peer}: shutdown"));
+            return;
+        }
+        if shared.stop.load(Ordering::Acquire) {
+            // Draining: finish the request just served, then close so
+            // the worker can retire.
+            log.debug(format_args!("conn {peer}: close (drain)"));
             return;
         }
     }
@@ -414,7 +593,7 @@ fn handle_request(
         Request::Metrics { prom: false } => reply_metrics(shared, w),
         Request::Metrics { prom: true } => reply_metrics_prom(shared, w),
         Request::Trace(query) => reply_trace(query, shared, w),
-        Request::Get { stage } => reply_get(stage, shared, w),
+        Request::Get { stage, full } => reply_get(stage, full, shared, w),
         Request::Cancel { id } => reply_cancel(id, shared, w),
         Request::Tick { hours } => reply_tick(hours, shared, w),
         Request::RunUntil {
@@ -511,6 +690,18 @@ fn reply_metrics_prom(shared: &Shared, w: &mut TcpStream) -> io::Result<()> {
     let (recent, errors) = shared.flight.occupancy();
     reg.gauge("flight.recent", &[]).set(recent as f64);
     reg.gauge("flight.errors", &[]).set(errors as f64);
+    if shared.cfg.pool_metrics {
+        // Pool occupancy gauges mirror the executor at scrape time;
+        // the counter/histogram families are registered by the
+        // executor itself. Gated so a pre-pool exposition baseline
+        // stays reproducible with `pool_metrics` off.
+        let pool = &shared.pool;
+        reg.gauge("pool.workers", &[]).set(pool.workers() as f64);
+        reg.gauge("pool.busy", &[]).set(pool.busy() as f64);
+        reg.gauge("pool.queued", &[]).set(pool.queued() as f64);
+        reg.gauge("pool.queue_cap", &[])
+            .set(pool.queue_cap() as f64);
+    }
     let body = obs::prom::render(&reg.snapshot(), "landscaped");
     writeln!(w, "OK METRICS")?;
     for line in body.lines() {
@@ -554,7 +745,7 @@ fn epoch_keys(shared: &Shared, salt: u64) -> [CacheKey; 9] {
     derive_keys(shared.cfg.study.seed, shared.cfg.study.fingerprint(), salt)
 }
 
-fn reply_get(stage: StageId, shared: &Shared, w: &mut TcpStream) -> io::Result<()> {
+fn reply_get(stage: StageId, full: bool, shared: &Shared, w: &mut TcpStream) -> io::Result<()> {
     let epoch = *locked(&shared.epoch);
     let keys = epoch_keys(shared, epoch.salt);
     // `fetch_uncounted`: a read-only artifact query must not skew the
@@ -562,7 +753,12 @@ fn reply_get(stage: StageId, shared: &Shared, w: &mut TcpStream) -> io::Result<(
     match shared.cache.fetch_uncounted(keys[stage as usize]) {
         Some(payload) => {
             writeln!(w, "OK GET {stage}")?;
-            for line in summarize(&payload) {
+            let lines = if full {
+                render_full(&payload)
+            } else {
+                summarize(&payload)
+            };
+            for line in lines {
                 writeln!(w, "{line}")?;
             }
             writeln!(w, ".")
@@ -624,6 +820,41 @@ fn summarize(payload: &StagePayload) -> Vec<String> {
     }
 }
 
+/// `GET <stage> FULL`: the same Table/Fig renders the batch CLI
+/// prints for this stage, streamed line by line. Stages with no batch
+/// render (the sim-bundle payloads: setup, harvest, deanon window)
+/// fall back to the deterministic summary. No render emits a lone `.`
+/// line, so the multi-line framing is safe.
+fn render_full(payload: &StagePayload) -> Vec<String> {
+    use hs_landscape::report;
+    let blocks = match payload {
+        StagePayload::PortScan(r) => vec![report::render_fig1(r)],
+        StagePayload::Crawl(r) => vec![
+            report::render_table1(r),
+            report::render_funnel_and_languages(r),
+            report::render_fig2(r),
+        ],
+        StagePayload::Popularity(p) => {
+            let mut blocks = vec![
+                report::render_table2(&p.ranking, 30),
+                report::render_sec5(&p.resolution, p.requested_published_share),
+            ];
+            if let Some(sketch) = &p.sketch {
+                blocks.push(report::render_sketch(sketch));
+            }
+            blocks
+        }
+        StagePayload::Certs(s) => vec![report::render_certs(s)],
+        StagePayload::Geomap(r) => vec![report::render_fig3(r)],
+        StagePayload::Tracking(t) => vec![report::render_tracking(t)],
+        other => return summarize(other),
+    };
+    blocks
+        .iter()
+        .flat_map(|block| block.lines().map(str::to_owned))
+        .collect()
+}
+
 fn reply_cancel(id: u64, shared: &Shared, w: &mut TcpStream) -> io::Result<()> {
     let token = locked(&shared.queries).get(&id).cloned();
     match token {
@@ -635,21 +866,41 @@ fn reply_cancel(id: u64, shared: &Shared, w: &mut TcpStream) -> io::Result<()> {
     }
 }
 
-fn reply_tick(hours: u64, shared: &Shared, w: &mut TcpStream) -> io::Result<()> {
-    // Hold the epoch lock across the whole tick so concurrent ticks
-    // serialize; queries admitted meanwhile read the old epoch's
-    // immutable payload, which this never touches.
-    let mut epoch = locked(&shared.epoch);
+/// Why an epoch advance could not happen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TickError {
+    /// The resident epoch's Setup payload was not in the cache. With
+    /// the pin installed at bind/swap this is unreachable, but the
+    /// typed reply stays as a safety net.
+    Evicted {
+        /// The epoch whose payload was missing.
+        epoch: u64,
+    },
+}
+
+/// Advances the resident world by `hours` and publishes the next
+/// epoch. Shared by `TICK` and the background ticker.
+///
+/// Locking: concurrent advances serialize on the dedicated `tick`
+/// mutex. The `epoch` mutex — which `STATUS`, `METRICS PROM`, `GET`
+/// and admission all take — is held only for the initial copy-out and
+/// the final swap, never across the expensive clone, advance, and
+/// rebuild, so readers proceed during a long tick. The tick mutex
+/// makes the copy/swap pair atomic: nothing else mutates the epoch.
+fn advance_epoch(shared: &Shared, hours: u64) -> Result<Epoch, TickError> {
+    let _serialize = locked(&shared.tick);
+    let epoch = *locked(&shared.epoch);
     let keys = epoch_keys(shared, epoch.salt);
     let Some(StagePayload::Setup(bundle)) =
         shared.cache.fetch_uncounted(keys[StageId::Setup as usize])
     else {
-        return writeln!(
-            w,
-            "ERR epoch_evicted: epoch {} setup payload no longer cached",
-            epoch.id
-        );
+        return Err(TickError::Evicted { epoch: epoch.id });
     };
+    if shared.cfg.chaos_tick_hold_ms > 0 {
+        // Chaos hook: stretch the build section so concurrency tests
+        // can prove readers are not blocked during it.
+        thread::sleep(Duration::from_millis(shared.cfg.chaos_tick_hold_ms));
+    }
     let mut net = bundle.net.clone();
     net.advance_hours(hours);
     let next = Epoch {
@@ -667,17 +918,49 @@ fn reply_tick(hours: u64, shared: &Shared, w: &mut TcpStream) -> io::Result<()> 
         net,
     };
     let next_keys = epoch_keys(shared, next.salt);
+    // Pin-before-insert so no concurrent insert can evict the next
+    // epoch's payload in the gap; both epochs stay pinned until the
+    // swap lands, then the old one becomes evictable again.
+    shared.cache.pin(next_keys[StageId::Setup as usize]);
     shared.cache.insert(
         next_keys[StageId::Setup as usize],
         StagePayload::Setup(Arc::new(next_bundle)),
     );
-    *epoch = next;
+    *locked(&shared.epoch) = next;
+    shared.cache.unpin(keys[StageId::Setup as usize]);
     shared.telemetry.ticks.inc();
-    writeln!(
-        w,
-        "OK TICK hours={hours} epoch={} sim_time={} world={:016x}",
-        next.id, next.sim_time_unix, next.world_hash
-    )
+    Ok(next)
+}
+
+fn reply_tick(hours: u64, shared: &Shared, w: &mut TcpStream) -> io::Result<()> {
+    match advance_epoch(shared, hours) {
+        Ok(next) => writeln!(
+            w,
+            "OK TICK hours={hours} epoch={} sim_time={} world={:016x}",
+            next.id, next.sim_time_unix, next.world_hash
+        ),
+        Err(TickError::Evicted { epoch }) => writeln!(
+            w,
+            "ERR epoch_evicted: epoch {epoch} setup payload no longer cached"
+        ),
+    }
+}
+
+/// RAII admission slot: releases the inflight reservation and the
+/// `queries`-map cancel token when dropped — including on unwind, so
+/// a stage panic escaping `run_controlled` can no longer leak its
+/// slot and wedge the daemon into shedding `BUSY` forever.
+#[derive(Debug)]
+struct SlotGuard<'a> {
+    shared: &'a Shared,
+    id: u64,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        locked(&self.shared.queries).remove(&self.id);
+        self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// Admission, execution, and the terminal reply for `RUN_UNTIL`.
@@ -725,6 +1008,9 @@ fn reply_run(
     let id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
     let token = CancelToken::new();
     locked(&shared.queries).insert(id, token.clone());
+    // From here the reserved slot and the queries entry are released
+    // by the guard's Drop on *every* exit path, panics included.
+    let slot = SlotGuard { shared, id };
     t.started.inc();
     shared.cfg.log.debug(format_args!(
         "conn {peer}: query id={id} target={target} admitted"
@@ -733,6 +1019,12 @@ fn reply_run(
     // Announce the id before doing any work, so a second connection
     // can CANCEL this query while it runs.
     let announced = writeln!(w, "RUNNING id={id}").and_then(|()| w.flush());
+
+    if shared.chaos_panic_run.swap(false, Ordering::AcqRel) {
+        // Chaos hook: simulate a panic escaping the run path (e.g. a
+        // poisoned analysis scope) after the slot is held.
+        panic!("chaos: injected panic after admission (query id={id})");
+    }
 
     let epoch = *locked(&shared.epoch);
     let wall = wall_ms.or(shared.cfg.default_wall_ms);
@@ -750,8 +1042,9 @@ fn reply_run(
         .run_controlled(&target.stages(), mode, RunOptions::default(), &ctl);
     let run_ended_at = parse_us + micros_since(query_started);
 
-    locked(&shared.queries).remove(&id);
-    shared.inflight.fetch_sub(1, Ordering::AcqRel);
+    // Release the slot at the same point the pre-guard code did, so
+    // admission capacity frees before the reply renders.
+    drop(slot);
     for timing in &run.timings.executed {
         t.observe_stage(
             timing.stage,

@@ -170,6 +170,27 @@ impl FlightRecorder {
         }
     }
 
+    /// Deposits a synthetic error record for a connection whose pool
+    /// job panicked outside any query (query-level panics record
+    /// themselves). Uses id 0, which real queries never get, so the
+    /// evidence is addressable via `TRACE 0` / `TRACE ERRORS`.
+    pub fn record_connection_panic(&self, wall_us: u64) {
+        self.record(QueryRecord {
+            id: 0,
+            request: "<connection panicked>".to_owned(),
+            outcome: QueryOutcome::Err,
+            spans: vec![Span {
+                name: "connection".to_owned(),
+                cat: "query",
+                sim_start: 0,
+                sim_end: 0,
+                wall_us: Some((0, wall_us)),
+                args: Vec::new(),
+            }],
+            events: Vec::new(),
+        });
+    }
+
     /// The record for a query id, searching the main ring first and
     /// the pinned errors second (so an error stays addressable after
     /// the main ring has moved on).
@@ -325,6 +346,18 @@ mod tests {
         assert!(json.contains("\"query 2 [partial]"), "{json}");
         // Wall-clock view: spans carry measured timestamps.
         assert!(json.contains("\"ts\": 10, \"dur\": 50"), "{json}");
+    }
+
+    #[test]
+    fn connection_panics_are_pinned_as_id_zero_errors() {
+        let fr = FlightRecorder::new(4, 2);
+        fr.record_connection_panic(1234);
+        let pinned = fr.get(0).expect("panic record addressable");
+        assert_eq!(pinned.outcome, QueryOutcome::Err);
+        assert_eq!(pinned.request, "<connection panicked>");
+        let errors = fr.error_summaries();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].0, 0);
     }
 
     #[test]

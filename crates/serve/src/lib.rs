@@ -14,6 +14,11 @@
 //! * **Admission control** — at most `max_inflight` queries run at
 //!   once; the rest are shed immediately with a typed `BUSY` reply
 //!   instead of queueing unboundedly.
+//! * **Bounded execution** — connections are served by a fixed
+//!   [`executor::Executor`] worker pool with a bounded queue; when
+//!   both are full the accept loop sheds a connection-level `BUSY`,
+//!   so daemon thread count is a function of configuration, never of
+//!   load. `SHUTDOWN` drains the pool gracefully.
 //! * **Deadlines and cancellation** — budgets are enforced at stage
 //!   boundaries through [`hs_landscape::RunControl`]; an exhausted
 //!   query answers `PARTIAL` with the halt reason and keeps every
@@ -37,10 +42,12 @@
 
 pub mod client;
 pub mod daemon;
+pub mod executor;
 pub mod flight;
 pub mod protocol;
 
 pub use client::Client;
-pub use daemon::{Daemon, DaemonConfig, DaemonHandle};
+pub use daemon::{Daemon, DaemonConfig, DaemonHandle, TickEvery};
+pub use executor::{Executor, PoolMetrics};
 pub use flight::{FlightRecorder, QueryOutcome, QueryRecord};
 pub use protocol::{parse_request, LineReader, ProtocolError, Request, Target, MAX_LINE};

@@ -8,7 +8,7 @@
 //! METRICS [PROM]
 //! TRACE <id>|DUMP|ERRORS
 //! RUN_UNTIL <stage|all> [WALL_MS <n>] [SIM_HOURS <n>]
-//! GET <stage>
+//! GET <stage> [FULL]
 //! CANCEL <id>
 //! TICK <hours>
 //! SHUTDOWN
@@ -111,10 +111,14 @@ pub enum Request {
         /// Simulated-hours budget, if bounded.
         sim_hours: Option<u64>,
     },
-    /// Read one stage's artifact summary without computing anything.
+    /// Read one stage's artifact without computing anything: a
+    /// key=value summary, or (`FULL`) the same Table/Fig renders the
+    /// batch CLI emits.
     Get {
         /// The artifact's producing stage.
         stage: StageId,
+        /// True for `GET <stage> FULL`.
+        full: bool,
     },
     /// Cooperatively cancel a running query.
     Cancel {
@@ -302,9 +306,13 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             let token = tokens
                 .next()
                 .ok_or(ProtocolError::MissingArgument("stage"))?;
-            Request::Get {
-                stage: parse_stage(token)?,
-            }
+            let stage = parse_stage(token)?;
+            let full = match tokens.next() {
+                None => false,
+                Some("FULL") => true,
+                Some(other) => return Err(ProtocolError::UnexpectedArgument(other.to_owned())),
+            };
+            Request::Get { stage, full }
         }
         "CANCEL" => {
             let token = tokens.next().ok_or(ProtocolError::MissingArgument("id"))?;
@@ -353,10 +361,39 @@ impl<R: BufRead> LineReader<R> {
     /// `Err` only for a real transport error.
     #[allow(clippy::type_complexity)]
     pub fn next_line(&mut self) -> io::Result<Option<Result<String, ProtocolError>>> {
+        self.next_line_until(&mut || false)
+    }
+
+    /// [`LineReader::next_line`], but interruptible: when the
+    /// underlying read times out (`WouldBlock`/`TimedOut` from a
+    /// socket read timeout), `give_up` decides whether to keep
+    /// waiting or end the stream (`Ok(None)`). Any partially read
+    /// line survives the retry, so a request split across timeouts
+    /// still parses — essential for pool workers that must notice a
+    /// stop flag without losing in-flight bytes.
+    #[allow(clippy::type_complexity)]
+    pub fn next_line_until(
+        &mut self,
+        give_up: &mut dyn FnMut() -> bool,
+    ) -> io::Result<Option<Result<String, ProtocolError>>> {
         let mut buf: Vec<u8> = Vec::new();
         let mut oversized = false;
         loop {
-            let chunk = self.inner.fill_buf()?;
+            let chunk = match self.inner.fill_buf() {
+                Ok(chunk) => chunk,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if give_up() {
+                        return Ok(None);
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             if chunk.is_empty() {
                 // EOF: a final unterminated fragment still parses.
                 if buf.is_empty() && !oversized {
@@ -446,7 +483,15 @@ mod tests {
         assert_eq!(
             parse_request("GET popularity"),
             Ok(Request::Get {
-                stage: StageId::Popularity
+                stage: StageId::Popularity,
+                full: false,
+            })
+        );
+        assert_eq!(
+            parse_request("GET crawl FULL"),
+            Ok(Request::Get {
+                stage: StageId::Crawl,
+                full: true,
             })
         );
         assert_eq!(parse_request("CANCEL 7"), Ok(Request::Cancel { id: 7 }));
@@ -505,6 +550,72 @@ mod tests {
             parse_request("TRACE DUMP extra"),
             Err(ProtocolError::UnexpectedArgument(_))
         ));
+        assert!(matches!(
+            parse_request("GET setup PARTIAL"),
+            Err(ProtocolError::UnexpectedArgument(_))
+        ));
+        assert!(matches!(
+            parse_request("GET setup FULL extra"),
+            Err(ProtocolError::UnexpectedArgument(_))
+        ));
+    }
+
+    /// A reader whose stream times out between byte chunks: the
+    /// interruptible read must keep partial lines across retries and
+    /// only end the stream when asked to give up.
+    struct Intermittent {
+        chunks: Vec<Vec<u8>>,
+        timeouts_first: bool,
+    }
+
+    impl std::io::Read for Intermittent {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            if self.timeouts_first {
+                self.timeouts_first = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "timeout"));
+            }
+            match self.chunks.first_mut() {
+                None => Ok(0),
+                Some(chunk) => {
+                    let n = chunk.len().min(out.len());
+                    out[..n].copy_from_slice(&chunk[..n]);
+                    chunk.drain(..n);
+                    if chunk.is_empty() {
+                        self.chunks.remove(0);
+                        self.timeouts_first = true;
+                    }
+                    Ok(n)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interruptible_read_keeps_partial_lines_across_timeouts() {
+        let stream = Intermittent {
+            chunks: vec![b"STA".to_vec(), b"TUS\nPI".to_vec(), b"NG\n".to_vec()],
+            timeouts_first: true,
+        };
+        let mut reader = LineReader::new(BufReader::new(stream));
+        let mut stop = || false;
+        assert_eq!(
+            reader.next_line_until(&mut stop).unwrap(),
+            Some(Ok("STATUS".to_owned()))
+        );
+        assert_eq!(
+            reader.next_line_until(&mut stop).unwrap(),
+            Some(Ok("PING".to_owned()))
+        );
+    }
+
+    #[test]
+    fn interruptible_read_gives_up_when_asked() {
+        let stream = Intermittent {
+            chunks: vec![b"NEVER_FINISHED".to_vec()],
+            timeouts_first: true,
+        };
+        let mut reader = LineReader::new(BufReader::new(stream));
+        assert_eq!(reader.next_line_until(&mut || true).unwrap(), None);
     }
 
     #[test]

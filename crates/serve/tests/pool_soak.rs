@@ -1,0 +1,98 @@
+//! Thread-bound soak: the worker pool must keep daemon thread count a
+//! function of configuration, not of offered load. Runs in its own
+//! test binary so `/proc/self/status` counts only this daemon's
+//! threads plus the harness.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use hs_landscape::StudyConfig;
+use hs_serve::{Client, Daemon, DaemonConfig};
+
+/// Current thread count of this process, from `/proc/self/status`.
+/// `None` when the platform does not expose it (test then skips).
+fn thread_count() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+#[test]
+fn concurrent_clients_never_grow_the_pool() {
+    let Some(_) = thread_count() else {
+        eprintln!("skipping: /proc/self/status not available");
+        return;
+    };
+
+    const WORKERS: usize = 3;
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 3;
+
+    let cfg = DaemonConfig {
+        study: StudyConfig::test_scale(),
+        workers: WORKERS,
+        pool_queue: 64,
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::bind(cfg).expect("bind");
+    let handle = daemon.spawn().expect("spawn");
+    let addr = handle.addr();
+
+    // Baseline after the daemon (accept loop + workers + any runtime
+    // helpers) is up but before any client traffic.
+    let baseline = thread_count().expect("baseline threads");
+
+    // Sample the peak thread count while the clients hammer the pool.
+    let peak = Arc::new(AtomicU64::new(baseline));
+    let stop = Arc::new(AtomicBool::new(false));
+    let monitor = {
+        let (peak, stop) = (Arc::clone(&peak), Arc::clone(&stop));
+        thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                if let Some(n) = thread_count() {
+                    peak.fetch_max(n, Ordering::AcqRel);
+                }
+                thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    let mut client =
+                        Client::connect_retry(addr, Duration::from_secs(30)).expect("connect");
+                    assert_eq!(client.request("PING").unwrap(), vec!["OK PONG"]);
+                    let status = client.request("STATUS").unwrap();
+                    assert_eq!(status[0], "OK STATUS");
+                    let get = client.request("GET setup").unwrap();
+                    assert_eq!(get[0], "OK GET setup");
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+
+    stop.store(true, Ordering::Release);
+    monitor.join().expect("monitor thread");
+
+    // Every client thread above plus a small scheduling margin. The
+    // old thread-per-connection daemon would add ~CLIENTS extra daemon
+    // threads on top of the client threads themselves; the pool adds
+    // zero (workers are already in the baseline).
+    let peak = peak.load(Ordering::Acquire);
+    let allowed = baseline + CLIENTS as u64 + 2;
+    assert!(
+        peak <= allowed,
+        "thread count grew with load: baseline={baseline} peak={peak} allowed={allowed}"
+    );
+
+    handle.shutdown();
+}

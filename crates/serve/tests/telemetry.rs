@@ -306,6 +306,42 @@ fn byte_budget_eviction_shows_in_prom_but_not_legacy_metrics() {
 }
 
 #[test]
+fn pool_families_are_exported_by_default_and_gated_off() {
+    let (_handle, mut client) = spawn(|_| {});
+    let exposition = scrape(&mut client);
+    // The scraping connection itself occupies a worker.
+    assert_eq!(exposition.value("landscaped_pool_workers", &[]), Some(4.0));
+    assert_eq!(exposition.value("landscaped_pool_busy", &[]), Some(1.0));
+    assert_eq!(exposition.value("landscaped_pool_queued", &[]), Some(0.0));
+    assert_eq!(
+        exposition.value("landscaped_pool_submitted_total", &[]),
+        Some(1.0)
+    );
+    assert_eq!(
+        exposition.value("landscaped_pool_rejected_total", &[]),
+        Some(0.0)
+    );
+    assert!(
+        exposition
+            .value("landscaped_pool_queue_wait_us_count", &[])
+            .is_some(),
+        "queue-wait histogram missing"
+    );
+
+    // `--pool-metrics off` keeps the exposition byte-compatible with
+    // the pre-pool telemetry baseline: no pool family at all.
+    let (_handle, mut legacy) = spawn(|cfg| cfg.pool_metrics = false);
+    let exposition = scrape(&mut legacy);
+    assert!(
+        !exposition
+            .families
+            .iter()
+            .any(|f| f.name.starts_with("landscaped_pool_")),
+        "pool families leaked into the gated-off exposition"
+    );
+}
+
+#[test]
 fn resync_paths_increment_protocol_errors() {
     let (handle, mut client) = spawn(|_| {});
     // Raw socket: one non-UTF-8 line, then one unparseable line.

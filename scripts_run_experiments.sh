@@ -12,6 +12,7 @@
 #   sh scripts_run_experiments.sh par      1-vs-N-thread byte-identity + speedup
 #   sh scripts_run_experiments.sh daemon   resident landscaped session + baseline diff
 #   sh scripts_run_experiments.sh telemetry  METRICS PROM / TRACE session + baseline diff
+#   sh scripts_run_experiments.sh pooled   worker-pool session + ticker progression gate
 set -e
 if [ "${1:-}" = "verify" ]; then
   echo "== cargo fmt --check"
@@ -23,7 +24,111 @@ if [ "${1:-}" = "verify" ]; then
   sh "$0" sketch
   sh "$0" daemon
   sh "$0" telemetry
+  sh "$0" pooled
   echo "verify ok"
+  exit 0
+fi
+if [ "${1:-}" = "pooled" ]; then
+  # The worker-pool gate, two parts.
+  #
+  # Part 1: boot landscaped with an explicit pool shape (--workers 3)
+  # and drive the committed pooled session — GET ... FULL projections,
+  # a METRICS PROM scrape whose pool families are deterministic over a
+  # single scripting connection (one worker busy, nothing queued) —
+  # then diff the wall-masked transcript against the committed
+  # baseline.
+  BASELINE=results/pooled_baseline.txt
+  SESSION=scripts_pooled_session.txt
+  [ -f "$BASELINE" ] || { echo "missing $BASELINE"; exit 1; }
+  [ -f "$SESSION" ] || { echo "missing $SESSION"; exit 1; }
+  echo "== landscaped serve --seed 7 --workers 3 (pooled session)"
+  cargo build --release -q -p hs-serve
+  PORT_FILE=$(mktemp)
+  : > "$PORT_FILE"
+  target/release/landscaped serve --addr 127.0.0.1:0 --seed 7 --threads 2 \
+    --workers 3 --port-file "$PORT_FILE" 2> results/pooled_serve.log &
+  DAEMON_PID=$!
+  i=0
+  while [ ! -s "$PORT_FILE" ] && [ "$i" -lt 200 ]; do
+    sleep 0.1
+    i=$((i + 1))
+  done
+  if [ ! -s "$PORT_FILE" ]; then
+    kill "$DAEMON_PID" 2>/dev/null || true
+    rm -f "$PORT_FILE"
+    echo "FAIL: daemon never reported its port (see results/pooled_serve.log)"
+    exit 1
+  fi
+  PORT=$(cat "$PORT_FILE")
+  rm -f "$PORT_FILE"
+  if ! target/release/landscaped script "127.0.0.1:$PORT" \
+      < "$SESSION" > results/pooled_session_raw.txt; then
+    kill "$DAEMON_PID" 2>/dev/null || true
+    echo "FAIL: pooled session aborted (see results/pooled_session_raw.txt)"
+    exit 1
+  fi
+  wait "$DAEMON_PID" || true
+  # Same normalization as the telemetry gate: wall-clock families and
+  # microsecond intervals are masked, everything else diffs
+  # byte-for-byte.
+  sed -E \
+    -e 's/^(epoch_age_ms|uptime_ms)=[0-9]+$/\1=MASKED/' \
+    -e '/^landscaped_[a-z_]*(_us|_seconds)/s/ [0-9eE.+-]+$/ MASKED/' \
+    -e 's/[0-9]+us/MASKEDus/g' \
+    results/pooled_session_raw.txt > results/pooled_session.txt
+  if ! diff -u "$BASELINE" results/pooled_session.txt; then
+    echo "FAIL: pooled transcript drifted from $BASELINE"
+    exit 1
+  fi
+  echo "pooled transcript matches baseline"
+  # Part 2: the background ticker. Boot a second daemon advancing 6
+  # sim-hours every 100 wall-ms, poll STATUS until it has published a
+  # few epochs, and check the epoch arithmetic from one consistent
+  # reply: the ticker reuses the TICK path, so
+  # sim_time == base + epoch * 6h must hold exactly.
+  echo "== landscaped serve --tick-every 6/100 (ticker progression)"
+  PORT_FILE=$(mktemp)
+  : > "$PORT_FILE"
+  target/release/landscaped serve --addr 127.0.0.1:0 --seed 7 --threads 2 \
+    --tick-every 6/100 --port-file "$PORT_FILE" 2> results/ticker_serve.log &
+  DAEMON_PID=$!
+  i=0
+  while [ ! -s "$PORT_FILE" ] && [ "$i" -lt 200 ]; do
+    sleep 0.1
+    i=$((i + 1))
+  done
+  if [ ! -s "$PORT_FILE" ]; then
+    kill "$DAEMON_PID" 2>/dev/null || true
+    rm -f "$PORT_FILE"
+    echo "FAIL: ticker daemon never reported its port (see results/ticker_serve.log)"
+    exit 1
+  fi
+  PORT=$(cat "$PORT_FILE")
+  rm -f "$PORT_FILE"
+  EPOCH=0
+  i=0
+  while [ "$i" -lt 100 ]; do
+    printf 'STATUS\n' | target/release/landscaped script "127.0.0.1:$PORT" \
+      > results/ticker_status.txt
+    EPOCH=$(sed -n 's/^epoch=//p' results/ticker_status.txt)
+    [ "${EPOCH:-0}" -ge 3 ] && break
+    sleep 0.1
+    i=$((i + 1))
+  done
+  SIM_TIME=$(sed -n 's/^sim_time=//p' results/ticker_status.txt)
+  printf 'SHUTDOWN\n' | target/release/landscaped script "127.0.0.1:$PORT" > /dev/null
+  wait "$DAEMON_PID" || true
+  if [ "${EPOCH:-0}" -lt 3 ]; then
+    echo "FAIL: ticker never reached epoch 3 (see results/ticker_status.txt)"
+    exit 1
+  fi
+  WANT=$((1359680400 + EPOCH * 21600))
+  if [ "$SIM_TIME" != "$WANT" ]; then
+    echo "FAIL: ticker epoch $EPOCH reports sim_time=$SIM_TIME, want $WANT"
+    exit 1
+  fi
+  echo "ticker reached epoch $EPOCH with sim_time=$SIM_TIME (exact)"
+  echo "pooled ok"
   exit 0
 fi
 if [ "${1:-}" = "telemetry" ]; then
@@ -43,7 +148,7 @@ if [ "${1:-}" = "telemetry" ]; then
   PORT_FILE=$(mktemp)
   : > "$PORT_FILE"
   target/release/landscaped serve --addr 127.0.0.1:0 --seed 7 --threads 2 \
-    --cache-bytes 67108864 --log debug --port-file "$PORT_FILE" \
+    --cache-bytes 67108864 --pool-metrics off --log debug --port-file "$PORT_FILE" \
     2> results/telemetry_serve.log &
   DAEMON_PID=$!
   i=0
